@@ -1,0 +1,40 @@
+//===- Table1Common.h - Shared main() body for the Table 1 benches --*- C++ -*-===//
+///
+/// \file
+/// Each Table 1 bench binary regenerates one block of the paper's
+/// evaluation table: the same workload suite measured without and with
+/// partial escape analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_BENCH_TABLE1COMMON_H
+#define JVM_BENCH_TABLE1COMMON_H
+
+#include "workloads/Harness.h"
+
+#include <cstdio>
+
+namespace jvm {
+namespace bench {
+
+inline int runTable1Suite(const char *Suite, const char *Title) {
+  using namespace jvm::workloads;
+  std::printf("Table 1 (%s block): without vs. with partial escape "
+              "analysis\n", Suite);
+  std::printf("(synthetic workloads per DESIGN.md; compare shapes, not "
+              "absolute values)\n\n");
+  BenchmarkSet Set = buildBenchmarkSet();
+  HarnessOptions Opts = HarnessOptions::fromEnvironment();
+  std::vector<RowComparison> Rows =
+      runSuite(Set, Suite, EscapeAnalysisMode::None,
+               EscapeAnalysisMode::Partial, Opts);
+  std::printf("%s", formatTable1Block(Title, Rows).c_str());
+  std::printf("\n(averages include the rows omitted from the listing, "
+              "as in the paper)\n");
+  return 0;
+}
+
+} // namespace bench
+} // namespace jvm
+
+#endif // JVM_BENCH_TABLE1COMMON_H

@@ -1,0 +1,77 @@
+//===- bench_ablation.cpp - Which parts of the design matter? -------------------===//
+//
+// Ablates the design decisions DESIGN.md calls out, on three
+// representative rows:
+//
+//   full            the complete partial escape analysis
+//   no-loop-phis    loop-carried field changes materialize at the loop
+//                   entry instead of becoming loop phis (Section 5.4)
+//   no-liveness     merges materialize dead objects instead of dropping
+//                   them (the "common alias" rule of Section 5.3)
+//   no-speculation  branch pruning and devirtualization disabled: PEA
+//                   sees the escaping branches instead of Deoptimize
+//                   sinks — the "partial" wins shrink toward the
+//                   all-or-nothing baseline
+//   flow-insensitive / none   reference points
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Harness.h"
+
+#include <cstdio>
+
+using namespace jvm;
+using namespace jvm::workloads;
+
+namespace {
+
+struct Variant {
+  const char *Name;
+  EscapeAnalysisMode Mode;
+  bool LoopPhis;
+  bool Liveness;
+  bool Speculate;
+};
+
+} // namespace
+
+int main() {
+  const Variant Variants[] = {
+      {"full", EscapeAnalysisMode::Partial, true, true, true},
+      {"no-loop-phis", EscapeAnalysisMode::Partial, false, true, true},
+      {"no-liveness", EscapeAnalysisMode::Partial, true, false, true},
+      {"no-speculation", EscapeAnalysisMode::Partial, true, true, false},
+      {"flow-insensitive", EscapeAnalysisMode::FlowInsensitive, true, true,
+       true},
+      {"none", EscapeAnalysisMode::None, true, true, true},
+  };
+
+  std::printf("Ablation study (see DESIGN.md section 5)\n\n");
+  BenchmarkSet Set = buildBenchmarkSet();
+  HarnessOptions Base = HarnessOptions::fromEnvironment();
+
+  for (const char *RowName : {"factorie", "tomcat", "specjbb2005"}) {
+    const BenchmarkRow *Row = Set.find(RowName);
+    if (!Row)
+      continue;
+    std::printf("%s:\n", RowName);
+    std::printf("  %-18s %12s %12s %14s\n", "variant", "kAllocs/iter",
+                "KB/iter", "iters/min");
+    for (const Variant &V : Variants) {
+      HarnessOptions Opts = Base;
+      Opts.VM.Compiler.PeaLoopFieldPhis = V.LoopPhis;
+      Opts.VM.Compiler.PeaMergeLivenessPruning = V.Liveness;
+      Opts.VM.Compiler.PruneColdBranches = V.Speculate;
+      Opts.VM.Compiler.Devirtualize = V.Speculate;
+      RowMeasurement M = measureRow(Set, *Row, V.Mode, Opts);
+      std::printf("  %-18s %12.2f %12.1f %14.1f\n", V.Name, M.KAllocsPerIter,
+                  M.KBPerIter, M.ItersPerMinute);
+      std::fprintf(stderr, "  [measured] %s/%s\n", RowName, V.Name);
+    }
+    std::printf("\n");
+  }
+  std::printf("Expected shape: every ablation gives back part of the win; "
+              "no-speculation hurts rows whose objects escape only on "
+              "cold paths.\n");
+  return 0;
+}

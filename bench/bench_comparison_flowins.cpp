@@ -1,0 +1,59 @@
+//===- bench_comparison_flowins.cpp - Section 6.2 comparison -------------------===//
+//
+// Regenerates the paper's Section 6.2 comparison: flow-insensitive
+// escape analysis (the HotSpot-server-style equi-escape-sets baseline)
+// vs. partial escape analysis, as average speedups over the baseline
+// without any escape analysis, per suite. Paper: 0.9% vs 2.2% (DaCapo),
+// 7.4% vs 10.4% (ScalaDaCapo), 5.4% vs 8.7% (SPECjbb2005) — the
+// reproduction target is PEA > flow-insensitive on every suite.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Harness.h"
+
+#include <cstdio>
+
+using namespace jvm;
+using namespace jvm::workloads;
+
+int main() {
+  std::printf("Section 6.2: flow-insensitive EA vs. partial EA "
+              "(average speedup over no-EA)\n\n");
+  BenchmarkSet Set = buildBenchmarkSet();
+  HarnessOptions Opts = HarnessOptions::fromEnvironment();
+
+  std::printf("%-14s | %20s %20s | %20s %20s\n", "", "flow-insensitive EA",
+              "", "partial EA", "");
+  std::printf("%-14s | %20s %20s | %20s %20s\n", "suite", "avg speedup",
+              "avg alloc delta", "avg speedup", "avg alloc delta");
+  std::printf("%s\n", std::string(104, '-').c_str());
+  for (const char *Suite : {"dacapo", "scaladacapo", "specjbb2005"}) {
+    double SumEes = 0, SumPea = 0, SumEesAllocs = 0, SumPeaAllocs = 0;
+    unsigned N = 0;
+    for (const BenchmarkRow &Row : Set.Rows) {
+      if (Row.Suite != Suite)
+        continue;
+      RowMeasurement None =
+          measureRow(Set, Row, EscapeAnalysisMode::None, Opts);
+      RowMeasurement Ees =
+          measureRow(Set, Row, EscapeAnalysisMode::FlowInsensitive, Opts);
+      RowMeasurement Pea =
+          measureRow(Set, Row, EscapeAnalysisMode::Partial, Opts);
+      SumEes += percentDelta(None.ItersPerMinute, Ees.ItersPerMinute);
+      SumPea += percentDelta(None.ItersPerMinute, Pea.ItersPerMinute);
+      SumEesAllocs +=
+          percentDelta(None.KAllocsPerIter, Ees.KAllocsPerIter);
+      SumPeaAllocs +=
+          percentDelta(None.KAllocsPerIter, Pea.KAllocsPerIter);
+      ++N;
+      std::fprintf(stderr, "  [measured] %-12s done\n", Row.Name.c_str());
+    }
+    std::printf("%-14s | %+19.1f%% %+19.1f%% | %+19.1f%% %+19.1f%%\n", Suite,
+                SumEes / N, SumEesAllocs / N, SumPea / N, SumPeaAllocs / N);
+  }
+  std::printf("\nExpected shape: partial EA beats the flow-insensitive "
+              "baseline on every suite. Wall-clock speedups carry "
+              "machine noise; the allocation deltas are deterministic "
+              "and always satisfy PEA <= flow-insensitive <= none.\n");
+  return 0;
+}

@@ -1,0 +1,154 @@
+//===- bench_phase_overhead.cpp - Compile-time cost of the analysis -------------===//
+//
+// google-benchmark microbenchmarks for the compiler phases, supporting
+// the paper's Section 7 discussion (the analysis runs as a regular IR
+// phase; its cost scales with graph size) and the jython observation
+// (compilation cost is the flip side of the optimization).
+//
+// Graphs are generated: chains of K "allocate, store, branch-on-escape,
+// load" blocks, so PEA's work (object states, merges, frame-state
+// rewrites) grows linearly with K.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/BytecodeVerifier.h"
+#include "bytecode/CodeBuilder.h"
+#include "compiler/Canonicalizer.h"
+#include "compiler/DeadCodeElimination.h"
+#include "compiler/GVN.h"
+#include "compiler/GraphBuilder.h"
+#include "pea/PartialEscapeAnalysis.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace jvm;
+
+namespace {
+
+/// A program whose method consists of \p Blocks repetitions of:
+///   t = new T; t.val = x; if (x < 0) global = t; x += t.val;
+struct GeneratedProgram {
+  Program P;
+  MethodId M = NoMethod;
+};
+
+GeneratedProgram makeProgram(int Blocks) {
+  GeneratedProgram R;
+  ClassId T = R.P.addClass("T");
+  FieldIndex Val = R.P.addField(T, "val", ValueType::Int);
+  StaticIndex Global = R.P.addStatic("global", ValueType::Ref);
+  R.M = R.P.addMethod("f", NoClass, {ValueType::Int}, ValueType::Int);
+  CodeBuilder C(R.P, R.M);
+  unsigned X = 0;
+  unsigned Tl = C.newLocal();
+  for (int I = 0; I != Blocks; ++I) {
+    Label Skip = C.newLabel();
+    C.newObj(T).store(Tl);
+    C.load(Tl).load(X).putField(T, Val);
+    C.load(X).constI(0).ifGe(Skip);
+    C.load(Tl).putStatic(Global);
+    C.bind(Skip);
+    C.load(X).load(Tl).getField(T, Val).add().store(X);
+  }
+  C.load(X).retInt();
+  C.finish();
+  verifyProgramOrDie(R.P);
+  return R;
+}
+
+void BM_GraphBuilding(benchmark::State &State) {
+  GeneratedProgram G = makeProgram(State.range(0));
+  CompilerOptions CO;
+  for (auto _ : State) {
+    std::unique_ptr<Graph> Graph = buildGraph(G.P, G.M, nullptr, CO);
+    benchmark::DoNotOptimize(Graph->numLiveNodes());
+  }
+  State.SetComplexityN(State.range(0));
+}
+
+void BM_Canonicalizer(benchmark::State &State) {
+  GeneratedProgram G = makeProgram(State.range(0));
+  CompilerOptions CO;
+  for (auto _ : State) {
+    State.PauseTiming();
+    std::unique_ptr<Graph> Graph = buildGraph(G.P, G.M, nullptr, CO);
+    State.ResumeTiming();
+    canonicalize(*Graph, G.P);
+  }
+  State.SetComplexityN(State.range(0));
+}
+
+void BM_GVN(benchmark::State &State) {
+  GeneratedProgram G = makeProgram(State.range(0));
+  CompilerOptions CO;
+  for (auto _ : State) {
+    State.PauseTiming();
+    std::unique_ptr<Graph> Graph = buildGraph(G.P, G.M, nullptr, CO);
+    State.ResumeTiming();
+    runGVN(*Graph);
+  }
+  State.SetComplexityN(State.range(0));
+}
+
+void BM_PartialEscapeAnalysis(benchmark::State &State) {
+  GeneratedProgram G = makeProgram(State.range(0));
+  CompilerOptions CO;
+  for (auto _ : State) {
+    State.PauseTiming();
+    std::unique_ptr<Graph> Graph = buildGraph(G.P, G.M, nullptr, CO);
+    canonicalize(*Graph, G.P);
+    State.ResumeTiming();
+    PEAStats Stats;
+    runPartialEscapeAnalysis(*Graph, G.P, CO, &Stats);
+    benchmark::DoNotOptimize(Stats.VirtualizedAllocations);
+  }
+  State.SetComplexityN(State.range(0));
+}
+
+void BM_FlowInsensitiveEscapeAnalysis(benchmark::State &State) {
+  GeneratedProgram G = makeProgram(State.range(0));
+  CompilerOptions CO;
+  for (auto _ : State) {
+    State.PauseTiming();
+    std::unique_ptr<Graph> Graph = buildGraph(G.P, G.M, nullptr, CO);
+    canonicalize(*Graph, G.P);
+    State.ResumeTiming();
+    PEAStats Stats;
+    runFlowInsensitiveEscapeAnalysis(*Graph, G.P, CO, &Stats);
+    benchmark::DoNotOptimize(Stats.VirtualizedAllocations);
+  }
+  State.SetComplexityN(State.range(0));
+}
+
+void BM_FullPipelineWithPea(benchmark::State &State) {
+  GeneratedProgram G = makeProgram(State.range(0));
+  CompilerOptions CO;
+  for (auto _ : State) {
+    std::unique_ptr<Graph> Graph = buildGraph(G.P, G.M, nullptr, CO);
+    canonicalize(*Graph, G.P);
+    runGVN(*Graph);
+    PEAStats Stats;
+    runPartialEscapeAnalysis(*Graph, G.P, CO, &Stats);
+    canonicalize(*Graph, G.P);
+    runGVN(*Graph);
+    eliminateDeadCode(*Graph);
+    benchmark::DoNotOptimize(Graph->numLiveNodes());
+  }
+  State.SetComplexityN(State.range(0));
+}
+
+} // namespace
+
+BENCHMARK(BM_GraphBuilding)->RangeMultiplier(4)->Range(4, 256)
+    ->Complexity(benchmark::oN);
+BENCHMARK(BM_Canonicalizer)->RangeMultiplier(4)->Range(4, 256)
+    ->Complexity();
+BENCHMARK(BM_GVN)->RangeMultiplier(4)->Range(4, 256)->Complexity();
+BENCHMARK(BM_PartialEscapeAnalysis)->RangeMultiplier(4)->Range(4, 256)
+    ->Complexity(benchmark::oN);
+BENCHMARK(BM_FlowInsensitiveEscapeAnalysis)->RangeMultiplier(4)
+    ->Range(4, 256)->Complexity(benchmark::oN);
+BENCHMARK(BM_FullPipelineWithPea)->RangeMultiplier(4)->Range(4, 256)
+    ->Complexity(benchmark::oN);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,5 @@
+//===- bench_table1_dacapo.cpp - Table 1, DaCapo block -------------------------===//
+
+#include "Table1Common.h"
+
+int main() { return jvm::bench::runTable1Suite("dacapo", "DaCapo"); }

@@ -1,0 +1,7 @@
+//===- bench_table1_scaladacapo.cpp - Table 1, ScalaDaCapo block ---------------===//
+
+#include "Table1Common.h"
+
+int main() {
+  return jvm::bench::runTable1Suite("scaladacapo", "ScalaDaCapo");
+}

@@ -1,0 +1,7 @@
+//===- bench_table1_specjbb.cpp - Table 1, SPECjbb2005 row ----------------------===//
+
+#include "Table1Common.h"
+
+int main() {
+  return jvm::bench::runTable1Suite("specjbb2005", "SPECjbb2005");
+}

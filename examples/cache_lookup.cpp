@@ -1,0 +1,62 @@
+//===- cache_lookup.cpp - Cache workload across all three EA modes -------------===//
+//
+// Runs the Key-cache workload (the paper's motivating scenario) in the
+// full tiered VM under all three escape-analysis configurations and
+// prints the metrics the paper's evaluation reports. Demonstrates the
+// paper's core claim: all-or-nothing escape analysis cannot touch an
+// object that escapes on *any* path, while partial escape analysis
+// optimizes every path where it does not.
+//
+// Run:  ./examples/cache_lookup [lookups-per-phase]
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/VirtualMachine.h"
+#include "workloads/StdLib.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace jvm;
+using namespace jvm::workloads;
+
+int main(int Argc, char **Argv) {
+  int Lookups = Argc > 1 ? std::atoi(Argv[1]) : 20000;
+  WorkloadProgram W = buildWorkloadProgram();
+
+  std::printf("Key-cache workload: %d lookups per phase, ~87%% hit rate\n\n",
+              Lookups);
+  std::printf("%-26s %12s %12s %12s %10s\n", "configuration", "allocs",
+              "bytes", "monitor-ops", "deopts");
+
+  for (EscapeAnalysisMode Mode :
+       {EscapeAnalysisMode::None, EscapeAnalysisMode::FlowInsensitive,
+        EscapeAnalysisMode::Partial}) {
+    VMOptions VO;
+    VO.Compiler.EAMode = Mode;
+    VirtualMachine VM(W.P, VO);
+    VM.call(W.Setup, {});
+
+    // Warm up: mixed hits and misses to build realistic profiles.
+    VM.call(W.CacheLookup, {Value::makeInt(2000), Value::makeInt(8)});
+    VM.call(W.CacheLookup, {Value::makeInt(2000), Value::makeInt(8)});
+
+    VM.runtime().resetMetrics();
+    int64_t Sum =
+        VM.call(W.CacheLookup, {Value::makeInt(Lookups), Value::makeInt(8)})
+            .asInt();
+    const Runtime &RT = VM.runtime();
+    std::printf("%-26s %12llu %12llu %12llu %10llu   (checksum %lld)\n",
+                escapeAnalysisModeName(Mode),
+                (unsigned long long)RT.heap().allocationCount(),
+                (unsigned long long)RT.heap().allocatedBytes(),
+                (unsigned long long)RT.metrics().MonitorOps,
+                (unsigned long long)RT.metrics().Deopts,
+                (long long)Sum);
+  }
+
+  std::printf("\nThe Key escapes into the cache on misses only, so the "
+              "flow-insensitive analysis must keep every allocation; the "
+              "partial analysis allocates only on actual misses.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+//===- quickstart.cpp - The paper's running example, end to end ---------------===//
+//
+// Builds the paper's getValue example (Listing 4), compiles it with the
+// same pipeline the VM uses, and prints the IR before and after partial
+// escape analysis — reproducing the Listing 5 -> Listing 6
+// transformation and Figure 2's graph. Then it runs both versions and
+// prints the allocation/lock counters.
+//
+// Run:  ./examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Canonicalizer.h"
+#include "compiler/DeadCodeElimination.h"
+#include "compiler/GVN.h"
+#include "compiler/GraphBuilder.h"
+#include "compiler/Inliner.h"
+#include "ir/Printer.h"
+#include "pea/PartialEscapeAnalysis.h"
+#include "vm/VirtualMachine.h"
+#include "workloads/StdLib.h"
+
+#include <cstdio>
+
+using namespace jvm;
+using namespace jvm::workloads;
+
+int main() {
+  WorkloadProgram W = buildWorkloadProgram();
+
+  std::printf("=== The paper's getValue (Listing 4) as bytecode ===\n");
+  // Warm a VM so profiles devirtualize and inline Key.equals, then
+  // compile once without and once with PEA.
+  VMOptions VO;
+  VO.EnableJit = false; // Interpret only: we drive compilation by hand.
+  VirtualMachine VM(W.P, VO);
+  VM.call(W.Setup, {});
+  for (int I = 0; I != 60; ++I)
+    VM.call(W.GetValue, {Value::makeInt((I / 2) % 3), Value::makeRef(nullptr)});
+
+  CompilerOptions CO;
+  std::unique_ptr<Graph> G =
+      buildGraph(W.P, W.GetValue, &VM.profiles().of(W.GetValue), CO);
+  canonicalize(*G, W.P);
+  inlineCalls(*G, W.P, &VM.profiles(), CO);
+  canonicalize(*G, W.P);
+  runGVN(*G);
+  eliminateDeadCode(*G);
+
+  std::printf("\n=== Graal IR after inlining (the paper's Listing 5 / "
+              "Figure 2) ===\n%s\n",
+              graphToString(*G).c_str());
+
+  PEAStats Stats;
+  runPartialEscapeAnalysis(*G, W.P, CO, &Stats);
+  canonicalize(*G, W.P);
+  runGVN(*G);
+  eliminateDeadCode(*G);
+  canonicalize(*G, W.P);
+  eliminateDeadCode(*G);
+
+  std::printf("=== After partial escape analysis (the paper's Listing 6) "
+              "===\n%s\n",
+              graphToString(*G).c_str());
+  std::printf("PEA statistics: %u allocation(s) virtualized, %u "
+              "materialization site(s), %u field accesses scalar-replaced, "
+              "%u monitor operation(s) elided, %u check(s) folded\n\n",
+              Stats.VirtualizedAllocations, Stats.MaterializeSites,
+              Stats.ScalarReplacedLoads + Stats.ScalarReplacedStores,
+              Stats.ElidedMonitorOps, Stats.FoldedChecks);
+
+  // Now the same thing through the tiered VM, measuring a hit-heavy
+  // phase under each configuration.
+  std::printf("=== Tiered execution: 1000 cache hits ===\n");
+  for (EscapeAnalysisMode Mode :
+       {EscapeAnalysisMode::None, EscapeAnalysisMode::Partial}) {
+    VMOptions TieredVO;
+    TieredVO.CompileThreshold = 50;
+    TieredVO.Compiler.EAMode = Mode;
+    VirtualMachine TVM(W.P, TieredVO);
+    TVM.call(W.Setup, {});
+    for (int I = 0; I != 100; ++I)
+      TVM.call(W.GetValue,
+               {Value::makeInt((I / 2) % 3), Value::makeRef(nullptr)});
+    TVM.runtime().resetMetrics();
+    for (int I = 0; I != 1000; ++I)
+      TVM.call(W.GetValue, {Value::makeInt(1), Value::makeRef(nullptr)});
+    std::printf("  %-26s allocations=%-6llu monitor-ops=%llu\n",
+                escapeAnalysisModeName(Mode),
+                (unsigned long long)TVM.runtime().heap().allocationCount(),
+                (unsigned long long)TVM.runtime().metrics().MonitorOps);
+  }
+  std::printf("\nPartial escape analysis removed both the Key allocation "
+              "and the synchronized equals lock on the hit path.\n");
+  return 0;
+}

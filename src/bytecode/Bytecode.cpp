@@ -1,0 +1,139 @@
+//===- Bytecode.cpp - Opcode metadata ----------------------------------------===//
+
+#include "bytecode/Bytecode.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace jvm;
+
+const char *jvm::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Nop:
+    return "nop";
+  case Opcode::Const:
+    return "const";
+  case Opcode::ConstNull:
+    return "constnull";
+  case Opcode::Load:
+    return "load";
+  case Opcode::Store:
+    return "store";
+  case Opcode::Pop:
+    return "pop";
+  case Opcode::Dup:
+    return "dup";
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::Div:
+    return "div";
+  case Opcode::Rem:
+    return "rem";
+  case Opcode::And:
+    return "and";
+  case Opcode::Or:
+    return "or";
+  case Opcode::Xor:
+    return "xor";
+  case Opcode::Shl:
+    return "shl";
+  case Opcode::Shr:
+    return "shr";
+  case Opcode::Goto:
+    return "goto";
+  case Opcode::IfEq:
+    return "ifeq";
+  case Opcode::IfNe:
+    return "ifne";
+  case Opcode::IfLt:
+    return "iflt";
+  case Opcode::IfLe:
+    return "ifle";
+  case Opcode::IfGt:
+    return "ifgt";
+  case Opcode::IfGe:
+    return "ifge";
+  case Opcode::IfNull:
+    return "ifnull";
+  case Opcode::IfNonNull:
+    return "ifnonnull";
+  case Opcode::IfRefEq:
+    return "ifrefeq";
+  case Opcode::IfRefNe:
+    return "ifrefne";
+  case Opcode::New:
+    return "new";
+  case Opcode::GetField:
+    return "getfield";
+  case Opcode::PutField:
+    return "putfield";
+  case Opcode::InstanceOf:
+    return "instanceof";
+  case Opcode::GetStatic:
+    return "getstatic";
+  case Opcode::PutStatic:
+    return "putstatic";
+  case Opcode::NewArrayInt:
+    return "newarray_i";
+  case Opcode::NewArrayRef:
+    return "newarray_r";
+  case Opcode::ArrLoadInt:
+    return "arrload_i";
+  case Opcode::ArrLoadRef:
+    return "arrload_r";
+  case Opcode::ArrStoreInt:
+    return "arrstore_i";
+  case Opcode::ArrStoreRef:
+    return "arrstore_r";
+  case Opcode::ArrLen:
+    return "arrlen";
+  case Opcode::InvokeStatic:
+    return "invokestatic";
+  case Opcode::InvokeVirtual:
+    return "invokevirtual";
+  case Opcode::MonEnter:
+    return "monenter";
+  case Opcode::MonExit:
+    return "monexit";
+  case Opcode::RetVoid:
+    return "ret";
+  case Opcode::RetInt:
+    return "ret_i";
+  case Opcode::RetRef:
+    return "ret_r";
+  case Opcode::Trap:
+    return "trap";
+  }
+  jvm_unreachable("unknown opcode");
+}
+
+bool jvm::isConditionalBranch(Opcode Op) {
+  switch (Op) {
+  case Opcode::IfEq:
+  case Opcode::IfNe:
+  case Opcode::IfLt:
+  case Opcode::IfLe:
+  case Opcode::IfGt:
+  case Opcode::IfGe:
+  case Opcode::IfNull:
+  case Opcode::IfNonNull:
+  case Opcode::IfRefEq:
+  case Opcode::IfRefNe:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool jvm::isReturn(Opcode Op) {
+  return Op == Opcode::RetVoid || Op == Opcode::RetInt ||
+         Op == Opcode::RetRef;
+}
+
+bool jvm::isBlockEnd(Opcode Op) {
+  return Op == Opcode::Goto || Op == Opcode::Trap || isReturn(Op) ||
+         isConditionalBranch(Op);
+}

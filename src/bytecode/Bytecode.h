@@ -1,0 +1,108 @@
+//===- Bytecode.h - Mini-Java bytecode instruction set ------------*- C++ -*-===//
+///
+/// \file
+/// The stack-machine bytecode our VM executes and compiles. It is a
+/// deliberately Java-shaped subset: typed locals and stack slots (Int =
+/// 64-bit integer, Ref = object reference), objects with fields, arrays,
+/// static/virtual calls, monitors, and static (global) variables.
+///
+/// There is no exception model: out-of-bounds accesses and null
+/// dereferences are VM traps, and integer division by zero yields zero.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_BYTECODE_BYTECODE_H
+#define JVM_BYTECODE_BYTECODE_H
+
+#include "ir/Ids.h"
+
+#include <cstdint>
+
+namespace jvm {
+
+enum class Opcode : uint8_t {
+  Nop,
+  // Stack and locals.
+  Const,     ///< push A (sign-extended 32-bit immediate)
+  ConstNull, ///< push null
+  Load,      ///< push local[A]
+  Store,     ///< local[A] = pop
+  Pop,       ///< drop top of stack
+  Dup,       ///< duplicate top of stack
+  // Integer arithmetic: pop Y, pop X, push X op Y.
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  And,
+  Or,
+  Xor,
+  Shl,
+  Shr,
+  // Control flow. A is the target bytecode index.
+  Goto,
+  IfEq, ///< pop Y, pop X, branch if X == Y
+  IfNe,
+  IfLt,
+  IfLe,
+  IfGt,
+  IfGe,
+  IfNull,    ///< pop ref, branch if null
+  IfNonNull, ///< pop ref, branch if non-null
+  IfRefEq,   ///< pop B, pop A, branch if same object
+  IfRefNe,
+  // Objects. A = class id, B = field index where applicable.
+  New,        ///< push new instance of class A (fields zero/null)
+  GetField,   ///< pop obj, push obj.field[B] (A = class id)
+  PutField,   ///< pop value, pop obj, obj.field[B] = value
+  InstanceOf, ///< pop ref, push 1 if instance of class A (or subclass)
+  // Statics. A = static index.
+  GetStatic,
+  PutStatic,
+  // Arrays.
+  NewArrayInt, ///< pop length, push new int array
+  NewArrayRef,
+  ArrLoadInt, ///< pop index, pop array, push element
+  ArrLoadRef,
+  ArrStoreInt, ///< pop value, pop index, pop array
+  ArrStoreRef,
+  ArrLen, ///< pop array, push length
+  // Calls. A = method id; arguments are popped right-to-left.
+  InvokeStatic,
+  InvokeVirtual, ///< dispatch on the dynamic class of the receiver (arg 0)
+  // Monitors.
+  MonEnter, ///< pop ref, acquire its monitor
+  MonExit,  ///< pop ref, release its monitor
+  // Returns.
+  RetVoid,
+  RetInt,
+  RetRef,
+  // Verifier-provable dead code; executing it is a VM bug.
+  Trap,
+};
+
+/// Returns the mnemonic for \p Op.
+const char *opcodeName(Opcode Op);
+
+/// One bytecode instruction. The meaning of A and B depends on the opcode
+/// (immediate, local index, branch target, class/method/static id, field
+/// index). Branch targets are instruction indices ("bci").
+struct Instr {
+  Opcode Op = Opcode::Nop;
+  int32_t A = 0;
+  int32_t B = 0;
+};
+
+/// True if \p Op unconditionally ends the instruction's basic block.
+bool isBlockEnd(Opcode Op);
+
+/// True for the conditional two-way branches.
+bool isConditionalBranch(Opcode Op);
+
+/// True for opcodes that terminate the method.
+bool isReturn(Opcode Op);
+
+} // namespace jvm
+
+#endif // JVM_BYTECODE_BYTECODE_H

@@ -1,0 +1,359 @@
+//===- BytecodeVerifier.cpp - Static checks on method bytecode ---------------===//
+
+#include "bytecode/BytecodeVerifier.h"
+
+#include "bytecode/Disassembler.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+
+using namespace jvm;
+
+namespace {
+
+/// Abstract slot type: the two value types plus lattice top/bottom.
+enum class Slot : uint8_t { Unset, Int, Ref, Conflict };
+
+Slot slotOf(ValueType Ty) {
+  return Ty == ValueType::Int ? Slot::Int : Slot::Ref;
+}
+
+Slot mergeSlots(Slot A, Slot B) {
+  if (A == B)
+    return A;
+  if (A == Slot::Unset || B == Slot::Unset)
+    return Slot::Conflict;
+  return Slot::Conflict;
+}
+
+struct AbstractState {
+  std::vector<Slot> Locals;
+  std::vector<Slot> Stack;
+
+  bool operator==(const AbstractState &O) const = default;
+};
+
+class MethodVerifier {
+public:
+  MethodVerifier(const Program &P, MethodId Method)
+      : P(P), M(P.methodAt(Method)) {}
+
+  std::vector<std::string> run() {
+    if (M.Code.empty()) {
+      problem(0, "method has no code");
+      return std::move(Problems);
+    }
+    AbstractState Entry;
+    Entry.Locals.assign(M.NumLocals, Slot::Unset);
+    if (M.ParamTypes.size() > M.NumLocals) {
+      problem(0, "more parameters than local slots");
+      return std::move(Problems);
+    }
+    for (unsigned I = 0, E = M.ParamTypes.size(); I != E; ++I)
+      Entry.Locals[I] = slotOf(M.ParamTypes[I]);
+
+    InStates.assign(M.Code.size(), std::nullopt);
+    flowTo(0, Entry, /*FromBci=*/-1);
+    while (!Worklist.empty() && Problems.empty()) {
+      unsigned Bci = Worklist.back();
+      Worklist.pop_back();
+      interpret(Bci);
+    }
+    return std::move(Problems);
+  }
+
+private:
+  void problem(int Bci, const std::string &Msg) {
+    std::ostringstream OS;
+    OS << M.Name << "@" << Bci << ": " << Msg;
+    Problems.push_back(OS.str());
+  }
+
+  void flowTo(int Bci, const AbstractState &S, int FromBci) {
+    if (Bci < 0 || Bci >= static_cast<int>(M.Code.size())) {
+      problem(FromBci, "branch target out of range");
+      return;
+    }
+    std::optional<AbstractState> &In = InStates[Bci];
+    if (!In) {
+      In = S;
+      Worklist.push_back(Bci);
+      return;
+    }
+    if (In->Stack.size() != S.Stack.size()) {
+      problem(Bci, "inconsistent stack depth at merge point");
+      return;
+    }
+    AbstractState Merged = *In;
+    for (unsigned I = 0, E = S.Stack.size(); I != E; ++I) {
+      Merged.Stack[I] = mergeSlots(Merged.Stack[I], S.Stack[I]);
+      if (Merged.Stack[I] == Slot::Conflict) {
+        problem(Bci, "inconsistent stack slot type at merge point");
+        return;
+      }
+    }
+    for (unsigned I = 0, E = S.Locals.size(); I != E; ++I)
+      Merged.Locals[I] = mergeSlots(Merged.Locals[I], S.Locals[I]);
+    if (Merged != *In) {
+      In = Merged;
+      Worklist.push_back(Bci);
+    }
+  }
+
+  Slot pop(AbstractState &S, int Bci, Slot Want) {
+    if (S.Stack.empty()) {
+      problem(Bci, "pop from empty stack");
+      return Slot::Conflict;
+    }
+    Slot Got = S.Stack.back();
+    S.Stack.pop_back();
+    if (Want != Slot::Conflict && Got != Want)
+      problem(Bci, std::string("expected ") +
+                       (Want == Slot::Int ? "int" : "ref") + " on stack");
+    return Got;
+  }
+
+  void checkLocal(int Bci, int32_t Idx) {
+    if (Idx < 0 || Idx >= static_cast<int32_t>(M.NumLocals))
+      problem(Bci, "local index out of range");
+  }
+
+  void checkClass(int Bci, int32_t Id) {
+    if (Id < 0 || Id >= static_cast<int32_t>(P.numClasses()))
+      problem(Bci, "class id out of range");
+  }
+
+  void interpret(unsigned Bci) {
+    AbstractState S = *InStates[Bci];
+    const Instr &I = M.Code[Bci];
+    switch (I.Op) {
+    case Opcode::Nop:
+      break;
+    case Opcode::Const:
+      S.Stack.push_back(Slot::Int);
+      break;
+    case Opcode::ConstNull:
+      S.Stack.push_back(Slot::Ref);
+      break;
+    case Opcode::Load: {
+      checkLocal(Bci, I.A);
+      if (!Problems.empty())
+        return;
+      Slot L = S.Locals[I.A];
+      if (L == Slot::Unset || L == Slot::Conflict) {
+        problem(Bci, "load from uninitialized or conflicting local");
+        return;
+      }
+      S.Stack.push_back(L);
+      break;
+    }
+    case Opcode::Store: {
+      checkLocal(Bci, I.A);
+      if (!Problems.empty())
+        return;
+      Slot V = pop(S, Bci, Slot::Conflict);
+      S.Locals[I.A] = V;
+      break;
+    }
+    case Opcode::Pop:
+      pop(S, Bci, Slot::Conflict);
+      break;
+    case Opcode::Dup: {
+      if (S.Stack.empty()) {
+        problem(Bci, "dup on empty stack");
+        return;
+      }
+      S.Stack.push_back(S.Stack.back());
+      break;
+    }
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::Div:
+    case Opcode::Rem:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Shl:
+    case Opcode::Shr:
+      pop(S, Bci, Slot::Int);
+      pop(S, Bci, Slot::Int);
+      S.Stack.push_back(Slot::Int);
+      break;
+    case Opcode::Goto:
+      flowTo(I.A, S, Bci);
+      return;
+    case Opcode::IfEq:
+    case Opcode::IfNe:
+    case Opcode::IfLt:
+    case Opcode::IfLe:
+    case Opcode::IfGt:
+    case Opcode::IfGe:
+      pop(S, Bci, Slot::Int);
+      pop(S, Bci, Slot::Int);
+      flowTo(I.A, S, Bci);
+      flowTo(Bci + 1, S, Bci);
+      return;
+    case Opcode::IfNull:
+    case Opcode::IfNonNull:
+      pop(S, Bci, Slot::Ref);
+      flowTo(I.A, S, Bci);
+      flowTo(Bci + 1, S, Bci);
+      return;
+    case Opcode::IfRefEq:
+    case Opcode::IfRefNe:
+      pop(S, Bci, Slot::Ref);
+      pop(S, Bci, Slot::Ref);
+      flowTo(I.A, S, Bci);
+      flowTo(Bci + 1, S, Bci);
+      return;
+    case Opcode::New:
+      checkClass(Bci, I.A);
+      S.Stack.push_back(Slot::Ref);
+      break;
+    case Opcode::GetField: {
+      checkClass(Bci, I.A);
+      if (!Problems.empty())
+        return;
+      const ClassInfo &C = P.classAt(I.A);
+      if (I.B < 0 || I.B >= static_cast<int32_t>(C.Fields.size())) {
+        problem(Bci, "field index out of range");
+        return;
+      }
+      pop(S, Bci, Slot::Ref);
+      S.Stack.push_back(slotOf(C.Fields[I.B].Ty));
+      break;
+    }
+    case Opcode::PutField: {
+      checkClass(Bci, I.A);
+      if (!Problems.empty())
+        return;
+      const ClassInfo &C = P.classAt(I.A);
+      if (I.B < 0 || I.B >= static_cast<int32_t>(C.Fields.size())) {
+        problem(Bci, "field index out of range");
+        return;
+      }
+      pop(S, Bci, slotOf(C.Fields[I.B].Ty));
+      pop(S, Bci, Slot::Ref);
+      break;
+    }
+    case Opcode::InstanceOf:
+      checkClass(Bci, I.A);
+      pop(S, Bci, Slot::Ref);
+      S.Stack.push_back(Slot::Int);
+      break;
+    case Opcode::GetStatic:
+    case Opcode::PutStatic: {
+      if (I.A < 0 || I.A >= static_cast<int32_t>(P.numStatics())) {
+        problem(Bci, "static index out of range");
+        return;
+      }
+      Slot Ty = slotOf(P.staticAt(I.A).Ty);
+      if (I.Op == Opcode::GetStatic)
+        S.Stack.push_back(Ty);
+      else
+        pop(S, Bci, Ty);
+      break;
+    }
+    case Opcode::NewArrayInt:
+    case Opcode::NewArrayRef:
+      pop(S, Bci, Slot::Int);
+      S.Stack.push_back(Slot::Ref);
+      break;
+    case Opcode::ArrLoadInt:
+    case Opcode::ArrLoadRef:
+      pop(S, Bci, Slot::Int);
+      pop(S, Bci, Slot::Ref);
+      S.Stack.push_back(I.Op == Opcode::ArrLoadInt ? Slot::Int : Slot::Ref);
+      break;
+    case Opcode::ArrStoreInt:
+    case Opcode::ArrStoreRef:
+      pop(S, Bci, I.Op == Opcode::ArrStoreInt ? Slot::Int : Slot::Ref);
+      pop(S, Bci, Slot::Int);
+      pop(S, Bci, Slot::Ref);
+      break;
+    case Opcode::ArrLen:
+      pop(S, Bci, Slot::Ref);
+      S.Stack.push_back(Slot::Int);
+      break;
+    case Opcode::InvokeStatic:
+    case Opcode::InvokeVirtual: {
+      if (I.A < 0 || I.A >= static_cast<int32_t>(P.numMethods())) {
+        problem(Bci, "method id out of range");
+        return;
+      }
+      const MethodInfo &Callee = P.methodAt(I.A);
+      if (I.Op == Opcode::InvokeVirtual && !Callee.isInstanceMethod()) {
+        problem(Bci, "invokevirtual of a static method");
+        return;
+      }
+      for (unsigned A = Callee.ParamTypes.size(); A-- > 0;)
+        pop(S, Bci, slotOf(Callee.ParamTypes[A]));
+      if (Callee.RetTy != ValueType::Void)
+        S.Stack.push_back(slotOf(Callee.RetTy));
+      break;
+    }
+    case Opcode::MonEnter:
+    case Opcode::MonExit:
+      pop(S, Bci, Slot::Ref);
+      break;
+    case Opcode::RetVoid:
+      if (M.RetTy != ValueType::Void)
+        problem(Bci, "ret in a non-void method");
+      return;
+    case Opcode::RetInt:
+      if (M.RetTy != ValueType::Int)
+        problem(Bci, "ret_i in a non-int method");
+      pop(S, Bci, Slot::Int);
+      return;
+    case Opcode::RetRef:
+      if (M.RetTy != ValueType::Ref)
+        problem(Bci, "ret_r in a non-ref method");
+      pop(S, Bci, Slot::Ref);
+      return;
+    case Opcode::Trap:
+      return;
+    }
+    if (!Problems.empty())
+      return;
+    if (Bci + 1 >= M.Code.size()) {
+      problem(Bci, "control flow falls off the end of the method");
+      return;
+    }
+    flowTo(Bci + 1, S, Bci);
+  }
+
+  const Program &P;
+  const MethodInfo &M;
+  std::vector<std::optional<AbstractState>> InStates;
+  std::vector<unsigned> Worklist;
+  std::vector<std::string> Problems;
+};
+
+} // namespace
+
+std::vector<std::string> jvm::verifyMethod(const Program &P, MethodId Method) {
+  return MethodVerifier(P, Method).run();
+}
+
+std::vector<std::string> jvm::verifyProgram(const Program &P) {
+  std::vector<std::string> All;
+  for (unsigned M = 0; M != P.numMethods(); ++M) {
+    std::vector<std::string> Ps = verifyMethod(P, M);
+    All.insert(All.end(), Ps.begin(), Ps.end());
+  }
+  return All;
+}
+
+void jvm::verifyProgramOrDie(const Program &P) {
+  std::vector<std::string> Problems = verifyProgram(P);
+  if (Problems.empty())
+    return;
+  std::fprintf(stderr, "program does not verify:\n");
+  for (const std::string &S : Problems)
+    std::fprintf(stderr, "  %s\n", S.c_str());
+  std::fprintf(stderr, "%s\n", programToString(P).c_str());
+  std::abort();
+}

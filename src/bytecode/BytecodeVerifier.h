@@ -1,0 +1,33 @@
+//===- BytecodeVerifier.h - Static checks on method bytecode -------*- C++ -*-===//
+///
+/// \file
+/// Abstract interpretation over a method's bytecode that checks the
+/// structural contract the interpreter and the graph builder rely on:
+/// consistent stack depth and slot types at every merge point, valid
+/// branch targets, in-range local/class/method/static ids, and a return
+/// type matching the method signature.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_BYTECODE_BYTECODEVERIFIER_H
+#define JVM_BYTECODE_BYTECODEVERIFIER_H
+
+#include "bytecode/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace jvm {
+
+/// Returns human-readable problems; empty means the method verifies.
+std::vector<std::string> verifyMethod(const Program &P, MethodId Method);
+
+/// Verifies every method of \p P.
+std::vector<std::string> verifyProgram(const Program &P);
+
+/// Aborts with diagnostics if \p P does not verify.
+void verifyProgramOrDie(const Program &P);
+
+} // namespace jvm
+
+#endif // JVM_BYTECODE_BYTECODEVERIFIER_H

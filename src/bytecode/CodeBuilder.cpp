@@ -1,0 +1,14 @@
+//===- CodeBuilder.cpp - Fluent bytecode assembler ----------------------------===//
+
+#include "bytecode/CodeBuilder.h"
+
+using namespace jvm;
+
+void CodeBuilder::finish() {
+  for (const Fixup &F : Fixups) {
+    int Target = Labels[F.LabelIndex];
+    assert(Target >= 0 && "unbound label at finish()");
+    method().Code[F.InstrIndex].A = Target;
+  }
+  Fixups.clear();
+}

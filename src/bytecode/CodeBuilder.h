@@ -1,0 +1,159 @@
+//===- CodeBuilder.h - Fluent bytecode assembler -------------------*- C++ -*-===//
+///
+/// \file
+/// A small fluent assembler for method bodies, with forward-label support.
+/// Used by tests, examples and the synthetic benchmark workloads:
+///
+/// \code
+///   CodeBuilder C(Prog, M);
+///   Label Else = C.newLabel();
+///   C.load(0).constI(0).ifLt(Else)
+///    .load(0).retInt();
+///   C.bind(Else);
+///   C.constI(0).load(0).sub().retInt();
+///   C.finish();
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_BYTECODE_CODEBUILDER_H
+#define JVM_BYTECODE_CODEBUILDER_H
+
+#include "bytecode/Program.h"
+
+#include <cassert>
+
+namespace jvm {
+
+/// An assembler label; create with CodeBuilder::newLabel, place with bind.
+struct Label {
+  int Index = -1;
+};
+
+class CodeBuilder {
+public:
+  /// \note Safe against Program growth: the method is re-resolved on each
+  /// access, so more classes/methods may be added while building.
+  CodeBuilder(Program &P, MethodId Method) : P(P), Id(Method) {}
+
+  /// Allocates a fresh local slot and returns its index.
+  unsigned newLocal() { return method().NumLocals++; }
+
+  Label newLabel() {
+    Labels.push_back(-1);
+    return Label{static_cast<int>(Labels.size() - 1)};
+  }
+
+  /// Places \p L at the next emitted instruction.
+  CodeBuilder &bind(Label L) {
+    assert(Labels[L.Index] < 0 && "label bound twice");
+    Labels[L.Index] = static_cast<int>(method().Code.size());
+    return *this;
+  }
+
+  int currentBci() const { return static_cast<int>(method().Code.size()); }
+
+  // Stack and locals -------------------------------------------------------
+  CodeBuilder &constI(int64_t V) {
+    assert(V >= INT32_MIN && V <= INT32_MAX && "immediate out of range");
+    return emit(Opcode::Const, static_cast<int32_t>(V));
+  }
+  CodeBuilder &constNull() { return emit(Opcode::ConstNull); }
+  CodeBuilder &load(unsigned Slot) { return emit(Opcode::Load, Slot); }
+  CodeBuilder &store(unsigned Slot) { return emit(Opcode::Store, Slot); }
+  CodeBuilder &pop() { return emit(Opcode::Pop); }
+  CodeBuilder &dup() { return emit(Opcode::Dup); }
+
+  // Arithmetic --------------------------------------------------------------
+  CodeBuilder &add() { return emit(Opcode::Add); }
+  CodeBuilder &sub() { return emit(Opcode::Sub); }
+  CodeBuilder &mul() { return emit(Opcode::Mul); }
+  CodeBuilder &div() { return emit(Opcode::Div); }
+  CodeBuilder &rem() { return emit(Opcode::Rem); }
+  CodeBuilder &bitAnd() { return emit(Opcode::And); }
+  CodeBuilder &bitOr() { return emit(Opcode::Or); }
+  CodeBuilder &bitXor() { return emit(Opcode::Xor); }
+  CodeBuilder &shl() { return emit(Opcode::Shl); }
+  CodeBuilder &shr() { return emit(Opcode::Shr); }
+
+  // Control flow -------------------------------------------------------------
+  CodeBuilder &gotoL(Label L) { return emitBranch(Opcode::Goto, L); }
+  CodeBuilder &ifEq(Label L) { return emitBranch(Opcode::IfEq, L); }
+  CodeBuilder &ifNe(Label L) { return emitBranch(Opcode::IfNe, L); }
+  CodeBuilder &ifLt(Label L) { return emitBranch(Opcode::IfLt, L); }
+  CodeBuilder &ifLe(Label L) { return emitBranch(Opcode::IfLe, L); }
+  CodeBuilder &ifGt(Label L) { return emitBranch(Opcode::IfGt, L); }
+  CodeBuilder &ifGe(Label L) { return emitBranch(Opcode::IfGe, L); }
+  CodeBuilder &ifNull(Label L) { return emitBranch(Opcode::IfNull, L); }
+  CodeBuilder &ifNonNull(Label L) { return emitBranch(Opcode::IfNonNull, L); }
+  CodeBuilder &ifRefEq(Label L) { return emitBranch(Opcode::IfRefEq, L); }
+  CodeBuilder &ifRefNe(Label L) { return emitBranch(Opcode::IfRefNe, L); }
+
+  // Objects, arrays, statics --------------------------------------------------
+  CodeBuilder &newObj(ClassId Cls) { return emit(Opcode::New, Cls); }
+  CodeBuilder &getField(ClassId Cls, FieldIndex F) {
+    return emit(Opcode::GetField, Cls, F);
+  }
+  CodeBuilder &putField(ClassId Cls, FieldIndex F) {
+    return emit(Opcode::PutField, Cls, F);
+  }
+  CodeBuilder &instanceOf(ClassId Cls) {
+    return emit(Opcode::InstanceOf, Cls);
+  }
+  CodeBuilder &getStatic(StaticIndex S) { return emit(Opcode::GetStatic, S); }
+  CodeBuilder &putStatic(StaticIndex S) { return emit(Opcode::PutStatic, S); }
+  CodeBuilder &newArrayInt() { return emit(Opcode::NewArrayInt); }
+  CodeBuilder &newArrayRef() { return emit(Opcode::NewArrayRef); }
+  CodeBuilder &arrLoadInt() { return emit(Opcode::ArrLoadInt); }
+  CodeBuilder &arrLoadRef() { return emit(Opcode::ArrLoadRef); }
+  CodeBuilder &arrStoreInt() { return emit(Opcode::ArrStoreInt); }
+  CodeBuilder &arrStoreRef() { return emit(Opcode::ArrStoreRef); }
+  CodeBuilder &arrLen() { return emit(Opcode::ArrLen); }
+
+  // Calls and monitors ---------------------------------------------------------
+  CodeBuilder &invokeStatic(MethodId Callee) {
+    return emit(Opcode::InvokeStatic, Callee);
+  }
+  CodeBuilder &invokeVirtual(MethodId Declared) {
+    return emit(Opcode::InvokeVirtual, Declared);
+  }
+  CodeBuilder &monEnter() { return emit(Opcode::MonEnter); }
+  CodeBuilder &monExit() { return emit(Opcode::MonExit); }
+
+  // Returns ---------------------------------------------------------------------
+  CodeBuilder &retVoid() { return emit(Opcode::RetVoid); }
+  CodeBuilder &retInt() { return emit(Opcode::RetInt); }
+  CodeBuilder &retRef() { return emit(Opcode::RetRef); }
+  CodeBuilder &trap() { return emit(Opcode::Trap); }
+
+  /// Patches all forward branches. Must be called exactly once.
+  void finish();
+
+private:
+  MethodInfo &method() { return P.methodAt(Id); }
+  const MethodInfo &method() const { return P.methodAt(Id); }
+
+  CodeBuilder &emit(Opcode Op, int32_t A = 0, int32_t B = 0) {
+    method().Code.push_back({Op, A, B});
+    return *this;
+  }
+
+  CodeBuilder &emitBranch(Opcode Op, Label L) {
+    Fixups.push_back({static_cast<int>(method().Code.size()), L.Index});
+    return emit(Op, -1);
+  }
+
+  struct Fixup {
+    int InstrIndex;
+    int LabelIndex;
+  };
+
+  Program &P;
+  MethodId Id;
+  std::vector<int> Labels;
+  std::vector<Fixup> Fixups;
+};
+
+} // namespace jvm
+
+#endif // JVM_BYTECODE_CODEBUILDER_H

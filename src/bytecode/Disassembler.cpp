@@ -1,0 +1,89 @@
+//===- Disassembler.cpp - Bytecode pretty-printer ------------------------------===//
+
+#include "bytecode/Disassembler.h"
+
+#include <sstream>
+
+using namespace jvm;
+
+std::string jvm::instrToString(const Program &P, const Instr &I) {
+  std::ostringstream OS;
+  OS << opcodeName(I.Op);
+  switch (I.Op) {
+  case Opcode::Const:
+  case Opcode::Load:
+  case Opcode::Store:
+    OS << ' ' << I.A;
+    break;
+  case Opcode::Goto:
+  case Opcode::IfEq:
+  case Opcode::IfNe:
+  case Opcode::IfLt:
+  case Opcode::IfLe:
+  case Opcode::IfGt:
+  case Opcode::IfGe:
+  case Opcode::IfNull:
+  case Opcode::IfNonNull:
+  case Opcode::IfRefEq:
+  case Opcode::IfRefNe:
+    OS << " ->" << I.A;
+    break;
+  case Opcode::New:
+  case Opcode::InstanceOf:
+    OS << ' ' << P.classAt(I.A).Name;
+    break;
+  case Opcode::GetField:
+  case Opcode::PutField:
+    OS << ' ' << P.classAt(I.A).Name << '.'
+       << P.classAt(I.A).Fields[I.B].Name;
+    break;
+  case Opcode::GetStatic:
+  case Opcode::PutStatic:
+    OS << ' ' << P.staticAt(I.A).Name;
+    break;
+  case Opcode::InvokeStatic:
+  case Opcode::InvokeVirtual:
+    OS << ' ' << P.methodAt(I.A).Name;
+    break;
+  default:
+    break;
+  }
+  return OS.str();
+}
+
+std::string jvm::methodToString(const Program &P, MethodId Method) {
+  const MethodInfo &M = P.methodAt(Method);
+  std::ostringstream OS;
+  OS << (M.isInstanceMethod() ? P.classAt(M.Owner).Name + "." : "") << M.Name
+     << '(';
+  for (unsigned I = 0, E = M.ParamTypes.size(); I != E; ++I) {
+    if (I)
+      OS << ", ";
+    OS << valueTypeName(M.ParamTypes[I]);
+  }
+  OS << ") : " << valueTypeName(M.RetTy) << "  locals=" << M.NumLocals
+     << '\n';
+  for (unsigned Bci = 0, E = M.Code.size(); Bci != E; ++Bci)
+    OS << "  " << Bci << ": " << instrToString(P, M.Code[Bci]) << '\n';
+  return OS.str();
+}
+
+std::string jvm::programToString(const Program &P) {
+  std::ostringstream OS;
+  for (unsigned C = 0; C != P.numClasses(); ++C) {
+    const ClassInfo &CI = P.classAt(C);
+    OS << "class " << CI.Name;
+    if (CI.Super != NoClass)
+      OS << " extends " << P.classAt(CI.Super).Name;
+    OS << " {";
+    for (const FieldInfo &F : CI.Fields)
+      OS << ' ' << valueTypeName(F.Ty) << ' ' << F.Name << ';';
+    OS << " }\n";
+  }
+  for (unsigned S = 0; S != P.numStatics(); ++S)
+    OS << "static " << valueTypeName(P.staticAt(S).Ty) << ' '
+       << P.staticAt(S).Name << ";\n";
+  for (unsigned M = 0; M != P.numMethods(); ++M)
+    OS << methodToString(P, M);
+  return OS.str();
+}

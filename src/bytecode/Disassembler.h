@@ -1,0 +1,28 @@
+//===- Disassembler.h - Bytecode pretty-printer --------------------*- C++ -*-===//
+///
+/// \file
+/// Renders methods and whole programs as readable assembly listings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_BYTECODE_DISASSEMBLER_H
+#define JVM_BYTECODE_DISASSEMBLER_H
+
+#include "bytecode/Program.h"
+
+#include <string>
+
+namespace jvm {
+
+/// Renders one instruction, resolving names against \p P.
+std::string instrToString(const Program &P, const Instr &I);
+
+/// Renders \p Method with bci prefixes.
+std::string methodToString(const Program &P, MethodId Method);
+
+/// Renders every class, static and method of \p P.
+std::string programToString(const Program &P);
+
+} // namespace jvm
+
+#endif // JVM_BYTECODE_DISASSEMBLER_H

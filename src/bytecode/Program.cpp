@@ -1,0 +1,92 @@
+//===- Program.cpp - Classes, methods and statics ---------------------------===//
+
+#include "bytecode/Program.h"
+
+#include "support/ErrorHandling.h"
+
+#include <cassert>
+
+using namespace jvm;
+
+FieldIndex ClassInfo::findField(const std::string &Name) const {
+  for (unsigned I = 0, E = Fields.size(); I != E; ++I)
+    if (Fields[I].Name == Name)
+      return static_cast<FieldIndex>(I);
+  return -1;
+}
+
+ClassId Program::addClass(const std::string &Name, ClassId Super) {
+  assert(Super == NoClass || Super < static_cast<ClassId>(Classes.size()));
+  ClassInfo C;
+  C.Name = Name;
+  C.Id = static_cast<ClassId>(Classes.size());
+  C.Super = Super;
+  Classes.push_back(std::move(C));
+  return Classes.back().Id;
+}
+
+FieldIndex Program::addField(ClassId Cls, const std::string &Name,
+                             ValueType Ty) {
+  ClassInfo &C = classAt(Cls);
+  assert(C.findField(Name) < 0 && "duplicate field name");
+  C.Fields.push_back({Name, Ty});
+  return static_cast<FieldIndex>(C.Fields.size() - 1);
+}
+
+StaticIndex Program::addStatic(const std::string &Name, ValueType Ty) {
+  Statics.push_back({Name, Ty});
+  return static_cast<StaticIndex>(Statics.size() - 1);
+}
+
+MethodId Program::addMethod(const std::string &Name, ClassId Owner,
+                            std::vector<ValueType> ParamTypes,
+                            ValueType RetTy) {
+  MethodInfo M;
+  M.Name = Name;
+  M.Id = static_cast<MethodId>(Methods.size());
+  M.Owner = Owner;
+  M.ParamTypes = std::move(ParamTypes);
+  M.RetTy = RetTy;
+  M.NumLocals = M.ParamTypes.size();
+  if (Owner != NoClass) {
+    assert(!M.ParamTypes.empty() && M.ParamTypes[0] == ValueType::Ref &&
+           "instance methods take the receiver as parameter 0");
+    ClassInfo &C = classAt(Owner);
+    assert(!C.Methods.count(Name) && "duplicate method name in class");
+    C.Methods[Name] = M.Id;
+  }
+  Methods.push_back(std::move(M));
+  return Methods.back().Id;
+}
+
+ClassId Program::findClass(const std::string &Name) const {
+  for (const ClassInfo &C : Classes)
+    if (C.Name == Name)
+      return C.Id;
+  return NoClass;
+}
+
+MethodId Program::findMethod(const std::string &Name) const {
+  for (const MethodInfo &M : Methods)
+    if (M.Name == Name)
+      return M.Id;
+  return NoMethod;
+}
+
+bool Program::isSubclassOf(ClassId Sub, ClassId Super) const {
+  for (ClassId C = Sub; C != NoClass; C = classAt(C).Super)
+    if (C == Super)
+      return true;
+  return false;
+}
+
+MethodId Program::resolveVirtual(MethodId Declared,
+                                 ClassId ReceiverClass) const {
+  const std::string &Name = methodAt(Declared).Name;
+  for (ClassId C = ReceiverClass; C != NoClass; C = classAt(C).Super) {
+    auto It = classAt(C).Methods.find(Name);
+    if (It != classAt(C).Methods.end())
+      return It->second;
+  }
+  jvm_unreachable("virtual dispatch failed to resolve a method");
+}

@@ -1,0 +1,105 @@
+//===- Program.h - Classes, methods and statics --------------------*- C++ -*-===//
+///
+/// \file
+/// The static program model: classes with typed fields and a method table,
+/// methods with bytecode, and static (global) variables. A Program is the
+/// unit loaded into a VirtualMachine.
+///
+/// Simplifications relative to Java, documented here once:
+///  - Single inheritance is supported for dispatch and `instanceof`, but
+///    fields are not inherited; every class declares its full field list.
+///  - Methods are identified globally by MethodId; virtual dispatch
+///    resolves the declared method's name against the receiver's class
+///    chain.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_BYTECODE_PROGRAM_H
+#define JVM_BYTECODE_PROGRAM_H
+
+#include "bytecode/Bytecode.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace jvm {
+
+struct FieldInfo {
+  std::string Name;
+  ValueType Ty = ValueType::Int;
+};
+
+struct ClassInfo {
+  std::string Name;
+  ClassId Id = NoClass;
+  ClassId Super = NoClass;
+  std::vector<FieldInfo> Fields;
+  /// Method-name -> global method id, for virtual dispatch.
+  std::map<std::string, MethodId> Methods;
+
+  /// Returns the field index for \p Name, or -1.
+  FieldIndex findField(const std::string &Name) const;
+};
+
+struct MethodInfo {
+  std::string Name;
+  MethodId Id = NoMethod;
+  /// Declaring class for instance methods, NoClass for static ones.
+  ClassId Owner = NoClass;
+  /// Parameter types; for instance methods parameter 0 is the receiver.
+  std::vector<ValueType> ParamTypes;
+  ValueType RetTy = ValueType::Void;
+  /// Total local-variable slots (parameters occupy slots 0..N-1).
+  unsigned NumLocals = 0;
+  std::vector<Instr> Code;
+
+  bool isInstanceMethod() const { return Owner != NoClass; }
+};
+
+struct StaticInfo {
+  std::string Name;
+  ValueType Ty = ValueType::Int;
+};
+
+/// A complete mini-Java program.
+class Program {
+public:
+  ClassId addClass(const std::string &Name, ClassId Super = NoClass);
+  FieldIndex addField(ClassId Cls, const std::string &Name, ValueType Ty);
+  StaticIndex addStatic(const std::string &Name, ValueType Ty);
+
+  /// Creates an empty method; fill in code via MethodInfo or CodeBuilder.
+  MethodId addMethod(const std::string &Name, ClassId Owner,
+                     std::vector<ValueType> ParamTypes, ValueType RetTy);
+
+  unsigned numClasses() const { return Classes.size(); }
+  unsigned numMethods() const { return Methods.size(); }
+  unsigned numStatics() const { return Statics.size(); }
+
+  const ClassInfo &classAt(ClassId Id) const { return Classes[Id]; }
+  ClassInfo &classAt(ClassId Id) { return Classes[Id]; }
+  const MethodInfo &methodAt(MethodId Id) const { return Methods[Id]; }
+  MethodInfo &methodAt(MethodId Id) { return Methods[Id]; }
+  const StaticInfo &staticAt(StaticIndex Id) const { return Statics[Id]; }
+
+  /// Looks up entities by name (linear; for tests and tools).
+  ClassId findClass(const std::string &Name) const;
+  MethodId findMethod(const std::string &Name) const;
+
+  /// True if \p Sub is \p Super or a transitive subclass of it.
+  bool isSubclassOf(ClassId Sub, ClassId Super) const;
+
+  /// Resolves a virtual call: the method named like \p Declared found in
+  /// \p ReceiverClass or its closest ancestor. Fatal if unresolvable.
+  MethodId resolveVirtual(MethodId Declared, ClassId ReceiverClass) const;
+
+private:
+  std::vector<ClassInfo> Classes;
+  std::vector<MethodInfo> Methods;
+  std::vector<StaticInfo> Statics;
+};
+
+} // namespace jvm
+
+#endif // JVM_BYTECODE_PROGRAM_H

@@ -1,0 +1,291 @@
+//===- Canonicalizer.cpp - Constant folding and local simplification ----------===//
+
+#include "compiler/Canonicalizer.h"
+
+#include "bytecode/Program.h"
+#include "compiler/CompilerOptions.h"
+#include "ir/Graph.h"
+#include "support/Casting.h"
+#include "support/ErrorHandling.h"
+
+using namespace jvm;
+
+const char *jvm::escapeAnalysisModeName(EscapeAnalysisMode M) {
+  switch (M) {
+  case EscapeAnalysisMode::None:
+    return "none";
+  case EscapeAnalysisMode::FlowInsensitive:
+    return "equi-escape-sets";
+  case EscapeAnalysisMode::Partial:
+    return "partial-escape-analysis";
+  }
+  jvm_unreachable("unknown escape analysis mode");
+}
+
+namespace {
+
+int64_t foldArith(ArithKind Op, int64_t X, int64_t Y) {
+  switch (Op) {
+  case ArithKind::Add:
+    return static_cast<int64_t>(static_cast<uint64_t>(X) +
+                                static_cast<uint64_t>(Y));
+  case ArithKind::Sub:
+    return static_cast<int64_t>(static_cast<uint64_t>(X) -
+                                static_cast<uint64_t>(Y));
+  case ArithKind::Mul:
+    return static_cast<int64_t>(static_cast<uint64_t>(X) *
+                                static_cast<uint64_t>(Y));
+  case ArithKind::Div:
+    return Y == 0 ? 0 : X / Y;
+  case ArithKind::Rem:
+    return Y == 0 ? 0 : X % Y;
+  case ArithKind::And:
+    return X & Y;
+  case ArithKind::Or:
+    return X | Y;
+  case ArithKind::Xor:
+    return X ^ Y;
+  case ArithKind::Shl:
+    return static_cast<int64_t>(static_cast<uint64_t>(X) << (Y & 63));
+  case ArithKind::Shr:
+    return X >> (Y & 63);
+  }
+  jvm_unreachable("unknown arithmetic kind");
+}
+
+/// True if \p N can never be null at runtime.
+bool isKnownNonNull(const Node *N) {
+  return isa<NewInstanceNode, NewArrayNode, AllocatedObjectNode>(N);
+}
+
+/// The exact dynamic class of \p N if statically known, else NoClass.
+/// Arrays report NoClass (they have no user-visible class).
+ClassId exactClassOf(const Node *N) {
+  if (const auto *NI = dyn_cast<NewInstanceNode>(N))
+    return NI->instanceClass();
+  if (const auto *AO = dyn_cast<AllocatedObjectNode>(N)) {
+    const VirtualObjectNode *VO =
+        AO->commit()->objectAt(AO->objectIndex());
+    return VO->isArray() ? NoClass : VO->objectClass();
+  }
+  return NoClass;
+}
+
+bool isKnownArray(const Node *N) {
+  if (isa<NewArrayNode>(N))
+    return true;
+  if (const auto *AO = dyn_cast<AllocatedObjectNode>(N))
+    return AO->commit()->objectAt(AO->objectIndex())->isArray();
+  return false;
+}
+
+class CanonicalizerImpl {
+public:
+  CanonicalizerImpl(Graph &G, const Program &P) : G(G), P(P) {}
+
+  bool run() {
+    bool EverChanged = false;
+    for (unsigned Round = 0; Round != 50; ++Round) {
+      bool Changed = false;
+      for (unsigned Id = 0, E = G.nodeIdBound(); Id != E; ++Id) {
+        Node *N = G.nodeAt(Id);
+        if (!N)
+          continue;
+        Changed |= visit(N);
+      }
+      if (FoldedAnIf) {
+        G.sweepUnreachable();
+        FoldedAnIf = false;
+        Changed = true;
+      }
+      if (!Changed)
+        return EverChanged;
+      EverChanged = true;
+    }
+    return EverChanged;
+  }
+
+private:
+  /// Replaces \p N by \p Repl everywhere and deletes it if fully detached.
+  bool replace(Node *N, Node *Repl) {
+    assert(!N->isFixed() && "only floating nodes are value-replaced here");
+    N->replaceAtAllUsages(Repl);
+    G.deleteNode(N);
+    return true;
+  }
+
+  bool visit(Node *N) {
+    // Orphans of swept regions can have nulled-out inputs; they are dead
+    // and get collected by DCE, not simplified.
+    for (const Node *In : N->inputs())
+      if (!In)
+        return false;
+    switch (N->kind()) {
+    case NodeKind::Arith:
+      return visitArith(cast<ArithNode>(N));
+    case NodeKind::Compare:
+      return visitCompare(cast<CompareNode>(N));
+    case NodeKind::InstanceOf:
+      return visitInstanceOf(cast<InstanceOfNode>(N));
+    case NodeKind::Phi:
+      return visitPhi(cast<PhiNode>(N));
+    case NodeKind::If:
+      return visitIf(cast<IfNode>(N));
+    default:
+      return false;
+    }
+  }
+
+  bool visitArith(ArithNode *N) {
+    auto *CX = dyn_cast<ConstantIntNode>(N->x());
+    auto *CY = dyn_cast<ConstantIntNode>(N->y());
+    if (CX && CY)
+      return replace(N, G.intConstant(foldArith(N->op(), CX->value(),
+                                                CY->value())));
+    Node *X = N->x();
+    Node *Y = N->y();
+    switch (N->op()) {
+    case ArithKind::Add:
+      if (CY && CY->value() == 0)
+        return replace(N, X);
+      if (CX && CX->value() == 0)
+        return replace(N, Y);
+      break;
+    case ArithKind::Sub:
+      if (CY && CY->value() == 0)
+        return replace(N, X);
+      if (X == Y)
+        return replace(N, G.intConstant(0));
+      break;
+    case ArithKind::Mul:
+      if (CY && CY->value() == 1)
+        return replace(N, X);
+      if (CX && CX->value() == 1)
+        return replace(N, Y);
+      if ((CY && CY->value() == 0) || (CX && CX->value() == 0))
+        return replace(N, G.intConstant(0));
+      break;
+    case ArithKind::Div:
+      if (CY && CY->value() == 1)
+        return replace(N, X);
+      break;
+    case ArithKind::And:
+    case ArithKind::Or:
+      if (X == Y)
+        return replace(N, X);
+      break;
+    case ArithKind::Xor:
+      if (X == Y)
+        return replace(N, G.intConstant(0));
+      break;
+    case ArithKind::Shl:
+    case ArithKind::Shr:
+      if (CY && CY->value() == 0)
+        return replace(N, X);
+      break;
+    default:
+      break;
+    }
+    return false;
+  }
+
+  bool visitCompare(CompareNode *N) {
+    Node *X = N->x();
+    switch (N->op()) {
+    case CmpKind::IsNull:
+      if (isa<ConstantNullNode>(X))
+        return replace(N, G.intConstant(1));
+      if (isKnownNonNull(X))
+        return replace(N, G.intConstant(0));
+      return false;
+    case CmpKind::RefEq: {
+      Node *Y = N->y();
+      if (X == Y)
+        return replace(N, G.intConstant(1));
+      bool XNull = isa<ConstantNullNode>(X);
+      bool YNull = isa<ConstantNullNode>(Y);
+      if ((XNull && isKnownNonNull(Y)) || (YNull && isKnownNonNull(X)))
+        return replace(N, G.intConstant(0));
+      // Two distinct allocations in the same compilation scope can never
+      // be the same object.
+      if (isa<NewInstanceNode, NewArrayNode>(X) &&
+          isa<NewInstanceNode, NewArrayNode>(Y))
+        return replace(N, G.intConstant(0));
+      return false;
+    }
+    case CmpKind::IntEq:
+    case CmpKind::IntLt:
+    case CmpKind::IntLe: {
+      Node *Y = N->y();
+      auto *CX = dyn_cast<ConstantIntNode>(X);
+      auto *CY = dyn_cast<ConstantIntNode>(Y);
+      if (CX && CY) {
+        bool V = N->op() == CmpKind::IntEq   ? CX->value() == CY->value()
+                 : N->op() == CmpKind::IntLt ? CX->value() < CY->value()
+                                             : CX->value() <= CY->value();
+        return replace(N, G.intConstant(V ? 1 : 0));
+      }
+      if (X == Y)
+        return replace(N, G.intConstant(N->op() == CmpKind::IntLt ? 0 : 1));
+      return false;
+    }
+    }
+    jvm_unreachable("unknown compare kind");
+  }
+
+  bool visitInstanceOf(InstanceOfNode *N) {
+    Node *Obj = N->object();
+    if (isa<ConstantNullNode>(Obj))
+      return replace(N, G.intConstant(0));
+    if (isKnownArray(Obj))
+      return replace(N, G.intConstant(0));
+    ClassId Exact = exactClassOf(Obj);
+    if (Exact == NoClass)
+      return false;
+    bool Result = N->isExact() ? Exact == N->testedClass()
+                               : P.isSubclassOf(Exact, N->testedClass());
+    return replace(N, G.intConstant(Result ? 1 : 0));
+  }
+
+  bool visitPhi(PhiNode *N) {
+    // A phi is trivial if all operands are itself or one distinct value.
+    Node *Distinct = nullptr;
+    for (unsigned I = 0, E = N->numValues(); I != E; ++I) {
+      Node *V = N->valueAt(I);
+      if (V == N || V == Distinct)
+        continue;
+      if (Distinct)
+        return false;
+      Distinct = V;
+    }
+    if (!Distinct)
+      return false; // Degenerate self-only phi; left to the DCE sweep.
+    return replace(N, Distinct);
+  }
+
+  bool visitIf(IfNode *N) {
+    auto *C = dyn_cast<ConstantIntNode>(N->condition());
+    if (!C)
+      return false;
+    FixedNode *Taken =
+        C->value() != 0 ? N->trueSuccessor() : N->falseSuccessor();
+    auto *Pred = cast<FixedWithNextNode>(N->predecessor());
+    N->setTrueSuccessor(nullptr);
+    N->setFalseSuccessor(nullptr);
+    Pred->setNext(nullptr);
+    Pred->setNext(Taken);
+    G.deleteNode(N); // Clears the condition input.
+    FoldedAnIf = true;
+    return true;
+  }
+
+  Graph &G;
+  const Program &P;
+  bool FoldedAnIf = false;
+};
+
+} // namespace
+
+bool jvm::canonicalize(Graph &G, const Program &P) {
+  return CanonicalizerImpl(G, P).run();
+}

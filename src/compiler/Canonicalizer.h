@@ -1,0 +1,24 @@
+//===- Canonicalizer.h - Constant folding and local simplification --*- C++ -*-===//
+///
+/// \file
+/// Iterative local simplification: arithmetic/compare constant folding and
+/// identities, type-check folding on allocations, trivial-phi removal, and
+/// folding of Ifs with constant conditions (including the control-flow
+/// cleanup that makes speculative type guards disappear after inlining).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_COMPILER_CANONICALIZER_H
+#define JVM_COMPILER_CANONICALIZER_H
+
+namespace jvm {
+
+class Graph;
+class Program;
+
+/// Runs to a fixpoint; returns true if the graph changed.
+bool canonicalize(Graph &G, const Program &P);
+
+} // namespace jvm
+
+#endif // JVM_COMPILER_CANONICALIZER_H

@@ -1,0 +1,61 @@
+//===- CompilerOptions.h - Knobs for the JIT pipeline ---------------*- C++ -*-===//
+///
+/// \file
+/// Configuration shared by the graph builder and the optimization phases,
+/// including which escape analysis (if any) runs — the independent
+/// variable of the paper's evaluation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_COMPILER_COMPILEROPTIONS_H
+#define JVM_COMPILER_COMPILEROPTIONS_H
+
+#include <cstdint>
+
+namespace jvm {
+
+/// Which escape analysis the pipeline runs.
+enum class EscapeAnalysisMode : uint8_t {
+  None,          ///< Baseline Graal: no escape analysis at all.
+  FlowInsensitive, ///< Equi-escape-sets, all-or-nothing (HotSpot-server-like).
+  Partial,       ///< The paper's control-flow-sensitive partial EA.
+};
+
+const char *escapeAnalysisModeName(EscapeAnalysisMode M);
+
+struct CompilerOptions {
+  EscapeAnalysisMode EAMode = EscapeAnalysisMode::Partial;
+
+  /// Replace never-taken branches with Deoptimize sinks (needs profiles).
+  bool PruneColdBranches = true;
+  /// Minimum profile count before a branch may be pruned.
+  uint64_t PruneMinProfile = 20;
+
+  /// Devirtualize monomorphic call sites behind a type guard.
+  bool Devirtualize = true;
+  uint64_t DevirtMinProfile = 20;
+
+  /// Inliner limits.
+  bool EnableInlining = true;
+  unsigned InlineMaxCalleeCodeSize = 80; ///< bytecodes
+  unsigned InlineMaxDepth = 5;
+  unsigned InlineBudgetNodes = 2500; ///< max live nodes after inlining
+
+  /// Iterations of the PEA loop fixpoint before giving up and
+  /// materializing everything at the loop entry (paper Section 5.4).
+  unsigned PeaMaxLoopIterations = 10;
+
+  // Ablation switches (see DESIGN.md Section 5 and bench_ablation) -------
+  /// Create loop phis for fields that change across iterations while the
+  /// object stays virtual. Off: such objects materialize at the loop
+  /// entry instead (loses the accumulator-object pattern).
+  bool PeaLoopFieldPhis = true;
+  /// Drop objects that no unprocessed code can observe at merges instead
+  /// of materializing them ("at least one common alias", Section 5.3).
+  /// Off: every mixed-state merge materializes, even for dead objects.
+  bool PeaMergeLivenessPruning = true;
+};
+
+} // namespace jvm
+
+#endif // JVM_COMPILER_COMPILEROPTIONS_H

@@ -1,0 +1,116 @@
+//===- DeadCodeElimination.cpp - Remove unused nodes ---------------------------===//
+
+#include "compiler/DeadCodeElimination.h"
+
+#include "ir/Graph.h"
+#include "support/Casting.h"
+
+#include <set>
+#include <vector>
+
+using namespace jvm;
+
+namespace {
+
+/// Fixed nodes whose only observable behaviour is their result value.
+/// (No exception model: loads cannot trap in a way the program can see,
+/// and allocation is re-executable.)
+bool isRemovableWhenUnused(const Node *N) {
+  switch (N->kind()) {
+  case NodeKind::NewInstance:
+  case NodeKind::NewArray:
+  case NodeKind::LoadField:
+  case NodeKind::LoadIndexed:
+  case NodeKind::LoadStatic:
+  case NodeKind::ArrayLength:
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+namespace {
+
+/// Usage-count collection cannot free cyclic floating islands (loop phis
+/// and their increment expressions keep each other alive after their
+/// loop was deleted). Mark everything reachable from fixed nodes, then
+/// break and delete the rest.
+bool collectFloatingCycles(Graph &G) {
+  std::set<const Node *> Marked;
+  std::vector<Node *> Work;
+  for (unsigned Id = 0, E = G.nodeIdBound(); Id != E; ++Id) {
+    Node *N = G.nodeAt(Id);
+    if (N && N->isFixed())
+      for (Node *In : N->inputs())
+        if (In)
+          Work.push_back(In);
+  }
+  while (!Work.empty()) {
+    Node *N = Work.back();
+    Work.pop_back();
+    if (N->isFixed() || !Marked.insert(N).second)
+      continue;
+    for (Node *In : N->inputs())
+      if (In)
+        Work.push_back(In);
+  }
+  std::vector<Node *> Dead;
+  for (unsigned Id = 0, E = G.nodeIdBound(); Id != E; ++Id) {
+    Node *N = G.nodeAt(Id);
+    if (!N || N->isFixed() || Marked.count(N) || isa<ParameterNode>(N))
+      continue;
+    Dead.push_back(N);
+  }
+  if (Dead.empty())
+    return false;
+  for (Node *N : Dead)
+    while (N->numInputs() > 0)
+      N->removeInput(N->numInputs() - 1);
+  for (Node *N : Dead) {
+    assert(!N->hasUsages() && "dead floating island referenced live code");
+    G.deleteNode(N);
+  }
+  return true;
+}
+
+} // namespace
+
+bool jvm::eliminateDeadCode(Graph &G) {
+  bool EverChanged = false;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned Id = 0, E = G.nodeIdBound(); Id != E; ++Id) {
+      Node *N = G.nodeAt(Id);
+      if (!N || N->hasUsages())
+        continue;
+      if (!N->isFixed()) {
+        // Parameters are anchored by the graph's parameter table even
+        // when currently unused (the inliner maps them to arguments).
+        if (isa<ParameterNode>(N))
+          continue;
+        G.deleteNode(N);
+        Changed = true;
+        continue;
+      }
+      auto *FN = dyn_cast<FixedWithNextNode>(N);
+      if (!FN)
+        continue;
+      if (!FN->predecessor() && !FN->next() && !isa<StartNode>(FN)) {
+        // Unlinked from control flow (escape analysis removes stores,
+        // monitor operations and allocations this way); once the last
+        // metadata reference died the node itself can go.
+        G.deleteNode(FN);
+        Changed = true;
+      } else if (isRemovableWhenUnused(FN) && FN->predecessor()) {
+        G.removeFixed(FN);
+        Changed = true;
+      }
+    }
+    EverChanged |= Changed;
+  }
+  EverChanged |= collectFloatingCycles(G);
+  return EverChanged;
+}

@@ -1,0 +1,24 @@
+//===- DeadCodeElimination.h - Remove unused nodes ------------------*- C++ -*-===//
+///
+/// \file
+/// Deletes floating nodes without usages and unlinks side-effect-free
+/// fixed nodes (loads, array lengths, allocations) whose results are
+/// unused. The latter is where scalar replacement finally pays off: once
+/// escape analysis rewrote all usages of an allocation, DCE removes the
+/// NewInstance itself.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_COMPILER_DEADCODEELIMINATION_H
+#define JVM_COMPILER_DEADCODEELIMINATION_H
+
+namespace jvm {
+
+class Graph;
+
+/// Returns true if anything was removed.
+bool eliminateDeadCode(Graph &G);
+
+} // namespace jvm
+
+#endif // JVM_COMPILER_DEADCODEELIMINATION_H

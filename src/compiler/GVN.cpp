@@ -1,0 +1,67 @@
+//===- GVN.cpp - Global value numbering ----------------------------------------===//
+
+#include "compiler/GVN.h"
+
+#include "ir/Graph.h"
+#include "support/Casting.h"
+
+#include <map>
+#include <vector>
+
+using namespace jvm;
+
+namespace {
+
+/// Structural key of a pure node: kind, operation attributes, input ids.
+using ValueKey = std::vector<uint64_t>;
+
+bool makeKey(const Node *N, ValueKey &Key) {
+  Key.clear();
+  Key.push_back(static_cast<uint64_t>(N->kind()));
+  switch (N->kind()) {
+  case NodeKind::Arith:
+    Key.push_back(static_cast<uint64_t>(cast<ArithNode>(N)->op()));
+    break;
+  case NodeKind::Compare:
+    Key.push_back(static_cast<uint64_t>(cast<CompareNode>(N)->op()));
+    break;
+  case NodeKind::InstanceOf: {
+    const auto *IO = cast<InstanceOfNode>(N);
+    Key.push_back(static_cast<uint64_t>(IO->testedClass()));
+    Key.push_back(IO->isExact());
+    break;
+  }
+  default:
+    return false; // Not value-numberable.
+  }
+  for (const Node *In : N->inputs())
+    Key.push_back(In ? In->id() + 1 : 0);
+  return true;
+}
+
+} // namespace
+
+bool jvm::runGVN(Graph &G) {
+  bool EverChanged = false;
+  bool Changed = true;
+  // Replacements change input ids of users, enabling further merges, so
+  // iterate to a fixpoint (bounded by expression depth).
+  while (Changed) {
+    Changed = false;
+    std::map<ValueKey, Node *> Table;
+    ValueKey Key;
+    for (unsigned Id = 0, E = G.nodeIdBound(); Id != E; ++Id) {
+      Node *N = G.nodeAt(Id);
+      if (!N || !makeKey(N, Key))
+        continue;
+      auto [It, Inserted] = Table.insert({Key, N});
+      if (Inserted)
+        continue;
+      N->replaceAtAllUsages(It->second);
+      G.deleteNode(N);
+      Changed = true;
+      EverChanged = true;
+    }
+  }
+  return EverChanged;
+}

@@ -1,0 +1,22 @@
+//===- GVN.h - Global value numbering -------------------------------*- C++ -*-===//
+///
+/// \file
+/// Deduplicates pure floating nodes (arithmetic, compares, type checks)
+/// with identical operations and inputs. Constants are already unique by
+/// construction (Graph::intConstant).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_COMPILER_GVN_H
+#define JVM_COMPILER_GVN_H
+
+namespace jvm {
+
+class Graph;
+
+/// Returns true if any node was deduplicated.
+bool runGVN(Graph &G);
+
+} // namespace jvm
+
+#endif // JVM_COMPILER_GVN_H

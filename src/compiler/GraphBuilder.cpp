@@ -1,0 +1,721 @@
+//===- GraphBuilder.cpp - Bytecode to sea-of-nodes SSA -----------------------===//
+
+#include "compiler/GraphBuilder.h"
+
+#include "support/Casting.h"
+#include "support/Debug.h"
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace jvm;
+
+namespace {
+
+/// The abstract machine state during translation: IR values for locals,
+/// operand stack and the monitor stack.
+struct BuilderState {
+  std::vector<Node *> Locals;
+  std::vector<Node *> Stack;
+  std::vector<Node *> Locks;
+};
+
+/// A control edge whose target block has not been materialized yet.
+/// `From` is a fixed node with a free next().
+struct PendingEdge {
+  FixedWithNextNode *From = nullptr;
+  BuilderState State;
+};
+
+class GraphBuilderImpl {
+public:
+  GraphBuilderImpl(const Program &P, MethodId Method,
+                   const MethodProfile *Prof, const CompilerOptions &Opts)
+      : P(P), M(P.methodAt(Method)), Prof(Prof), Opts(Opts) {}
+
+  std::unique_ptr<Graph> run() {
+    std::vector<ValueType> Params = M.ParamTypes;
+    G = std::make_unique<Graph>(M.Id, Params);
+
+    discoverBlocks();
+    findLoops();
+    computeRpo();
+
+    // Seed the entry edge: Start flows into the block at bci 0.
+    BuilderState Entry;
+    Entry.Locals.assign(M.NumLocals, nullptr);
+    for (unsigned I = 0, E = M.ParamTypes.size(); I != E; ++I)
+      Entry.Locals[I] = G->param(I);
+    Incoming[0].push_back({G->start(), std::move(Entry)});
+
+    for (int B : Rpo)
+      processBlock(B);
+
+    // Branch pruning can leave unreachable regions and loops without
+    // back edges; normalize before handing the graph to the phases.
+    G->sweepUnreachable();
+    return std::move(G);
+  }
+
+private:
+  //===------------------------------------------------------------------===//
+  // Block structure
+  //===------------------------------------------------------------------===//
+
+  struct Block {
+    int Start = 0;
+    int End = 0; ///< exclusive
+    std::vector<int> Succs;
+  };
+
+  int blockOf(int Bci) const {
+    int B = BlockIndexOf[Bci];
+    assert(B >= 0 && "bci is not a block leader");
+    return B;
+  }
+
+  void discoverBlocks() {
+    unsigned N = M.Code.size();
+    std::vector<bool> Leader(N, false);
+    Leader[0] = true;
+    for (unsigned Bci = 0; Bci != N; ++Bci) {
+      const Instr &I = M.Code[Bci];
+      if (I.Op == Opcode::Goto || isConditionalBranch(I.Op)) {
+        assert(I.A >= 0 && I.A < static_cast<int>(N));
+        Leader[I.A] = true;
+      }
+      if (isBlockEnd(I.Op) && Bci + 1 < N)
+        Leader[Bci + 1] = true;
+    }
+    BlockIndexOf.assign(N, -1);
+    for (unsigned Bci = 0; Bci != N; ++Bci) {
+      if (!Leader[Bci])
+        continue;
+      Block B;
+      B.Start = Bci;
+      BlockIndexOf[Bci] = Blocks.size();
+      Blocks.push_back(B);
+    }
+    for (unsigned I = 0, E = Blocks.size(); I != E; ++I)
+      Blocks[I].End = I + 1 < E ? Blocks[I + 1].Start : static_cast<int>(N);
+    for (Block &B : Blocks) {
+      const Instr &Last = M.Code[B.End - 1];
+      if (isConditionalBranch(Last.Op)) {
+        B.Succs.push_back(blockOf(Last.A));
+        B.Succs.push_back(blockOf(B.End));
+      } else if (Last.Op == Opcode::Goto) {
+        B.Succs.push_back(blockOf(Last.A));
+      } else if (!isBlockEnd(Last.Op)) {
+        B.Succs.push_back(blockOf(B.End));
+      }
+    }
+  }
+
+  void findLoops() {
+    // Iterative DFS; an edge to a block on the DFS stack is a back edge.
+    enum { White, Grey, Black };
+    std::vector<int> Color(Blocks.size(), White);
+    std::vector<std::pair<int, unsigned>> Stack;
+    Stack.push_back({0, 0});
+    Color[0] = Grey;
+    while (!Stack.empty()) {
+      auto &[B, NextSucc] = Stack.back();
+      if (NextSucc == Blocks[B].Succs.size()) {
+        Color[B] = Black;
+        Postorder.push_back(B);
+        Stack.pop_back();
+        continue;
+      }
+      int Succ = Blocks[B].Succs[NextSucc++];
+      if (Color[Succ] == Grey) {
+        BackEdges.insert({B, Succ});
+      } else if (Color[Succ] == White) {
+        Color[Succ] = Grey;
+        Stack.push_back({Succ, 0});
+      }
+    }
+
+    // Predecessor lists over reachable blocks, for natural loops.
+    std::map<int, std::vector<int>> Preds;
+    for (unsigned B = 0; B != Blocks.size(); ++B) {
+      if (Color[B] != Black)
+        continue;
+      for (int S : Blocks[B].Succs)
+        Preds[S].push_back(B);
+    }
+    for (const auto &[From, Header] : BackEdges) {
+      std::set<int> &Body = LoopBody[Header];
+      Body.insert(Header);
+      std::vector<int> Work{From};
+      while (!Work.empty()) {
+        int B = Work.back();
+        Work.pop_back();
+        if (!Body.insert(B).second)
+          continue;
+        for (int Pred : Preds[B])
+          Work.push_back(Pred);
+      }
+    }
+  }
+
+  void computeRpo() {
+    Rpo.assign(Postorder.rbegin(), Postorder.rend());
+    assert(!Rpo.empty() && Rpo.front() == 0 && "entry must lead the RPO");
+  }
+
+  bool isBackEdge(int From, int To) const {
+    return BackEdges.count({From, To}) != 0;
+  }
+
+  //===------------------------------------------------------------------===//
+  // State plumbing: merges, loop headers, frame states
+  //===------------------------------------------------------------------===//
+
+  FrameStateNode *makeState(const BuilderState &S, int Bci, bool Reexecute) {
+    auto *FS = G->create<FrameStateNode>(M.Id, Bci, Reexecute,
+                                         S.Locals.size(), S.Stack.size(),
+                                         S.Locks.size());
+    for (unsigned I = 0, E = S.Locals.size(); I != E; ++I)
+      FS->setLocalAt(I, S.Locals[I]);
+    for (unsigned I = 0, E = S.Stack.size(); I != E; ++I)
+      FS->setStackAt(I, S.Stack[I]);
+    for (unsigned I = 0, E = S.Locks.size(); I != E; ++I)
+      FS->setLockAt(I, S.Locks[I]);
+    return FS;
+  }
+
+  /// Merges several forward edges into one (Merge node + phis).
+  PendingEdge mergeForwardEdges(std::vector<PendingEdge> Edges) {
+    assert(Edges.size() > 1 && "nothing to merge");
+    auto *Merge = G->create<MergeNode>();
+    for (PendingEdge &E : Edges) {
+      auto *End = G->create<EndNode>();
+      E.From->setNext(End);
+      Merge->addEnd(End);
+    }
+    BuilderState Out;
+    const BuilderState &First = Edges[0].State;
+    auto MergeSlot = [&](auto Get) -> Node * {
+      Node *V0 = Get(Edges[0].State);
+      bool AnyNull = !V0;
+      bool AllEqual = true;
+      for (unsigned K = 1; K != Edges.size(); ++K) {
+        Node *Vk = Get(Edges[K].State);
+        AnyNull |= !Vk;
+        AllEqual &= Vk == V0;
+      }
+      if (AnyNull)
+        return nullptr; // Dead along some path.
+      if (AllEqual)
+        return V0;
+      auto *Phi = G->create<PhiNode>(Merge, V0->type());
+      for (PendingEdge &E : Edges)
+        Phi->appendValue(Get(E.State));
+      return Phi;
+    };
+    Out.Locals.resize(First.Locals.size());
+    for (unsigned I = 0, E = First.Locals.size(); I != E; ++I)
+      Out.Locals[I] =
+          MergeSlot([I](const BuilderState &S) { return S.Locals[I]; });
+    Out.Stack.resize(First.Stack.size());
+    for (unsigned I = 0, E = First.Stack.size(); I != E; ++I)
+      Out.Stack[I] =
+          MergeSlot([I](const BuilderState &S) { return S.Stack[I]; });
+    // Monitors must be structured: identical lock stacks on every path.
+    Out.Locks = First.Locks;
+    for (const PendingEdge &E : Edges)
+      assert(E.State.Locks == Out.Locks &&
+             "inconsistent monitor stacks at a merge");
+    return {Merge, std::move(Out)};
+  }
+
+  struct LoopInfo {
+    LoopBeginNode *Begin = nullptr;
+    /// Phi per local/stack slot; null for slots without one.
+    std::vector<PhiNode *> LocalPhis;
+    std::vector<PhiNode *> StackPhis;
+    std::vector<Node *> Locks;
+  };
+
+  /// Creates the LoopBegin with phis for every live slot; returns the
+  /// state inside the loop.
+  void enterLoopHeader(int Header, std::vector<PendingEdge> Edges) {
+    PendingEdge Fwd = Edges.size() == 1 ? std::move(Edges[0])
+                                        : mergeForwardEdges(std::move(Edges));
+    auto *End = G->create<EndNode>();
+    Fwd.From->setNext(End);
+    auto *Loop = G->create<LoopBeginNode>();
+    Loop->addEnd(End);
+
+    LoopInfo LI;
+    LI.Begin = Loop;
+    BuilderState S = std::move(Fwd.State);
+    LI.LocalPhis.assign(S.Locals.size(), nullptr);
+    for (unsigned I = 0, E = S.Locals.size(); I != E; ++I) {
+      if (!S.Locals[I])
+        continue;
+      auto *Phi = G->create<PhiNode>(Loop, S.Locals[I]->type());
+      Phi->appendValue(S.Locals[I]);
+      LI.LocalPhis[I] = Phi;
+      S.Locals[I] = Phi;
+    }
+    LI.StackPhis.assign(S.Stack.size(), nullptr);
+    for (unsigned I = 0, E = S.Stack.size(); I != E; ++I) {
+      assert(S.Stack[I] && "dead stack slot at a loop header");
+      auto *Phi = G->create<PhiNode>(Loop, S.Stack[I]->type());
+      Phi->appendValue(S.Stack[I]);
+      LI.StackPhis[I] = Phi;
+      S.Stack[I] = Phi;
+    }
+    LI.Locks = S.Locks;
+    Loops[Header] = LI;
+    Tail = Loop;
+    Cur = std::move(S);
+  }
+
+  /// Routes a finished control edge to \p ToBlock, inserting LoopExit
+  /// nodes for every loop left and wiring loop back edges in place.
+  void emitEdge(int FromBlock, int ToBlock, FixedWithNextNode *From,
+                BuilderState State) {
+    // Loops containing the source but not the target are being exited,
+    // innermost (smallest body) first.
+    std::vector<std::pair<size_t, int>> Exited;
+    for (const auto &[Header, Body] : LoopBody)
+      if (Body.count(FromBlock) && !Body.count(ToBlock))
+        Exited.push_back({Body.size(), Header});
+    std::sort(Exited.begin(), Exited.end());
+    for (const auto &[Size, Header] : Exited) {
+      auto It = Loops.find(Header);
+      if (It == Loops.end())
+        continue; // Loop never materialized (unreachable).
+      auto *Exit = G->create<LoopExitNode>(It->second.Begin);
+      From->setNext(Exit);
+      From = Exit;
+    }
+
+    if (isBackEdge(FromBlock, ToBlock)) {
+      LoopInfo &LI = Loops.at(ToBlock);
+      auto *End = G->create<LoopEndNode>(LI.Begin);
+      From->setNext(End);
+      LI.Begin->addBackEdge(End);
+      for (unsigned I = 0, E = LI.LocalPhis.size(); I != E; ++I)
+        if (LI.LocalPhis[I]) {
+          assert(State.Locals[I] && "live loop phi fed by a dead slot");
+          LI.LocalPhis[I]->appendValue(State.Locals[I]);
+        }
+      for (unsigned I = 0, E = LI.StackPhis.size(); I != E; ++I)
+        if (LI.StackPhis[I])
+          LI.StackPhis[I]->appendValue(State.Stack[I]);
+      assert(State.Locks == LI.Locks &&
+             "inconsistent monitor stacks around a loop");
+      return;
+    }
+    Incoming[ToBlock].push_back({From, std::move(State)});
+  }
+
+  //===------------------------------------------------------------------===//
+  // Instruction translation
+  //===------------------------------------------------------------------===//
+
+  Node *pop() {
+    assert(!Cur.Stack.empty() && "operand stack underflow");
+    Node *N = Cur.Stack.back();
+    Cur.Stack.pop_back();
+    assert(N && "dead value on the operand stack");
+    return N;
+  }
+
+  void push(Node *N) { Cur.Stack.push_back(N); }
+
+  void appendFixed(FixedWithNextNode *N) {
+    Tail->setNext(N);
+    Tail = N;
+  }
+
+  /// Attaches a Deoptimize sink behind a fresh Begin and returns the Begin.
+  BeginNode *makeDeoptBranch(DeoptReason Reason, const BuilderState &Pre,
+                             int Bci) {
+    auto *Begin = G->create<BeginNode>();
+    auto *FS = makeState(Pre, Bci, /*Reexecute=*/true);
+    auto *Deopt = G->create<DeoptimizeNode>(Reason, FS);
+    Begin->setNext(Deopt);
+    return Begin;
+  }
+
+  void processBlock(int B) {
+    auto In = Incoming.find(B);
+    if (In == Incoming.end() || In->second.empty())
+      return; // Unreachable (e.g. everything into it was pruned).
+    std::vector<PendingEdge> Edges = std::move(In->second);
+
+    if (LoopBody.count(B)) {
+      enterLoopHeader(B, std::move(Edges));
+    } else if (Edges.size() == 1) {
+      Tail = Edges[0].From;
+      Cur = std::move(Edges[0].State);
+    } else {
+      PendingEdge Merged = mergeForwardEdges(std::move(Edges));
+      Tail = Merged.From;
+      Cur = std::move(Merged.State);
+    }
+
+    for (int Bci = Blocks[B].Start, End = Blocks[B].End; Bci != End; ++Bci) {
+      const Instr &I = M.Code[Bci];
+      if (translate(B, Bci, I))
+        return; // Block ended with an explicit transfer.
+    }
+    // Fall-through into the next block.
+    emitEdge(B, blockOf(Blocks[B].End), Tail, std::move(Cur));
+  }
+
+  /// Translates one instruction; returns true if it ended the block.
+  bool translate(int B, int Bci, const Instr &I) {
+    switch (I.Op) {
+    case Opcode::Nop:
+      return false;
+    case Opcode::Const:
+      push(G->intConstant(I.A));
+      return false;
+    case Opcode::ConstNull:
+      push(G->nullConstant());
+      return false;
+    case Opcode::Load:
+      assert(Cur.Locals[I.A] && "load from a dead local");
+      push(Cur.Locals[I.A]);
+      return false;
+    case Opcode::Store:
+      Cur.Locals[I.A] = pop();
+      return false;
+    case Opcode::Pop:
+      pop();
+      return false;
+    case Opcode::Dup:
+      push(Cur.Stack.back());
+      return false;
+
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::Div:
+    case Opcode::Rem:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Shl:
+    case Opcode::Shr: {
+      Node *Y = pop();
+      Node *X = pop();
+      push(G->create<ArithNode>(arithKindFor(I.Op), X, Y));
+      return false;
+    }
+
+    case Opcode::Goto:
+      emitEdge(B, blockOf(I.A), Tail, std::move(Cur));
+      return true;
+
+    case Opcode::IfEq:
+    case Opcode::IfNe:
+    case Opcode::IfLt:
+    case Opcode::IfLe:
+    case Opcode::IfGt:
+    case Opcode::IfGe:
+    case Opcode::IfNull:
+    case Opcode::IfNonNull:
+    case Opcode::IfRefEq:
+    case Opcode::IfRefNe:
+      translateBranch(B, Bci, I);
+      return true;
+
+    case Opcode::New: {
+      const ClassInfo &C = P.classAt(I.A);
+      auto *New = G->create<NewInstanceNode>(I.A, C.Fields.size());
+      appendFixed(New);
+      push(New);
+      return false;
+    }
+    case Opcode::GetField: {
+      Node *Obj = pop();
+      const FieldInfo &F = P.classAt(I.A).Fields[I.B];
+      auto *Load = G->create<LoadFieldNode>(I.A, I.B, F.Ty, Obj);
+      appendFixed(Load);
+      push(Load);
+      return false;
+    }
+    case Opcode::PutField: {
+      Node *V = pop();
+      Node *Obj = pop();
+      FrameStateNode *FS = makeState(Cur, Bci, /*Reexecute=*/false);
+      appendFixed(G->create<StoreFieldNode>(I.A, I.B, Obj, V, FS));
+      return false;
+    }
+    case Opcode::InstanceOf:
+      push(G->create<InstanceOfNode>(I.A, /*Exact=*/false, pop()));
+      return false;
+
+    case Opcode::GetStatic: {
+      auto *Load = G->create<LoadStaticNode>(I.A, P.staticAt(I.A).Ty);
+      appendFixed(Load);
+      push(Load);
+      return false;
+    }
+    case Opcode::PutStatic: {
+      Node *V = pop();
+      FrameStateNode *FS = makeState(Cur, Bci, /*Reexecute=*/false);
+      appendFixed(G->create<StoreStaticNode>(I.A, V, FS));
+      return false;
+    }
+
+    case Opcode::NewArrayInt:
+    case Opcode::NewArrayRef: {
+      ValueType ElemTy =
+          I.Op == Opcode::NewArrayInt ? ValueType::Int : ValueType::Ref;
+      auto *New = G->create<NewArrayNode>(ElemTy, pop());
+      appendFixed(New);
+      push(New);
+      return false;
+    }
+    case Opcode::ArrLoadInt:
+    case Opcode::ArrLoadRef: {
+      Node *Idx = pop();
+      Node *Arr = pop();
+      ValueType ElemTy =
+          I.Op == Opcode::ArrLoadInt ? ValueType::Int : ValueType::Ref;
+      auto *Load = G->create<LoadIndexedNode>(ElemTy, Arr, Idx);
+      appendFixed(Load);
+      push(Load);
+      return false;
+    }
+    case Opcode::ArrStoreInt:
+    case Opcode::ArrStoreRef: {
+      Node *V = pop();
+      Node *Idx = pop();
+      Node *Arr = pop();
+      FrameStateNode *FS = makeState(Cur, Bci, /*Reexecute=*/false);
+      appendFixed(G->create<StoreIndexedNode>(Arr, Idx, V, FS));
+      return false;
+    }
+    case Opcode::ArrLen: {
+      auto *Len = G->create<ArrayLengthNode>(pop());
+      appendFixed(Len);
+      push(Len);
+      return false;
+    }
+
+    case Opcode::InvokeStatic:
+    case Opcode::InvokeVirtual:
+      translateInvoke(Bci, I);
+      return false;
+
+    case Opcode::MonEnter: {
+      Node *Obj = pop();
+      Cur.Locks.push_back(Obj);
+      FrameStateNode *FS = makeState(Cur, Bci, /*Reexecute=*/false);
+      appendFixed(G->create<MonitorEnterNode>(Obj, FS));
+      return false;
+    }
+    case Opcode::MonExit: {
+      Node *Obj = pop();
+      assert(!Cur.Locks.empty() && Cur.Locks.back() == Obj &&
+             "unstructured monitor exit");
+      Cur.Locks.pop_back();
+      FrameStateNode *FS = makeState(Cur, Bci, /*Reexecute=*/false);
+      appendFixed(G->create<MonitorExitNode>(Obj, FS));
+      return false;
+    }
+
+    case Opcode::RetVoid:
+      Tail->setNext(G->create<ReturnNode>(nullptr));
+      return true;
+    case Opcode::RetInt:
+    case Opcode::RetRef:
+      Tail->setNext(G->create<ReturnNode>(pop()));
+      return true;
+
+    case Opcode::Trap:
+      Tail->setNext(G->create<UnreachableNode>());
+      return true;
+    }
+    jvm_unreachable("unhandled opcode in the graph builder");
+  }
+
+  static ArithKind arithKindFor(Opcode Op) {
+    switch (Op) {
+    case Opcode::Add:
+      return ArithKind::Add;
+    case Opcode::Sub:
+      return ArithKind::Sub;
+    case Opcode::Mul:
+      return ArithKind::Mul;
+    case Opcode::Div:
+      return ArithKind::Div;
+    case Opcode::Rem:
+      return ArithKind::Rem;
+    case Opcode::And:
+      return ArithKind::And;
+    case Opcode::Or:
+      return ArithKind::Or;
+    case Opcode::Xor:
+      return ArithKind::Xor;
+    case Opcode::Shl:
+      return ArithKind::Shl;
+    case Opcode::Shr:
+      return ArithKind::Shr;
+    default:
+      jvm_unreachable("not an arithmetic opcode");
+    }
+  }
+
+  void translateBranch(int B, int Bci, const Instr &I) {
+    // Snapshot before popping: the deopt re-executes the branch.
+    BuilderState Pre = Cur;
+
+    Node *Cond = nullptr;
+    bool TakenOnTrue = true;
+    switch (I.Op) {
+    case Opcode::IfNull:
+    case Opcode::IfNonNull: {
+      Node *X = pop();
+      Cond = G->create<CompareNode>(CmpKind::IsNull, X, nullptr);
+      TakenOnTrue = I.Op == Opcode::IfNull;
+      break;
+    }
+    case Opcode::IfRefEq:
+    case Opcode::IfRefNe: {
+      Node *Y = pop();
+      Node *X = pop();
+      Cond = G->create<CompareNode>(CmpKind::RefEq, X, Y);
+      TakenOnTrue = I.Op == Opcode::IfRefEq;
+      break;
+    }
+    default: {
+      Node *Y = pop();
+      Node *X = pop();
+      CmpKind K = CmpKind::IntEq;
+      switch (I.Op) {
+      case Opcode::IfEq:
+      case Opcode::IfNe:
+        K = CmpKind::IntEq;
+        TakenOnTrue = I.Op == Opcode::IfEq;
+        break;
+      case Opcode::IfLt:
+      case Opcode::IfGe:
+        K = CmpKind::IntLt;
+        TakenOnTrue = I.Op == Opcode::IfLt;
+        break;
+      case Opcode::IfLe:
+      case Opcode::IfGt:
+        K = CmpKind::IntLe;
+        TakenOnTrue = I.Op == Opcode::IfLe;
+        break;
+      default:
+        jvm_unreachable("not a conditional branch");
+      }
+      Cond = G->create<CompareNode>(K, X, Y);
+      break;
+    }
+    }
+
+    bool PruneTaken = false, PruneFallthrough = false;
+    const BranchProfile *BP = Prof ? Prof->branchAt(Bci) : nullptr;
+    if (Opts.PruneColdBranches && BP && BP->total() >= Opts.PruneMinProfile) {
+      PruneTaken = BP->Taken == 0;
+      PruneFallthrough = BP->NotTaken == 0;
+    }
+
+    auto *If = G->create<IfNode>(Cond);
+    Tail->setNext(If);
+    double PTaken = BP ? BP->takenProbability() : 0.5;
+    If->setTrueProbability(TakenOnTrue ? PTaken : 1.0 - PTaken);
+
+    int TakenBlock = blockOf(I.A);
+    int FallBlock = blockOf(Bci + 1);
+
+    BeginNode *TakenBegin;
+    if (PruneTaken) {
+      TakenBegin = makeDeoptBranch(DeoptReason::BranchNeverTaken, Pre, Bci);
+    } else {
+      TakenBegin = G->create<BeginNode>();
+      emitEdge(B, TakenBlock, TakenBegin, Cur);
+    }
+    BeginNode *FallBegin;
+    if (PruneFallthrough) {
+      FallBegin = makeDeoptBranch(DeoptReason::BranchNeverTaken, Pre, Bci);
+    } else {
+      FallBegin = G->create<BeginNode>();
+      emitEdge(B, FallBlock, FallBegin, Cur);
+    }
+
+    If->setTrueSuccessor(TakenOnTrue ? TakenBegin : FallBegin);
+    If->setFalseSuccessor(TakenOnTrue ? FallBegin : TakenBegin);
+  }
+
+  void translateInvoke(int Bci, const Instr &I) {
+    BuilderState Pre = Cur;
+    const MethodInfo &Callee = P.methodAt(I.A);
+    std::vector<Node *> Args(Callee.ParamTypes.size());
+    for (unsigned A = Args.size(); A-- > 0;)
+      Args[A] = pop();
+
+    MethodId Target = I.A;
+    CallKind Kind = I.Op == Opcode::InvokeStatic ? CallKind::Static
+                                                 : CallKind::Virtual;
+    if (Kind == CallKind::Virtual && Opts.Devirtualize && Prof) {
+      const TypeProfile *TP = Prof->receiversAt(Bci);
+      ClassId Mono = TP ? TP->monomorphicClass() : NoClass;
+      if (Mono != NoClass && TP->total() >= Opts.DevirtMinProfile) {
+        // Exact type guard; the mismatch path deoptimizes and re-executes
+        // the invoke in the interpreter.
+        auto *Check = G->create<InstanceOfNode>(Mono, /*Exact=*/true, Args[0]);
+        auto *If = G->create<IfNode>(Check);
+        If->setTrueProbability(1.0);
+        Tail->setNext(If);
+        auto *Continue = G->create<BeginNode>();
+        If->setTrueSuccessor(Continue);
+        If->setFalseSuccessor(
+            makeDeoptBranch(DeoptReason::TypeGuardFailed, Pre, Bci));
+        Tail = Continue;
+        Target = P.resolveVirtual(I.A, Mono);
+        Kind = CallKind::Static;
+      }
+    }
+
+    FrameStateNode *FS = makeState(Cur, Bci, /*Reexecute=*/false);
+    auto *Invoke = G->create<InvokeNode>(Kind, Target, Callee.RetTy, Args, FS);
+    appendFixed(Invoke);
+    if (Callee.RetTy != ValueType::Void)
+      push(Invoke);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Members
+  //===------------------------------------------------------------------===//
+
+  const Program &P;
+  const MethodInfo &M;
+  const MethodProfile *Prof;
+  const CompilerOptions &Opts;
+  std::unique_ptr<Graph> G;
+
+  std::vector<Block> Blocks;
+  std::vector<int> BlockIndexOf; ///< bci -> block index (leaders only)
+  std::vector<int> Postorder;
+  std::vector<int> Rpo;
+  std::set<std::pair<int, int>> BackEdges;
+  std::map<int, std::set<int>> LoopBody;
+
+  std::map<int, std::vector<PendingEdge>> Incoming;
+  std::map<int, LoopInfo> Loops;
+
+  FixedWithNextNode *Tail = nullptr;
+  BuilderState Cur;
+};
+
+} // namespace
+
+std::unique_ptr<Graph> jvm::buildGraph(const Program &P, MethodId Method,
+                                       const MethodProfile *Profile,
+                                       const CompilerOptions &Options) {
+  return GraphBuilderImpl(P, Method, Profile, Options).run();
+}

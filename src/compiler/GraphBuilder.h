@@ -1,0 +1,36 @@
+//===- GraphBuilder.h - Bytecode to sea-of-nodes SSA ----------------*- C++ -*-===//
+///
+/// \file
+/// Translates verified method bytecode into the SSA IR by abstract
+/// interpretation over the operand stack and locals:
+///  - basic blocks and loops are discovered up front (natural loops of
+///    DFS back edges), merges become Merge/LoopBegin nodes with phis;
+///  - side-effecting nodes get "state after" FrameStates (paper §2);
+///  - with profiles, never-taken branches become Deoptimize sinks and
+///    monomorphic virtual calls are devirtualized behind a type guard —
+///    the speculation that makes partial escape analysis productive on
+///    "escapes only in the unlikely branch" code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_COMPILER_GRAPHBUILDER_H
+#define JVM_COMPILER_GRAPHBUILDER_H
+
+#include "compiler/CompilerOptions.h"
+#include "interp/Profile.h"
+#include "bytecode/Program.h"
+#include "ir/Graph.h"
+
+#include <memory>
+
+namespace jvm {
+
+/// Builds the initial IR graph for \p Method. \p Profile may be null
+/// (no speculation). The method must verify.
+std::unique_ptr<Graph> buildGraph(const Program &P, MethodId Method,
+                                  const MethodProfile *Profile,
+                                  const CompilerOptions &Options);
+
+} // namespace jvm
+
+#endif // JVM_COMPILER_GRAPHBUILDER_H

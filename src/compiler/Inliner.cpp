@@ -1,0 +1,162 @@
+//===- Inliner.cpp - Call-site inlining ----------------------------------------===//
+
+#include "compiler/Inliner.h"
+
+#include "compiler/GraphBuilder.h"
+#include "ir/Cloning.h"
+#include "ir/Graph.h"
+#include "support/Casting.h"
+#include "support/Debug.h"
+
+#include <deque>
+
+using namespace jvm;
+
+namespace {
+
+class InlinerImpl {
+public:
+  InlinerImpl(Graph &G, const Program &P, const ProfileData *Profiles,
+              const CompilerOptions &Opts)
+      : G(G), P(P), Profiles(Profiles), Opts(Opts) {}
+
+  unsigned run() {
+    for (unsigned Id = 0, E = G.nodeIdBound(); Id != E; ++Id)
+      if (Node *N = G.nodeAt(Id))
+        if (auto *Call = dyn_cast<InvokeNode>(N))
+          Queue.push_back({Call, 0});
+
+    unsigned NumInlined = 0;
+    while (!Queue.empty()) {
+      auto [Call, Depth] = Queue.front();
+      Queue.pop_front();
+      if (Call->isDeleted())
+        continue;
+      if (!shouldInline(Call, Depth))
+        continue;
+      inlineOne(Call, Depth);
+      ++NumInlined;
+    }
+    return NumInlined;
+  }
+
+private:
+  bool shouldInline(InvokeNode *Call, unsigned Depth) const {
+    if (Call->callKind() != CallKind::Static)
+      return false; // Still polymorphic; the executor dispatches.
+    if (Depth >= Opts.InlineMaxDepth)
+      return false;
+    const MethodInfo &Callee = P.methodAt(Call->callee());
+    if (Callee.Code.size() > Opts.InlineMaxCalleeCodeSize)
+      return false;
+    if (G.numLiveNodes() > Opts.InlineBudgetNodes)
+      return false;
+    return true;
+  }
+
+  void inlineOne(InvokeNode *Call, unsigned Depth) {
+    const MethodProfile *CalleeProf =
+        Profiles ? &Profiles->of(Call->callee()) : nullptr;
+    std::unique_ptr<Graph> CalleeG =
+        buildGraph(P, Call->callee(), CalleeProf, Opts);
+    JVM_DEBUG("inlining m" << Call->callee() << " into m" << G.method()
+                           << " at depth " << Depth);
+
+    std::vector<Node *> Args;
+    for (unsigned I = 0, E = Call->numArgs(); I != E; ++I)
+      Args.push_back(Call->argAt(I));
+    FrameStateNode *CallerState = Call->state();
+
+    std::map<const Node *, Node *> Map = cloneGraphInto(G, *CalleeG, Args);
+
+    // Chain callee frame states to the caller state at this call site.
+    for (const auto &[Old, New] : Map) {
+      if (Old->isDeleted())
+        continue;
+      if (auto *FS = dyn_cast<FrameStateNode>(New))
+        if (!FS->outer() && FS != CallerState)
+          FS->setOuter(CallerState);
+    }
+
+    // Splice control flow: caller pred -> callee entry.
+    auto *Entry = cast<BeginNode>(Map.at(CalleeG->start()));
+    auto *Pred = cast<FixedWithNextNode>(Call->predecessor());
+    FixedNode *After = Call->next();
+    assert(After && "invoke without successor");
+    Call->setNext(nullptr);
+    Pred->setNext(nullptr);
+    Pred->setNext(Entry);
+
+    // Collect the callee's returns (clones).
+    std::vector<ReturnNode *> Returns;
+    for (const auto &[Old, New] : Map)
+      if (auto *Ret = dyn_cast<ReturnNode>(New))
+        Returns.push_back(Ret);
+
+    Node *Result = nullptr;
+    if (Returns.empty()) {
+      // The callee never returns (it always deoptimizes or traps); the
+      // code after the call is unreachable and swept below.
+    } else if (Returns.size() == 1) {
+      ReturnNode *Ret = Returns.front();
+      Result = Ret->hasValue() ? Ret->value() : nullptr;
+      auto *RetPred = cast<FixedWithNextNode>(Ret->predecessor());
+      RetPred->setNext(nullptr);
+      while (Ret->numInputs() > 0)
+        Ret->removeInput(0);
+      G.deleteNode(Ret);
+      RetPred->setNext(After);
+    } else {
+      auto *Merge = G.create<MergeNode>();
+      PhiNode *Phi = Call->type() != ValueType::Void
+                         ? G.create<PhiNode>(Merge, Call->type())
+                         : nullptr;
+      for (ReturnNode *Ret : Returns) {
+        if (Phi)
+          Phi->appendValue(Ret->value());
+        auto *End = G.create<EndNode>();
+        auto *RetPred = cast<FixedWithNextNode>(Ret->predecessor());
+        RetPred->setNext(nullptr);
+        while (Ret->numInputs() > 0)
+          Ret->removeInput(0);
+        G.deleteNode(Ret);
+        RetPred->setNext(End);
+        Merge->addEnd(End);
+      }
+      Merge->setNext(After);
+      Result = Phi;
+    }
+
+    // Replace the invoke's value and delete it.
+    if (Result) {
+      Call->replaceAtAllUsages(Result);
+    } else {
+      while (Call->hasUsages())
+        Call->usages().back()->replaceAllInputs(Call, nullptr);
+    }
+    G.deleteNode(Call);
+
+    if (Returns.empty())
+      G.sweepUnreachable();
+
+    // Newly imported direct calls are themselves candidates.
+    for (const auto &[Old, New] : Map)
+      if (!New->isDeleted())
+        if (auto *Inner = dyn_cast<InvokeNode>(New))
+          Queue.push_back({Inner, Depth + 1});
+  }
+
+  Graph &G;
+  const Program &P;
+  const ProfileData *Profiles;
+  const CompilerOptions &Opts;
+  std::deque<std::pair<InvokeNode *, unsigned>> Queue;
+};
+
+} // namespace
+
+unsigned jvm::inlineCalls(Graph &G, const Program &P,
+                          const ProfileData *Profiles,
+                          const CompilerOptions &Opts) {
+  return InlinerImpl(G, P, Profiles, Opts).run();
+}

@@ -1,0 +1,30 @@
+//===- Inliner.h - Call-site inlining -------------------------------*- C++ -*-===//
+///
+/// \file
+/// Splices callee graphs into their callers. Direct (static or
+/// devirtualized) calls are inlined breadth-first under size/depth/budget
+/// limits; callee frame states are chained to the caller state at the
+/// call site (paper Section 2 / Figure 8), so deoptimization inside
+/// inlined code reconstructs the full stack of interpreter frames.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_COMPILER_INLINER_H
+#define JVM_COMPILER_INLINER_H
+
+#include "compiler/CompilerOptions.h"
+#include "interp/Profile.h"
+#include "bytecode/Program.h"
+
+namespace jvm {
+
+class Graph;
+
+/// Inlines direct calls in \p G; returns the number of call sites inlined.
+/// \p Profiles may be null (callees are then built without speculation).
+unsigned inlineCalls(Graph &G, const Program &P, const ProfileData *Profiles,
+                     const CompilerOptions &Opts);
+
+} // namespace jvm
+
+#endif // JVM_COMPILER_INLINER_H

@@ -1,0 +1,351 @@
+//===- Interpreter.cpp - Profiling bytecode interpreter -----------------------===//
+
+#include "interp/Interpreter.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace jvm;
+
+Interpreter::Interpreter(Runtime &RT, ProfileData &Profiles)
+    : RT(RT), P(RT.program()), Profiles(Profiles) {
+  RT.heap().addRootProvider([this](const std::function<void(Value)> &Visit) {
+    for (Frame *F : ActiveFrames) {
+      for (const Value &V : F->Locals)
+        Visit(V);
+      for (const Value &V : F->Stack)
+        Visit(V);
+    }
+  });
+}
+
+Value Interpreter::dispatchCall(MethodId Target, std::vector<Value> &&Args) {
+  if (Callback)
+    return Callback(Target, std::move(Args));
+  return call(Target, std::move(Args));
+}
+
+Value Interpreter::call(MethodId Method, std::vector<Value> Args) {
+  const MethodInfo &M = P.methodAt(Method);
+  assert(Args.size() == M.ParamTypes.size() && "argument count mismatch");
+  ++Profiles.of(Method).InvocationCount;
+  ++RT.metrics().InterpretedCalls;
+
+  Frame F;
+  F.M = &M;
+  F.Locals.resize(M.NumLocals);
+  for (unsigned I = 0, E = Args.size(); I != E; ++I)
+    F.Locals[I] = Args[I];
+  return execute(F, /*EntryBci=*/0);
+}
+
+Value Interpreter::resume(std::vector<ResumeFrame> Frames) {
+  assert(!Frames.empty() && "resume without frames");
+  Value Result = Value::makeVoid();
+  for (unsigned I = 0, E = Frames.size(); I != E; ++I) {
+    ResumeFrame &RF = Frames[I];
+    const MethodInfo &M = P.methodAt(RF.Method);
+    Frame F;
+    F.M = &M;
+    F.Locals = std::move(RF.Locals);
+    F.Locals.resize(M.NumLocals);
+    F.Stack = std::move(RF.Stack);
+    int Entry = RF.Bci;
+    if (!RF.Reexecute) {
+      // The frame was suspended at an invoke; feed the callee result in
+      // and continue with the next instruction.
+      const Instr &Call = M.Code[RF.Bci];
+      assert((Call.Op == Opcode::InvokeStatic ||
+              Call.Op == Opcode::InvokeVirtual) &&
+             "continue-after frame not at an invoke");
+      if (P.methodAt(Call.A).RetTy != ValueType::Void)
+        F.Stack.push_back(Result);
+      Entry = RF.Bci + 1;
+    }
+    Result = execute(F, Entry);
+  }
+  return Result;
+}
+
+Value Interpreter::execute(Frame &F, int EntryBci) {
+  ActiveFrames.push_back(&F);
+  const MethodInfo &M = *F.M;
+  MethodProfile &Prof = Profiles.of(M.Id);
+  RuntimeMetrics &Metrics = RT.metrics();
+  std::vector<Value> &Stack = F.Stack;
+  std::vector<Value> &Locals = F.Locals;
+
+  auto PopInt = [&Stack]() {
+    assert(!Stack.empty() && "stack underflow");
+    Value V = Stack.back();
+    Stack.pop_back();
+    return V.asInt();
+  };
+  auto PopRef = [&Stack]() {
+    assert(!Stack.empty() && "stack underflow");
+    Value V = Stack.back();
+    Stack.pop_back();
+    return V.asRef();
+  };
+  auto PopValue = [&Stack]() {
+    assert(!Stack.empty() && "stack underflow");
+    Value V = Stack.back();
+    Stack.pop_back();
+    return V;
+  };
+  auto Ret = [this](Value V) {
+    ActiveFrames.pop_back();
+    return V;
+  };
+
+  int Pc = EntryBci;
+  for (;;) {
+    assert(Pc >= 0 && Pc < static_cast<int>(M.Code.size()) &&
+           "pc out of range");
+    const Instr &I = M.Code[Pc];
+    ++Metrics.InterpretedOps;
+    switch (I.Op) {
+    case Opcode::Nop:
+      break;
+    case Opcode::Const:
+      Stack.push_back(Value::makeInt(I.A));
+      break;
+    case Opcode::ConstNull:
+      Stack.push_back(Value::makeRef(nullptr));
+      break;
+    case Opcode::Load:
+      Stack.push_back(Locals[I.A]);
+      break;
+    case Opcode::Store:
+      Locals[I.A] = PopValue();
+      break;
+    case Opcode::Pop:
+      PopValue();
+      break;
+    case Opcode::Dup:
+      Stack.push_back(Stack.back());
+      break;
+
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::Div:
+    case Opcode::Rem:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Shl:
+    case Opcode::Shr: {
+      int64_t Y = PopInt();
+      int64_t X = PopInt();
+      int64_t R = 0;
+      switch (I.Op) {
+      case Opcode::Add:
+        R = static_cast<int64_t>(static_cast<uint64_t>(X) +
+                                 static_cast<uint64_t>(Y));
+        break;
+      case Opcode::Sub:
+        R = static_cast<int64_t>(static_cast<uint64_t>(X) -
+                                 static_cast<uint64_t>(Y));
+        break;
+      case Opcode::Mul:
+        R = static_cast<int64_t>(static_cast<uint64_t>(X) *
+                                 static_cast<uint64_t>(Y));
+        break;
+      case Opcode::Div:
+        R = Y == 0 ? 0 : X / Y;
+        break;
+      case Opcode::Rem:
+        R = Y == 0 ? 0 : X % Y;
+        break;
+      case Opcode::And:
+        R = X & Y;
+        break;
+      case Opcode::Or:
+        R = X | Y;
+        break;
+      case Opcode::Xor:
+        R = X ^ Y;
+        break;
+      case Opcode::Shl:
+        R = static_cast<int64_t>(static_cast<uint64_t>(X) << (Y & 63));
+        break;
+      case Opcode::Shr:
+        R = X >> (Y & 63);
+        break;
+      default:
+        jvm_unreachable("not an arithmetic opcode");
+      }
+      Stack.push_back(Value::makeInt(R));
+      break;
+    }
+
+    case Opcode::Goto:
+      if (I.A <= Pc)
+        ++Prof.BackedgeCount;
+      Pc = I.A;
+      continue;
+
+    case Opcode::IfEq:
+    case Opcode::IfNe:
+    case Opcode::IfLt:
+    case Opcode::IfLe:
+    case Opcode::IfGt:
+    case Opcode::IfGe: {
+      int64_t Y = PopInt();
+      int64_t X = PopInt();
+      bool Taken = false;
+      switch (I.Op) {
+      case Opcode::IfEq:
+        Taken = X == Y;
+        break;
+      case Opcode::IfNe:
+        Taken = X != Y;
+        break;
+      case Opcode::IfLt:
+        Taken = X < Y;
+        break;
+      case Opcode::IfLe:
+        Taken = X <= Y;
+        break;
+      case Opcode::IfGt:
+        Taken = X > Y;
+        break;
+      case Opcode::IfGe:
+        Taken = X >= Y;
+        break;
+      default:
+        jvm_unreachable("not a comparison branch");
+      }
+      BranchProfile &BP = Prof.Branches[Pc];
+      (Taken ? BP.Taken : BP.NotTaken)++;
+      if (Taken && I.A <= Pc)
+        ++Prof.BackedgeCount;
+      Pc = Taken ? I.A : Pc + 1;
+      continue;
+    }
+
+    case Opcode::IfNull:
+    case Opcode::IfNonNull: {
+      HeapObject *O = PopRef();
+      bool Taken = (I.Op == Opcode::IfNull) == (O == nullptr);
+      BranchProfile &BP = Prof.Branches[Pc];
+      (Taken ? BP.Taken : BP.NotTaken)++;
+      Pc = Taken ? I.A : Pc + 1;
+      continue;
+    }
+
+    case Opcode::IfRefEq:
+    case Opcode::IfRefNe: {
+      HeapObject *B = PopRef();
+      HeapObject *A = PopRef();
+      bool Taken = (I.Op == Opcode::IfRefEq) == (A == B);
+      BranchProfile &BP = Prof.Branches[Pc];
+      (Taken ? BP.Taken : BP.NotTaken)++;
+      Pc = Taken ? I.A : Pc + 1;
+      continue;
+    }
+
+    case Opcode::New:
+      Stack.push_back(Value::makeRef(RT.allocateInstance(I.A)));
+      break;
+
+    case Opcode::GetField: {
+      HeapObject *O = PopRef();
+      assert(O && "null dereference in getfield");
+      Stack.push_back(O->slot(I.B));
+      break;
+    }
+    case Opcode::PutField: {
+      Value V = PopValue();
+      HeapObject *O = PopRef();
+      assert(O && "null dereference in putfield");
+      O->setSlot(I.B, V);
+      break;
+    }
+    case Opcode::InstanceOf: {
+      HeapObject *O = PopRef();
+      bool Is = O && !O->isArray() && P.isSubclassOf(O->objectClass(), I.A);
+      Stack.push_back(Value::makeInt(Is ? 1 : 0));
+      break;
+    }
+
+    case Opcode::GetStatic:
+      Stack.push_back(RT.getStatic(I.A));
+      break;
+    case Opcode::PutStatic:
+      RT.setStatic(I.A, PopValue());
+      break;
+
+    case Opcode::NewArrayInt:
+    case Opcode::NewArrayRef: {
+      int64_t Len = PopInt();
+      ValueType ElemTy =
+          I.Op == Opcode::NewArrayInt ? ValueType::Int : ValueType::Ref;
+      Stack.push_back(Value::makeRef(RT.heap().allocateArray(ElemTy, Len)));
+      break;
+    }
+    case Opcode::ArrLoadInt:
+    case Opcode::ArrLoadRef: {
+      int64_t Idx = PopInt();
+      HeapObject *A = PopRef();
+      assert(A && A->isArray() && "bad array load");
+      assert(Idx >= 0 && Idx < A->length() && "array index out of bounds");
+      Stack.push_back(A->slot(static_cast<unsigned>(Idx)));
+      break;
+    }
+    case Opcode::ArrStoreInt:
+    case Opcode::ArrStoreRef: {
+      Value V = PopValue();
+      int64_t Idx = PopInt();
+      HeapObject *A = PopRef();
+      assert(A && A->isArray() && "bad array store");
+      assert(Idx >= 0 && Idx < A->length() && "array index out of bounds");
+      A->setSlot(static_cast<unsigned>(Idx), V);
+      break;
+    }
+    case Opcode::ArrLen: {
+      HeapObject *A = PopRef();
+      assert(A && A->isArray() && "arrlen of a non-array");
+      Stack.push_back(Value::makeInt(A->length()));
+      break;
+    }
+
+    case Opcode::InvokeStatic:
+    case Opcode::InvokeVirtual: {
+      const MethodInfo &Callee = P.methodAt(I.A);
+      std::vector<Value> Args(Callee.ParamTypes.size());
+      for (unsigned A = Args.size(); A-- > 0;)
+        Args[A] = PopValue();
+      MethodId Target = I.A;
+      if (I.Op == Opcode::InvokeVirtual) {
+        HeapObject *Receiver = Args[0].asRef();
+        assert(Receiver && "null receiver");
+        ++Prof.Receivers[Pc].Counts[Receiver->objectClass()];
+        Target = P.resolveVirtual(I.A, Receiver->objectClass());
+      }
+      Value Result = dispatchCall(Target, std::move(Args));
+      if (Callee.RetTy != ValueType::Void)
+        Stack.push_back(Result);
+      break;
+    }
+
+    case Opcode::MonEnter:
+      RT.monitorEnter(PopRef());
+      break;
+    case Opcode::MonExit:
+      RT.monitorExit(PopRef());
+      break;
+
+    case Opcode::RetVoid:
+      return Ret(Value::makeVoid());
+    case Opcode::RetInt:
+      return Ret(Value::makeInt(PopInt()));
+    case Opcode::RetRef:
+      return Ret(Value::makeRef(PopRef()));
+
+    case Opcode::Trap:
+      jvm_unreachable("trap instruction executed");
+    }
+    ++Pc;
+  }
+}

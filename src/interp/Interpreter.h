@@ -1,0 +1,76 @@
+//===- Interpreter.h - Profiling bytecode interpreter ---------------*- C++ -*-===//
+///
+/// \file
+/// The bytecode interpreter: the VM's first tier and the continuation
+/// target of deoptimization. It records invocation counts, branch
+/// profiles and receiver-type profiles while executing.
+///
+/// Out-calls go through a pluggable CallHandler so the VM can interpose
+/// tiered dispatch (interpret vs run compiled code); by default the
+/// interpreter calls itself recursively.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_INTERP_INTERPRETER_H
+#define JVM_INTERP_INTERPRETER_H
+
+#include "interp/Profile.h"
+#include "runtime/Runtime.h"
+
+#include <functional>
+
+namespace jvm {
+
+/// One interpreter activation to resume after deoptimization.
+/// `Reexecute` selects the resume semantics: start at Bci, or (for outer
+/// frames of inlined calls) continue after the invoke at Bci, first
+/// pushing the callee result if any.
+struct ResumeFrame {
+  MethodId Method = NoMethod;
+  int Bci = 0;
+  bool Reexecute = true;
+  std::vector<Value> Locals;
+  std::vector<Value> Stack;
+};
+
+/// Dispatches a call to \p Target (already devirtualized) with \p Args.
+using CallHandler = std::function<Value(MethodId Target, std::vector<Value> &&Args)>;
+
+class Interpreter {
+public:
+  Interpreter(Runtime &RT, ProfileData &Profiles);
+
+  /// Invokes \p Method with \p Args, counting the invocation.
+  Value call(MethodId Method, std::vector<Value> Args);
+
+  /// Resumes execution after a deoptimization. \p Frames lists the
+  /// activations innermost-first; each outer frame receives the inner
+  /// result according to its resume semantics.
+  Value resume(std::vector<ResumeFrame> Frames);
+
+  /// Installs the tiered-dispatch hook. Default: recursive interpretation.
+  void setCallHandler(CallHandler Handler) { Callback = std::move(Handler); }
+
+  Runtime &runtime() { return RT; }
+
+private:
+  struct Frame {
+    const MethodInfo *M = nullptr;
+    std::vector<Value> Locals;
+    std::vector<Value> Stack;
+  };
+
+  Value execute(Frame &F, int EntryBci);
+  Value dispatchCall(MethodId Target, std::vector<Value> &&Args);
+
+  Runtime &RT;
+  const Program &P;
+  ProfileData &Profiles;
+  CallHandler Callback;
+  /// Active frames, registered as GC roots.
+  std::vector<Frame *> ActiveFrames;
+};
+
+} // namespace jvm
+
+#endif // JVM_INTERP_INTERPRETER_H

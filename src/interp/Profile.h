@@ -1,0 +1,91 @@
+//===- Profile.h - Interpreter profiling data ----------------------*- C++ -*-===//
+///
+/// \file
+/// Profiles collected while interpreting: invocation counts (JIT
+/// threshold), per-branch taken counts (speculative branch pruning) and
+/// per-call-site receiver class distributions (devirtualization). The
+/// compiler consumes these; deoptimizations feed corrections back in.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_INTERP_PROFILE_H
+#define JVM_INTERP_PROFILE_H
+
+#include "ir/Ids.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace jvm {
+
+struct BranchProfile {
+  uint64_t Taken = 0;
+  uint64_t NotTaken = 0;
+
+  uint64_t total() const { return Taken + NotTaken; }
+
+  /// Probability of the branch being taken; 0.5 with no data.
+  double takenProbability() const {
+    return total() == 0 ? 0.5 : static_cast<double>(Taken) / total();
+  }
+};
+
+/// Receiver class histogram of one virtual call site.
+struct TypeProfile {
+  std::map<ClassId, uint64_t> Counts;
+
+  uint64_t total() const {
+    uint64_t Sum = 0;
+    for (const auto &[Cls, N] : Counts)
+      Sum += N;
+    return Sum;
+  }
+
+  /// The only observed receiver class, or NoClass if none/multiple.
+  ClassId monomorphicClass() const {
+    return Counts.size() == 1 ? Counts.begin()->first : NoClass;
+  }
+};
+
+struct MethodProfile {
+  uint64_t InvocationCount = 0;
+  /// Taken backward branches; drives hotness so that loop-heavy methods
+  /// compile quickly while call-heavy methods first collect enough
+  /// receiver/branch samples (a stand-in for HotSpot's OSR counters).
+  uint64_t BackedgeCount = 0;
+
+  uint64_t hotness() const { return InvocationCount + BackedgeCount / 8; }
+  std::map<int, BranchProfile> Branches;
+  std::map<int, TypeProfile> Receivers;
+
+  const BranchProfile *branchAt(int Bci) const {
+    auto It = Branches.find(Bci);
+    return It == Branches.end() ? nullptr : &It->second;
+  }
+
+  const TypeProfile *receiversAt(int Bci) const {
+    auto It = Receivers.find(Bci);
+    return It == Receivers.end() ? nullptr : &It->second;
+  }
+};
+
+/// All per-method profiles of a program.
+class ProfileData {
+public:
+  explicit ProfileData(unsigned NumMethods) : Profiles(NumMethods) {}
+
+  MethodProfile &of(MethodId M) { return Profiles[M]; }
+  const MethodProfile &of(MethodId M) const { return Profiles[M]; }
+
+  /// Drops branch/receiver data of \p M (used when a speculation failed
+  /// and the method is about to re-profile).
+  void resetMethod(MethodId M) { Profiles[M] = MethodProfile(); }
+
+private:
+  std::vector<MethodProfile> Profiles;
+};
+
+} // namespace jvm
+
+#endif // JVM_INTERP_PROFILE_H

@@ -1,0 +1,254 @@
+//===- Cloning.cpp - Copying nodes between graphs ------------------------------===//
+
+#include "ir/Cloning.h"
+
+#include "ir/Graph.h"
+#include "support/Casting.h"
+#include "support/ErrorHandling.h"
+
+using namespace jvm;
+
+namespace {
+
+/// Creates a shell of the same kind/attributes as \p N in \p Dest. Data
+/// inputs temporarily reference the *source* nodes (or are null for
+/// layout-managed kinds); the caller rewires them afterwards.
+Node *cloneShell(Graph &Dest, const Node *N) {
+  switch (N->kind()) {
+  case NodeKind::Phi: {
+    const auto *Phi = cast<PhiNode>(N);
+    // Temporarily anchored to the source merge; rewired in pass 2.
+    return Dest.create<PhiNode>(Phi->merge(), Phi->type());
+  }
+  case NodeKind::Arith: {
+    const auto *A = cast<ArithNode>(N);
+    return Dest.create<ArithNode>(A->op(), A->x(), A->y());
+  }
+  case NodeKind::Compare: {
+    const auto *C = cast<CompareNode>(N);
+    return Dest.create<CompareNode>(
+        C->op(), C->x(), C->op() == CmpKind::IsNull ? nullptr : C->y());
+  }
+  case NodeKind::InstanceOf: {
+    const auto *IO = cast<InstanceOfNode>(N);
+    return Dest.create<InstanceOfNode>(IO->testedClass(), IO->isExact(),
+                                       IO->object());
+  }
+  case NodeKind::VirtualObject: {
+    const auto *VO = cast<VirtualObjectNode>(N);
+    return Dest.create<VirtualObjectNode>(VO->objectClass(), VO->isArray(),
+                                          VO->elementType(),
+                                          VO->numEntries());
+  }
+  case NodeKind::AllocatedObject: {
+    const auto *AO = cast<AllocatedObjectNode>(N);
+    return Dest.create<AllocatedObjectNode>(AO->commit(), AO->objectIndex());
+  }
+  case NodeKind::FrameState: {
+    const auto *FS = cast<FrameStateNode>(N);
+    // Base layout only; virtual mappings are re-added in pass 2.
+    return Dest.create<FrameStateNode>(FS->method(), FS->bci(),
+                                       FS->isReexecute(), FS->numLocals(),
+                                       FS->numStack(), FS->numLocks());
+  }
+  case NodeKind::Start:
+    // The entry marker of the spliced region.
+    return Dest.create<BeginNode>();
+  case NodeKind::Begin:
+    return Dest.create<BeginNode>();
+  case NodeKind::End:
+    return Dest.create<EndNode>();
+  case NodeKind::LoopEnd:
+    return Dest.create<LoopEndNode>(cast<LoopEndNode>(N)->loopBegin());
+  case NodeKind::Return:
+    return Dest.create<ReturnNode>(cast<ReturnNode>(N)->hasValue()
+                                       ? cast<ReturnNode>(N)->value()
+                                       : nullptr);
+  case NodeKind::Deoptimize: {
+    const auto *D = cast<DeoptimizeNode>(N);
+    return Dest.create<DeoptimizeNode>(D->reason(), D->state());
+  }
+  case NodeKind::Unreachable:
+    return Dest.create<UnreachableNode>();
+  case NodeKind::If: {
+    const auto *If = cast<IfNode>(N);
+    auto *Clone = Dest.create<IfNode>(If->condition());
+    Clone->setTrueProbability(If->trueProbability());
+    return Clone;
+  }
+  case NodeKind::LoopExit:
+    return Dest.create<LoopExitNode>(cast<LoopExitNode>(N)->loopBegin());
+  case NodeKind::Merge:
+    return Dest.create<MergeNode>();
+  case NodeKind::LoopBegin:
+    return Dest.create<LoopBeginNode>();
+  case NodeKind::NewInstance: {
+    const auto *NI = cast<NewInstanceNode>(N);
+    return Dest.create<NewInstanceNode>(NI->instanceClass(),
+                                        NI->numFields());
+  }
+  case NodeKind::NewArray: {
+    const auto *NA = cast<NewArrayNode>(N);
+    return Dest.create<NewArrayNode>(NA->elementType(), NA->length());
+  }
+  case NodeKind::LoadField: {
+    const auto *L = cast<LoadFieldNode>(N);
+    return Dest.create<LoadFieldNode>(L->fieldClass(), L->field(), L->type(),
+                                      L->object());
+  }
+  case NodeKind::StoreField: {
+    const auto *S = cast<StoreFieldNode>(N);
+    return Dest.create<StoreFieldNode>(S->fieldClass(), S->field(),
+                                       S->object(), S->value(), S->state());
+  }
+  case NodeKind::LoadIndexed: {
+    const auto *L = cast<LoadIndexedNode>(N);
+    return Dest.create<LoadIndexedNode>(L->type(), L->array(), L->index());
+  }
+  case NodeKind::StoreIndexed: {
+    const auto *S = cast<StoreIndexedNode>(N);
+    return Dest.create<StoreIndexedNode>(S->array(), S->index(), S->value(),
+                                         S->state());
+  }
+  case NodeKind::ArrayLength:
+    return Dest.create<ArrayLengthNode>(cast<ArrayLengthNode>(N)->array());
+  case NodeKind::LoadStatic: {
+    const auto *L = cast<LoadStaticNode>(N);
+    return Dest.create<LoadStaticNode>(L->index(), L->type());
+  }
+  case NodeKind::StoreStatic: {
+    const auto *S = cast<StoreStaticNode>(N);
+    return Dest.create<StoreStaticNode>(S->index(), S->value(), S->state());
+  }
+  case NodeKind::MonitorEnter: {
+    const auto *ME = cast<MonitorEnterNode>(N);
+    return Dest.create<MonitorEnterNode>(ME->object(), ME->state());
+  }
+  case NodeKind::MonitorExit: {
+    const auto *ME = cast<MonitorExitNode>(N);
+    return Dest.create<MonitorExitNode>(ME->object(), ME->state());
+  }
+  case NodeKind::Invoke: {
+    const auto *Call = cast<InvokeNode>(N);
+    std::vector<Node *> Args;
+    for (unsigned I = 0, E = Call->numArgs(); I != E; ++I)
+      Args.push_back(Call->argAt(I));
+    return Dest.create<InvokeNode>(Call->callKind(), Call->callee(),
+                                   Call->type(), Args, Call->state());
+  }
+  case NodeKind::Materialize:
+    // Objects and entries are re-added in pass 2.
+    return Dest.create<MaterializeNode>(cast<MaterializeNode>(N)->state());
+  case NodeKind::ConstantInt:
+  case NodeKind::ConstantNull:
+  case NodeKind::Parameter:
+    jvm_unreachable("constants and parameters are mapped, not cloned");
+  }
+  jvm_unreachable("unknown node kind in cloneShell");
+}
+
+} // namespace
+
+std::map<const Node *, Node *>
+jvm::cloneGraphInto(Graph &Dest, const Graph &Src,
+                    const std::vector<Node *> &ArgsForParams) {
+  std::map<const Node *, Node *> Map;
+
+  // Pass 0: mapped-only nodes.
+  for (unsigned Id = 0, E = Src.nodeIdBound(); Id != E; ++Id) {
+    const Node *N = Src.nodeAt(Id);
+    if (!N)
+      continue;
+    if (const auto *C = dyn_cast<ConstantIntNode>(N))
+      Map[N] = Dest.intConstant(C->value());
+    else if (isa<ConstantNullNode>(N))
+      Map[N] = Dest.nullConstant();
+    else if (const auto *Param = dyn_cast<ParameterNode>(N))
+      Map[N] = ArgsForParams[Param->index()];
+  }
+
+  // Pass 1: shells for everything else.
+  for (unsigned Id = 0, E = Src.nodeIdBound(); Id != E; ++Id) {
+    const Node *N = Src.nodeAt(Id);
+    if (!N || Map.count(N))
+      continue;
+    Map[N] = cloneShell(Dest, N);
+  }
+
+  auto MapOf = [&Map](const Node *N) -> Node * {
+    if (!N)
+      return nullptr;
+    auto It = Map.find(N);
+    assert(It != Map.end() && "unmapped node during cloning");
+    return It->second;
+  };
+
+  // Pass 2: rewire data inputs. Shells of most kinds were constructed
+  // with source-graph inputs in the right slots; phis, merges, frame
+  // states and commits manage their own variable-length layouts and are
+  // (re)filled here instead.
+  for (const auto &[Old, New] : Map) {
+    if (isa<ConstantIntNode, ConstantNullNode, ParameterNode>(Old))
+      continue;
+    if (const auto *Phi = dyn_cast<PhiNode>(Old)) {
+      auto *NewPhi = cast<PhiNode>(New);
+      NewPhi->setInput(0, MapOf(Phi->merge()));
+      for (unsigned I = 0, E = Phi->numValues(); I != E; ++I)
+        NewPhi->appendValue(MapOf(Phi->valueAt(I)));
+      continue;
+    }
+    if (isa<MergeNode>(Old)) {
+      for (unsigned I = 0, E = Old->numInputs(); I != E; ++I)
+        New->appendInput(MapOf(Old->input(I)));
+      continue;
+    }
+    if (const auto *FS = dyn_cast<FrameStateNode>(Old)) {
+      auto *NewFS = cast<FrameStateNode>(New);
+      unsigned Base = 1 + FS->numLocals() + FS->numStack() + FS->numLocks();
+      for (unsigned I = 0; I != Base; ++I)
+        NewFS->setInput(I, MapOf(FS->input(I)));
+      for (unsigned MI = 0, ME = FS->numVirtualMappings(); MI != ME; ++MI) {
+        const auto &VM = FS->virtualMapping(MI);
+        std::vector<Node *> Entries;
+        for (unsigned EI = 0; EI != VM.NumEntries; ++EI)
+          Entries.push_back(MapOf(FS->mappedEntry(MI, EI)));
+        NewFS->addVirtualMapping(
+            cast<VirtualObjectNode>(MapOf(FS->mappedObject(MI))), Entries,
+            VM.LockDepth);
+      }
+      continue;
+    }
+    if (const auto *Commit = dyn_cast<MaterializeNode>(Old)) {
+      auto *NewCommit = cast<MaterializeNode>(New);
+      NewCommit->setState(cast<FrameStateNode>(MapOf(Commit->state())));
+      for (unsigned OI = 0, OE = Commit->numObjects(); OI != OE; ++OI) {
+        auto *VO = cast<VirtualObjectNode>(MapOf(Commit->objectAt(OI)));
+        std::vector<Node *> Entries;
+        for (unsigned EI = 0; EI != VO->numEntries(); ++EI)
+          Entries.push_back(MapOf(Commit->entryOf(OI, EI)));
+        NewCommit->addObject(VO, Entries, Commit->lockDepthOf(OI));
+      }
+      continue;
+    }
+    for (unsigned I = 0, E = New->numInputs(); I != E; ++I)
+      New->setInput(I, MapOf(Old->input(I)));
+  }
+
+  // Pass 3: control successors.
+  for (const auto &[Old, New] : Map) {
+    if (const auto *If = dyn_cast<IfNode>(Old)) {
+      auto *NewIf = cast<IfNode>(New);
+      NewIf->setTrueSuccessor(
+          cast<FixedNode>(MapOf(If->trueSuccessor())));
+      NewIf->setFalseSuccessor(
+          cast<FixedNode>(MapOf(If->falseSuccessor())));
+      continue;
+    }
+    if (const auto *FN = dyn_cast<FixedWithNextNode>(Old)) {
+      if (FN->next())
+        cast<FixedWithNextNode>(New)->setNext(
+            cast<FixedNode>(MapOf(FN->next())));
+    }
+  }
+  return Map;
+}

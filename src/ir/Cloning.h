@@ -1,0 +1,32 @@
+//===- Cloning.h - Copying nodes between graphs ---------------------*- C++ -*-===//
+///
+/// \file
+/// Clones all live nodes of one graph into another, remapping data and
+/// control edges. Used by the inliner to splice callee graphs into their
+/// callers. Parameters are not cloned; they map to caller-provided
+/// argument nodes. Constants are deduplicated against the destination
+/// graph's constant cache. The source Start node maps to a fresh Begin.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_IR_CLONING_H
+#define JVM_IR_CLONING_H
+
+#include <map>
+#include <vector>
+
+namespace jvm {
+
+class Graph;
+class Node;
+
+/// Clones \p Src into \p Dest. \p ArgsForParams[i] substitutes parameter i.
+/// Returns the old-node -> new-node map (parameters and constants map to
+/// their substitutes).
+std::map<const Node *, Node *>
+cloneGraphInto(Graph &Dest, const Graph &Src,
+               const std::vector<Node *> &ArgsForParams);
+
+} // namespace jvm
+
+#endif // JVM_IR_CLONING_H

@@ -1,0 +1,253 @@
+//===- Graph.cpp - IR graph container and structural utilities ------------===//
+
+#include "ir/Graph.h"
+
+#include "support/Casting.h"
+#include "support/Debug.h"
+#include "support/ErrorHandling.h"
+
+#include <set>
+
+using namespace jvm;
+
+Graph::Graph(MethodId Method, std::vector<ValueType> ParamTypes)
+    : Method(Method), ParamTypes(std::move(ParamTypes)) {
+  Start = create<StartNode>();
+  for (unsigned I = 0, E = this->ParamTypes.size(); I != E; ++I)
+    Params.push_back(create<ParameterNode>(I, this->ParamTypes[I]));
+}
+
+void Graph::registerNode(std::unique_ptr<Node> Owned) {
+  Node *N = Owned.get();
+  N->Id = Nodes.size();
+  N->Parent = this;
+  Nodes.push_back(std::move(Owned));
+  ++LiveNodes;
+}
+
+ConstantIntNode *Graph::intConstant(int64_t Value) {
+  ConstantIntNode *&Slot = IntConstants[Value];
+  if (!Slot)
+    Slot = create<ConstantIntNode>(Value);
+  return Slot;
+}
+
+ConstantNullNode *Graph::nullConstant() {
+  if (!NullConstant)
+    NullConstant = create<ConstantNullNode>();
+  return NullConstant;
+}
+
+void Graph::deleteNode(Node *N) {
+  assert(!N->isDeleted() && "node deleted twice");
+  assert(!N->hasUsages() && "deleting a node that still has usages");
+  if (auto *F = dyn_cast<FixedNode>(N))
+    assert(!F->predecessor() && "deleting a fixed node still in control flow");
+  if (auto *FN = dyn_cast<FixedWithNextNode>(N))
+    assert(!FN->next() && "deleting a fixed node with a successor");
+  if (auto *If = dyn_cast<IfNode>(N)) {
+    assert(!If->trueSuccessor() && !If->falseSuccessor() &&
+           "deleting an If with successors");
+    (void)If;
+  }
+  // Unique-constant cache entries must not dangle.
+  if (auto *CI = dyn_cast<ConstantIntNode>(N)) {
+    auto It = IntConstants.find(CI->value());
+    if (It != IntConstants.end() && It->second == CI)
+      IntConstants.erase(It);
+  }
+  if (N == NullConstant)
+    NullConstant = nullptr;
+  N->clearInputs();
+  N->Deleted = true;
+  assert(LiveNodes > 0 && "live node count out of sync");
+  --LiveNodes;
+}
+
+void Graph::unlinkFixed(FixedWithNextNode *N) {
+  FixedNode *Succ = N->next();
+  FixedNode *Pred = N->predecessor();
+  assert(Pred && "unlinking a node without predecessor");
+  N->setNext(nullptr);
+  if (auto *PN = dyn_cast<FixedWithNextNode>(Pred)) {
+    PN->setNext(Succ);
+  } else if (auto *If = dyn_cast<IfNode>(Pred)) {
+    // Only Begin nodes follow an If by construction, but be permissive:
+    // re-route whichever successor pointed here.
+    if (If->trueSuccessor() == N)
+      If->setTrueSuccessor(Succ);
+    else
+      If->setFalseSuccessor(Succ);
+  } else {
+    jvm_unreachable("unexpected predecessor kind while unlinking");
+  }
+}
+
+void Graph::removeFixed(FixedWithNextNode *N) {
+  unlinkFixed(N);
+  deleteNode(N);
+}
+
+void Graph::insertBefore(FixedWithNextNode *NewNode, FixedNode *Point) {
+  auto *Pred = cast<FixedWithNextNode>(Point->predecessor());
+  Pred->setNext(nullptr);
+  NewNode->setNext(Point);
+  Pred->setNext(NewNode);
+}
+
+void Graph::collapseSingleEndMerge(MergeNode *Merge) {
+  assert(Merge->numEnds() == 1 && "merge is not degenerate");
+  assert(!isa<LoopBeginNode>(Merge) && "use the loop collapse path");
+  auto *End = cast<EndNode>(Merge->endAt(0));
+  for (PhiNode *Phi : Merge->phis()) {
+    Node *Value = Phi->valueAt(0);
+    assert(Value != Phi && "degenerate phi references itself");
+    Phi->replaceAtAllUsages(Value);
+    deleteNode(Phi);
+  }
+  FixedNode *Succ = Merge->next();
+  auto *Pred = cast<FixedWithNextNode>(End->predecessor());
+  Merge->setNext(nullptr);
+  Merge->removeInput(0); // Drop the end.
+  Pred->setNext(nullptr);
+  deleteNode(End);
+  Pred->setNext(Succ);
+  deleteNode(Merge);
+}
+
+/// Collects the fixed nodes reachable from \p Start by successor edges.
+static std::set<FixedNode *> reachableFixed(StartNode *Start) {
+  std::set<FixedNode *> Seen;
+  std::vector<FixedNode *> Worklist{Start};
+  while (!Worklist.empty()) {
+    FixedNode *N = Worklist.back();
+    Worklist.pop_back();
+    if (!Seen.insert(N).second)
+      continue;
+    if (auto *If = dyn_cast<IfNode>(N)) {
+      if (If->trueSuccessor())
+        Worklist.push_back(If->trueSuccessor());
+      if (If->falseSuccessor())
+        Worklist.push_back(If->falseSuccessor());
+      continue;
+    }
+    if (auto *End = dyn_cast<EndNode>(N)) {
+      if (MergeNode *M = End->merge())
+        Worklist.push_back(M);
+      continue;
+    }
+    // LoopEnd: its LoopBegin is necessarily already reachable (the loop
+    // body is dominated by it). Sinks have no successors.
+    if (auto *FN = dyn_cast<FixedWithNextNode>(N))
+      if (FN->next())
+        Worklist.push_back(FN->next());
+  }
+  return Seen;
+}
+
+bool Graph::sweepUnreachable() {
+  std::set<FixedNode *> Reachable = reachableFixed(Start);
+
+  // Pass 1: repair reachable merges that lost predecessor ends.
+  bool Changed = false;
+  std::vector<MergeNode *> Merges;
+  for (FixedNode *N : Reachable)
+    if (auto *M = dyn_cast<MergeNode>(N))
+      Merges.push_back(M);
+
+  for (MergeNode *M : Merges) {
+    for (int I = static_cast<int>(M->numEnds()) - 1; I >= 0; --I) {
+      FixedNode *End = M->endAt(I);
+      if (Reachable.count(End))
+        continue;
+      Changed = true;
+      for (PhiNode *Phi : M->phis())
+        Phi->removeInput(1 + I);
+      M->removeInput(I);
+    }
+  }
+
+  // Pass 2: collapse degenerate merges and loops.
+  for (MergeNode *M : Merges) {
+    if (auto *Loop = dyn_cast<LoopBeginNode>(M)) {
+      if (Loop->numBackEdges() != 0)
+        continue;
+      if (Loop->numEnds() == 0)
+        continue; // Entirely unreachable; pass 3 deletes it.
+      Changed = true;
+      // All back edges vanished: the loop runs at most once. Phis take
+      // their forward value; loop exits become pass-throughs.
+      for (PhiNode *Phi : Loop->phis()) {
+        Phi->replaceAtAllUsages(Phi->valueAt(0));
+        deleteNode(Phi);
+      }
+      std::vector<LoopExitNode *> Exits;
+      for (Node *U : Loop->usages())
+        if (auto *Exit = dyn_cast<LoopExitNode>(U))
+          Exits.push_back(Exit);
+      for (LoopExitNode *Exit : Exits) {
+        if (Reachable.count(Exit)) {
+          unlinkFixed(Exit);
+          Exit->replaceAllInputs(Loop, nullptr);
+          deleteNode(Exit);
+        } else {
+          Exit->replaceAllInputs(Loop, nullptr);
+        }
+      }
+      auto *End = cast<EndNode>(Loop->endAt(0));
+      FixedNode *Succ = Loop->next();
+      auto *Pred = cast<FixedWithNextNode>(End->predecessor());
+      Loop->setNext(nullptr);
+      Loop->removeInput(0);
+      Pred->setNext(nullptr);
+      deleteNode(End);
+      Pred->setNext(Succ);
+      // Remaining usages can only come from unreachable nodes (dead
+      // LoopExits or LoopEnds); detach them so the loop header can go.
+      while (Loop->hasUsages())
+        Loop->usages().back()->replaceAllInputs(Loop, nullptr);
+      deleteNode(Loop);
+      continue;
+    }
+    if (M->numEnds() == 1 && Reachable.count(M)) {
+      Changed = true;
+      collapseSingleEndMerge(M);
+    }
+  }
+
+  // Pass 3: physically delete unreachable fixed nodes.
+  std::vector<FixedNode *> Dead;
+  for (unsigned Id = 0, E = Nodes.size(); Id != E; ++Id) {
+    Node *N = nodeAt(Id);
+    if (!N || !N->isFixed())
+      continue;
+    auto *F = cast<FixedNode>(N);
+    if (!Reachable.count(F))
+      Dead.push_back(F);
+  }
+  if (Dead.empty())
+    return Changed;
+
+  for (FixedNode *F : Dead) {
+    // Detach successor edges.
+    if (auto *If = dyn_cast<IfNode>(F)) {
+      If->setTrueSuccessor(nullptr);
+      If->setFalseSuccessor(nullptr);
+    } else if (auto *FN = dyn_cast<FixedWithNextNode>(F)) {
+      FN->setNext(nullptr);
+    }
+    F->setPred(nullptr);
+    F->clearInputs();
+  }
+  for (FixedNode *F : Dead) {
+    // Inputs of dead nodes were already cleared above, so any remaining
+    // usages come from floating metadata (frame states, phis of other
+    // dead regions); null them out.
+    while (F->hasUsages()) {
+      Node *User = F->usages().back();
+      User->replaceAllInputs(F, nullptr);
+    }
+    deleteNode(F);
+  }
+  return true;
+}

@@ -1,0 +1,107 @@
+//===- Graph.h - IR graph container and structural utilities ------*- C++ -*-===//
+///
+/// \file
+/// The Graph owns all nodes of one compiled method. Besides node creation
+/// it provides the structural editing utilities the optimizer phases rely
+/// on: splicing fixed nodes in and out of control flow and sweeping
+/// control-flow regions that became unreachable after branch folding.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_IR_GRAPH_H
+#define JVM_IR_GRAPH_H
+
+#include "ir/Nodes.h"
+
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace jvm {
+
+/// Owns the nodes of one method's IR. Node ids are dense and stable;
+/// deleted nodes keep their slot as tombstones.
+class Graph {
+public:
+  /// Creates a graph for \p Method with the given parameter types.
+  Graph(MethodId Method, std::vector<ValueType> ParamTypes);
+
+  MethodId method() const { return Method; }
+  unsigned numParams() const { return ParamTypes.size(); }
+  ValueType paramType(unsigned I) const { return ParamTypes[I]; }
+
+  StartNode *start() const { return Start; }
+  ParameterNode *param(unsigned I) const { return Params[I]; }
+
+  /// Creates and registers a node. Example:
+  ///   auto *Add = G.create<ArithNode>(ArithKind::Add, X, Y);
+  template <typename T, typename... Args> T *create(Args &&...CtorArgs) {
+    auto Owned = std::make_unique<T>(std::forward<Args>(CtorArgs)...);
+    T *N = Owned.get();
+    registerNode(std::move(Owned));
+    return N;
+  }
+
+  /// Returns the unique ConstantIntNode for \p Value.
+  ConstantIntNode *intConstant(int64_t Value);
+
+  /// Returns the unique null constant.
+  ConstantNullNode *nullConstant();
+
+  /// One past the largest node id ever allocated.
+  unsigned nodeIdBound() const { return Nodes.size(); }
+
+  /// The node with id \p Id, or null for tombstones.
+  Node *nodeAt(unsigned Id) const {
+    Node *N = Nodes[Id].get();
+    return (N && N->isDeleted()) ? nullptr : N;
+  }
+
+  /// Number of live (non-deleted) nodes.
+  unsigned numLiveNodes() const { return LiveNodes; }
+
+  /// Marks \p N dead. The node must be fully detached: no usages, and for
+  /// fixed nodes no predecessor/successor links.
+  void deleteNode(Node *N);
+
+  /// Unlinks the fixed node \p N from control flow, connecting its
+  /// predecessor directly to its successor. Data edges are untouched.
+  void unlinkFixed(FixedWithNextNode *N);
+
+  /// Unlinks \p N from control flow and deletes it. \p N must have no
+  /// usages left.
+  void removeFixed(FixedWithNextNode *N);
+
+  /// Inserts \p NewNode into control flow immediately before \p Point.
+  /// \p Point's predecessor must be a FixedWithNextNode.
+  void insertBefore(FixedWithNextNode *NewNode, FixedNode *Point);
+
+  /// Deletes every fixed node not reachable from Start, repairing merges
+  /// that lost predecessor ends and collapsing degenerate merges/loops.
+  /// Returns true if anything changed. Floating nodes orphaned by the
+  /// sweep are left to dead-code elimination.
+  bool sweepUnreachable();
+
+  /// Collapses a merge with exactly one remaining end: phis are replaced
+  /// by their single operand and the control flow is spliced through.
+  void collapseSingleEndMerge(MergeNode *Merge);
+
+  Graph(const Graph &) = delete;
+  Graph &operator=(const Graph &) = delete;
+
+private:
+  void registerNode(std::unique_ptr<Node> Owned);
+
+  MethodId Method;
+  std::vector<ValueType> ParamTypes;
+  StartNode *Start = nullptr;
+  std::vector<ParameterNode *> Params;
+  std::vector<std::unique_ptr<Node>> Nodes;
+  unsigned LiveNodes = 0;
+  std::map<int64_t, ConstantIntNode *> IntConstants;
+  ConstantNullNode *NullConstant = nullptr;
+};
+
+} // namespace jvm
+
+#endif // JVM_IR_GRAPH_H

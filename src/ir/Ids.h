@@ -1,0 +1,45 @@
+//===- Ids.h - Shared identifier types for the IR ----------------*- C++ -*-===//
+///
+/// \file
+/// Plain identifier types used by the IR to reference entities owned by the
+/// bytecode program model (classes, methods, fields, statics). The IR layer
+/// treats them as opaque; only the graph builder, the optimizer phases and
+/// the VM resolve them against a Program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_IR_IDS_H
+#define JVM_IR_IDS_H
+
+#include <cstdint>
+
+namespace jvm {
+
+using ClassId = int32_t;
+using MethodId = int32_t;
+using FieldIndex = int32_t;
+using StaticIndex = int32_t;
+
+constexpr ClassId NoClass = -1;
+constexpr MethodId NoMethod = -1;
+
+/// The two runtime value kinds of our mini-Java: 64-bit integers and
+/// object references. Void is used for methods without a result.
+enum class ValueType : uint8_t { Void, Int, Ref };
+
+/// Returns a printable name for \p Ty.
+inline const char *valueTypeName(ValueType Ty) {
+  switch (Ty) {
+  case ValueType::Void:
+    return "void";
+  case ValueType::Int:
+    return "int";
+  case ValueType::Ref:
+    return "ref";
+  }
+  return "?";
+}
+
+} // namespace jvm
+
+#endif // JVM_IR_IDS_H

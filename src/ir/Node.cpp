@@ -1,0 +1,140 @@
+//===- Node.cpp - Node edge management ------------------------------------===//
+
+#include "ir/Node.h"
+
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+
+using namespace jvm;
+
+Node::~Node() = default;
+
+const char *jvm::nodeKindName(NodeKind K) {
+  switch (K) {
+  case NodeKind::ConstantInt:
+    return "ConstantInt";
+  case NodeKind::ConstantNull:
+    return "ConstantNull";
+  case NodeKind::Parameter:
+    return "Parameter";
+  case NodeKind::Phi:
+    return "Phi";
+  case NodeKind::Arith:
+    return "Arith";
+  case NodeKind::Compare:
+    return "Compare";
+  case NodeKind::InstanceOf:
+    return "InstanceOf";
+  case NodeKind::AllocatedObject:
+    return "AllocatedObject";
+  case NodeKind::VirtualObject:
+    return "VirtualObject";
+  case NodeKind::FrameState:
+    return "FrameState";
+  case NodeKind::End:
+    return "End";
+  case NodeKind::LoopEnd:
+    return "LoopEnd";
+  case NodeKind::Return:
+    return "Return";
+  case NodeKind::Deoptimize:
+    return "Deoptimize";
+  case NodeKind::Unreachable:
+    return "Unreachable";
+  case NodeKind::If:
+    return "If";
+  case NodeKind::Start:
+    return "Start";
+  case NodeKind::Begin:
+    return "Begin";
+  case NodeKind::LoopExit:
+    return "LoopExit";
+  case NodeKind::Merge:
+    return "Merge";
+  case NodeKind::LoopBegin:
+    return "LoopBegin";
+  case NodeKind::NewInstance:
+    return "NewInstance";
+  case NodeKind::NewArray:
+    return "NewArray";
+  case NodeKind::LoadField:
+    return "LoadField";
+  case NodeKind::StoreField:
+    return "StoreField";
+  case NodeKind::LoadIndexed:
+    return "LoadIndexed";
+  case NodeKind::StoreIndexed:
+    return "StoreIndexed";
+  case NodeKind::ArrayLength:
+    return "ArrayLength";
+  case NodeKind::LoadStatic:
+    return "LoadStatic";
+  case NodeKind::StoreStatic:
+    return "StoreStatic";
+  case NodeKind::MonitorEnter:
+    return "MonitorEnter";
+  case NodeKind::MonitorExit:
+    return "MonitorExit";
+  case NodeKind::Invoke:
+    return "Invoke";
+  case NodeKind::Materialize:
+    return "Materialize";
+  }
+  jvm_unreachable("unknown node kind");
+}
+
+void Node::setInput(unsigned I, Node *NewInput) {
+  assert(I < Inputs.size() && "input index out of range");
+  Node *Old = Inputs[I];
+  if (Old == NewInput)
+    return;
+  if (Old)
+    Old->removeUsage(this);
+  Inputs[I] = NewInput;
+  if (NewInput)
+    NewInput->addUsage(this);
+}
+
+void Node::appendInput(Node *NewInput) {
+  Inputs.push_back(NewInput);
+  if (NewInput)
+    NewInput->addUsage(this);
+}
+
+void Node::removeInput(unsigned I) {
+  assert(I < Inputs.size() && "input index out of range");
+  if (Node *Old = Inputs[I])
+    Old->removeUsage(this);
+  Inputs.erase(Inputs.begin() + I);
+}
+
+void Node::replaceAllInputs(Node *OldInput, Node *NewInput) {
+  for (unsigned I = 0, E = Inputs.size(); I != E; ++I)
+    if (Inputs[I] == OldInput)
+      setInput(I, NewInput);
+}
+
+void Node::replaceAtAllUsages(Node *Replacement) {
+  assert(Replacement != this && "cannot replace a node with itself");
+  // Each setInput call removes one usage entry, so drain from the back.
+  while (!Usages.empty()) {
+    Node *User = Usages.back();
+    User->replaceAllInputs(this, Replacement);
+  }
+}
+
+void Node::removeUsage(Node *User) {
+  auto It = std::find(Usages.begin(), Usages.end(), User);
+  assert(It != Usages.end() && "usage list out of sync");
+  Usages.erase(It);
+}
+
+void Node::clearInputs() {
+  for (Node *&In : Inputs) {
+    if (In)
+      In->removeUsage(this);
+    In = nullptr;
+  }
+  Inputs.clear();
+}

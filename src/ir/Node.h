@@ -1,0 +1,227 @@
+//===- Node.h - Sea-of-nodes IR node base classes -----------------*- C++ -*-===//
+///
+/// \file
+/// The node base classes of our Graal-style sea-of-nodes SSA IR.
+///
+/// The IR distinguishes two families of nodes:
+///  - *Fixed* nodes are anchored in control flow. Every fixed node except
+///    control sinks and control splits has a unique successor (`next`), and
+///    every fixed node reachable from Start has a unique predecessor, except
+///    merges, whose predecessors are the End nodes listed as their inputs.
+///  - *Floating* nodes (constants, arithmetic, phis, frame states, virtual
+///    objects) have only data dependencies and no position in control flow.
+///
+/// All data dependencies are expressed uniformly through the `Inputs` list;
+/// reverse edges are maintained automatically in `Usages`. Control-flow
+/// successor edges are separate from inputs and maintain a `Pred`
+/// back-pointer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_IR_NODE_H
+#define JVM_IR_NODE_H
+
+#include "ir/Ids.h"
+#include "support/Casting.h"
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace jvm {
+
+class Graph;
+class FixedNode;
+
+/// Discriminator for the Node class hierarchy (LLVM-style RTTI).
+/// The enumerator order encodes the class ranges used by `classof`:
+/// everything from FirstFixed on is a FixedNode, everything from
+/// FirstFixedWithNext on also has a `next` successor.
+enum class NodeKind : uint8_t {
+  // Floating value nodes.
+  ConstantInt,
+  ConstantNull,
+  Parameter,
+  Phi,
+  Arith,
+  Compare,
+  InstanceOf,
+  AllocatedObject,
+  VirtualObject,
+  FrameState,
+  // Fixed nodes without a next successor.
+  End,
+  LoopEnd,
+  Return,
+  Deoptimize,
+  Unreachable,
+  If,
+  // Fixed nodes with a next successor.
+  Start,
+  Begin,
+  LoopExit,
+  Merge,
+  LoopBegin,
+  NewInstance,
+  NewArray,
+  LoadField,
+  StoreField,
+  LoadIndexed,
+  StoreIndexed,
+  ArrayLength,
+  LoadStatic,
+  StoreStatic,
+  MonitorEnter,
+  MonitorExit,
+  Invoke,
+  Materialize,
+};
+
+constexpr NodeKind FirstFixedKind = NodeKind::End;
+constexpr NodeKind FirstFixedWithNextKind = NodeKind::Start;
+constexpr NodeKind LastNodeKind = NodeKind::Materialize;
+
+/// Returns a short printable mnemonic for \p K.
+const char *nodeKindName(NodeKind K);
+
+/// Base class of all IR nodes.
+///
+/// Nodes are owned by their Graph and identified by a small dense id.
+/// Deleting a node marks it dead without reclaiming storage, so ids stay
+/// stable for the lifetime of a graph.
+class Node {
+public:
+  NodeKind kind() const { return Kind; }
+  unsigned id() const { return Id; }
+  Graph *graph() const { return Parent; }
+  ValueType type() const { return Ty; }
+  bool isDeleted() const { return Deleted; }
+
+  /// Data dependencies. Entries may be null (e.g. dead local slots in
+  /// frame states); null entries carry no usage edge.
+  const std::vector<Node *> &inputs() const { return Inputs; }
+  unsigned numInputs() const { return Inputs.size(); }
+  Node *input(unsigned I) const {
+    assert(I < Inputs.size() && "input index out of range");
+    return Inputs[I];
+  }
+
+  /// Replaces input \p I with \p NewInput, updating usage lists.
+  void setInput(unsigned I, Node *NewInput);
+
+  /// Appends \p NewInput as a new trailing input.
+  void appendInput(Node *NewInput);
+
+  /// Removes input \p I, shifting later inputs down.
+  void removeInput(unsigned I);
+
+  /// Replaces every occurrence of \p OldInput in the input list.
+  void replaceAllInputs(Node *OldInput, Node *NewInput);
+
+  /// Reverse data edges: every node that lists this node as an input
+  /// appears here once per occurrence.
+  const std::vector<Node *> &usages() const { return Usages; }
+  bool hasUsages() const { return !Usages.empty(); }
+  unsigned numUsages() const { return Usages.size(); }
+
+  /// Returns the single usage of this node; asserts there is exactly one.
+  Node *singleUsage() const {
+    assert(Usages.size() == 1 && "expected exactly one usage");
+    return Usages.front();
+  }
+
+  /// Rewrites every usage of this node to use \p Replacement instead.
+  /// Afterwards this node has no usages. Control-flow successor edges are
+  /// unaffected.
+  void replaceAtAllUsages(Node *Replacement);
+
+  /// True for nodes anchored in control flow.
+  bool isFixed() const { return Kind >= FirstFixedKind; }
+
+  Node(const Node &) = delete;
+  Node &operator=(const Node &) = delete;
+
+  /// Virtual anchor; nodes are owned polymorphically by their Graph.
+  virtual ~Node();
+
+protected:
+  Node(NodeKind K, ValueType Ty) : Kind(K), Ty(Ty) {}
+
+  void setType(ValueType NewTy) { Ty = NewTy; }
+
+private:
+  friend class Graph;
+
+  void addUsage(Node *User) { Usages.push_back(User); }
+  void removeUsage(Node *User);
+
+  /// Detaches all inputs (dropping this node from their usage lists).
+  void clearInputs();
+
+  NodeKind Kind;
+  ValueType Ty;
+  bool Deleted = false;
+  unsigned Id = 0;
+  Graph *Parent = nullptr;
+  std::vector<Node *> Inputs;
+  std::vector<Node *> Usages;
+};
+
+/// A node with a position in control flow.
+///
+/// Every fixed node that is reachable and is not a merge has exactly one
+/// predecessor, reachable via `predecessor()`. Successor edges live in the
+/// concrete subclasses (IfNode, FixedWithNextNode).
+class FixedNode : public Node {
+public:
+  FixedNode *predecessor() const { return Pred; }
+
+  static bool classof(const Node *N) { return N->kind() >= FirstFixedKind; }
+
+protected:
+  FixedNode(NodeKind K, ValueType Ty) : Node(K, Ty) {}
+
+  friend class FixedWithNextNode;
+  friend class IfNode;
+  friend class Graph;
+
+  void setPred(FixedNode *P) {
+    assert((!P || !Pred || Pred == P) &&
+           "fixed node already has a different predecessor");
+    Pred = P;
+  }
+
+private:
+  FixedNode *Pred = nullptr;
+};
+
+/// A fixed node with a unique control-flow successor.
+class FixedWithNextNode : public FixedNode {
+public:
+  FixedNode *next() const { return Next; }
+
+  /// Sets the successor edge, maintaining the predecessor back-pointer.
+  void setNext(FixedNode *N) {
+    if (Next)
+      Next->Pred = nullptr;
+    Next = N;
+    if (N) {
+      assert(!N->Pred && "successor already linked to another predecessor");
+      N->Pred = this;
+    }
+  }
+
+  static bool classof(const Node *N) {
+    return N->kind() >= FirstFixedWithNextKind;
+  }
+
+protected:
+  FixedWithNextNode(NodeKind K, ValueType Ty) : FixedNode(K, Ty) {}
+
+private:
+  FixedNode *Next = nullptr;
+};
+
+} // namespace jvm
+
+#endif // JVM_IR_NODE_H

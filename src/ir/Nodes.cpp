@@ -1,0 +1,228 @@
+//===- Nodes.cpp - Concrete node implementations ---------------------------===//
+
+#include "ir/Nodes.h"
+
+#include "support/Casting.h"
+#include "support/ErrorHandling.h"
+
+using namespace jvm;
+
+const char *jvm::arithKindName(ArithKind K) {
+  switch (K) {
+  case ArithKind::Add:
+    return "+";
+  case ArithKind::Sub:
+    return "-";
+  case ArithKind::Mul:
+    return "*";
+  case ArithKind::Div:
+    return "/";
+  case ArithKind::Rem:
+    return "%";
+  case ArithKind::And:
+    return "&";
+  case ArithKind::Or:
+    return "|";
+  case ArithKind::Xor:
+    return "^";
+  case ArithKind::Shl:
+    return "<<";
+  case ArithKind::Shr:
+    return ">>";
+  }
+  jvm_unreachable("unknown arithmetic kind");
+}
+
+const char *jvm::cmpKindName(CmpKind K) {
+  switch (K) {
+  case CmpKind::IntEq:
+    return "==";
+  case CmpKind::IntLt:
+    return "<";
+  case CmpKind::IntLe:
+    return "<=";
+  case CmpKind::RefEq:
+    return "ref==";
+  case CmpKind::IsNull:
+    return "isnull";
+  }
+  jvm_unreachable("unknown compare kind");
+}
+
+const char *jvm::deoptReasonName(DeoptReason R) {
+  switch (R) {
+  case DeoptReason::BranchNeverTaken:
+    return "branch-never-taken";
+  case DeoptReason::TypeGuardFailed:
+    return "type-guard-failed";
+  }
+  jvm_unreachable("unknown deopt reason");
+}
+
+//===----------------------------------------------------------------------===//
+// PhiNode
+//===----------------------------------------------------------------------===//
+
+PhiNode::PhiNode(MergeNode *Merge, ValueType Ty) : Node(NodeKind::Phi, Ty) {
+  appendInput(Merge);
+}
+
+MergeNode *PhiNode::merge() const { return cast<MergeNode>(input(0)); }
+
+//===----------------------------------------------------------------------===//
+// FrameStateNode
+//===----------------------------------------------------------------------===//
+
+FrameStateNode *FrameStateNode::outer() const {
+  return static_cast<FrameStateNode *>(input(0));
+}
+
+void FrameStateNode::setOuter(FrameStateNode *Outer) { setInput(0, Outer); }
+
+VirtualObjectNode *FrameStateNode::mappedObject(unsigned I) const {
+  return cast<VirtualObjectNode>(input(Mappings[I].InputOffset));
+}
+
+void FrameStateNode::addVirtualMapping(VirtualObjectNode *Object,
+                                       const std::vector<Node *> &Entries,
+                                       int LockDepth) {
+  assert(findVirtualMapping(Object) < 0 && "object already mapped");
+  assert(Entries.size() == Object->numEntries() &&
+         "entry count does not match the virtual object");
+  VirtualMapping M;
+  M.InputOffset = numInputs();
+  M.NumEntries = Entries.size();
+  M.LockDepth = LockDepth;
+  appendInput(Object);
+  for (Node *E : Entries)
+    appendInput(E);
+  Mappings.push_back(M);
+}
+
+int FrameStateNode::findVirtualMapping(const VirtualObjectNode *Object) const {
+  for (unsigned I = 0, E = Mappings.size(); I != E; ++I)
+    if (input(Mappings[I].InputOffset) == Object)
+      return static_cast<int>(I);
+  return -1;
+}
+
+//===----------------------------------------------------------------------===//
+// Merge / loop structure
+//===----------------------------------------------------------------------===//
+
+MergeNode *EndNode::merge() const {
+  for (Node *U : usages())
+    if (auto *M = dyn_cast<MergeNode>(U))
+      return M;
+  return nullptr;
+}
+
+int MergeNode::indexOfEnd(const FixedNode *End) const {
+  for (unsigned I = 0, E = numInputs(); I != E; ++I)
+    if (input(I) == End)
+      return static_cast<int>(I);
+  return -1;
+}
+
+std::vector<PhiNode *> MergeNode::phis() const {
+  std::vector<PhiNode *> Result;
+  for (Node *U : usages())
+    if (auto *Phi = dyn_cast<PhiNode>(U))
+      if (Phi->input(0) == this) {
+        // A phi lists its merge exactly once; guard against the usage
+        // list containing this merge multiple times for other reasons.
+        bool Seen = false;
+        for (PhiNode *Existing : Result)
+          Seen |= Existing == Phi;
+        if (!Seen)
+          Result.push_back(Phi);
+      }
+  return Result;
+}
+
+LoopEndNode::LoopEndNode(LoopBeginNode *Loop)
+    : FixedNode(NodeKind::LoopEnd, ValueType::Void) {
+  appendInput(Loop);
+}
+
+LoopBeginNode *LoopEndNode::loopBegin() const {
+  return cast<LoopBeginNode>(input(0));
+}
+
+EndNode *LoopBeginNode::forwardEnd() const { return cast<EndNode>(input(0)); }
+
+LoopEndNode *LoopBeginNode::backEdgeAt(unsigned I) const {
+  return cast<LoopEndNode>(input(1 + I));
+}
+
+//===----------------------------------------------------------------------===//
+// StatefulNode
+//===----------------------------------------------------------------------===//
+
+void StatefulNode::setState(FrameStateNode *S) {
+  setInput(numInputs() - 1, S);
+}
+
+//===----------------------------------------------------------------------===//
+// MaterializeNode
+//===----------------------------------------------------------------------===//
+
+unsigned MaterializeNode::entryBase(unsigned ObjectIndex) const {
+  assert(ObjectIndex < numObjects() && "object index out of range");
+  unsigned Base = numObjects();
+  for (unsigned I = 0; I != ObjectIndex; ++I)
+    Base += EntryCounts[I];
+  return Base;
+}
+
+VirtualObjectNode *MaterializeNode::objectAt(unsigned I) const {
+  assert(I < numObjects() && "object index out of range");
+  return cast<VirtualObjectNode>(input(I));
+}
+
+Node *MaterializeNode::entryOf(unsigned ObjectIndex,
+                               unsigned EntryIndex) const {
+  assert(EntryIndex < EntryCounts[ObjectIndex] && "entry index out of range");
+  return input(entryBase(ObjectIndex) + EntryIndex);
+}
+
+void MaterializeNode::setEntryOf(unsigned ObjectIndex, unsigned EntryIndex,
+                                 Node *V) {
+  assert(EntryIndex < EntryCounts[ObjectIndex] && "entry index out of range");
+  setInput(entryBase(ObjectIndex) + EntryIndex, V);
+}
+
+unsigned MaterializeNode::addObject(VirtualObjectNode *Object,
+                                    const std::vector<Node *> &Entries,
+                                    int LockDepth) {
+  assert(Entries.size() == Object->numEntries() &&
+         "entry count does not match the virtual object");
+  // Input layout is [objects..., entries..., state]; splice the new
+  // object in front of the first entry and the entries before the state.
+  unsigned Index = numObjects();
+  unsigned StateSlot = numInputs() - 1;
+  FrameStateNode *State = static_cast<FrameStateNode *>(input(StateSlot));
+  // Rebuild: simplest correct approach given the interleaved layout.
+  std::vector<Node *> Objects;
+  std::vector<Node *> AllEntries;
+  unsigned Slot = 0;
+  for (unsigned I = 0; I != Index; ++I)
+    Objects.push_back(input(Slot++));
+  for (unsigned I = 0; I != Index; ++I)
+    for (unsigned E = 0; E != EntryCounts[I]; ++E)
+      AllEntries.push_back(input(Slot++));
+  assert(Slot == StateSlot && "unexpected materialize input layout");
+  Objects.push_back(Object);
+  for (Node *E : Entries)
+    AllEntries.push_back(E);
+  while (numInputs() > 0)
+    removeInput(numInputs() - 1);
+  for (Node *O : Objects)
+    appendInput(O);
+  for (Node *E : AllEntries)
+    appendInput(E);
+  appendInput(State);
+  LockDepths.push_back(LockDepth);
+  EntryCounts.push_back(Entries.size());
+  return Index;
+}

@@ -1,0 +1,840 @@
+//===- Nodes.h - Concrete IR node classes -------------------------*- C++ -*-===//
+///
+/// \file
+/// All concrete node classes of the IR. See Node.h for the edge model.
+///
+/// Input-slot layouts are documented per class. Frame states use the layout
+/// described in FrameStateNode; effectful nodes keep their frame state in a
+/// dedicated trailing input slot so that the single `Inputs`/`Usages`
+/// mechanism covers all dependencies (including the deoptimization metadata
+/// the paper's Section 5.5 rewrites).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_IR_NODES_H
+#define JVM_IR_NODES_H
+
+#include "ir/Node.h"
+
+#include <string>
+
+namespace jvm {
+
+class MergeNode;
+class LoopBeginNode;
+class FrameStateNode;
+
+//===----------------------------------------------------------------------===//
+// Floating value nodes
+//===----------------------------------------------------------------------===//
+
+/// A compile-time 64-bit integer constant.
+class ConstantIntNode : public Node {
+public:
+  explicit ConstantIntNode(int64_t Value)
+      : Node(NodeKind::ConstantInt, ValueType::Int), Value(Value) {}
+
+  int64_t value() const { return Value; }
+
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::ConstantInt;
+  }
+
+private:
+  int64_t Value;
+};
+
+/// The null reference constant.
+class ConstantNullNode : public Node {
+public:
+  ConstantNullNode() : Node(NodeKind::ConstantNull, ValueType::Ref) {}
+
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::ConstantNull;
+  }
+};
+
+/// The value of the I-th incoming method parameter.
+class ParameterNode : public Node {
+public:
+  ParameterNode(unsigned Index, ValueType Ty)
+      : Node(NodeKind::Parameter, Ty), Index(Index) {}
+
+  unsigned index() const { return Index; }
+
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::Parameter;
+  }
+
+private:
+  unsigned Index;
+};
+
+/// SSA phi. Input 0 is the associated merge; inputs 1..N correspond
+/// positionally to the merge's predecessor End/LoopEnd inputs.
+class PhiNode : public Node {
+public:
+  PhiNode(MergeNode *Merge, ValueType Ty);
+
+  MergeNode *merge() const;
+
+  unsigned numValues() const { return numInputs() - 1; }
+  Node *valueAt(unsigned I) const { return input(I + 1); }
+  void setValueAt(unsigned I, Node *V) { setInput(I + 1, V); }
+  void appendValue(Node *V) { appendInput(V); }
+
+  static bool classof(const Node *N) { return N->kind() == NodeKind::Phi; }
+};
+
+/// Binary integer arithmetic. Inputs: [X, Y]. Division and remainder by
+/// zero are defined to produce zero (our mini-Java has no exceptions).
+enum class ArithKind : uint8_t { Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr };
+
+const char *arithKindName(ArithKind K);
+
+class ArithNode : public Node {
+public:
+  ArithNode(ArithKind Op, Node *X, Node *Y)
+      : Node(NodeKind::Arith, ValueType::Int), Op(Op) {
+    appendInput(X);
+    appendInput(Y);
+  }
+
+  ArithKind op() const { return Op; }
+  Node *x() const { return input(0); }
+  Node *y() const { return input(1); }
+
+  static bool classof(const Node *N) { return N->kind() == NodeKind::Arith; }
+
+private:
+  ArithKind Op;
+};
+
+/// Comparison producing an Int 0/1. Inputs: [X, Y] for binary kinds,
+/// [X] for IsNull. RefEq compares object identity.
+enum class CmpKind : uint8_t { IntEq, IntLt, IntLe, RefEq, IsNull };
+
+const char *cmpKindName(CmpKind K);
+
+class CompareNode : public Node {
+public:
+  CompareNode(CmpKind Op, Node *X, Node *Y)
+      : Node(NodeKind::Compare, ValueType::Int), Op(Op) {
+    appendInput(X);
+    if (Op != CmpKind::IsNull) {
+      assert(Y && "binary compare needs two operands");
+      appendInput(Y);
+    } else {
+      assert(!Y && "IsNull takes a single operand");
+    }
+  }
+
+  CmpKind op() const { return Op; }
+  Node *x() const { return input(0); }
+  Node *y() const { return input(1); }
+
+  static bool classof(const Node *N) { return N->kind() == NodeKind::Compare; }
+
+private:
+  CmpKind Op;
+};
+
+/// Dynamic type test producing Int 0/1. Input: [Object]. With `isExact`,
+/// tests for the precise class (used by devirtualization guards);
+/// otherwise tests the subtype relation. Null is never an instance.
+class InstanceOfNode : public Node {
+public:
+  InstanceOfNode(ClassId TestedClass, bool Exact, Node *Object)
+      : Node(NodeKind::InstanceOf, ValueType::Int), TestedClass(TestedClass),
+        Exact(Exact) {
+    appendInput(Object);
+  }
+
+  ClassId testedClass() const { return TestedClass; }
+  bool isExact() const { return Exact; }
+  Node *object() const { return input(0); }
+
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::InstanceOf;
+  }
+
+private:
+  ClassId TestedClass;
+  bool Exact;
+};
+
+/// The identity of one allocation tracked by (partial) escape analysis —
+/// the paper's `Id` objects (Listing 7). Created by the analysis; appears
+/// as an input of frame states (Section 5.5) and of Materialize nodes.
+///
+/// For object allocations, entries correspond to instance fields in
+/// declaration order; for array allocations, to the elements of a
+/// compile-time-constant-length array.
+class VirtualObjectNode : public Node {
+public:
+  /// Creates a virtual instance of class \p Cls with \p NumFields fields.
+  static VirtualObjectNode forInstance(ClassId Cls, unsigned NumFields) {
+    return VirtualObjectNode(Cls, false, ValueType::Void, NumFields);
+  }
+
+  VirtualObjectNode(ClassId Cls, bool IsArray, ValueType ElemTy,
+                    unsigned NumEntries)
+      : Node(NodeKind::VirtualObject, ValueType::Ref), Cls(Cls),
+        IsArray(IsArray), ElemTy(ElemTy), NumEntries(NumEntries) {}
+
+  ClassId objectClass() const { return Cls; }
+  bool isArray() const { return IsArray; }
+  ValueType elementType() const { return ElemTy; }
+  unsigned numEntries() const { return NumEntries; }
+
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::VirtualObject;
+  }
+
+private:
+  ClassId Cls;
+  bool IsArray;
+  ValueType ElemTy;
+  unsigned NumEntries;
+};
+
+/// Deoptimization metadata: maps a point in optimized code back to
+/// interpreter state (method, bci, locals, expression stack, held locks).
+///
+/// Input layout:
+///   [0]                      outer frame state or null
+///   [1 .. NumLocals]         local variable values (null = dead slot)
+///   [.. + NumStack]          expression stack values
+///   [.. + NumLocks]          locked objects, innermost last
+///   [.. + mappings]          virtual object mappings appended by escape
+///                            analysis: for each mapping, the
+///                            VirtualObjectNode followed by its entries.
+///
+/// `isReexecute()` distinguishes the two resume semantics: re-execute the
+/// instruction at bci (states attached to Deoptimize sinks), or continue
+/// after it with the callee result (outer states at call sites).
+class FrameStateNode : public Node {
+public:
+  FrameStateNode(MethodId Method, int Bci, bool Reexecute, unsigned NumLocals,
+                 unsigned NumStack, unsigned NumLocks)
+      : Node(NodeKind::FrameState, ValueType::Void), Method(Method), Bci(Bci),
+        Reexecute(Reexecute), NumLocals(NumLocals), NumStack(NumStack),
+        NumLocks(NumLocks) {
+    for (unsigned I = 0, E = 1 + NumLocals + NumStack + NumLocks; I != E; ++I)
+      appendInput(nullptr);
+  }
+
+  MethodId method() const { return Method; }
+  int bci() const { return Bci; }
+  bool isReexecute() const { return Reexecute; }
+
+  FrameStateNode *outer() const;
+  void setOuter(FrameStateNode *Outer);
+
+  unsigned numLocals() const { return NumLocals; }
+  unsigned numStack() const { return NumStack; }
+  unsigned numLocks() const { return NumLocks; }
+
+  Node *localAt(unsigned I) const { return input(1 + I); }
+  void setLocalAt(unsigned I, Node *V) { setInput(1 + I, V); }
+  Node *stackAt(unsigned I) const { return input(1 + NumLocals + I); }
+  void setStackAt(unsigned I, Node *V) { setInput(1 + NumLocals + I, V); }
+  Node *lockAt(unsigned I) const { return input(1 + NumLocals + NumStack + I); }
+  void setLockAt(unsigned I, Node *V) {
+    setInput(1 + NumLocals + NumStack + I, V);
+  }
+
+  /// One scalar-replaced allocation recorded in this frame state. Entries
+  /// are stored as inputs starting at InputOffset: the VirtualObjectNode
+  /// itself, then NumEntries field/element values.
+  struct VirtualMapping {
+    unsigned InputOffset;
+    unsigned NumEntries;
+    int LockDepth;
+  };
+
+  unsigned numVirtualMappings() const { return Mappings.size(); }
+  const VirtualMapping &virtualMapping(unsigned I) const {
+    return Mappings[I];
+  }
+
+  VirtualObjectNode *mappedObject(unsigned I) const;
+  Node *mappedEntry(unsigned MappingIndex, unsigned EntryIndex) const {
+    const VirtualMapping &M = Mappings[MappingIndex];
+    assert(EntryIndex < M.NumEntries && "entry index out of range");
+    return input(M.InputOffset + 1 + EntryIndex);
+  }
+
+  /// Records that \p Object is scalar-replaced at this point, with the
+  /// given field/element values and elided lock depth.
+  void addVirtualMapping(VirtualObjectNode *Object,
+                         const std::vector<Node *> &Entries, int LockDepth);
+
+  /// Returns the mapping index for \p Object, or -1 if absent.
+  int findVirtualMapping(const VirtualObjectNode *Object) const;
+
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::FrameState;
+  }
+
+private:
+  MethodId Method;
+  int Bci;
+  bool Reexecute;
+  unsigned NumLocals;
+  unsigned NumStack;
+  unsigned NumLocks;
+  std::vector<VirtualMapping> Mappings;
+};
+
+//===----------------------------------------------------------------------===//
+// Control flow
+//===----------------------------------------------------------------------===//
+
+/// The unique entry of a graph.
+class StartNode : public FixedWithNextNode {
+public:
+  StartNode() : FixedWithNextNode(NodeKind::Start, ValueType::Void) {}
+
+  static bool classof(const Node *N) { return N->kind() == NodeKind::Start; }
+};
+
+/// Marks the begin of a block after a control split.
+class BeginNode : public FixedWithNextNode {
+public:
+  BeginNode() : FixedWithNextNode(NodeKind::Begin, ValueType::Void) {}
+
+  static bool classof(const Node *N) { return N->kind() == NodeKind::Begin; }
+};
+
+/// Two-way control split. Input: [Condition] (Int; nonzero = true).
+/// Successors: trueSuccessor / falseSuccessor.
+class IfNode : public FixedNode {
+public:
+  explicit IfNode(Node *Condition)
+      : FixedNode(NodeKind::If, ValueType::Void) {
+    appendInput(Condition);
+  }
+
+  Node *condition() const { return input(0); }
+  void setCondition(Node *C) { setInput(0, C); }
+
+  FixedNode *trueSuccessor() const { return TrueSucc; }
+  FixedNode *falseSuccessor() const { return FalseSucc; }
+
+  void setTrueSuccessor(FixedNode *N) {
+    if (TrueSucc)
+      TrueSucc->setPred(nullptr);
+    TrueSucc = N;
+    if (N)
+      N->setPred(this);
+  }
+
+  void setFalseSuccessor(FixedNode *N) {
+    if (FalseSucc)
+      FalseSucc->setPred(nullptr);
+    FalseSucc = N;
+    if (N)
+      N->setPred(this);
+  }
+
+  /// Estimated probability that the true successor is taken (from
+  /// interpreter profiles; 0.5 when unknown).
+  double trueProbability() const { return TrueProb; }
+  void setTrueProbability(double P) { TrueProb = P; }
+
+  static bool classof(const Node *N) { return N->kind() == NodeKind::If; }
+
+private:
+  FixedNode *TrueSucc = nullptr;
+  FixedNode *FalseSucc = nullptr;
+  double TrueProb = 0.5;
+};
+
+/// Jump to a merge. The merge lists its Ends as inputs; the End's
+/// position in that list defines the phi operand index.
+class EndNode : public FixedNode {
+public:
+  EndNode() : FixedNode(NodeKind::End, ValueType::Void) {}
+
+  /// The merge this end jumps to (its single usage).
+  MergeNode *merge() const;
+
+  static bool classof(const Node *N) { return N->kind() == NodeKind::End; }
+};
+
+/// Back-edge jump to a loop header. Input: [LoopBegin].
+class LoopEndNode : public FixedNode {
+public:
+  explicit LoopEndNode(LoopBeginNode *Loop);
+
+  LoopBeginNode *loopBegin() const;
+
+  static bool classof(const Node *N) { return N->kind() == NodeKind::LoopEnd; }
+};
+
+/// Join point of several forward control-flow paths. Inputs: the
+/// predecessor End nodes in phi-operand order.
+class MergeNode : public FixedWithNextNode {
+public:
+  MergeNode() : FixedWithNextNode(NodeKind::Merge, ValueType::Void) {}
+
+  unsigned numEnds() const { return numInputs(); }
+  FixedNode *endAt(unsigned I) const {
+    return static_cast<FixedNode *>(input(I));
+  }
+
+  void addEnd(EndNode *End) { appendInput(End); }
+
+  /// Returns the phi operand index of \p End, or -1 if it is not an end
+  /// of this merge.
+  int indexOfEnd(const FixedNode *End) const;
+
+  /// Collects all phis attached to this merge (usages of kind Phi whose
+  /// merge input is this node).
+  std::vector<PhiNode *> phis() const;
+
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::Merge || N->kind() == NodeKind::LoopBegin;
+  }
+
+protected:
+  MergeNode(NodeKind K) : FixedWithNextNode(K, ValueType::Void) {}
+};
+
+/// Loop header. Input 0 is the forward entry End; inputs 1..N are the
+/// LoopEnd back edges. Phi operand order follows the input order.
+class LoopBeginNode : public MergeNode {
+public:
+  LoopBeginNode() : MergeNode(NodeKind::LoopBegin) {}
+
+  EndNode *forwardEnd() const;
+  unsigned numBackEdges() const { return numInputs() - 1; }
+  LoopEndNode *backEdgeAt(unsigned I) const;
+
+  void addBackEdge(LoopEndNode *End) { appendInput(End); }
+
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::LoopBegin;
+  }
+};
+
+/// Marks control flow leaving a loop. Input: [LoopBegin].
+class LoopExitNode : public FixedWithNextNode {
+public:
+  explicit LoopExitNode(LoopBeginNode *Loop)
+      : FixedWithNextNode(NodeKind::LoopExit, ValueType::Void) {
+    appendInput(Loop);
+  }
+
+  LoopBeginNode *loopBegin() const {
+    return static_cast<LoopBeginNode *>(input(0));
+  }
+
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::LoopExit;
+  }
+};
+
+/// Method return. Inputs: [Value] for non-void methods, none otherwise.
+class ReturnNode : public FixedNode {
+public:
+  explicit ReturnNode(Node *Value)
+      : FixedNode(NodeKind::Return, ValueType::Void) {
+    if (Value)
+      appendInput(Value);
+  }
+
+  bool hasValue() const { return numInputs() == 1; }
+  Node *value() const { return input(0); }
+
+  static bool classof(const Node *N) { return N->kind() == NodeKind::Return; }
+};
+
+/// Why a Deoptimize sink was inserted.
+enum class DeoptReason : uint8_t {
+  BranchNeverTaken, ///< Profile-pruned branch was reached after all.
+  TypeGuardFailed,  ///< Speculatively devirtualized receiver had another type.
+};
+
+const char *deoptReasonName(DeoptReason R);
+
+/// Control sink transferring execution back to the interpreter using the
+/// attached frame state. Inputs: [FrameState].
+class DeoptimizeNode : public FixedNode {
+public:
+  DeoptimizeNode(DeoptReason Reason, FrameStateNode *State)
+      : FixedNode(NodeKind::Deoptimize, ValueType::Void), Reason(Reason) {
+    appendInput(State);
+  }
+
+  DeoptReason reason() const { return Reason; }
+  FrameStateNode *state() const {
+    return static_cast<FrameStateNode *>(input(0));
+  }
+
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::Deoptimize;
+  }
+
+private:
+  DeoptReason Reason;
+};
+
+/// Control sink for paths that must never execute (verifier-provable dead
+/// code). Reaching it at runtime is a VM bug.
+class UnreachableNode : public FixedNode {
+public:
+  UnreachableNode() : FixedNode(NodeKind::Unreachable, ValueType::Void) {}
+
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::Unreachable;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Effectful fixed nodes
+//===----------------------------------------------------------------------===//
+
+/// Mixin-style base for fixed nodes that carry a frame state in their last
+/// input slot ("state after" in the paper's terminology).
+class StatefulNode : public FixedWithNextNode {
+public:
+  FrameStateNode *state() const {
+    Node *S = input(numInputs() - 1);
+    return static_cast<FrameStateNode *>(S);
+  }
+  void setState(FrameStateNode *S);
+
+  static bool classof(const Node *N) {
+    switch (N->kind()) {
+    case NodeKind::StoreField:
+    case NodeKind::StoreIndexed:
+    case NodeKind::StoreStatic:
+    case NodeKind::MonitorEnter:
+    case NodeKind::MonitorExit:
+    case NodeKind::Invoke:
+    case NodeKind::Materialize:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+protected:
+  StatefulNode(NodeKind K, ValueType Ty) : FixedWithNextNode(K, Ty) {}
+};
+
+/// Heap allocation of a class instance; fields start out zero/null.
+/// Allocation is re-executable and therefore carries no frame state.
+class NewInstanceNode : public FixedWithNextNode {
+public:
+  NewInstanceNode(ClassId Cls, unsigned NumFields)
+      : FixedWithNextNode(NodeKind::NewInstance, ValueType::Ref), Cls(Cls),
+        NumFields(NumFields) {}
+
+  ClassId instanceClass() const { return Cls; }
+  unsigned numFields() const { return NumFields; }
+
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::NewInstance;
+  }
+
+private:
+  ClassId Cls;
+  unsigned NumFields;
+};
+
+/// Heap allocation of an array. Inputs: [Length].
+class NewArrayNode : public FixedWithNextNode {
+public:
+  NewArrayNode(ValueType ElemTy, Node *Length)
+      : FixedWithNextNode(NodeKind::NewArray, ValueType::Ref), ElemTy(ElemTy) {
+    appendInput(Length);
+  }
+
+  ValueType elementType() const { return ElemTy; }
+  Node *length() const { return input(0); }
+
+  static bool classof(const Node *N) { return N->kind() == NodeKind::NewArray; }
+
+private:
+  ValueType ElemTy;
+};
+
+/// Field read. Inputs: [Object].
+class LoadFieldNode : public FixedWithNextNode {
+public:
+  LoadFieldNode(ClassId Cls, FieldIndex Field, ValueType Ty, Node *Object)
+      : FixedWithNextNode(NodeKind::LoadField, Ty), Cls(Cls), Field(Field) {
+    appendInput(Object);
+  }
+
+  ClassId fieldClass() const { return Cls; }
+  FieldIndex field() const { return Field; }
+  Node *object() const { return input(0); }
+
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::LoadField;
+  }
+
+private:
+  ClassId Cls;
+  FieldIndex Field;
+};
+
+/// Field write (side effect). Inputs: [Object, Value, FrameState].
+class StoreFieldNode : public StatefulNode {
+public:
+  StoreFieldNode(ClassId Cls, FieldIndex Field, Node *Object, Node *Value,
+                 FrameStateNode *State)
+      : StatefulNode(NodeKind::StoreField, ValueType::Void), Cls(Cls),
+        Field(Field) {
+    appendInput(Object);
+    appendInput(Value);
+    appendInput(State);
+  }
+
+  ClassId fieldClass() const { return Cls; }
+  FieldIndex field() const { return Field; }
+  Node *object() const { return input(0); }
+  Node *value() const { return input(1); }
+
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::StoreField;
+  }
+
+private:
+  ClassId Cls;
+  FieldIndex Field;
+};
+
+/// Array element read. Inputs: [Array, Index]. Out-of-bounds access is a
+/// VM trap (no exception model).
+class LoadIndexedNode : public FixedWithNextNode {
+public:
+  LoadIndexedNode(ValueType ElemTy, Node *Array, Node *Index)
+      : FixedWithNextNode(NodeKind::LoadIndexed, ElemTy) {
+    appendInput(Array);
+    appendInput(Index);
+  }
+
+  Node *array() const { return input(0); }
+  Node *index() const { return input(1); }
+
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::LoadIndexed;
+  }
+};
+
+/// Array element write (side effect). Inputs: [Array, Index, Value, State].
+class StoreIndexedNode : public StatefulNode {
+public:
+  StoreIndexedNode(Node *Array, Node *Index, Node *Value,
+                   FrameStateNode *State)
+      : StatefulNode(NodeKind::StoreIndexed, ValueType::Void) {
+    appendInput(Array);
+    appendInput(Index);
+    appendInput(Value);
+    appendInput(State);
+  }
+
+  Node *array() const { return input(0); }
+  Node *index() const { return input(1); }
+  Node *value() const { return input(2); }
+
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::StoreIndexed;
+  }
+};
+
+/// Array length read. Inputs: [Array].
+class ArrayLengthNode : public FixedWithNextNode {
+public:
+  explicit ArrayLengthNode(Node *Array)
+      : FixedWithNextNode(NodeKind::ArrayLength, ValueType::Int) {
+    appendInput(Array);
+  }
+
+  Node *array() const { return input(0); }
+
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::ArrayLength;
+  }
+};
+
+/// Static (global) variable read. Kept fixed for ordering against writes.
+class LoadStaticNode : public FixedWithNextNode {
+public:
+  LoadStaticNode(StaticIndex Index, ValueType Ty)
+      : FixedWithNextNode(NodeKind::LoadStatic, Ty), Index(Index) {}
+
+  StaticIndex index() const { return Index; }
+
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::LoadStatic;
+  }
+
+private:
+  StaticIndex Index;
+};
+
+/// Static variable write (side effect). Inputs: [Value, State].
+class StoreStaticNode : public StatefulNode {
+public:
+  StoreStaticNode(StaticIndex Index, Node *Value, FrameStateNode *State)
+      : StatefulNode(NodeKind::StoreStatic, ValueType::Void), Index(Index) {
+    appendInput(Value);
+    appendInput(State);
+  }
+
+  StaticIndex index() const { return Index; }
+  Node *value() const { return input(0); }
+
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::StoreStatic;
+  }
+
+private:
+  StaticIndex Index;
+};
+
+/// Monitor acquisition (side effect). Inputs: [Object, State].
+class MonitorEnterNode : public StatefulNode {
+public:
+  MonitorEnterNode(Node *Object, FrameStateNode *State)
+      : StatefulNode(NodeKind::MonitorEnter, ValueType::Void) {
+    appendInput(Object);
+    appendInput(State);
+  }
+
+  Node *object() const { return input(0); }
+
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::MonitorEnter;
+  }
+};
+
+/// Monitor release (side effect). Inputs: [Object, State].
+class MonitorExitNode : public StatefulNode {
+public:
+  MonitorExitNode(Node *Object, FrameStateNode *State)
+      : StatefulNode(NodeKind::MonitorExit, ValueType::Void) {
+    appendInput(Object);
+    appendInput(State);
+  }
+
+  Node *object() const { return input(0); }
+
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::MonitorExit;
+  }
+};
+
+/// How an Invoke dispatches.
+enum class CallKind : uint8_t {
+  Static, ///< Direct call to `callee()`.
+  Virtual ///< Dispatch on the receiver's dynamic class at runtime.
+};
+
+/// Method call (side effect). Inputs: [Args..., State]. For instance
+/// calls the receiver is argument 0.
+class InvokeNode : public StatefulNode {
+public:
+  InvokeNode(CallKind Kind, MethodId Callee, ValueType RetTy,
+             const std::vector<Node *> &Args, FrameStateNode *State)
+      : StatefulNode(NodeKind::Invoke, RetTy), Kind(Kind), Callee(Callee) {
+    for (Node *A : Args)
+      appendInput(A);
+    appendInput(State);
+  }
+
+  CallKind callKind() const { return Kind; }
+  void setCallKind(CallKind K) { Kind = K; }
+  MethodId callee() const { return Callee; }
+  void setCallee(MethodId M) { Callee = M; }
+
+  unsigned numArgs() const { return numInputs() - 1; }
+  Node *argAt(unsigned I) const {
+    assert(I < numArgs() && "argument index out of range");
+    return input(I);
+  }
+
+  static bool classof(const Node *N) { return N->kind() == NodeKind::Invoke; }
+
+private:
+  CallKind Kind;
+  MethodId Callee;
+};
+
+/// Commits a group of virtual objects to the heap at one control-flow
+/// point (Graal's CommitAllocationNode). Inserted by partial escape
+/// analysis where an object must exist ("materialization", Section 4).
+///
+/// Input layout:
+///   [0 .. NumObjects-1]   the VirtualObjectNodes being committed
+///   [...]                 the concatenated entry values of each object;
+///                         an entry may reference a VirtualObjectNode of
+///                         the same commit (cyclic structures)
+///   [last]                frame state
+///
+/// Per-object lock depths record how many elided monitor acquisitions
+/// must be performed on the fresh object.
+class MaterializeNode : public StatefulNode {
+public:
+  explicit MaterializeNode(FrameStateNode *State)
+      : StatefulNode(NodeKind::Materialize, ValueType::Void) {
+    appendInput(State);
+  }
+
+  unsigned numObjects() const { return LockDepths.size(); }
+
+  VirtualObjectNode *objectAt(unsigned I) const;
+  Node *entryOf(unsigned ObjectIndex, unsigned EntryIndex) const;
+  void setEntryOf(unsigned ObjectIndex, unsigned EntryIndex, Node *V);
+  int lockDepthOf(unsigned I) const { return LockDepths[I]; }
+
+  /// Adds \p Object with the given entries; returns its object index.
+  /// Must be called before the node is otherwise mutated; all objects of
+  /// a commit are added up front by the analysis.
+  unsigned addObject(VirtualObjectNode *Object,
+                     const std::vector<Node *> &Entries, int LockDepth);
+
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::Materialize;
+  }
+
+private:
+  unsigned entryBase(unsigned ObjectIndex) const;
+
+  std::vector<int> LockDepths;
+  std::vector<unsigned> EntryCounts;
+};
+
+/// The runtime object produced for one virtual object by a Materialize
+/// node (Graal's AllocatedObjectNode). Inputs: [Commit]. The projected
+/// object is identified by its index within the commit.
+class AllocatedObjectNode : public Node {
+public:
+  AllocatedObjectNode(MaterializeNode *Commit, unsigned ObjectIndex)
+      : Node(NodeKind::AllocatedObject, ValueType::Ref),
+        ObjectIndex(ObjectIndex) {
+    appendInput(Commit);
+  }
+
+  MaterializeNode *commit() const {
+    return static_cast<MaterializeNode *>(input(0));
+  }
+  unsigned objectIndex() const { return ObjectIndex; }
+
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::AllocatedObject;
+  }
+
+private:
+  unsigned ObjectIndex;
+};
+
+} // namespace jvm
+
+#endif // JVM_IR_NODES_H

@@ -1,0 +1,236 @@
+//===- Printer.cpp - Textual IR dump ---------------------------------------===//
+
+#include "ir/Printer.h"
+
+#include "ir/Graph.h"
+#include "support/Casting.h"
+
+#include <set>
+#include <sstream>
+
+using namespace jvm;
+
+std::string jvm::nodeLabel(const Node *N) {
+  std::ostringstream OS;
+  OS << '%' << N->id() << ':' << nodeKindName(N->kind());
+  switch (N->kind()) {
+  case NodeKind::ConstantInt:
+    OS << '(' << cast<ConstantIntNode>(N)->value() << ')';
+    break;
+  case NodeKind::Parameter:
+    OS << '(' << cast<ParameterNode>(N)->index() << ')';
+    break;
+  case NodeKind::Arith:
+    OS << '(' << arithKindName(cast<ArithNode>(N)->op()) << ')';
+    break;
+  case NodeKind::Compare:
+    OS << '(' << cmpKindName(cast<CompareNode>(N)->op()) << ')';
+    break;
+  case NodeKind::InstanceOf: {
+    const auto *IO = cast<InstanceOfNode>(N);
+    OS << "(cls=" << IO->testedClass() << (IO->isExact() ? ",exact" : "")
+       << ')';
+    break;
+  }
+  case NodeKind::VirtualObject: {
+    const auto *VO = cast<VirtualObjectNode>(N);
+    if (VO->isArray())
+      OS << "(arr[" << VO->numEntries() << "])";
+    else
+      OS << "(cls=" << VO->objectClass() << ",fields=" << VO->numEntries()
+         << ')';
+    break;
+  }
+  case NodeKind::AllocatedObject:
+    OS << "(#" << cast<AllocatedObjectNode>(N)->objectIndex() << ')';
+    break;
+  case NodeKind::FrameState: {
+    const auto *FS = cast<FrameStateNode>(N);
+    OS << "(m" << FS->method() << "@" << FS->bci()
+       << (FS->isReexecute() ? ",reexec" : "") << ')';
+    break;
+  }
+  case NodeKind::NewInstance:
+    OS << "(cls=" << cast<NewInstanceNode>(N)->instanceClass() << ')';
+    break;
+  case NodeKind::NewArray:
+    OS << '(' << valueTypeName(cast<NewArrayNode>(N)->elementType()) << "[])";
+    break;
+  case NodeKind::LoadField:
+    OS << "(f" << cast<LoadFieldNode>(N)->field() << ')';
+    break;
+  case NodeKind::StoreField:
+    OS << "(f" << cast<StoreFieldNode>(N)->field() << ')';
+    break;
+  case NodeKind::LoadStatic:
+    OS << "(g" << cast<LoadStaticNode>(N)->index() << ')';
+    break;
+  case NodeKind::StoreStatic:
+    OS << "(g" << cast<StoreStaticNode>(N)->index() << ')';
+    break;
+  case NodeKind::Invoke: {
+    const auto *Call = cast<InvokeNode>(N);
+    OS << '(' << (Call->callKind() == CallKind::Static ? "static" : "virtual")
+       << " m" << Call->callee() << ')';
+    break;
+  }
+  case NodeKind::Deoptimize:
+    OS << '(' << deoptReasonName(cast<DeoptimizeNode>(N)->reason()) << ')';
+    break;
+  default:
+    break;
+  }
+  return OS.str();
+}
+
+std::string jvm::nodeToString(const Node *N) {
+  std::ostringstream OS;
+  OS << nodeLabel(N);
+  if (N->numInputs() > 0) {
+    OS << " [";
+    for (unsigned I = 0, E = N->numInputs(); I != E; ++I) {
+      if (I)
+        OS << ", ";
+      Node *In = N->input(I);
+      if (!In) {
+        OS << '_';
+        continue;
+      }
+      OS << '%' << In->id();
+    }
+    OS << ']';
+  }
+  if (const auto *If = dyn_cast<IfNode>(N)) {
+    OS << " ? %" << If->trueSuccessor()->id() << " : %"
+       << If->falseSuccessor()->id();
+  } else if (const auto *FN = dyn_cast<FixedWithNextNode>(N)) {
+    if (FN->next())
+      OS << " -> %" << FN->next()->id();
+  }
+  return OS.str();
+}
+
+namespace {
+
+/// Prints floating inputs (recursively) before the node that uses them, so
+/// the dump reads roughly like a schedule.
+class GraphPrinter {
+public:
+  explicit GraphPrinter(const Graph &G) : G(G) {}
+
+  std::string run() {
+    OS << "graph method=" << G.method() << " params=" << G.numParams()
+       << "\n";
+    // Control-flow order: depth-first over successors, false branch last so
+    // the true branch prints first.
+    std::vector<const FixedNode *> Stack{G.start()};
+    std::set<const FixedNode *> Visited;
+    while (!Stack.empty()) {
+      const FixedNode *N = Stack.back();
+      Stack.pop_back();
+      if (!Visited.insert(N).second)
+        continue;
+      printFloatingInputs(N);
+      OS << "  " << nodeToString(N) << "\n";
+      if (const auto *If = dyn_cast<IfNode>(N)) {
+        Stack.push_back(If->falseSuccessor());
+        Stack.push_back(If->trueSuccessor());
+      } else if (const auto *End = dyn_cast<EndNode>(N)) {
+        if (const MergeNode *M = End->merge())
+          if (allEndsVisited(M, Visited))
+            Stack.push_back(M);
+      } else if (const auto *FN = dyn_cast<FixedWithNextNode>(N)) {
+        if (FN->next())
+          Stack.push_back(FN->next());
+      }
+    }
+    return OS.str();
+  }
+
+private:
+  bool allEndsVisited(const MergeNode *M,
+                      const std::set<const FixedNode *> &Visited) {
+    // Loop back edges are intentionally ignored: a LoopBegin is entered
+    // once its forward end is seen.
+    if (isa<LoopBeginNode>(M))
+      return Visited.count(M->endAt(0)) != 0;
+    for (unsigned I = 0, E = M->numEnds(); I != E; ++I)
+      if (!Visited.count(M->endAt(I)))
+        return false;
+    return true;
+  }
+
+  void printFloatingInputs(const Node *N) {
+    for (unsigned I = 0, E = N->numInputs(); I != E; ++I) {
+      const Node *In = N->input(I);
+      if (!In || In->isFixed() || !PrintedFloating.insert(In).second)
+        continue;
+      printFloatingInputs(In);
+      OS << "    " << nodeToString(In) << "\n";
+    }
+  }
+
+  const Graph &G;
+  std::ostringstream OS;
+  std::set<const Node *> PrintedFloating;
+};
+
+} // namespace
+
+std::string jvm::graphToString(const Graph &G) {
+  return GraphPrinter(G).run();
+}
+
+std::string jvm::graphToDot(const Graph &G) {
+  std::ostringstream OS;
+  OS << "digraph method_" << G.method() << " {\n"
+     << "  node [shape=box, fontname=\"Helvetica\"];\n";
+  // Nodes.
+  for (unsigned Id = 0, E = G.nodeIdBound(); Id != E; ++Id) {
+    const Node *N = G.nodeAt(Id);
+    if (!N)
+      continue;
+    OS << "  n" << Id << " [label=\"" << nodeLabel(N) << "\"";
+    if (isa<FrameStateNode>(N))
+      OS << ", style=dashed";
+    else if (isa<VirtualObjectNode>(N))
+      OS << ", style=rounded";
+    else if (!N->isFixed())
+      OS << ", shape=oval";
+    OS << "];\n";
+  }
+  // Data edges (thin, pointing from user to input, as in the paper).
+  for (unsigned Id = 0, E = G.nodeIdBound(); Id != E; ++Id) {
+    const Node *N = G.nodeAt(Id);
+    if (!N)
+      continue;
+    for (const Node *In : N->inputs())
+      if (In)
+        OS << "  n" << Id << " -> n" << In->id()
+           << " [color=gray, arrowsize=0.6];\n";
+  }
+  // Control-flow edges (bold, downwards).
+  for (unsigned Id = 0, E = G.nodeIdBound(); Id != E; ++Id) {
+    const Node *N = G.nodeAt(Id);
+    if (!N)
+      continue;
+    if (const auto *If = dyn_cast<IfNode>(N)) {
+      OS << "  n" << Id << " -> n" << If->trueSuccessor()->id()
+         << " [style=bold, label=\"T\"];\n";
+      OS << "  n" << Id << " -> n" << If->falseSuccessor()->id()
+         << " [style=bold, label=\"F\"];\n";
+    } else if (const auto *FN = dyn_cast<FixedWithNextNode>(N)) {
+      if (FN->next())
+        OS << "  n" << Id << " -> n" << FN->next()->id()
+           << " [style=bold];\n";
+    } else if (const auto *End = dyn_cast<EndNode>(N)) {
+      if (const MergeNode *M = End->merge())
+        OS << "  n" << Id << " -> n" << M->id() << " [style=bold];\n";
+    } else if (const auto *LE = dyn_cast<LoopEndNode>(N)) {
+      OS << "  n" << Id << " -> n" << LE->loopBegin()->id()
+         << " [style=bold, constraint=false];\n";
+    }
+  }
+  OS << "}\n";
+  return OS.str();
+}

@@ -1,0 +1,36 @@
+//===- Printer.h - Textual IR dump --------------------------------*- C++ -*-===//
+///
+/// \file
+/// Prints a Graph in a deterministic one-node-per-line format, used by the
+/// examples, the figure-regeneration bench and the test suite.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_IR_PRINTER_H
+#define JVM_IR_PRINTER_H
+
+#include <string>
+
+namespace jvm {
+
+class Graph;
+class Node;
+
+/// Renders \p N as `%id` plus kind and attributes (no inputs).
+std::string nodeLabel(const Node *N);
+
+/// Renders one line describing \p N: label, inputs, successors.
+std::string nodeToString(const Node *N);
+
+/// Renders the whole graph: fixed nodes in control-flow order, floating
+/// nodes where first referenced, deterministic across runs.
+std::string graphToString(const Graph &G);
+
+/// Renders the graph in Graphviz DOT format, in the visual style of the
+/// paper's Figure 2: bold edges for control flow (downwards), thin edges
+/// for data dependencies, dashed boxes for frame states.
+std::string graphToDot(const Graph &G);
+
+} // namespace jvm
+
+#endif // JVM_IR_PRINTER_H

@@ -1,0 +1,160 @@
+//===- Verifier.cpp - IR structural invariant checks ------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "ir/Graph.h"
+#include "ir/Printer.h"
+#include "support/Casting.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+using namespace jvm;
+
+namespace {
+
+class VerifierImpl {
+public:
+  explicit VerifierImpl(const Graph &G) : G(G) {}
+
+  std::vector<std::string> run() {
+    for (unsigned Id = 0, E = G.nodeIdBound(); Id != E; ++Id) {
+      Node *N = G.nodeAt(Id);
+      if (!N)
+        continue;
+      checkEdgeSymmetry(N);
+      checkNodeInvariants(N);
+    }
+    return std::move(Problems);
+  }
+
+private:
+  void problem(const Node *N, const std::string &Msg) {
+    std::ostringstream OS;
+    OS << nodeLabel(N) << ": " << Msg;
+    Problems.push_back(OS.str());
+  }
+
+  void checkEdgeSymmetry(Node *N) {
+    // Every input occurrence must appear once in the input's usage list.
+    std::map<Node *, int> Expected;
+    for (Node *In : N->inputs()) {
+      if (!In)
+        continue;
+      if (In->isDeleted())
+        problem(N, "references a deleted node");
+      ++Expected[In];
+    }
+    for (auto &[In, Count] : Expected) {
+      int Found = 0;
+      for (Node *U : In->usages())
+        if (U == N)
+          ++Found;
+      if (Found != Count)
+        problem(N, "usage list of input %" + std::to_string(In->id()) +
+                       " is out of sync");
+    }
+  }
+
+  void checkNodeInvariants(Node *N) {
+    if (auto *FN = dyn_cast<FixedWithNextNode>(N)) {
+      if (FN->next() && FN->next()->predecessor() != FN)
+        problem(N, "successor's predecessor back-pointer is wrong");
+    }
+    if (auto *If = dyn_cast<IfNode>(N)) {
+      if (!If->trueSuccessor() || !If->falseSuccessor())
+        problem(N, "If with missing successor");
+      else {
+        if (If->trueSuccessor()->predecessor() != If)
+          problem(N, "true successor's predecessor is wrong");
+        if (If->falseSuccessor()->predecessor() != If)
+          problem(N, "false successor's predecessor is wrong");
+        if (!isa<BeginNode>(If->trueSuccessor()) ||
+            !isa<BeginNode>(If->falseSuccessor()))
+          problem(N, "If successors must be Begin nodes");
+      }
+      if (!If->condition() || If->condition()->type() != ValueType::Int)
+        problem(N, "If condition must be an Int value");
+    }
+    if (auto *M = dyn_cast<MergeNode>(N)) {
+      bool IsLoop = isa<LoopBeginNode>(M);
+      if (M->numEnds() == 0)
+        problem(N, "merge without ends");
+      for (unsigned I = 0, E = M->numEnds(); I != E; ++I) {
+        Node *End = M->input(I);
+        if (!End) {
+          problem(N, "null end");
+          continue;
+        }
+        if (IsLoop) {
+          if (I == 0 && !isa<EndNode>(End))
+            problem(N, "loop forward end must be an End");
+          if (I > 0 && !isa<LoopEndNode>(End))
+            problem(N, "loop back edge must be a LoopEnd");
+        } else if (!isa<EndNode>(End)) {
+          problem(N, "merge input is not an End");
+        }
+      }
+      for (PhiNode *Phi : M->phis())
+        if (Phi->numValues() != M->numEnds())
+          problem(Phi, "phi operand count does not match merge ends");
+    }
+    if (auto *LE = dyn_cast<LoopEndNode>(N)) {
+      if (!LE->loopBegin() || LE->loopBegin()->indexOfEnd(LE) < 0)
+        problem(N, "loop end not registered with its loop");
+    }
+    if (auto *Phi = dyn_cast<PhiNode>(N)) {
+      // Orphaned phis of swept regions can have a nulled merge input
+      // while they wait for dead-code elimination; only phis that are
+      // still used must be anchored.
+      if (!isa_and_nonnull<MergeNode>(Phi->input(0)) && Phi->hasUsages())
+        problem(N, "used phi without a merge anchor");
+    }
+    if (auto *FS = dyn_cast<FrameStateNode>(N)) {
+      unsigned Fixed = 1 + FS->numLocals() + FS->numStack() + FS->numLocks();
+      unsigned MappingInputs = 0;
+      for (unsigned I = 0, E = FS->numVirtualMappings(); I != E; ++I) {
+        const auto &M = FS->virtualMapping(I);
+        MappingInputs += 1 + M.NumEntries;
+        if (M.InputOffset >= FS->numInputs() ||
+            !isa_and_nonnull<VirtualObjectNode>(FS->input(M.InputOffset)))
+          problem(N, "virtual mapping does not reference a VirtualObject");
+      }
+      if (FS->numInputs() != Fixed + MappingInputs)
+        problem(N, "frame state input count does not match its layout");
+      if (FS->outer() && !isa<FrameStateNode>(FS->input(0)))
+        problem(N, "outer state is not a FrameState");
+    }
+    if (auto *SN = dyn_cast<StatefulNode>(N)) {
+      Node *S = SN->input(SN->numInputs() - 1);
+      if (S && !isa<FrameStateNode>(S))
+        problem(N, "last input of a stateful node must be a FrameState");
+    }
+    if (auto *Ret = dyn_cast<ReturnNode>(N)) {
+      if (Ret->hasValue() && !Ret->value())
+        problem(N, "return with null value");
+    }
+  }
+
+  const Graph &G;
+  std::vector<std::string> Problems;
+};
+
+} // namespace
+
+std::vector<std::string> jvm::verifyGraph(const Graph &G) {
+  return VerifierImpl(G).run();
+}
+
+void jvm::verifyGraphOrDie(const Graph &G) {
+  std::vector<std::string> Problems = verifyGraph(G);
+  if (Problems.empty())
+    return;
+  std::fprintf(stderr, "malformed graph (method %d):\n", G.method());
+  for (const std::string &P : Problems)
+    std::fprintf(stderr, "  %s\n", P.c_str());
+  std::fprintf(stderr, "%s\n", graphToString(G).c_str());
+  std::abort();
+}

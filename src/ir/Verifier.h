@@ -1,0 +1,29 @@
+//===- Verifier.h - IR structural invariant checks ----------------*- C++ -*-===//
+///
+/// \file
+/// Checks the structural invariants of a Graph: edge symmetry, control-flow
+/// linkage, merge/phi consistency and frame-state layout. Run after every
+/// phase in the test suite.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_IR_VERIFIER_H
+#define JVM_IR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+namespace jvm {
+
+class Graph;
+
+/// Returns a list of human-readable problems; empty means the graph is
+/// well-formed.
+std::vector<std::string> verifyGraph(const Graph &G);
+
+/// Aborts with a diagnostic if \p G is malformed.
+void verifyGraphOrDie(const Graph &G);
+
+} // namespace jvm
+
+#endif // JVM_IR_VERIFIER_H

@@ -1,0 +1,169 @@
+//===- EquiEscapeSets.cpp - Flow-insensitive escape analysis ------------------===//
+
+#include "pea/EquiEscapeSets.h"
+
+#include "ir/Graph.h"
+#include "support/Casting.h"
+
+#include <map>
+
+using namespace jvm;
+
+namespace {
+
+/// Union-find over nodes participating in escape sets (allocations and
+/// the phis/loads that alias them).
+class EquiEscapeSetsImpl {
+public:
+  explicit EquiEscapeSetsImpl(const Graph &G) : G(G) {}
+
+  std::set<const Node *> run() {
+    // Seed: every allocation is its own set.
+    forEachLive([&](const Node *N) {
+      if (isa<NewInstanceNode, NewArrayNode>(N))
+        makeSet(N);
+    });
+
+    // Phis and loads can alias allocations; give them set identities too
+    // so that merging works transitively. (A phi over references joins
+    // the sets of all its inputs; a load from a tracked object joins the
+    // target's set, because whatever was stored there is in that set.)
+    forEachLive([&](const Node *N) {
+      if (N->type() != ValueType::Ref)
+        return;
+      if (isa<PhiNode, LoadFieldNode, LoadIndexedNode>(N))
+        makeSet(N);
+    });
+
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      forEachLive([&](const Node *N) { Changed |= visit(N); });
+    }
+
+    std::set<const Node *> Result;
+    forEachLive([&](const Node *N) {
+      if (isa<NewInstanceNode, NewArrayNode>(N) && escaped(N))
+        Result.insert(N);
+    });
+    return Result;
+  }
+
+private:
+  template <typename Fn> void forEachLive(Fn F) {
+    for (unsigned Id = 0, E = G.nodeIdBound(); Id != E; ++Id)
+      if (const Node *N = G.nodeAt(Id))
+        F(N);
+  }
+
+  void makeSet(const Node *N) { Parent.emplace(N, N); }
+
+  bool tracked(const Node *N) const { return N && Parent.count(N); }
+
+  const Node *find(const Node *N) {
+    const Node *Root = N;
+    while (Parent[Root] != Root)
+      Root = Parent[Root];
+    while (Parent[N] != Root) {
+      const Node *Next = Parent[N];
+      Parent[N] = Root;
+      N = Next;
+    }
+    return Root;
+  }
+
+  /// Returns true if the merge changed anything.
+  bool merge(const Node *A, const Node *B) {
+    const Node *RA = find(A);
+    const Node *RB = find(B);
+    if (RA == RB)
+      return false;
+    Parent[RA] = RB;
+    Escaped[RB] = Escaped[RB] || Escaped[RA];
+    return true;
+  }
+
+  bool markEscaped(const Node *N) {
+    const Node *R = find(N);
+    if (Escaped[R])
+      return false;
+    Escaped[R] = true;
+    return true;
+  }
+
+  bool escaped(const Node *N) { return Escaped[find(N)]; }
+
+  bool visit(const Node *N) {
+    bool Changed = false;
+    switch (N->kind()) {
+    case NodeKind::Phi: {
+      if (!tracked(N))
+        return false;
+      const auto *Phi = cast<PhiNode>(N);
+      for (unsigned I = 0, E = Phi->numValues(); I != E; ++I)
+        if (tracked(Phi->valueAt(I)))
+          Changed |= merge(N, Phi->valueAt(I));
+      return Changed;
+    }
+    case NodeKind::StoreField: {
+      const auto *Store = cast<StoreFieldNode>(N);
+      if (!tracked(Store->value()))
+        return false;
+      if (tracked(Store->object()))
+        return merge(Store->value(), Store->object());
+      return markEscaped(Store->value());
+    }
+    case NodeKind::StoreIndexed: {
+      const auto *Store = cast<StoreIndexedNode>(N);
+      if (!tracked(Store->value()))
+        return false;
+      if (tracked(Store->array()))
+        return merge(Store->value(), Store->array());
+      return markEscaped(Store->value());
+    }
+    case NodeKind::LoadField: {
+      const auto *Load = cast<LoadFieldNode>(N);
+      if (tracked(Load) && tracked(Load->object()))
+        return merge(Load, Load->object());
+      return false;
+    }
+    case NodeKind::LoadIndexed: {
+      const auto *Load = cast<LoadIndexedNode>(N);
+      if (tracked(Load) && tracked(Load->array()))
+        return merge(Load, Load->array());
+      return false;
+    }
+    case NodeKind::StoreStatic: {
+      const auto *Store = cast<StoreStaticNode>(N);
+      if (tracked(Store->value()))
+        return markEscaped(Store->value());
+      return false;
+    }
+    case NodeKind::Return: {
+      const auto *Ret = cast<ReturnNode>(N);
+      if (Ret->hasValue() && tracked(Ret->value()))
+        return markEscaped(Ret->value());
+      return false;
+    }
+    case NodeKind::Invoke: {
+      const auto *Call = cast<InvokeNode>(N);
+      for (unsigned I = 0, E = Call->numArgs(); I != E; ++I)
+        if (tracked(Call->argAt(I)))
+          Changed |= markEscaped(Call->argAt(I));
+      return Changed;
+    }
+    default:
+      return false;
+    }
+  }
+
+  const Graph &G;
+  std::map<const Node *, const Node *> Parent;
+  std::map<const Node *, bool> Escaped;
+};
+
+} // namespace
+
+std::set<const Node *> jvm::computeEscapingAllocations(const Graph &G) {
+  return EquiEscapeSetsImpl(G).run();
+}

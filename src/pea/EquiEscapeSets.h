@@ -1,0 +1,33 @@
+//===- EquiEscapeSets.h - Flow-insensitive escape analysis ----------*- C++ -*-===//
+///
+/// \file
+/// The equi-escape-sets algorithm (Kotzmann & Mössenböck, VEE'05): a
+/// union-find over allocations where operations either merge sets (an
+/// allocation flows into another tracked object or a phi) or mark a set
+/// escaping (passed to a call, returned, stored to a static or into an
+/// untracked object). The verdict is all-or-nothing per allocation —
+/// exactly the baseline the paper's Partial Escape Analysis improves on
+/// (Sections 3 and 8.1), standing in for the HotSpot server compiler's
+/// escape analysis in the Section 6.2 comparison.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_PEA_EQUIESCAPESETS_H
+#define JVM_PEA_EQUIESCAPESETS_H
+
+#include <set>
+
+namespace jvm {
+
+class Graph;
+class Node;
+
+/// Returns the allocations (NewInstance/NewArray nodes) of \p G that
+/// escape according to the flow-insensitive equi-escape-sets analysis.
+/// Allocations *not* in the result never escape on any path and are safe
+/// to scalar-replace unconditionally.
+std::set<const Node *> computeEscapingAllocations(const Graph &G);
+
+} // namespace jvm
+
+#endif // JVM_PEA_EQUIESCAPESETS_H

@@ -1,0 +1,1292 @@
+//===- PartialEscapeAnalysis.cpp - The paper's core algorithm ------------------===//
+//
+// Implementation notes
+// --------------------
+// The analysis is effect-based: while walking the control flow it never
+// mutates existing graph structure directly. Graph edits are queued as
+// closures ("effects") and applied only after the whole analysis
+// finished. New nodes (VirtualObject, Materialize, AllocatedObject,
+// phis) *are* created eagerly — the analysis needs their identities —
+// and are tracked so that a discarded loop iteration (Section 5.4) can
+// roll back both its effects and its nodes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pea/PartialEscapeAnalysis.h"
+
+#include "bytecode/Program.h"
+#include "ir/Graph.h"
+#include "ir/Printer.h"
+#include "pea/EquiEscapeSets.h"
+#include "support/Casting.h"
+#include "support/Debug.h"
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+using namespace jvm;
+
+namespace {
+
+/// Maximum constant array length the analysis is willing to virtualize.
+constexpr int64_t MaxVirtualArrayLength = 64;
+
+/// The paper's ObjectState (Listing 7): what is known about one tracked
+/// allocation at one point in the control flow.
+struct ObjState {
+  bool Virtual = true;
+  /// Field/element values while virtual. Entries referencing other
+  /// tracked allocations hold the VirtualObjectNode itself.
+  std::vector<Node *> Entries;
+  int LockDepth = 0;
+  /// The runtime value standing for the object once escaped.
+  Node *Materialized = nullptr;
+
+  bool operator==(const ObjState &O) const = default;
+};
+
+/// The paper's State (Listing 7): object states plus the alias map.
+struct PeaState {
+  std::map<VirtualObjectNode *, ObjState> Objects;
+  std::map<Node *, VirtualObjectNode *> Aliases;
+};
+
+class PartialEscapeClosure {
+public:
+  PartialEscapeClosure(Graph &G, const Program &P,
+                       const CompilerOptions &Opts,
+                       std::set<const Node *> DoNotVirtualize, PEAStats *Out)
+      : G(G), P(P), Opts(Opts), DoNotVirtualize(std::move(DoNotVirtualize)),
+        Out(Out) {}
+
+  bool run() {
+    PeaState Entry;
+    RegionResult Res =
+        processRegion(G.start(), std::move(Entry), /*Boundary=*/nullptr);
+    assert(Res.BackedgeStates.empty() && Res.ExitStates.empty() &&
+           "loop boundaries leaked out of the top-level region");
+    (void)Res;
+    bool Changed = !Effects.empty();
+    applyEffects();
+    if (Out)
+      *Out = Stats;
+    return Changed;
+  }
+
+private:
+  //===------------------------------------------------------------------===//
+  // Effects and node tracking
+  //===------------------------------------------------------------------===//
+
+  struct Checkpoint {
+    size_t NumEffects;
+    size_t NumCreated;
+    size_t NumRemovals;
+    size_t NumReplacements;
+  };
+
+  Checkpoint checkpoint() const {
+    return {Effects.size(), Created.size(), RemovalVec.size(),
+            ReplacedVec.size()};
+  }
+
+  void rollback(Checkpoint CP) {
+    Effects.resize(CP.NumEffects);
+    if (RemovalVec.size() != CP.NumRemovals) {
+      RemovalVec.resize(CP.NumRemovals);
+      RemovalSet.clear();
+      RemovalSet.insert(RemovalVec.begin(), RemovalVec.end());
+    }
+    while (ReplacedVec.size() > CP.NumReplacements) {
+      Replaced.erase(ReplacedVec.back());
+      ReplacedVec.pop_back();
+    }
+    for (size_t I = Created.size(); I-- > CP.NumCreated;) {
+      Node *N = Created[I];
+      if (N->isDeleted())
+        continue;
+      while (N->numInputs() > 0)
+        N->removeInput(N->numInputs() - 1);
+    }
+    for (size_t I = Created.size(); I-- > CP.NumCreated;) {
+      Node *N = Created[I];
+      if (N->isDeleted())
+        continue;
+      assert(!N->hasUsages() && "rolled-back node escaped into live code");
+      G.deleteNode(N);
+    }
+    Created.resize(CP.NumCreated);
+  }
+
+  template <typename T, typename... Args> T *createNode(Args &&...A) {
+    T *N = G.create<T>(std::forward<Args>(A)...);
+    Created.push_back(N);
+    return N;
+  }
+
+  void addEffect(std::function<void()> Fn) { Effects.push_back(std::move(Fn)); }
+
+  void applyEffects() {
+    for (const std::function<void()> &Fn : Effects)
+      Fn();
+    // Remove nodes that were unlinked from control flow and whose values
+    // were fully redirected.
+    for (Node *N : Unlinked) {
+      if (N->isDeleted())
+        continue;
+      if (!N->hasUsages()) {
+        G.deleteNode(N);
+        continue;
+      }
+      // Remaining usages must come from now-dead metadata (orphaned frame
+      // states of removed side effects); dead-code elimination deletes
+      // them and then the node itself.
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // State helpers
+  //===------------------------------------------------------------------===//
+
+  /// Scalar-replaced loads are replaced at their usages when effects
+  /// apply; any value the *analysis* captures (object entries, rebuilt
+  /// compares) must be resolved through those replacements first, or a
+  /// later effect would re-install a reference to the dead load.
+  Node *resolveReplaced(Node *V) const {
+    for (auto It = Replaced.find(V); It != Replaced.end();
+         It = Replaced.find(V))
+      V = It->second;
+    return V;
+  }
+
+  VirtualObjectNode *aliasOf(const PeaState &S, Node *V) const {
+    if (!V)
+      return nullptr;
+    if (auto *VO = dyn_cast<VirtualObjectNode>(V))
+      return VO;
+    auto It = S.Aliases.find(V);
+    return It == S.Aliases.end() ? nullptr : It->second;
+  }
+
+  /// The value to record in a tracked object's entry for \p V.
+  Node *canonicalEntry(const PeaState &S, Node *V) const {
+    if (VirtualObjectNode *VO = aliasOf(S, V)) {
+      const ObjState &OS = S.Objects.at(VO);
+      return OS.Virtual ? static_cast<Node *>(VO) : OS.Materialized;
+    }
+    return resolveReplaced(V);
+  }
+
+  void recordReplacement(Node *Old, Node *New) {
+    ReplacedVec.push_back(Old);
+    Replaced[Old] = resolveReplaced(New);
+  }
+
+  /// Resolves an entry for use as a runtime value; the caller must have
+  /// ensured that no virtual object remains behind it.
+  Node *resolveEntry(const PeaState &S, Node *E) const {
+    if (auto *VO = dyn_cast<VirtualObjectNode>(E)) {
+      const ObjState &OS = S.Objects.at(VO);
+      assert(!OS.Virtual && "resolving an entry that is still virtual");
+      return OS.Materialized;
+    }
+    return E;
+  }
+
+  Node *defaultValueFor(ValueType Ty) {
+    return Ty == ValueType::Ref ? static_cast<Node *>(G.nullConstant())
+                                : G.intConstant(0);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Materialization (Section 4: "In order for it to escape, it needs to
+  // exist").
+  //===------------------------------------------------------------------===//
+
+  /// Materializes \p VO (and every virtual object transitively reachable
+  /// from its entries) immediately before \p Before.
+  void materialize(PeaState &S, VirtualObjectNode *VO, FixedNode *Before) {
+    ObjState &Root = S.Objects.at(VO);
+    if (!Root.Virtual)
+      return;
+    // Group: closure over virtual entries (cyclic structures commit
+    // together).
+    std::vector<VirtualObjectNode *> Group;
+    std::set<VirtualObjectNode *> InGroup;
+    std::vector<VirtualObjectNode *> Work{VO};
+    InGroup.insert(VO);
+    while (!Work.empty()) {
+      VirtualObjectNode *Cur = Work.back();
+      Work.pop_back();
+      Group.push_back(Cur);
+      for (Node *E : S.Objects.at(Cur).Entries)
+        if (auto *Ref = dyn_cast<VirtualObjectNode>(E))
+          if (S.Objects.at(Ref).Virtual && InGroup.insert(Ref).second)
+            Work.push_back(Ref);
+    }
+
+    auto *Commit = createNode<MaterializeNode>(nullptr);
+    // First pass: register objects (entries may name group members).
+    std::vector<AllocatedObjectNode *> Projections;
+    for (unsigned I = 0, E = Group.size(); I != E; ++I) {
+      VirtualObjectNode *Member = Group[I];
+      ObjState &OS = S.Objects.at(Member);
+      std::vector<Node *> Entries;
+      Entries.reserve(OS.Entries.size());
+      for (Node *En : OS.Entries) {
+        if (auto *Ref = dyn_cast<VirtualObjectNode>(En)) {
+          if (InGroup.count(Ref)) {
+            Entries.push_back(Ref); // Same-commit reference.
+            continue;
+          }
+          assert(!S.Objects.at(Ref).Virtual &&
+                 "virtual entry outside the materialization group");
+          Entries.push_back(S.Objects.at(Ref).Materialized);
+          continue;
+        }
+        Entries.push_back(En);
+      }
+      Commit->addObject(Member, Entries, OS.LockDepth);
+      Projections.push_back(createNode<AllocatedObjectNode>(Commit, I));
+    }
+    // Second pass: flip the states.
+    for (unsigned I = 0, E = Group.size(); I != E; ++I) {
+      ObjState &OS = S.Objects.at(Group[I]);
+      OS.Virtual = false;
+      OS.Materialized = Projections[I];
+      OS.Entries.clear();
+      OS.LockDepth = 0;
+    }
+    addEffect([this, Commit, Before] { G.insertBefore(Commit, Before); });
+    ++Stats.MaterializeSites;
+    JVM_DEBUG("materialize group of " << Group.size() << " before "
+                                      << nodeLabel(Before));
+  }
+
+  /// Ensures input \p Index of \p N holds a real runtime value, inserting
+  /// a materialization before \p N if the value is a virtual object.
+  void escapeInput(PeaState &S, FixedNode *N, unsigned Index) {
+    Node *V = N->input(Index);
+    VirtualObjectNode *VO = aliasOf(S, V);
+    if (!VO)
+      return;
+    if (S.Objects.at(VO).Virtual)
+      materialize(S, VO, N);
+    Node *Mat = S.Objects.at(VO).Materialized;
+    addEffect([N, Index, Mat] { N->setInput(Index, Mat); });
+  }
+
+  //===------------------------------------------------------------------===//
+  // Floating check folding (ref equality, null checks, type checks)
+  //===------------------------------------------------------------------===//
+
+  /// Folds a Compare/InstanceOf input of \p User if escape-analysis state
+  /// decides it, replacing only this user's input (the floating node may
+  /// be shared across positions with different states).
+  void foldCheckInput(PeaState &S, Node *User, unsigned Index) {
+    Node *V = User->input(Index);
+    if (!V)
+      return;
+    Node *Folded = nullptr;
+    if (auto *Cmp = dyn_cast<CompareNode>(V))
+      Folded = foldCompare(S, Cmp);
+    else if (auto *IO = dyn_cast<InstanceOfNode>(V))
+      Folded = foldInstanceOf(S, IO);
+    if (!Folded || Folded == V)
+      return;
+    ++Stats.FoldedChecks;
+    addEffect([User, Index, Folded] { User->setInput(Index, Folded); });
+  }
+
+  Node *foldCompare(PeaState &S, CompareNode *Cmp) {
+    if (Cmp->op() == CmpKind::IsNull) {
+      VirtualObjectNode *VO = aliasOf(S, Cmp->x());
+      if (!VO)
+        return nullptr;
+      if (S.Objects.at(VO).Virtual)
+        return G.intConstant(0); // Virtual objects are never null.
+      return rebuildCompare(S, Cmp);
+    }
+    if (Cmp->op() != CmpKind::RefEq)
+      return nullptr;
+    VirtualObjectNode *VX = aliasOf(S, Cmp->x());
+    VirtualObjectNode *VY = aliasOf(S, Cmp->y());
+    if (!VX && !VY)
+      return nullptr;
+    bool XVirtual = VX && S.Objects.at(VX).Virtual;
+    bool YVirtual = VY && S.Objects.at(VY).Virtual;
+    if (XVirtual && YVirtual)
+      return G.intConstant(VX == VY ? 1 : 0);
+    if (XVirtual || YVirtual)
+      return G.intConstant(0); // Exactly one side is virtual (Section 5.2).
+    return rebuildCompare(S, Cmp);
+  }
+
+  /// Both sides are real values but reference escaped aliases: rebuild
+  /// the compare against the materialized values.
+  Node *rebuildCompare(PeaState &S, CompareNode *Cmp) {
+    Node *X = canonicalEntry(S, Cmp->x());
+    Node *Y = Cmp->op() == CmpKind::IsNull ? nullptr
+                                           : canonicalEntry(S, Cmp->y());
+    return createNode<CompareNode>(Cmp->op(), X, Y);
+  }
+
+  Node *foldInstanceOf(PeaState &S, InstanceOfNode *IO) {
+    VirtualObjectNode *VO = aliasOf(S, IO->object());
+    if (!VO)
+      return nullptr;
+    const ObjState &OS = S.Objects.at(VO);
+    if (!OS.Virtual)
+      return createNode<InstanceOfNode>(IO->testedClass(), IO->isExact(),
+                                        OS.Materialized);
+    if (VO->isArray())
+      return G.intConstant(0);
+    bool Result = IO->isExact()
+                      ? VO->objectClass() == IO->testedClass()
+                      : P.isSubclassOf(VO->objectClass(), IO->testedClass());
+    return G.intConstant(Result ? 1 : 0);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Frame state virtualization (Section 5.5)
+  //===------------------------------------------------------------------===//
+
+  /// Rewrites the frame-state chain of \p User so that references to
+  /// virtual objects become VirtualObjectNode references with attached
+  /// field snapshots, and references to escaped objects become their
+  /// materialized values. The chain is duplicated because outer states
+  /// are shared across positions with different object states.
+  void processStateOn(FixedNode *User, FrameStateNode *FS, PeaState &S) {
+    if (!FS)
+      return;
+    struct StateRewrite {
+      FrameStateNode *Orig;
+      std::vector<std::pair<unsigned, Node *>> Replacements;
+    };
+    std::vector<StateRewrite> Chain;
+    std::set<VirtualObjectNode *> Referenced;
+    bool Any = false;
+    for (FrameStateNode *Cur = FS; Cur; Cur = Cur->outer()) {
+      assert(Cur->numVirtualMappings() == 0 &&
+             "escape analysis runs once per compilation");
+      StateRewrite R{Cur, {}};
+      unsigned Total =
+          1 + Cur->numLocals() + Cur->numStack() + Cur->numLocks();
+      for (unsigned I = 1; I != Total; ++I) {
+        VirtualObjectNode *VO = aliasOf(S, Cur->input(I));
+        if (!VO)
+          continue;
+        Any = true;
+        const ObjState &OS = S.Objects.at(VO);
+        if (OS.Virtual) {
+          R.Replacements.push_back({I, VO});
+          collectVirtualClosure(S, VO, Referenced);
+        } else {
+          R.Replacements.push_back({I, OS.Materialized});
+        }
+      }
+      Chain.push_back(std::move(R));
+    }
+    if (!Any)
+      return;
+    ++Stats.VirtualizedStates;
+
+    struct MappingSnapshot {
+      VirtualObjectNode *VO;
+      std::vector<Node *> Entries;
+      int LockDepth;
+    };
+    std::vector<MappingSnapshot> Mappings;
+    for (VirtualObjectNode *VO : Referenced) {
+      const ObjState &OS = S.Objects.at(VO);
+      MappingSnapshot M{VO, {}, OS.LockDepth};
+      for (Node *E : OS.Entries) {
+        if (auto *Ref = dyn_cast<VirtualObjectNode>(E)) {
+          if (S.Objects.at(Ref).Virtual) {
+            assert(Referenced.count(Ref) && "closure missed a virtual ref");
+            M.Entries.push_back(Ref);
+          } else {
+            M.Entries.push_back(S.Objects.at(Ref).Materialized);
+          }
+          continue;
+        }
+        M.Entries.push_back(E);
+      }
+      Mappings.push_back(std::move(M));
+    }
+
+    addEffect([this, User, Chain, Mappings] {
+      FrameStateNode *Outer = nullptr;
+      FrameStateNode *Inner = nullptr;
+      for (auto It = Chain.rbegin(), E = Chain.rend(); It != E; ++It) {
+        FrameStateNode *Src = It->Orig;
+        auto *Dup = G.create<FrameStateNode>(
+            Src->method(), Src->bci(), Src->isReexecute(), Src->numLocals(),
+            Src->numStack(), Src->numLocks());
+        unsigned Total =
+            1 + Src->numLocals() + Src->numStack() + Src->numLocks();
+        for (unsigned I = 1; I != Total; ++I)
+          Dup->setInput(I, Src->input(I));
+        for (const auto &[Index, Repl] : It->Replacements)
+          Dup->setInput(Index, Repl);
+        Dup->setOuter(Outer);
+        Outer = Dup;
+        Inner = Dup;
+      }
+      for (const MappingSnapshot &M : Mappings)
+        Inner->addVirtualMapping(M.VO, M.Entries, M.LockDepth);
+      if (auto *SN = dyn_cast<StatefulNode>(User))
+        SN->setState(Inner);
+      else if (auto *D = dyn_cast<DeoptimizeNode>(User))
+        D->setInput(0, Inner);
+      else
+        jvm_unreachable("frame state on an unexpected node kind");
+    });
+  }
+
+  void collectVirtualClosure(const PeaState &S, VirtualObjectNode *VO,
+                             std::set<VirtualObjectNode *> &Set) const {
+    if (!Set.insert(VO).second)
+      return;
+    for (Node *E : S.Objects.at(VO).Entries)
+      if (auto *Ref = dyn_cast<VirtualObjectNode>(E))
+        if (S.Objects.at(Ref).Virtual)
+          collectVirtualClosure(S, Ref, Set);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Per-node transfer functions (Section 5.2)
+  //===------------------------------------------------------------------===//
+
+  /// Schedules \p N for removal from control flow and remembers the
+  /// decision so that merge-time liveness checks can ignore it.
+  void unlink(FixedWithNextNode *N) {
+    recordRemoval(N);
+    addEffect([this, N] {
+      G.unlinkFixed(N);
+      Unlinked.push_back(N);
+    });
+  }
+
+  void recordRemoval(Node *N) {
+    if (RemovalSet.insert(N).second)
+      RemovalVec.push_back(N);
+  }
+
+  /// True if some unprocessed (i.e. downstream on the current walk) part
+  /// of the graph can still observe the value of \p N. Floating users
+  /// (phis, frame states, compares) are observers only if their own
+  /// users are.
+  bool isObservedDownstream(Node *N, std::set<Node *> &Visited) {
+    for (Node *U : N->usages()) {
+      if (RemovalSet.count(U))
+        continue;
+      if (!Visited.insert(U).second)
+        continue;
+      if (U->isFixed()) {
+        auto It = ProcessedEpoch.find(U);
+        if (It == ProcessedEpoch.end() || It->second != Epoch)
+          return true;
+        continue;
+      }
+      if (isObservedDownstream(U, Visited))
+        return true;
+    }
+    return false;
+  }
+
+  void processNode(FixedWithNextNode *N, PeaState &S) {
+    switch (N->kind()) {
+    case NodeKind::NewInstance: {
+      auto *New = cast<NewInstanceNode>(N);
+      if (DoNotVirtualize.count(New))
+        return;
+      auto *VO = createNode<VirtualObjectNode>(
+          New->instanceClass(), /*IsArray=*/false, ValueType::Void,
+          New->numFields());
+      ObjState OS;
+      const ClassInfo &C = P.classAt(New->instanceClass());
+      for (unsigned I = 0, E = New->numFields(); I != E; ++I)
+        OS.Entries.push_back(defaultValueFor(C.Fields[I].Ty));
+      S.Objects[VO] = std::move(OS);
+      S.Aliases[New] = VO;
+      unlink(New);
+      ++Stats.VirtualizedAllocations;
+      return;
+    }
+    case NodeKind::NewArray: {
+      auto *New = cast<NewArrayNode>(N);
+      auto *Len = dyn_cast<ConstantIntNode>(New->length());
+      if (DoNotVirtualize.count(New) || !Len || Len->value() < 0 ||
+          Len->value() > MaxVirtualArrayLength)
+        return;
+      auto *VO = createNode<VirtualObjectNode>(
+          NoClass, /*IsArray=*/true, New->elementType(),
+          static_cast<unsigned>(Len->value()));
+      ObjState OS;
+      for (int64_t I = 0, E = Len->value(); I != E; ++I)
+        OS.Entries.push_back(defaultValueFor(New->elementType()));
+      S.Objects[VO] = std::move(OS);
+      S.Aliases[New] = VO;
+      unlink(New);
+      ++Stats.VirtualizedAllocations;
+      return;
+    }
+
+    case NodeKind::LoadField: {
+      auto *Load = cast<LoadFieldNode>(N);
+      VirtualObjectNode *VO = aliasOf(S, Load->object());
+      if (!VO)
+        return;
+      const ObjState &OS = S.Objects.at(VO);
+      if (!OS.Virtual) {
+        addEffect([Load, Mat = OS.Materialized] { Load->setInput(0, Mat); });
+        return;
+      }
+      Node *Entry = OS.Entries[Load->field()];
+      replaceLoadedValue(S, Load, Entry);
+      return;
+    }
+    case NodeKind::StoreField: {
+      auto *Store = cast<StoreFieldNode>(N);
+      foldCheckInput(S, Store, 1);
+      VirtualObjectNode *VO = aliasOf(S, Store->object());
+      if (VO && S.Objects.at(VO).Virtual) {
+        S.Objects.at(VO).Entries[Store->field()] =
+            canonicalEntry(S, Store->value());
+        unlink(Store);
+        ++Stats.ScalarReplacedStores;
+        return;
+      }
+      if (VO)
+        addEffect([Store, Mat = S.Objects.at(VO).Materialized] {
+          Store->setInput(0, Mat);
+        });
+      escapeInput(S, Store, 1); // The stored value escapes into the heap.
+      processStateOn(Store, Store->state(), S);
+      return;
+    }
+
+    case NodeKind::LoadIndexed: {
+      auto *Load = cast<LoadIndexedNode>(N);
+      VirtualObjectNode *VO = aliasOf(S, Load->array());
+      if (!VO)
+        return;
+      if (S.Objects.at(VO).Virtual) {
+        auto *Idx = dyn_cast<ConstantIntNode>(Load->index());
+        if (Idx && Idx->value() >= 0 &&
+            Idx->value() <
+                static_cast<int64_t>(S.Objects.at(VO).Entries.size())) {
+          Node *Entry = S.Objects.at(VO).Entries[Idx->value()];
+          replaceLoadedValue(S, Load, Entry);
+          return;
+        }
+        // Unknown index: the array must exist.
+        materialize(S, VO, Load);
+      }
+      addEffect([Load, Mat = S.Objects.at(VO).Materialized] {
+        Load->setInput(0, Mat);
+      });
+      return;
+    }
+    case NodeKind::StoreIndexed: {
+      auto *Store = cast<StoreIndexedNode>(N);
+      foldCheckInput(S, Store, 2);
+      VirtualObjectNode *VO = aliasOf(S, Store->array());
+      if (VO && S.Objects.at(VO).Virtual) {
+        auto *Idx = dyn_cast<ConstantIntNode>(Store->index());
+        if (Idx && Idx->value() >= 0 &&
+            Idx->value() <
+                static_cast<int64_t>(S.Objects.at(VO).Entries.size())) {
+          S.Objects.at(VO).Entries[Idx->value()] =
+              canonicalEntry(S, Store->value());
+          unlink(Store);
+          ++Stats.ScalarReplacedStores;
+          return;
+        }
+        materialize(S, VO, Store);
+      }
+      if (VO)
+        addEffect([Store, Mat = S.Objects.at(VO).Materialized] {
+          Store->setInput(0, Mat);
+        });
+      escapeInput(S, Store, 2);
+      processStateOn(Store, Store->state(), S);
+      return;
+    }
+    case NodeKind::ArrayLength: {
+      auto *Len = cast<ArrayLengthNode>(N);
+      VirtualObjectNode *VO = aliasOf(S, Len->array());
+      if (!VO)
+        return;
+      const ObjState &OS = S.Objects.at(VO);
+      if (OS.Virtual) {
+        Node *C = G.intConstant(VO->numEntries());
+        recordReplacement(Len, C);
+        addEffect([this, Len, C] {
+          Len->replaceAtAllUsages(C);
+          G.unlinkFixed(Len);
+          Unlinked.push_back(Len);
+        });
+        ++Stats.ScalarReplacedLoads;
+        return;
+      }
+      addEffect([Len, Mat = OS.Materialized] { Len->setInput(0, Mat); });
+      return;
+    }
+
+    case NodeKind::MonitorEnter: {
+      auto *Mon = cast<MonitorEnterNode>(N);
+      VirtualObjectNode *VO = aliasOf(S, Mon->object());
+      if (VO && S.Objects.at(VO).Virtual) {
+        ++S.Objects.at(VO).LockDepth;
+        unlink(Mon);
+        ++Stats.ElidedMonitorOps;
+        return;
+      }
+      if (VO)
+        addEffect([Mon, Mat = S.Objects.at(VO).Materialized] {
+          Mon->setInput(0, Mat);
+        });
+      processStateOn(Mon, Mon->state(), S);
+      return;
+    }
+    case NodeKind::MonitorExit: {
+      auto *Mon = cast<MonitorExitNode>(N);
+      VirtualObjectNode *VO = aliasOf(S, Mon->object());
+      if (VO && S.Objects.at(VO).Virtual) {
+        assert(S.Objects.at(VO).LockDepth > 0 &&
+               "monitor exit on an unlocked virtual object");
+        --S.Objects.at(VO).LockDepth;
+        unlink(Mon);
+        ++Stats.ElidedMonitorOps;
+        return;
+      }
+      if (VO)
+        addEffect([Mon, Mat = S.Objects.at(VO).Materialized] {
+          Mon->setInput(0, Mat);
+        });
+      processStateOn(Mon, Mon->state(), S);
+      return;
+    }
+
+    case NodeKind::Invoke: {
+      auto *Call = cast<InvokeNode>(N);
+      for (unsigned I = 0, E = Call->numArgs(); I != E; ++I) {
+        foldCheckInput(S, Call, I);
+        escapeInput(S, Call, I); // Arguments escape the compilation scope.
+      }
+      processStateOn(Call, Call->state(), S);
+      return;
+    }
+
+    case NodeKind::StoreStatic: {
+      auto *Store = cast<StoreStaticNode>(N);
+      foldCheckInput(S, Store, 0);
+      escapeInput(S, Store, 0); // Globals escape (the paper's Listing 4).
+      processStateOn(Store, Store->state(), S);
+      return;
+    }
+
+    case NodeKind::LoadStatic:
+    case NodeKind::Materialize:
+      return;
+
+    default:
+      jvm_unreachable("unhandled fixed node in escape analysis");
+    }
+  }
+
+  /// Redirects the users of a scalar-replaced load: plain entry values
+  /// replace the load everywhere; entries naming virtual objects make the
+  /// load an alias instead (resolved as its users are processed).
+  void replaceLoadedValue(PeaState &S, FixedWithNextNode *Load, Node *Entry) {
+    ++Stats.ScalarReplacedLoads;
+    if (auto *Ref = dyn_cast<VirtualObjectNode>(Entry)) {
+      if (S.Objects.at(Ref).Virtual) {
+        S.Aliases[Load] = Ref;
+        unlink(Load);
+        return;
+      }
+      Entry = S.Objects.at(Ref).Materialized;
+    }
+    Entry = resolveReplaced(Entry);
+    recordReplacement(Load, Entry);
+    addEffect([this, Load, Entry] {
+      Load->replaceAtAllUsages(Entry);
+      G.unlinkFixed(Load);
+      Unlinked.push_back(Load);
+    });
+  }
+
+  //===------------------------------------------------------------------===//
+  // Control-flow driver
+  //===------------------------------------------------------------------===//
+
+  struct RegionResult {
+    std::map<LoopEndNode *, PeaState> BackedgeStates;
+    std::map<LoopExitNode *, PeaState> ExitStates;
+  };
+
+  RegionResult processRegion(FixedNode *Entry, PeaState EntryState,
+                             LoopBeginNode *Boundary) {
+    RegionResult Res;
+    std::vector<std::pair<FixedNode *, PeaState>> Work;
+    std::map<MergeNode *, std::map<int, PeaState>> Pending;
+    Work.emplace_back(Entry, std::move(EntryState));
+
+    while (!Work.empty()) {
+      FixedNode *N = Work.back().first;
+      PeaState S = std::move(Work.back().second);
+      Work.pop_back();
+      for (;;) {
+        ProcessedEpoch[N] = Epoch;
+        switch (N->kind()) {
+        case NodeKind::Start:
+        case NodeKind::Begin:
+        case NodeKind::Merge:
+        case NodeKind::LoopBegin:
+          N = cast<FixedWithNextNode>(N)->next();
+          continue;
+
+        case NodeKind::LoopExit: {
+          auto *X = cast<LoopExitNode>(N);
+          if (X->loopBegin() == Boundary) {
+            Res.ExitStates[X] = std::move(S);
+            break;
+          }
+          // Exits of enclosing loops are recorded by the enclosing
+          // region once control reaches them there.
+          N = X->next();
+          continue;
+        }
+
+        case NodeKind::End: {
+          auto *End = cast<EndNode>(N);
+          MergeNode *M = End->merge();
+          assert(M && "end without a merge");
+          if (auto *L = dyn_cast<LoopBeginNode>(M)) {
+            assert(M->indexOfEnd(End) == 0 && "loop entered via back edge");
+            std::map<LoopExitNode *, PeaState> Exits =
+                processLoop(L, std::move(S));
+            for (auto &[X, XS] : Exits)
+              Work.emplace_back(X->next(), std::move(XS));
+            break;
+          }
+          int Idx = M->indexOfEnd(End);
+          Pending[M][Idx] = std::move(S);
+          if (Pending[M].size() == M->numEnds()) {
+            PeaState Merged = mergeAt(M, Pending[M]);
+            Pending.erase(M);
+            Work.emplace_back(M->next(), std::move(Merged));
+          }
+          break;
+        }
+
+        case NodeKind::LoopEnd: {
+          auto *LE = cast<LoopEndNode>(N);
+          assert(LE->loopBegin() == Boundary &&
+                 "back edge of a foreign loop inside this region");
+          Res.BackedgeStates[LE] = std::move(S);
+          break;
+        }
+
+        case NodeKind::If: {
+          auto *If = cast<IfNode>(N);
+          foldCheckInput(S, If, 0);
+          Work.emplace_back(If->falseSuccessor(), S);
+          N = If->trueSuccessor();
+          continue;
+        }
+
+        case NodeKind::Return: {
+          auto *Ret = cast<ReturnNode>(N);
+          if (Ret->hasValue()) {
+            foldCheckInput(S, Ret, 0);
+            escapeInput(S, Ret, 0); // Returned objects escape.
+          }
+          break;
+        }
+
+        case NodeKind::Deoptimize:
+          processStateOn(cast<DeoptimizeNode>(N),
+                         cast<DeoptimizeNode>(N)->state(), S);
+          break;
+
+        case NodeKind::Unreachable:
+          break;
+
+        default:
+          processNode(cast<FixedWithNextNode>(N), S);
+          N = cast<FixedWithNextNode>(N)->next();
+          continue;
+        }
+        break; // The inner chain ended.
+      }
+    }
+    assert(Pending.empty() && "merge with unreached predecessor ends");
+    return Res;
+  }
+
+  //===------------------------------------------------------------------===//
+  // MergeProcessor (Section 5.3)
+  //===------------------------------------------------------------------===//
+
+  PeaState mergeAt(MergeNode *M, std::map<int, PeaState> &PredMap) {
+    unsigned NumPreds = M->numEnds();
+    std::vector<PeaState *> Preds;
+    for (unsigned I = 0; I != NumPreds; ++I)
+      Preds.push_back(&PredMap.at(static_cast<int>(I)));
+
+    std::set<PhiNode *> CreatedPhis;
+    // Materializations during merging can invalidate earlier decisions;
+    // iterate until no further materialization happens (Section 5.3).
+    for (;;) {
+      bool Redo = false;
+      PeaState Out;
+
+      // Kept objects: known in every predecessor AND still observable by
+      // unprocessed code through some alias (the paper's "at least one
+      // common alias" intersection rule, sharpened by liveness): objects
+      // nobody can see after the merge are dropped instead of
+      // materialized.
+      std::vector<VirtualObjectNode *> Kept;
+      std::set<VirtualObjectNode *> KeptSet;
+      std::map<VirtualObjectNode *, std::vector<Node *>> AliasesOf;
+      for (unsigned K = 0; K != NumPreds; ++K)
+        for (const auto &[N2, VO2] : Preds[K]->Aliases)
+          AliasesOf[VO2].push_back(N2);
+      for (const auto &[VO, OS0] : Preds[0]->Objects) {
+        bool Everywhere = true;
+        for (unsigned K = 1; K != NumPreds && Everywhere; ++K)
+          Everywhere = Preds[K]->Objects.count(VO) != 0;
+        if (!Everywhere)
+          continue;
+        bool Observable = !Opts.PeaMergeLivenessPruning;
+        for (Node *Alias : AliasesOf[VO]) {
+          if (Observable)
+            break;
+          std::set<Node *> Visited;
+          Observable = isObservedDownstream(Alias, Visited);
+        }
+        if (Observable) {
+          Kept.push_back(VO);
+          KeptSet.insert(VO);
+        }
+      }
+      // An object referenced from a kept virtual object's entries must be
+      // kept as well (it materializes or maps together with its parent).
+      for (bool Grew = true; Grew;) {
+        Grew = false;
+        for (VirtualObjectNode *VO : Kept) {
+          for (unsigned K = 0; K != NumPreds; ++K) {
+            const ObjState &OS = Preds[K]->Objects.at(VO);
+            if (!OS.Virtual)
+              continue;
+            for (Node *E : OS.Entries)
+              if (auto *Ref = dyn_cast<VirtualObjectNode>(E))
+                if (Preds[K]->Objects.count(Ref) && KeptSet.insert(Ref).second) {
+                  Kept.push_back(Ref);
+                  Grew = true;
+                }
+          }
+          if (Grew)
+            break;
+        }
+      }
+
+      for (VirtualObjectNode *VO : Kept) {
+        bool Everywhere = true;
+        for (unsigned K = 0; K != NumPreds; ++K)
+          Everywhere &= Preds[K]->Objects.count(VO) != 0;
+        if (!Everywhere) {
+          // Entry-closure pulled in an object missing from some path;
+          // materialize it where it exists so the parent sees a value.
+          for (unsigned K = 0; K != NumPreds; ++K)
+            if (Preds[K]->Objects.count(VO) &&
+                Preds[K]->Objects.at(VO).Virtual)
+              materialize(*Preds[K], VO, M->endAt(K));
+          Redo = true;
+          break;
+        }
+        bool AllVirtual = true, AllEscaped = true;
+        for (unsigned K = 0; K != NumPreds; ++K) {
+          bool V = Preds[K]->Objects.at(VO).Virtual;
+          AllVirtual &= V;
+          AllEscaped &= !V;
+        }
+        if (!AllVirtual && !AllEscaped) {
+          // Mixed: materialize in the virtual predecessors and retry.
+          for (unsigned K = 0; K != NumPreds; ++K)
+            if (Preds[K]->Objects.at(VO).Virtual)
+              materialize(*Preds[K], VO, M->endAt(K));
+          Redo = true;
+          break;
+        }
+        if (AllEscaped) {
+          ObjState OS;
+          OS.Virtual = false;
+          Node *First = Preds[0]->Objects.at(VO).Materialized;
+          bool Same = true;
+          for (unsigned K = 1; K != NumPreds; ++K)
+            Same &= Preds[K]->Objects.at(VO).Materialized == First;
+          if (Same) {
+            OS.Materialized = First;
+          } else {
+            auto *Phi = createNode<PhiNode>(M, ValueType::Ref);
+            for (unsigned K = 0; K != NumPreds; ++K)
+              Phi->appendValue(Preds[K]->Objects.at(VO).Materialized);
+            CreatedPhis.insert(Phi);
+            OS.Materialized = Phi;
+          }
+          Out.Objects[VO] = std::move(OS);
+          continue;
+        }
+        // All virtual: merge lock depths and field states.
+        int Depth = Preds[0]->Objects.at(VO).LockDepth;
+        bool DepthsMatch = true;
+        for (unsigned K = 1; K != NumPreds; ++K)
+          DepthsMatch &= Preds[K]->Objects.at(VO).LockDepth == Depth;
+        if (!DepthsMatch) {
+          for (unsigned K = 0; K != NumPreds; ++K)
+            materialize(*Preds[K], VO, M->endAt(K));
+          Redo = true;
+          break;
+        }
+        ObjState OS;
+        OS.LockDepth = Depth;
+        unsigned NumEntries = Preds[0]->Objects.at(VO).Entries.size();
+        for (unsigned J = 0; J != NumEntries && !Redo; ++J) {
+          Node *First = Preds[0]->Objects.at(VO).Entries[J];
+          bool Same = true;
+          for (unsigned K = 1; K != NumPreds; ++K)
+            Same &= Preds[K]->Objects.at(VO).Entries[J] == First;
+          if (Same) {
+            OS.Entries.push_back(First);
+            continue;
+          }
+          // Differing values need a phi; phi inputs must be real values,
+          // so virtual entries force materialization first.
+          for (unsigned K = 0; K != NumPreds; ++K) {
+            Node *E = Preds[K]->Objects.at(VO).Entries[J];
+            if (auto *Ref = dyn_cast<VirtualObjectNode>(E))
+              if (Preds[K]->Objects.at(Ref).Virtual) {
+                materialize(*Preds[K], Ref, M->endAt(K));
+                Redo = true;
+              }
+          }
+          if (Redo)
+            break;
+          ValueType Ty =
+              resolveEntry(*Preds[0], First)->type() == ValueType::Ref
+                  ? ValueType::Ref
+                  : ValueType::Int;
+          auto *Phi = createNode<PhiNode>(M, Ty);
+          for (unsigned K = 0; K != NumPreds; ++K)
+            Phi->appendValue(
+                resolveEntry(*Preds[K], Preds[K]->Objects.at(VO).Entries[J]));
+          CreatedPhis.insert(Phi);
+          OS.Entries.push_back(Phi);
+        }
+        if (Redo)
+          break;
+        Out.Objects[VO] = std::move(OS);
+      }
+      if (Redo)
+        continue;
+
+      // Alias intersection.
+      for (const auto &[NodePtr, VO] : Preds[0]->Aliases) {
+        if (!Out.Objects.count(VO))
+          continue;
+        bool SameEverywhere = true;
+        for (unsigned K = 1; K != NumPreds && SameEverywhere; ++K) {
+          auto It = Preds[K]->Aliases.find(NodePtr);
+          SameEverywhere =
+              It != Preds[K]->Aliases.end() && It->second == VO;
+        }
+        if (SameEverywhere)
+          Out.Aliases[NodePtr] = VO;
+      }
+
+      // Pre-existing phis at this merge (Section 5.3, Figure 6 (c)).
+      for (PhiNode *Phi : M->phis()) {
+        if (CreatedPhis.count(Phi))
+          continue;
+        std::vector<VirtualObjectNode *> InputAliases(NumPreds, nullptr);
+        bool AnyAlias = false;
+        for (unsigned K = 0; K != NumPreds; ++K) {
+          InputAliases[K] = aliasOf(*Preds[K], Phi->valueAt(K));
+          AnyAlias |= InputAliases[K] != nullptr;
+        }
+        if (!AnyAlias)
+          continue;
+        bool AllSameKeptVirtual = Out.Objects.count(InputAliases[0]) &&
+                                  Out.Objects.at(InputAliases[0]).Virtual;
+        for (unsigned K = 0; K != NumPreds; ++K)
+          AllSameKeptVirtual &= InputAliases[K] == InputAliases[0];
+        if (AllSameKeptVirtual) {
+          Out.Aliases[Phi] = InputAliases[0];
+          continue;
+        }
+        // Otherwise every aliased input becomes a real value.
+        for (unsigned K = 0; K != NumPreds; ++K) {
+          VirtualObjectNode *VO = InputAliases[K];
+          if (!VO)
+            continue;
+          if (Preds[K]->Objects.at(VO).Virtual) {
+            materialize(*Preds[K], VO, M->endAt(K));
+            Redo = true;
+          } else {
+            Node *Mat = Preds[K]->Objects.at(VO).Materialized;
+            addEffect([Phi, K, Mat] { Phi->setValueAt(K, Mat); });
+          }
+        }
+        if (Redo)
+          break;
+      }
+      if (Redo)
+        continue;
+      return Out;
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Loop fixpoint (Section 5.4)
+  //===------------------------------------------------------------------===//
+
+  struct PendingLoopPhi {
+    PhiNode *Phi;
+    VirtualObjectNode *VO;
+    unsigned Entry;
+    Node *ForwardValue;
+    bool Dead = false;
+  };
+
+  std::map<LoopExitNode *, PeaState> processLoop(LoopBeginNode *L,
+                                                 PeaState EntryState) {
+    PeaState Spec = std::move(EntryState);
+    std::vector<PendingLoopPhi> LoopPhis;
+    EndNode *FwdEnd = L->forwardEnd();
+    uint64_t ParentEpoch = Epoch;
+
+    // Pre-existing phis at the loop header: an object flowing through a
+    // loop phi must be a real value (trivial loop phis were canonicalized
+    // away before the analysis, so this does not affect objects that are
+    // merely live across the loop). Forward inputs are handled here;
+    // back-edge inputs after each body pass below.
+    std::vector<PhiNode *> HeaderPhis = L->phis();
+    for (PhiNode *Phi : HeaderPhis) {
+      VirtualObjectNode *VO = aliasOf(Spec, Phi->valueAt(0));
+      if (!VO)
+        continue;
+      if (Spec.Objects.at(VO).Virtual)
+        materialize(Spec, VO, FwdEnd);
+      Node *Mat = Spec.Objects.at(VO).Materialized;
+      addEffect([Phi, Mat] { Phi->setValueAt(0, Mat); });
+    }
+
+    auto IsPendingPhi = [&LoopPhis](Node *N) {
+      for (const PendingLoopPhi &PLP : LoopPhis)
+        if (!PLP.Dead && PLP.Phi == N)
+          return true;
+      return false;
+    };
+
+    for (unsigned Attempt = 0;; ++Attempt) {
+      Checkpoint CP = checkpoint();
+      // Nodes processed in this attempt get a fresh epoch, so that
+      // merge-time liveness sees usages from *previous* attempts (which
+      // are structurally downstream again) as unprocessed.
+      Epoch = NextEpoch++;
+      RegionResult R = processRegion(L->next(), Spec, L);
+
+      // Gather the back-edge states in phi-operand order.
+      std::vector<PeaState *> BackStates;
+      for (unsigned K = 0, E = L->numBackEdges(); K != E; ++K) {
+        auto It = R.BackedgeStates.find(L->backEdgeAt(K));
+        assert(It != R.BackedgeStates.end() &&
+               "loop back edge was not reached during iteration");
+        BackStates.push_back(&It->second);
+      }
+
+      // Back-edge inputs of pre-existing header phis become real values.
+      for (PhiNode *Phi : HeaderPhis) {
+        for (unsigned K = 0, E = L->numBackEdges(); K != E; ++K) {
+          PeaState *BS = BackStates[K];
+          VirtualObjectNode *VO = aliasOf(*BS, Phi->valueAt(1 + K));
+          if (!VO)
+            continue;
+          if (BS->Objects.at(VO).Virtual)
+            materialize(*BS, VO, L->backEdgeAt(K));
+          Node *Mat = BS->Objects.at(VO).Materialized;
+          addEffect([Phi, Slot = 1 + K, Mat] { Phi->setValueAt(Slot, Mat); });
+        }
+      }
+
+      // Compare the speculative entry state against every back edge.
+      std::set<VirtualObjectNode *> MustMaterialize;
+      std::vector<std::pair<VirtualObjectNode *, unsigned>> FieldChanges;
+      for (auto &[VO, OS] : Spec.Objects) {
+        if (!OS.Virtual)
+          continue;
+        for (PeaState *BS : BackStates) {
+          auto BIt = BS->Objects.find(VO);
+          if (BIt == BS->Objects.end())
+            continue; // Dropped as unobservable inside the body: dead.
+          const ObjState &BO = BIt->second;
+          if (!BO.Virtual || BO.LockDepth != OS.LockDepth) {
+            MustMaterialize.insert(VO);
+            break;
+          }
+          for (unsigned J = 0, E = OS.Entries.size(); J != E; ++J) {
+            if (IsPendingPhi(OS.Entries[J]))
+              continue; // Absorbed by the loop phi; filled on acceptance.
+            if (BO.Entries[J] == OS.Entries[J])
+              continue;
+            bool Plain = Opts.PeaLoopFieldPhis &&
+                         !isa<VirtualObjectNode>(BO.Entries[J]) &&
+                         !isa<VirtualObjectNode>(OS.Entries[J]);
+            if (Plain)
+              FieldChanges.push_back({VO, J});
+            else
+              MustMaterialize.insert(VO);
+          }
+          if (MustMaterialize.count(VO))
+            break;
+        }
+      }
+      // A field change on a materialization candidate is subsumed.
+      FieldChanges.erase(
+          std::remove_if(FieldChanges.begin(), FieldChanges.end(),
+                         [&](const auto &FC) {
+                           return MustMaterialize.count(FC.first) != 0;
+                         }),
+          FieldChanges.end());
+
+      if (MustMaterialize.empty() && FieldChanges.empty()) {
+        // Stable: fill the loop phis from the final back-edge states.
+        for (PendingLoopPhi &PLP : LoopPhis) {
+          if (PLP.Dead)
+            continue;
+          bool Dropped = false;
+          for (PeaState *BS : BackStates)
+            Dropped |= BS->Objects.count(PLP.VO) == 0;
+          if (Dropped) {
+            // The containing object died inside the body; the phi can
+            // only be referenced from dead analysis state.
+            assert(!PLP.Phi->hasUsages() && "pending loop phi leaked");
+            G.deleteNode(PLP.Phi);
+            PLP.Dead = true;
+            continue;
+          }
+          for (PeaState *BS : BackStates) {
+            Node *V = BS->Objects.at(PLP.VO).Entries[PLP.Entry];
+            assert(!isa<VirtualObjectNode>(V) &&
+                   "loop phi over a virtual entry");
+            PLP.Phi->appendValue(V);
+          }
+        }
+        Stats.LoopIterations += Attempt;
+        // Re-anchor this loop's marks at the parent's epoch so post-loop
+        // merges treat the accepted body as processed.
+        for (auto &[N2, E2] : ProcessedEpoch)
+          if (E2 > ParentEpoch)
+            E2 = ParentEpoch;
+        Epoch = ParentEpoch;
+        return std::move(R.ExitStates);
+      }
+
+      rollback(CP);
+
+      if (Attempt + 1 >= Opts.PeaMaxLoopIterations) {
+        // Give up: materialize everything still virtual at the entry.
+        for (auto &[VO, OS] : Spec.Objects)
+          if (OS.Virtual)
+            MustMaterialize.insert(VO);
+        FieldChanges.clear();
+      }
+
+      // Materialization closure: members referenced from a materialized
+      // object are materialized with it, so substitute their pending
+      // phis as well.
+      std::set<VirtualObjectNode *> Closure;
+      for (VirtualObjectNode *VO : MustMaterialize)
+        if (Spec.Objects.at(VO).Virtual)
+          collectVirtualClosure(Spec, VO, Closure);
+      if (!Closure.empty()) {
+        for (PendingLoopPhi &PLP : LoopPhis) {
+          if (PLP.Dead || !Closure.count(PLP.VO))
+            continue;
+          // Replace the phi with its forward value inside entries and
+          // delete it: the commit executes before the loop, where the
+          // phi has no defined value yet.
+          for (auto &[VO2, OS2] : Spec.Objects)
+            for (Node *&E : OS2.Entries)
+              if (E == PLP.Phi)
+                E = PLP.ForwardValue;
+          PLP.Dead = true;
+          assert(!PLP.Phi->hasUsages() && "pending loop phi leaked");
+          G.deleteNode(PLP.Phi);
+          // The node stays in Created; rollback tolerates deleted nodes.
+        }
+        for (VirtualObjectNode *VO : MustMaterialize)
+          materialize(Spec, VO, FwdEnd);
+      }
+
+      for (const auto &[VO, J] : FieldChanges) {
+        Node *Fwd = Spec.Objects.at(VO).Entries[J];
+        if (IsPendingPhi(Fwd))
+          continue; // Already speculated in an earlier attempt.
+        auto *Phi = createNode<PhiNode>(L, Fwd->type());
+        Phi->appendValue(Fwd);
+        Spec.Objects.at(VO).Entries[J] = Phi;
+        LoopPhis.push_back({Phi, VO, J, Fwd, false});
+      }
+      JVM_DEBUG("loop at " << nodeLabel(L) << ": attempt " << Attempt
+                           << " unstable (" << MustMaterialize.size()
+                           << " materialized, " << FieldChanges.size()
+                           << " loop phis)");
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Members
+  //===------------------------------------------------------------------===//
+
+  Graph &G;
+  const Program &P;
+  const CompilerOptions &Opts;
+  std::set<const Node *> DoNotVirtualize;
+  PEAStats *Out;
+  PEAStats Stats;
+
+  std::vector<std::function<void()>> Effects;
+  std::vector<Node *> Created;
+  std::vector<Node *> Unlinked;
+  std::vector<Node *> RemovalVec;
+  std::set<Node *> RemovalSet;
+  std::vector<Node *> ReplacedVec;
+  std::map<Node *, Node *> Replaced;
+  std::map<const Node *, uint64_t> ProcessedEpoch;
+  uint64_t Epoch = 1;
+  uint64_t NextEpoch = 2;
+};
+
+} // namespace
+
+bool jvm::runPartialEscapeAnalysis(Graph &G, const Program &P,
+                                   const CompilerOptions &Opts,
+                                   PEAStats *Stats) {
+  return PartialEscapeClosure(G, P, Opts, {}, Stats).run();
+}
+
+bool jvm::runFlowInsensitiveEscapeAnalysis(Graph &G, const Program &P,
+                                           const CompilerOptions &Opts,
+                                           PEAStats *Stats) {
+  std::set<const Node *> Escaping = computeEscapingAllocations(G);
+  return PartialEscapeClosure(G, P, Opts, std::move(Escaping), Stats).run();
+}

@@ -1,0 +1,63 @@
+//===- PartialEscapeAnalysis.h - The paper's core algorithm ---------*- C++ -*-===//
+///
+/// \file
+/// Control-flow-sensitive partial escape analysis with scalar replacement
+/// and lock elision (Stadler, Würthinger, Mössenböck: "Partial Escape
+/// Analysis and Scalar Replacement for Java", CGO 2014).
+///
+/// The analysis walks the fixed-node control flow from Start, maintaining
+/// for every tracked allocation an ObjectState: *virtual* (field values
+/// and lock depth known; no allocation exists) or *escaped* (a
+/// materialized value stands for the object). Operations on virtual
+/// objects are replaced by state updates (scalar replacement, lock
+/// elision, reference-equality folding); operations that let an object
+/// escape insert a Materialize (CommitAllocation) node right before the
+/// escape point — so allocation moves into exactly the branches that
+/// need it. Merges run the MergeProcessor (Section 5.3), loops iterate
+/// to a fixpoint with effect rollback (Section 5.4), and frame states
+/// are rewritten to describe virtual objects symbolically so that
+/// deoptimization can rebuild them (Section 5.5).
+///
+/// The same machinery restricted by a flow-insensitive pre-pass
+/// (EquiEscapeSets) yields the all-or-nothing baseline of Section 6.2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_PEA_PARTIALESCAPEANALYSIS_H
+#define JVM_PEA_PARTIALESCAPEANALYSIS_H
+
+#include "compiler/CompilerOptions.h"
+
+namespace jvm {
+
+class Graph;
+class Program;
+
+/// Counters describing what one analysis run did.
+struct PEAStats {
+  unsigned VirtualizedAllocations = 0; ///< allocation sites made virtual
+  unsigned MaterializeSites = 0;       ///< Materialize nodes inserted
+  unsigned ScalarReplacedLoads = 0;
+  unsigned ScalarReplacedStores = 0;
+  unsigned ElidedMonitorOps = 0; ///< MonitorEnter/Exit nodes removed
+  unsigned FoldedChecks = 0;     ///< ref-equality / type checks folded
+  unsigned LoopIterations = 0;   ///< extra loop fixpoint passes
+  unsigned VirtualizedStates = 0;///< frame states rewritten (Section 5.5)
+};
+
+/// Runs partial escape analysis on \p G. Returns true if the graph
+/// changed. Run canonicalize + DCE afterwards to reap folded branches
+/// and detached nodes.
+bool runPartialEscapeAnalysis(Graph &G, const Program &P,
+                              const CompilerOptions &Opts,
+                              PEAStats *Stats = nullptr);
+
+/// The flow-insensitive baseline: identical machinery, but allocations
+/// that escape *anywhere* (per EquiEscapeSets) are never virtualized.
+bool runFlowInsensitiveEscapeAnalysis(Graph &G, const Program &P,
+                                      const CompilerOptions &Opts,
+                                      PEAStats *Stats = nullptr);
+
+} // namespace jvm
+
+#endif // JVM_PEA_PARTIALESCAPEANALYSIS_H

@@ -1,0 +1,85 @@
+//===- Heap.cpp - Object model and garbage-collected heap -------------------===//
+
+#include "runtime/Heap.h"
+
+#include "support/Debug.h"
+
+#include <algorithm>
+
+using namespace jvm;
+
+Heap::~Heap() {
+  for (HeapObject *O : Objects)
+    delete O;
+}
+
+HeapObject *Heap::allocateInstance(ClassId Cls,
+                                   const std::vector<ValueType> &FieldTypes) {
+  maybeCollect();
+  auto *O = new HeapObject(Cls, /*IsArray=*/false, ValueType::Void,
+                           FieldTypes.size(), ValueType::Int);
+  for (unsigned I = 0, E = FieldTypes.size(); I != E; ++I)
+    O->setSlot(I, Value::defaultOf(FieldTypes[I]));
+  accountAllocation(O);
+  return O;
+}
+
+HeapObject *Heap::allocateArray(ValueType ElemTy, int64_t Length) {
+  assert(Length >= 0 && "negative array length");
+  maybeCollect();
+  auto *O = new HeapObject(NoClass, /*IsArray=*/true, ElemTy,
+                           static_cast<unsigned>(Length), ElemTy);
+  accountAllocation(O);
+  return O;
+}
+
+void Heap::accountAllocation(HeapObject *O) {
+  Objects.push_back(O);
+  ++AllocCount;
+  AllocBytes += O->sizeInBytes();
+  BytesSinceGc += O->sizeInBytes();
+}
+
+void Heap::maybeCollect() {
+  if (BytesSinceGc >= GcThresholdBytes)
+    collect();
+}
+
+void Heap::collect() {
+  ++GcRuns;
+  BytesSinceGc = 0;
+
+  // Mark.
+  std::vector<HeapObject *> Worklist;
+  auto Visit = [&Worklist](Value V) {
+    if (!V.isRef())
+      return;
+    HeapObject *O = V.asRef();
+    if (O && !O->Marked) {
+      O->Marked = true;
+      Worklist.push_back(O);
+    }
+  };
+  for (const RootProvider &Provider : RootProviders)
+    Provider(Visit);
+  while (!Worklist.empty()) {
+    HeapObject *O = Worklist.back();
+    Worklist.pop_back();
+    for (unsigned I = 0, E = O->numSlots(); I != E; ++I)
+      Visit(O->slot(I));
+  }
+
+  // Sweep.
+  size_t Before = Objects.size();
+  auto IsDead = [](HeapObject *O) {
+    if (O->Marked) {
+      O->Marked = false;
+      return false;
+    }
+    delete O;
+    return true;
+  };
+  Objects.erase(std::remove_if(Objects.begin(), Objects.end(), IsDead),
+                Objects.end());
+  JVM_DEBUG("gc: " << Before << " -> " << Objects.size() << " objects");
+}

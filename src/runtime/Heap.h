@@ -1,0 +1,138 @@
+//===- Heap.h - Object model and garbage-collected heap ------------*- C++ -*-===//
+///
+/// \file
+/// The garbage-collected heap. Objects are class instances (typed field
+/// slots) or arrays. Allocation is bump-style bookkeeping over the C++
+/// heap plus an exact, non-moving mark-sweep collector; roots are
+/// enumerated through RootProvider callbacks registered by the
+/// interpreter, the compiled-graph executor and the statics table.
+///
+/// The heap also owns the allocation metrics the paper's evaluation
+/// reports (allocation count and allocated bytes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_RUNTIME_HEAP_H
+#define JVM_RUNTIME_HEAP_H
+
+#include "runtime/Value.h"
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace jvm {
+
+/// A heap cell: class instance or array.
+class HeapObject {
+public:
+  ClassId objectClass() const { return Cls; }
+  bool isArray() const { return IsArray; }
+  ValueType elementType() const { return ElemTy; }
+
+  unsigned numSlots() const { return Slots.size(); }
+  int64_t length() const {
+    assert(IsArray && "length of a non-array");
+    return static_cast<int64_t>(Slots.size());
+  }
+
+  const Value &slot(unsigned I) const {
+    assert(I < Slots.size() && "slot index out of range");
+    return Slots[I];
+  }
+
+  void setSlot(unsigned I, const Value &V) {
+    assert(I < Slots.size() && "slot index out of range");
+    Slots[I] = V;
+  }
+
+  /// Recursive monitor state (single-threaded VM: a counter).
+  int lockCount() const { return LockCount; }
+
+  /// Object header + 8 bytes per slot; matches what the allocation-bytes
+  /// metric accounts.
+  size_t sizeInBytes() const { return 16 + 8 * Slots.size(); }
+
+private:
+  friend class Heap;
+
+  HeapObject(ClassId Cls, bool IsArray, ValueType ElemTy, unsigned NumSlots,
+             ValueType SlotDefault)
+      : Cls(Cls), IsArray(IsArray), ElemTy(ElemTy) {
+    Slots.assign(NumSlots, Value::defaultOf(SlotDefault));
+  }
+
+  ClassId Cls;
+  bool IsArray;
+  ValueType ElemTy;
+  int LockCount = 0;
+  bool Marked = false;
+  std::vector<Value> Slots;
+
+public:
+  // Monitor transitions are counted by the Runtime, which owns the
+  // metrics; see Runtime::monitorEnter/monitorExit.
+  void rawLock() { ++LockCount; }
+  void rawUnlock() {
+    assert(LockCount > 0 && "monitor exit without matching enter");
+    --LockCount;
+  }
+};
+
+/// Enumerates GC roots by invoking the visitor on every root value.
+using RootProvider = std::function<void(const std::function<void(Value)> &)>;
+
+class Heap {
+public:
+  /// \p GcThresholdBytes: a collection runs when this many bytes were
+  /// allocated since the last one.
+  explicit Heap(size_t GcThresholdBytes = 64 << 20)
+      : GcThresholdBytes(GcThresholdBytes) {}
+  ~Heap();
+
+  /// Allocates a class instance with \p NumFields slots, each typed by
+  /// \p FieldTypes (may be shorter; missing entries default to Int).
+  HeapObject *allocateInstance(ClassId Cls,
+                               const std::vector<ValueType> &FieldTypes);
+
+  /// Allocates an array of \p Length elements of \p ElemTy.
+  HeapObject *allocateArray(ValueType ElemTy, int64_t Length);
+
+  /// Registers a root enumerator for the lifetime of the heap.
+  void addRootProvider(RootProvider Provider) {
+    RootProviders.push_back(std::move(Provider));
+  }
+
+  /// Runs a full mark-sweep collection.
+  void collect();
+
+  // Metrics ------------------------------------------------------------------
+  uint64_t allocationCount() const { return AllocCount; }
+  uint64_t allocatedBytes() const { return AllocBytes; }
+  uint64_t gcRuns() const { return GcRuns; }
+  uint64_t liveObjects() const { return Objects.size(); }
+
+  void resetMetrics() {
+    AllocCount = 0;
+    AllocBytes = 0;
+  }
+
+  Heap(const Heap &) = delete;
+  Heap &operator=(const Heap &) = delete;
+
+private:
+  void maybeCollect();
+  void accountAllocation(HeapObject *O);
+
+  size_t GcThresholdBytes;
+  size_t BytesSinceGc = 0;
+  std::vector<HeapObject *> Objects;
+  std::vector<RootProvider> RootProviders;
+  uint64_t AllocCount = 0;
+  uint64_t AllocBytes = 0;
+  uint64_t GcRuns = 0;
+};
+
+} // namespace jvm
+
+#endif // JVM_RUNTIME_HEAP_H

@@ -1,0 +1,14 @@
+//===- Runtime.cpp - VM runtime state -----------------------------------------===//
+
+#include "runtime/Runtime.h"
+
+using namespace jvm;
+
+HeapObject *Runtime::allocateInstance(ClassId Cls) {
+  const ClassInfo &C = Prog.classAt(Cls);
+  std::vector<ValueType> Types;
+  Types.reserve(C.Fields.size());
+  for (const FieldInfo &F : C.Fields)
+    Types.push_back(F.Ty);
+  return TheHeap.allocateInstance(Cls, Types);
+}

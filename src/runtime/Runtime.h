@@ -1,0 +1,112 @@
+//===- Runtime.h - VM runtime state ---------------------------------*- C++ -*-===//
+///
+/// \file
+/// Ties together the pieces of mutable VM state shared by the interpreter
+/// and the compiled-code executor: the heap, the statics table, monitor
+/// accounting and the execution metrics reported by the benchmarks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_RUNTIME_RUNTIME_H
+#define JVM_RUNTIME_RUNTIME_H
+
+#include "bytecode/Program.h"
+#include "runtime/Heap.h"
+
+#include <vector>
+
+namespace jvm {
+
+/// Execution counters beyond the heap's allocation metrics.
+struct RuntimeMetrics {
+  uint64_t MonitorOps = 0;      ///< monitor enters + exits performed
+  uint64_t Deopts = 0;          ///< deoptimizations taken
+  uint64_t InterpretedOps = 0;  ///< bytecodes interpreted
+  uint64_t CompiledOps = 0;     ///< fixed IR nodes executed in compiled code
+  uint64_t CompiledCalls = 0;   ///< method entries through compiled code
+  uint64_t InterpretedCalls = 0;///< method entries through the interpreter
+};
+
+/// Mutable program state: heap, statics, metrics.
+class Runtime {
+public:
+  explicit Runtime(const Program &P) : Prog(P) {
+    Statics.resize(P.numStatics());
+    for (unsigned I = 0, E = P.numStatics(); I != E; ++I)
+      Statics[I] = Value::defaultOf(P.staticAt(I).Ty);
+    TheHeap.addRootProvider([this](const std::function<void(Value)> &Visit) {
+      for (const Value &V : Statics)
+        Visit(V);
+      for (const std::vector<Value> *Vec : ExtraRootVectors)
+        for (const Value &V : *Vec)
+          Visit(V);
+    });
+  }
+
+  /// RAII registration of a Value vector as GC roots; used by components
+  /// that hold references in C++ temporaries across allocation points
+  /// (call argument vectors, executor environments, the deoptimizer's
+  /// scratch state).
+  class RootScope {
+  public:
+    RootScope(Runtime &RT, const std::vector<Value> *Vec) : RT(RT) {
+      RT.ExtraRootVectors.push_back(Vec);
+    }
+    ~RootScope() { RT.ExtraRootVectors.pop_back(); }
+    RootScope(const RootScope &) = delete;
+    RootScope &operator=(const RootScope &) = delete;
+
+  private:
+    Runtime &RT;
+  };
+
+  const Program &program() const { return Prog; }
+  Heap &heap() { return TheHeap; }
+  const Heap &heap() const { return TheHeap; }
+
+  // Statics -------------------------------------------------------------------
+  Value getStatic(StaticIndex I) const { return Statics[I]; }
+  void setStatic(StaticIndex I, Value V) { Statics[I] = V; }
+
+  /// Resets all statics to their default values (benchmark harness use).
+  void resetStatics() {
+    for (unsigned I = 0, E = Statics.size(); I != E; ++I)
+      Statics[I] = Value::defaultOf(Prog.staticAt(I).Ty);
+  }
+
+  // Object helpers --------------------------------------------------------------
+  /// Allocates an instance of \p Cls with properly typed default fields.
+  HeapObject *allocateInstance(ClassId Cls);
+
+  // Monitors -----------------------------------------------------------------
+  void monitorEnter(HeapObject *O) {
+    assert(O && "monitor enter on null");
+    O->rawLock();
+    ++Metrics.MonitorOps;
+  }
+
+  void monitorExit(HeapObject *O) {
+    assert(O && "monitor exit on null");
+    O->rawUnlock();
+    ++Metrics.MonitorOps;
+  }
+
+  RuntimeMetrics &metrics() { return Metrics; }
+  const RuntimeMetrics &metrics() const { return Metrics; }
+
+  void resetMetrics() {
+    Metrics = RuntimeMetrics();
+    TheHeap.resetMetrics();
+  }
+
+private:
+  const Program &Prog;
+  Heap TheHeap;
+  std::vector<Value> Statics;
+  std::vector<const std::vector<Value> *> ExtraRootVectors;
+  RuntimeMetrics Metrics;
+};
+
+} // namespace jvm
+
+#endif // JVM_RUNTIME_RUNTIME_H

@@ -1,0 +1,78 @@
+//===- Value.h - Runtime values ------------------------------------*- C++ -*-===//
+///
+/// \file
+/// The tagged runtime value: a 64-bit integer or an object reference
+/// (possibly null). Void is used for the result of void calls.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_RUNTIME_VALUE_H
+#define JVM_RUNTIME_VALUE_H
+
+#include "ir/Ids.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace jvm {
+
+class HeapObject;
+
+class Value {
+public:
+  Value() : Ty(ValueType::Void), I(0) {}
+
+  static Value makeVoid() { return Value(); }
+
+  static Value makeInt(int64_t V) {
+    Value R;
+    R.Ty = ValueType::Int;
+    R.I = V;
+    return R;
+  }
+
+  static Value makeRef(HeapObject *O) {
+    Value R;
+    R.Ty = ValueType::Ref;
+    R.R = O;
+    return R;
+  }
+
+  /// The zero/null value of \p Ty (Java default field value).
+  static Value defaultOf(ValueType Ty) {
+    return Ty == ValueType::Int ? makeInt(0) : makeRef(nullptr);
+  }
+
+  ValueType type() const { return Ty; }
+  bool isVoid() const { return Ty == ValueType::Void; }
+  bool isInt() const { return Ty == ValueType::Int; }
+  bool isRef() const { return Ty == ValueType::Ref; }
+
+  int64_t asInt() const {
+    assert(isInt() && "value is not an int");
+    return I;
+  }
+
+  HeapObject *asRef() const {
+    assert(isRef() && "value is not a reference");
+    return R;
+  }
+
+  /// Structural equality (same tag; same integer or same object identity).
+  bool operator==(const Value &O) const {
+    if (Ty != O.Ty)
+      return false;
+    return Ty == ValueType::Ref ? R == O.R : I == O.I;
+  }
+
+private:
+  ValueType Ty;
+  union {
+    int64_t I;
+    HeapObject *R;
+  };
+};
+
+} // namespace jvm
+
+#endif // JVM_RUNTIME_VALUE_H

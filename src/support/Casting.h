@@ -1,0 +1,71 @@
+//===- Casting.h - LLVM-style isa/cast/dyn_cast templates -------*- C++ -*-===//
+///
+/// \file
+/// Hand-rolled RTTI in the style of llvm/Support/Casting.h. Classes opt in
+/// by providing a static `classof(const Base *)` predicate; `isa<>`,
+/// `cast<>` and `dyn_cast<>` then work without compiler RTTI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_SUPPORT_CASTING_H
+#define JVM_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace jvm {
+
+/// Returns true if \p Val is an instance of any of the types \p To....
+/// \p Val must be non-null.
+template <typename To, typename... Tos, typename From>
+bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  if constexpr (std::is_base_of_v<To, From>)
+    return true;
+  else if (To::classof(Val))
+    return true;
+  if constexpr (sizeof...(Tos) > 0)
+    return isa<Tos...>(Val);
+  else
+    return false;
+}
+
+/// Like isa<>, but tolerates a null pointer (returning false).
+template <typename To, typename... Tos, typename From>
+bool isa_and_nonnull(const From *Val) {
+  return Val && isa<To, Tos...>(Val);
+}
+
+/// Checked downcast: asserts that \p Val really is a To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking downcast: returns null when \p Val is not a To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Like dyn_cast<>, but tolerates a null pointer (propagating it).
+template <typename To, typename From> To *dyn_cast_or_null(From *Val) {
+  return isa_and_nonnull<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From>
+const To *dyn_cast_or_null(const From *Val) {
+  return isa_and_nonnull<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+} // namespace jvm
+
+#endif // JVM_SUPPORT_CASTING_H

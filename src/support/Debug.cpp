@@ -1,0 +1,23 @@
+//===- Debug.cpp ----------------------------------------------------------===//
+
+#include "support/Debug.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace {
+
+bool &debugFlag() {
+  static bool Enabled = std::getenv("JVM_DEBUG") != nullptr;
+  return Enabled;
+}
+
+} // namespace
+
+bool jvm::isDebugEnabled() { return debugFlag(); }
+
+void jvm::setDebugEnabled(bool Enabled) { debugFlag() = Enabled; }
+
+void jvm::printDebugLine(const std::string &Text) {
+  std::fprintf(stderr, "[jvm] %s\n", Text.c_str());
+}

@@ -1,0 +1,39 @@
+//===- Debug.h - Optional debug output ---------------------------*- C++ -*-===//
+///
+/// \file
+/// A tiny analog of LLVM_DEBUG: debug output is compiled in but only
+/// emitted when enabled at runtime (via setDebugEnabled or the
+/// JVM_DEBUG environment variable).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_SUPPORT_DEBUG_H
+#define JVM_SUPPORT_DEBUG_H
+
+#include <sstream>
+
+namespace jvm {
+
+/// Returns true if debug output is currently enabled.
+bool isDebugEnabled();
+
+/// Enables or disables debug output for the whole process.
+void setDebugEnabled(bool Enabled);
+
+/// Writes \p Text to stderr immediately (used by the JVM_DEBUG macro).
+void printDebugLine(const std::string &Text);
+
+} // namespace jvm
+
+/// Emits a debug line when debugging is enabled. Usage:
+///   JVM_DEBUG("merging state at node " << Node->id());
+#define JVM_DEBUG(STREAM_EXPR)                                                 \
+  do {                                                                         \
+    if (::jvm::isDebugEnabled()) {                                             \
+      std::ostringstream DebugOS;                                              \
+      DebugOS << STREAM_EXPR;                                                  \
+      ::jvm::printDebugLine(DebugOS.str());                                    \
+    }                                                                          \
+  } while (false)
+
+#endif // JVM_SUPPORT_DEBUG_H

@@ -1,0 +1,12 @@
+//===- ErrorHandling.cpp --------------------------------------------------===//
+
+#include "support/ErrorHandling.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+void jvm::reportFatalError(const char *Msg, const char *File, unsigned Line) {
+  std::fprintf(stderr, "fatal error: %s (at %s:%u)\n", Msg, File, Line);
+  std::fflush(stderr);
+  std::abort();
+}

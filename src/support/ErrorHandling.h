@@ -1,0 +1,25 @@
+//===- ErrorHandling.h - Fatal errors and unreachable markers ---*- C++ -*-===//
+///
+/// \file
+/// Helpers for programmatic errors: `jvm_unreachable` marks control flow
+/// that must never execute, `reportFatalError` aborts with a message even
+/// in builds without assertions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_SUPPORT_ERRORHANDLING_H
+#define JVM_SUPPORT_ERRORHANDLING_H
+
+namespace jvm {
+
+/// Prints \p Msg (with source location) to stderr and aborts.
+[[noreturn]] void reportFatalError(const char *Msg, const char *File,
+                                   unsigned Line);
+
+} // namespace jvm
+
+/// Marks a point in code that should never be reached. Always fatal, even
+/// with assertions disabled, because continuing would corrupt VM state.
+#define jvm_unreachable(MSG) ::jvm::reportFatalError(MSG, __FILE__, __LINE__)
+
+#endif // JVM_SUPPORT_ERRORHANDLING_H

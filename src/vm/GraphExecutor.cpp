@@ -1,0 +1,465 @@
+//===- GraphExecutor.cpp - Direct execution of optimized IR -------------------===//
+
+#include "vm/GraphExecutor.h"
+
+#include "ir/Printer.h"
+#include "support/Casting.h"
+#include <cstdio>
+#include "support/ErrorHandling.h"
+
+#include <map>
+
+using namespace jvm;
+
+namespace {
+
+class ExecutionContext {
+public:
+  ExecutionContext(Runtime &RT, const Graph &G,
+                   const std::vector<Value> &Args, const CallHandler &Call,
+                   const DeoptHandlerFn &Deopt)
+      : RT(RT), P(RT.program()), G(G), Args(Args), Call(Call), Deopt(Deopt),
+        Env(G.nodeIdBound()), Pinned(G.nodeIdBound(), false),
+        CachedAt(G.nodeIdBound(), 0), EnvRoots(RT, &Env) {}
+
+  Value run() {
+    ++RT.metrics().CompiledCalls;
+    const FixedNode *N = G.start();
+    for (;;) {
+      ++RT.metrics().CompiledOps;
+      switch (N->kind()) {
+      case NodeKind::Start:
+      case NodeKind::Begin:
+      case NodeKind::LoopExit:
+      case NodeKind::Merge:
+      case NodeKind::LoopBegin:
+        N = cast<FixedWithNextNode>(N)->next();
+        break;
+
+      case NodeKind::If: {
+        const auto *If = cast<IfNode>(N);
+        N = evalInt(If->condition()) != 0 ? If->trueSuccessor()
+                                          : If->falseSuccessor();
+        break;
+      }
+
+      case NodeKind::End: {
+        const auto *End = cast<EndNode>(N);
+        MergeNode *M = End->merge();
+        transferPhis(M, M->indexOfEnd(End));
+        N = M;
+        break;
+      }
+      case NodeKind::LoopEnd: {
+        const auto *End = cast<LoopEndNode>(N);
+        LoopBeginNode *M = End->loopBegin();
+        transferPhis(M, M->indexOfEnd(End));
+        N = M;
+        break;
+      }
+
+      case NodeKind::Return: {
+        const auto *Ret = cast<ReturnNode>(N);
+        return Ret->hasValue() ? eval(Ret->value()) : Value::makeVoid();
+      }
+
+      case NodeKind::Deoptimize:
+        return deoptimize(cast<DeoptimizeNode>(N));
+
+      case NodeKind::Unreachable:
+        jvm_unreachable("compiled code reached an Unreachable node");
+
+      case NodeKind::NewInstance: {
+        const auto *New = cast<NewInstanceNode>(N);
+        pin(New, Value::makeRef(RT.allocateInstance(New->instanceClass())));
+        N = New->next();
+        break;
+      }
+      case NodeKind::NewArray: {
+        const auto *New = cast<NewArrayNode>(N);
+        int64_t Len = evalInt(New->length());
+        pin(New, Value::makeRef(RT.heap().allocateArray(New->elementType(),
+                                                        Len)));
+        N = New->next();
+        break;
+      }
+
+      case NodeKind::LoadField: {
+        const auto *Load = cast<LoadFieldNode>(N);
+        HeapObject *Obj = evalRefNonNull(Load->object());
+        pin(Load, Obj->slot(Load->field()));
+        N = Load->next();
+        break;
+      }
+      case NodeKind::StoreField: {
+        const auto *Store = cast<StoreFieldNode>(N);
+        HeapObject *Obj = evalRefNonNull(Store->object());
+        Obj->setSlot(Store->field(), eval(Store->value()));
+        N = Store->next();
+        break;
+      }
+
+      case NodeKind::LoadIndexed: {
+        const auto *Load = cast<LoadIndexedNode>(N);
+        HeapObject *Arr = evalRefNonNull(Load->array());
+        int64_t Idx = evalInt(Load->index());
+        assert(Idx >= 0 && Idx < Arr->length() && "index out of bounds");
+        pin(Load, Arr->slot(static_cast<unsigned>(Idx)));
+        N = Load->next();
+        break;
+      }
+      case NodeKind::StoreIndexed: {
+        const auto *Store = cast<StoreIndexedNode>(N);
+        HeapObject *Arr = evalRefNonNull(Store->array());
+        int64_t Idx = evalInt(Store->index());
+        assert(Idx >= 0 && Idx < Arr->length() && "index out of bounds");
+        Arr->setSlot(static_cast<unsigned>(Idx), eval(Store->value()));
+        N = Store->next();
+        break;
+      }
+      case NodeKind::ArrayLength: {
+        const auto *Len = cast<ArrayLengthNode>(N);
+        pin(Len, Value::makeInt(evalRefNonNull(Len->array())->length()));
+        N = Len->next();
+        break;
+      }
+
+      case NodeKind::LoadStatic: {
+        const auto *Load = cast<LoadStaticNode>(N);
+        pin(Load, RT.getStatic(Load->index()));
+        N = Load->next();
+        break;
+      }
+      case NodeKind::StoreStatic: {
+        const auto *Store = cast<StoreStaticNode>(N);
+        RT.setStatic(Store->index(), eval(Store->value()));
+        N = Store->next();
+        break;
+      }
+
+      case NodeKind::MonitorEnter: {
+        const auto *Mon = cast<MonitorEnterNode>(N);
+        RT.monitorEnter(evalRefNonNull(Mon->object()));
+        N = Mon->next();
+        break;
+      }
+      case NodeKind::MonitorExit: {
+        const auto *Mon = cast<MonitorExitNode>(N);
+        RT.monitorExit(evalRefNonNull(Mon->object()));
+        N = Mon->next();
+        break;
+      }
+
+      case NodeKind::Invoke: {
+        const auto *Inv = cast<InvokeNode>(N);
+        std::vector<Value> CallArgs(Inv->numArgs());
+        for (unsigned I = 0, E = Inv->numArgs(); I != E; ++I)
+          CallArgs[I] = eval(Inv->argAt(I));
+        MethodId Target = Inv->callee();
+        if (Inv->callKind() == CallKind::Virtual) {
+          HeapObject *Receiver = CallArgs[0].asRef();
+          assert(Receiver && "null receiver in compiled code");
+          Target = P.resolveVirtual(Inv->callee(), Receiver->objectClass());
+        }
+        pin(Inv, Call(Target, std::move(CallArgs)));
+        N = Inv->next();
+        break;
+      }
+
+      case NodeKind::Materialize:
+        executeMaterialize(cast<MaterializeNode>(N));
+        N = cast<MaterializeNode>(N)->next();
+        break;
+
+      default:
+        jvm_unreachable("floating node in the fixed control flow walk");
+      }
+    }
+  }
+
+private:
+  //===------------------------------------------------------------------===//
+  // Expression evaluation
+  //===------------------------------------------------------------------===//
+
+  /// Pure floating expressions are memoized per "phi version": results
+  /// stay valid until any phi is reassigned (loop back edges, merges).
+  /// Without this, scalar-replaced arithmetic would be re-evaluated at
+  /// every use — penalizing exactly the graphs escape analysis produces
+  /// (a real backend keeps these values in registers).
+  Value eval(const Node *N) {
+    assert(N && "evaluating a null value");
+    unsigned Id = N->id();
+    if (Pinned[Id])
+      return Env[Id]; // Fixed results, phis, allocated objects.
+    switch (N->kind()) {
+    case NodeKind::ConstantInt:
+      return Value::makeInt(cast<ConstantIntNode>(N)->value());
+    case NodeKind::ConstantNull:
+      return Value::makeRef(nullptr);
+    case NodeKind::Parameter:
+      return Args[cast<ParameterNode>(N)->index()];
+    default:
+      break;
+    }
+    if (CachedAt[Id] == Version)
+      return Env[Id];
+    Value Result;
+    switch (N->kind()) {
+    case NodeKind::Arith: {
+      const auto *A = cast<ArithNode>(N);
+      Result = Value::makeInt(
+          evalArith(A->op(), evalInt(A->x()), evalInt(A->y())));
+      break;
+    }
+    case NodeKind::Compare:
+      Result = Value::makeInt(evalCompare(cast<CompareNode>(N)) ? 1 : 0);
+      break;
+    case NodeKind::InstanceOf: {
+      const auto *IO = cast<InstanceOfNode>(N);
+      HeapObject *O = eval(IO->object()).asRef();
+      bool Is = O && !O->isArray() &&
+                (IO->isExact()
+                     ? O->objectClass() == IO->testedClass()
+                     : P.isSubclassOf(O->objectClass(), IO->testedClass()));
+      Result = Value::makeInt(Is ? 1 : 0);
+      break;
+    }
+    default:
+      std::fprintf(stderr, "eval: unexpected node kind %s (id %u) in:\n%s\n",
+                   nodeKindName(N->kind()), Id, graphToString(G).c_str());
+      jvm_unreachable("unexpected node kind in eval");
+    }
+    Env[Id] = Result;
+    CachedAt[Id] = Version;
+    return Result;
+  }
+
+  void pin(const Node *N, Value V) {
+    Env[N->id()] = V;
+    Pinned[N->id()] = true;
+  }
+
+  int64_t evalInt(const Node *N) { return eval(N).asInt(); }
+
+  HeapObject *evalRefNonNull(const Node *N) {
+    HeapObject *O = eval(N).asRef();
+    assert(O && "null dereference in compiled code");
+    return O;
+  }
+
+  static int64_t evalArith(ArithKind Op, int64_t X, int64_t Y) {
+    switch (Op) {
+    case ArithKind::Add:
+      return static_cast<int64_t>(static_cast<uint64_t>(X) +
+                                  static_cast<uint64_t>(Y));
+    case ArithKind::Sub:
+      return static_cast<int64_t>(static_cast<uint64_t>(X) -
+                                  static_cast<uint64_t>(Y));
+    case ArithKind::Mul:
+      return static_cast<int64_t>(static_cast<uint64_t>(X) *
+                                  static_cast<uint64_t>(Y));
+    case ArithKind::Div:
+      return Y == 0 ? 0 : X / Y;
+    case ArithKind::Rem:
+      return Y == 0 ? 0 : X % Y;
+    case ArithKind::And:
+      return X & Y;
+    case ArithKind::Or:
+      return X | Y;
+    case ArithKind::Xor:
+      return X ^ Y;
+    case ArithKind::Shl:
+      return static_cast<int64_t>(static_cast<uint64_t>(X) << (Y & 63));
+    case ArithKind::Shr:
+      return X >> (Y & 63);
+    }
+    jvm_unreachable("unknown arithmetic kind");
+  }
+
+  bool evalCompare(const CompareNode *C) {
+    switch (C->op()) {
+    case CmpKind::IntEq:
+      return evalInt(C->x()) == evalInt(C->y());
+    case CmpKind::IntLt:
+      return evalInt(C->x()) < evalInt(C->y());
+    case CmpKind::IntLe:
+      return evalInt(C->x()) <= evalInt(C->y());
+    case CmpKind::RefEq:
+      return eval(C->x()).asRef() == eval(C->y()).asRef();
+    case CmpKind::IsNull:
+      return eval(C->x()).asRef() == nullptr;
+    }
+    jvm_unreachable("unknown compare kind");
+  }
+
+  /// Simultaneous phi assignment when entering \p M through end \p Index.
+  void transferPhis(MergeNode *M, int Index) {
+    assert(Index >= 0 && "control entered a merge through a foreign end");
+    auto [It, Inserted] = PhiCache.try_emplace(M);
+    if (Inserted)
+      It->second = M->phis();
+    const std::vector<PhiNode *> &Phis = It->second;
+    ScratchValues.resize(Phis.size());
+    for (unsigned I = 0, E = Phis.size(); I != E; ++I)
+      ScratchValues[I] = eval(Phis[I]->valueAt(Index));
+    for (unsigned I = 0, E = Phis.size(); I != E; ++I)
+      pin(Phis[I], ScratchValues[I]);
+    ++Version; // Pure expressions over phis must be recomputed.
+  }
+
+  //===------------------------------------------------------------------===//
+  // Materialization and deoptimization
+  //===------------------------------------------------------------------===//
+
+  HeapObject *allocateForVirtual(const VirtualObjectNode *VO) {
+    if (VO->isArray())
+      return RT.heap().allocateArray(VO->elementType(), VO->numEntries());
+    return RT.allocateInstance(VO->objectClass());
+  }
+
+  void executeMaterialize(const MaterializeNode *Commit) {
+    unsigned NumObjs = Commit->numObjects();
+    if (NumObjs == 1) {
+      // Fast path: no sibling resolution, no scratch state. Entry
+      // evaluation is pure (it cannot allocate), so the fresh object
+      // needs no GC root while its fields are filled.
+      const VirtualObjectNode *VO = Commit->objectAt(0);
+      HeapObject *O = allocateForVirtual(VO);
+      for (unsigned E = 0, EE = VO->numEntries(); E != EE; ++E) {
+        const Node *Entry = Commit->entryOf(0, E);
+        O->setSlot(E, Entry == VO ? Value::makeRef(O) : eval(Entry));
+      }
+      for (int L = 0; L != Commit->lockDepthOf(0); ++L)
+        RT.monitorEnter(O);
+      for (const Node *U : Commit->usages())
+        if (const auto *AO = dyn_cast<AllocatedObjectNode>(U))
+          if (AO->commit() == Commit)
+            pin(AO, Value::makeRef(O));
+      return;
+    }
+    std::vector<Value> Fresh(NumObjs);
+    Runtime::RootScope Scope(RT, &Fresh);
+
+    std::map<const VirtualObjectNode *, unsigned> IndexOf;
+    for (unsigned I = 0; I != NumObjs; ++I) {
+      const VirtualObjectNode *VO = Commit->objectAt(I);
+      Fresh[I] = Value::makeRef(allocateForVirtual(VO));
+      IndexOf[VO] = I;
+    }
+    // Fill entries; entries referencing sibling virtual objects resolve
+    // to the freshly allocated cells (cyclic structures).
+    for (unsigned I = 0; I != NumObjs; ++I) {
+      const VirtualObjectNode *VO = Commit->objectAt(I);
+      HeapObject *O = Fresh[I].asRef();
+      for (unsigned E = 0; E != VO->numEntries(); ++E) {
+        const Node *Entry = Commit->entryOf(I, E);
+        Value V;
+        if (const auto *Sibling = dyn_cast<VirtualObjectNode>(Entry)) {
+          assert(IndexOf.count(Sibling) && "entry references a foreign "
+                                           "virtual object");
+          V = Fresh[IndexOf[Sibling]];
+        } else {
+          V = eval(Entry);
+        }
+        O->setSlot(E, V);
+      }
+      // Re-acquire elided locks on the now-real object.
+      for (int L = 0; L != Commit->lockDepthOf(I); ++L)
+        RT.monitorEnter(O);
+    }
+    // Publish the projections.
+    for (const Node *U : Commit->usages())
+      if (const auto *AO = dyn_cast<AllocatedObjectNode>(U))
+        if (AO->commit() == Commit)
+          pin(AO, Fresh[AO->objectIndex()]);
+  }
+
+  Value deoptimize(const DeoptimizeNode *N) {
+    ++RT.metrics().Deopts;
+    DeoptRequest Req;
+    Req.Root = G.method();
+    Req.Reason = N->reason();
+
+    // Materialize every virtual object mapped anywhere in the state chain.
+    std::vector<Value> Fresh;
+    Runtime::RootScope Scope(RT, &Fresh);
+    std::map<const VirtualObjectNode *, unsigned> IndexOf;
+    for (const FrameStateNode *FS = N->state(); FS; FS = FS->outer()) {
+      for (unsigned I = 0, E = FS->numVirtualMappings(); I != E; ++I) {
+        const VirtualObjectNode *VO = FS->mappedObject(I);
+        if (IndexOf.count(VO))
+          continue;
+        IndexOf[VO] = Fresh.size();
+        Fresh.push_back(Value::makeRef(allocateForVirtual(VO)));
+      }
+    }
+    auto Resolve = [&](const Node *V) -> Value {
+      if (!V)
+        return Value::makeInt(0); // Dead slot.
+      if (const auto *VO = dyn_cast<VirtualObjectNode>(V)) {
+        assert(IndexOf.count(VO) && "unmapped virtual object in state");
+        return Fresh[IndexOf[VO]];
+      }
+      return eval(V);
+    };
+    // Fill fields and re-acquire elided locks.
+    for (const FrameStateNode *FS = N->state(); FS; FS = FS->outer()) {
+      for (unsigned I = 0, E = FS->numVirtualMappings(); I != E; ++I) {
+        const VirtualObjectNode *VO = FS->mappedObject(I);
+        const auto &M = FS->virtualMapping(I);
+        HeapObject *O = Fresh[IndexOf[VO]].asRef();
+        // The same object may be mapped by several states in the chain;
+        // the snapshots are identical, so filling twice is harmless.
+        for (unsigned EI = 0; EI != M.NumEntries; ++EI)
+          O->setSlot(EI, Resolve(FS->mappedEntry(I, EI)));
+      }
+    }
+    std::map<const VirtualObjectNode *, bool> Locked;
+    for (const FrameStateNode *FS = N->state(); FS; FS = FS->outer()) {
+      for (unsigned I = 0, E = FS->numVirtualMappings(); I != E; ++I) {
+        const VirtualObjectNode *VO = FS->mappedObject(I);
+        if (Locked[VO])
+          continue;
+        Locked[VO] = true;
+        HeapObject *O = Fresh[IndexOf[VO]].asRef();
+        for (int L = 0; L != FS->virtualMapping(I).LockDepth; ++L)
+          RT.monitorEnter(O);
+      }
+    }
+
+    // Build the interpreter frames, innermost first.
+    for (const FrameStateNode *FS = N->state(); FS; FS = FS->outer()) {
+      ResumeFrame RF;
+      RF.Method = FS->method();
+      RF.Bci = FS->bci();
+      RF.Reexecute = FS->isReexecute();
+      for (unsigned I = 0, E = FS->numLocals(); I != E; ++I)
+        RF.Locals.push_back(Resolve(FS->localAt(I)));
+      for (unsigned I = 0, E = FS->numStack(); I != E; ++I)
+        RF.Stack.push_back(Resolve(FS->stackAt(I)));
+      Req.Frames.push_back(std::move(RF));
+    }
+    return Deopt(std::move(Req));
+  }
+
+  Runtime &RT;
+  const Program &P;
+  const Graph &G;
+  const std::vector<Value> &Args;
+  const CallHandler &Call;
+  const DeoptHandlerFn &Deopt;
+  std::vector<Value> Env;
+  std::vector<bool> Pinned;
+  std::vector<uint64_t> CachedAt;
+  uint64_t Version = 1;
+  std::map<MergeNode *, std::vector<PhiNode *>> PhiCache;
+  std::vector<Value> ScratchValues;
+  Runtime::RootScope EnvRoots;
+};
+
+} // namespace
+
+Value GraphExecutor::execute(const Graph &G, const std::vector<Value> &Args) {
+  return ExecutionContext(RT, G, Args, Call, Deopt).run();
+}

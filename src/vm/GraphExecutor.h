@@ -1,0 +1,55 @@
+//===- GraphExecutor.h - Direct execution of optimized IR -----------*- C++ -*-===//
+///
+/// \file
+/// Runs an optimized graph against the runtime: walks the fixed-node
+/// control flow, evaluates floating expressions on demand, performs
+/// allocations/field accesses/monitor operations for real, dispatches
+/// Invokes through the VM and — on reaching a Deoptimize sink — converts
+/// the attached frame state (including its scalar-replaced virtual
+/// objects, paper Section 5.5) back into interpreter frames.
+///
+/// This is our stand-in for Graal's machine-code backend; see DESIGN.md
+/// ("what we substitute") for why direct IR execution preserves the
+/// paper's measurable effects.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_VM_GRAPHEXECUTOR_H
+#define JVM_VM_GRAPHEXECUTOR_H
+
+#include "interp/Interpreter.h"
+#include "ir/Graph.h"
+#include "runtime/Runtime.h"
+
+#include <functional>
+
+namespace jvm {
+
+/// Everything the VM needs to continue execution in the interpreter
+/// after compiled code bailed out.
+struct DeoptRequest {
+  MethodId Root = NoMethod; ///< Method whose compiled code deoptimized.
+  DeoptReason Reason = DeoptReason::BranchNeverTaken;
+  std::vector<ResumeFrame> Frames; ///< Innermost first.
+};
+
+/// Handles a deoptimization (typically: bookkeeping + Interpreter::resume).
+using DeoptHandlerFn = std::function<Value(DeoptRequest &&)>;
+
+class GraphExecutor {
+public:
+  GraphExecutor(Runtime &RT, CallHandler CallFn, DeoptHandlerFn DeoptFn)
+      : RT(RT), Call(std::move(CallFn)), Deopt(std::move(DeoptFn)) {}
+
+  /// Executes \p G with \p Args; returns the method result.
+  Value execute(const Graph &G, const std::vector<Value> &Args);
+
+private:
+  Runtime &RT;
+  CallHandler Call;
+  DeoptHandlerFn Deopt;
+};
+
+} // namespace jvm
+
+#endif // JVM_VM_GRAPHEXECUTOR_H

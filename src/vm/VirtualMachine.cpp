@@ -1,0 +1,142 @@
+//===- VirtualMachine.cpp - Tiered execution -----------------------------------===//
+
+#include "vm/VirtualMachine.h"
+
+#include "compiler/Canonicalizer.h"
+#include "compiler/DeadCodeElimination.h"
+#include "compiler/GVN.h"
+#include "compiler/GraphBuilder.h"
+#include "compiler/Inliner.h"
+#include "ir/Verifier.h"
+#include "support/Debug.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include "ir/Printer.h"
+
+using namespace jvm;
+
+namespace {
+
+uint64_t nowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+} // namespace
+
+VirtualMachine::VirtualMachine(const Program &P, VMOptions Options)
+    : P(P), Options(Options), RT(P), Profiles(P.numMethods()),
+      Interp(RT, Profiles),
+      Executor(
+          RT,
+          [this](MethodId Target, std::vector<Value> &&Args) {
+            return call(Target, std::move(Args));
+          },
+          [this](DeoptRequest &&Req) { return handleDeopt(std::move(Req)); }),
+      States(P.numMethods()) {
+  Interp.setCallHandler([this](MethodId Target, std::vector<Value> &&Args) {
+    return call(Target, std::move(Args));
+  });
+}
+
+Value VirtualMachine::call(MethodId Method, std::vector<Value> Args) {
+  MethodState &MS = States[Method];
+  if (MS.Compiled)
+    return executeCompiled(Method, Args);
+  if (Options.EnableJit &&
+      Profiles.of(Method).hotness() >= Options.CompileThreshold) {
+    compile(Method);
+    if (MS.Compiled)
+      return executeCompiled(Method, Args);
+  }
+  return Interp.call(Method, std::move(Args));
+}
+
+Value VirtualMachine::executeCompiled(MethodId Method,
+                                      std::vector<Value> &Args) {
+  Runtime::RootScope ArgRoots(RT, &Args);
+  return Executor.execute(*States[Method].Compiled, Args);
+}
+
+void VirtualMachine::compileNow(MethodId Method) { compile(Method); }
+
+void VirtualMachine::invalidate(MethodId Method) {
+  MethodState &MS = States[Method];
+  if (!MS.Compiled)
+    return;
+  MS.Retired.push_back(std::move(MS.Compiled));
+  MS.DeoptCount = 0;
+  ++MS.Recompiles;
+  ++Jit.Invalidations;
+  JVM_DEBUG("invalidated m" << Method);
+}
+
+void VirtualMachine::compile(MethodId Method) {
+  uint64_t Start = nowNanos();
+  const CompilerOptions &CO = Options.Compiler;
+  // JVM_DUMP_PHASES=1 prints the IR after each pipeline stage.
+  bool Dump = std::getenv("JVM_DUMP_PHASES") != nullptr;
+  std::unique_ptr<Graph> G = buildGraph(P, Method, &Profiles.of(Method), CO);
+  if (Dump) std::fprintf(stderr, "== after build ==\n%s\n", graphToString(*G).c_str());
+  canonicalize(*G, P);
+  if (Dump) std::fprintf(stderr, "== after canon ==\n%s\n", graphToString(*G).c_str());
+  if (CO.EnableInlining) {
+    inlineCalls(*G, P, &Profiles, CO);
+    canonicalize(*G, P);
+  }
+  runGVN(*G);
+  eliminateDeadCode(*G);
+  if (Dump) std::fprintf(stderr, "== after gvn+dce ==\n%s\n", graphToString(*G).c_str());
+
+  uint64_t EaStart = nowNanos();
+  PEAStats Stats;
+  switch (CO.EAMode) {
+  case EscapeAnalysisMode::None:
+    break;
+  case EscapeAnalysisMode::FlowInsensitive:
+    runFlowInsensitiveEscapeAnalysis(*G, P, CO, &Stats);
+    break;
+  case EscapeAnalysisMode::Partial:
+    runPartialEscapeAnalysis(*G, P, CO, &Stats);
+    break;
+  }
+  Jit.EscapeNanos += nowNanos() - EaStart;
+  Jit.EscapeStats.VirtualizedAllocations += Stats.VirtualizedAllocations;
+  Jit.EscapeStats.MaterializeSites += Stats.MaterializeSites;
+  Jit.EscapeStats.ScalarReplacedLoads += Stats.ScalarReplacedLoads;
+  Jit.EscapeStats.ScalarReplacedStores += Stats.ScalarReplacedStores;
+  Jit.EscapeStats.ElidedMonitorOps += Stats.ElidedMonitorOps;
+  Jit.EscapeStats.FoldedChecks += Stats.FoldedChecks;
+  Jit.EscapeStats.LoopIterations += Stats.LoopIterations;
+  Jit.EscapeStats.VirtualizedStates += Stats.VirtualizedStates;
+
+  for (int Round = 0; Round != 4; ++Round) {
+    bool Changed = canonicalize(*G, P);
+    Changed |= runGVN(*G);
+    Changed |= eliminateDeadCode(*G);
+    if (!Changed)
+      break;
+  }
+  verifyGraphOrDie(*G);
+
+  States[Method].Compiled = std::move(G);
+  ++Jit.Compilations;
+  Jit.CompileNanos += nowNanos() - Start;
+  JVM_DEBUG("compiled m" << Method << " ("
+                         << escapeAnalysisModeName(CO.EAMode) << ")");
+}
+
+Value VirtualMachine::handleDeopt(DeoptRequest &&Req) {
+  MethodState &MS = States[Req.Root];
+  ++MS.DeoptCount;
+  if (MS.DeoptCount > Options.MaxDeoptsPerMethod) {
+    // The speculation keeps failing: throw the code away. Interpreted
+    // re-runs update the branch/receiver profiles, so the next
+    // compilation no longer contains the failing guard.
+    invalidate(Req.Root);
+  }
+  return Interp.resume(std::move(Req.Frames));
+}

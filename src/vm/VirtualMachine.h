@@ -1,0 +1,108 @@
+//===- VirtualMachine.h - Tiered execution ---------------------------*- C++ -*-===//
+///
+/// \file
+/// The top-level VM: methods start in the profiling interpreter and are
+/// JIT-compiled once hot. The optimization pipeline mirrors the paper's
+/// setting (Figure 1 context): graph building with speculative branch
+/// pruning and devirtualization, inlining, canonicalization, global value
+/// numbering, the configured escape analysis, and cleanup. Compiled code
+/// runs through the GraphExecutor; deoptimizations resume in the
+/// interpreter, and methods that deoptimize repeatedly are invalidated
+/// and re-profiled (so failed speculations heal, as in HotSpot/Graal).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_VM_VIRTUALMACHINE_H
+#define JVM_VM_VIRTUALMACHINE_H
+
+#include "compiler/CompilerOptions.h"
+#include "interp/Interpreter.h"
+#include "pea/PartialEscapeAnalysis.h"
+#include "runtime/Runtime.h"
+#include "vm/GraphExecutor.h"
+
+#include <memory>
+
+namespace jvm {
+
+struct VMOptions {
+  CompilerOptions Compiler;
+  bool EnableJit = true;
+  /// Hotness (invocations + back edges / 8) before a method compiles.
+  /// High enough that branch and receiver profiles mature first — a
+  /// method compiled with immature profiles misses devirtualization and,
+  /// since it never deoptimizes, would stay pessimal forever.
+  uint64_t CompileThreshold = 200;
+  /// Deoptimizations of one compiled method before it is thrown away and
+  /// re-profiled.
+  uint64_t MaxDeoptsPerMethod = 3;
+};
+
+/// Counters describing the VM's compilation activity.
+struct JitMetrics {
+  uint64_t Compilations = 0;
+  uint64_t Invalidations = 0;
+  uint64_t CompileNanos = 0;   ///< total pipeline time
+  uint64_t EscapeNanos = 0;    ///< time spent inside escape analysis
+  PEAStats EscapeStats;        ///< aggregated over all compilations
+};
+
+class VirtualMachine {
+public:
+  VirtualMachine(const Program &P, VMOptions Options);
+
+  /// Tiered call: runs compiled code when available, otherwise
+  /// interprets (and compiles once the threshold is crossed).
+  Value call(MethodId Method, std::vector<Value> Args);
+
+  /// Convenience for tests/benchmarks: call with no profiling threshold
+  /// games — just dispatch.
+  Value call(MethodId Method, std::initializer_list<Value> Args) {
+    return call(Method, std::vector<Value>(Args));
+  }
+
+  Runtime &runtime() { return RT; }
+  const Runtime &runtime() const { return RT; }
+  ProfileData &profiles() { return Profiles; }
+  const VMOptions &options() const { return Options; }
+  JitMetrics &jitMetrics() { return Jit; }
+
+  /// The compiled graph of \p Method, or null.
+  const Graph *compiledGraph(MethodId Method) const {
+    return States[Method].Compiled.get();
+  }
+
+  /// Forces compilation of \p Method now (benchmark warmup control).
+  void compileNow(MethodId Method);
+
+  /// Drops compiled code for \p Method.
+  void invalidate(MethodId Method);
+
+private:
+  Value executeCompiled(MethodId Method, std::vector<Value> &Args);
+  void compile(MethodId Method);
+  Value handleDeopt(DeoptRequest &&Req);
+
+  struct MethodState {
+    std::unique_ptr<Graph> Compiled;
+    /// Invalidated graphs are retired, not destroyed: activations of the
+    /// old code may still be on the native stack (an invalidation is
+    /// triggered from a deoptimization *inside* that very code).
+    std::vector<std::unique_ptr<Graph>> Retired;
+    uint64_t DeoptCount = 0;
+    uint64_t Recompiles = 0;
+  };
+
+  const Program &P;
+  VMOptions Options;
+  Runtime RT;
+  ProfileData Profiles;
+  Interpreter Interp;
+  GraphExecutor Executor;
+  std::vector<MethodState> States;
+  JitMetrics Jit;
+};
+
+} // namespace jvm
+
+#endif // JVM_VM_VIRTUALMACHINE_H

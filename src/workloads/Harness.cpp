@@ -1,0 +1,171 @@
+//===- Harness.cpp - Benchmark measurement and Table 1 formatting -------------===//
+
+#include "workloads/Harness.h"
+
+#include "support/ErrorHandling.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+using namespace jvm;
+using namespace jvm::workloads;
+
+HarnessOptions HarnessOptions::fromEnvironment() {
+  HarnessOptions O;
+  if (const char *E = std::getenv("JVM_BENCH_WARMUP"))
+    O.WarmupIters = std::atoi(E);
+  if (const char *E = std::getenv("JVM_BENCH_MEASURE"))
+    O.MeasureIters = std::atoi(E);
+  if (const char *E = std::getenv("JVM_BENCH_REPEATS"))
+    O.Repeats = std::atoi(E);
+  return O;
+}
+
+RowMeasurement jvm::workloads::measureRow(const BenchmarkSet &Set,
+                                          const BenchmarkRow &Row,
+                                          EscapeAnalysisMode Mode,
+                                          const HarnessOptions &Opts) {
+  VMOptions VO = Opts.VM;
+  VO.Compiler.EAMode = Mode;
+  VirtualMachine VM(Set.WP.P, VO);
+  VM.call(Set.WP.Setup, {});
+
+  RowMeasurement M;
+  std::vector<Value> Args{Value::makeInt(Row.Scale)};
+  for (unsigned I = 0; I != Opts.WarmupIters; ++I)
+    VM.call(Row.Driver, Args);
+
+  VM.runtime().resetMetrics();
+  double BestSeconds = 0;
+  unsigned Repeats = Opts.Repeats ? Opts.Repeats : 1;
+  for (unsigned R = 0; R != Repeats; ++R) {
+    auto Start = std::chrono::steady_clock::now();
+    int64_t Sum = 0;
+    for (unsigned I = 0; I != Opts.MeasureIters; ++I)
+      Sum += VM.call(Row.Driver, Args).asInt();
+    auto End = std::chrono::steady_clock::now();
+    double Seconds = std::chrono::duration<double>(End - Start).count();
+    if (R == 0 || Seconds < BestSeconds)
+      BestSeconds = Seconds;
+    M.Checksum = Sum;
+  }
+  double Seconds = BestSeconds;
+  const Runtime &RT = VM.runtime();
+  double Iters = static_cast<double>(Opts.MeasureIters) * Repeats;
+  M.KBPerIter = RT.heap().allocatedBytes() / 1024.0 / Iters;
+  M.KAllocsPerIter = RT.heap().allocationCount() / 1000.0 / Iters;
+  M.MonitorOpsPerIter = RT.metrics().MonitorOps / Iters;
+  M.ItersPerMinute =
+      Seconds > 0 ? Opts.MeasureIters * 60.0 / Seconds : 0;
+  M.Deopts = RT.metrics().Deopts;
+  M.Compilations = VM.jitMetrics().Compilations;
+  M.Invalidations = VM.jitMetrics().Invalidations;
+  if (std::getenv("JVM_BENCH_DIAG"))
+    std::fprintf(stderr,
+                 "  [diag] %-12s %-22s deopts=%llu compiles=%llu "
+                 "invalidations=%llu gcs=%llu interpOps=%llu "
+                 "compiledOps=%llu\n",
+                 Row.Name.c_str(), escapeAnalysisModeName(Mode),
+                 (unsigned long long)M.Deopts,
+                 (unsigned long long)M.Compilations,
+                 (unsigned long long)M.Invalidations,
+                 (unsigned long long)RT.heap().gcRuns(),
+                 (unsigned long long)RT.metrics().InterpretedOps,
+                 (unsigned long long)RT.metrics().CompiledOps);
+  return M;
+}
+
+std::vector<RowComparison>
+jvm::workloads::runSuite(const BenchmarkSet &Set, const std::string &Suite,
+                         EscapeAnalysisMode Base, EscapeAnalysisMode Mode,
+                         const HarnessOptions &Opts) {
+  std::vector<RowComparison> Result;
+  for (const BenchmarkRow &Row : Set.Rows) {
+    if (Row.Suite != Suite)
+      continue;
+    RowComparison C;
+    C.Row = &Row;
+    C.Without = measureRow(Set, Row, Base, Opts);
+    C.With = measureRow(Set, Row, Mode, Opts);
+    if (C.Without.Checksum != C.With.Checksum)
+      jvm_unreachable("benchmark checksum differs between EA modes");
+    Result.push_back(C);
+    std::fprintf(stderr, "  [measured] %-12s done\n", Row.Name.c_str());
+  }
+  return Result;
+}
+
+double jvm::workloads::percentDelta(double Without, double With) {
+  if (Without == 0)
+    return 0;
+  return (With - Without) / Without * 100.0;
+}
+
+std::string
+jvm::workloads::formatTable1Block(const std::string &Title,
+                                  const std::vector<RowComparison> &Rows) {
+  std::ostringstream OS;
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "%-14s | %27s | %27s | %27s\n", Title.c_str(),
+                "KB / Iteration", "kAllocs / Iteration",
+                "Iterations / Minute");
+  OS << Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "%-14s | %9s %9s %7s | %9s %9s %7s | %9s %9s %7s\n", "",
+                "without", "with", "delta", "without", "with", "delta",
+                "without", "with", "speedup");
+  OS << Buf;
+  OS << std::string(104, '-') << '\n';
+
+  double SumDBytes = 0, SumDAllocs = 0, SumDSpeed = 0;
+  for (const RowComparison &C : Rows) {
+    SumDBytes += percentDelta(C.Without.KBPerIter, C.With.KBPerIter);
+    SumDAllocs +=
+        percentDelta(C.Without.KAllocsPerIter, C.With.KAllocsPerIter);
+    SumDSpeed +=
+        percentDelta(C.Without.ItersPerMinute, C.With.ItersPerMinute);
+    if (C.Row->OmittedInPaper)
+      continue; // Listed only in the average, as in the paper.
+    std::snprintf(
+        Buf, sizeof(Buf),
+        "%-14s | %9.1f %9.1f %+6.1f%% | %9.2f %9.2f %+6.1f%% | %9.1f %9.1f %+6.1f%%\n",
+        C.Row->Name.c_str(), C.Without.KBPerIter, C.With.KBPerIter,
+        percentDelta(C.Without.KBPerIter, C.With.KBPerIter),
+        C.Without.KAllocsPerIter, C.With.KAllocsPerIter,
+        percentDelta(C.Without.KAllocsPerIter, C.With.KAllocsPerIter),
+        C.Without.ItersPerMinute, C.With.ItersPerMinute,
+        percentDelta(C.Without.ItersPerMinute, C.With.ItersPerMinute));
+    OS << Buf;
+  }
+  if (!Rows.empty()) {
+    OS << std::string(104, '-') << '\n';
+    std::snprintf(Buf, sizeof(Buf),
+                  "%-14s | %19s %+6.1f%% | %19s %+6.1f%% | %19s %+6.1f%%\n",
+                  "average", "", SumDBytes / Rows.size(), "",
+                  SumDAllocs / Rows.size(), "", SumDSpeed / Rows.size());
+    OS << Buf;
+  }
+  return OS.str();
+}
+
+std::string
+jvm::workloads::formatLockTable(const std::vector<RowComparison> &Rows) {
+  std::ostringstream OS;
+  char Buf[192];
+  std::snprintf(Buf, sizeof(Buf), "%-14s | %14s | %14s | %9s\n", "benchmark",
+                "locks w/o EA", "locks w/ PEA", "delta");
+  OS << Buf;
+  OS << std::string(62, '-') << '\n';
+  for (const RowComparison &C : Rows) {
+    std::snprintf(Buf, sizeof(Buf), "%-14s | %14.0f | %14.0f | %+8.1f%%\n",
+                  C.Row->Name.c_str(), C.Without.MonitorOpsPerIter,
+                  C.With.MonitorOpsPerIter,
+                  percentDelta(C.Without.MonitorOpsPerIter,
+                               C.With.MonitorOpsPerIter));
+    OS << Buf;
+  }
+  return OS.str();
+}

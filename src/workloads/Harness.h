@@ -1,0 +1,87 @@
+//===- Harness.h - Benchmark measurement and Table 1 formatting -----*- C++ -*-===//
+///
+/// \file
+/// Runs benchmark rows under a given escape-analysis mode in a fresh VM
+/// and reports the paper's metrics: allocated bytes per iteration,
+/// allocations per iteration, iterations per minute and monitor
+/// operations per iteration. Formatting mirrors Table 1 (scaled to this
+/// simulator: KB and thousands of allocations instead of MB/millions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_WORKLOADS_HARNESS_H
+#define JVM_WORKLOADS_HARNESS_H
+
+#include "vm/VirtualMachine.h"
+#include "workloads/Suites.h"
+
+#include <string>
+#include <vector>
+
+namespace jvm {
+namespace workloads {
+
+struct HarnessOptions {
+  unsigned WarmupIters = 12;
+  unsigned MeasureIters = 10;
+  /// Timing repetitions; the fastest one is reported (standard defense
+  /// against scheduler/frequency noise on shared machines).
+  unsigned Repeats = 3;
+  VMOptions VM;
+
+  HarnessOptions() {
+    // High enough that call-heavy library methods (getValue, equals)
+    // collect mature receiver/branch profiles before compiling; loop
+    // kernels reach it via backedge hotness within their first run.
+    VM.CompileThreshold = 500;
+  }
+
+  /// Reads JVM_BENCH_WARMUP / JVM_BENCH_MEASURE overrides from the
+  /// environment (smoke-testing the benches cheaply).
+  static HarnessOptions fromEnvironment();
+};
+
+struct RowMeasurement {
+  double KBPerIter = 0;
+  double KAllocsPerIter = 0;
+  double ItersPerMinute = 0;
+  double MonitorOpsPerIter = 0;
+  uint64_t Deopts = 0;
+  uint64_t Compilations = 0;
+  uint64_t Invalidations = 0;
+  int64_t Checksum = 0; ///< sum of driver results (cross-mode validation)
+};
+
+struct RowComparison {
+  const BenchmarkRow *Row = nullptr;
+  RowMeasurement Without; ///< baseline mode
+  RowMeasurement With;    ///< comparison mode
+};
+
+/// Runs \p Row for \p MeasureIters iterations after warmup in a fresh VM.
+RowMeasurement measureRow(const BenchmarkSet &Set, const BenchmarkRow &Row,
+                          EscapeAnalysisMode Mode,
+                          const HarnessOptions &Opts);
+
+/// Measures every row of \p Suite under \p Base and \p Mode.
+std::vector<RowComparison> runSuite(const BenchmarkSet &Set,
+                                    const std::string &Suite,
+                                    EscapeAnalysisMode Base,
+                                    EscapeAnalysisMode Mode,
+                                    const HarnessOptions &Opts);
+
+/// Renders one Table 1 block. Rows the paper omits are excluded from the
+/// listing but included in the averages, exactly like the original.
+std::string formatTable1Block(const std::string &Title,
+                              const std::vector<RowComparison> &Rows);
+
+/// Renders the Section 6.1 lock-operation comparison for \p Rows.
+std::string formatLockTable(const std::vector<RowComparison> &Rows);
+
+/// Percentage change from \p Without to \p With (negative = reduction).
+double percentDelta(double Without, double With);
+
+} // namespace workloads
+} // namespace jvm
+
+#endif // JVM_WORKLOADS_HARNESS_H

@@ -1,0 +1,421 @@
+//===- StdLib.cpp - Allocation-pattern kernels for the benchmarks -------------===//
+
+#include "workloads/StdLib.h"
+
+#include "bytecode/BytecodeVerifier.h"
+#include "bytecode/CodeBuilder.h"
+
+using namespace jvm;
+using namespace jvm::workloads;
+
+namespace {
+
+void buildKeyEquals(WorkloadProgram &W) {
+  CodeBuilder C(W.P, W.KeyEquals);
+  unsigned Result = C.newLocal();
+  Label NotEqual = C.newLabel(), Done = C.newLabel();
+  C.load(0).monEnter();
+  C.load(0).getField(W.Key, W.KeyIdx);
+  C.load(1).getField(W.Key, W.KeyIdx);
+  C.ifNe(NotEqual);
+  C.load(0).getField(W.Key, W.KeyRef);
+  C.load(1).getField(W.Key, W.KeyRef);
+  C.ifRefNe(NotEqual);
+  C.constI(1).store(Result).gotoL(Done);
+  C.bind(NotEqual);
+  C.constI(0).store(Result);
+  C.bind(Done);
+  C.load(0).monExit();
+  C.load(Result).retInt();
+  C.finish();
+}
+
+void buildCreateValue(WorkloadProgram &W) {
+  CodeBuilder C(W.P, W.CreateValue);
+  unsigned B = C.newLocal();
+  C.newObj(W.Box).store(B);
+  C.load(B).load(0).putField(W.Box, W.BoxVal);
+  C.load(B).retRef();
+  C.finish();
+}
+
+void buildGetValue(WorkloadProgram &W) {
+  // The paper's Listing 4: key escapes into the cache on misses only.
+  CodeBuilder C(W.P, W.GetValue);
+  unsigned KeyL = C.newLocal(), TmpL = C.newLocal(), ValL = C.newLocal();
+  Label Miss = C.newLabel();
+  C.newObj(W.Key).store(KeyL);
+  C.load(KeyL).load(0).putField(W.Key, W.KeyIdx);
+  C.load(KeyL).load(1).putField(W.Key, W.KeyRef);
+  C.getStatic(W.CacheKey).store(TmpL);
+  C.load(TmpL).ifNull(Miss);
+  C.load(KeyL).load(TmpL).invokeVirtual(W.KeyEquals);
+  C.constI(0).ifEq(Miss);
+  C.getStatic(W.CacheValue).retRef();
+  C.bind(Miss);
+  C.load(KeyL).putStatic(W.CacheKey);
+  C.load(0).invokeStatic(W.CreateValue).store(ValL);
+  C.load(ValL).putStatic(W.CacheValue);
+  C.load(ValL).retRef();
+  C.finish();
+}
+
+void buildIterMethods(WorkloadProgram &W) {
+  {
+    CodeBuilder C(W.P, W.IterHasNext);
+    Label Yes = C.newLabel();
+    C.load(0).getField(W.Iter, W.IterPos);
+    C.load(0).getField(W.Iter, W.IterArr).arrLen();
+    C.ifLt(Yes);
+    C.constI(0).retInt();
+    C.bind(Yes);
+    C.constI(1).retInt();
+    C.finish();
+  }
+  {
+    CodeBuilder C(W.P, W.IterNext);
+    unsigned V = C.newLocal();
+    C.load(0).getField(W.Iter, W.IterArr);
+    C.load(0).getField(W.Iter, W.IterPos);
+    C.arrLoadInt().store(V);
+    C.load(0).load(0).getField(W.Iter, W.IterPos).constI(1).add();
+    C.putField(W.Iter, W.IterPos);
+    C.load(V).retInt();
+    C.finish();
+  }
+}
+
+void buildOrderValidate(WorkloadProgram &W) {
+  CodeBuilder C(W.P, W.OrderValidate);
+  unsigned T = C.newLocal();
+  C.load(0).monEnter();
+  C.load(0).getField(W.Order, W.OrderQty).constI(3).mul();
+  C.load(0).getField(W.Order, W.OrderId).constI(7).rem().add();
+  C.store(T);
+  C.load(0).load(T).putField(W.Order, W.OrderTotal);
+  C.load(0).monExit();
+  C.load(T).retInt();
+  C.finish();
+}
+
+void buildCacheLookup(WorkloadProgram &W) {
+  // (n, hitMod): each key value repeats hitMod times, so roughly
+  // (hitMod-1)/hitMod of the lookups hit.
+  CodeBuilder C(W.P, W.CacheLookup);
+  unsigned Sum = C.newLocal(), I = C.newLocal();
+  Label Head = C.newLabel(), Exit = C.newLabel();
+  C.constI(0).store(Sum).constI(0).store(I);
+  C.bind(Head);
+  C.load(I).load(0).ifGe(Exit);
+  C.load(I).load(1).div().constI(8).rem();
+  C.constNull();
+  C.invokeStatic(W.GetValue);
+  C.getField(W.Box, W.BoxVal);
+  C.load(Sum).add().store(Sum);
+  C.load(I).constI(1).add().store(I);
+  C.gotoL(Head);
+  C.bind(Exit);
+  C.load(Sum).retInt();
+  C.finish();
+}
+
+void buildBoxedSum(WorkloadProgram &W) {
+  // (n, escMod): box per element; 1-in-escMod escapes to the sink.
+  CodeBuilder C(W.P, W.BoxedSum);
+  unsigned Sum = C.newLocal(), I = C.newLocal(), B = C.newLocal();
+  Label Head = C.newLabel(), Exit = C.newLabel(), NoEsc = C.newLabel();
+  C.constI(0).store(Sum).constI(0).store(I);
+  C.bind(Head);
+  C.load(I).load(0).ifGe(Exit);
+  C.newObj(W.Box).store(B);
+  C.load(B).load(I).constI(3).mul().constI(1).add().putField(W.Box, W.BoxVal);
+  C.load(Sum).load(B).getField(W.Box, W.BoxVal).add().store(Sum);
+  C.load(I).load(1).rem().constI(0).ifNe(NoEsc);
+  C.load(B).putStatic(W.GlobalSink);
+  C.bind(NoEsc);
+  C.load(I).constI(1).add().store(I);
+  C.gotoL(Head);
+  C.bind(Exit);
+  C.load(Sum).retInt();
+  C.finish();
+}
+
+void buildPairChurn(WorkloadProgram &W) {
+  // (n, escMod): two chained temporaries per element.
+  CodeBuilder C(W.P, W.PairChurn);
+  unsigned Sum = C.newLocal(), I = C.newLocal();
+  unsigned Pl = C.newLocal(), Q = C.newLocal();
+  Label Head = C.newLabel(), Exit = C.newLabel(), NoEsc = C.newLabel();
+  C.constI(0).store(Sum).constI(0).store(I);
+  C.bind(Head);
+  C.load(I).load(0).ifGe(Exit);
+  C.newObj(W.Pair).store(Pl);
+  C.load(Pl).load(I).putField(W.Pair, W.PairA);
+  C.load(Pl).load(I).constI(2).mul().putField(W.Pair, W.PairB);
+  C.newObj(W.Pair).store(Q);
+  C.load(Q).load(Pl).getField(W.Pair, W.PairA)
+      .load(Pl).getField(W.Pair, W.PairB).add().putField(W.Pair, W.PairA);
+  C.load(Q).load(Pl).getField(W.Pair, W.PairA)
+      .load(Pl).getField(W.Pair, W.PairB).sub().putField(W.Pair, W.PairB);
+  C.load(Sum).load(Q).getField(W.Pair, W.PairA).add()
+      .load(Q).getField(W.Pair, W.PairB).add().store(Sum);
+  C.load(I).load(1).rem().constI(0).ifNe(NoEsc);
+  C.load(Q).putStatic(W.GlobalSink);
+  C.bind(NoEsc);
+  C.load(I).constI(1).add().store(I);
+  C.gotoL(Head);
+  C.bind(Exit);
+  C.load(Sum).retInt();
+  C.finish();
+}
+
+void buildIterSum(WorkloadProgram &W) {
+  // (n, m): one backing array of length m, one iterator object per outer
+  // round. The iterator never escapes: removable by both analyses.
+  CodeBuilder C(W.P, W.IterSum);
+  unsigned Sum = C.newLocal(), I = C.newLocal(), Arr = C.newLocal();
+  unsigned It = C.newLocal(), J = C.newLocal();
+  Label Fill = C.newLabel(), FillX = C.newLabel();
+  Label Head = C.newLabel(), Exit = C.newLabel();
+  Label Inner = C.newLabel(), InnerX = C.newLabel();
+  C.load(1).newArrayInt().store(Arr);
+  C.constI(0).store(J);
+  C.bind(Fill);
+  C.load(J).load(1).ifGe(FillX);
+  C.load(Arr).load(J).load(J).constI(5).mul().arrStoreInt();
+  C.load(J).constI(1).add().store(J);
+  C.gotoL(Fill);
+  C.bind(FillX);
+  C.constI(0).store(Sum).constI(0).store(I);
+  C.bind(Head);
+  C.load(I).load(0).ifGe(Exit);
+  C.newObj(W.Iter).store(It);
+  C.load(It).load(Arr).putField(W.Iter, W.IterArr);
+  C.load(It).constI(0).putField(W.Iter, W.IterPos);
+  C.bind(Inner);
+  C.load(It).invokeVirtual(W.IterHasNext).constI(0).ifEq(InnerX);
+  C.load(Sum).load(It).invokeVirtual(W.IterNext).add().store(Sum);
+  C.gotoL(Inner);
+  C.bind(InnerX);
+  C.load(I).constI(1).add().store(I);
+  C.gotoL(Head);
+  C.bind(Exit);
+  C.load(Sum).retInt();
+  C.finish();
+}
+
+void buildBuilderFill(WorkloadProgram &W) {
+  // (n, m): per round, a dynamically sized array (stays) wrapped in a
+  // builder object (removable by both analyses).
+  CodeBuilder C(W.P, W.BuilderFill);
+  unsigned Sum = C.newLocal(), I = C.newLocal();
+  unsigned Arr = C.newLocal(), Wr = C.newLocal(), J = C.newLocal();
+  Label Head = C.newLabel(), Exit = C.newLabel();
+  Label Inner = C.newLabel(), InnerX = C.newLabel();
+  C.constI(0).store(Sum).constI(0).store(I);
+  C.bind(Head);
+  C.load(I).load(0).ifGe(Exit);
+  C.load(1).load(I).constI(7).bitAnd().add().newArrayInt().store(Arr);
+  C.newObj(W.Iter).store(Wr);
+  C.load(Wr).load(Arr).putField(W.Iter, W.IterArr);
+  C.load(Wr).constI(0).putField(W.Iter, W.IterPos);
+  C.constI(0).store(J);
+  C.bind(Inner);
+  C.load(J).load(1).ifGe(InnerX);
+  C.load(Wr).getField(W.Iter, W.IterArr);
+  C.load(Wr).getField(W.Iter, W.IterPos);
+  C.load(I).load(J).add().arrStoreInt();
+  C.load(Wr).load(Wr).getField(W.Iter, W.IterPos).constI(1).add();
+  C.putField(W.Iter, W.IterPos);
+  C.load(J).constI(1).add().store(J);
+  C.gotoL(Inner);
+  C.bind(InnerX);
+  C.load(Sum).load(Wr).getField(W.Iter, W.IterPos).add();
+  C.load(Arr).constI(0).arrLoadInt().add().store(Sum);
+  C.load(I).constI(1).add().store(I);
+  C.gotoL(Head);
+  C.bind(Exit);
+  C.load(Sum).retInt();
+  C.finish();
+}
+
+void buildTransactions(WorkloadProgram &W) {
+  // (n, escMod): an order per element, validated under its own monitor,
+  // escaping into the warehouse 1-in-escMod times.
+  CodeBuilder C(W.P, W.Transactions);
+  unsigned Sum = C.newLocal(), I = C.newLocal(), O = C.newLocal();
+  unsigned Wh = C.newLocal();
+  Label Head = C.newLabel(), Exit = C.newLabel(), NoEsc = C.newLabel();
+  C.constI(0).store(Sum).constI(0).store(I);
+  C.bind(Head);
+  C.load(I).load(0).ifGe(Exit);
+  C.newObj(W.Order).store(O);
+  C.load(O).load(I).putField(W.Order, W.OrderId);
+  C.load(O).load(I).constI(5).rem().constI(1).add()
+      .putField(W.Order, W.OrderQty);
+  C.load(Sum).load(O).invokeVirtual(W.OrderValidate).add().store(Sum);
+  C.load(I).load(1).rem().constI(0).ifNe(NoEsc);
+  C.getStatic(W.Warehouse).store(Wh);
+  C.load(Wh).load(I).load(Wh).arrLen().rem().load(O).arrStoreRef();
+  C.bind(NoEsc);
+  C.load(I).constI(1).add().store(I);
+  C.gotoL(Head);
+  C.bind(Exit);
+  C.load(Sum).retInt();
+  C.finish();
+}
+
+void buildFlatWork(WorkloadProgram &W) {
+  // (n, m): array arithmetic without small-object allocation.
+  CodeBuilder C(W.P, W.FlatWork);
+  unsigned Sum = C.newLocal(), I = C.newLocal(), Arr = C.newLocal();
+  Label Head = C.newLabel(), Exit = C.newLabel();
+  C.load(1).newArrayInt().store(Arr);
+  C.constI(0).store(Sum).constI(0).store(I);
+  C.bind(Head);
+  C.load(I).load(0).ifGe(Exit);
+  C.load(Arr).load(I).load(1).rem();
+  C.load(Arr).load(I).constI(1).add().load(1).rem().arrLoadInt();
+  C.constI(3).mul().load(I).add().arrStoreInt();
+  C.load(Sum).load(Arr).load(I).load(1).rem().arrLoadInt().bitXor()
+      .store(Sum);
+  C.load(I).constI(1).add().store(I);
+  C.gotoL(Head);
+  C.bind(Exit);
+  C.load(Sum).retInt();
+  C.finish();
+}
+
+void buildPhaseShift(WorkloadProgram &W) {
+  // (n, escMod): the escape condition depends on a phase counter that
+  // advances every call, so branch profiles collected during warmup go
+  // stale — speculation keeps failing (the jython analog).
+  CodeBuilder C(W.P, W.PhaseShift);
+  unsigned Sum = C.newLocal(), I = C.newLocal(), O = C.newLocal();
+  unsigned Ph = C.newLocal();
+  Label Head = C.newLabel(), Exit = C.newLabel(), NoEsc = C.newLabel();
+  C.getStatic(W.Phase).store(Ph);
+  C.constI(0).store(Sum).constI(0).store(I);
+  C.bind(Head);
+  C.load(I).load(0).ifGe(Exit);
+  C.newObj(W.Pair).store(O);
+  C.load(O).load(I).putField(W.Pair, W.PairA);
+  C.load(O).load(Ph).putField(W.Pair, W.PairB);
+  C.load(I).load(Ph).constI(17).mul().add().load(1).rem();
+  C.constI(0).ifNe(NoEsc);
+  C.load(O).putStatic(W.GlobalSink);
+  C.bind(NoEsc);
+  C.load(Sum).load(O).getField(W.Pair, W.PairA).add().store(Sum);
+  C.load(I).constI(1).add().store(I);
+  C.gotoL(Head);
+  C.bind(Exit);
+  C.load(Ph).constI(1).add().putStatic(W.Phase);
+  C.load(Sum).retInt();
+  C.finish();
+}
+
+void buildSyncWork(WorkloadProgram &W) {
+  // (n, m): n monitor round-trips on the warehouse array object plus a
+  // little arithmetic; these locks can never be elided.
+  CodeBuilder C(W.P, W.SyncWork);
+  unsigned Sum = C.newLocal(), I = C.newLocal(), O = C.newLocal();
+  Label Head = C.newLabel(), Exit = C.newLabel();
+  C.getStatic(W.Warehouse).store(O);
+  C.constI(0).store(Sum).constI(0).store(I);
+  C.bind(Head);
+  C.load(I).load(0).ifGe(Exit);
+  C.load(O).monEnter();
+  C.load(Sum).load(I).load(1).rem().add().store(Sum);
+  C.load(O).monExit();
+  C.load(I).constI(1).add().store(I);
+  C.gotoL(Head);
+  C.bind(Exit);
+  C.load(Sum).retInt();
+  C.finish();
+}
+
+void buildSetup(WorkloadProgram &W) {
+  CodeBuilder C(W.P, W.Setup);
+  C.constI(64).newArrayRef().putStatic(W.Warehouse);
+  C.constNull().putStatic(W.CacheKey);
+  C.constNull().putStatic(W.CacheValue);
+  C.constNull().putStatic(W.GlobalSink);
+  C.constI(0).putStatic(W.Phase);
+  C.retVoid();
+  C.finish();
+}
+
+} // namespace
+
+WorkloadProgram jvm::workloads::buildWorkloadProgram() {
+  WorkloadProgram W;
+  Program &P = W.P;
+
+  W.Key = P.addClass("Key");
+  W.KeyIdx = P.addField(W.Key, "idx", ValueType::Int);
+  W.KeyRef = P.addField(W.Key, "ref", ValueType::Ref);
+  W.Box = P.addClass("Box");
+  W.BoxVal = P.addField(W.Box, "val", ValueType::Int);
+  W.Pair = P.addClass("Pair");
+  W.PairA = P.addField(W.Pair, "a", ValueType::Int);
+  W.PairB = P.addField(W.Pair, "b", ValueType::Int);
+  W.Iter = P.addClass("Iter");
+  W.IterArr = P.addField(W.Iter, "arr", ValueType::Ref);
+  W.IterPos = P.addField(W.Iter, "pos", ValueType::Int);
+  W.Order = P.addClass("Order");
+  W.OrderId = P.addField(W.Order, "id", ValueType::Int);
+  W.OrderQty = P.addField(W.Order, "qty", ValueType::Int);
+  W.OrderTotal = P.addField(W.Order, "total", ValueType::Int);
+
+  W.CacheKey = P.addStatic("cacheKey", ValueType::Ref);
+  W.CacheValue = P.addStatic("cacheValue", ValueType::Ref);
+  W.GlobalSink = P.addStatic("globalSink", ValueType::Ref);
+  W.Warehouse = P.addStatic("warehouse", ValueType::Ref);
+  W.Phase = P.addStatic("phase", ValueType::Int);
+
+  using VT = ValueType;
+  W.KeyEquals =
+      P.addMethod("Key.equals", W.Key, {VT::Ref, VT::Ref}, VT::Int);
+  W.CreateValue = P.addMethod("createValue", NoClass, {VT::Int}, VT::Ref);
+  W.GetValue =
+      P.addMethod("getValue", NoClass, {VT::Int, VT::Ref}, VT::Ref);
+  W.IterHasNext = P.addMethod("Iter.hasNext", W.Iter, {VT::Ref}, VT::Int);
+  W.IterNext = P.addMethod("Iter.next", W.Iter, {VT::Ref}, VT::Int);
+  W.OrderValidate =
+      P.addMethod("Order.validate", W.Order, {VT::Ref}, VT::Int);
+
+  W.CacheLookup =
+      P.addMethod("cacheLookup", NoClass, {VT::Int, VT::Int}, VT::Int);
+  W.BoxedSum = P.addMethod("boxedSum", NoClass, {VT::Int, VT::Int}, VT::Int);
+  W.PairChurn =
+      P.addMethod("pairChurn", NoClass, {VT::Int, VT::Int}, VT::Int);
+  W.IterSum = P.addMethod("iterSum", NoClass, {VT::Int, VT::Int}, VT::Int);
+  W.BuilderFill =
+      P.addMethod("builderFill", NoClass, {VT::Int, VT::Int}, VT::Int);
+  W.Transactions =
+      P.addMethod("transactions", NoClass, {VT::Int, VT::Int}, VT::Int);
+  W.FlatWork = P.addMethod("flatWork", NoClass, {VT::Int, VT::Int}, VT::Int);
+  W.PhaseShift =
+      P.addMethod("phaseShift", NoClass, {VT::Int, VT::Int}, VT::Int);
+  W.SyncWork = P.addMethod("syncWork", NoClass, {VT::Int, VT::Int}, VT::Int);
+  W.Setup = P.addMethod("setup", NoClass, {}, VT::Void);
+
+  buildKeyEquals(W);
+  buildCreateValue(W);
+  buildGetValue(W);
+  buildIterMethods(W);
+  buildOrderValidate(W);
+  buildCacheLookup(W);
+  buildBoxedSum(W);
+  buildPairChurn(W);
+  buildIterSum(W);
+  buildBuilderFill(W);
+  buildTransactions(W);
+  buildFlatWork(W);
+  buildPhaseShift(W);
+  buildSyncWork(W);
+  buildSetup(W);
+
+  verifyProgramOrDie(P);
+  return W;
+}

@@ -1,0 +1,89 @@
+//===- StdLib.h - Allocation-pattern kernels for the benchmarks -----*- C++ -*-===//
+///
+/// \file
+/// The mini-Java "standard library" all synthetic benchmarks are composed
+/// from. Each kernel reproduces one allocation-pattern *class* that the
+/// paper's evaluation suites exhibit; the per-benchmark drivers in
+/// Suites.cpp mix them with different weights (see DESIGN.md).
+///
+/// Kernels and their escape-analysis sensitivity:
+///   cacheLookup   paper's Key cache: key escapes only on misses; PEA
+///                 removes allocation+lock on hits, EES removes nothing.
+///   boxedSum      boxing churn escaping 1-in-M times (Scala-style);
+///                 PEA removes (M-1)/M, EES nothing.
+///   pairChurn     two chained temporary tuples per element, rare escape.
+///   iterSum       iterator object over an array; never escapes: both
+///                 analyses remove it (the array itself stays).
+///   builderFill   wrapper around a dynamically sized array; the wrapper
+///                 is removable by both analyses, the array by neither.
+///   transactions  order objects validated under their monitor, escaping
+///                 1-in-M into a warehouse; PEA elides all validate locks.
+///   flatWork      arithmetic/array work with no small-object allocation.
+///   phaseShift    workload whose branch behaviour changes over time,
+///                 defeating speculation (the jython-regression analog).
+///   syncWork      monitor enter/exit on a long-lived escaped object;
+///                 never elidable — the baseline lock traffic that makes
+///                 the paper's lock reductions small percentages (§6.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_WORKLOADS_STDLIB_H
+#define JVM_WORKLOADS_STDLIB_H
+
+#include "bytecode/Program.h"
+
+namespace jvm {
+namespace workloads {
+
+/// The shared program all benchmark drivers are added to.
+struct WorkloadProgram {
+  Program P;
+
+  // Classes and fields.
+  ClassId Key = NoClass;
+  FieldIndex KeyIdx = -1, KeyRef = -1;
+  ClassId Box = NoClass;
+  FieldIndex BoxVal = -1;
+  ClassId Pair = NoClass;
+  FieldIndex PairA = -1, PairB = -1;
+  ClassId Iter = NoClass;
+  FieldIndex IterArr = -1, IterPos = -1;
+  ClassId Order = NoClass;
+  FieldIndex OrderId = -1, OrderQty = -1, OrderTotal = -1;
+
+  // Statics.
+  StaticIndex CacheKey = -1, CacheValue = -1;
+  StaticIndex GlobalSink = -1;
+  StaticIndex Warehouse = -1; ///< ref array of escaped orders
+  StaticIndex Phase = -1;     ///< counter driving phaseShift behaviour
+
+  // Library methods.
+  MethodId KeyEquals = NoMethod;   ///< synchronized equals (paper Listing 1)
+  MethodId GetValue = NoMethod;    ///< paper's getValue (Listing 4 shape)
+  MethodId CreateValue = NoMethod;
+  MethodId IterHasNext = NoMethod;
+  MethodId IterNext = NoMethod;
+  MethodId OrderValidate = NoMethod; ///< synchronized total computation
+
+  // Kernels: all are `(n: int, m: int) -> int`.
+  MethodId CacheLookup = NoMethod;
+  MethodId BoxedSum = NoMethod;
+  MethodId PairChurn = NoMethod;
+  MethodId IterSum = NoMethod;
+  MethodId BuilderFill = NoMethod;
+  MethodId Transactions = NoMethod;
+  MethodId FlatWork = NoMethod;
+  MethodId PhaseShift = NoMethod;
+  MethodId SyncWork = NoMethod; ///< monitor traffic on an escaped object
+
+  /// One-time initialization (allocates the warehouse array).
+  MethodId Setup = NoMethod;
+};
+
+/// Builds the shared kernel program. The result verifies.
+WorkloadProgram buildWorkloadProgram();
+
+} // namespace workloads
+} // namespace jvm
+
+#endif // JVM_WORKLOADS_STDLIB_H

@@ -1,0 +1,51 @@
+//===- Suites.h - Synthetic benchmark suites -------------------------*- C++ -*-===//
+///
+/// \file
+/// One synthetic workload per benchmark row of the paper's Table 1:
+/// the 14 DaCapo benchmarks, the 12 ScalaDaCapo benchmarks and
+/// SPECjbb2005. Each row is a driver method over the StdLib kernels with
+/// a row-specific mix; the mapping rationale is documented per row in
+/// Suites.cpp and in DESIGN.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_WORKLOADS_SUITES_H
+#define JVM_WORKLOADS_SUITES_H
+
+#include "workloads/StdLib.h"
+
+#include <string>
+#include <vector>
+
+namespace jvm {
+namespace workloads {
+
+struct BenchmarkRow {
+  std::string Suite; ///< "dacapo", "scaladacapo", "specjbb2005"
+  std::string Name;
+  MethodId Driver = NoMethod; ///< `(scale: int) -> int`
+  int64_t Scale = 0;          ///< elements per iteration
+  /// Rows the paper omits from Table 1 ("no significant change").
+  bool OmittedInPaper = false;
+};
+
+/// Everything the benchmark harness needs.
+struct BenchmarkSet {
+  WorkloadProgram WP;
+  std::vector<BenchmarkRow> Rows;
+
+  const BenchmarkRow *find(const std::string &Name) const {
+    for (const BenchmarkRow &R : Rows)
+      if (R.Name == Name)
+        return &R;
+    return nullptr;
+  }
+};
+
+/// Builds the shared program plus all suite rows. The program verifies.
+BenchmarkSet buildBenchmarkSet();
+
+} // namespace workloads
+} // namespace jvm
+
+#endif // JVM_WORKLOADS_SUITES_H

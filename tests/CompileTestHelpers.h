@@ -1,0 +1,123 @@
+//===- CompileTestHelpers.h - Compile-and-run scaffolding for tests -*- C++ -*-===//
+///
+/// \file
+/// A miniature JIT harness for tests: interpret to warm profiles, build
+/// and optimize graphs with an explicit phase list, execute them with the
+/// GraphExecutor, and deoptimize into the interpreter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_TESTS_COMPILETESTHELPERS_H
+#define JVM_TESTS_COMPILETESTHELPERS_H
+
+#include "compiler/Canonicalizer.h"
+#include "compiler/DeadCodeElimination.h"
+#include "compiler/GVN.h"
+#include "compiler/GraphBuilder.h"
+#include "compiler/Inliner.h"
+#include "interp/Interpreter.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "pea/PartialEscapeAnalysis.h"
+#include "vm/GraphExecutor.h"
+
+#include <memory>
+
+namespace jvm {
+namespace testjit {
+
+/// Counts nodes of kind \p K in \p G.
+inline unsigned countNodes(const Graph &G, NodeKind K) {
+  unsigned N = 0;
+  for (unsigned Id = 0, E = G.nodeIdBound(); Id != E; ++Id)
+    if (const Node *Node = G.nodeAt(Id))
+      N += Node->kind() == K;
+  return N;
+}
+
+class TestJit {
+public:
+  explicit TestJit(const Program &P)
+      : P(P), RT(P), Prof(P.numMethods()), Interp(RT, Prof) {}
+
+  /// Interprets \p M once (collecting profiles).
+  Value interpret(MethodId M, std::vector<Value> Args) {
+    return Interp.call(M, std::move(Args));
+  }
+
+  /// Interprets \p M \p Times times with the same arguments.
+  void warmup(MethodId M, const std::vector<Value> &Args, unsigned Times) {
+    for (unsigned I = 0; I != Times; ++I)
+      Interp.call(M, Args);
+  }
+
+  /// Front end only (with profiles unless \p WithProfile is false).
+  std::unique_ptr<Graph> build(MethodId M, bool WithProfile = true) {
+    std::unique_ptr<Graph> G =
+        buildGraph(P, M, WithProfile ? &Prof.of(M) : nullptr, Opts);
+    verifyGraphOrDie(*G);
+    return G;
+  }
+
+  /// Front end + the standard pre-EA pipeline.
+  std::unique_ptr<Graph> buildOptimized(MethodId M, bool WithProfile = true) {
+    std::unique_ptr<Graph> G = build(M, WithProfile);
+    canonicalize(*G, P);
+    verifyGraphOrDie(*G);
+    if (Opts.EnableInlining) {
+      inlineCalls(*G, P, WithProfile ? &Prof : nullptr, Opts);
+      verifyGraphOrDie(*G);
+      canonicalize(*G, P);
+    }
+    runGVN(*G);
+    eliminateDeadCode(*G);
+    verifyGraphOrDie(*G);
+    return G;
+  }
+
+  /// The full pipeline with the configured escape analysis.
+  std::unique_ptr<Graph> buildWithEA(MethodId M, EscapeAnalysisMode Mode,
+                                     PEAStats *Stats = nullptr,
+                                     bool WithProfile = true) {
+    std::unique_ptr<Graph> G = buildOptimized(M, WithProfile);
+    if (Mode == EscapeAnalysisMode::Partial)
+      runPartialEscapeAnalysis(*G, P, Opts, Stats);
+    else if (Mode == EscapeAnalysisMode::FlowInsensitive)
+      runFlowInsensitiveEscapeAnalysis(*G, P, Opts, Stats);
+    verifyGraphOrDie(*G);
+    for (int Round = 0; Round != 4; ++Round) {
+      bool Changed = canonicalize(*G, P);
+      Changed |= runGVN(*G);
+      Changed |= eliminateDeadCode(*G);
+      if (!Changed)
+        break;
+    }
+    verifyGraphOrDie(*G);
+    return G;
+  }
+
+  /// Runs \p G; calls dispatch to the interpreter, deopts resume in it.
+  Value execute(const Graph &G, std::vector<Value> Args) {
+    Runtime::RootScope ArgRoots(RT, &Args);
+    GraphExecutor Ex(
+        RT,
+        [this](MethodId Target, std::vector<Value> &&CallArgs) {
+          return Interp.call(Target, std::move(CallArgs));
+        },
+        [this](DeoptRequest &&Req) {
+          return Interp.resume(std::move(Req.Frames));
+        });
+    return Ex.execute(G, Args);
+  }
+
+  const Program &P;
+  Runtime RT;
+  ProfileData Prof;
+  Interpreter Interp;
+  CompilerOptions Opts;
+};
+
+} // namespace testjit
+} // namespace jvm
+
+#endif // JVM_TESTS_COMPILETESTHELPERS_H

@@ -1,0 +1,294 @@
+//===- TestPrograms.h - Shared mini-Java programs for tests --------*- C++ -*-===//
+///
+/// \file
+/// Canonical programs used across the test suite, including the paper's
+/// running example (Listings 1 and 4: the Key cache with a synchronized
+/// equals method).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_TESTS_TESTPROGRAMS_H
+#define JVM_TESTS_TESTPROGRAMS_H
+
+#include "bytecode/BytecodeVerifier.h"
+#include "bytecode/CodeBuilder.h"
+#include "bytecode/Program.h"
+
+namespace jvm {
+namespace testprogs {
+
+/// The paper's running example:
+///
+///   class Key { int idx; Object ref;
+///     synchronized boolean equals(Key other) {
+///       return idx == other.idx && ref == other.ref; } }
+///   static Key cacheKey;  static Object cacheValue;
+///
+///   Object getValue(int idx, Object ref) {
+///     Key key = new Key(idx, ref);
+///     if (cacheKey != null && key.equals(cacheKey)) return cacheValue;
+///     if (UpdateCacheOnMiss) cacheKey = key;           // Listing 4 variant
+///     cacheValue = createValue(idx);  return cacheValue; }
+struct CacheProgram {
+  Program P;
+  ClassId Key = NoClass;
+  ClassId Box = NoClass;
+  FieldIndex KeyIdx = -1, KeyRef = -1, BoxVal = -1;
+  StaticIndex CacheKey = -1, CacheValue = -1;
+  MethodId Equals = NoMethod, GetValue = NoMethod, CreateValue = NoMethod;
+};
+
+inline CacheProgram makeCacheProgram(bool UpdateCacheOnMiss) {
+  CacheProgram R;
+  Program &P = R.P;
+  R.Key = P.addClass("Key");
+  R.KeyIdx = P.addField(R.Key, "idx", ValueType::Int);
+  R.KeyRef = P.addField(R.Key, "ref", ValueType::Ref);
+  R.Box = P.addClass("Box");
+  R.BoxVal = P.addField(R.Box, "val", ValueType::Int);
+  R.CacheKey = P.addStatic("cacheKey", ValueType::Ref);
+  R.CacheValue = P.addStatic("cacheValue", ValueType::Ref);
+
+  R.Equals = P.addMethod("Key.equals", R.Key,
+                         {ValueType::Ref, ValueType::Ref}, ValueType::Int);
+  R.CreateValue =
+      P.addMethod("createValue", NoClass, {ValueType::Int}, ValueType::Ref);
+  R.GetValue = P.addMethod("getValue", NoClass,
+                           {ValueType::Int, ValueType::Ref}, ValueType::Ref);
+
+  {
+    // equals: synchronized comparison of both fields.
+    CodeBuilder C(P, R.Equals);
+    unsigned Result = C.newLocal();
+    Label NotEqual = C.newLabel();
+    Label Done = C.newLabel();
+    C.load(0).monEnter();
+    C.load(0).getField(R.Key, R.KeyIdx);
+    C.load(1).getField(R.Key, R.KeyIdx);
+    C.ifNe(NotEqual);
+    C.load(0).getField(R.Key, R.KeyRef);
+    C.load(1).getField(R.Key, R.KeyRef);
+    C.ifRefNe(NotEqual);
+    C.constI(1).store(Result).gotoL(Done);
+    C.bind(NotEqual);
+    C.constI(0).store(Result);
+    C.bind(Done);
+    C.load(0).monExit();
+    C.load(Result).retInt();
+    C.finish();
+  }
+  {
+    // createValue: allocate a Box holding idx (always escapes via return).
+    CodeBuilder C(P, R.CreateValue);
+    unsigned B = C.newLocal();
+    C.newObj(R.Box).store(B);
+    C.load(B).load(0).putField(R.Box, R.BoxVal);
+    C.load(B).retRef();
+    C.finish();
+  }
+  {
+    CodeBuilder C(P, R.GetValue);
+    unsigned KeyL = C.newLocal();
+    unsigned TmpL = C.newLocal();
+    unsigned ValL = C.newLocal();
+    Label Miss = C.newLabel();
+    C.newObj(R.Key).store(KeyL);
+    C.load(KeyL).load(0).putField(R.Key, R.KeyIdx);
+    C.load(KeyL).load(1).putField(R.Key, R.KeyRef);
+    C.getStatic(R.CacheKey).store(TmpL);
+    C.load(TmpL).ifNull(Miss);
+    C.load(KeyL).load(TmpL).invokeVirtual(R.Equals);
+    C.constI(0).ifEq(Miss);
+    C.getStatic(R.CacheValue).retRef();
+    C.bind(Miss);
+    if (UpdateCacheOnMiss)
+      C.load(KeyL).putStatic(R.CacheKey);
+    C.load(0).invokeStatic(R.CreateValue).store(ValL);
+    C.load(ValL).putStatic(R.CacheValue);
+    C.load(ValL).retRef();
+    C.finish();
+  }
+  verifyProgramOrDie(P);
+  return R;
+}
+
+/// Arithmetic/looping helpers:
+///   abs(x), max(x, y), sumTo(n) via loop, fact(n) via recursion.
+struct MathProgram {
+  Program P;
+  MethodId Abs = NoMethod, Max = NoMethod, SumTo = NoMethod, Fact = NoMethod;
+};
+
+inline MathProgram makeMathProgram() {
+  MathProgram R;
+  Program &P = R.P;
+  R.Abs = P.addMethod("abs", NoClass, {ValueType::Int}, ValueType::Int);
+  R.Max = P.addMethod("max", NoClass, {ValueType::Int, ValueType::Int},
+                      ValueType::Int);
+  R.SumTo = P.addMethod("sumTo", NoClass, {ValueType::Int}, ValueType::Int);
+  R.Fact = P.addMethod("fact", NoClass, {ValueType::Int}, ValueType::Int);
+  {
+    CodeBuilder C(P, R.Abs);
+    Label Neg = C.newLabel();
+    C.load(0).constI(0).ifLt(Neg);
+    C.load(0).retInt();
+    C.bind(Neg);
+    C.constI(0).load(0).sub().retInt();
+    C.finish();
+  }
+  {
+    CodeBuilder C(P, R.Max);
+    Label Second = C.newLabel();
+    C.load(0).load(1).ifLt(Second);
+    C.load(0).retInt();
+    C.bind(Second);
+    C.load(1).retInt();
+    C.finish();
+  }
+  {
+    // sum = 0; for (i = 1; i <= n; i++) sum += i; return sum;
+    CodeBuilder C(P, R.SumTo);
+    unsigned Sum = C.newLocal();
+    unsigned I = C.newLocal();
+    Label Head = C.newLabel();
+    Label Exit = C.newLabel();
+    C.constI(0).store(Sum);
+    C.constI(1).store(I);
+    C.bind(Head);
+    C.load(I).load(0).ifGt(Exit);
+    C.load(Sum).load(I).add().store(Sum);
+    C.load(I).constI(1).add().store(I);
+    C.gotoL(Head);
+    C.bind(Exit);
+    C.load(Sum).retInt();
+    C.finish();
+  }
+  {
+    // fact(n) = n <= 1 ? 1 : n * fact(n - 1)
+    CodeBuilder C(P, R.Fact);
+    Label Base = C.newLabel();
+    C.load(0).constI(1).ifLe(Base);
+    C.load(0).load(0).constI(1).sub().invokeStatic(R.Fact).mul().retInt();
+    C.bind(Base);
+    C.constI(1).retInt();
+    C.finish();
+  }
+  verifyProgramOrDie(P);
+  return R;
+}
+
+/// Virtual dispatch: Shape base with area(), Circle/Square overriding it.
+struct ShapesProgram {
+  Program P;
+  ClassId Shape = NoClass, Circle = NoClass, Square = NoClass;
+  FieldIndex CircleR = -1, SquareS = -1;
+  MethodId ShapeArea = NoMethod, CircleArea = NoMethod, SquareArea = NoMethod;
+  MethodId MakeCircle = NoMethod, MakeSquare = NoMethod, AreaOf = NoMethod;
+};
+
+inline ShapesProgram makeShapesProgram() {
+  ShapesProgram R;
+  Program &P = R.P;
+  R.Shape = P.addClass("Shape");
+  R.Circle = P.addClass("Circle", R.Shape);
+  R.CircleR = P.addField(R.Circle, "r", ValueType::Int);
+  R.Square = P.addClass("Square", R.Shape);
+  R.SquareS = P.addField(R.Square, "s", ValueType::Int);
+
+  R.ShapeArea =
+      P.addMethod("area", R.Shape, {ValueType::Ref}, ValueType::Int);
+  R.CircleArea =
+      P.addMethod("area", R.Circle, {ValueType::Ref}, ValueType::Int);
+  R.SquareArea =
+      P.addMethod("area", R.Square, {ValueType::Ref}, ValueType::Int);
+  R.MakeCircle =
+      P.addMethod("makeCircle", NoClass, {ValueType::Int}, ValueType::Ref);
+  R.MakeSquare =
+      P.addMethod("makeSquare", NoClass, {ValueType::Int}, ValueType::Ref);
+  R.AreaOf = P.addMethod("areaOf", NoClass, {ValueType::Ref}, ValueType::Int);
+
+  {
+    CodeBuilder C(P, R.ShapeArea);
+    C.constI(0).retInt();
+    C.finish();
+  }
+  {
+    // Circle area: 3 * r * r.
+    CodeBuilder C(P, R.CircleArea);
+    C.constI(3).load(0).getField(R.Circle, R.CircleR).mul();
+    C.load(0).getField(R.Circle, R.CircleR).mul().retInt();
+    C.finish();
+  }
+  {
+    CodeBuilder C(P, R.SquareArea);
+    C.load(0).getField(R.Square, R.SquareS);
+    C.load(0).getField(R.Square, R.SquareS).mul().retInt();
+    C.finish();
+  }
+  {
+    CodeBuilder C(P, R.MakeCircle);
+    unsigned O = C.newLocal();
+    C.newObj(R.Circle).store(O);
+    C.load(O).load(0).putField(R.Circle, R.CircleR);
+    C.load(O).retRef();
+    C.finish();
+  }
+  {
+    CodeBuilder C(P, R.MakeSquare);
+    unsigned O = C.newLocal();
+    C.newObj(R.Square).store(O);
+    C.load(O).load(0).putField(R.Square, R.SquareS);
+    C.load(O).retRef();
+    C.finish();
+  }
+  {
+    CodeBuilder C(P, R.AreaOf);
+    C.load(0).invokeVirtual(R.ShapeArea).retInt();
+    C.finish();
+  }
+  verifyProgramOrDie(P);
+  return R;
+}
+
+/// Allocation churn in a loop: sumBoxes(n) allocates a Box per iteration,
+/// reads it back and discards it — the classic scalar-replacement target.
+struct ChurnProgram {
+  Program P;
+  ClassId Box = NoClass;
+  FieldIndex BoxVal = -1;
+  MethodId SumBoxes = NoMethod;
+};
+
+inline ChurnProgram makeChurnProgram() {
+  ChurnProgram R;
+  Program &P = R.P;
+  R.Box = P.addClass("Box");
+  R.BoxVal = P.addField(R.Box, "val", ValueType::Int);
+  R.SumBoxes =
+      P.addMethod("sumBoxes", NoClass, {ValueType::Int}, ValueType::Int);
+  CodeBuilder C(P, R.SumBoxes);
+  unsigned Sum = C.newLocal();
+  unsigned I = C.newLocal();
+  unsigned B = C.newLocal();
+  Label Head = C.newLabel();
+  Label Exit = C.newLabel();
+  C.constI(0).store(Sum);
+  C.constI(0).store(I);
+  C.bind(Head);
+  C.load(I).load(0).ifGe(Exit);
+  C.newObj(R.Box).store(B);
+  C.load(B).load(I).putField(R.Box, R.BoxVal);
+  C.load(Sum).load(B).getField(R.Box, R.BoxVal).add().store(Sum);
+  C.load(I).constI(1).add().store(I);
+  C.gotoL(Head);
+  C.bind(Exit);
+  C.load(Sum).retInt();
+  C.finish();
+  verifyProgramOrDie(P);
+  return R;
+}
+
+} // namespace testprogs
+} // namespace jvm
+
+#endif // JVM_TESTS_TESTPROGRAMS_H

@@ -1,0 +1,181 @@
+//===- bytecode_test.cpp - Tests for the bytecode model ---------------------===//
+
+#include "TestPrograms.h"
+#include "bytecode/BytecodeVerifier.h"
+#include "bytecode/CodeBuilder.h"
+#include "bytecode/Disassembler.h"
+
+#include <gtest/gtest.h>
+
+using namespace jvm;
+
+namespace {
+
+TEST(ProgramTest, ClassFieldAndStaticRegistration) {
+  Program P;
+  ClassId A = P.addClass("A");
+  FieldIndex F0 = P.addField(A, "x", ValueType::Int);
+  FieldIndex F1 = P.addField(A, "y", ValueType::Ref);
+  StaticIndex S = P.addStatic("g", ValueType::Ref);
+  EXPECT_EQ(P.numClasses(), 1u);
+  EXPECT_EQ(F0, 0);
+  EXPECT_EQ(F1, 1);
+  EXPECT_EQ(P.classAt(A).findField("y"), 1);
+  EXPECT_EQ(P.classAt(A).findField("z"), -1);
+  EXPECT_EQ(P.staticAt(S).Name, "g");
+  EXPECT_EQ(P.findClass("A"), A);
+  EXPECT_EQ(P.findClass("B"), NoClass);
+}
+
+TEST(ProgramTest, SubclassRelation) {
+  Program P;
+  ClassId A = P.addClass("A");
+  ClassId B = P.addClass("B", A);
+  ClassId C = P.addClass("C", B);
+  ClassId D = P.addClass("D");
+  EXPECT_TRUE(P.isSubclassOf(C, A));
+  EXPECT_TRUE(P.isSubclassOf(B, B));
+  EXPECT_FALSE(P.isSubclassOf(A, B));
+  EXPECT_FALSE(P.isSubclassOf(D, A));
+}
+
+TEST(ProgramTest, VirtualResolutionWalksSuperChain) {
+  auto S = testprogs::makeShapesProgram();
+  EXPECT_EQ(S.P.resolveVirtual(S.ShapeArea, S.Circle), S.CircleArea);
+  EXPECT_EQ(S.P.resolveVirtual(S.ShapeArea, S.Square), S.SquareArea);
+  EXPECT_EQ(S.P.resolveVirtual(S.ShapeArea, S.Shape), S.ShapeArea);
+}
+
+TEST(CodeBuilderTest, ForwardLabelsArePatched) {
+  Program P;
+  MethodId M = P.addMethod("f", NoClass, {ValueType::Int}, ValueType::Int);
+  CodeBuilder C(P, M);
+  Label L = C.newLabel();
+  C.load(0).constI(0).ifLt(L);
+  C.constI(1).retInt();
+  C.bind(L);
+  C.constI(-1).retInt();
+  C.finish();
+  const MethodInfo &MI = P.methodAt(M);
+  ASSERT_EQ(MI.Code.size(), 7u);
+  EXPECT_EQ(MI.Code[2].Op, Opcode::IfLt);
+  EXPECT_EQ(MI.Code[2].A, 5);
+}
+
+TEST(CodeBuilderTest, NewLocalExtendsFrame) {
+  Program P;
+  MethodId M = P.addMethod("f", NoClass, {ValueType::Int}, ValueType::Void);
+  CodeBuilder C(P, M);
+  EXPECT_EQ(C.newLocal(), 1u);
+  EXPECT_EQ(C.newLocal(), 2u);
+  EXPECT_EQ(P.methodAt(M).NumLocals, 3u);
+}
+
+TEST(VerifierTest, AcceptsAllTestPrograms) {
+  EXPECT_TRUE(verifyProgram(testprogs::makeCacheProgram(true).P).empty());
+  EXPECT_TRUE(verifyProgram(testprogs::makeCacheProgram(false).P).empty());
+  EXPECT_TRUE(verifyProgram(testprogs::makeMathProgram().P).empty());
+  EXPECT_TRUE(verifyProgram(testprogs::makeShapesProgram().P).empty());
+  EXPECT_TRUE(verifyProgram(testprogs::makeChurnProgram().P).empty());
+}
+
+TEST(VerifierTest, RejectsStackUnderflow) {
+  Program P;
+  MethodId M = P.addMethod("bad", NoClass, {}, ValueType::Int);
+  CodeBuilder C(P, M);
+  C.add().retInt(); // Nothing on the stack.
+  C.finish();
+  EXPECT_FALSE(verifyMethod(P, M).empty());
+}
+
+TEST(VerifierTest, RejectsTypeMismatch) {
+  Program P;
+  MethodId M = P.addMethod("bad", NoClass, {ValueType::Ref}, ValueType::Int);
+  CodeBuilder C(P, M);
+  C.load(0).retInt(); // Returning a ref as int.
+  C.finish();
+  EXPECT_FALSE(verifyMethod(P, M).empty());
+}
+
+TEST(VerifierTest, RejectsInconsistentMergeDepth) {
+  Program P;
+  MethodId M = P.addMethod("bad", NoClass, {ValueType::Int}, ValueType::Int);
+  CodeBuilder C(P, M);
+  Label L = C.newLabel();
+  Label Join = C.newLabel();
+  C.load(0).constI(0).ifLt(L);
+  C.constI(1).constI(2).gotoL(Join); // Two values on one path...
+  C.bind(L);
+  C.constI(3).gotoL(Join); // ...one on the other.
+  C.bind(Join);
+  C.retInt();
+  C.finish();
+  EXPECT_FALSE(verifyMethod(P, M).empty());
+}
+
+TEST(VerifierTest, RejectsFallOffEnd) {
+  Program P;
+  MethodId M = P.addMethod("bad", NoClass, {}, ValueType::Void);
+  CodeBuilder C(P, M);
+  C.constI(1).pop();
+  C.finish();
+  EXPECT_FALSE(verifyMethod(P, M).empty());
+}
+
+TEST(VerifierTest, RejectsOutOfRangeBranch) {
+  Program P;
+  MethodId M = P.addMethod("bad", NoClass, {}, ValueType::Void);
+  P.methodAt(M).Code = {{Opcode::Goto, 99, 0}};
+  EXPECT_FALSE(verifyMethod(P, M).empty());
+}
+
+TEST(VerifierTest, RejectsUninitializedLocalLoad) {
+  Program P;
+  MethodId M = P.addMethod("bad", NoClass, {}, ValueType::Int);
+  CodeBuilder C(P, M);
+  unsigned L = C.newLocal();
+  C.load(L).retInt();
+  C.finish();
+  EXPECT_FALSE(verifyMethod(P, M).empty());
+}
+
+TEST(VerifierTest, RejectsVirtualCallOfStaticMethod) {
+  Program P;
+  MethodId Callee = P.addMethod("s", NoClass, {ValueType::Ref}, ValueType::Void);
+  {
+    CodeBuilder C(P, Callee);
+    C.retVoid();
+    C.finish();
+  }
+  MethodId M = P.addMethod("bad", NoClass, {ValueType::Ref}, ValueType::Void);
+  CodeBuilder C(P, M);
+  C.load(0).invokeVirtual(Callee).retVoid();
+  C.finish();
+  EXPECT_FALSE(verifyMethod(P, M).empty());
+}
+
+TEST(DisassemblerTest, RendersNamesAndTargets) {
+  auto CP = testprogs::makeCacheProgram(true);
+  std::string Text = methodToString(CP.P, CP.GetValue);
+  EXPECT_NE(Text.find("getValue"), std::string::npos);
+  EXPECT_NE(Text.find("new Key"), std::string::npos);
+  EXPECT_NE(Text.find("putfield Key.idx"), std::string::npos);
+  EXPECT_NE(Text.find("getstatic cacheKey"), std::string::npos);
+  EXPECT_NE(Text.find("invokevirtual Key.equals"), std::string::npos);
+
+  std::string Full = programToString(CP.P);
+  EXPECT_NE(Full.find("class Key"), std::string::npos);
+  EXPECT_NE(Full.find("static ref cacheKey;"), std::string::npos);
+}
+
+TEST(OpcodePredicateTest, Classification) {
+  EXPECT_TRUE(isConditionalBranch(Opcode::IfRefEq));
+  EXPECT_FALSE(isConditionalBranch(Opcode::Goto));
+  EXPECT_TRUE(isBlockEnd(Opcode::Goto));
+  EXPECT_TRUE(isBlockEnd(Opcode::RetVoid));
+  EXPECT_TRUE(isReturn(Opcode::RetRef));
+  EXPECT_FALSE(isReturn(Opcode::Trap));
+  EXPECT_FALSE(isBlockEnd(Opcode::Add));
+}
+
+} // namespace

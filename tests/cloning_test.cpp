@@ -1,0 +1,150 @@
+//===- cloning_test.cpp - Graph cloning and DOT export tests --------------------===//
+
+#include "ir/Cloning.h"
+#include "ir/Graph.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace jvm;
+
+namespace {
+
+/// A callee-shaped graph: f(x) = x < 0 ? -x : x, with a frame state on a
+/// store and one loop.
+std::unique_ptr<Graph> makeSource() {
+  auto G = std::make_unique<Graph>(7, std::vector<ValueType>{ValueType::Int});
+  auto *Cond =
+      G->create<CompareNode>(CmpKind::IntLt, G->param(0), G->intConstant(0));
+  auto *If = G->create<IfNode>(Cond);
+  If->setTrueProbability(0.25);
+  G->start()->setNext(If);
+  auto *TB = G->create<BeginNode>();
+  auto *FB = G->create<BeginNode>();
+  If->setTrueSuccessor(TB);
+  If->setFalseSuccessor(FB);
+  auto *Neg =
+      G->create<ArithNode>(ArithKind::Sub, G->intConstant(0), G->param(0));
+  auto *E1 = G->create<EndNode>();
+  auto *E2 = G->create<EndNode>();
+  TB->setNext(E1);
+  FB->setNext(E2);
+  auto *M = G->create<MergeNode>();
+  M->addEnd(E1);
+  M->addEnd(E2);
+  auto *Phi = G->create<PhiNode>(M, ValueType::Int);
+  Phi->appendValue(Neg);
+  Phi->appendValue(G->param(0));
+  auto *FS = G->create<FrameStateNode>(7, 3, false, 1, 0, 0);
+  FS->setLocalAt(0, Phi);
+  auto *Store = G->create<StoreStaticNode>(0, Phi, FS);
+  M->setNext(Store);
+  auto *Ret = G->create<ReturnNode>(Phi);
+  Store->setNext(Ret);
+  verifyGraphOrDie(*G);
+  return G;
+}
+
+TEST(CloningTest, ClonePreservesStructure) {
+  std::unique_ptr<Graph> Src = makeSource();
+  Graph Dest(1, {ValueType::Int, ValueType::Int});
+  // Parameter 0 of the callee maps to an expression in the caller.
+  auto *Arg =
+      Dest.create<ArithNode>(ArithKind::Add, Dest.param(0), Dest.param(1));
+  std::map<const Node *, Node *> Map = cloneGraphInto(Dest, *Src, {Arg});
+
+  // The callee Start maps to a Begin; the clone is a parallel universe.
+  EXPECT_TRUE(isa<BeginNode>(Map.at(Src->start())));
+  for (const auto &[Old, New] : Map) {
+    if (isa<ParameterNode>(Old) || isa<ConstantIntNode>(Old) ||
+        isa<ConstantNullNode>(Old) || isa<StartNode>(Old))
+      continue;
+    EXPECT_EQ(Old->kind(), New->kind());
+    EXPECT_EQ(Old->numInputs(), New->numInputs());
+    EXPECT_NE(Old->graph(), New->graph());
+  }
+}
+
+TEST(CloningTest, ParametersMapToArguments) {
+  std::unique_ptr<Graph> Src = makeSource();
+  Graph Dest(1, {ValueType::Int});
+  std::map<const Node *, Node *> Map =
+      cloneGraphInto(Dest, *Src, {Dest.param(0)});
+  EXPECT_EQ(Map.at(Src->param(0)), Dest.param(0));
+}
+
+TEST(CloningTest, ConstantsAreDeduplicatedAgainstDest) {
+  std::unique_ptr<Graph> Src = makeSource();
+  Graph Dest(1, {ValueType::Int});
+  ConstantIntNode *Zero = Dest.intConstant(0);
+  std::map<const Node *, Node *> Map =
+      cloneGraphInto(Dest, *Src, {Dest.param(0)});
+  EXPECT_EQ(Map.at(Src->intConstant(0)), Zero);
+}
+
+TEST(CloningTest, AttributesSurviveCloning) {
+  std::unique_ptr<Graph> Src = makeSource();
+  Graph Dest(1, {ValueType::Int});
+  std::map<const Node *, Node *> Map =
+      cloneGraphInto(Dest, *Src, {Dest.param(0)});
+  for (const auto &[Old, New] : Map) {
+    if (const auto *If = dyn_cast<IfNode>(Old)) {
+      EXPECT_DOUBLE_EQ(cast<IfNode>(New)->trueProbability(),
+                       If->trueProbability());
+    }
+    if (const auto *FS = dyn_cast<FrameStateNode>(Old)) {
+      EXPECT_EQ(cast<FrameStateNode>(New)->method(), FS->method());
+      EXPECT_EQ(cast<FrameStateNode>(New)->bci(), FS->bci());
+    }
+  }
+}
+
+TEST(CloningTest, SourceGraphIsUntouched) {
+  std::unique_ptr<Graph> Src = makeSource();
+  unsigned LiveBefore = Src->numLiveNodes();
+  std::string TextBefore = graphToString(*Src);
+  Graph Dest(1, {ValueType::Int});
+  cloneGraphInto(Dest, *Src, {Dest.param(0)});
+  EXPECT_EQ(Src->numLiveNodes(), LiveBefore);
+  EXPECT_EQ(graphToString(*Src), TextBefore);
+  EXPECT_TRUE(verifyGraph(*Src).empty());
+}
+
+TEST(DotExportTest, ContainsNodesAndEdgeStyles) {
+  std::unique_ptr<Graph> Src = makeSource();
+  std::string Dot = graphToDot(*Src);
+  EXPECT_NE(Dot.find("digraph method_7"), std::string::npos);
+  EXPECT_NE(Dot.find("style=bold"), std::string::npos);   // Control flow.
+  EXPECT_NE(Dot.find("color=gray"), std::string::npos);   // Data edges.
+  EXPECT_NE(Dot.find("style=dashed"), std::string::npos); // Frame state.
+  EXPECT_NE(Dot.find("label=\"T\""), std::string::npos);
+  // Balanced braces.
+  EXPECT_EQ(Dot.front(), 'd');
+  EXPECT_EQ(Dot[Dot.size() - 2], '}');
+}
+
+TEST(DotExportTest, LoopBackEdgeMarkedUnconstrained) {
+  Graph G(0, {ValueType::Int});
+  auto *FwdEnd = G.create<EndNode>();
+  G.start()->setNext(FwdEnd);
+  auto *Loop = G.create<LoopBeginNode>();
+  Loop->addEnd(FwdEnd);
+  auto *If = G.create<IfNode>(G.param(0));
+  Loop->setNext(If);
+  auto *Body = G.create<BeginNode>();
+  auto *ExitB = G.create<BeginNode>();
+  If->setTrueSuccessor(Body);
+  If->setFalseSuccessor(ExitB);
+  auto *Back = G.create<LoopEndNode>(Loop);
+  Body->setNext(Back);
+  Loop->addBackEdge(Back);
+  auto *Exit = G.create<LoopExitNode>(Loop);
+  ExitB->setNext(Exit);
+  auto *Ret = G.create<ReturnNode>(nullptr);
+  Exit->setNext(Ret);
+  std::string Dot = graphToDot(G);
+  EXPECT_NE(Dot.find("constraint=false"), std::string::npos);
+}
+
+} // namespace

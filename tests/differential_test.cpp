@@ -1,0 +1,212 @@
+//===- differential_test.cpp - Randomized interpreter-vs-JIT testing -----------===//
+//
+// Property-based safety net: generated programs (structured but random:
+// arithmetic, branches, loops, objects with stores/loads, rare escapes)
+// must produce identical results when interpreted and when compiled
+// under every escape-analysis mode, and partial escape analysis must
+// never increase the dynamic allocation count.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/BytecodeVerifier.h"
+#include "bytecode/CodeBuilder.h"
+#include "vm/VirtualMachine.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace jvm;
+
+namespace {
+
+/// Deterministic generator of verified random methods
+/// `f(int, int) -> int`, seeded per test case.
+class ProgramGenerator {
+public:
+  explicit ProgramGenerator(uint64_t Seed) : Rng(Seed) {}
+
+  struct Result {
+    Program P;
+    MethodId M = NoMethod;
+  };
+
+  Result generate() {
+    Result R;
+    Cls = R.P.addClass("T");
+    ValF = R.P.addField(Cls, "val", ValueType::Int);
+    AuxF = R.P.addField(Cls, "aux", ValueType::Int);
+    Sink = R.P.addStatic("sink", ValueType::Ref);
+    R.M = R.P.addMethod("f", NoClass, {ValueType::Int, ValueType::Int},
+                        ValueType::Int);
+    CodeBuilder C(R.P, R.M);
+    Acc = C.newLocal();
+    Obj = C.newLocal();
+    C.constI(0).store(Acc);
+    // Always have one live object local so object statements can use it.
+    C.newObj(Cls).store(Obj);
+    C.load(Obj).load(0).putField(Cls, ValF);
+    unsigned NumStatements = 3 + Rng() % 5;
+    for (unsigned I = 0; I != NumStatements; ++I)
+      emitStatement(C, /*Depth=*/0);
+    C.load(Acc).load(Obj).getField(Cls, ValF).add().retInt();
+    C.finish();
+    verifyProgramOrDie(R.P);
+    return R;
+  }
+
+private:
+  /// acc = acc OP <expr>
+  void emitArith(CodeBuilder &C) {
+    C.load(Acc);
+    switch (Rng() % 4) {
+    case 0:
+      C.load(0);
+      break;
+    case 1:
+      C.load(1);
+      break;
+    case 2:
+      C.constI(static_cast<int32_t>(Rng() % 1000) - 500);
+      break;
+    case 3:
+      C.load(Obj).getField(Cls, ValF);
+      break;
+    }
+    switch (Rng() % 5) {
+    case 0:
+      C.add();
+      break;
+    case 1:
+      C.sub();
+      break;
+    case 2:
+      C.mul();
+      break;
+    case 3:
+      C.bitXor();
+      break;
+    case 4:
+      C.constI(1).bitOr().rem(); // acc % (x|1): never a division by 0.
+      break;
+    }
+    C.store(Acc);
+  }
+
+  void emitObjectOp(CodeBuilder &C) {
+    switch (Rng() % 4) {
+    case 0: // Fresh object.
+      C.newObj(Cls).store(Obj);
+      C.load(Obj).load(Acc).putField(Cls, ValF);
+      break;
+    case 1: // Store into the current object.
+      C.load(Obj).load(Acc).putField(Cls, AuxF);
+      break;
+    case 2: // Read back.
+      C.load(Obj).getField(Cls, AuxF).load(Acc).add().store(Acc);
+      break;
+    case 3: // Rare escape.
+      C.load(Obj).putStatic(Sink);
+      break;
+    }
+  }
+
+  void emitBranch(CodeBuilder &C, unsigned Depth) {
+    Label Else = C.newLabel(), Done = C.newLabel();
+    C.load(Acc).constI(static_cast<int32_t>(Rng() % 64)).ifLt(Else);
+    emitStatement(C, Depth + 1);
+    C.gotoL(Done);
+    C.bind(Else);
+    emitStatement(C, Depth + 1);
+    C.bind(Done);
+  }
+
+  void emitLoop(CodeBuilder &C, unsigned Depth) {
+    unsigned I = C.newLocal();
+    Label Head = C.newLabel(), Exit = C.newLabel();
+    C.constI(0).store(I);
+    C.bind(Head);
+    C.load(I).constI(static_cast<int32_t>(2 + Rng() % 6)).ifGe(Exit);
+    emitStatement(C, Depth + 1);
+    C.load(I).constI(1).add().store(I);
+    C.gotoL(Head);
+    C.bind(Exit);
+  }
+
+  void emitStatement(CodeBuilder &C, unsigned Depth) {
+    unsigned Choice = Rng() % 10;
+    if (Depth >= 3 || Choice < 4)
+      return emitArith(C);
+    if (Choice < 7)
+      return emitObjectOp(C);
+    if (Choice < 9)
+      return emitBranch(C, Depth);
+    emitLoop(C, Depth);
+  }
+
+  std::mt19937_64 Rng;
+  ClassId Cls = NoClass;
+  FieldIndex ValF = -1, AuxF = -1;
+  StaticIndex Sink = -1;
+  unsigned Acc = 0, Obj = 0;
+};
+
+class DifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DifferentialTest, InterpreterAndAllJitModesAgree) {
+  ProgramGenerator Gen(GetParam());
+  ProgramGenerator::Result R = Gen.generate();
+
+  const std::vector<std::pair<int64_t, int64_t>> Inputs = {
+      {0, 0}, {1, 2}, {-5, 7}, {100, -100}, {64, 63}, {-1, -1}};
+
+  // Reference: pure interpretation.
+  std::vector<int64_t> Expected;
+  uint64_t InterpAllocs;
+  {
+    VMOptions VO;
+    VO.EnableJit = false;
+    VirtualMachine VM(R.P, VO);
+    for (auto [X, Y] : Inputs)
+      Expected.push_back(
+          VM.call(R.M, {Value::makeInt(X), Value::makeInt(Y)}).asInt());
+    InterpAllocs = VM.runtime().heap().allocationCount();
+  }
+
+  uint64_t PeaAllocs = 0, NoneAllocs = 0;
+  for (EscapeAnalysisMode Mode :
+       {EscapeAnalysisMode::None, EscapeAnalysisMode::FlowInsensitive,
+        EscapeAnalysisMode::Partial}) {
+    VMOptions VO;
+    VO.CompileThreshold = 2; // Compile almost immediately.
+    VO.Compiler.PruneMinProfile = 4;
+    VO.Compiler.DevirtMinProfile = 4;
+    VO.Compiler.EAMode = Mode;
+    VirtualMachine VM(R.P, VO);
+    // Warm with the first inputs, then check everything (later inputs
+    // can hit pruned branches and deoptimize; results must still match).
+    for (int W = 0; W != 4; ++W)
+      VM.call(R.M, {Value::makeInt(Inputs[0].first),
+                    Value::makeInt(Inputs[0].second)});
+    VM.runtime().resetMetrics();
+    for (unsigned I = 0; I != Inputs.size(); ++I) {
+      int64_t Got = VM.call(R.M, {Value::makeInt(Inputs[I].first),
+                                  Value::makeInt(Inputs[I].second)})
+                        .asInt();
+      ASSERT_EQ(Got, Expected[I])
+          << "seed=" << GetParam() << " input#" << I
+          << " mode=" << escapeAnalysisModeName(Mode);
+    }
+    if (Mode == EscapeAnalysisMode::None)
+      NoneAllocs = VM.runtime().heap().allocationCount();
+    if (Mode == EscapeAnalysisMode::Partial)
+      PeaAllocs = VM.runtime().heap().allocationCount();
+  }
+  EXPECT_LE(PeaAllocs, NoneAllocs) << "seed=" << GetParam();
+  (void)InterpAllocs;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
+                         ::testing::Range<uint64_t>(1, 151));
+
+} // namespace

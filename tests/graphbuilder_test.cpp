@@ -1,0 +1,256 @@
+//===- graphbuilder_test.cpp - Tests for bytecode -> IR translation ----------===//
+
+#include "CompileTestHelpers.h"
+#include "TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+using namespace jvm;
+using namespace jvm::testprogs;
+using namespace jvm::testjit;
+
+namespace {
+
+TEST(GraphBuilderTest, StraightLineAbs) {
+  MathProgram MP = makeMathProgram();
+  TestJit J(MP.P);
+  std::unique_ptr<Graph> G = J.build(MP.Abs, /*WithProfile=*/false);
+  EXPECT_EQ(countNodes(*G, NodeKind::If), 1u);
+  EXPECT_EQ(countNodes(*G, NodeKind::Return), 2u);
+  EXPECT_EQ(countNodes(*G, NodeKind::Merge), 0u);
+  EXPECT_EQ(J.execute(*G, {Value::makeInt(-9)}).asInt(), 9);
+  EXPECT_EQ(J.execute(*G, {Value::makeInt(9)}).asInt(), 9);
+}
+
+TEST(GraphBuilderTest, LoopBuildsLoopBeginWithPhis) {
+  MathProgram MP = makeMathProgram();
+  TestJit J(MP.P);
+  std::unique_ptr<Graph> G = J.build(MP.SumTo, false);
+  EXPECT_EQ(countNodes(*G, NodeKind::LoopBegin), 1u);
+  EXPECT_GE(countNodes(*G, NodeKind::LoopEnd), 1u);
+  EXPECT_GE(countNodes(*G, NodeKind::LoopExit), 1u);
+  EXPECT_GE(countNodes(*G, NodeKind::Phi), 2u); // sum and i.
+  EXPECT_EQ(J.execute(*G, {Value::makeInt(100)}).asInt(), 5050);
+  EXPECT_EQ(J.execute(*G, {Value::makeInt(0)}).asInt(), 0);
+}
+
+TEST(GraphBuilderTest, CallsBecomeInvokes) {
+  MathProgram MP = makeMathProgram();
+  TestJit J(MP.P);
+  std::unique_ptr<Graph> G = J.build(MP.Fact, false);
+  EXPECT_EQ(countNodes(*G, NodeKind::Invoke), 1u);
+  EXPECT_EQ(J.execute(*G, {Value::makeInt(6)}).asInt(), 720);
+}
+
+TEST(GraphBuilderTest, FieldAccessAndAllocation) {
+  ChurnProgram CP = makeChurnProgram();
+  TestJit J(CP.P);
+  std::unique_ptr<Graph> G = J.build(CP.SumBoxes, false);
+  EXPECT_EQ(countNodes(*G, NodeKind::NewInstance), 1u);
+  EXPECT_EQ(countNodes(*G, NodeKind::StoreField), 1u);
+  EXPECT_EQ(countNodes(*G, NodeKind::LoadField), 1u);
+  EXPECT_EQ(J.execute(*G, {Value::makeInt(10)}).asInt(), 45);
+  EXPECT_EQ(J.RT.heap().allocationCount(), 10u);
+}
+
+TEST(GraphBuilderTest, CacheProgramSemanticsMatchInterpreter) {
+  CacheProgram CP = makeCacheProgram(true);
+  TestJit J(CP.P);
+  std::unique_ptr<Graph> G = J.build(CP.GetValue, false);
+
+  // Interleave compiled executions; results must match interpreter
+  // behaviour (hit returns the cached box).
+  Value V1 = J.execute(*G, {Value::makeInt(7), Value::makeRef(nullptr)});
+  Value V2 = J.execute(*G, {Value::makeInt(7), Value::makeRef(nullptr)});
+  EXPECT_EQ(V1.asRef(), V2.asRef());
+  Value V3 = J.execute(*G, {Value::makeInt(8), Value::makeRef(nullptr)});
+  EXPECT_NE(V3.asRef(), V1.asRef());
+  EXPECT_EQ(V3.asRef()->slot(CP.BoxVal), Value::makeInt(8));
+}
+
+TEST(GraphBuilderTest, MonitorNodesCarryFrameStates) {
+  CacheProgram CP = makeCacheProgram(true);
+  TestJit J(CP.P);
+  std::unique_ptr<Graph> G = J.build(CP.Equals, false);
+  ASSERT_EQ(countNodes(*G, NodeKind::MonitorEnter), 1u);
+  ASSERT_EQ(countNodes(*G, NodeKind::MonitorExit), 1u);
+  for (unsigned Id = 0; Id != G->nodeIdBound(); ++Id)
+    if (Node *N = G->nodeAt(Id))
+      if (auto *SN = dyn_cast<StatefulNode>(N)) {
+        EXPECT_NE(SN->state(), nullptr)
+            << "stateful node without frame state: " << nodeToString(N);
+      }
+}
+
+TEST(GraphBuilderTest, BranchProbabilityFromProfile) {
+  MathProgram MP = makeMathProgram();
+  TestJit J(MP.P);
+  // abs: 3 negative, 1 positive -> branch taken 3 of 4 times.
+  J.interpret(MP.Abs, {Value::makeInt(-1)});
+  J.interpret(MP.Abs, {Value::makeInt(-2)});
+  J.interpret(MP.Abs, {Value::makeInt(-3)});
+  J.interpret(MP.Abs, {Value::makeInt(4)});
+  J.Opts.PruneColdBranches = false;
+  std::unique_ptr<Graph> G = J.build(MP.Abs);
+  for (unsigned Id = 0; Id != G->nodeIdBound(); ++Id)
+    if (Node *N = G->nodeAt(Id))
+      if (auto *If = dyn_cast<IfNode>(N)) {
+        EXPECT_NEAR(If->trueProbability(), 0.75, 1e-9);
+      }
+}
+
+TEST(GraphBuilderTest, ColdBranchBecomesDeoptimize) {
+  MathProgram MP = makeMathProgram();
+  TestJit J(MP.P);
+  J.Opts.PruneMinProfile = 10;
+  for (int I = 0; I != 20; ++I)
+    J.interpret(MP.Abs, {Value::makeInt(I + 1)}); // Never negative.
+  std::unique_ptr<Graph> G = J.build(MP.Abs);
+  EXPECT_EQ(countNodes(*G, NodeKind::Deoptimize), 1u);
+  EXPECT_EQ(countNodes(*G, NodeKind::Return), 1u);
+
+  // Fast path executes compiled; the pruned path deoptimizes into the
+  // interpreter and still computes the right answer.
+  EXPECT_EQ(J.execute(*G, {Value::makeInt(5)}).asInt(), 5);
+  EXPECT_EQ(J.RT.metrics().Deopts, 0u);
+  EXPECT_EQ(J.execute(*G, {Value::makeInt(-5)}).asInt(), 5);
+  EXPECT_EQ(J.RT.metrics().Deopts, 1u);
+}
+
+TEST(GraphBuilderTest, MonomorphicCallDevirtualizedWithGuard) {
+  ShapesProgram SP = makeShapesProgram();
+  TestJit J(SP.P);
+  J.Opts.DevirtMinProfile = 5;
+  Value Circle = J.interpret(SP.MakeCircle, {Value::makeInt(2)});
+  std::vector<Value> Args{Circle};
+  J.warmup(SP.AreaOf, Args, 10);
+
+  std::unique_ptr<Graph> G = J.build(SP.AreaOf);
+  // Guard: InstanceOf + If + Deoptimize; call devirtualized to static.
+  EXPECT_EQ(countNodes(*G, NodeKind::InstanceOf), 1u);
+  EXPECT_EQ(countNodes(*G, NodeKind::Deoptimize), 1u);
+  bool FoundDirect = false;
+  for (unsigned Id = 0; Id != G->nodeIdBound(); ++Id)
+    if (Node *N = G->nodeAt(Id))
+      if (auto *Call = dyn_cast<InvokeNode>(N)) {
+        EXPECT_EQ(Call->callKind(), CallKind::Static);
+        EXPECT_EQ(Call->callee(), SP.CircleArea);
+        FoundDirect = true;
+      }
+  EXPECT_TRUE(FoundDirect);
+
+  // Guard holds for circles, deopts for squares.
+  EXPECT_EQ(J.execute(*G, {Circle}).asInt(), 12);
+  EXPECT_EQ(J.RT.metrics().Deopts, 0u);
+  Value Square = J.interpret(SP.MakeSquare, {Value::makeInt(3)});
+  EXPECT_EQ(J.execute(*G, {Square}).asInt(), 9);
+  EXPECT_EQ(J.RT.metrics().Deopts, 1u);
+}
+
+TEST(GraphBuilderTest, PolymorphicCallStaysVirtual) {
+  ShapesProgram SP = makeShapesProgram();
+  TestJit J(SP.P);
+  Value Circle = J.interpret(SP.MakeCircle, {Value::makeInt(2)});
+  Value Square = J.interpret(SP.MakeSquare, {Value::makeInt(3)});
+  for (int I = 0; I != 10; ++I) {
+    J.interpret(SP.AreaOf, {Circle});
+    J.interpret(SP.AreaOf, {Square});
+  }
+  std::unique_ptr<Graph> G = J.build(SP.AreaOf);
+  EXPECT_EQ(countNodes(*G, NodeKind::Deoptimize), 0u);
+  for (unsigned Id = 0; Id != G->nodeIdBound(); ++Id)
+    if (Node *N = G->nodeAt(Id))
+      if (auto *Call = dyn_cast<InvokeNode>(N)) {
+        EXPECT_EQ(Call->callKind(), CallKind::Virtual);
+      }
+  // Virtual dispatch still works from compiled code.
+  EXPECT_EQ(J.execute(*G, {Circle}).asInt(), 12);
+  EXPECT_EQ(J.execute(*G, {Square}).asInt(), 9);
+}
+
+TEST(GraphBuilderTest, NestedLoopsAndBreaks) {
+  // sumGrid(n): for i in 0..n: for j in 0..n: if (i==j && i>n/2) break
+  // inner; sum += i*j.
+  Program P;
+  MethodId M = P.addMethod("sumGrid", NoClass, {ValueType::Int},
+                           ValueType::Int);
+  CodeBuilder C(P, M);
+  unsigned Sum = C.newLocal(), I = C.newLocal(), Jv = C.newLocal();
+  Label IHead = C.newLabel(), IExit = C.newLabel();
+  Label JHead = C.newLabel(), JExit = C.newLabel(), Body = C.newLabel();
+  C.constI(0).store(Sum).constI(0).store(I);
+  C.bind(IHead);
+  C.load(I).load(0).ifGe(IExit);
+  C.constI(0).store(Jv);
+  C.bind(JHead);
+  C.load(Jv).load(0).ifGe(JExit);
+  C.load(I).load(Jv).ifNe(Body);
+  C.load(I).load(0).constI(2).div().ifLe(Body);
+  C.gotoL(JExit); // Break out of the inner loop.
+  C.bind(Body);
+  C.load(Sum).load(I).load(Jv).mul().add().store(Sum);
+  C.load(Jv).constI(1).add().store(Jv);
+  C.gotoL(JHead);
+  C.bind(JExit);
+  C.load(I).constI(1).add().store(I);
+  C.gotoL(IHead);
+  C.bind(IExit);
+  C.load(Sum).retInt();
+  C.finish();
+  verifyProgramOrDie(P);
+
+  TestJit J(P);
+  std::unique_ptr<Graph> G = J.build(M, false);
+  EXPECT_EQ(countNodes(*G, NodeKind::LoopBegin), 2u);
+  // Differential check against the interpreter for several sizes.
+  for (int N : {0, 1, 2, 5, 9}) {
+    Value Expected = J.interpret(M, {Value::makeInt(N)});
+    EXPECT_EQ(J.execute(*G, {Value::makeInt(N)}).asInt(), Expected.asInt())
+        << "n=" << N;
+  }
+}
+
+TEST(GraphBuilderTest, ArraysInGraphs) {
+  Program P;
+  MethodId M =
+      P.addMethod("fillSum", NoClass, {ValueType::Int}, ValueType::Int);
+  CodeBuilder C(P, M);
+  unsigned Arr = C.newLocal(), I = C.newLocal(), Sum = C.newLocal();
+  Label H = C.newLabel(), X = C.newLabel();
+  C.load(0).newArrayInt().store(Arr);
+  C.constI(0).store(I);
+  C.bind(H);
+  C.load(I).load(Arr).arrLen().ifGe(X);
+  C.load(Arr).load(I).load(I).constI(2).mul().arrStoreInt();
+  C.load(I).constI(1).add().store(I);
+  C.gotoL(H);
+  C.bind(X);
+  C.load(Arr).constI(0).arrLoadInt();
+  C.load(Arr).load(0).constI(1).sub().arrLoadInt().add().store(Sum);
+  C.load(Sum).retInt();
+  C.finish();
+  verifyProgramOrDie(P);
+
+  TestJit J(P);
+  std::unique_ptr<Graph> G = J.build(M, false);
+  EXPECT_EQ(countNodes(*G, NodeKind::NewArray), 1u);
+  // arr[0] + arr[n-1] = 0 + 2(n-1).
+  EXPECT_EQ(J.execute(*G, {Value::makeInt(10)}).asInt(), 18);
+}
+
+TEST(GraphBuilderTest, GraphsVerifyForAllTestPrograms) {
+  {
+    CacheProgram CP = makeCacheProgram(true);
+    TestJit J(CP.P);
+    for (unsigned M = 0; M != CP.P.numMethods(); ++M)
+      EXPECT_TRUE(verifyGraph(*J.build(M, false)).empty()) << "method " << M;
+  }
+  {
+    ShapesProgram SP = makeShapesProgram();
+    TestJit J(SP.P);
+    for (unsigned M = 0; M != SP.P.numMethods(); ++M)
+      EXPECT_TRUE(verifyGraph(*J.build(M, false)).empty()) << "method " << M;
+  }
+}
+
+} // namespace

@@ -1,0 +1,159 @@
+//===- inliner_test.cpp - Tests for call-site inlining -------------------------===//
+
+#include "CompileTestHelpers.h"
+#include "TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+using namespace jvm;
+using namespace jvm::testprogs;
+using namespace jvm::testjit;
+
+namespace {
+
+TEST(InlinerTest, InlinesStaticCall) {
+  MathProgram MP = makeMathProgram();
+  Program &P = MP.P;
+  // caller(x) = abs(x) + max(x, 3)
+  MethodId Caller =
+      P.addMethod("caller", NoClass, {ValueType::Int}, ValueType::Int);
+  {
+    CodeBuilder C(P, Caller);
+    C.load(0).invokeStatic(MP.Abs);
+    C.load(0).constI(3).invokeStatic(MP.Max);
+    C.add().retInt();
+    C.finish();
+  }
+  verifyProgramOrDie(P);
+
+  TestJit J(P);
+  std::unique_ptr<Graph> G = J.build(Caller, false);
+  EXPECT_EQ(countNodes(*G, NodeKind::Invoke), 2u);
+  unsigned N = inlineCalls(*G, P, nullptr, J.Opts);
+  EXPECT_EQ(N, 2u);
+  verifyGraphOrDie(*G);
+  EXPECT_EQ(countNodes(*G, NodeKind::Invoke), 0u);
+
+  EXPECT_EQ(J.execute(*G, {Value::makeInt(-7)}).asInt(), 7 + 3);
+  EXPECT_EQ(J.execute(*G, {Value::makeInt(5)}).asInt(), 5 + 5);
+}
+
+TEST(InlinerTest, MultipleReturnsMergeWithPhi) {
+  MathProgram MP = makeMathProgram();
+  Program &P = MP.P;
+  MethodId Caller =
+      P.addMethod("caller2", NoClass, {ValueType::Int}, ValueType::Int);
+  {
+    CodeBuilder C(P, Caller);
+    C.load(0).invokeStatic(MP.Abs).retInt(); // abs has two returns.
+    C.finish();
+  }
+  TestJit J(P);
+  std::unique_ptr<Graph> G = J.build(Caller, false);
+  inlineCalls(*G, P, nullptr, J.Opts);
+  verifyGraphOrDie(*G);
+  EXPECT_GE(countNodes(*G, NodeKind::Merge), 1u);
+  EXPECT_GE(countNodes(*G, NodeKind::Phi), 1u);
+  EXPECT_EQ(J.execute(*G, {Value::makeInt(-4)}).asInt(), 4);
+}
+
+TEST(InlinerTest, RespectsDepthLimitOnRecursion) {
+  MathProgram MP = makeMathProgram();
+  TestJit J(MP.P);
+  J.Opts.InlineMaxDepth = 3;
+  std::unique_ptr<Graph> G = J.build(MP.Fact, false);
+  inlineCalls(*G, MP.P, nullptr, J.Opts);
+  verifyGraphOrDie(*G);
+  // Still one residual call at the recursion frontier.
+  EXPECT_EQ(countNodes(*G, NodeKind::Invoke), 1u);
+  EXPECT_EQ(J.execute(*G, {Value::makeInt(10)}).asInt(), 3628800);
+}
+
+TEST(InlinerTest, RespectsCalleeSizeLimit) {
+  MathProgram MP = makeMathProgram();
+  Program &P = MP.P;
+  MethodId Caller =
+      P.addMethod("caller3", NoClass, {ValueType::Int}, ValueType::Int);
+  {
+    CodeBuilder C(P, Caller);
+    C.load(0).invokeStatic(MP.SumTo).retInt();
+    C.finish();
+  }
+  TestJit J(P);
+  J.Opts.InlineMaxCalleeCodeSize = 3; // sumTo is larger than 3 bytecodes.
+  std::unique_ptr<Graph> G = J.build(Caller, false);
+  EXPECT_EQ(inlineCalls(*G, P, nullptr, J.Opts), 0u);
+  EXPECT_EQ(countNodes(*G, NodeKind::Invoke), 1u);
+}
+
+TEST(InlinerTest, FrameStatesChainToCaller) {
+  CacheProgram CP = makeCacheProgram(true);
+  TestJit J(CP.P);
+  // Warm up so equals is devirtualized inside getValue, then inline it.
+  J.interpret(CP.GetValue, {Value::makeInt(1), Value::makeRef(nullptr)});
+  for (int I = 0; I != 30; ++I)
+    J.interpret(CP.GetValue, {Value::makeInt(1), Value::makeRef(nullptr)});
+  std::unique_ptr<Graph> G = J.build(CP.GetValue);
+  inlineCalls(*G, CP.P, &J.Prof, J.Opts);
+  verifyGraphOrDie(*G);
+
+  // The inlined synchronized equals brings its monitor nodes along
+  // (paper Listing 2), and their frame states chain to getValue's state.
+  EXPECT_GE(countNodes(*G, NodeKind::MonitorEnter), 1u);
+  bool FoundChained = false;
+  for (unsigned Id = 0; Id != G->nodeIdBound(); ++Id)
+    if (Node *N = G->nodeAt(Id))
+      if (auto *FS = dyn_cast<FrameStateNode>(N))
+        if (FS->method() == CP.Equals && FS->outer()) {
+          EXPECT_EQ(FS->outer()->method(), CP.GetValue);
+          FoundChained = true;
+        }
+  EXPECT_TRUE(FoundChained);
+}
+
+TEST(InlinerTest, InlinedGuardedDevirtualizedCall) {
+  ShapesProgram SP = makeShapesProgram();
+  TestJit J(SP.P);
+  Value Circle = J.interpret(SP.MakeCircle, {Value::makeInt(2)});
+  J.warmup(SP.AreaOf, {Circle}, 30);
+  std::unique_ptr<Graph> G = J.buildOptimized(SP.AreaOf);
+  // area() is inlined; only the type guard's deopt remains.
+  EXPECT_EQ(countNodes(*G, NodeKind::Invoke), 0u);
+  EXPECT_EQ(countNodes(*G, NodeKind::Deoptimize), 1u);
+  EXPECT_EQ(J.execute(*G, {Circle}).asInt(), 12);
+  // Deopt path: a Square flows in, the guard fails, the interpreter
+  // re-executes the virtual call.
+  Value Square = J.interpret(SP.MakeSquare, {Value::makeInt(5)});
+  EXPECT_EQ(J.execute(*G, {Square}).asInt(), 25);
+  EXPECT_EQ(J.RT.metrics().Deopts, 1u);
+}
+
+TEST(InlinerTest, DeoptInsideInlinedCalleeRebuildsBothFrames) {
+  MathProgram MP = makeMathProgram();
+  Program &P = MP.P;
+  MethodId Caller =
+      P.addMethod("caller4", NoClass, {ValueType::Int}, ValueType::Int);
+  {
+    // caller4(x) = abs(x) * 10
+    CodeBuilder C(P, Caller);
+    C.load(0).invokeStatic(MP.Abs).constI(10).mul().retInt();
+    C.finish();
+  }
+  TestJit J(P);
+  J.Opts.PruneMinProfile = 10;
+  // Warm abs only with positives so its negative branch gets pruned.
+  for (int I = 1; I <= 20; ++I)
+    J.interpret(Caller, {Value::makeInt(I)});
+  std::unique_ptr<Graph> G = J.buildOptimized(Caller);
+  ASSERT_GE(countNodes(*G, NodeKind::Deoptimize), 1u);
+  EXPECT_EQ(countNodes(*G, NodeKind::Invoke), 0u);
+
+  // Fast path compiled, slow path deopts *inside the inlined abs* and
+  // must finish both the abs frame and the caller4 frame correctly.
+  EXPECT_EQ(J.execute(*G, {Value::makeInt(3)}).asInt(), 30);
+  EXPECT_EQ(J.RT.metrics().Deopts, 0u);
+  EXPECT_EQ(J.execute(*G, {Value::makeInt(-3)}).asInt(), 30);
+  EXPECT_EQ(J.RT.metrics().Deopts, 1u);
+}
+
+} // namespace

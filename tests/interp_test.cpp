@@ -1,0 +1,265 @@
+//===- interp_test.cpp - Tests for the profiling interpreter -----------------===//
+
+#include "TestPrograms.h"
+#include "interp/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace jvm;
+using namespace jvm::testprogs;
+
+namespace {
+
+/// Convenience: run one method of a fresh program.
+Value runMethod(const Program &P, MethodId M, std::vector<Value> Args) {
+  Runtime RT(P);
+  ProfileData Prof(P.numMethods());
+  Interpreter I(RT, Prof);
+  return I.call(M, std::move(Args));
+}
+
+TEST(InterpMathTest, AbsAndMax) {
+  MathProgram MP = makeMathProgram();
+  EXPECT_EQ(runMethod(MP.P, MP.Abs, {Value::makeInt(-5)}).asInt(), 5);
+  EXPECT_EQ(runMethod(MP.P, MP.Abs, {Value::makeInt(5)}).asInt(), 5);
+  EXPECT_EQ(runMethod(MP.P, MP.Max,
+                      {Value::makeInt(3), Value::makeInt(9)})
+                .asInt(),
+            9);
+  EXPECT_EQ(runMethod(MP.P, MP.Max,
+                      {Value::makeInt(9), Value::makeInt(3)})
+                .asInt(),
+            9);
+}
+
+TEST(InterpMathTest, LoopAndRecursion) {
+  MathProgram MP = makeMathProgram();
+  EXPECT_EQ(runMethod(MP.P, MP.SumTo, {Value::makeInt(100)}).asInt(), 5050);
+  EXPECT_EQ(runMethod(MP.P, MP.SumTo, {Value::makeInt(0)}).asInt(), 0);
+  EXPECT_EQ(runMethod(MP.P, MP.Fact, {Value::makeInt(10)}).asInt(), 3628800);
+}
+
+struct ArithCase {
+  Opcode Op;
+  int64_t X, Y, Expected;
+};
+
+class InterpArithTest : public ::testing::TestWithParam<ArithCase> {};
+
+TEST_P(InterpArithTest, BinaryOpSemantics) {
+  const ArithCase &C = GetParam();
+  Program P;
+  MethodId M = P.addMethod("op", NoClass, {ValueType::Int, ValueType::Int},
+                           ValueType::Int);
+  P.methodAt(M).Code = {{Opcode::Load, 0, 0},
+                        {Opcode::Load, 1, 0},
+                        {C.Op, 0, 0},
+                        {Opcode::RetInt, 0, 0}};
+  ASSERT_TRUE(verifyMethod(P, M).empty());
+  EXPECT_EQ(
+      runMethod(P, M, {Value::makeInt(C.X), Value::makeInt(C.Y)}).asInt(),
+      C.Expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, InterpArithTest,
+    ::testing::Values(
+        ArithCase{Opcode::Add, 2, 3, 5}, ArithCase{Opcode::Add, -2, 2, 0},
+        ArithCase{Opcode::Sub, 2, 3, -1}, ArithCase{Opcode::Mul, -4, 3, -12},
+        ArithCase{Opcode::Div, 7, 2, 3}, ArithCase{Opcode::Div, 7, 0, 0},
+        ArithCase{Opcode::Rem, 7, 3, 1}, ArithCase{Opcode::Rem, 7, 0, 0},
+        ArithCase{Opcode::And, 0b1100, 0b1010, 0b1000},
+        ArithCase{Opcode::Or, 0b1100, 0b1010, 0b1110},
+        ArithCase{Opcode::Xor, 0b1100, 0b1010, 0b0110},
+        ArithCase{Opcode::Shl, 1, 4, 16}, ArithCase{Opcode::Shl, 1, 64, 1},
+        ArithCase{Opcode::Shr, -16, 2, -4}, ArithCase{Opcode::Shr, 16, 2, 4}));
+
+TEST(InterpCacheTest, HitAndMissSemantics) {
+  CacheProgram CP = makeCacheProgram(true);
+  Runtime RT(CP.P);
+  ProfileData Prof(CP.P.numMethods());
+  Interpreter I(RT, Prof);
+
+  // First call: miss, creates and caches a Box(7).
+  Value V1 = I.call(CP.GetValue, {Value::makeInt(7), Value::makeRef(nullptr)});
+  ASSERT_TRUE(V1.isRef());
+  EXPECT_EQ(V1.asRef()->slot(CP.BoxVal), Value::makeInt(7));
+  // Second call with the same key: hit, same Box returned.
+  Value V2 = I.call(CP.GetValue, {Value::makeInt(7), Value::makeRef(nullptr)});
+  EXPECT_EQ(V2.asRef(), V1.asRef());
+  // Different key: miss again, new Box.
+  Value V3 = I.call(CP.GetValue, {Value::makeInt(8), Value::makeRef(nullptr)});
+  EXPECT_NE(V3.asRef(), V1.asRef());
+  EXPECT_EQ(V3.asRef()->slot(CP.BoxVal), Value::makeInt(8));
+}
+
+TEST(InterpCacheTest, MonitorOpsAreCounted) {
+  CacheProgram CP = makeCacheProgram(true);
+  Runtime RT(CP.P);
+  ProfileData Prof(CP.P.numMethods());
+  Interpreter I(RT, Prof);
+  I.call(CP.GetValue, {Value::makeInt(1), Value::makeRef(nullptr)});
+  uint64_t After1 = RT.metrics().MonitorOps; // Miss with null cache: no equals.
+  EXPECT_EQ(After1, 0u);
+  I.call(CP.GetValue, {Value::makeInt(1), Value::makeRef(nullptr)});
+  // Hit path runs synchronized equals once: enter + exit.
+  EXPECT_EQ(RT.metrics().MonitorOps, 2u);
+}
+
+TEST(InterpVirtualTest, DispatchAndTypeProfiles) {
+  ShapesProgram SP = makeShapesProgram();
+  Runtime RT(SP.P);
+  ProfileData Prof(SP.P.numMethods());
+  Interpreter I(RT, Prof);
+
+  Value Circle = I.call(SP.MakeCircle, {Value::makeInt(2)});
+  Value Square = I.call(SP.MakeSquare, {Value::makeInt(4)});
+  EXPECT_EQ(I.call(SP.AreaOf, {Circle}).asInt(), 12);
+  EXPECT_EQ(I.call(SP.AreaOf, {Square}).asInt(), 16);
+
+  const TypeProfile *TP = Prof.of(SP.AreaOf).receiversAt(1);
+  ASSERT_NE(TP, nullptr);
+  EXPECT_EQ(TP->total(), 2u);
+  EXPECT_EQ(TP->monomorphicClass(), NoClass); // Two classes seen.
+
+  EXPECT_EQ(I.call(SP.AreaOf, {Circle}).asInt(), 12);
+  EXPECT_EQ(TP->Counts.at(SP.Circle), 2u);
+}
+
+TEST(InterpProfileTest, BranchCountsRecorded) {
+  MathProgram MP = makeMathProgram();
+  Runtime RT(MP.P);
+  ProfileData Prof(MP.P.numMethods());
+  Interpreter I(RT, Prof);
+  for (int X = 0; X != 10; ++X)
+    I.call(MP.Abs, {Value::makeInt(X)}); // 0..9: branch never taken.
+  I.call(MP.Abs, {Value::makeInt(-3)});
+
+  EXPECT_EQ(Prof.of(MP.Abs).InvocationCount, 11u);
+  const BranchProfile *BP = Prof.of(MP.Abs).branchAt(2);
+  ASSERT_NE(BP, nullptr);
+  EXPECT_EQ(BP->Taken, 1u);
+  EXPECT_EQ(BP->NotTaken, 10u);
+  EXPECT_NEAR(BP->takenProbability(), 1.0 / 11, 1e-9);
+}
+
+TEST(InterpChurnTest, AllocationsMatchIterationCount) {
+  ChurnProgram CP = makeChurnProgram();
+  Runtime RT(CP.P);
+  ProfileData Prof(CP.P.numMethods());
+  Interpreter I(RT, Prof);
+  EXPECT_EQ(I.call(CP.SumBoxes, {Value::makeInt(100)}).asInt(), 4950);
+  EXPECT_EQ(RT.heap().allocationCount(), 100u);
+}
+
+TEST(InterpArrayTest, ArraysEndToEnd) {
+  Program P;
+  // reverseSum(n): fill arr[i] = i, then sum arr[n-1-i].
+  MethodId M = P.addMethod("reverseSum", NoClass, {ValueType::Int},
+                           ValueType::Int);
+  CodeBuilder C(P, M);
+  unsigned Arr = C.newLocal();
+  unsigned I = C.newLocal();
+  unsigned Sum = C.newLocal();
+  Label Head1 = C.newLabel(), Exit1 = C.newLabel();
+  Label Head2 = C.newLabel(), Exit2 = C.newLabel();
+  C.load(0).newArrayInt().store(Arr);
+  C.constI(0).store(I);
+  C.bind(Head1);
+  C.load(I).load(0).ifGe(Exit1);
+  C.load(Arr).load(I).load(I).arrStoreInt();
+  C.load(I).constI(1).add().store(I);
+  C.gotoL(Head1);
+  C.bind(Exit1);
+  C.constI(0).store(Sum);
+  C.constI(0).store(I);
+  C.bind(Head2);
+  C.load(I).load(0).ifGe(Exit2);
+  C.load(Sum).load(Arr).load(0).constI(1).sub().load(I).sub().arrLoadInt();
+  C.add().store(Sum);
+  C.load(I).constI(1).add().store(I);
+  C.gotoL(Head2);
+  C.bind(Exit2);
+  C.load(Arr).arrLen().load(Sum).add().retInt();
+  C.finish();
+  ASSERT_TRUE(verifyMethod(P, M).empty());
+  // sum 0..9 = 45, plus length 10 = 55.
+  EXPECT_EQ(runMethod(P, M, {Value::makeInt(10)}).asInt(), 55);
+}
+
+TEST(InterpResumeTest, ReexecuteFrameRestartsInstruction) {
+  MathProgram MP = makeMathProgram();
+  Runtime RT(MP.P);
+  ProfileData Prof(MP.P.numMethods());
+  Interpreter I(RT, Prof);
+
+  // Resume sumTo(10) at the loop head with sum=40, i=9: adds 9 and 10.
+  ResumeFrame F;
+  F.Method = MP.SumTo;
+  F.Bci = 4; // Loop head (load I).
+  F.Reexecute = true;
+  F.Locals = {Value::makeInt(10), Value::makeInt(40), Value::makeInt(9)};
+  EXPECT_EQ(I.resume({F}).asInt(), 59);
+}
+
+TEST(InterpResumeTest, ContinueAfterCallFeedsResult) {
+  MathProgram MP = makeMathProgram();
+  Runtime RT(MP.P);
+  ProfileData Prof(MP.P.numMethods());
+  Interpreter I(RT, Prof);
+
+  // fact(n): bci 7 is `invokestatic fact`, bci 8 is `mul`.
+  // Inner frame: fact(3) from scratch. Outer frame: continue inside
+  // fact(4) after the recursive call with locals {4} and stack {4}.
+  ResumeFrame Inner;
+  Inner.Method = MP.Fact;
+  Inner.Bci = 0;
+  Inner.Reexecute = true;
+  Inner.Locals = {Value::makeInt(3)};
+
+  ResumeFrame Outer;
+  Outer.Method = MP.Fact;
+  Outer.Bci = 7;
+  Outer.Reexecute = false;
+  Outer.Locals = {Value::makeInt(4)};
+  Outer.Stack = {Value::makeInt(4)};
+
+  EXPECT_EQ(I.resume({Inner, Outer}).asInt(), 24);
+}
+
+TEST(InterpCallHandlerTest, HandlerInterceptsCalls) {
+  MathProgram MP = makeMathProgram();
+  Runtime RT(MP.P);
+  ProfileData Prof(MP.P.numMethods());
+  Interpreter I(RT, Prof);
+  int Calls = 0;
+  I.setCallHandler([&](MethodId Target, std::vector<Value> &&Args) {
+    ++Calls;
+    return I.call(Target, std::move(Args));
+  });
+  EXPECT_EQ(I.call(MP.Fact, {Value::makeInt(5)}).asInt(), 120);
+  EXPECT_EQ(Calls, 4); // fact(4)..fact(1) dispatched through the handler.
+}
+
+TEST(InterpGcTest, InterpreterFramesAreRoots) {
+  ChurnProgram CP = makeChurnProgram();
+  Runtime RT(CP.P);
+  ProfileData Prof(CP.P.numMethods());
+  Interpreter I(RT, Prof);
+  // Small threshold Heap is not exposed; instead run enough iterations to
+  // trigger the default 64 MiB threshold: 3M boxes * 24 bytes = 72 MiB.
+  EXPECT_EQ(I.call(CP.SumBoxes, {Value::makeInt(3000000)}).isInt(), true);
+  EXPECT_GE(RT.heap().gcRuns(), 1u);
+}
+
+TEST(InterpMetricsTest, OpAndCallCounters) {
+  MathProgram MP = makeMathProgram();
+  Runtime RT(MP.P);
+  ProfileData Prof(MP.P.numMethods());
+  Interpreter I(RT, Prof);
+  I.call(MP.Fact, {Value::makeInt(5)});
+  EXPECT_EQ(RT.metrics().InterpretedCalls, 5u);
+  EXPECT_GT(RT.metrics().InterpretedOps, 20u);
+}
+
+} // namespace

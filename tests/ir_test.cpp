@@ -1,0 +1,307 @@
+//===- ir_test.cpp - Tests for the sea-of-nodes IR --------------------------===//
+
+#include "ir/Graph.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace jvm;
+
+namespace {
+
+/// Builds:  Start -> If(P0) -> (B1: End1, B2: End2) -> Merge
+///          Phi(merge, 1, 2); Return Phi
+struct DiamondGraph {
+  Graph G{/*Method=*/0, {ValueType::Int}};
+  IfNode *If = nullptr;
+  BeginNode *TrueB = nullptr;
+  BeginNode *FalseB = nullptr;
+  EndNode *End1 = nullptr;
+  EndNode *End2 = nullptr;
+  MergeNode *Merge = nullptr;
+  PhiNode *Phi = nullptr;
+  ReturnNode *Ret = nullptr;
+
+  DiamondGraph() {
+    If = G.create<IfNode>(G.param(0));
+    G.start()->setNext(If);
+    TrueB = G.create<BeginNode>();
+    FalseB = G.create<BeginNode>();
+    If->setTrueSuccessor(TrueB);
+    If->setFalseSuccessor(FalseB);
+    End1 = G.create<EndNode>();
+    End2 = G.create<EndNode>();
+    TrueB->setNext(End1);
+    FalseB->setNext(End2);
+    Merge = G.create<MergeNode>();
+    Merge->addEnd(End1);
+    Merge->addEnd(End2);
+    Phi = G.create<PhiNode>(Merge, ValueType::Int);
+    Phi->appendValue(G.intConstant(1));
+    Phi->appendValue(G.intConstant(2));
+    Ret = G.create<ReturnNode>(Phi);
+    Merge->setNext(Ret);
+  }
+};
+
+TEST(NodeTest, InputsAndUsagesStaySymmetric) {
+  Graph G(0, {ValueType::Int, ValueType::Int});
+  auto *Add = G.create<ArithNode>(ArithKind::Add, G.param(0), G.param(1));
+  ASSERT_EQ(Add->numInputs(), 2u);
+  EXPECT_EQ(Add->input(0), G.param(0));
+  EXPECT_EQ(G.param(0)->numUsages(), 1u);
+  EXPECT_EQ(G.param(0)->usages().front(), Add);
+
+  Add->setInput(0, G.param(1));
+  EXPECT_EQ(G.param(0)->numUsages(), 0u);
+  EXPECT_EQ(G.param(1)->numUsages(), 2u);
+}
+
+TEST(NodeTest, ReplaceAtAllUsagesRewritesEveryOccurrence) {
+  Graph G(0, {ValueType::Int});
+  Node *P = G.param(0);
+  auto *A = G.create<ArithNode>(ArithKind::Add, P, P);
+  auto *B = G.create<ArithNode>(ArithKind::Mul, P, G.intConstant(3));
+  Node *C = G.intConstant(7);
+  P->replaceAtAllUsages(C);
+  EXPECT_EQ(A->x(), C);
+  EXPECT_EQ(A->y(), C);
+  EXPECT_EQ(B->x(), C);
+  EXPECT_FALSE(P->hasUsages());
+  EXPECT_EQ(C->numUsages(), 3u);
+}
+
+TEST(NodeTest, NullInputsCarryNoUsageEdges) {
+  Graph G(0, {});
+  auto *FS = G.create<FrameStateNode>(0, 0, true, 2, 1, 0);
+  EXPECT_EQ(FS->numInputs(), 4u);
+  EXPECT_EQ(FS->localAt(0), nullptr);
+  FS->setLocalAt(0, G.intConstant(5));
+  EXPECT_EQ(G.intConstant(5)->numUsages(), 1u);
+  FS->setLocalAt(0, nullptr);
+  EXPECT_EQ(G.intConstant(5)->numUsages(), 0u);
+}
+
+TEST(GraphTest, IntConstantsAreUnique) {
+  Graph G(0, {});
+  EXPECT_EQ(G.intConstant(42), G.intConstant(42));
+  EXPECT_NE(G.intConstant(42), G.intConstant(43));
+  EXPECT_EQ(G.nullConstant(), G.nullConstant());
+}
+
+TEST(GraphTest, DeleteNodeReleasesInputsAndCache) {
+  Graph G(0, {});
+  auto *C = G.intConstant(9);
+  auto *A = G.create<ArithNode>(ArithKind::Add, C, C);
+  unsigned Live = G.numLiveNodes();
+  G.deleteNode(A);
+  EXPECT_EQ(G.numLiveNodes(), Live - 1);
+  EXPECT_FALSE(C->hasUsages());
+  EXPECT_EQ(G.nodeAt(A->id()), nullptr);
+  // Deleting a cached constant must evict it from the cache.
+  G.deleteNode(C);
+  auto *C2 = G.intConstant(9);
+  EXPECT_NE(C2, C);
+  EXPECT_EQ(C2->value(), 9);
+}
+
+TEST(GraphTest, UnlinkFixedSplicesControlFlow) {
+  Graph G(0, {ValueType::Ref});
+  auto *Load = G.create<LoadFieldNode>(0, 0, ValueType::Int, G.param(0));
+  auto *Ret = G.create<ReturnNode>(Load);
+  G.start()->setNext(Load);
+  Load->setNext(Ret);
+  // Loads are removable once unused.
+  Load->replaceAtAllUsages(G.intConstant(0));
+  G.removeFixed(Load);
+  EXPECT_EQ(G.start()->next(), Ret);
+  EXPECT_EQ(Ret->predecessor(), G.start());
+}
+
+TEST(GraphTest, InsertBeforePlacesNodeInChain) {
+  Graph G(0, {ValueType::Ref});
+  auto *Ret = G.create<ReturnNode>(nullptr);
+  G.start()->setNext(Ret);
+  auto *New = G.create<NewInstanceNode>(1, 2);
+  G.insertBefore(New, Ret);
+  EXPECT_EQ(G.start()->next(), New);
+  EXPECT_EQ(New->next(), Ret);
+  EXPECT_EQ(Ret->predecessor(), New);
+}
+
+TEST(DiamondTest, VerifierAcceptsWellFormedGraph) {
+  DiamondGraph D;
+  EXPECT_TRUE(verifyGraph(D.G).empty());
+}
+
+TEST(DiamondTest, MergeKnowsItsEndsAndPhis) {
+  DiamondGraph D;
+  EXPECT_EQ(D.Merge->numEnds(), 2u);
+  EXPECT_EQ(D.Merge->indexOfEnd(D.End1), 0);
+  EXPECT_EQ(D.Merge->indexOfEnd(D.End2), 1);
+  EXPECT_EQ(D.End1->merge(), D.Merge);
+  auto Phis = D.Merge->phis();
+  ASSERT_EQ(Phis.size(), 1u);
+  EXPECT_EQ(Phis[0], D.Phi);
+  EXPECT_EQ(D.Phi->merge(), D.Merge);
+  EXPECT_EQ(D.Phi->numValues(), 2u);
+}
+
+TEST(DiamondTest, PrinterMentionsAllFixedNodes) {
+  DiamondGraph D;
+  std::string Text = graphToString(D.G);
+  EXPECT_NE(Text.find("Start"), std::string::npos);
+  EXPECT_NE(Text.find("If"), std::string::npos);
+  EXPECT_NE(Text.find("Merge"), std::string::npos);
+  EXPECT_NE(Text.find("Phi"), std::string::npos);
+  EXPECT_NE(Text.find("Return"), std::string::npos);
+}
+
+TEST(SweepTest, UnreachableBranchIsRemovedAndMergeCollapsed) {
+  DiamondGraph D;
+  // Cut the false branch: If no longer reaches FalseB.
+  D.If->setFalseSuccessor(nullptr);
+  // Replace the If with a straight line to the true branch.
+  D.If->setTrueSuccessor(nullptr);
+  D.G.start()->setNext(nullptr);
+  D.G.start()->setNext(D.TrueB);
+  D.If->setCondition(nullptr);
+  EXPECT_TRUE(D.G.sweepUnreachable());
+  // The merge had two ends, one went dead; it must be collapsed and the
+  // phi replaced by the surviving constant 1.
+  ASSERT_TRUE(D.Ret->hasValue());
+  auto *C = dyn_cast<ConstantIntNode>(D.Ret->value());
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C->value(), 1);
+  EXPECT_TRUE(verifyGraph(D.G).empty());
+}
+
+TEST(SweepTest, ReachableGraphIsUntouched) {
+  DiamondGraph D;
+  unsigned LiveBefore = D.G.numLiveNodes();
+  EXPECT_FALSE(D.G.sweepUnreachable());
+  EXPECT_EQ(D.G.numLiveNodes(), LiveBefore);
+}
+
+TEST(FrameStateTest, LayoutAccessorsMatchSections) {
+  Graph G(7, {});
+  auto *FS = G.create<FrameStateNode>(7, 42, false, 3, 2, 1);
+  EXPECT_EQ(FS->method(), 7);
+  EXPECT_EQ(FS->bci(), 42);
+  EXPECT_FALSE(FS->isReexecute());
+  FS->setLocalAt(2, G.intConstant(1));
+  FS->setStackAt(1, G.intConstant(2));
+  FS->setLockAt(0, G.nullConstant());
+  EXPECT_EQ(FS->localAt(2), G.intConstant(1));
+  EXPECT_EQ(FS->stackAt(1), G.intConstant(2));
+  EXPECT_EQ(FS->lockAt(0), G.nullConstant());
+  EXPECT_TRUE(verifyGraph(G).empty());
+}
+
+TEST(FrameStateTest, OuterStateChains) {
+  Graph G(0, {});
+  auto *Inner = G.create<FrameStateNode>(1, 9, true, 1, 0, 0);
+  auto *Outer = G.create<FrameStateNode>(0, 5, false, 1, 0, 0);
+  Inner->setOuter(Outer);
+  EXPECT_EQ(Inner->outer(), Outer);
+  EXPECT_EQ(Outer->outer(), nullptr);
+}
+
+TEST(FrameStateTest, VirtualMappingsAppendEntries) {
+  Graph G(0, {});
+  auto *FS = G.create<FrameStateNode>(0, 0, true, 1, 0, 0);
+  auto *VO = G.create<VirtualObjectNode>(3, false, ValueType::Void, 2);
+  FS->addVirtualMapping(VO, {G.intConstant(1), G.intConstant(2)}, 1);
+  ASSERT_EQ(FS->numVirtualMappings(), 1u);
+  EXPECT_EQ(FS->mappedObject(0), VO);
+  EXPECT_EQ(FS->mappedEntry(0, 0), G.intConstant(1));
+  EXPECT_EQ(FS->mappedEntry(0, 1), G.intConstant(2));
+  EXPECT_EQ(FS->virtualMapping(0).LockDepth, 1);
+  EXPECT_EQ(FS->findVirtualMapping(VO), 0);
+  EXPECT_TRUE(verifyGraph(G).empty());
+}
+
+TEST(MaterializeTest, GroupCommitKeepsPerObjectEntries) {
+  Graph G(0, {});
+  auto *FS = G.create<FrameStateNode>(0, 0, false, 0, 0, 0);
+  auto *Commit = G.create<MaterializeNode>(FS);
+  auto *VA = G.create<VirtualObjectNode>(1, false, ValueType::Void, 2);
+  auto *VB = G.create<VirtualObjectNode>(2, false, ValueType::Void, 1);
+  unsigned IA = Commit->addObject(VA, {G.intConstant(10), VB}, 0);
+  unsigned IB = Commit->addObject(VB, {VA}, 2);
+  EXPECT_EQ(IA, 0u);
+  EXPECT_EQ(IB, 1u);
+  ASSERT_EQ(Commit->numObjects(), 2u);
+  EXPECT_EQ(Commit->objectAt(0), VA);
+  EXPECT_EQ(Commit->objectAt(1), VB);
+  EXPECT_EQ(Commit->entryOf(0, 0), G.intConstant(10));
+  EXPECT_EQ(Commit->entryOf(0, 1), VB);
+  EXPECT_EQ(Commit->entryOf(1, 0), VA);
+  EXPECT_EQ(Commit->lockDepthOf(1), 2);
+  EXPECT_EQ(Commit->state(), FS);
+}
+
+TEST(MaterializeTest, AllocatedObjectProjectsCommit) {
+  Graph G(0, {});
+  auto *FS = G.create<FrameStateNode>(0, 0, false, 0, 0, 0);
+  auto *Commit = G.create<MaterializeNode>(FS);
+  auto *VA = G.create<VirtualObjectNode>(1, false, ValueType::Void, 0);
+  Commit->addObject(VA, {}, 0);
+  auto *AO = G.create<AllocatedObjectNode>(Commit, 0);
+  EXPECT_EQ(AO->commit(), Commit);
+  EXPECT_EQ(AO->objectIndex(), 0u);
+  EXPECT_EQ(AO->type(), ValueType::Ref);
+}
+
+TEST(LoopStructureTest, LoopBeginTracksBackEdges) {
+  Graph G(0, {ValueType::Int});
+  auto *FwdEnd = G.create<EndNode>();
+  G.start()->setNext(FwdEnd);
+  auto *Loop = G.create<LoopBeginNode>();
+  Loop->addEnd(FwdEnd);
+  auto *Body = G.create<BeginNode>();
+  auto *ExitB = G.create<BeginNode>();
+  auto *If = G.create<IfNode>(G.param(0));
+  Loop->setNext(If);
+  If->setTrueSuccessor(Body);
+  If->setFalseSuccessor(ExitB);
+  auto *Back = G.create<LoopEndNode>(Loop);
+  Body->setNext(Back);
+  Loop->addBackEdge(Back);
+  auto *Exit = G.create<LoopExitNode>(Loop);
+  ExitB->setNext(Exit);
+  auto *Ret = G.create<ReturnNode>(nullptr);
+  Exit->setNext(Ret);
+
+  EXPECT_EQ(Loop->forwardEnd(), FwdEnd);
+  EXPECT_EQ(Loop->numBackEdges(), 1u);
+  EXPECT_EQ(Loop->backEdgeAt(0), Back);
+  EXPECT_EQ(Back->loopBegin(), Loop);
+  EXPECT_EQ(Exit->loopBegin(), Loop);
+  EXPECT_TRUE(verifyGraph(G).empty());
+
+  std::string Text = graphToString(G);
+  EXPECT_NE(Text.find("LoopBegin"), std::string::npos);
+  EXPECT_NE(Text.find("LoopEnd"), std::string::npos);
+  EXPECT_NE(Text.find("LoopExit"), std::string::npos);
+}
+
+TEST(VerifierTest, DetectsPhiOperandMismatch) {
+  DiamondGraph D;
+  D.Phi->appendValue(D.G.intConstant(3)); // Now 3 values, 2 ends.
+  EXPECT_FALSE(verifyGraph(D.G).empty());
+}
+
+TEST(PrinterTest, LabelsIncludeAttributes) {
+  Graph G(0, {ValueType::Int});
+  EXPECT_NE(nodeLabel(G.intConstant(42)).find("ConstantInt(42)"),
+            std::string::npos);
+  auto *Add =
+      G.create<ArithNode>(ArithKind::Add, G.param(0), G.intConstant(1));
+  EXPECT_NE(nodeLabel(Add).find("Arith(+)"), std::string::npos);
+  std::string Line = nodeToString(Add);
+  EXPECT_NE(Line.find('['), std::string::npos);
+}
+
+} // namespace

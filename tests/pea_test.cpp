@@ -1,0 +1,800 @@
+//===- pea_test.cpp - Tests for partial escape analysis -----------------------===//
+//
+// Organized along the paper's figures: the node patterns of Figure 4, the
+// escaped-store of Figure 5, the merge cases of Figure 6, the loop of
+// Figure 7 and the frame-state handling of Figure 8 / Listing 8, plus the
+// running example (Listings 4-6) end to end.
+//
+//===----------------------------------------------------------------------===//
+
+#include "CompileTestHelpers.h"
+#include "TestPrograms.h"
+#include "pea/EquiEscapeSets.h"
+
+#include <gtest/gtest.h>
+
+using namespace jvm;
+using namespace jvm::testprogs;
+using namespace jvm::testjit;
+
+namespace {
+
+/// A program with one method `f(int, ref) -> int/ref` assembled by the
+/// given builder callback. Class T has fields {val:int, ref:ref}.
+struct MiniProg {
+  Program P;
+  ClassId T = NoClass;
+  FieldIndex ValF = -1, RefF = -1;
+  StaticIndex GlobalRef = -1;
+  MethodId F = NoMethod;
+};
+
+MiniProg
+makeMini(ValueType RetTy,
+         const std::function<void(MiniProg &, CodeBuilder &)> &Body) {
+  MiniProg R;
+  R.T = R.P.addClass("T");
+  R.ValF = R.P.addField(R.T, "val", ValueType::Int);
+  R.RefF = R.P.addField(R.T, "ref", ValueType::Ref);
+  R.GlobalRef = R.P.addStatic("global", ValueType::Ref);
+  R.F = R.P.addMethod("f", NoClass, {ValueType::Int, ValueType::Ref}, RetTy);
+  CodeBuilder C(R.P, R.F);
+  Body(R, C);
+  C.finish();
+  verifyProgramOrDie(R.P);
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Figure 4: operations on virtual objects
+//===----------------------------------------------------------------------===//
+
+TEST(PeaFig4Test, NonEscapingAllocationFullyScalarReplaced) {
+  // (a)+(b): t = new T; t.val = x; return t.val + 1;
+  MiniProg M = makeMini(ValueType::Int, [](MiniProg &R, CodeBuilder &C) {
+    unsigned T = C.newLocal();
+    C.newObj(R.T).store(T);
+    C.load(T).load(0).putField(R.T, R.ValF);
+    C.load(T).getField(R.T, R.ValF).constI(1).add().retInt();
+  });
+  TestJit J(M.P);
+  PEAStats St;
+  std::unique_ptr<Graph> G =
+      J.buildWithEA(M.F, EscapeAnalysisMode::Partial, &St, false);
+  EXPECT_EQ(countNodes(*G, NodeKind::NewInstance), 0u);
+  EXPECT_EQ(countNodes(*G, NodeKind::StoreField), 0u);
+  EXPECT_EQ(countNodes(*G, NodeKind::LoadField), 0u);
+  EXPECT_EQ(countNodes(*G, NodeKind::Materialize), 0u);
+  EXPECT_EQ(St.VirtualizedAllocations, 1u);
+  EXPECT_EQ(St.ScalarReplacedLoads, 1u);
+  EXPECT_EQ(St.ScalarReplacedStores, 1u);
+  EXPECT_EQ(J.execute(*G, {Value::makeInt(41), Value::makeRef(nullptr)})
+                .asInt(),
+            42);
+  EXPECT_EQ(J.RT.heap().allocationCount(), 0u);
+}
+
+TEST(PeaFig4Test, MonitorOnVirtualObjectElided) {
+  // (c)+(d): t = new T; synchronized(t) { t.val = x; } return t.val;
+  MiniProg M = makeMini(ValueType::Int, [](MiniProg &R, CodeBuilder &C) {
+    unsigned T = C.newLocal();
+    C.newObj(R.T).store(T);
+    C.load(T).monEnter();
+    C.load(T).load(0).putField(R.T, R.ValF);
+    C.load(T).monExit();
+    C.load(T).getField(R.T, R.ValF).retInt();
+  });
+  TestJit J(M.P);
+  PEAStats St;
+  std::unique_ptr<Graph> G =
+      J.buildWithEA(M.F, EscapeAnalysisMode::Partial, &St, false);
+  EXPECT_EQ(countNodes(*G, NodeKind::MonitorEnter), 0u);
+  EXPECT_EQ(countNodes(*G, NodeKind::MonitorExit), 0u);
+  EXPECT_EQ(St.ElidedMonitorOps, 2u);
+  EXPECT_EQ(J.execute(*G, {Value::makeInt(5), Value::makeRef(nullptr)})
+                .asInt(),
+            5);
+  EXPECT_EQ(J.RT.metrics().MonitorOps, 0u);
+}
+
+TEST(PeaFig4Test, VirtualIntoVirtualStoreAndLoad) {
+  // (e)+(f): a = new T; b = new T; a.ref = b; b2 = a.ref; b2.val = x;
+  // return b.val  — everything virtual, result = x.
+  MiniProg M = makeMini(ValueType::Int, [](MiniProg &R, CodeBuilder &C) {
+    unsigned A = C.newLocal(), B = C.newLocal(), B2 = C.newLocal();
+    C.newObj(R.T).store(A);
+    C.newObj(R.T).store(B);
+    C.load(A).load(B).putField(R.T, R.RefF);
+    C.load(A).getField(R.T, R.RefF).store(B2);
+    C.load(B2).load(0).putField(R.T, R.ValF);
+    C.load(B).getField(R.T, R.ValF).retInt();
+  });
+  TestJit J(M.P);
+  std::unique_ptr<Graph> G =
+      J.buildWithEA(M.F, EscapeAnalysisMode::Partial, nullptr, false);
+  EXPECT_EQ(countNodes(*G, NodeKind::NewInstance), 0u);
+  EXPECT_EQ(countNodes(*G, NodeKind::Materialize), 0u);
+  EXPECT_EQ(J.execute(*G, {Value::makeInt(9), Value::makeRef(nullptr)})
+                .asInt(),
+            9);
+  EXPECT_EQ(J.RT.heap().allocationCount(), 0u);
+}
+
+TEST(PeaFig4Test, VirtualArrayScalarReplaced) {
+  // arr = new int[2]; arr[0] = x; arr[1] = arr[0]+1; return
+  // arr[1]*arr.length;
+  MiniProg M = makeMini(ValueType::Int, [](MiniProg &R, CodeBuilder &C) {
+    unsigned A = C.newLocal();
+    C.constI(2).newArrayInt().store(A);
+    C.load(A).constI(0).load(0).arrStoreInt();
+    C.load(A).constI(1).load(A).constI(0).arrLoadInt().constI(1).add()
+        .arrStoreInt();
+    C.load(A).constI(1).arrLoadInt().load(A).arrLen().mul().retInt();
+  });
+  TestJit J(M.P);
+  std::unique_ptr<Graph> G =
+      J.buildWithEA(M.F, EscapeAnalysisMode::Partial, nullptr, false);
+  EXPECT_EQ(countNodes(*G, NodeKind::NewArray), 0u);
+  EXPECT_EQ(J.execute(*G, {Value::makeInt(3), Value::makeRef(nullptr)})
+                .asInt(),
+            8);
+  EXPECT_EQ(J.RT.heap().allocationCount(), 0u);
+}
+
+TEST(PeaFig4Test, NonConstantLengthArrayNotVirtualized) {
+  MiniProg M = makeMini(ValueType::Int, [](MiniProg &R, CodeBuilder &C) {
+    (void)R;
+    unsigned A = C.newLocal();
+    C.load(0).newArrayInt().store(A);
+    C.load(A).arrLen().retInt();
+  });
+  TestJit J(M.P);
+  std::unique_ptr<Graph> G =
+      J.buildWithEA(M.F, EscapeAnalysisMode::Partial, nullptr, false);
+  EXPECT_EQ(countNodes(*G, NodeKind::NewArray), 1u);
+  EXPECT_EQ(J.execute(*G, {Value::makeInt(7), Value::makeRef(nullptr)})
+                .asInt(),
+            7);
+}
+
+//===----------------------------------------------------------------------===//
+// Section 4 / Listings 4-6: the partial in partial escape analysis
+//===----------------------------------------------------------------------===//
+
+TEST(PeaPartialTest, EscapeOnlyInOneBranchMovesAllocation) {
+  // t = new T; t.val = x;
+  // if (x < 0) { global = t; return t.val; }  // escapes here only
+  // return t.val;                              // stays virtual here
+  MiniProg M = makeMini(ValueType::Int, [](MiniProg &R, CodeBuilder &C) {
+    unsigned T = C.newLocal();
+    Label Skip = C.newLabel();
+    C.newObj(R.T).store(T);
+    C.load(T).load(0).putField(R.T, R.ValF);
+    C.load(0).constI(0).ifGe(Skip);
+    C.load(T).putStatic(R.GlobalRef);
+    C.load(T).getField(R.T, R.ValF).retInt();
+    C.bind(Skip);
+    C.load(T).getField(R.T, R.ValF).retInt();
+  });
+  TestJit J(M.P);
+  PEAStats St;
+  std::unique_ptr<Graph> G =
+      J.buildWithEA(M.F, EscapeAnalysisMode::Partial, &St, false);
+  // The original allocation is gone; a Materialize sits in the escaping
+  // branch only.
+  EXPECT_EQ(countNodes(*G, NodeKind::NewInstance), 0u);
+  EXPECT_EQ(countNodes(*G, NodeKind::Materialize), 1u);
+  EXPECT_GE(St.MaterializeSites, 1u);
+
+  // Fast path: no allocation at all.
+  EXPECT_EQ(J.execute(*G, {Value::makeInt(5), Value::makeRef(nullptr)})
+                .asInt(),
+            5);
+  EXPECT_EQ(J.RT.heap().allocationCount(), 0u);
+  // Escaping path: exactly one allocation, visible through the global.
+  EXPECT_EQ(J.execute(*G, {Value::makeInt(-5), Value::makeRef(nullptr)})
+                .asInt(),
+            -5);
+  EXPECT_EQ(J.RT.heap().allocationCount(), 1u);
+  HeapObject *Escaped = J.RT.getStatic(M.GlobalRef).asRef();
+  ASSERT_NE(Escaped, nullptr);
+  EXPECT_EQ(Escaped->slot(M.ValF), Value::makeInt(-5));
+}
+
+TEST(PeaPartialTest, PaperGetValueExample) {
+  // The full Listing 4 pipeline: inlining turns getValue into Listing 5,
+  // PEA into Listing 6.
+  CacheProgram CP = makeCacheProgram(/*UpdateCacheOnMiss=*/true);
+  TestJit J(CP.P);
+  // Warm up with both hits and misses (every second lookup repeats the
+  // key) so equals is devirtualized and inlined but neither cache branch
+  // is pruned.
+  for (int I = 0; I != 40; ++I)
+    J.interpret(CP.GetValue,
+                {Value::makeInt((I / 2) % 3), Value::makeRef(nullptr)});
+  PEAStats St;
+  std::unique_ptr<Graph> G =
+      J.buildWithEA(CP.GetValue, EscapeAnalysisMode::Partial, &St);
+  // Listing 6: no allocation of Key on the hit path; the monitor of the
+  // inlined synchronized equals is gone entirely.
+  // All allocations are virtualized; the Key materializes only on the
+  // miss path, and the Box of the inlined createValue materializes where
+  // it escapes (stored to cacheValue). The synchronized equals loses its
+  // monitor entirely.
+  EXPECT_EQ(countNodes(*G, NodeKind::NewInstance), 0u);
+  EXPECT_EQ(countNodes(*G, NodeKind::MonitorEnter), 0u);
+  EXPECT_EQ(countNodes(*G, NodeKind::MonitorExit), 0u);
+  EXPECT_GE(St.ElidedMonitorOps, 2u);
+  EXPECT_EQ(countNodes(*G, NodeKind::Materialize), 2u);
+
+  // Hit path allocates nothing and takes no locks.
+  J.interpret(CP.GetValue, {Value::makeInt(7), Value::makeRef(nullptr)});
+  J.RT.resetMetrics();
+  Value Hit = J.execute(*G, {Value::makeInt(7), Value::makeRef(nullptr)});
+  EXPECT_EQ(Hit.asRef()->slot(CP.BoxVal), Value::makeInt(7));
+  EXPECT_EQ(J.RT.heap().allocationCount(), 0u);
+  EXPECT_EQ(J.RT.metrics().MonitorOps, 0u);
+
+  // Miss path materializes the key and stores it in the cache.
+  J.RT.resetMetrics();
+  Value Miss = J.execute(*G, {Value::makeInt(8), Value::makeRef(nullptr)});
+  EXPECT_EQ(Miss.asRef()->slot(CP.BoxVal), Value::makeInt(8));
+  EXPECT_EQ(J.RT.heap().allocationCount(), 2u); // Key + Box.
+  HeapObject *CachedKey = J.RT.getStatic(CP.CacheKey).asRef();
+  ASSERT_NE(CachedKey, nullptr);
+  EXPECT_EQ(CachedKey->slot(CP.KeyIdx), Value::makeInt(8));
+}
+
+TEST(PeaFig5Test, StoreIntoEscapedObjectUsesMaterializedValue) {
+  // a = new T; global = a (escape); a.val = x; return a.val.
+  MiniProg M = makeMini(ValueType::Int, [](MiniProg &R, CodeBuilder &C) {
+    unsigned A = C.newLocal();
+    C.newObj(R.T).store(A);
+    C.load(A).putStatic(R.GlobalRef);
+    C.load(A).load(0).putField(R.T, R.ValF);
+    C.load(A).getField(R.T, R.ValF).retInt();
+  });
+  TestJit J(M.P);
+  std::unique_ptr<Graph> G =
+      J.buildWithEA(M.F, EscapeAnalysisMode::Partial, nullptr, false);
+  // Escapes immediately: materialized once, stores/loads hit the real
+  // object.
+  EXPECT_EQ(countNodes(*G, NodeKind::Materialize), 1u);
+  EXPECT_EQ(countNodes(*G, NodeKind::StoreField), 1u);
+  EXPECT_EQ(J.execute(*G, {Value::makeInt(3), Value::makeRef(nullptr)})
+                .asInt(),
+            3);
+  EXPECT_EQ(J.RT.getStatic(M.GlobalRef).asRef()->slot(M.ValF),
+            Value::makeInt(3));
+}
+
+//===----------------------------------------------------------------------===//
+// Figure 6: merges
+//===----------------------------------------------------------------------===//
+
+TEST(PeaFig6Test, VirtualOnBothBranchesWithDifferingFieldsMakesPhi) {
+  // t = new T; if (x<0) t.val = 1; else t.val = 2; return t.val;
+  MiniProg M = makeMini(ValueType::Int, [](MiniProg &R, CodeBuilder &C) {
+    unsigned T = C.newLocal();
+    Label Else = C.newLabel(), Done = C.newLabel();
+    C.newObj(R.T).store(T);
+    C.load(0).constI(0).ifGe(Else);
+    C.load(T).constI(1).putField(R.T, R.ValF);
+    C.gotoL(Done);
+    C.bind(Else);
+    C.load(T).constI(2).putField(R.T, R.ValF);
+    C.bind(Done);
+    C.load(T).getField(R.T, R.ValF).retInt();
+  });
+  TestJit J(M.P);
+  std::unique_ptr<Graph> G =
+      J.buildWithEA(M.F, EscapeAnalysisMode::Partial, nullptr, false);
+  EXPECT_EQ(countNodes(*G, NodeKind::NewInstance), 0u);
+  EXPECT_EQ(countNodes(*G, NodeKind::Materialize), 0u);
+  EXPECT_EQ(J.execute(*G, {Value::makeInt(-1), Value::makeRef(nullptr)})
+                .asInt(),
+            1);
+  EXPECT_EQ(J.execute(*G, {Value::makeInt(1), Value::makeRef(nullptr)})
+                .asInt(),
+            2);
+  EXPECT_EQ(J.RT.heap().allocationCount(), 0u);
+}
+
+TEST(PeaFig6Test, MixedVirtualEscapedMaterializesAtPredecessor) {
+  // t = new T; t.val = x; if (x<0) global = t; /*merge*/ return t.val;
+  // (same as the partial test but checks the executable merge behavior
+  // through both paths repeatedly)
+  MiniProg M = makeMini(ValueType::Int, [](MiniProg &R, CodeBuilder &C) {
+    unsigned T = C.newLocal();
+    Label Skip = C.newLabel();
+    C.newObj(R.T).store(T);
+    C.load(T).load(0).putField(R.T, R.ValF);
+    C.load(0).constI(0).ifGe(Skip);
+    C.load(T).putStatic(R.GlobalRef);
+    C.bind(Skip);
+    C.load(T).getField(R.T, R.ValF).retInt();
+  });
+  TestJit J(M.P);
+  std::unique_ptr<Graph> G =
+      J.buildWithEA(M.F, EscapeAnalysisMode::Partial, nullptr, false);
+  // t.val is read after the merge, so the object must exist on both
+  // paths: PEA materializes it in each predecessor (never more than one
+  // dynamic allocation per run, matching the paper's guarantee).
+  EXPECT_EQ(countNodes(*G, NodeKind::NewInstance), 0u);
+  EXPECT_EQ(countNodes(*G, NodeKind::Materialize), 2u);
+  for (int X : {-3, 4, -5, 6}) {
+    int64_t Got =
+        J.execute(*G, {Value::makeInt(X), Value::makeRef(nullptr)}).asInt();
+    EXPECT_EQ(Got, X);
+  }
+  EXPECT_EQ(J.RT.heap().allocationCount(), 4u);
+}
+
+TEST(PeaFig6Test, PhiOverTwoDistinctVirtualsMaterializesBoth) {
+  // if (x<0) t = new T(val=1); else t = new T(val=2); global = t;
+  // return t.val — the phi forces materialization on both branches
+  // (Figure 6 (c) otherwise-case).
+  MiniProg M = makeMini(ValueType::Int, [](MiniProg &R, CodeBuilder &C) {
+    unsigned T = C.newLocal();
+    Label Else = C.newLabel(), Done = C.newLabel();
+    C.load(0).constI(0).ifGe(Else);
+    C.newObj(R.T).store(T);
+    C.load(T).constI(1).putField(R.T, R.ValF);
+    C.gotoL(Done);
+    C.bind(Else);
+    C.newObj(R.T).store(T);
+    C.load(T).constI(2).putField(R.T, R.ValF);
+    C.bind(Done);
+    C.load(T).putStatic(R.GlobalRef);
+    C.load(T).getField(R.T, R.ValF).retInt();
+  });
+  TestJit J(M.P);
+  std::unique_ptr<Graph> G =
+      J.buildWithEA(M.F, EscapeAnalysisMode::Partial, nullptr, false);
+  EXPECT_EQ(countNodes(*G, NodeKind::Materialize), 2u);
+  EXPECT_EQ(J.execute(*G, {Value::makeInt(-1), Value::makeRef(nullptr)})
+                .asInt(),
+            1);
+  EXPECT_EQ(J.execute(*G, {Value::makeInt(1), Value::makeRef(nullptr)})
+                .asInt(),
+            2);
+  EXPECT_EQ(J.RT.heap().allocationCount(), 2u);
+}
+
+TEST(PeaFig6Test, PhiOverSameVirtualStaysVirtual) {
+  // t = new T; if (x<0) y = t; else y = t; return y.val — the builder's
+  // phi has the same virtual alias on both inputs (Figure 6 (c)).
+  MiniProg M = makeMini(ValueType::Int, [](MiniProg &R, CodeBuilder &C) {
+    unsigned T = C.newLocal(), Y = C.newLocal();
+    Label Else = C.newLabel(), Done = C.newLabel();
+    C.newObj(R.T).store(T);
+    C.load(T).load(0).putField(R.T, R.ValF);
+    C.load(0).constI(0).ifGe(Else);
+    C.load(T).store(Y);
+    C.gotoL(Done);
+    C.bind(Else);
+    C.load(T).store(Y);
+    C.bind(Done);
+    C.load(Y).getField(R.T, R.ValF).retInt();
+  });
+  TestJit J(M.P);
+  std::unique_ptr<Graph> G =
+      J.buildWithEA(M.F, EscapeAnalysisMode::Partial, nullptr, false);
+  EXPECT_EQ(countNodes(*G, NodeKind::NewInstance), 0u);
+  EXPECT_EQ(countNodes(*G, NodeKind::Materialize), 0u);
+  EXPECT_EQ(J.execute(*G, {Value::makeInt(2), Value::makeRef(nullptr)})
+                .asInt(),
+            2);
+  EXPECT_EQ(J.RT.heap().allocationCount(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Figure 7: loops
+//===----------------------------------------------------------------------===//
+
+TEST(PeaFig7Test, TemporaryPerIterationStaysVirtual) {
+  ChurnProgram CP = makeChurnProgram();
+  TestJit J(CP.P);
+  PEAStats St;
+  std::unique_ptr<Graph> G =
+      J.buildWithEA(CP.SumBoxes, EscapeAnalysisMode::Partial, &St, false);
+  EXPECT_EQ(countNodes(*G, NodeKind::NewInstance), 0u);
+  EXPECT_EQ(countNodes(*G, NodeKind::Materialize), 0u);
+  EXPECT_EQ(J.execute(*G, {Value::makeInt(1000)}).asInt(), 499500);
+  EXPECT_EQ(J.RT.heap().allocationCount(), 0u);
+}
+
+TEST(PeaFig7Test, AccumulatorObjectGetsLoopPhi) {
+  // acc = new T; for (i=0; i<n; i++) acc.val = acc.val + i; return
+  // acc.val — the field changes per iteration but the object stays
+  // virtual thanks to a loop phi.
+  MiniProg M = makeMini(ValueType::Int, [](MiniProg &R, CodeBuilder &C) {
+    unsigned Acc = C.newLocal(), I = C.newLocal();
+    Label Head = C.newLabel(), Exit = C.newLabel();
+    C.newObj(R.T).store(Acc);
+    C.constI(0).store(I);
+    C.bind(Head);
+    C.load(I).load(0).ifGe(Exit);
+    C.load(Acc).load(Acc).getField(R.T, R.ValF).load(I).add()
+        .putField(R.T, R.ValF);
+    C.load(I).constI(1).add().store(I);
+    C.gotoL(Head);
+    C.bind(Exit);
+    C.load(Acc).getField(R.T, R.ValF).retInt();
+  });
+  TestJit J(M.P);
+  PEAStats St;
+  std::unique_ptr<Graph> G =
+      J.buildWithEA(M.F, EscapeAnalysisMode::Partial, &St, false);
+  EXPECT_EQ(countNodes(*G, NodeKind::NewInstance), 0u);
+  EXPECT_EQ(countNodes(*G, NodeKind::Materialize), 0u);
+  EXPECT_GE(St.LoopIterations, 1u);
+  EXPECT_EQ(J.execute(*G, {Value::makeInt(10), Value::makeRef(nullptr)})
+                .asInt(),
+            45);
+  EXPECT_EQ(J.RT.heap().allocationCount(), 0u);
+}
+
+TEST(PeaFig7Test, EscapeInsideLoopMaterializesThere) {
+  // for (i=0;i<n;i++) { t = new T; t.val = i; if (i == n-1) global = t; }
+  // return 0 — only the last iteration's object is allocated.
+  MiniProg M = makeMini(ValueType::Int, [](MiniProg &R, CodeBuilder &C) {
+    unsigned I = C.newLocal(), T = C.newLocal();
+    Label Head = C.newLabel(), Exit = C.newLabel(), NoEsc = C.newLabel();
+    C.constI(0).store(I);
+    C.bind(Head);
+    C.load(I).load(0).ifGe(Exit);
+    C.newObj(R.T).store(T);
+    C.load(T).load(I).putField(R.T, R.ValF);
+    C.load(I).load(0).constI(1).sub().ifNe(NoEsc);
+    C.load(T).putStatic(R.GlobalRef);
+    C.bind(NoEsc);
+    C.load(I).constI(1).add().store(I);
+    C.gotoL(Head);
+    C.bind(Exit);
+    C.constI(0).retInt();
+  });
+  TestJit J(M.P);
+  std::unique_ptr<Graph> G =
+      J.buildWithEA(M.F, EscapeAnalysisMode::Partial, nullptr, false);
+  EXPECT_EQ(countNodes(*G, NodeKind::NewInstance), 0u);
+  EXPECT_EQ(countNodes(*G, NodeKind::Materialize), 1u);
+  J.execute(*G, {Value::makeInt(100), Value::makeRef(nullptr)});
+  EXPECT_EQ(J.RT.heap().allocationCount(), 1u);
+  EXPECT_EQ(J.RT.getStatic(M.GlobalRef).asRef()->slot(M.ValF),
+            Value::makeInt(99));
+}
+
+TEST(PeaFig7Test, ObjectEscapingViaBackEdgeMaterializesAtEntry) {
+  // t = new T; for (...) { u = new T; u.ref = t; t = u; } global = t —
+  // a chain built through the loop; conservative handling materializes.
+  MiniProg M = makeMini(ValueType::Ref, [](MiniProg &R, CodeBuilder &C) {
+    unsigned T = C.newLocal(), I = C.newLocal(), U = C.newLocal();
+    Label Head = C.newLabel(), Exit = C.newLabel();
+    C.newObj(R.T).store(T);
+    C.constI(0).store(I);
+    C.bind(Head);
+    C.load(I).load(0).ifGe(Exit);
+    C.newObj(R.T).store(U);
+    C.load(U).load(T).putField(R.T, R.RefF);
+    C.load(U).store(T);
+    C.load(I).constI(1).add().store(I);
+    C.gotoL(Head);
+    C.bind(Exit);
+    C.load(T).putStatic(R.GlobalRef);
+    C.load(T).retRef();
+  });
+  TestJit J(M.P);
+  std::unique_ptr<Graph> G =
+      J.buildWithEA(M.F, EscapeAnalysisMode::Partial, nullptr, false);
+  // Semantics check: chain of n+1 objects, innermost val default.
+  Value R3 = J.execute(*G, {Value::makeInt(3), Value::makeRef(nullptr)});
+  int Depth = 0;
+  for (HeapObject *O = R3.asRef(); O; O = O->slot(M.RefF).asRef())
+    ++Depth;
+  EXPECT_EQ(Depth, 4);
+  EXPECT_EQ(J.RT.heap().allocationCount(), 4u);
+}
+
+//===----------------------------------------------------------------------===//
+// Equality / type-check folding (Section 5.2)
+//===----------------------------------------------------------------------===//
+
+TEST(PeaFoldTest, RefEqualityAgainstVirtualFolds) {
+  // t = new T; if (t == p1) return 1; return 0  — never equal.
+  MiniProg M = makeMini(ValueType::Int, [](MiniProg &R, CodeBuilder &C) {
+    unsigned T = C.newLocal();
+    Label Eq = C.newLabel();
+    C.newObj(R.T).store(T);
+    C.load(T).load(1).ifRefEq(Eq);
+    C.constI(0).retInt();
+    C.bind(Eq);
+    C.constI(1).retInt();
+  });
+  TestJit J(M.P);
+  PEAStats St;
+  std::unique_ptr<Graph> G =
+      J.buildWithEA(M.F, EscapeAnalysisMode::Partial, &St, false);
+  EXPECT_GE(St.FoldedChecks, 1u);
+  EXPECT_EQ(countNodes(*G, NodeKind::If), 0u); // Folded to straight line.
+  EXPECT_EQ(countNodes(*G, NodeKind::NewInstance), 0u);
+  EXPECT_EQ(J.execute(*G, {Value::makeInt(0), Value::makeRef(nullptr)})
+                .asInt(),
+            0);
+}
+
+TEST(PeaFoldTest, SameVirtualComparesEqual) {
+  // t = new T; u = t; if (t == u) return 1; return 0.
+  MiniProg M = makeMini(ValueType::Int, [](MiniProg &R, CodeBuilder &C) {
+    unsigned T = C.newLocal(), U = C.newLocal();
+    Label Eq = C.newLabel();
+    C.newObj(R.T).store(T);
+    C.load(T).store(U);
+    C.load(T).load(U).ifRefEq(Eq);
+    C.constI(0).retInt();
+    C.bind(Eq);
+    C.constI(1).retInt();
+  });
+  TestJit J(M.P);
+  std::unique_ptr<Graph> G =
+      J.buildWithEA(M.F, EscapeAnalysisMode::Partial, nullptr, false);
+  EXPECT_EQ(J.execute(*G, {Value::makeInt(0), Value::makeRef(nullptr)})
+                .asInt(),
+            1);
+  EXPECT_EQ(countNodes(*G, NodeKind::NewInstance), 0u);
+}
+
+TEST(PeaFoldTest, InstanceOfOnVirtualFolds) {
+  MiniProg M = makeMini(ValueType::Int, [](MiniProg &R, CodeBuilder &C) {
+    unsigned T = C.newLocal();
+    C.newObj(R.T).store(T);
+    C.load(T).instanceOf(R.T).retInt();
+  });
+  TestJit J(M.P);
+  std::unique_ptr<Graph> G =
+      J.buildWithEA(M.F, EscapeAnalysisMode::Partial, nullptr, false);
+  EXPECT_EQ(countNodes(*G, NodeKind::NewInstance), 0u);
+  EXPECT_EQ(countNodes(*G, NodeKind::InstanceOf), 0u);
+  EXPECT_EQ(J.execute(*G, {Value::makeInt(0), Value::makeRef(nullptr)})
+                .asInt(),
+            1);
+}
+
+//===----------------------------------------------------------------------===//
+// Figure 8 / Listing 8: frame states and deoptimization
+//===----------------------------------------------------------------------===//
+
+TEST(PeaFig8Test, FrameStatesReferenceVirtualObjects) {
+  // t = new T; t.val = x; global = p1 (a store whose frame state must
+  // describe the still-virtual t); return t.val.
+  MiniProg M = makeMini(ValueType::Int, [](MiniProg &R, CodeBuilder &C) {
+    unsigned T = C.newLocal();
+    C.newObj(R.T).store(T);
+    C.load(T).load(0).putField(R.T, R.ValF);
+    C.load(1).putStatic(R.GlobalRef);
+    C.load(T).getField(R.T, R.ValF).retInt();
+  });
+  TestJit J(M.P);
+  PEAStats St;
+  std::unique_ptr<Graph> G =
+      J.buildWithEA(M.F, EscapeAnalysisMode::Partial, &St, false);
+  EXPECT_EQ(countNodes(*G, NodeKind::NewInstance), 0u);
+  EXPECT_GE(St.VirtualizedStates, 1u);
+  // Some live frame state must carry a virtual object mapping.
+  bool FoundMapping = false;
+  for (unsigned Id = 0; Id != G->nodeIdBound(); ++Id)
+    if (Node *N = G->nodeAt(Id))
+      if (auto *FS = dyn_cast<FrameStateNode>(N))
+        FoundMapping |= FS->numVirtualMappings() > 0;
+  EXPECT_TRUE(FoundMapping);
+  EXPECT_EQ(J.execute(*G, {Value::makeInt(4), Value::makeRef(nullptr)})
+                .asInt(),
+            4);
+}
+
+TEST(PeaFig8Test, DeoptMaterializesVirtualObject) {
+  // t = new T; t.val = x; if (x < 0) global = p1 (cold, pruned ->
+  // Deoptimize with t virtual); return t.val.
+  MiniProg M = makeMini(ValueType::Int, [](MiniProg &R, CodeBuilder &C) {
+    unsigned T = C.newLocal();
+    Label Skip = C.newLabel();
+    C.newObj(R.T).store(T);
+    C.load(T).load(0).putField(R.T, R.ValF);
+    C.load(0).constI(0).ifGe(Skip);
+    C.load(1).putStatic(R.GlobalRef);
+    C.bind(Skip);
+    C.load(T).getField(R.T, R.ValF).retInt();
+  });
+  TestJit J(M.P);
+  J.Opts.PruneMinProfile = 10;
+  for (int I = 1; I <= 20; ++I)
+    J.interpret(M.F, {Value::makeInt(I), Value::makeRef(nullptr)});
+  PEAStats St;
+  std::unique_ptr<Graph> G =
+      J.buildWithEA(M.F, EscapeAnalysisMode::Partial, &St);
+  ASSERT_EQ(countNodes(*G, NodeKind::Deoptimize), 1u);
+  EXPECT_EQ(countNodes(*G, NodeKind::NewInstance), 0u);
+  EXPECT_EQ(countNodes(*G, NodeKind::Materialize), 0u);
+
+  // Fast path: fully virtual.
+  J.RT.resetMetrics();
+  EXPECT_EQ(J.execute(*G, {Value::makeInt(6), Value::makeRef(nullptr)})
+                .asInt(),
+            6);
+  EXPECT_EQ(J.RT.heap().allocationCount(), 0u);
+
+  // Deopt path: the interpreter resumes with a freshly materialized T
+  // whose val field was reconstructed from the frame state.
+  J.RT.resetMetrics();
+  EXPECT_EQ(J.execute(*G, {Value::makeInt(-6), Value::makeRef(nullptr)})
+                .asInt(),
+            -6);
+  EXPECT_EQ(J.RT.metrics().Deopts, 1u);
+  EXPECT_EQ(J.RT.heap().allocationCount(), 1u);
+}
+
+TEST(PeaFig8Test, DeoptRestoresElidedLock) {
+  // t = new T; monenter t; if (x<0) global = p1 (pruned); monexit t;
+  // return x — deopt happens while the virtual lock is held.
+  MiniProg M = makeMini(ValueType::Int, [](MiniProg &R, CodeBuilder &C) {
+    unsigned T = C.newLocal();
+    Label Skip = C.newLabel();
+    C.newObj(R.T).store(T);
+    C.load(T).monEnter();
+    C.load(0).constI(0).ifGe(Skip);
+    C.load(1).putStatic(R.GlobalRef);
+    C.bind(Skip);
+    C.load(T).monExit();
+    C.load(0).retInt();
+  });
+  TestJit J(M.P);
+  J.Opts.PruneMinProfile = 10;
+  for (int I = 1; I <= 20; ++I)
+    J.interpret(M.F, {Value::makeInt(I), Value::makeRef(nullptr)});
+  std::unique_ptr<Graph> G = J.buildWithEA(M.F, EscapeAnalysisMode::Partial);
+  ASSERT_EQ(countNodes(*G, NodeKind::Deoptimize), 1u);
+  EXPECT_EQ(countNodes(*G, NodeKind::MonitorEnter), 0u);
+
+  J.RT.resetMetrics();
+  EXPECT_EQ(J.execute(*G, {Value::makeInt(-2), Value::makeRef(nullptr)})
+                .asInt(),
+            -2);
+  EXPECT_EQ(J.RT.metrics().Deopts, 1u);
+  // The deoptimizer re-acquired the elided lock (1 op) and the
+  // interpreter then released it (1 op).
+  EXPECT_EQ(J.RT.metrics().MonitorOps, 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Flow-insensitive baseline (Section 6.2)
+//===----------------------------------------------------------------------===//
+
+TEST(EesTest, EscapingAllocationsDetected) {
+  CacheProgram CP = makeCacheProgram(true);
+  TestJit J(CP.P);
+  std::unique_ptr<Graph> G = J.buildOptimized(CP.GetValue, false);
+  std::set<const Node *> Escaping = computeEscapingAllocations(*G);
+  // The Key escapes (store into cacheKey on the miss path).
+  unsigned Allocs = countNodes(*G, NodeKind::NewInstance);
+  EXPECT_GE(Allocs, 1u);
+  EXPECT_GE(Escaping.size(), 1u);
+}
+
+TEST(EesTest, NonEscapingChurnDetected) {
+  ChurnProgram CP = makeChurnProgram();
+  TestJit J(CP.P);
+  std::unique_ptr<Graph> G = J.buildOptimized(CP.SumBoxes, false);
+  EXPECT_TRUE(computeEscapingAllocations(*G).empty());
+}
+
+TEST(EesTest, AllOrNothingKeepsPartiallyEscapingAllocation) {
+  // The paper's core discriminator: escapes in one branch only, with the
+  // branches returning separately (Listing 4 shape).
+  MiniProg M = makeMini(ValueType::Int, [](MiniProg &R, CodeBuilder &C) {
+    unsigned T = C.newLocal();
+    Label Skip = C.newLabel();
+    C.newObj(R.T).store(T);
+    C.load(T).load(0).putField(R.T, R.ValF);
+    C.load(0).constI(0).ifGe(Skip);
+    C.load(T).putStatic(R.GlobalRef);
+    C.load(T).getField(R.T, R.ValF).retInt();
+    C.bind(Skip);
+    C.load(T).getField(R.T, R.ValF).retInt();
+  });
+  TestJit J(M.P);
+  std::unique_ptr<Graph> Baseline =
+      J.buildWithEA(M.F, EscapeAnalysisMode::FlowInsensitive, nullptr, false);
+  // All-or-nothing: the allocation survives on every path.
+  EXPECT_EQ(countNodes(*Baseline, NodeKind::NewInstance), 1u);
+  EXPECT_EQ(countNodes(*Baseline, NodeKind::Materialize), 0u);
+
+  TestJit J2(M.P);
+  std::unique_ptr<Graph> Partial =
+      J2.buildWithEA(M.F, EscapeAnalysisMode::Partial, nullptr, false);
+  EXPECT_EQ(countNodes(*Partial, NodeKind::NewInstance), 0u);
+
+  // Same semantics, different allocation counts on the fast path.
+  EXPECT_EQ(J.execute(*Baseline, {Value::makeInt(5), Value::makeRef(nullptr)})
+                .asInt(),
+            5);
+  EXPECT_EQ(J.RT.heap().allocationCount(), 1u);
+  EXPECT_EQ(J2.execute(*Partial, {Value::makeInt(5), Value::makeRef(nullptr)})
+                .asInt(),
+            5);
+  EXPECT_EQ(J2.RT.heap().allocationCount(), 0u);
+}
+
+TEST(EesTest, BothModesScalarReplaceNeverEscaping) {
+  ChurnProgram CP = makeChurnProgram();
+  for (EscapeAnalysisMode Mode : {EscapeAnalysisMode::FlowInsensitive,
+                                  EscapeAnalysisMode::Partial}) {
+    TestJit J(CP.P);
+    std::unique_ptr<Graph> G = J.buildWithEA(CP.SumBoxes, Mode, nullptr,
+                                             false);
+    EXPECT_EQ(countNodes(*G, NodeKind::NewInstance), 0u)
+        << escapeAnalysisModeName(Mode);
+    EXPECT_EQ(J.execute(*G, {Value::makeInt(50)}).asInt(), 1225);
+    EXPECT_EQ(J.RT.heap().allocationCount(), 0u);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Differential safety net: PEA must never change semantics and never
+// increase dynamic allocations.
+//===----------------------------------------------------------------------===//
+
+struct DiffCase {
+  const char *Name;
+  int Warmups;
+};
+
+class PeaDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PeaDifferentialTest, CacheWorkloadAcrossModes) {
+  int Mix = GetParam();
+  for (EscapeAnalysisMode Mode :
+       {EscapeAnalysisMode::None, EscapeAnalysisMode::FlowInsensitive,
+        EscapeAnalysisMode::Partial}) {
+    CacheProgram CP = makeCacheProgram(true);
+    TestJit J(CP.P);
+    for (int I = 0; I != 25; ++I)
+      J.interpret(CP.GetValue,
+                  {Value::makeInt(I % (Mix + 1)), Value::makeRef(nullptr)});
+    std::unique_ptr<Graph> G = J.buildWithEA(CP.GetValue, Mode);
+    // Reference run in a fresh interpreter-only VM.
+    CacheProgram Ref = makeCacheProgram(true);
+    TestJit JRef(Ref.P);
+    for (int I = 0; I != 40; ++I) {
+      int K = (I * 7 + 3) % (Mix + 2);
+      Value Got =
+          J.execute(*G, {Value::makeInt(K), Value::makeRef(nullptr)});
+      Value Want = JRef.interpret(
+          Ref.GetValue, {Value::makeInt(K), Value::makeRef(nullptr)});
+      ASSERT_EQ(Got.asRef()->slot(CP.BoxVal), Want.asRef()->slot(Ref.BoxVal))
+          << "mode=" << escapeAnalysisModeName(Mode) << " i=" << I;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Mixes, PeaDifferentialTest,
+                         ::testing::Values(1, 2, 5, 9));
+
+TEST(PeaSafetyTest, AllocationCountNeverIncreases) {
+  CacheProgram CP = makeCacheProgram(true);
+  uint64_t Allocs[2];
+  int ModeIdx = 0;
+  for (EscapeAnalysisMode Mode :
+       {EscapeAnalysisMode::None, EscapeAnalysisMode::Partial}) {
+    TestJit J(CP.P);
+    for (int I = 0; I != 25; ++I)
+      J.interpret(CP.GetValue, {Value::makeInt(I % 3), Value::makeRef(nullptr)});
+    std::unique_ptr<Graph> G = J.buildWithEA(CP.GetValue, Mode);
+    J.RT.resetMetrics();
+    for (int I = 0; I != 60; ++I)
+      J.execute(*G, {Value::makeInt(I % 4), Value::makeRef(nullptr)});
+    Allocs[ModeIdx++] = J.RT.heap().allocationCount();
+  }
+  EXPECT_LE(Allocs[1], Allocs[0]);
+}
+
+} // namespace

@@ -1,0 +1,161 @@
+//===- runtime_test.cpp - Tests for heap, GC, monitors, statics -------------===//
+
+#include "runtime/Runtime.h"
+
+#include <gtest/gtest.h>
+
+using namespace jvm;
+
+namespace {
+
+Program twoFieldProgram() {
+  Program P;
+  ClassId A = P.addClass("A");
+  P.addField(A, "x", ValueType::Int);
+  P.addField(A, "next", ValueType::Ref);
+  P.addStatic("root", ValueType::Ref);
+  P.addStatic("count", ValueType::Int);
+  return P;
+}
+
+TEST(ValueTest, TaggingAndEquality) {
+  Value I = Value::makeInt(7);
+  Value J = Value::makeInt(7);
+  Value K = Value::makeInt(8);
+  EXPECT_TRUE(I.isInt());
+  EXPECT_EQ(I.asInt(), 7);
+  EXPECT_EQ(I, J);
+  EXPECT_FALSE(I == K);
+  Value N = Value::makeRef(nullptr);
+  EXPECT_TRUE(N.isRef());
+  EXPECT_FALSE(I == N);
+  EXPECT_TRUE(Value::makeVoid().isVoid());
+  EXPECT_EQ(Value::defaultOf(ValueType::Int), Value::makeInt(0));
+  EXPECT_EQ(Value::defaultOf(ValueType::Ref), Value::makeRef(nullptr));
+}
+
+TEST(HeapTest, InstanceAllocationTypesDefaults) {
+  Program P = twoFieldProgram();
+  Runtime RT(P);
+  HeapObject *O = RT.allocateInstance(0);
+  ASSERT_NE(O, nullptr);
+  EXPECT_EQ(O->objectClass(), 0);
+  EXPECT_FALSE(O->isArray());
+  ASSERT_EQ(O->numSlots(), 2u);
+  EXPECT_EQ(O->slot(0), Value::makeInt(0));
+  EXPECT_EQ(O->slot(1), Value::makeRef(nullptr));
+  EXPECT_EQ(O->sizeInBytes(), 16u + 16u);
+}
+
+TEST(HeapTest, ArrayAllocationAndLength) {
+  Program P;
+  Runtime RT(P);
+  HeapObject *A = RT.heap().allocateArray(ValueType::Int, 10);
+  EXPECT_TRUE(A->isArray());
+  EXPECT_EQ(A->length(), 10);
+  EXPECT_EQ(A->slot(9), Value::makeInt(0));
+  A->setSlot(3, Value::makeInt(42));
+  EXPECT_EQ(A->slot(3), Value::makeInt(42));
+  EXPECT_EQ(A->sizeInBytes(), 16u + 80u);
+}
+
+TEST(HeapTest, MetricsAccumulate) {
+  Program P = twoFieldProgram();
+  Runtime RT(P);
+  RT.allocateInstance(0);
+  RT.allocateInstance(0);
+  RT.heap().allocateArray(ValueType::Ref, 4);
+  EXPECT_EQ(RT.heap().allocationCount(), 3u);
+  EXPECT_EQ(RT.heap().allocatedBytes(), 32u + 32u + 48u);
+  RT.heap().resetMetrics();
+  EXPECT_EQ(RT.heap().allocationCount(), 0u);
+  EXPECT_EQ(RT.heap().allocatedBytes(), 0u);
+}
+
+TEST(GcTest, UnreachableObjectsAreCollected) {
+  Program P = twoFieldProgram();
+  Runtime RT(P);
+  for (int I = 0; I != 1000; ++I)
+    RT.allocateInstance(0);
+  EXPECT_EQ(RT.heap().liveObjects(), 1000u);
+  RT.heap().collect();
+  EXPECT_EQ(RT.heap().liveObjects(), 0u);
+}
+
+TEST(GcTest, StaticsAreRoots) {
+  Program P = twoFieldProgram();
+  Runtime RT(P);
+  HeapObject *Kept = RT.allocateInstance(0);
+  RT.setStatic(0, Value::makeRef(Kept));
+  RT.allocateInstance(0); // Garbage.
+  RT.heap().collect();
+  EXPECT_EQ(RT.heap().liveObjects(), 1u);
+  EXPECT_EQ(RT.getStatic(0).asRef(), Kept);
+}
+
+TEST(GcTest, ReachabilityIsTransitive) {
+  Program P = twoFieldProgram();
+  Runtime RT(P);
+  HeapObject *A = RT.allocateInstance(0);
+  HeapObject *B = RT.allocateInstance(0);
+  HeapObject *C = RT.allocateInstance(0);
+  A->setSlot(1, Value::makeRef(B));
+  B->setSlot(1, Value::makeRef(C));
+  // Cycle back to A must not hang the collector.
+  C->setSlot(1, Value::makeRef(A));
+  RT.setStatic(0, Value::makeRef(A));
+  RT.allocateInstance(0); // Garbage.
+  RT.heap().collect();
+  EXPECT_EQ(RT.heap().liveObjects(), 3u);
+}
+
+TEST(GcTest, RootScopeProtectsTemporaries) {
+  Program P = twoFieldProgram();
+  Runtime RT(P);
+  std::vector<Value> Temps;
+  Temps.push_back(Value::makeRef(RT.allocateInstance(0)));
+  {
+    Runtime::RootScope Scope(RT, &Temps);
+    RT.heap().collect();
+    EXPECT_EQ(RT.heap().liveObjects(), 1u);
+  }
+  RT.heap().collect();
+  EXPECT_EQ(RT.heap().liveObjects(), 0u);
+}
+
+TEST(GcTest, AutomaticCollectionAtThreshold) {
+  Program P = twoFieldProgram();
+  Runtime RT(P);
+  // Default threshold is 64 MiB; allocate ~96 MiB of garbage (32 bytes per
+  // object) and expect at least one automatic collection.
+  for (int I = 0; I != 3 * 1024 * 1024; ++I)
+    RT.allocateInstance(0);
+  EXPECT_GE(RT.heap().gcRuns(), 1u);
+  EXPECT_LT(RT.heap().liveObjects(), 3u * 1024 * 1024);
+}
+
+TEST(MonitorTest, EnterExitCountsAndNesting) {
+  Program P = twoFieldProgram();
+  Runtime RT(P);
+  HeapObject *O = RT.allocateInstance(0);
+  RT.monitorEnter(O);
+  RT.monitorEnter(O);
+  EXPECT_EQ(O->lockCount(), 2);
+  RT.monitorExit(O);
+  EXPECT_EQ(O->lockCount(), 1);
+  RT.monitorExit(O);
+  EXPECT_EQ(O->lockCount(), 0);
+  EXPECT_EQ(RT.metrics().MonitorOps, 4u);
+}
+
+TEST(RuntimeTest, StaticsDefaultsAndReset) {
+  Program P = twoFieldProgram();
+  Runtime RT(P);
+  EXPECT_EQ(RT.getStatic(0), Value::makeRef(nullptr));
+  EXPECT_EQ(RT.getStatic(1), Value::makeInt(0));
+  RT.setStatic(1, Value::makeInt(99));
+  RT.resetStatics();
+  EXPECT_EQ(RT.getStatic(1), Value::makeInt(0));
+}
+
+} // namespace

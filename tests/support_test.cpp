@@ -1,0 +1,81 @@
+//===- support_test.cpp - Tests for the support library --------------------===//
+
+#include "support/Casting.h"
+#include "support/Debug.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+struct Shape {
+  enum Kind { K_Circle, K_Square, K_Rect };
+  explicit Shape(Kind K) : TheKind(K) {}
+  Kind kind() const { return TheKind; }
+  Kind TheKind;
+};
+
+struct Circle : Shape {
+  Circle() : Shape(K_Circle) {}
+  static bool classof(const Shape *S) { return S->kind() == K_Circle; }
+};
+
+struct Square : Shape {
+  Square() : Shape(K_Square) {}
+  static bool classof(const Shape *S) { return S->kind() == K_Square; }
+};
+
+TEST(CastingTest, IsaMatchesDynamicKind) {
+  Circle C;
+  Shape *S = &C;
+  EXPECT_TRUE(jvm::isa<Circle>(S));
+  EXPECT_FALSE(jvm::isa<Square>(S));
+}
+
+TEST(CastingTest, IsaVariadicChecksAnyOf) {
+  Square Sq;
+  Shape *S = &Sq;
+  bool Result = jvm::isa<Circle, Square>(S);
+  EXPECT_TRUE(Result);
+}
+
+TEST(CastingTest, CastReturnsTypedPointer) {
+  Circle C;
+  Shape *S = &C;
+  EXPECT_EQ(jvm::cast<Circle>(S), &C);
+}
+
+TEST(CastingTest, DynCastReturnsNullOnMismatch) {
+  Circle C;
+  Shape *S = &C;
+  EXPECT_EQ(jvm::dyn_cast<Square>(S), nullptr);
+  EXPECT_EQ(jvm::dyn_cast<Circle>(S), &C);
+}
+
+TEST(CastingTest, DynCastOrNullHandlesNull) {
+  Shape *S = nullptr;
+  EXPECT_EQ(jvm::dyn_cast_or_null<Circle>(S), nullptr);
+  EXPECT_FALSE(jvm::isa_and_nonnull<Circle>(S));
+}
+
+TEST(CastingTest, ConstPointersSupported) {
+  const Circle C;
+  const Shape *S = &C;
+  EXPECT_TRUE(jvm::isa<Circle>(S));
+  EXPECT_EQ(jvm::cast<Circle>(S), &C);
+}
+
+TEST(CastingTest, IsaUpcastIsStaticallyTrue) {
+  Circle C;
+  EXPECT_TRUE(jvm::isa<Shape>(&C));
+}
+
+TEST(DebugTest, ToggleControlsEmission) {
+  bool Saved = jvm::isDebugEnabled();
+  jvm::setDebugEnabled(false);
+  EXPECT_FALSE(jvm::isDebugEnabled());
+  jvm::setDebugEnabled(true);
+  EXPECT_TRUE(jvm::isDebugEnabled());
+  jvm::setDebugEnabled(Saved);
+}
+
+} // namespace

@@ -1,0 +1,194 @@
+//===- vm_test.cpp - Tests for the tiered VirtualMachine ----------------------===//
+
+#include "TestPrograms.h"
+#include "vm/VirtualMachine.h"
+
+#include <gtest/gtest.h>
+
+using namespace jvm;
+using namespace jvm::testprogs;
+
+namespace {
+
+VMOptions fastJit(EscapeAnalysisMode Mode = EscapeAnalysisMode::Partial) {
+  VMOptions O;
+  O.CompileThreshold = 5;
+  O.Compiler.EAMode = Mode;
+  O.Compiler.PruneMinProfile = 5;
+  O.Compiler.DevirtMinProfile = 5;
+  return O;
+}
+
+TEST(VmTest, TiersUpAfterThreshold) {
+  MathProgram MP = makeMathProgram();
+  VirtualMachine VM(MP.P, fastJit());
+  for (int I = 0; I != 10; ++I)
+    EXPECT_EQ(VM.call(MP.SumTo, {Value::makeInt(10)}).asInt(), 55);
+  EXPECT_NE(VM.compiledGraph(MP.SumTo), nullptr);
+  EXPECT_GE(VM.jitMetrics().Compilations, 1u);
+  EXPECT_GT(VM.runtime().metrics().CompiledCalls, 0u);
+  // Still correct after tier-up.
+  EXPECT_EQ(VM.call(MP.SumTo, {Value::makeInt(100)}).asInt(), 5050);
+}
+
+TEST(VmTest, JitDisabledStaysInterpreted) {
+  MathProgram MP = makeMathProgram();
+  VMOptions O = fastJit();
+  O.EnableJit = false;
+  VirtualMachine VM(MP.P, O);
+  for (int I = 0; I != 20; ++I)
+    VM.call(MP.SumTo, {Value::makeInt(5)});
+  EXPECT_EQ(VM.compiledGraph(MP.SumTo), nullptr);
+  EXPECT_EQ(VM.runtime().metrics().CompiledCalls, 0u);
+}
+
+TEST(VmTest, RecursiveCallsTierUpThroughVm) {
+  MathProgram MP = makeMathProgram();
+  VirtualMachine VM(MP.P, fastJit());
+  for (int I = 0; I != 10; ++I)
+    EXPECT_EQ(VM.call(MP.Fact, {Value::makeInt(10)}).asInt(), 3628800);
+  EXPECT_NE(VM.compiledGraph(MP.Fact), nullptr);
+  EXPECT_EQ(VM.call(MP.Fact, {Value::makeInt(12)}).asInt(), 479001600);
+}
+
+TEST(VmTest, DeoptResumesAndEventuallyInvalidates) {
+  MathProgram MP = makeMathProgram();
+  VMOptions O = fastJit();
+  O.MaxDeoptsPerMethod = 2;
+  VirtualMachine VM(MP.P, O);
+  // Warm abs with positives only: the negative branch gets pruned.
+  for (int I = 1; I <= 10; ++I)
+    VM.call(MP.Abs, {Value::makeInt(I)});
+  ASSERT_NE(VM.compiledGraph(MP.Abs), nullptr);
+
+  // Failing speculation deopts but stays correct...
+  EXPECT_EQ(VM.call(MP.Abs, {Value::makeInt(-1)}).asInt(), 1);
+  EXPECT_EQ(VM.runtime().metrics().Deopts, 1u);
+  EXPECT_EQ(VM.call(MP.Abs, {Value::makeInt(-2)}).asInt(), 2);
+  // ...and the third failure invalidates the method.
+  EXPECT_EQ(VM.call(MP.Abs, {Value::makeInt(-3)}).asInt(), 3);
+  EXPECT_EQ(VM.jitMetrics().Invalidations, 1u);
+  EXPECT_EQ(VM.compiledGraph(MP.Abs), nullptr);
+
+  // Re-profiling now sees both branches; the recompiled code no longer
+  // speculates and handles negatives natively.
+  for (int I = 0; I != 10; ++I)
+    VM.call(MP.Abs, {Value::makeInt(I % 2 == 0 ? I : -I)});
+  ASSERT_NE(VM.compiledGraph(MP.Abs), nullptr);
+  uint64_t DeoptsBefore = VM.runtime().metrics().Deopts;
+  EXPECT_EQ(VM.call(MP.Abs, {Value::makeInt(-9)}).asInt(), 9);
+  EXPECT_EQ(VM.runtime().metrics().Deopts, DeoptsBefore);
+}
+
+TEST(VmTest, CacheWorkloadFullyTieredAcrossModes) {
+  for (EscapeAnalysisMode Mode :
+       {EscapeAnalysisMode::None, EscapeAnalysisMode::FlowInsensitive,
+        EscapeAnalysisMode::Partial}) {
+    CacheProgram CP = makeCacheProgram(true);
+    VirtualMachine VM(CP.P, fastJit(Mode));
+    for (int I = 0; I != 200; ++I) {
+      int K = (I / 2) % 4;
+      Value V = VM.call(CP.GetValue,
+                        {Value::makeInt(K), Value::makeRef(nullptr)});
+      ASSERT_EQ(V.asRef()->slot(CP.BoxVal), Value::makeInt(K))
+          << "mode=" << escapeAnalysisModeName(Mode) << " i=" << I;
+    }
+    EXPECT_NE(VM.compiledGraph(CP.GetValue), nullptr)
+        << escapeAnalysisModeName(Mode);
+  }
+}
+
+TEST(VmTest, PeaReducesAllocationsOnCacheWorkload) {
+  uint64_t Allocs[3];
+  uint64_t Monitors[3];
+  int Idx = 0;
+  for (EscapeAnalysisMode Mode :
+       {EscapeAnalysisMode::None, EscapeAnalysisMode::FlowInsensitive,
+        EscapeAnalysisMode::Partial}) {
+    CacheProgram CP = makeCacheProgram(true);
+    VMOptions O = fastJit(Mode);
+    // Let profiles mature before compiling: an early compile would see
+    // too few receiver samples to devirtualize equals.
+    O.CompileThreshold = 50;
+    VirtualMachine VM(CP.P, O);
+    // Warm up (hits and misses), then measure a hits-only phase.
+    for (int I = 0; I != 100; ++I)
+      VM.call(CP.GetValue,
+              {Value::makeInt((I / 2) % 4), Value::makeRef(nullptr)});
+    VM.runtime().resetMetrics();
+    for (int I = 0; I != 1000; ++I)
+      VM.call(CP.GetValue, {Value::makeInt(1), Value::makeRef(nullptr)});
+    Allocs[Idx] = VM.runtime().heap().allocationCount();
+    Monitors[Idx] = VM.runtime().metrics().MonitorOps;
+    ++Idx;
+  }
+  // Hit-heavy phase: no EA allocates a Key per call and locks it in
+  // equals; EES cannot help (the Key escapes on the miss path); PEA
+  // eliminates both allocation and lock on the hit path entirely.
+  EXPECT_EQ(Allocs[0], 1000u);
+  EXPECT_EQ(Allocs[1], 1000u);
+  EXPECT_EQ(Allocs[2], 0u);
+  EXPECT_GE(Monitors[0], 2000u);
+  EXPECT_EQ(Monitors[2], 0u);
+}
+
+TEST(VmTest, ChurnWorkloadAllocationFreeWithBothAnalyses) {
+  for (EscapeAnalysisMode Mode : {EscapeAnalysisMode::FlowInsensitive,
+                                  EscapeAnalysisMode::Partial}) {
+    ChurnProgram CP = makeChurnProgram();
+    VirtualMachine VM(CP.P, fastJit(Mode));
+    for (int I = 0; I != 10; ++I)
+      VM.call(CP.SumBoxes, {Value::makeInt(100)});
+    ASSERT_NE(VM.compiledGraph(CP.SumBoxes), nullptr);
+    VM.runtime().resetMetrics();
+    EXPECT_EQ(VM.call(CP.SumBoxes, {Value::makeInt(10000)}).asInt(),
+              49995000);
+    EXPECT_EQ(VM.runtime().heap().allocationCount(), 0u)
+        << escapeAnalysisModeName(Mode);
+  }
+}
+
+TEST(VmTest, VirtualDispatchWorkloadWithDevirtAndDeopt) {
+  ShapesProgram SP = makeShapesProgram();
+  VirtualMachine VM(SP.P, fastJit());
+  Value Circle = VM.call(SP.MakeCircle, {Value::makeInt(2)});
+  // Monomorphic warmup: areaOf gets compiled with an inlined, guarded
+  // Circle.area.
+  for (int I = 0; I != 10; ++I)
+    EXPECT_EQ(VM.call(SP.AreaOf, {Circle}).asInt(), 12);
+  ASSERT_NE(VM.compiledGraph(SP.AreaOf), nullptr);
+  // A Square now violates the speculation; after enough deopts the VM
+  // re-profiles and recompiles polymorphically.
+  Value Square = VM.call(SP.MakeSquare, {Value::makeInt(4)});
+  for (int I = 0; I != 30; ++I) {
+    EXPECT_EQ(VM.call(SP.AreaOf, {Square}).asInt(), 16);
+    EXPECT_EQ(VM.call(SP.AreaOf, {Circle}).asInt(), 12);
+  }
+  EXPECT_GE(VM.jitMetrics().Invalidations, 1u);
+}
+
+TEST(VmTest, CompileNowAndJitMetrics) {
+  MathProgram MP = makeMathProgram();
+  VirtualMachine VM(MP.P, fastJit());
+  VM.call(MP.SumTo, {Value::makeInt(3)});
+  VM.compileNow(MP.SumTo);
+  EXPECT_NE(VM.compiledGraph(MP.SumTo), nullptr);
+  EXPECT_EQ(VM.jitMetrics().Compilations, 1u);
+  EXPECT_GT(VM.jitMetrics().CompileNanos, 0u);
+  VM.invalidate(MP.SumTo);
+  EXPECT_EQ(VM.compiledGraph(MP.SumTo), nullptr);
+}
+
+TEST(VmTest, GcDuringTieredExecution) {
+  ChurnProgram CP = makeChurnProgram();
+  VMOptions O = fastJit(EscapeAnalysisMode::None);
+  VirtualMachine VM(CP.P, O);
+  for (int I = 0; I != 10; ++I)
+    VM.call(CP.SumBoxes, {Value::makeInt(100)});
+  // Without EA the compiled loop allocates 3M boxes (~72MB): the GC must
+  // run while compiled code executes.
+  EXPECT_EQ(VM.call(CP.SumBoxes, {Value::makeInt(3000000)}).isInt(), true);
+  EXPECT_GE(VM.runtime().heap().gcRuns(), 1u);
+}
+
+} // namespace

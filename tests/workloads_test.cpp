@@ -1,0 +1,183 @@
+//===- workloads_test.cpp - Benchmark workload validation ----------------------===//
+//
+// Every synthetic benchmark row must (a) verify as bytecode, (b) compute
+// the same checksum under interpretation and under every escape-analysis
+// mode, and (c) never allocate *more* under partial escape analysis —
+// the paper's "at most as many dynamic allocations as in the original
+// code" guarantee.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Harness.h"
+
+#include <gtest/gtest.h>
+
+using namespace jvm;
+using namespace jvm::workloads;
+
+namespace {
+
+const BenchmarkSet &sharedSet() {
+  static BenchmarkSet Set = buildBenchmarkSet();
+  return Set;
+}
+
+TEST(WorkloadProgramTest, BuildsAndVerifies) {
+  const BenchmarkSet &Set = sharedSet();
+  EXPECT_GT(Set.WP.P.numMethods(), 15u);
+  EXPECT_EQ(Set.Rows.size(), 14u + 12u + 1u); // DaCapo + Scala + SPECjbb.
+}
+
+TEST(WorkloadProgramTest, SuitesAreComplete) {
+  const BenchmarkSet &Set = sharedSet();
+  unsigned DaCapo = 0, Scala = 0, Jbb = 0;
+  for (const BenchmarkRow &R : Set.Rows) {
+    DaCapo += R.Suite == "dacapo";
+    Scala += R.Suite == "scaladacapo";
+    Jbb += R.Suite == "specjbb2005";
+  }
+  EXPECT_EQ(DaCapo, 14u);
+  EXPECT_EQ(Scala, 12u);
+  EXPECT_EQ(Jbb, 1u);
+  EXPECT_NE(Set.find("factorie"), nullptr);
+  EXPECT_EQ(Set.find("nonexistent"), nullptr);
+}
+
+TEST(WorkloadKernelTest, KernelChecksumsAreDeterministic) {
+  const BenchmarkSet &Set = sharedSet();
+  // Two interpreted runs in fresh VMs produce identical results.
+  int64_t Sums[2];
+  for (int R = 0; R != 2; ++R) {
+    VMOptions VO;
+    VO.EnableJit = false;
+    VirtualMachine VM(Set.WP.P, VO);
+    VM.call(Set.WP.Setup, {});
+    int64_t Sum = 0;
+    for (MethodId K : {Set.WP.CacheLookup, Set.WP.BoxedSum, Set.WP.PairChurn,
+                       Set.WP.IterSum, Set.WP.BuilderFill,
+                       Set.WP.Transactions, Set.WP.FlatWork, Set.WP.SyncWork})
+      Sum += VM.call(K, {Value::makeInt(500), Value::makeInt(8)}).asInt();
+    Sums[R] = Sum;
+  }
+  EXPECT_EQ(Sums[0], Sums[1]);
+}
+
+/// Parameterized over all benchmark rows: semantics must not depend on
+/// the escape-analysis mode, and PEA must never allocate more.
+class RowConsistencyTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RowConsistencyTest, ModesAgreeAndPeaNeverAllocatesMore) {
+  const BenchmarkSet &Set = sharedSet();
+  const BenchmarkRow &Row = Set.Rows[GetParam()];
+  const int64_t Scale = 2000; // Small but enough to tier up.
+
+  int64_t Checksum[3];
+  uint64_t Allocs[3];
+  int Idx = 0;
+  for (EscapeAnalysisMode Mode :
+       {EscapeAnalysisMode::None, EscapeAnalysisMode::FlowInsensitive,
+        EscapeAnalysisMode::Partial}) {
+    VMOptions VO;
+    VO.CompileThreshold = 100;
+    VO.Compiler.EAMode = Mode;
+    VirtualMachine VM(Set.WP.P, VO);
+    VM.call(Set.WP.Setup, {});
+    std::vector<Value> Args{Value::makeInt(Scale)};
+    for (int I = 0; I != 4; ++I)
+      VM.call(Row.Driver, Args);
+    VM.runtime().resetMetrics();
+    int64_t Sum = 0;
+    for (int I = 0; I != 3; ++I)
+      Sum += VM.call(Row.Driver, Args).asInt();
+    Checksum[Idx] = Sum;
+    Allocs[Idx] = VM.runtime().heap().allocationCount();
+    ++Idx;
+  }
+  EXPECT_EQ(Checksum[0], Checksum[1]) << Row.Name;
+  EXPECT_EQ(Checksum[0], Checksum[2]) << Row.Name;
+  EXPECT_LE(Allocs[2], Allocs[0]) << Row.Name << ": PEA allocated more";
+  EXPECT_LE(Allocs[1], Allocs[0]) << Row.Name << ": EES allocated more";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRows, RowConsistencyTest, ::testing::Range(0u, 27u),
+    [](const ::testing::TestParamInfo<unsigned> &Info) {
+      return sharedSet().Rows[Info.param].Name;
+    });
+
+TEST(HarnessTest, MeasureRowProducesSaneMetrics) {
+  const BenchmarkSet &Set = sharedSet();
+  HarnessOptions Opts;
+  Opts.WarmupIters = 2;
+  Opts.MeasureIters = 2;
+  Opts.Repeats = 1;
+  const BenchmarkRow *Row = Set.find("factorie");
+  ASSERT_NE(Row, nullptr);
+  RowMeasurement None = measureRow(Set, *Row, EscapeAnalysisMode::None, Opts);
+  RowMeasurement Pea =
+      measureRow(Set, *Row, EscapeAnalysisMode::Partial, Opts);
+  EXPECT_GT(None.KBPerIter, 0);
+  EXPECT_GT(None.ItersPerMinute, 0);
+  EXPECT_EQ(None.Checksum, Pea.Checksum);
+  // factorie is the headline row: PEA cuts its bytes by more than half.
+  EXPECT_LT(Pea.KBPerIter, None.KBPerIter * 0.6);
+}
+
+TEST(HarnessTest, PercentDelta) {
+  EXPECT_DOUBLE_EQ(percentDelta(100, 50), -50.0);
+  EXPECT_DOUBLE_EQ(percentDelta(50, 100), 100.0);
+  EXPECT_DOUBLE_EQ(percentDelta(0, 10), 0.0);
+}
+
+TEST(HarnessTest, Table1FormattingContainsRowsAndAverage) {
+  const BenchmarkSet &Set = sharedSet();
+  RowComparison C;
+  C.Row = Set.find("fop");
+  C.Without.KBPerIter = 100;
+  C.With.KBPerIter = 90;
+  C.Without.KAllocsPerIter = 10;
+  C.With.KAllocsPerIter = 8;
+  C.Without.ItersPerMinute = 1000;
+  C.With.ItersPerMinute = 1100;
+  std::string Text = formatTable1Block("DaCapo", {C});
+  EXPECT_NE(Text.find("fop"), std::string::npos);
+  EXPECT_NE(Text.find("average"), std::string::npos);
+  EXPECT_NE(Text.find("-10.0%"), std::string::npos);
+  EXPECT_NE(Text.find("+10.0%"), std::string::npos);
+}
+
+TEST(HarnessTest, LockTableFormatting) {
+  const BenchmarkSet &Set = sharedSet();
+  RowComparison C;
+  C.Row = Set.find("tomcat");
+  C.Without.MonitorOpsPerIter = 1000;
+  C.With.MonitorOpsPerIter = 960;
+  std::string Text = formatLockTable({C});
+  EXPECT_NE(Text.find("tomcat"), std::string::npos);
+  EXPECT_NE(Text.find("-4.0%"), std::string::npos);
+}
+
+TEST(WorkloadLockTest, ValidateLocksElidedOnlyByPea) {
+  const BenchmarkSet &Set = sharedSet();
+  uint64_t Monitors[3];
+  int Idx = 0;
+  for (EscapeAnalysisMode Mode :
+       {EscapeAnalysisMode::None, EscapeAnalysisMode::FlowInsensitive,
+        EscapeAnalysisMode::Partial}) {
+    VMOptions VO;
+    VO.CompileThreshold = 50;
+    VO.Compiler.EAMode = Mode;
+    VirtualMachine VM(Set.WP.P, VO);
+    VM.call(Set.WP.Setup, {});
+    for (int I = 0; I != 4; ++I)
+      VM.call(Set.WP.Transactions, {Value::makeInt(2000), Value::makeInt(4096)});
+    VM.runtime().resetMetrics();
+    VM.call(Set.WP.Transactions, {Value::makeInt(2000), Value::makeInt(4096)});
+    Monitors[Idx++] = VM.runtime().metrics().MonitorOps;
+  }
+  EXPECT_GT(Monitors[0], 0u);  // Validate locks taken without EA.
+  EXPECT_GT(Monitors[1], 0u);  // Orders escape (rarely) -> EES keeps all.
+  EXPECT_EQ(Monitors[2], 0u);  // PEA elides the virtual-object locks.
+}
+
+} // namespace
