@@ -55,8 +55,11 @@ int main() {
     if (!Row)
       continue;
     std::printf("%s:\n", RowName);
-    std::printf("  %-18s %12s %12s %14s\n", "variant", "kAllocs/iter",
-                "KB/iter", "iters/min");
+    std::printf("  %-18s %12s %12s %14s %10s %10s\n", "variant",
+                "kAllocs/iter", "KB/iter", "iters/min", "virt", "mater");
+    // Escape-analysis work summed over the whole row (PEAStats::operator+=
+    // keeps this in lockstep with the VM's own aggregation).
+    PEAStats RowTotal;
     for (const Variant &V : Variants) {
       HarnessOptions Opts = Base;
       Opts.VM.Compiler.PeaLoopFieldPhis = V.LoopPhis;
@@ -64,11 +67,16 @@ int main() {
       Opts.VM.Compiler.PruneColdBranches = V.Speculate;
       Opts.VM.Compiler.Devirtualize = V.Speculate;
       RowMeasurement M = measureRow(Set, *Row, V.Mode, Opts);
-      std::printf("  %-18s %12.2f %12.1f %14.1f\n", V.Name, M.KAllocsPerIter,
-                  M.KBPerIter, M.ItersPerMinute);
+      RowTotal += M.Escape;
+      std::printf("  %-18s %12.2f %12.1f %14.1f %10u %10u\n", V.Name,
+                  M.KAllocsPerIter, M.KBPerIter, M.ItersPerMinute,
+                  M.Escape.VirtualizedAllocations, M.Escape.MaterializeSites);
       std::fprintf(stderr, "  [measured] %s/%s\n", RowName, V.Name);
     }
-    std::printf("\n");
+    std::printf("  (all variants: %u allocations virtualized, "
+                "%u materialize sites, %u monitor ops elided)\n\n",
+                RowTotal.VirtualizedAllocations, RowTotal.MaterializeSites,
+                RowTotal.ElidedMonitorOps);
   }
   std::printf("Expected shape: every ablation gives back part of the win; "
               "no-speculation hurts rows whose objects escape only on "

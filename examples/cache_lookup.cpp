@@ -40,6 +40,9 @@ int main(int Argc, char **Argv) {
     // Warm up: mixed hits and misses to build realistic profiles.
     VM.call(W.CacheLookup, {Value::makeInt(2000), Value::makeInt(8)});
     VM.call(W.CacheLookup, {Value::makeInt(2000), Value::makeInt(8)});
+    // Background compiles must finish before the measured phase, or the
+    // counters below would include interpreted iterations.
+    VM.waitForCompilerIdle();
 
     VM.runtime().resetMetrics();
     int64_t Sum =

@@ -61,6 +61,9 @@ int main() {
               "taken...\n");
   for (int I = 0; I != 40; ++I)
     VM.call(Score, {Value::makeInt(I % 10), Value::makeInt(100)});
+  // The compile may still be in flight on a broker worker; the narrative
+  // below dereferences the installed graph.
+  VM.waitForCompilerIdle();
   std::printf("  compiled: %s,  allocations so far: %llu\n",
               VM.compiledGraph(Score) ? "yes" : "no",
               (unsigned long long)VM.runtime().heap().allocationCount());
@@ -94,6 +97,7 @@ int main() {
               "speculation...\n");
   for (int I = 0; I != 5; ++I)
     VM.call(Score, {Value::makeInt(500), Value::makeInt(100)});
+  VM.waitForCompilerIdle(); // Let the deopt-free recompilation install.
   std::printf("  invalidations=%llu; recompiled without the pruned branch "
               "(x=500 -> %lld, no further deopts)\n",
               (unsigned long long)VM.jitMetrics().Invalidations,

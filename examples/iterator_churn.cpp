@@ -34,6 +34,7 @@ void runKernel(const WorkloadProgram &W, const char *Title, MethodId Kernel,
     VM.call(W.Setup, {});
     for (int I = 0; I != 3; ++I)
       VM.call(Kernel, {Value::makeInt(N / 10), Value::makeInt(M)});
+    VM.waitForCompilerIdle(); // Measure compiled code, not install lag.
     VM.runtime().resetMetrics();
     VM.call(Kernel, {Value::makeInt(N), Value::makeInt(M)});
     std::printf("  %-26s %12llu %12llu\n", escapeAnalysisModeName(Mode),

@@ -1,0 +1,45 @@
+//===- Profile.cpp - Interpreter profiling data --------------------------------===//
+
+#include "interp/Profile.h"
+
+#include "bytecode/Program.h"
+
+using namespace jvm;
+
+ProfileSnapshot::ProfileSnapshot(const ProfileData &Live, const Program &P,
+                                 MethodId Root)
+    : Copy(Live.numMethods()) {
+  // The graph builder reads the root's profile; the inliner reads the
+  // profile of every callee it builds a graph for, recursively. Walk
+  // that closure: static call targets from the bytecode, plus — for
+  // virtual sites — each target the profiled receiver classes resolve
+  // to (devirtualization can only pick classes the profile contains).
+  std::vector<MethodId> Worklist{Root};
+  std::vector<uint8_t> Seen(Live.numMethods(), 0);
+  Seen[Root] = 1;
+  while (!Worklist.empty()) {
+    MethodId M = Worklist.back();
+    Worklist.pop_back();
+    const MethodProfile &Prof = Live.of(M);
+    Copy.of(M) = Prof;
+
+    const std::vector<Instr> &Code = P.methodAt(M).Code;
+    auto Visit = [&](MethodId Callee) {
+      if (Callee != NoMethod && !Seen[Callee]) {
+        Seen[Callee] = 1;
+        Worklist.push_back(Callee);
+      }
+    };
+    for (int Bci = 0, E = static_cast<int>(Code.size()); Bci != E; ++Bci) {
+      const Instr &I = Code[Bci];
+      if (I.Op == Opcode::InvokeStatic) {
+        Visit(I.A);
+      } else if (I.Op == Opcode::InvokeVirtual) {
+        Visit(I.A);
+        if (const TypeProfile *TP = Prof.receiversAt(Bci))
+          for (const auto &[Cls, Count] : TP->Counts)
+            Visit(P.resolveVirtual(I.A, Cls));
+      }
+    }
+  }
+}

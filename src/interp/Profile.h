@@ -13,11 +13,65 @@
 
 #include "ir/Ids.h"
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
-#include <map>
+#include <utility>
 #include <vector>
 
 namespace jvm {
+
+/// Sorted flat map for profile sites. A method has only a handful of
+/// branch/call sites, so a contiguous vector wins on lookup locality
+/// and — critically for ProfileSnapshot, which is taken on the mutator
+/// thread per compile request — on copy cost: copying is one
+/// allocation, not one per site as with a node-based map.
+template <typename KeyT, typename ValueT> class FlatProfileMap {
+  using Entry = std::pair<KeyT, ValueT>;
+
+public:
+  /// Returns the value at \p K, default-inserting it if absent.
+  ValueT &operator[](KeyT K) {
+    auto It = lowerBound(K);
+    if (It == Entries.end() || It->first != K)
+      It = Entries.insert(It, Entry(K, ValueT()));
+    return It->second;
+  }
+
+  const ValueT *find(KeyT K) const {
+    auto It = lowerBound(K);
+    return It != Entries.end() && It->first == K ? &It->second : nullptr;
+  }
+
+  const ValueT &at(KeyT K) const {
+    const ValueT *V = find(K);
+    assert(V && "key not present");
+    return *V;
+  }
+
+  bool empty() const { return Entries.empty(); }
+  size_t size() const { return Entries.size(); }
+  typename std::vector<Entry>::const_iterator begin() const {
+    return Entries.begin();
+  }
+  typename std::vector<Entry>::const_iterator end() const {
+    return Entries.end();
+  }
+
+private:
+  typename std::vector<Entry>::iterator lowerBound(KeyT K) {
+    return std::lower_bound(
+        Entries.begin(), Entries.end(), K,
+        [](const Entry &E, KeyT Key) { return E.first < Key; });
+  }
+  typename std::vector<Entry>::const_iterator lowerBound(KeyT K) const {
+    return std::lower_bound(
+        Entries.begin(), Entries.end(), K,
+        [](const Entry &E, KeyT Key) { return E.first < Key; });
+  }
+
+  std::vector<Entry> Entries;
+};
 
 struct BranchProfile {
   uint64_t Taken = 0;
@@ -33,7 +87,7 @@ struct BranchProfile {
 
 /// Receiver class histogram of one virtual call site.
 struct TypeProfile {
-  std::map<ClassId, uint64_t> Counts;
+  FlatProfileMap<ClassId, uint64_t> Counts;
 
   uint64_t total() const {
     uint64_t Sum = 0;
@@ -56,24 +110,24 @@ struct MethodProfile {
   uint64_t BackedgeCount = 0;
 
   uint64_t hotness() const { return InvocationCount + BackedgeCount / 8; }
-  std::map<int, BranchProfile> Branches;
-  std::map<int, TypeProfile> Receivers;
+  FlatProfileMap<int, BranchProfile> Branches;
+  FlatProfileMap<int, TypeProfile> Receivers;
 
-  const BranchProfile *branchAt(int Bci) const {
-    auto It = Branches.find(Bci);
-    return It == Branches.end() ? nullptr : &It->second;
-  }
+  const BranchProfile *branchAt(int Bci) const { return Branches.find(Bci); }
 
   const TypeProfile *receiversAt(int Bci) const {
-    auto It = Receivers.find(Bci);
-    return It == Receivers.end() ? nullptr : &It->second;
+    return Receivers.find(Bci);
   }
 };
+
+class Program;
 
 /// All per-method profiles of a program.
 class ProfileData {
 public:
   explicit ProfileData(unsigned NumMethods) : Profiles(NumMethods) {}
+
+  unsigned numMethods() const { return Profiles.size(); }
 
   MethodProfile &of(MethodId M) { return Profiles[M]; }
   const MethodProfile &of(MethodId M) const { return Profiles[M]; }
@@ -84,6 +138,35 @@ public:
 
 private:
   std::vector<MethodProfile> Profiles;
+};
+
+/// An immutable copy of all profiles, taken on the mutator thread when a
+/// compilation is requested. Background compiler threads read only the
+/// snapshot, so the interpreter can keep mutating the live ProfileData
+/// while the method compiles — and a compilation's input is fixed at
+/// enqueue time, making synchronous and background compilation produce
+/// identical graphs.
+class ProfileSnapshot {
+public:
+  /// Copies everything. Cost grows with the whole program's profile
+  /// volume; prefer the scoped constructor on the compile request path.
+  explicit ProfileSnapshot(const ProfileData &Live) : Copy(Live) {}
+
+  /// Copies only the profiles the compilation of \p Root can consult:
+  /// \p Root itself plus its transitive call closure (static targets
+  /// and, for virtual sites, every target resolvable from the receiver
+  /// classes profiled so far). Methods outside the closure read as
+  /// unprofiled, which the pipeline never observes.
+  ProfileSnapshot(const ProfileData &Live, const Program &P, MethodId Root);
+
+  const MethodProfile &of(MethodId M) const { return Copy.of(M); }
+
+  /// The whole snapshot, for consumers that walk callee profiles (the
+  /// inliner takes a ProfileData).
+  const ProfileData &data() const { return Copy; }
+
+private:
+  ProfileData Copy;
 };
 
 } // namespace jvm

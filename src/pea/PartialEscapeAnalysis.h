@@ -43,6 +43,21 @@ struct PEAStats {
   unsigned FoldedChecks = 0;     ///< ref-equality / type checks folded
   unsigned LoopIterations = 0;   ///< extra loop fixpoint passes
   unsigned VirtualizedStates = 0;///< frame states rewritten (Section 5.5)
+
+  /// Accumulates \p RHS field by field. The single aggregation point for
+  /// the VM's JitMetrics and the benchmark harness — new counters added
+  /// here cannot be silently dropped from per-run sums.
+  PEAStats &operator+=(const PEAStats &RHS) {
+    VirtualizedAllocations += RHS.VirtualizedAllocations;
+    MaterializeSites += RHS.MaterializeSites;
+    ScalarReplacedLoads += RHS.ScalarReplacedLoads;
+    ScalarReplacedStores += RHS.ScalarReplacedStores;
+    ElidedMonitorOps += RHS.ElidedMonitorOps;
+    FoldedChecks += RHS.FoldedChecks;
+    LoopIterations += RHS.LoopIterations;
+    VirtualizedStates += RHS.VirtualizedStates;
+    return *this;
+  }
 };
 
 /// Runs partial escape analysis on \p G. Returns true if the graph

@@ -1,0 +1,179 @@
+//===- CompileBroker.cpp - Background JIT compilation --------------------------===//
+
+#include "vm/CompileBroker.h"
+
+#include "bytecode/Program.h"
+#include "compiler/Canonicalizer.h"
+#include "compiler/DeadCodeElimination.h"
+#include "compiler/GVN.h"
+#include "compiler/GraphBuilder.h"
+#include "compiler/Inliner.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "support/Debug.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace jvm;
+
+namespace {
+
+uint64_t nowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// JVM_DUMP_PHASES=1 prints the IR after each pipeline stage. Resolved
+/// once at startup: the hot compile path (and concurrent workers) must
+/// not call getenv per compilation.
+const bool DumpPhases = std::getenv("JVM_DUMP_PHASES") != nullptr;
+
+void dumpPhase(const char *Phase, const Graph &G) {
+  if (DumpPhases)
+    std::fprintf(stderr, "== after %s ==\n%s\n", Phase,
+                 graphToString(G).c_str());
+}
+
+} // namespace
+
+CompileResult jvm::runCompilePipeline(const Program &P, MethodId Method,
+                                      const ProfileSnapshot &Profiles,
+                                      const CompilerOptions &CO) {
+  CompileResult R;
+  uint64_t Start = nowNanos();
+
+  std::unique_ptr<Graph> G = buildGraph(P, Method, &Profiles.of(Method), CO);
+  dumpPhase("build", *G);
+  canonicalize(*G, P);
+  dumpPhase("canon", *G);
+  uint64_t AfterBuild = nowNanos();
+  R.Phases.BuildNanos = AfterBuild - Start;
+
+  if (CO.EnableInlining) {
+    inlineCalls(*G, P, &Profiles.data(), CO);
+    canonicalize(*G, P);
+  }
+  uint64_t AfterInline = nowNanos();
+  R.Phases.InlineNanos = AfterInline - AfterBuild;
+
+  runGVN(*G);
+  eliminateDeadCode(*G);
+  dumpPhase("gvn+dce", *G);
+  uint64_t AfterGvn = nowNanos();
+  R.Phases.GvnDceNanos = AfterGvn - AfterInline;
+
+  switch (CO.EAMode) {
+  case EscapeAnalysisMode::None:
+    break;
+  case EscapeAnalysisMode::FlowInsensitive:
+    runFlowInsensitiveEscapeAnalysis(*G, P, CO, &R.Stats);
+    break;
+  case EscapeAnalysisMode::Partial:
+    runPartialEscapeAnalysis(*G, P, CO, &R.Stats);
+    break;
+  }
+  uint64_t AfterEa = nowNanos();
+  R.Phases.EscapeNanos = AfterEa - AfterGvn;
+
+  for (int Round = 0; Round != 4; ++Round) {
+    bool Changed = canonicalize(*G, P);
+    Changed |= runGVN(*G);
+    Changed |= eliminateDeadCode(*G);
+    if (!Changed)
+      break;
+  }
+  verifyGraphOrDie(*G);
+  uint64_t End = nowNanos();
+  R.Phases.CleanupNanos = End - AfterEa;
+  R.Phases.TotalNanos = End - Start;
+
+  R.G = std::move(G);
+  return R;
+}
+
+CompileBroker::CompileBroker(const Program &P, CompilerOptions Options,
+                             unsigned Threads, InstallFn Install)
+    : P(P), Options(Options), NumThreads(Threads ? Threads : 1),
+      Install(std::move(Install)), Pending(P.numMethods(), 0) {
+  // Spawn the pool up front: thread creation is hundreds of
+  // microseconds and must not land on the mutator's first enqueue.
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I != NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+CompileBroker::~CompileBroker() {
+  {
+    std::lock_guard<std::mutex> L(Mutex);
+    Stopping = true;
+    // Queued-but-unstarted tasks die with the broker; their Pending
+    // flags are irrelevant once the owner is shutting down too.
+    while (!Queue.empty())
+      Queue.pop();
+  }
+  WorkAvailable.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+bool CompileBroker::enqueue(MethodId M, uint64_t Hotness, uint64_t Version,
+                            ProfileSnapshot Snapshot) {
+  {
+    std::lock_guard<std::mutex> L(Mutex);
+    if (Stopping || Pending[M])
+      return false;
+    Pending[M] = 1;
+    Queue.push(QueueEntry{Hotness, NextSeq++,
+                          std::make_shared<Task>(M, Hotness, Version,
+                                                 nowNanos(),
+                                                 std::move(Snapshot))});
+    uint64_t Depth = Queue.size() + InFlight;
+    if (Depth > HighWater)
+      HighWater = Depth;
+  }
+  return true;
+}
+
+void CompileBroker::kick() { WorkAvailable.notify_one(); }
+
+void CompileBroker::workerLoop() {
+  for (;;) {
+    std::shared_ptr<Task> T;
+    {
+      std::unique_lock<std::mutex> L(Mutex);
+      WorkAvailable.wait(L, [this] { return Stopping || !Queue.empty(); });
+      if (Stopping)
+        return;
+      T = Queue.top().T;
+      Queue.pop();
+      ++InFlight;
+    }
+
+    JVM_DEBUG("broker: compiling m" << T->Method << " (hotness "
+                                    << T->Hotness << ")");
+    CompileResult R =
+        runCompilePipeline(P, T->Method, T->Snapshot, Options);
+    MethodId M = T->Method;
+    Install(std::move(*T), std::move(R));
+
+    {
+      std::lock_guard<std::mutex> L(Mutex);
+      Pending[M] = 0;
+      --InFlight;
+    }
+    Idle.notify_all();
+  }
+}
+
+void CompileBroker::waitIdle() {
+  std::unique_lock<std::mutex> L(Mutex);
+  Idle.wait(L, [this] { return Queue.empty() && InFlight == 0; });
+}
+
+uint64_t CompileBroker::queueDepthHighWater() const {
+  std::lock_guard<std::mutex> L(Mutex);
+  return HighWater;
+}

@@ -1,0 +1,168 @@
+//===- CompileBroker.h - Background JIT compilation -----------------*- C++ -*-===//
+///
+/// \file
+/// The compile broker takes JIT compilation off the mutator thread, the
+/// way HotSpot's and Graal's compile brokers do: the VM enqueues a hot
+/// method together with an immutable ProfileSnapshot, a pool of worker
+/// threads drains a hotness-prioritized queue, and the finished graph is
+/// handed back for atomic installation. The interpreter keeps running
+/// the method until its code is ready, so compilation never stalls the
+/// application.
+///
+/// Key properties:
+///  - **Snapshot isolation.** Workers read only the ProfileSnapshot taken
+///    at enqueue time; the interpreter's live profile writes never race a
+///    compilation, and a compilation's input — hence its output graph —
+///    is identical to what a synchronous compile at the same trigger
+///    point would have produced.
+///  - **Hotness priority.** The queue is a max-heap on the hotness at
+///    enqueue time (FIFO among equals), so under load the methods that
+///    burn the most interpreter cycles compile first.
+///  - **In-flight dedup.** A method is queued at most once; re-requests
+///    while a compile is pending are dropped.
+///  - **Versioned installation.** Each task carries the method's code
+///    version at enqueue time. Installation (done by the owner through
+///    the install callback) compares versions, so an in-flight compile of
+///    a just-invalidated method is discarded instead of installed.
+///
+/// The broker also owns the compile pipeline itself (runCompilePipeline),
+/// which both the workers and the legacy synchronous path
+/// (CompilerThreads = 0) run — one pipeline, two schedulers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_VM_COMPILEBROKER_H
+#define JVM_VM_COMPILEBROKER_H
+
+#include "compiler/CompilerOptions.h"
+#include "interp/Profile.h"
+#include "pea/PartialEscapeAnalysis.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace jvm {
+
+class Graph;
+class Program;
+
+/// Wall-clock nanoseconds spent in each stage of one compilation.
+struct CompilePhaseTimes {
+  uint64_t BuildNanos = 0;   ///< graph building + first canonicalize
+  uint64_t InlineNanos = 0;  ///< inlining + post-inline canonicalize
+  uint64_t GvnDceNanos = 0;  ///< pre-EA GVN + DCE
+  uint64_t EscapeNanos = 0;  ///< the configured escape analysis
+  uint64_t CleanupNanos = 0; ///< post-EA fixpoint rounds + verification
+  uint64_t TotalNanos = 0;   ///< whole pipeline
+};
+
+/// Everything one pipeline run produces.
+struct CompileResult {
+  std::unique_ptr<Graph> G;
+  PEAStats Stats;
+  CompilePhaseTimes Phases;
+};
+
+/// Runs the full optimization pipeline (build, inline, GVN+DCE, escape
+/// analysis, cleanup, verify) for \p Method against \p Profiles. Pure
+/// with respect to VM state: reads only \p P and the snapshot, so any
+/// number of pipelines may run concurrently on different threads.
+CompileResult runCompilePipeline(const Program &P, MethodId Method,
+                                 const ProfileSnapshot &Profiles,
+                                 const CompilerOptions &Options);
+
+class CompileBroker {
+public:
+  /// One queued compilation request.
+  struct Task {
+    MethodId Method = NoMethod;
+    uint64_t Hotness = 0;      ///< priority at enqueue time
+    uint64_t Version = 0;      ///< method code version at enqueue time
+    uint64_t EnqueueNanos = 0; ///< for enqueue-to-install latency
+    ProfileSnapshot Snapshot;
+
+    Task(MethodId M, uint64_t Hotness, uint64_t Version,
+         uint64_t EnqueueNanos, ProfileSnapshot Snap)
+        : Method(M), Hotness(Hotness), Version(Version),
+          EnqueueNanos(EnqueueNanos), Snapshot(std::move(Snap)) {}
+  };
+
+  /// Called on a worker thread with a finished compilation. The owner
+  /// decides whether to install or discard (version check) — the broker
+  /// itself never touches method state.
+  using InstallFn = std::function<void(Task &&, CompileResult &&)>;
+
+  /// \p Threads must be >= 1; the worker pool starts immediately so
+  /// thread creation is never charged to a mutator's enqueue.
+  CompileBroker(const Program &P, CompilerOptions Options, unsigned Threads,
+                InstallFn Install);
+
+  /// Drains nothing: pending queue entries are dropped, in-flight
+  /// compilations finish (and install/discard) before workers join.
+  ~CompileBroker();
+
+  CompileBroker(const CompileBroker &) = delete;
+  CompileBroker &operator=(const CompileBroker &) = delete;
+
+  /// Requests compilation of \p M. Returns false if a request for \p M
+  /// is already queued or in flight (the request is dropped). Does NOT
+  /// wake a worker: call kick() afterwards, outside any stall-accounting
+  /// window — on a saturated machine the woken worker may preempt the
+  /// caller immediately, and that compile time is not mutator stall.
+  bool enqueue(MethodId M, uint64_t Hotness, uint64_t Version,
+               ProfileSnapshot Snapshot);
+
+  /// Wakes a worker to pick up queued work.
+  void kick();
+
+  /// Blocks until the queue is empty and no compilation is in flight.
+  /// Establishes happens-before with all completed installations.
+  void waitIdle();
+
+  /// Largest queue depth ever observed (including in-flight tasks).
+  uint64_t queueDepthHighWater() const;
+
+  unsigned numThreads() const { return NumThreads; }
+
+private:
+  void workerLoop();
+
+  const Program &P;
+  const CompilerOptions Options;
+  const unsigned NumThreads;
+  InstallFn Install;
+
+  /// Max-heap on hotness; ties broken FIFO by sequence number so equal
+  /// priorities keep their request order (determinism under one worker).
+  struct QueueEntry {
+    uint64_t Hotness;
+    uint64_t Seq;
+    std::shared_ptr<Task> T;
+    bool operator<(const QueueEntry &O) const {
+      if (Hotness != O.Hotness)
+        return Hotness < O.Hotness;
+      return Seq > O.Seq; // earlier sequence = higher priority
+    }
+  };
+
+  mutable std::mutex Mutex;
+  std::condition_variable WorkAvailable;
+  std::condition_variable Idle;
+  std::priority_queue<QueueEntry> Queue;
+  std::vector<uint8_t> Pending; ///< per-method queued-or-in-flight flag
+  std::vector<std::thread> Workers;
+  uint64_t NextSeq = 0;
+  uint64_t HighWater = 0;
+  unsigned InFlight = 0;
+  bool Stopping = false;
+};
+
+} // namespace jvm
+
+#endif // JVM_VM_COMPILEBROKER_H

@@ -2,18 +2,13 @@
 
 #include "vm/VirtualMachine.h"
 
-#include "compiler/Canonicalizer.h"
-#include "compiler/DeadCodeElimination.h"
-#include "compiler/GVN.h"
-#include "compiler/GraphBuilder.h"
-#include "compiler/Inliner.h"
-#include "ir/Verifier.h"
+#include "ir/Graph.h"
 #include "support/Debug.h"
+#include "vm/CompileBroker.h"
 
+#include <algorithm>
 #include <chrono>
-#include <cstdio>
-#include <cstdlib>
-#include "ir/Printer.h"
+#include <thread>
 
 using namespace jvm;
 
@@ -26,6 +21,11 @@ uint64_t nowNanos() {
 }
 
 } // namespace
+
+unsigned jvm::defaultCompilerThreads() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N ? N : 1;
+}
 
 VirtualMachine::VirtualMachine(const Program &P, VMOptions Options)
     : P(P), Options(Options), RT(P), Profiles(P.numMethods()),
@@ -40,93 +40,175 @@ VirtualMachine::VirtualMachine(const Program &P, VMOptions Options)
   Interp.setCallHandler([this](MethodId Target, std::vector<Value> &&Args) {
     return call(Target, std::move(Args));
   });
+  if (Options.EnableJit && Options.CompilerThreads > 0)
+    Broker = std::make_unique<CompileBroker>(
+        P, Options.Compiler, Options.CompilerThreads,
+        [this](CompileBroker::Task &&T, CompileResult &&R) {
+          installCode(T.Method, T.Version, std::move(R), T.EnqueueNanos);
+          // Clear the dedup flag last: once visible, the mutator may
+          // request a fresh compile of this method.
+          States[T.Method].CompilePending.store(false,
+                                                std::memory_order_release);
+        });
 }
 
+VirtualMachine::~VirtualMachine() = default;
+
 Value VirtualMachine::call(MethodId Method, std::vector<Value> Args) {
+  // Safe point: no compiled activation is on the stack, so code retired
+  // by earlier invalidations can be freed.
+  if (CompiledDepth == 0 && HasRetired.load(std::memory_order_relaxed))
+    reclaimRetired();
+
   MethodState &MS = States[Method];
-  if (MS.Compiled)
-    return executeCompiled(Method, Args);
+  if (const Graph *G = MS.Code.load(std::memory_order_acquire))
+    return executeCompiled(*G, Args);
   if (Options.EnableJit &&
+      !MS.CompilePending.load(std::memory_order_acquire) &&
       Profiles.of(Method).hotness() >= Options.CompileThreshold) {
-    compile(Method);
-    if (MS.Compiled)
-      return executeCompiled(Method, Args);
+    requestCompile(Method);
+    // Synchronous mode installs before returning; run the fresh code.
+    if (const Graph *G = MS.Code.load(std::memory_order_acquire))
+      return executeCompiled(*G, Args);
   }
   return Interp.call(Method, std::move(Args));
 }
 
-Value VirtualMachine::executeCompiled(MethodId Method,
+Value VirtualMachine::executeCompiled(const Graph &G,
                                       std::vector<Value> &Args) {
   Runtime::RootScope ArgRoots(RT, &Args);
-  return Executor.execute(*States[Method].Compiled, Args);
+  ++CompiledDepth;
+  Value Result = Executor.execute(G, Args);
+  --CompiledDepth;
+  return Result;
 }
 
-void VirtualMachine::compileNow(MethodId Method) { compile(Method); }
+void VirtualMachine::requestCompile(MethodId Method) {
+  if (!Broker) {
+    compileSync(Method);
+    return;
+  }
+  uint64_t Start = nowNanos();
+  uint64_t Version;
+  {
+    std::lock_guard<std::mutex> L(StateMutex);
+    Version = States[Method].Version;
+  }
+  MethodState &MS = States[Method];
+  MS.CompilePending.store(true, std::memory_order_relaxed);
+  if (!Broker->enqueue(Method, Profiles.of(Method).hotness(), Version,
+                       ProfileSnapshot(Profiles, P, Method))) {
+    MS.CompilePending.store(false, std::memory_order_relaxed);
+    return;
+  }
+  uint64_t HighWater = Broker->queueDepthHighWater();
+  {
+    std::lock_guard<std::mutex> L(StateMutex);
+    Jit.QueueDepthHighWater = std::max(Jit.QueueDepthHighWater, HighWater);
+    // With a broker the only mutator cost is the snapshot + enqueue.
+    Jit.MutatorStallNanos += nowNanos() - Start;
+  }
+  // Wake a worker only after the stall window closed: on a saturated
+  // machine the worker may preempt this thread the moment it is woken,
+  // and its compile time must not be billed as mutator stall.
+  Broker->kick();
+}
+
+void VirtualMachine::compileNow(MethodId Method) { compileSync(Method); }
+
+void VirtualMachine::compileSync(MethodId Method) {
+  uint64_t Start = nowNanos();
+  uint64_t Version;
+  {
+    std::lock_guard<std::mutex> L(StateMutex);
+    // Bumping the version discards any in-flight background compile in
+    // favor of this (fresher-profiled) one.
+    Version = ++States[Method].Version;
+  }
+  CompileResult R = runCompilePipeline(
+      P, Method, ProfileSnapshot(Profiles, P, Method), Options.Compiler);
+  installCode(Method, Version, std::move(R), Start);
+  std::lock_guard<std::mutex> L(StateMutex);
+  Jit.MutatorStallNanos += nowNanos() - Start;
+}
+
+bool VirtualMachine::installCode(MethodId Method, uint64_t Version,
+                                 CompileResult &&R, uint64_t EnqueueNanos) {
+  uint64_t Now = nowNanos();
+  std::lock_guard<std::mutex> L(StateMutex);
+  // Pipeline cost is real whether or not the result installs.
+  Jit.CompileNanos += R.Phases.TotalNanos;
+  Jit.BuildNanos += R.Phases.BuildNanos;
+  Jit.InlineNanos += R.Phases.InlineNanos;
+  Jit.GvnDceNanos += R.Phases.GvnDceNanos;
+  Jit.EscapeNanos += R.Phases.EscapeNanos;
+  Jit.CleanupNanos += R.Phases.CleanupNanos;
+  Jit.EscapeStats += R.Stats;
+
+  MethodState &MS = States[Method];
+  if (MS.Version != Version) {
+    // The method was invalidated (or force-recompiled) after this
+    // compile was enqueued: its speculations are based on a retracted
+    // profile, drop it.
+    ++Jit.CompilesDiscarded;
+    JVM_DEBUG("discarded stale compile of m" << Method);
+    return false;
+  }
+  if (MS.Owned) {
+    MS.Retired.push_back(std::move(MS.Owned));
+    HasRetired.store(true, std::memory_order_relaxed);
+  }
+  MS.Owned = std::move(R.G);
+  MS.Code.store(MS.Owned.get(), std::memory_order_release);
+  ++Jit.Compilations;
+  uint64_t Latency = Now - EnqueueNanos;
+  Jit.EnqueueToInstallNanos += Latency;
+  Jit.EnqueueToInstallNanosMax =
+      std::max(Jit.EnqueueToInstallNanosMax, Latency);
+  JVM_DEBUG("compiled m" << Method << " ("
+                         << escapeAnalysisModeName(Options.Compiler.EAMode)
+                         << ")");
+  return true;
+}
 
 void VirtualMachine::invalidate(MethodId Method) {
+  std::lock_guard<std::mutex> L(StateMutex);
   MethodState &MS = States[Method];
-  if (!MS.Compiled)
+  if (!MS.Owned)
     return;
-  MS.Retired.push_back(std::move(MS.Compiled));
+  ++MS.Version; // Discards any compile in flight for the old profile.
+  MS.Code.store(nullptr, std::memory_order_release);
+  MS.Retired.push_back(std::move(MS.Owned));
+  HasRetired.store(true, std::memory_order_relaxed);
   MS.DeoptCount = 0;
   ++MS.Recompiles;
   ++Jit.Invalidations;
   JVM_DEBUG("invalidated m" << Method);
 }
 
-void VirtualMachine::compile(MethodId Method) {
-  uint64_t Start = nowNanos();
-  const CompilerOptions &CO = Options.Compiler;
-  // JVM_DUMP_PHASES=1 prints the IR after each pipeline stage.
-  bool Dump = std::getenv("JVM_DUMP_PHASES") != nullptr;
-  std::unique_ptr<Graph> G = buildGraph(P, Method, &Profiles.of(Method), CO);
-  if (Dump) std::fprintf(stderr, "== after build ==\n%s\n", graphToString(*G).c_str());
-  canonicalize(*G, P);
-  if (Dump) std::fprintf(stderr, "== after canon ==\n%s\n", graphToString(*G).c_str());
-  if (CO.EnableInlining) {
-    inlineCalls(*G, P, &Profiles, CO);
-    canonicalize(*G, P);
+void VirtualMachine::reclaimRetired() {
+  // Destroy outside the lock; workers only need the list unlinked.
+  std::vector<std::unique_ptr<Graph>> Doomed;
+  {
+    std::lock_guard<std::mutex> L(StateMutex);
+    for (MethodState &MS : States)
+      for (std::unique_ptr<Graph> &G : MS.Retired) {
+        Doomed.push_back(std::move(G));
+        ++Jit.RetiredReclaimed;
+      }
+    for (MethodState &MS : States)
+      MS.Retired.clear();
+    HasRetired.store(false, std::memory_order_relaxed);
   }
-  runGVN(*G);
-  eliminateDeadCode(*G);
-  if (Dump) std::fprintf(stderr, "== after gvn+dce ==\n%s\n", graphToString(*G).c_str());
+}
 
-  uint64_t EaStart = nowNanos();
-  PEAStats Stats;
-  switch (CO.EAMode) {
-  case EscapeAnalysisMode::None:
-    break;
-  case EscapeAnalysisMode::FlowInsensitive:
-    runFlowInsensitiveEscapeAnalysis(*G, P, CO, &Stats);
-    break;
-  case EscapeAnalysisMode::Partial:
-    runPartialEscapeAnalysis(*G, P, CO, &Stats);
-    break;
-  }
-  Jit.EscapeNanos += nowNanos() - EaStart;
-  Jit.EscapeStats.VirtualizedAllocations += Stats.VirtualizedAllocations;
-  Jit.EscapeStats.MaterializeSites += Stats.MaterializeSites;
-  Jit.EscapeStats.ScalarReplacedLoads += Stats.ScalarReplacedLoads;
-  Jit.EscapeStats.ScalarReplacedStores += Stats.ScalarReplacedStores;
-  Jit.EscapeStats.ElidedMonitorOps += Stats.ElidedMonitorOps;
-  Jit.EscapeStats.FoldedChecks += Stats.FoldedChecks;
-  Jit.EscapeStats.LoopIterations += Stats.LoopIterations;
-  Jit.EscapeStats.VirtualizedStates += Stats.VirtualizedStates;
-
-  for (int Round = 0; Round != 4; ++Round) {
-    bool Changed = canonicalize(*G, P);
-    Changed |= runGVN(*G);
-    Changed |= eliminateDeadCode(*G);
-    if (!Changed)
-      break;
-  }
-  verifyGraphOrDie(*G);
-
-  States[Method].Compiled = std::move(G);
-  ++Jit.Compilations;
-  Jit.CompileNanos += nowNanos() - Start;
-  JVM_DEBUG("compiled m" << Method << " ("
-                         << escapeAnalysisModeName(CO.EAMode) << ")");
+void VirtualMachine::waitForCompilerIdle() {
+  if (!Broker)
+    return;
+  Broker->waitIdle();
+  uint64_t HighWater = Broker->queueDepthHighWater();
+  std::lock_guard<std::mutex> L(StateMutex);
+  Jit.QueueDepthHighWater = std::max(Jit.QueueDepthHighWater, HighWater);
 }
 
 Value VirtualMachine::handleDeopt(DeoptRequest &&Req) {

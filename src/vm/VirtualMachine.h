@@ -10,6 +10,20 @@
 /// interpreter, and methods that deoptimize repeatedly are invalidated
 /// and re-profiled (so failed speculations heal, as in HotSpot/Graal).
 ///
+/// Compilation is asynchronous by default: hot methods are handed to the
+/// background CompileBroker with an immutable profile snapshot, the
+/// interpreter keeps running them until code is ready, and finished
+/// graphs are published with a single atomic pointer store (the mutator
+/// read path is one acquire load, no lock). CompilerThreads = 0 selects
+/// the legacy synchronous mode, which compiles on the caller thread
+/// through the exact same pipeline and installation path.
+///
+/// Threading model: ONE mutator thread calls into the VM
+/// (call/invalidate/compileNow); any number of broker workers compile
+/// and install concurrently. Retired graphs — old code that may still
+/// have activations on the native stack — are reclaimed at safe points,
+/// i.e. when the mutator is not inside any compiled activation.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef JVM_VM_VIRTUALMACHINE_H
@@ -21,9 +35,18 @@
 #include "runtime/Runtime.h"
 #include "vm/GraphExecutor.h"
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 
 namespace jvm {
+
+class CompileBroker;
+struct CompileResult;
+
+/// Number of background compiler threads the VM uses by default:
+/// the hardware concurrency (at least 1).
+unsigned defaultCompilerThreads();
 
 struct VMOptions {
   CompilerOptions Compiler;
@@ -36,23 +59,45 @@ struct VMOptions {
   /// Deoptimizations of one compiled method before it is thrown away and
   /// re-profiled.
   uint64_t MaxDeoptsPerMethod = 3;
+  /// Background compiler threads draining the hotness-prioritized compile
+  /// queue. 0 = legacy synchronous mode: compile on the caller thread at
+  /// the threshold crossing (every compilation is a mutator stall).
+  unsigned CompilerThreads = defaultCompilerThreads();
 };
 
-/// Counters describing the VM's compilation activity.
+/// Counters describing the VM's compilation activity. Written under the
+/// VM's state lock (workers and mutator); read them from the mutator
+/// after waitForCompilerIdle() for a consistent snapshot.
 struct JitMetrics {
-  uint64_t Compilations = 0;
+  uint64_t Compilations = 0;      ///< graphs actually installed
   uint64_t Invalidations = 0;
-  uint64_t CompileNanos = 0;   ///< total pipeline time
-  uint64_t EscapeNanos = 0;    ///< time spent inside escape analysis
-  PEAStats EscapeStats;        ///< aggregated over all compilations
+  uint64_t CompilesDiscarded = 0; ///< finished after invalidation; dropped
+  uint64_t RetiredReclaimed = 0;  ///< retired graphs freed at safe points
+  uint64_t CompileNanos = 0;      ///< total pipeline time (all threads)
+  /// Mutator-thread time spent blocked on compilation: the whole
+  /// pipeline in synchronous mode, just snapshot + enqueue with a
+  /// background broker. The number bench_compile_latency reports.
+  uint64_t MutatorStallNanos = 0;
+  // Per-phase pipeline time (sums to ~CompileNanos) ---------------------
+  uint64_t BuildNanos = 0;   ///< graph building + first canonicalize
+  uint64_t InlineNanos = 0;  ///< inlining + post-inline canonicalize
+  uint64_t GvnDceNanos = 0;  ///< pre-EA GVN + DCE
+  uint64_t EscapeNanos = 0;  ///< time spent inside escape analysis
+  uint64_t CleanupNanos = 0; ///< post-EA fixpoint rounds + verification
+  // Broker queue behavior ----------------------------------------------
+  uint64_t QueueDepthHighWater = 0;
+  uint64_t EnqueueToInstallNanos = 0;    ///< summed over installed graphs
+  uint64_t EnqueueToInstallNanosMax = 0;
+  PEAStats EscapeStats; ///< aggregated over all compilations
 };
 
 class VirtualMachine {
 public:
   VirtualMachine(const Program &P, VMOptions Options);
+  ~VirtualMachine();
 
   /// Tiered call: runs compiled code when available, otherwise
-  /// interprets (and compiles once the threshold is crossed).
+  /// interprets (and requests compilation once the threshold is crossed).
   Value call(MethodId Method, std::vector<Value> Args);
 
   /// Convenience for tests/benchmarks: call with no profiling threshold
@@ -67,28 +112,63 @@ public:
   const VMOptions &options() const { return Options; }
   JitMetrics &jitMetrics() { return Jit; }
 
-  /// The compiled graph of \p Method, or null.
+  /// The compiled graph of \p Method, or null. Lock-free: one acquire
+  /// load, safe to call from the mutator at any time.
   const Graph *compiledGraph(MethodId Method) const {
-    return States[Method].Compiled.get();
+    return States[Method].Code.load(std::memory_order_acquire);
   }
 
-  /// Forces compilation of \p Method now (benchmark warmup control).
+  /// Forces compilation of \p Method now, on the caller thread
+  /// (benchmark warmup control). Any in-flight background compile of the
+  /// method is discarded in favor of this one.
   void compileNow(MethodId Method);
 
-  /// Drops compiled code for \p Method.
+  /// Drops compiled code for \p Method. An in-flight background compile
+  /// enqueued against the old code is discarded instead of installed.
   void invalidate(MethodId Method);
 
+  /// Blocks until the background broker has drained its queue and
+  /// installed (or discarded) everything in flight. No-op in synchronous
+  /// mode. Establishes the happens-before edge that makes reading
+  /// jitMetrics()/compiledGraph() race-free afterwards.
+  void waitForCompilerIdle();
+
 private:
-  Value executeCompiled(MethodId Method, std::vector<Value> &Args);
-  void compile(MethodId Method);
+  Value executeCompiled(const Graph &G, std::vector<Value> &Args);
+  /// Threshold crossing: enqueue on the broker, or compile inline in
+  /// synchronous mode.
+  void requestCompile(MethodId Method);
+  void compileSync(MethodId Method);
+  /// Publishes \p R for \p Method if its code version still matches
+  /// \p Version; discards otherwise. Called from workers and the
+  /// synchronous path alike. Returns true if installed.
+  bool installCode(MethodId Method, uint64_t Version, CompileResult &&R,
+                   uint64_t EnqueueNanos);
+  /// Frees all retired graphs. Only called at a safe point: the mutator
+  /// has no compiled activation on its stack.
+  void reclaimRetired();
   Value handleDeopt(DeoptRequest &&Req);
 
   struct MethodState {
-    std::unique_ptr<Graph> Compiled;
+    /// The published code pointer — the only thing the mutator's fast
+    /// path reads. Owned by `Owned` below.
+    std::atomic<const Graph *> Code{nullptr};
+    /// True while a compile request for this method is queued or in
+    /// flight (mutator sets, worker clears): the dedup fast path that
+    /// keeps the mutator from re-snapshotting profiles on every call
+    /// while a compile is pending.
+    std::atomic<bool> CompilePending{false};
+    // Fields below are guarded by StateMutex. --------------------------
+    std::unique_ptr<Graph> Owned;
     /// Invalidated graphs are retired, not destroyed: activations of the
     /// old code may still be on the native stack (an invalidation is
-    /// triggered from a deoptimization *inside* that very code).
+    /// triggered from a deoptimization *inside* that very code). They
+    /// are reclaimed at the next safe point.
     std::vector<std::unique_ptr<Graph>> Retired;
+    /// Bumped on every invalidation (and forced compile); in-flight
+    /// compiles carry the version they were enqueued against and are
+    /// discarded on mismatch.
+    uint64_t Version = 0;
     uint64_t DeoptCount = 0;
     uint64_t Recompiles = 0;
   };
@@ -101,6 +181,16 @@ private:
   GraphExecutor Executor;
   std::vector<MethodState> States;
   JitMetrics Jit;
+  /// Guards MethodState's non-atomic fields and Jit. Never held while
+  /// calling into the broker, so the two locks never nest.
+  std::mutex StateMutex;
+  /// Depth of compiled-code activations on the mutator stack; retired
+  /// graphs are reclaimed only at depth 0.
+  unsigned CompiledDepth = 0;
+  std::atomic<bool> HasRetired{false};
+  /// Declared last: destroyed first, joining workers while the rest of
+  /// the VM (which their install callbacks touch) is still alive.
+  std::unique_ptr<CompileBroker> Broker;
 };
 
 } // namespace jvm

@@ -36,6 +36,9 @@ RowMeasurement jvm::workloads::measureRow(const BenchmarkSet &Set,
   std::vector<Value> Args{Value::makeInt(Row.Scale)};
   for (unsigned I = 0; I != Opts.WarmupIters; ++I)
     VM.call(Row.Driver, Args);
+  // Warmup ends at peak: everything the workload made hot is installed
+  // before the measured phase, whatever CompilerThreads is.
+  VM.waitForCompilerIdle();
 
   VM.runtime().resetMetrics();
   double BestSeconds = 0;
@@ -52,6 +55,9 @@ RowMeasurement jvm::workloads::measureRow(const BenchmarkSet &Set,
     M.Checksum = Sum;
   }
   double Seconds = BestSeconds;
+  // Quiesce before reading metrics: recompiles triggered by measured-phase
+  // deopts may still be in flight.
+  VM.waitForCompilerIdle();
   const Runtime &RT = VM.runtime();
   double Iters = static_cast<double>(Opts.MeasureIters) * Repeats;
   M.KBPerIter = RT.heap().allocatedBytes() / 1024.0 / Iters;
@@ -62,6 +68,7 @@ RowMeasurement jvm::workloads::measureRow(const BenchmarkSet &Set,
   M.Deopts = RT.metrics().Deopts;
   M.Compilations = VM.jitMetrics().Compilations;
   M.Invalidations = VM.jitMetrics().Invalidations;
+  M.Escape += VM.jitMetrics().EscapeStats;
   if (std::getenv("JVM_BENCH_DIAG"))
     std::fprintf(stderr,
                  "  [diag] %-12s %-22s deopts=%llu compiles=%llu "

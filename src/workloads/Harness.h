@@ -34,6 +34,11 @@ struct HarnessOptions {
     // collect mature receiver/branch profiles before compiling; loop
     // kernels reach it via backedge hotness within their first run.
     VM.CompileThreshold = 500;
+    // Table 1 replication compares exact allocation counts per measured
+    // iteration, so tier-up must complete at deterministic call indices:
+    // compile synchronously. Benches that measure the background broker
+    // itself (bench_compile_latency) override this per configuration.
+    VM.CompilerThreads = 0;
   }
 
   /// Reads JVM_BENCH_WARMUP / JVM_BENCH_MEASURE overrides from the
@@ -49,6 +54,7 @@ struct RowMeasurement {
   uint64_t Deopts = 0;
   uint64_t Compilations = 0;
   uint64_t Invalidations = 0;
+  PEAStats Escape; ///< escape-analysis work over all row compilations
   int64_t Checksum = 0; ///< sum of driver results (cross-mode validation)
 };
 

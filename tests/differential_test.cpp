@@ -179,6 +179,7 @@ TEST_P(DifferentialTest, InterpreterAndAllJitModesAgree) {
         EscapeAnalysisMode::Partial}) {
     VMOptions VO;
     VO.CompileThreshold = 2; // Compile almost immediately.
+    VO.CompilerThreads = 0; // Deterministic: code installed at threshold.
     VO.Compiler.PruneMinProfile = 4;
     VO.Compiler.DevirtMinProfile = 4;
     VO.Compiler.EAMode = Mode;

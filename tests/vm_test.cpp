@@ -16,6 +16,10 @@ VMOptions fastJit(EscapeAnalysisMode Mode = EscapeAnalysisMode::Partial) {
   O.Compiler.EAMode = Mode;
   O.Compiler.PruneMinProfile = 5;
   O.Compiler.DevirtMinProfile = 5;
+  // These tests assert exact allocation/monitor counts at specific call
+  // indices, so compilation must complete at the threshold crossing.
+  // broker_test covers the background (CompilerThreads > 0) path.
+  O.CompilerThreads = 0;
   return O;
 }
 

@@ -79,6 +79,7 @@ TEST_P(RowConsistencyTest, ModesAgreeAndPeaNeverAllocatesMore) {
         EscapeAnalysisMode::Partial}) {
     VMOptions VO;
     VO.CompileThreshold = 100;
+    VO.CompilerThreads = 0; // Exact-count assertions need sync compiles.
     VO.Compiler.EAMode = Mode;
     VirtualMachine VM(Set.WP.P, VO);
     VM.call(Set.WP.Setup, {});
@@ -166,6 +167,7 @@ TEST(WorkloadLockTest, ValidateLocksElidedOnlyByPea) {
         EscapeAnalysisMode::Partial}) {
     VMOptions VO;
     VO.CompileThreshold = 50;
+    VO.CompilerThreads = 0; // Exact-count assertions need sync compiles.
     VO.Compiler.EAMode = Mode;
     VirtualMachine VM(Set.WP.P, VO);
     VM.call(Set.WP.Setup, {});
