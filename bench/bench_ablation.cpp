@@ -18,6 +18,11 @@
 
 #include "workloads/Harness.h"
 
+#include "compiler/PhasePlan.h"
+#include "compiler/StandardPhases.h"
+#include "pea/EscapePhases.h"
+#include "vm/CompileBroker.h"
+
 #include <cstdio>
 
 using namespace jvm;
@@ -78,7 +83,60 @@ int main() {
                 RowTotal.VirtualizedAllocations, RowTotal.MaterializeSites,
                 RowTotal.ElidedMonitorOps);
   }
-  std::printf("Expected shape: every ablation gives back part of the win; "
+  // --- Phase-plan view -------------------------------------------------
+  // The variants above differ only in CompilerOptions; the plan API also
+  // lets a study swap whole pipeline shapes. Compile every row's driver
+  // method under three plans and show where the time goes per phase:
+  // the default partial-EA plan, the flow-insensitive default, and a
+  // hand-built frontend-only plan (no escape analysis, no cleanup
+  // fixpoint) as the optimization floor.
+  std::printf("\nPhase-plan comparison (plans built via the PhasePlan API; "
+              "driver methods, empty profiles):\n");
+  {
+    const Program &P = Set.WP.P;
+    ProfileData Prof(P.numMethods());
+    ProfileSnapshot Snap(Prof);
+    CompilerOptions PartialCO = Base.VM.Compiler;
+    PartialCO.EAMode = EscapeAnalysisMode::Partial;
+    CompilerOptions FlowInsCO = Base.VM.Compiler;
+    FlowInsCO.EAMode = EscapeAnalysisMode::FlowInsensitive;
+
+    PhasePlan Frontend;
+    Frontend.append<GraphBuildPhase>();
+    Frontend.append<CanonicalizerPhase>();
+    Frontend.append<GVNPhase>();
+    Frontend.append<DCEPhase>();
+    Frontend.append<VerifyPhase>();
+
+    struct PlanRow {
+      const char *Name;
+      PhasePlan Plan;
+      const CompilerOptions *CO;
+    };
+    PlanRow Plans[] = {
+        {"default-partial", makeDefaultPhasePlan(PartialCO), &PartialCO},
+        {"default-flowins", makeDefaultPhasePlan(FlowInsCO), &FlowInsCO},
+        {"frontend-only", std::move(Frontend), &PartialCO},
+    };
+
+    for (PlanRow &PR : Plans) {
+      PhaseTimes Times;
+      uint64_t TotalNanos = 0;
+      for (const BenchmarkRow &Row : Set.Rows) {
+        CompileResult R =
+            runCompilePipeline(PR.Plan, P, Row.Driver, Snap, *PR.CO);
+        Times += R.Phases;
+        TotalNanos += R.TotalNanos;
+      }
+      std::printf("  %-16s %8.2f ms total;", PR.Name, TotalNanos / 1e6);
+      for (const PhaseTimes::Entry &E : Times.Entries)
+        std::printf(" %s %.2fms/%llux", E.Name.c_str(), E.Nanos / 1e6,
+                    (unsigned long long)E.Runs);
+      std::printf("\n");
+    }
+  }
+
+  std::printf("\nExpected shape: every ablation gives back part of the win; "
               "no-speculation hurts rows whose objects escape only on "
               "cold paths.\n");
   return 0;

@@ -90,10 +90,14 @@ int main() {
   std::printf("%-8s %14s %15s %12s %9s %9s %12s %12s\n", "", "(ms)", "(ms)",
               "(ms)", "", "", "(ms)", "(ms)");
 
+  PhaseTimes Breakdown; // summed across configurations for the table below
+  uint64_t BreakdownCompileNanos = 0;
   for (unsigned Threads : {0u, 1u, 2u, 4u}) {
     LatencyMeasurement M =
         warmupRows(Set, Rows, Threads, Base.WarmupIters);
     const JitMetrics &J = M.Jit;
+    Breakdown += J.PhaseNanos;
+    BreakdownCompileNanos += J.CompileNanos;
     double InstallAvg =
         J.Compilations ? ms(J.EnqueueToInstallNanos) / J.Compilations : 0;
     char Label[16];
@@ -108,6 +112,17 @@ int main() {
                 ms(J.EnqueueToInstallNanosMax));
     std::fprintf(stderr, "  [measured] threads=%u\n", Threads);
   }
+
+  // Where compile time goes, phase by phase (JitMetrics::PhaseNanos,
+  // summed over all four configurations). Rows appear in pipeline order.
+  std::printf("\nPer-phase compile-time breakdown (all configurations):\n");
+  std::printf("  %-16s %10s %8s %7s\n", "phase", "(ms)", "runs", "share");
+  for (const PhaseTimes::Entry &E : Breakdown.Entries)
+    std::printf("  %-16s %10.2f %8llu %6.1f%%\n", E.Name.c_str(), ms(E.Nanos),
+                (unsigned long long)E.Runs,
+                BreakdownCompileNanos
+                    ? 100.0 * E.Nanos / BreakdownCompileNanos
+                    : 0.0);
 
   std::printf("\nExpected shape: sync(0) charges the whole compile column "
               "to the mutator; with workers the stall column is the cost "

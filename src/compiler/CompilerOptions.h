@@ -45,6 +45,20 @@ struct CompilerOptions {
   /// materializing everything at the loop entry (paper Section 5.4).
   unsigned PeaMaxLoopIterations = 10;
 
+  /// Rounds of the post-EA canon+gvn+dce cleanup fixpoint before the
+  /// plan stops and reports a cap hit (JitMetrics::FixpointCapHits).
+  unsigned CleanupFixpointMaxRounds = 4;
+
+  /// Run verifyGraph() after every phase of a plan and abort with the
+  /// culprit phase's name on failure. Defaults on wherever assertions
+  /// are on (this repo keeps them on in every build type) or when the
+  /// build sets -DJVM_VERIFY_PHASES=ON.
+#if !defined(NDEBUG) || defined(JVM_VERIFY_PHASES)
+  bool VerifyAfterEachPhase = true;
+#else
+  bool VerifyAfterEachPhase = false;
+#endif
+
   // Ablation switches (see DESIGN.md Section 5 and bench_ablation) -------
   /// Create loop phis for fields that change across iterations while the
   /// object stays virtual. Off: such objects materialize at the loop

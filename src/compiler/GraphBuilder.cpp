@@ -31,14 +31,11 @@ struct PendingEdge {
 
 class GraphBuilderImpl {
 public:
-  GraphBuilderImpl(const Program &P, MethodId Method,
+  GraphBuilderImpl(Graph &G, const Program &P, MethodId Method,
                    const MethodProfile *Prof, const CompilerOptions &Opts)
-      : P(P), M(P.methodAt(Method)), Prof(Prof), Opts(Opts) {}
+      : G(&G), P(P), M(P.methodAt(Method)), Prof(Prof), Opts(Opts) {}
 
-  std::unique_ptr<Graph> run() {
-    std::vector<ValueType> Params = M.ParamTypes;
-    G = std::make_unique<Graph>(M.Id, Params);
-
+  void run() {
     discoverBlocks();
     findLoops();
     computeRpo();
@@ -56,7 +53,6 @@ public:
     // Branch pruning can leave unreachable regions and loops without
     // back edges; normalize before handing the graph to the phases.
     G->sweepUnreachable();
-    return std::move(G);
   }
 
 private:
@@ -692,11 +688,11 @@ private:
   // Members
   //===------------------------------------------------------------------===//
 
+  Graph *G;
   const Program &P;
   const MethodInfo &M;
   const MethodProfile *Prof;
   const CompilerOptions &Opts;
-  std::unique_ptr<Graph> G;
 
   std::vector<Block> Blocks;
   std::vector<int> BlockIndexOf; ///< bci -> block index (leaders only)
@@ -714,8 +710,16 @@ private:
 
 } // namespace
 
+void jvm::buildGraphInto(Graph &G, const Program &P, MethodId Method,
+                         const MethodProfile *Profile,
+                         const CompilerOptions &Options) {
+  GraphBuilderImpl(G, P, Method, Profile, Options).run();
+}
+
 std::unique_ptr<Graph> jvm::buildGraph(const Program &P, MethodId Method,
                                        const MethodProfile *Profile,
                                        const CompilerOptions &Options) {
-  return GraphBuilderImpl(P, Method, Profile, Options).run();
+  auto G = std::make_unique<Graph>(Method, P.methodAt(Method).ParamTypes);
+  buildGraphInto(*G, P, Method, Profile, Options);
+  return G;
 }

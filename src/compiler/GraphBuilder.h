@@ -25,8 +25,16 @@
 
 namespace jvm {
 
-/// Builds the initial IR graph for \p Method. \p Profile may be null
-/// (no speculation). The method must verify.
+/// Populates \p G — which must be freshly constructed for \p Method
+/// (Start + parameters only, nothing built yet) — with the method's IR.
+/// \p Profile may be null (no speculation). The method must verify.
+/// This is the phase-plan entry point: GraphBuildPhase runs it on the
+/// empty graph the pipeline driver allocates.
+void buildGraphInto(Graph &G, const Program &P, MethodId Method,
+                    const MethodProfile *Profile,
+                    const CompilerOptions &Options);
+
+/// Convenience wrapper: allocates the graph and builds into it.
 std::unique_ptr<Graph> buildGraph(const Program &P, MethodId Method,
                                   const MethodProfile *Profile,
                                   const CompilerOptions &Options);

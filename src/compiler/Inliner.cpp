@@ -8,6 +8,7 @@
 #include "support/Casting.h"
 #include "support/Debug.h"
 
+#include <algorithm>
 #include <deque>
 
 using namespace jvm;
@@ -69,8 +70,18 @@ private:
 
     std::map<const Node *, Node *> Map = cloneGraphInto(G, *CalleeG, Args);
 
+    // The map is keyed on callee-node *pointers*; iterating it directly
+    // would make merge end order, phi operand order and the inlining
+    // queue depend on heap addresses. Walk the clones in clone-id order
+    // (assigned deterministically by cloneGraphInto) instead.
+    std::vector<std::pair<const Node *, Node *>> Clones(Map.begin(),
+                                                       Map.end());
+    std::sort(Clones.begin(), Clones.end(), [](const auto &A, const auto &B) {
+      return A.second->id() < B.second->id();
+    });
+
     // Chain callee frame states to the caller state at this call site.
-    for (const auto &[Old, New] : Map) {
+    for (const auto &[Old, New] : Clones) {
       if (Old->isDeleted())
         continue;
       if (auto *FS = dyn_cast<FrameStateNode>(New))
@@ -89,7 +100,7 @@ private:
 
     // Collect the callee's returns (clones).
     std::vector<ReturnNode *> Returns;
-    for (const auto &[Old, New] : Map)
+    for (const auto &[Old, New] : Clones)
       if (auto *Ret = dyn_cast<ReturnNode>(New))
         Returns.push_back(Ret);
 
@@ -140,7 +151,7 @@ private:
       G.sweepUnreachable();
 
     // Newly imported direct calls are themselves candidates.
-    for (const auto &[Old, New] : Map)
+    for (const auto &[Old, New] : Clones)
       if (!New->isDeleted())
         if (auto *Inner = dyn_cast<InvokeNode>(New))
           Queue.push_back({Inner, Depth + 1});

@@ -1,0 +1,70 @@
+//===- Phase.cpp - Phase timing table and timers -------------------------------===//
+
+#include "compiler/Phase.h"
+
+#include <algorithm>
+#include <chrono>
+
+using namespace jvm;
+
+namespace {
+
+uint64_t nowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+} // namespace
+
+PhaseTimes::Entry &PhaseTimes::entryFor(std::string_view Name) {
+  for (Entry &E : Entries)
+    if (E.Name == Name)
+      return E;
+  Entries.push_back(Entry{std::string(Name), 0, 0});
+  return Entries.back();
+}
+
+uint64_t PhaseTimes::nanosFor(std::string_view Name) const {
+  for (const Entry &E : Entries)
+    if (E.Name == Name)
+      return E.Nanos;
+  return 0;
+}
+
+uint64_t PhaseTimes::runsFor(std::string_view Name) const {
+  for (const Entry &E : Entries)
+    if (E.Name == Name)
+      return E.Runs;
+  return 0;
+}
+
+uint64_t PhaseTimes::totalNanos() const {
+  uint64_t Sum = 0;
+  for (const Entry &E : Entries)
+    Sum += E.Nanos;
+  return Sum;
+}
+
+PhaseTimes &PhaseTimes::operator+=(const PhaseTimes &RHS) {
+  for (const Entry &E : RHS.Entries) {
+    Entry &Mine = entryFor(E.Name);
+    Mine.Nanos += E.Nanos;
+    Mine.Runs += E.Runs;
+  }
+  return *this;
+}
+
+ScopedNanoTimer::ScopedNanoTimer(uint64_t &Sink)
+    : Sink(Sink), StartNanos(nowNanos()) {}
+
+ScopedNanoTimer::~ScopedNanoTimer() { Sink += nowNanos() - StartNanos; }
+
+PhaseTimer::PhaseTimer(PhaseTimes &Times, const char *Name)
+    : Times(Times), Name(Name), StartNanos(nowNanos()) {}
+
+PhaseTimer::~PhaseTimer() {
+  PhaseTimes::Entry &E = Times.entryFor(Name);
+  E.Nanos += nowNanos() - StartNanos;
+  ++E.Runs;
+}

@@ -1,0 +1,165 @@
+//===- Phase.h - Compiler phase interface and shared context --------*- C++ -*-===//
+///
+/// \file
+/// The declarative phase layer of the JIT pipeline, mirroring Graal's
+/// phase-plan architecture: every optimization stage is a named, reusable
+/// Phase object, and a PhasePlan (see PhasePlan.h) schedules them. The
+/// cross-cutting concerns the stages used to duplicate — per-phase wall
+/// timing, inter-phase IR verification, structured dumping — live in the
+/// plan runner, not in the phases.
+///
+/// This header defines the pieces shared between phases and their driver:
+///  - Phase: `name()` + `run(Graph&, PhaseContext&) -> bool changed`.
+///    Phases are stateless and reentrant (`run` is const), so one plan
+///    instance can serve every broker worker concurrently.
+///  - PhaseContext: everything a phase may consult or produce — the
+///    Program, the immutable ProfileSnapshot, the CompilerOptions, the
+///    escape-analysis statistics, the per-phase-name timing table, and
+///    the dump sinks.
+///  - PhaseTimes: the per-phase-name timing table that replaces the old
+///    fixed Build/Inline/GvnDce/Escape/Cleanup fields; a phase a plan
+///    adds tomorrow shows up in JitMetrics without new plumbing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_COMPILER_PHASE_H
+#define JVM_COMPILER_PHASE_H
+
+#include "compiler/CompilerOptions.h"
+#include "interp/Profile.h"
+#include "pea/PartialEscapeAnalysis.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jvm {
+
+class Graph;
+class Program;
+
+/// Wall-clock nanoseconds and run counts per phase *name*. Entries keep
+/// first-execution (i.e. plan) order, so printing the table reads like
+/// the pipeline. Two executions of the same name — the cleanup fixpoint
+/// re-running the canonicalizer, say — merge into one entry.
+struct PhaseTimes {
+  struct Entry {
+    std::string Name;
+    uint64_t Nanos = 0;
+    uint64_t Runs = 0;
+  };
+
+  std::vector<Entry> Entries;
+
+  /// The entry for \p Name, appended (zeroed) if absent.
+  Entry &entryFor(std::string_view Name);
+
+  /// Nanos charged to \p Name; 0 if the phase never ran.
+  uint64_t nanosFor(std::string_view Name) const;
+
+  /// Times a phase named \p Name ran; 0 if never.
+  uint64_t runsFor(std::string_view Name) const;
+
+  /// Sum over all entries (<= the pipeline's TotalNanos: graph
+  /// construction and plan overhead are outside any phase).
+  uint64_t totalNanos() const;
+
+  /// Merges \p RHS entry by entry (by name). The single aggregation
+  /// point for JitMetrics — like PEAStats::operator+=, a phase added
+  /// tomorrow cannot be silently dropped from per-run sums.
+  PhaseTimes &operator+=(const PhaseTimes &RHS);
+};
+
+/// RAII wall-clock timer: adds the scope's elapsed nanoseconds to \p Sink.
+class ScopedNanoTimer {
+public:
+  explicit ScopedNanoTimer(uint64_t &Sink);
+  ~ScopedNanoTimer();
+
+  ScopedNanoTimer(const ScopedNanoTimer &) = delete;
+  ScopedNanoTimer &operator=(const ScopedNanoTimer &) = delete;
+
+private:
+  uint64_t &Sink;
+  uint64_t StartNanos;
+};
+
+/// RAII per-phase timer: on destruction, charges the elapsed wall time to
+/// \p Times' entry for \p Name and counts one run.
+class PhaseTimer {
+public:
+  PhaseTimer(PhaseTimes &Times, const char *Name);
+  ~PhaseTimer();
+
+  PhaseTimer(const PhaseTimer &) = delete;
+  PhaseTimer &operator=(const PhaseTimer &) = delete;
+
+private:
+  PhaseTimes &Times;
+  const char *Name;
+  uint64_t StartNanos;
+};
+
+/// Everything one compilation's phases share. The const references are
+/// the compilation's immutable inputs; the value fields are its
+/// accumulating outputs, harvested by the pipeline driver into a
+/// CompileResult.
+struct PhaseContext {
+  PhaseContext(const Program &P, const ProfileSnapshot &Profiles,
+               const CompilerOptions &Options, MethodId Method)
+      : P(P), Profiles(Profiles), Options(Options), Method(Method) {}
+
+  const Program &P;
+  const ProfileSnapshot &Profiles;
+  const CompilerOptions &Options;
+  const MethodId Method;
+
+  /// Escape-analysis work done by this compilation (escape phases add).
+  PEAStats Stats;
+  /// Per-phase wall time, filled by the plan runner.
+  PhaseTimes Times;
+  /// Fixpoint combinators that hit their round cap without converging.
+  uint64_t FixpointCapHits = 0;
+
+  // Dump sinks (see PhasePlan.h) ----------------------------------------
+  /// When non-null, the runner appends "== after <phase> ==" IR dumps
+  /// here instead of writing stderr directly; the pipeline driver
+  /// flushes the buffer in one write, so concurrent broker workers never
+  /// interleave their dump lines.
+  std::string *DumpText = nullptr;
+  /// When non-empty, the runner writes one IR snapshot file per
+  /// graph-changing phase execution into this directory.
+  std::string DumpDir;
+  /// Uniquifies DumpDir file names across compilations of one method.
+  uint64_t CompileSeq = 0;
+  /// Running phase-execution index within this compile (file ordering).
+  unsigned DumpIndex = 0;
+};
+
+/// One named, reusable pipeline stage. Implementations must be stateless:
+/// everything observable flows through the Graph and the PhaseContext, so
+/// a single Phase instance may run on any number of threads at once.
+class Phase {
+public:
+  virtual ~Phase() = default;
+
+  /// Stable name used for timing entries, dump labels and verification
+  /// attribution. Must point to storage outliving the phase (string
+  /// literals, in practice).
+  virtual const char *name() const = 0;
+
+  /// Transforms \p G; returns true if the graph changed. \p G is the
+  /// graph under compilation (for the graph-building phase: freshly
+  /// constructed, Start and parameters only).
+  virtual bool run(Graph &G, PhaseContext &Ctx) const = 0;
+
+  /// Composite phases (FixpointPhase) schedule children through the plan
+  /// runner themselves: the runner then skips its own timing/verify/dump
+  /// for the wrapper so child work is attributed to the children.
+  virtual bool isComposite() const { return false; }
+};
+
+} // namespace jvm
+
+#endif // JVM_COMPILER_PHASE_H

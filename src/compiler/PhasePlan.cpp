@@ -1,0 +1,153 @@
+//===- PhasePlan.cpp - Phase schedule execution and the default plan -----------===//
+
+#include "compiler/PhasePlan.h"
+
+#include "compiler/StandardPhases.h"
+#include "ir/Graph.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "pea/EscapePhases.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+using namespace jvm;
+
+namespace {
+
+/// Verification failure: make the culprit unmissable. The buffered dumps
+/// are flushed first so the failing compile's phase trail is visible,
+/// then the problems and the offending graph, then abort.
+[[noreturn]] void reportBrokenGraph(const Phase &Ph, const Graph &G,
+                                    const std::vector<std::string> &Problems,
+                                    PhaseContext &Ctx) {
+  if (Ctx.DumpText && !Ctx.DumpText->empty()) {
+    std::fwrite(Ctx.DumpText->data(), 1, Ctx.DumpText->size(), stderr);
+    Ctx.DumpText->clear();
+  }
+  std::fprintf(stderr,
+               "IR verification failed after phase '%s' (method m%u):\n",
+               Ph.name(), static_cast<unsigned>(G.method()));
+  for (const std::string &P : Problems)
+    std::fprintf(stderr, "  %s\n", P.c_str());
+  std::fprintf(stderr, "%s\n", graphToString(G).c_str());
+  std::abort();
+}
+
+/// Appends the textual dump and/or writes the per-(method, phase) IR
+/// snapshot file for one phase execution.
+void recordDumps(const Phase &Ph, const Graph &G, PhaseContext &Ctx) {
+  if (!Ctx.DumpText && Ctx.DumpDir.empty())
+    return;
+  std::string Text = graphToString(G);
+  if (Ctx.DumpText) {
+    *Ctx.DumpText += "== after ";
+    *Ctx.DumpText += Ph.name();
+    *Ctx.DumpText += " ==\n";
+    *Ctx.DumpText += Text;
+    *Ctx.DumpText += "\n";
+  }
+  if (!Ctx.DumpDir.empty()) {
+    std::error_code EC;
+    std::filesystem::create_directories(Ctx.DumpDir, EC);
+    char FileName[128];
+    std::snprintf(FileName, sizeof(FileName), "m%u-c%llu-%02u-%s.ir",
+                  static_cast<unsigned>(G.method()),
+                  static_cast<unsigned long long>(Ctx.CompileSeq),
+                  Ctx.DumpIndex, Ph.name());
+    std::string Path = Ctx.DumpDir + "/" + FileName;
+    if (std::FILE *F = std::fopen(Path.c_str(), "w")) {
+      std::fwrite(Text.data(), 1, Text.size(), F);
+      std::fclose(F);
+    }
+  }
+}
+
+} // namespace
+
+bool jvm::runManagedPhase(const Phase &Ph, Graph &G, PhaseContext &Ctx) {
+  // Composite phases schedule their children through runManagedPhase
+  // themselves; timing/verifying/dumping the wrapper too would charge
+  // every child twice and dump duplicate graphs.
+  if (Ph.isComposite())
+    return Ph.run(G, Ctx);
+
+  PhaseTimer Timer(Ctx.Times, Ph.name());
+  bool Changed = Ph.run(G, Ctx);
+  if (Ctx.Options.VerifyAfterEachPhase) {
+    std::vector<std::string> Problems = verifyGraph(G);
+    if (!Problems.empty())
+      reportBrokenGraph(Ph, G, Problems, Ctx);
+  }
+  // Dump only executions that changed the graph: fixpoint rounds that
+  // converged and no-op phases would repeat the previous snapshot.
+  if (Changed)
+    recordDumps(Ph, G, Ctx);
+  ++Ctx.DumpIndex;
+  return Changed;
+}
+
+bool PhasePlan::run(Graph &G, PhaseContext &Ctx) const {
+  bool Changed = false;
+  for (const std::unique_ptr<Phase> &Ph : Phases)
+    Changed |= runManagedPhase(*Ph, G, Ctx);
+  return Changed;
+}
+
+bool FixpointPhase::run(Graph &G, PhaseContext &Ctx) const {
+  bool Any = false;
+  for (unsigned Round = 0; Round != MaxRounds; ++Round) {
+    bool RoundChanged = false;
+    for (const std::unique_ptr<Phase> &Child : Children)
+      RoundChanged |= runManagedPhase(*Child, G, Ctx);
+    Any |= RoundChanged;
+    if (!RoundChanged)
+      return Any;
+  }
+  // Every round changed something: the cap cut the iteration short. The
+  // graph is still correct (each child preserves semantics), but later
+  // rounds might have simplified further — report instead of silently
+  // stopping like the old hand-rolled loop did.
+  ++Ctx.FixpointCapHits;
+  if (Ctx.DumpText) {
+    *Ctx.DumpText += "warning: fixpoint '";
+    *Ctx.DumpText += Name;
+    *Ctx.DumpText += "' hit its round cap (";
+    *Ctx.DumpText += std::to_string(MaxRounds);
+    *Ctx.DumpText += ") without converging\n";
+  }
+  return Any;
+}
+
+PhasePlan jvm::makeDefaultPhasePlan(const CompilerOptions &Options) {
+  PhasePlan Plan;
+  Plan.append<GraphBuildPhase>();
+  Plan.append<CanonicalizerPhase>();
+  if (Options.EnableInlining) {
+    Plan.append<InlinerPhase>();
+    Plan.append<CanonicalizerPhase>();
+  }
+  Plan.append<GVNPhase>();
+  Plan.append<DCEPhase>();
+  switch (Options.EAMode) {
+  case EscapeAnalysisMode::None:
+    break;
+  case EscapeAnalysisMode::FlowInsensitive:
+    Plan.append<FlowInsensitiveEscapePhase>();
+    break;
+  case EscapeAnalysisMode::Partial:
+    Plan.append<PartialEscapePhase>();
+    break;
+  }
+  FixpointPhase &Cleanup =
+      Plan.append<FixpointPhase>("cleanup", Options.CleanupFixpointMaxRounds);
+  Cleanup.append<CanonicalizerPhase>();
+  Cleanup.append<GVNPhase>();
+  Cleanup.append<DCEPhase>();
+  // Unconditional final verification, exactly like the pre-plan pipeline
+  // (redundant but cheap when VerifyAfterEachPhase already ran).
+  Plan.append<VerifyPhase>();
+  return Plan;
+}

@@ -1,0 +1,126 @@
+//===- PhasePlan.h - Ordered, composable schedules of phases --------*- C++ -*-===//
+///
+/// \file
+/// A PhasePlan is an ordered list of Phase objects plus the manager that
+/// executes them with the pipeline's cross-cutting concerns:
+///
+///  - **Timing.** Every phase execution is wrapped in an RAII PhaseTimer
+///    feeding PhaseContext::Times, keyed by phase name.
+///  - **Verification.** With CompilerOptions::VerifyAfterEachPhase (the
+///    default in assertion-enabled builds, forced on in Release via
+///    -DJVM_VERIFY_PHASES=ON), the IR verifier runs after every phase and
+///    a broken invariant is attributed to the phase that introduced it —
+///    "IR verification failed after phase 'X'" instead of a pipeline-end
+///    mystery.
+///  - **Dumping.** When PhaseContext::DumpText is set, "== after <phase>
+///    ==" IR dumps are buffered there (flushed in one write by the
+///    driver, so broker workers never interleave); when DumpDir is set,
+///    each graph-changing phase execution also writes one IR snapshot
+///    file `m<method>-c<seq>-<idx>-<phase>.ir`.
+///
+/// FixpointPhase is the combinator that replaces hand-rolled cleanup
+/// loops: it re-runs its children until a full round reports no change or
+/// a round cap is hit (counted in PhaseContext::FixpointCapHits, warned
+/// about in the dump buffer — never a silent stop).
+///
+/// makeDefaultPhasePlan() maps CompilerOptions onto the standard
+/// pipeline; benchmarks (bench_ablation) compose custom plans directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_COMPILER_PHASEPLAN_H
+#define JVM_COMPILER_PHASEPLAN_H
+
+#include "compiler/Phase.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace jvm {
+
+/// Executes one phase under the manager's timing/verification/dumping.
+/// The building block both PhasePlan::run and composite phases use, so a
+/// fixpoint's children are observed exactly like top-level phases.
+bool runManagedPhase(const Phase &Ph, Graph &G, PhaseContext &Ctx);
+
+/// An ordered, immutable-once-built schedule of phases. Running a plan
+/// does not mutate it, so one instance (e.g. the CompileBroker's) serves
+/// any number of compiler threads concurrently.
+class PhasePlan {
+public:
+  PhasePlan() = default;
+  PhasePlan(PhasePlan &&) = default;
+  PhasePlan &operator=(PhasePlan &&) = default;
+
+  /// Appends \p Ph to the schedule; returns it for further configuration.
+  Phase &append(std::unique_ptr<Phase> Ph) {
+    Phases.push_back(std::move(Ph));
+    return *Phases.back();
+  }
+
+  /// Constructs a T in place at the end of the schedule.
+  template <typename T, typename... Args> T &append(Args &&...CtorArgs) {
+    auto Owned = std::make_unique<T>(std::forward<Args>(CtorArgs)...);
+    T *Raw = Owned.get();
+    Phases.push_back(std::move(Owned));
+    return *Raw;
+  }
+
+  size_t size() const { return Phases.size(); }
+  bool empty() const { return Phases.empty(); }
+  const Phase &phaseAt(size_t I) const { return *Phases[I]; }
+
+  /// Runs every phase in order against \p G. Returns true if any phase
+  /// changed the graph.
+  bool run(Graph &G, PhaseContext &Ctx) const;
+
+private:
+  std::vector<std::unique_ptr<Phase>> Phases;
+};
+
+/// Bounded-fixpoint combinator: re-runs its children (in order, all of
+/// them each round, like the hand-rolled loop it replaces) until a full
+/// round reports no change. Hitting \p MaxRounds while still changing is
+/// counted in PhaseContext::FixpointCapHits and warned about in the dump
+/// buffer — a bounded loss of optimization, never of correctness.
+class FixpointPhase : public Phase {
+public:
+  FixpointPhase(const char *Name, unsigned MaxRounds)
+      : Name(Name), MaxRounds(MaxRounds) {}
+
+  Phase &append(std::unique_ptr<Phase> Ph) {
+    Children.push_back(std::move(Ph));
+    return *Children.back();
+  }
+
+  template <typename T, typename... Args> T &append(Args &&...CtorArgs) {
+    auto Owned = std::make_unique<T>(std::forward<Args>(CtorArgs)...);
+    T *Raw = Owned.get();
+    Children.push_back(std::move(Owned));
+    return *Raw;
+  }
+
+  unsigned maxRounds() const { return MaxRounds; }
+  size_t numChildren() const { return Children.size(); }
+
+  const char *name() const override { return Name; }
+  bool isComposite() const override { return true; }
+  bool run(Graph &G, PhaseContext &Ctx) const override;
+
+private:
+  const char *Name;
+  unsigned MaxRounds;
+  std::vector<std::unique_ptr<Phase>> Children;
+};
+
+/// The standard pipeline for \p Options, one phase per stage:
+/// build, canon, [inline, canon,] gvn, dce, the escape phase EAMode
+/// selects (if any), the bounded cleanup fixpoint {canon, gvn, dce}, and
+/// a final verify. Call-sequence compatible with the pre-plan pipeline:
+/// it produces graphs identical node for node.
+PhasePlan makeDefaultPhasePlan(const CompilerOptions &Options);
+
+} // namespace jvm
+
+#endif // JVM_COMPILER_PHASEPLAN_H

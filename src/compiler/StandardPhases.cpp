@@ -1,0 +1,38 @@
+//===- StandardPhases.cpp - Phase adapters for the classic stages --------------===//
+
+#include "compiler/StandardPhases.h"
+
+#include "compiler/Canonicalizer.h"
+#include "compiler/DeadCodeElimination.h"
+#include "compiler/GVN.h"
+#include "compiler/GraphBuilder.h"
+#include "compiler/Inliner.h"
+#include "ir/Graph.h"
+#include "ir/Verifier.h"
+
+using namespace jvm;
+
+bool GraphBuildPhase::run(Graph &G, PhaseContext &Ctx) const {
+  buildGraphInto(G, Ctx.P, Ctx.Method, &Ctx.Profiles.of(Ctx.Method),
+                 Ctx.Options);
+  return true;
+}
+
+bool CanonicalizerPhase::run(Graph &G, PhaseContext &Ctx) const {
+  return canonicalize(G, Ctx.P);
+}
+
+bool InlinerPhase::run(Graph &G, PhaseContext &Ctx) const {
+  return inlineCalls(G, Ctx.P, &Ctx.Profiles.data(), Ctx.Options) != 0;
+}
+
+bool GVNPhase::run(Graph &G, PhaseContext &) const { return runGVN(G); }
+
+bool DCEPhase::run(Graph &G, PhaseContext &) const {
+  return eliminateDeadCode(G);
+}
+
+bool VerifyPhase::run(Graph &G, PhaseContext &) const {
+  verifyGraphOrDie(G);
+  return false;
+}

@@ -1,0 +1,68 @@
+//===- StandardPhases.h - The built-in stages as Phase objects ------*- C++ -*-===//
+///
+/// \file
+/// Phase adapters for the classic pipeline stages (graph building,
+/// canonicalization, inlining, GVN, DCE, final verification). The escape
+/// analyses live in pea/EscapePhases.h; makeDefaultPhasePlan() wires
+/// everything together in the standard order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_COMPILER_STANDARDPHASES_H
+#define JVM_COMPILER_STANDARDPHASES_H
+
+#include "compiler/Phase.h"
+
+namespace jvm {
+
+/// Bytecode -> SSA front end. Must be the first phase of a plan: it
+/// populates the freshly constructed (Start + parameters only) graph,
+/// consulting the method's profile snapshot for speculative branch
+/// pruning and devirtualization.
+class GraphBuildPhase : public Phase {
+public:
+  const char *name() const override { return "build"; }
+  bool run(Graph &G, PhaseContext &Ctx) const override;
+};
+
+/// Iterative local simplification (constant folding, identities,
+/// trivial-phi removal, constant-If folding).
+class CanonicalizerPhase : public Phase {
+public:
+  const char *name() const override { return "canon"; }
+  bool run(Graph &G, PhaseContext &Ctx) const override;
+};
+
+/// Splices callee graphs into direct (static or devirtualized) calls.
+class InlinerPhase : public Phase {
+public:
+  const char *name() const override { return "inline"; }
+  bool run(Graph &G, PhaseContext &Ctx) const override;
+};
+
+/// Global value numbering over pure floating nodes.
+class GVNPhase : public Phase {
+public:
+  const char *name() const override { return "gvn"; }
+  bool run(Graph &G, PhaseContext &Ctx) const override;
+};
+
+/// Dead code elimination.
+class DCEPhase : public Phase {
+public:
+  const char *name() const override { return "dce"; }
+  bool run(Graph &G, PhaseContext &Ctx) const override;
+};
+
+/// Unconditional pipeline-end verification (verifyGraphOrDie). Kept in
+/// every default plan so a compile is checked at least once even when
+/// CompilerOptions::VerifyAfterEachPhase is off. Never reports a change.
+class VerifyPhase : public Phase {
+public:
+  const char *name() const override { return "verify"; }
+  bool run(Graph &G, PhaseContext &Ctx) const override;
+};
+
+} // namespace jvm
+
+#endif // JVM_COMPILER_STANDARDPHASES_H

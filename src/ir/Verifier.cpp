@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <set>
 #include <sstream>
 
 using namespace jvm;
@@ -20,6 +21,7 @@ public:
   explicit VerifierImpl(const Graph &G) : G(G) {}
 
   std::vector<std::string> run() {
+    computeLive();
     for (unsigned Id = 0, E = G.nodeIdBound(); Id != E; ++Id) {
       Node *N = G.nodeAt(Id);
       if (!N)
@@ -31,6 +33,30 @@ public:
   }
 
 private:
+  /// Live = fixed nodes reachable from Start by successor edges, plus
+  /// everything they transitively consume through inputs. Checks that
+  /// express "no live code depends on X" consult this set so that dead
+  /// clusters awaiting dead-code elimination (the normal state between
+  /// two phases of a plan) do not raise false alarms.
+  void computeLive() {
+    std::vector<Node *> Worklist{G.start()};
+    while (!Worklist.empty()) {
+      Node *N = Worklist.back();
+      Worklist.pop_back();
+      if (!N || !Live.insert(N).second)
+        continue;
+      for (Node *In : N->inputs())
+        Worklist.push_back(In);
+      if (auto *If = dyn_cast<IfNode>(N)) {
+        Worklist.push_back(If->trueSuccessor());
+        Worklist.push_back(If->falseSuccessor());
+      } else if (auto *End = dyn_cast<EndNode>(N)) {
+        Worklist.push_back(End->merge());
+      } else if (auto *FN = dyn_cast<FixedWithNextNode>(N)) {
+        Worklist.push_back(FN->next());
+      }
+    }
+  }
   void problem(const Node *N, const std::string &Msg) {
     std::ostringstream OS;
     OS << nodeLabel(N) << ": " << Msg;
@@ -106,10 +132,12 @@ private:
         problem(N, "loop end not registered with its loop");
     }
     if (auto *Phi = dyn_cast<PhiNode>(N)) {
-      // Orphaned phis of swept regions can have a nulled merge input
-      // while they wait for dead-code elimination; only phis that are
-      // still used must be anchored.
-      if (!isa_and_nonnull<MergeNode>(Phi->input(0)) && Phi->hasUsages())
+      // Orphaned phis of swept or folded regions can lose their merge
+      // anchor while they (and their users) wait for dead-code
+      // elimination; only phis that live code still consumes must be
+      // anchored. (A phi is in Live exactly when something reachable
+      // transitively uses it — phis are never inputs of their merge.)
+      if (!isa_and_nonnull<MergeNode>(Phi->input(0)) && Live.count(Phi))
         problem(N, "used phi without a merge anchor");
     }
     if (auto *FS = dyn_cast<FrameStateNode>(N)) {
@@ -139,6 +167,7 @@ private:
   }
 
   const Graph &G;
+  std::set<Node *> Live;
   std::vector<std::string> Problems;
 };
 

@@ -1,0 +1,15 @@
+//===- EscapePhases.cpp - Escape analyses behind the Phase interface -----------===//
+
+#include "pea/EscapePhases.h"
+
+#include "pea/PartialEscapeAnalysis.h"
+
+using namespace jvm;
+
+bool PartialEscapePhase::run(Graph &G, PhaseContext &Ctx) const {
+  return runPartialEscapeAnalysis(G, Ctx.P, Ctx.Options, &Ctx.Stats);
+}
+
+bool FlowInsensitiveEscapePhase::run(Graph &G, PhaseContext &Ctx) const {
+  return runFlowInsensitiveEscapeAnalysis(G, Ctx.P, Ctx.Options, &Ctx.Stats);
+}

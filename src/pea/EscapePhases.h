@@ -1,0 +1,37 @@
+//===- EscapePhases.h - The paper's analyses as Phase objects -------*- C++ -*-===//
+///
+/// \file
+/// Phase adapters for the two escape analyses, so a PhasePlan can
+/// schedule them like any other stage. makeDefaultPhasePlan() picks one
+/// (or neither) from CompilerOptions::EAMode; ablation benchmarks mix
+/// them into custom plans directly. Both accumulate their work into
+/// PhaseContext::Stats, which the pipeline driver hands to JitMetrics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_PEA_ESCAPEPHASES_H
+#define JVM_PEA_ESCAPEPHASES_H
+
+#include "compiler/Phase.h"
+
+namespace jvm {
+
+/// The paper's control-flow-sensitive partial escape analysis
+/// (EscapeAnalysisMode::Partial).
+class PartialEscapePhase : public Phase {
+public:
+  const char *name() const override { return "escape-partial"; }
+  bool run(Graph &G, PhaseContext &Ctx) const override;
+};
+
+/// The flow-insensitive equi-escape-sets baseline of Section 6.2
+/// (EscapeAnalysisMode::FlowInsensitive).
+class FlowInsensitiveEscapePhase : public Phase {
+public:
+  const char *name() const override { return "escape-flowins"; }
+  bool run(Graph &G, PhaseContext &Ctx) const override;
+};
+
+} // namespace jvm
+
+#endif // JVM_PEA_ESCAPEPHASES_H

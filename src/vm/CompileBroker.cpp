@@ -3,15 +3,10 @@
 #include "vm/CompileBroker.h"
 
 #include "bytecode/Program.h"
-#include "compiler/Canonicalizer.h"
-#include "compiler/DeadCodeElimination.h"
-#include "compiler/GVN.h"
-#include "compiler/GraphBuilder.h"
-#include "compiler/Inliner.h"
-#include "ir/Printer.h"
-#include "ir/Verifier.h"
+#include "ir/Graph.h"
 #include "support/Debug.h"
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -26,78 +21,66 @@ uint64_t nowNanos() {
       .count();
 }
 
-/// JVM_DUMP_PHASES=1 prints the IR after each pipeline stage. Resolved
-/// once at startup: the hot compile path (and concurrent workers) must
-/// not call getenv per compilation.
+/// JVM_DUMP_PHASES=1 prints the IR after each phase that changed the
+/// graph. JVM_DUMP_GRAPH_DIR=<dir> additionally writes one IR snapshot
+/// file per (method, phase). Both resolved once at startup: the hot
+/// compile path (and concurrent workers) must not call getenv per
+/// compilation.
 const bool DumpPhases = std::getenv("JVM_DUMP_PHASES") != nullptr;
+const char *const DumpGraphDir = std::getenv("JVM_DUMP_GRAPH_DIR");
 
-void dumpPhase(const char *Phase, const Graph &G) {
-  if (DumpPhases)
-    std::fprintf(stderr, "== after %s ==\n%s\n", Phase,
-                 graphToString(G).c_str());
-}
+/// Distinguishes recompilations of the same method in dump file names.
+std::atomic<uint64_t> NextCompileSeq{0};
 
 } // namespace
 
-CompileResult jvm::runCompilePipeline(const Program &P, MethodId Method,
+CompileResult jvm::runCompilePipeline(const PhasePlan &Plan, const Program &P,
+                                      MethodId Method,
                                       const ProfileSnapshot &Profiles,
                                       const CompilerOptions &CO) {
   CompileResult R;
-  uint64_t Start = nowNanos();
+  PhaseContext Ctx(P, Profiles, CO, Method);
+  Ctx.CompileSeq = NextCompileSeq.fetch_add(1, std::memory_order_relaxed);
+  if (DumpGraphDir)
+    Ctx.DumpDir = DumpGraphDir;
 
-  std::unique_ptr<Graph> G = buildGraph(P, Method, &Profiles.of(Method), CO);
-  dumpPhase("build", *G);
-  canonicalize(*G, P);
-  dumpPhase("canon", *G);
-  uint64_t AfterBuild = nowNanos();
-  R.Phases.BuildNanos = AfterBuild - Start;
-
-  if (CO.EnableInlining) {
-    inlineCalls(*G, P, &Profiles.data(), CO);
-    canonicalize(*G, P);
+  // Dumps accumulate in a per-compile buffer and are flushed below in a
+  // single write, so compiles on concurrent broker workers never
+  // interleave their phase trails.
+  std::string DumpText;
+  if (DumpPhases) {
+    Ctx.DumpText = &DumpText;
+    DumpText += "=== compiling m" + std::to_string(Method) + " (compile #" +
+                std::to_string(Ctx.CompileSeq) + ") ===\n";
   }
-  uint64_t AfterInline = nowNanos();
-  R.Phases.InlineNanos = AfterInline - AfterBuild;
 
-  runGVN(*G);
-  eliminateDeadCode(*G);
-  dumpPhase("gvn+dce", *G);
-  uint64_t AfterGvn = nowNanos();
-  R.Phases.GvnDceNanos = AfterGvn - AfterInline;
-
-  switch (CO.EAMode) {
-  case EscapeAnalysisMode::None:
-    break;
-  case EscapeAnalysisMode::FlowInsensitive:
-    runFlowInsensitiveEscapeAnalysis(*G, P, CO, &R.Stats);
-    break;
-  case EscapeAnalysisMode::Partial:
-    runPartialEscapeAnalysis(*G, P, CO, &R.Stats);
-    break;
+  auto G = std::make_unique<Graph>(Method, P.methodAt(Method).ParamTypes);
+  {
+    ScopedNanoTimer Total(R.TotalNanos);
+    Plan.run(*G, Ctx);
   }
-  uint64_t AfterEa = nowNanos();
-  R.Phases.EscapeNanos = AfterEa - AfterGvn;
 
-  for (int Round = 0; Round != 4; ++Round) {
-    bool Changed = canonicalize(*G, P);
-    Changed |= runGVN(*G);
-    Changed |= eliminateDeadCode(*G);
-    if (!Changed)
-      break;
-  }
-  verifyGraphOrDie(*G);
-  uint64_t End = nowNanos();
-  R.Phases.CleanupNanos = End - AfterEa;
-  R.Phases.TotalNanos = End - Start;
+  if (DumpPhases)
+    std::fwrite(DumpText.data(), 1, DumpText.size(), stderr);
 
+  R.Stats = Ctx.Stats;
+  R.Phases = std::move(Ctx.Times);
+  R.FixpointCapHits = Ctx.FixpointCapHits;
   R.G = std::move(G);
   return R;
 }
 
+CompileResult jvm::runCompilePipeline(const Program &P, MethodId Method,
+                                      const ProfileSnapshot &Profiles,
+                                      const CompilerOptions &CO) {
+  return runCompilePipeline(makeDefaultPhasePlan(CO), P, Method, Profiles, CO);
+}
+
 CompileBroker::CompileBroker(const Program &P, CompilerOptions Options,
                              unsigned Threads, InstallFn Install)
-    : P(P), Options(Options), NumThreads(Threads ? Threads : 1),
-      Install(std::move(Install)), Pending(P.numMethods(), 0) {
+    : P(P), Options(Options), Plan(makeDefaultPhasePlan(Options)),
+      NumThreads(Threads ? Threads : 1), Install(std::move(Install)),
+      Pending(P.numMethods(), 0) {
   // Spawn the pool up front: thread creation is hundreds of
   // microseconds and must not land on the mutator's first enqueue.
   Workers.reserve(NumThreads);
@@ -155,7 +138,7 @@ void CompileBroker::workerLoop() {
     JVM_DEBUG("broker: compiling m" << T->Method << " (hotness "
                                     << T->Hotness << ")");
     CompileResult R =
-        runCompilePipeline(P, T->Method, T->Snapshot, Options);
+        runCompilePipeline(Plan, P, T->Method, T->Snapshot, Options);
     MethodId M = T->Method;
     Install(std::move(*T), std::move(R));
 

@@ -35,6 +35,7 @@
 #define JVM_VM_COMPILEBROKER_H
 
 #include "compiler/CompilerOptions.h"
+#include "compiler/PhasePlan.h"
 #include "interp/Profile.h"
 #include "pea/PartialEscapeAnalysis.h"
 
@@ -52,27 +53,32 @@ namespace jvm {
 class Graph;
 class Program;
 
-/// Wall-clock nanoseconds spent in each stage of one compilation.
-struct CompilePhaseTimes {
-  uint64_t BuildNanos = 0;   ///< graph building + first canonicalize
-  uint64_t InlineNanos = 0;  ///< inlining + post-inline canonicalize
-  uint64_t GvnDceNanos = 0;  ///< pre-EA GVN + DCE
-  uint64_t EscapeNanos = 0;  ///< the configured escape analysis
-  uint64_t CleanupNanos = 0; ///< post-EA fixpoint rounds + verification
-  uint64_t TotalNanos = 0;   ///< whole pipeline
-};
-
 /// Everything one pipeline run produces.
 struct CompileResult {
   std::unique_ptr<Graph> G;
   PEAStats Stats;
-  CompilePhaseTimes Phases;
+  /// Wall-clock nanoseconds and run counts keyed by phase name ("build",
+  /// "canon", "gvn", ... — whatever the plan scheduled).
+  PhaseTimes Phases;
+  uint64_t TotalNanos = 0; ///< whole pipeline, including plan overhead
+  /// Fixpoint phases that hit their round cap without converging.
+  uint64_t FixpointCapHits = 0;
 };
 
-/// Runs the full optimization pipeline (build, inline, GVN+DCE, escape
-/// analysis, cleanup, verify) for \p Method against \p Profiles. Pure
-/// with respect to VM state: reads only \p P and the snapshot, so any
-/// number of pipelines may run concurrently on different threads.
+/// Runs \p Plan for \p Method against \p Profiles: allocates the empty
+/// graph, executes every phase under the manager (timing, optional
+/// inter-phase verification, dump capture), and flushes any buffered
+/// JVM_DUMP_PHASES text in one write so concurrent compiles never
+/// interleave. Pure with respect to VM state: reads only \p P and the
+/// snapshot, so any number of pipelines may run concurrently on
+/// different threads.
+CompileResult runCompilePipeline(const PhasePlan &Plan, const Program &P,
+                                 MethodId Method,
+                                 const ProfileSnapshot &Profiles,
+                                 const CompilerOptions &Options);
+
+/// Convenience overload for one-shot (synchronous) compiles: builds the
+/// default plan from \p Options and runs it.
 CompileResult runCompilePipeline(const Program &P, MethodId Method,
                                  const ProfileSnapshot &Profiles,
                                  const CompilerOptions &Options);
@@ -135,6 +141,9 @@ private:
 
   const Program &P;
   const CompilerOptions Options;
+  /// Built once from Options; shared read-only by all workers (phases
+  /// are stateless, so concurrent Plan.run calls are safe).
+  const PhasePlan Plan;
   const unsigned NumThreads;
   InstallFn Install;
 

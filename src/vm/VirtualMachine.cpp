@@ -66,6 +66,12 @@ Value VirtualMachine::call(MethodId Method, std::vector<Value> Args) {
   if (Options.EnableJit &&
       !MS.CompilePending.load(std::memory_order_acquire) &&
       Profiles.of(Method).hotness() >= Options.CompileThreshold) {
+    // The acquire above pairs with the worker's release store that
+    // clears the flag *after* installing: code may have landed between
+    // the Code load up top and the flag load, and requesting now would
+    // compile the method a second time.
+    if (const Graph *G = MS.Code.load(std::memory_order_acquire))
+      return executeCompiled(*G, Args);
     requestCompile(Method);
     // Synchronous mode installs before returning; run the fresh code.
     if (const Graph *G = MS.Code.load(std::memory_order_acquire))
@@ -137,12 +143,9 @@ bool VirtualMachine::installCode(MethodId Method, uint64_t Version,
   uint64_t Now = nowNanos();
   std::lock_guard<std::mutex> L(StateMutex);
   // Pipeline cost is real whether or not the result installs.
-  Jit.CompileNanos += R.Phases.TotalNanos;
-  Jit.BuildNanos += R.Phases.BuildNanos;
-  Jit.InlineNanos += R.Phases.InlineNanos;
-  Jit.GvnDceNanos += R.Phases.GvnDceNanos;
-  Jit.EscapeNanos += R.Phases.EscapeNanos;
-  Jit.CleanupNanos += R.Phases.CleanupNanos;
+  Jit.CompileNanos += R.TotalNanos;
+  Jit.PhaseNanos += R.Phases;
+  Jit.FixpointCapHits += R.FixpointCapHits;
   Jit.EscapeStats += R.Stats;
 
   MethodState &MS = States[Method];

@@ -30,6 +30,7 @@
 #define JVM_VM_VIRTUALMACHINE_H
 
 #include "compiler/CompilerOptions.h"
+#include "compiler/Phase.h"
 #include "interp/Interpreter.h"
 #include "pea/PartialEscapeAnalysis.h"
 #include "runtime/Runtime.h"
@@ -78,12 +79,12 @@ struct JitMetrics {
   /// pipeline in synchronous mode, just snapshot + enqueue with a
   /// background broker. The number bench_compile_latency reports.
   uint64_t MutatorStallNanos = 0;
-  // Per-phase pipeline time (sums to ~CompileNanos) ---------------------
-  uint64_t BuildNanos = 0;   ///< graph building + first canonicalize
-  uint64_t InlineNanos = 0;  ///< inlining + post-inline canonicalize
-  uint64_t GvnDceNanos = 0;  ///< pre-EA GVN + DCE
-  uint64_t EscapeNanos = 0;  ///< time spent inside escape analysis
-  uint64_t CleanupNanos = 0; ///< post-EA fixpoint rounds + verification
+  /// Per-phase pipeline time and run counts, keyed by phase name
+  /// ("build", "canon", "inline", "gvn", "dce", "escape-partial", ...).
+  /// Sums to ~CompileNanos; one row per phase the plans actually ran.
+  PhaseTimes PhaseNanos;
+  /// Cleanup fixpoints that hit their round cap without converging.
+  uint64_t FixpointCapHits = 0;
   // Broker queue behavior ----------------------------------------------
   uint64_t QueueDepthHighWater = 0;
   uint64_t EnqueueToInstallNanos = 0;    ///< summed over installed graphs

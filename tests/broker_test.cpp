@@ -47,13 +47,13 @@ TEST(BrokerTest, SynchronousModeMatchesLegacyBehavior) {
   EXPECT_EQ(J.Compilations, 1u);
   // The whole pipeline ran on the mutator thread.
   EXPECT_GT(J.MutatorStallNanos, 0u);
-  EXPECT_GE(J.MutatorStallNanos, J.BuildNanos);
-  // Phase accounting covers the pipeline.
-  EXPECT_GT(J.BuildNanos, 0u);
-  EXPECT_GT(J.CleanupNanos, 0u);
-  uint64_t PhaseSum = J.BuildNanos + J.InlineNanos + J.GvnDceNanos +
-                      J.EscapeNanos + J.CleanupNanos;
-  EXPECT_LE(PhaseSum, J.CompileNanos);
+  EXPECT_GE(J.MutatorStallNanos, J.PhaseNanos.nanosFor("build"));
+  // Phase accounting covers the pipeline, one row per phase name.
+  EXPECT_GT(J.PhaseNanos.nanosFor("build"), 0u);
+  EXPECT_EQ(J.PhaseNanos.runsFor("build"), 1u);
+  EXPECT_GT(J.PhaseNanos.runsFor("canon"), 1u); // ran again in cleanup
+  EXPECT_GT(J.PhaseNanos.nanosFor("escape-partial"), 0u);
+  EXPECT_LE(J.PhaseNanos.totalNanos(), J.CompileNanos);
   EXPECT_GE(J.EnqueueToInstallNanosMax, 1u);
 }
 
@@ -275,21 +275,39 @@ TEST(BrokerStressTest, CallAndInvalidateWhileWorkersInstall) {
 
 TEST(BrokerStressTest, ManyMethodsCompeteForWorkers) {
   // Four hot methods, one worker: the hotness-prioritized queue must
-  // drain them all and dedup must keep each to one compilation.
+  // drain them all and dedup must keep each to one compilation per
+  // code version.
   MathProgram MP = makeMathProgram();
   VirtualMachine VM(MP.P, brokerOptions(1));
-  for (int I = 0; I != 100; ++I) {
-    VM.call(MP.SumTo, {Value::makeInt(10)});
-    VM.call(MP.Abs, {Value::makeInt(I % 9 + 1)});
-    VM.call(MP.Max, {Value::makeInt(I), Value::makeInt(7)});
-    VM.call(MP.Fact, {Value::makeInt(6)});
+  auto allCompiled = [&] {
+    return VM.compiledGraph(MP.SumTo) && VM.compiledGraph(MP.Abs) &&
+           VM.compiledGraph(MP.Max) && VM.compiledGraph(MP.Fact);
+  };
+  // A speculation failure on the loop's last calls can invalidate a
+  // method after its install, leaving it uncompiled when the loop ends;
+  // warm again until code sticks (the interpreted re-runs profile both
+  // branch sides, so the recompile has nothing left to speculate on).
+  for (int Round = 0; Round != 8 && (Round == 0 || !allCompiled()); ++Round) {
+    for (int I = 0; I != 100; ++I) {
+      VM.call(MP.SumTo, {Value::makeInt(10)});
+      VM.call(MP.Abs, {Value::makeInt(I % 9 + 1)});
+      VM.call(MP.Max, {Value::makeInt(I), Value::makeInt(7)});
+      VM.call(MP.Fact, {Value::makeInt(6)});
+    }
+    VM.waitForCompilerIdle();
   }
-  VM.waitForCompilerIdle();
   EXPECT_NE(VM.compiledGraph(MP.SumTo), nullptr);
   EXPECT_NE(VM.compiledGraph(MP.Abs), nullptr);
   EXPECT_NE(VM.compiledGraph(MP.Max), nullptr);
   EXPECT_NE(VM.compiledGraph(MP.Fact), nullptr);
-  EXPECT_EQ(VM.jitMetrics().Compilations, 4u);
+  // Dedup means one install per code version. An early profile snapshot
+  // can speculate on a one-sided branch, deopt past MaxDeoptsPerMethod
+  // once the compiled code sees the other side, and recompile — that is
+  // an invalidation-driven recompile, not a dedup failure, and whether
+  // it happens depends on where the install lands in the warmup loop.
+  const JitMetrics &J = VM.jitMetrics();
+  EXPECT_GE(J.Compilations, 4u);
+  EXPECT_LE(J.Compilations, 4u + J.Invalidations);
 }
 
 } // namespace

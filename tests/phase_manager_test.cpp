@@ -1,0 +1,447 @@
+//===- phase_manager_test.cpp - Phase plan / manager behavior ----------------===//
+//
+// Covers the declarative phase layer: plan ordering and changed
+// propagation, per-phase timing, the bounded fixpoint combinator (both
+// convergence and the round cap), verification attribution to the
+// culprit phase, structured dumping, and — the load-bearing one — a
+// differential test proving the default plan produces graphs identical
+// node for node to the seed pipeline's hand-rolled call sequence.
+//
+//===----------------------------------------------------------------------===//
+
+#include "CompileTestHelpers.h"
+#include "TestPrograms.h"
+
+#include "compiler/PhasePlan.h"
+#include "compiler/StandardPhases.h"
+#include "pea/EscapePhases.h"
+#include "vm/CompileBroker.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+using namespace jvm;
+using namespace jvm::testjit;
+using namespace jvm::testprogs;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Synthetic phases
+//===----------------------------------------------------------------------===//
+
+/// Appends its name to an external log and reports a fixed changed bit.
+class RecordingPhase : public Phase {
+public:
+  RecordingPhase(const char *Name, bool Changes, std::vector<std::string> *Log)
+      : Name(Name), Changes(Changes), Log(Log) {}
+
+  const char *name() const override { return Name; }
+  bool run(Graph &, PhaseContext &) const override {
+    Log->push_back(Name);
+    return Changes;
+  }
+
+private:
+  const char *Name;
+  bool Changes;
+  std::vector<std::string> *Log;
+};
+
+/// Reports "changed" for the first *Budget executions, then settles.
+class CountdownPhase : public Phase {
+public:
+  explicit CountdownPhase(unsigned *Budget) : Budget(Budget) {}
+
+  const char *name() const override { return "countdown"; }
+  bool run(Graph &, PhaseContext &) const override {
+    if (*Budget == 0)
+      return false;
+    --*Budget;
+    return true;
+  }
+
+private:
+  unsigned *Budget;
+};
+
+/// Leaves a structurally broken graph behind: an If with no successors.
+class CorruptorPhase : public Phase {
+public:
+  const char *name() const override { return "corruptor"; }
+  bool run(Graph &G, PhaseContext &) const override {
+    G.start()->setNext(G.create<IfNode>(G.param(0)));
+    return true;
+  }
+};
+
+/// A program + empty profile snapshot + a fresh graph to run plans on.
+struct PlanHarness {
+  PlanHarness() : Prof(MP.P.numMethods()), Snap(Prof) {}
+
+  PhaseContext makeCtx(MethodId M) {
+    return PhaseContext(MP.P, Snap, Opts, M);
+  }
+
+  std::unique_ptr<Graph> emptyGraph(MethodId M) {
+    return std::make_unique<Graph>(M, MP.P.methodAt(M).ParamTypes);
+  }
+
+  MathProgram MP = makeMathProgram();
+  ProfileData Prof;
+  ProfileSnapshot Snap;
+  CompilerOptions Opts;
+};
+
+//===----------------------------------------------------------------------===//
+// Plan mechanics
+//===----------------------------------------------------------------------===//
+
+TEST(PhasePlanTest, RunsPhasesInAppendOrderAndOrsChangedBits) {
+  PlanHarness H;
+  std::vector<std::string> Log;
+  PhasePlan Plan;
+  Plan.append<RecordingPhase>("first", false, &Log);
+  Plan.append<RecordingPhase>("second", true, &Log);
+  Plan.append<RecordingPhase>("third", false, &Log);
+
+  PhaseContext Ctx = H.makeCtx(H.MP.SumTo);
+  std::unique_ptr<Graph> G = H.emptyGraph(H.MP.SumTo);
+  EXPECT_TRUE(Plan.run(*G, Ctx)); // "second" changed
+  EXPECT_EQ(Log, (std::vector<std::string>{"first", "second", "third"}));
+
+  Log.clear();
+  PhasePlan Quiet;
+  Quiet.append<RecordingPhase>("only", false, &Log);
+  PhaseContext Ctx2 = H.makeCtx(H.MP.SumTo);
+  std::unique_ptr<Graph> G2 = H.emptyGraph(H.MP.SumTo);
+  EXPECT_FALSE(Quiet.run(*G2, Ctx2));
+}
+
+TEST(PhasePlanTest, TimesEveryExecutionByName) {
+  PlanHarness H;
+  std::vector<std::string> Log;
+  PhasePlan Plan;
+  Plan.append<RecordingPhase>("alpha", true, &Log);
+  Plan.append<RecordingPhase>("beta", true, &Log);
+  Plan.append<RecordingPhase>("alpha", true, &Log); // same name, same entry
+
+  PhaseContext Ctx = H.makeCtx(H.MP.SumTo);
+  std::unique_ptr<Graph> G = H.emptyGraph(H.MP.SumTo);
+  Plan.run(*G, Ctx);
+
+  ASSERT_EQ(Ctx.Times.Entries.size(), 2u);
+  EXPECT_EQ(Ctx.Times.Entries[0].Name, "alpha"); // first-execution order
+  EXPECT_EQ(Ctx.Times.Entries[1].Name, "beta");
+  EXPECT_EQ(Ctx.Times.runsFor("alpha"), 2u);
+  EXPECT_EQ(Ctx.Times.runsFor("beta"), 1u);
+  EXPECT_EQ(Ctx.Times.runsFor("gamma"), 0u);
+}
+
+TEST(PhaseTimesTest, MergesByNameKeepingFirstSeenOrder) {
+  PhaseTimes A;
+  A.entryFor("build").Nanos = 10;
+  A.entryFor("build").Runs = 1;
+  A.entryFor("canon").Nanos = 5;
+  A.entryFor("canon").Runs = 2;
+
+  PhaseTimes B;
+  B.entryFor("canon").Nanos = 7;
+  B.entryFor("canon").Runs = 1;
+  B.entryFor("escape-partial").Nanos = 3;
+  B.entryFor("escape-partial").Runs = 1;
+
+  A += B;
+  ASSERT_EQ(A.Entries.size(), 3u);
+  EXPECT_EQ(A.nanosFor("build"), 10u);
+  EXPECT_EQ(A.nanosFor("canon"), 12u);
+  EXPECT_EQ(A.runsFor("canon"), 3u);
+  EXPECT_EQ(A.nanosFor("escape-partial"), 3u);
+  EXPECT_EQ(A.totalNanos(), 25u);
+}
+
+//===----------------------------------------------------------------------===//
+// Fixpoint combinator
+//===----------------------------------------------------------------------===//
+
+TEST(FixpointPhaseTest, StopsWhenARoundReportsNoChange) {
+  PlanHarness H;
+  unsigned Budget = 2; // changes twice, then settles
+  PhasePlan Plan;
+  FixpointPhase &Fix = Plan.append<FixpointPhase>("loop", 10);
+  Fix.append<CountdownPhase>(&Budget);
+
+  PhaseContext Ctx = H.makeCtx(H.MP.SumTo);
+  std::unique_ptr<Graph> G = H.emptyGraph(H.MP.SumTo);
+  EXPECT_TRUE(Plan.run(*G, Ctx));
+  // Two changing rounds plus the round that observed convergence.
+  EXPECT_EQ(Ctx.Times.runsFor("countdown"), 3u);
+  EXPECT_EQ(Ctx.FixpointCapHits, 0u);
+}
+
+TEST(FixpointPhaseTest, RoundCapIsCountedAndWarnedAbout) {
+  PlanHarness H;
+  unsigned Budget = 1000; // never converges on its own
+  PhasePlan Plan;
+  FixpointPhase &Fix = Plan.append<FixpointPhase>("loop", 3);
+  Fix.append<CountdownPhase>(&Budget);
+
+  std::string Dump;
+  PhaseContext Ctx = H.makeCtx(H.MP.SumTo);
+  Ctx.DumpText = &Dump;
+  std::unique_ptr<Graph> G = H.emptyGraph(H.MP.SumTo);
+  EXPECT_TRUE(Plan.run(*G, Ctx));
+  EXPECT_EQ(Ctx.Times.runsFor("countdown"), 3u); // exactly the cap
+  EXPECT_EQ(Ctx.FixpointCapHits, 1u);
+  EXPECT_NE(Dump.find("fixpoint 'loop' hit its round cap (3)"),
+            std::string::npos);
+}
+
+TEST(FixpointPhaseTest, ChildrenAreTimedIndividuallyNotTheWrapper) {
+  PlanHarness H;
+  std::vector<std::string> Log;
+  PhasePlan Plan;
+  FixpointPhase &Fix = Plan.append<FixpointPhase>("loop", 5);
+  Fix.append<RecordingPhase>("child", false, &Log);
+
+  PhaseContext Ctx = H.makeCtx(H.MP.SumTo);
+  std::unique_ptr<Graph> G = H.emptyGraph(H.MP.SumTo);
+  Plan.run(*G, Ctx);
+  EXPECT_EQ(Ctx.Times.runsFor("child"), 1u);
+  // The composite wrapper must not charge itself a timing row on top of
+  // its children.
+  EXPECT_EQ(Ctx.Times.runsFor("loop"), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Verification attribution
+//===----------------------------------------------------------------------===//
+
+using PhaseManagerDeathTest = ::testing::Test;
+
+TEST(PhaseManagerDeathTest, BrokenGraphIsAttributedToCulpritPhase) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  PlanHarness H;
+  H.Opts.VerifyAfterEachPhase = true;
+  PhaseContext Ctx = H.makeCtx(H.MP.Abs);
+  std::unique_ptr<Graph> G = H.emptyGraph(H.MP.Abs);
+  CorruptorPhase Corruptor;
+  EXPECT_DEATH(runManagedPhase(Corruptor, *G, Ctx),
+               "IR verification failed after phase 'corruptor'");
+}
+
+TEST(PhaseManagerTest, VerificationCanBeDisabled) {
+  PlanHarness H;
+  H.Opts.VerifyAfterEachPhase = false;
+  PhaseContext Ctx = H.makeCtx(H.MP.Abs);
+  std::unique_ptr<Graph> G = H.emptyGraph(H.MP.Abs);
+  CorruptorPhase Corruptor;
+  EXPECT_TRUE(runManagedPhase(Corruptor, *G, Ctx)); // no abort
+}
+
+//===----------------------------------------------------------------------===//
+// Default plan composition
+//===----------------------------------------------------------------------===//
+
+std::vector<std::string> planNames(const PhasePlan &Plan) {
+  std::vector<std::string> Names;
+  for (size_t I = 0; I != Plan.size(); ++I)
+    Names.push_back(Plan.phaseAt(I).name());
+  return Names;
+}
+
+TEST(DefaultPlanTest, MirrorsTheSeedPipelineStageForStage) {
+  CompilerOptions CO;
+  CO.EAMode = EscapeAnalysisMode::Partial;
+  EXPECT_EQ(planNames(makeDefaultPhasePlan(CO)),
+            (std::vector<std::string>{"build", "canon", "inline", "canon",
+                                      "gvn", "dce", "escape-partial",
+                                      "cleanup", "verify"}));
+
+  CO.EAMode = EscapeAnalysisMode::FlowInsensitive;
+  EXPECT_EQ(planNames(makeDefaultPhasePlan(CO)),
+            (std::vector<std::string>{"build", "canon", "inline", "canon",
+                                      "gvn", "dce", "escape-flowins",
+                                      "cleanup", "verify"}));
+
+  CO.EAMode = EscapeAnalysisMode::None;
+  CO.EnableInlining = false;
+  EXPECT_EQ(planNames(makeDefaultPhasePlan(CO)),
+            (std::vector<std::string>{"build", "canon", "gvn", "dce",
+                                      "cleanup", "verify"}));
+}
+
+TEST(DefaultPlanTest, CleanupFixpointHonorsConfiguredCap) {
+  CompilerOptions CO;
+  CO.CleanupFixpointMaxRounds = 7;
+  PhasePlan Plan = makeDefaultPhasePlan(CO);
+  const FixpointPhase *Cleanup = nullptr;
+  for (size_t I = 0; I != Plan.size(); ++I)
+    if (std::string(Plan.phaseAt(I).name()) == "cleanup")
+      Cleanup = dynamic_cast<const FixpointPhase *>(&Plan.phaseAt(I));
+  ASSERT_NE(Cleanup, nullptr);
+  EXPECT_TRUE(Cleanup->isComposite());
+  EXPECT_EQ(Cleanup->maxRounds(), 7u);
+  EXPECT_EQ(Cleanup->numChildren(), 3u); // canon, gvn, dce
+}
+
+//===----------------------------------------------------------------------===//
+// Structured dumping
+//===----------------------------------------------------------------------===//
+
+TEST(PhaseDumpTest, BuffersTextPerCompileInsteadOfWritingStderr) {
+  PlanHarness H;
+  std::string Dump;
+  PhaseContext Ctx = H.makeCtx(H.MP.SumTo);
+  Ctx.DumpText = &Dump;
+  std::unique_ptr<Graph> G = H.emptyGraph(H.MP.SumTo);
+  makeDefaultPhasePlan(H.Opts).run(*G, Ctx);
+
+  EXPECT_NE(Dump.find("== after build =="), std::string::npos);
+  // Only graph-changing executions dump; the build dump must contain IR.
+  EXPECT_NE(Dump.find("graph method=" + std::to_string(H.MP.SumTo)),
+            std::string::npos);
+}
+
+TEST(PhaseDumpTest, WritesOneSnapshotFilePerChangingPhase) {
+  PlanHarness H;
+  std::filesystem::path Dir =
+      std::filesystem::path(::testing::TempDir()) / "peajit-phase-dumps";
+  std::filesystem::remove_all(Dir);
+
+  PhaseContext Ctx = H.makeCtx(H.MP.Fact);
+  Ctx.DumpDir = Dir.string();
+  Ctx.CompileSeq = 42;
+  std::unique_ptr<Graph> G = H.emptyGraph(H.MP.Fact);
+  makeDefaultPhasePlan(H.Opts).run(*G, Ctx);
+
+  std::vector<std::string> Files;
+  for (const auto &E : std::filesystem::directory_iterator(Dir))
+    Files.push_back(E.path().filename().string());
+  ASSERT_FALSE(Files.empty());
+  std::string Prefix = "m" + std::to_string(H.MP.Fact) + "-c42-";
+  bool SawBuild = false;
+  for (const std::string &F : Files) {
+    EXPECT_EQ(F.rfind(Prefix, 0), 0u) << F;
+    SawBuild |= F.find("-build.ir") != std::string::npos;
+  }
+  EXPECT_TRUE(SawBuild);
+  std::filesystem::remove_all(Dir);
+}
+
+//===----------------------------------------------------------------------===//
+// Differential identity with the seed pipeline
+//===----------------------------------------------------------------------===//
+
+/// The seed's hand-rolled runCompilePipeline call sequence, verbatim:
+/// build+canon, [inline+canon,] gvn+dce, the selected escape analysis,
+/// four capped cleanup rounds, final verify. The plan pipeline must
+/// reproduce its output graph for graph.
+std::unique_ptr<Graph> legacySeedPipeline(const Program &P, MethodId M,
+                                          const ProfileSnapshot &Profiles,
+                                          const CompilerOptions &CO) {
+  std::unique_ptr<Graph> G = buildGraph(P, M, &Profiles.of(M), CO);
+  canonicalize(*G, P);
+  if (CO.EnableInlining) {
+    inlineCalls(*G, P, &Profiles.data(), CO);
+    canonicalize(*G, P);
+  }
+  runGVN(*G);
+  eliminateDeadCode(*G);
+  switch (CO.EAMode) {
+  case EscapeAnalysisMode::None:
+    break;
+  case EscapeAnalysisMode::FlowInsensitive:
+    runFlowInsensitiveEscapeAnalysis(*G, P, CO, nullptr);
+    break;
+  case EscapeAnalysisMode::Partial:
+    runPartialEscapeAnalysis(*G, P, CO, nullptr);
+    break;
+  }
+  for (int Round = 0; Round != 4; ++Round) {
+    bool Changed = canonicalize(*G, P);
+    Changed |= runGVN(*G);
+    Changed |= eliminateDeadCode(*G);
+    if (!Changed)
+      break;
+  }
+  verifyGraphOrDie(*G);
+  return G;
+}
+
+void expectPlanMatchesLegacy(const Program &P, MethodId M,
+                             const ProfileSnapshot &Snap, const char *What) {
+  for (EscapeAnalysisMode Mode :
+       {EscapeAnalysisMode::None, EscapeAnalysisMode::FlowInsensitive,
+        EscapeAnalysisMode::Partial}) {
+    CompilerOptions CO;
+    CO.EAMode = Mode;
+    std::unique_ptr<Graph> Legacy = legacySeedPipeline(P, M, Snap, CO);
+    CompileResult R = runCompilePipeline(P, M, Snap, CO);
+    ASSERT_NE(R.G, nullptr);
+    EXPECT_EQ(graphToString(*R.G), graphToString(*Legacy))
+        << What << " diverged under " << escapeAnalysisModeName(Mode);
+  }
+}
+
+TEST(PlanDifferentialTest, MathProgramWithWarmProfiles) {
+  MathProgram MP = makeMathProgram();
+  TestJit J(MP.P);
+  J.warmup(MP.SumTo, {Value::makeInt(10)}, 30);
+  J.warmup(MP.Fact, {Value::makeInt(6)}, 30);
+  J.warmup(MP.Abs, {Value::makeInt(-5)}, 30);
+  J.warmup(MP.Max, {Value::makeInt(2), Value::makeInt(3)}, 30);
+  ProfileSnapshot Snap(J.Prof);
+  expectPlanMatchesLegacy(MP.P, MP.SumTo, Snap, "sumTo");
+  expectPlanMatchesLegacy(MP.P, MP.Fact, Snap, "fact");
+  expectPlanMatchesLegacy(MP.P, MP.Abs, Snap, "abs");
+  expectPlanMatchesLegacy(MP.P, MP.Max, Snap, "max");
+}
+
+TEST(PlanDifferentialTest, CacheProgramAllocationSinking) {
+  CacheProgram CP = makeCacheProgram(true);
+  TestJit J(CP.P);
+  for (int I = 0; I != 30; ++I)
+    J.interpret(CP.GetValue, {Value::makeInt(7), Value::makeRef(nullptr)});
+  ProfileSnapshot Snap(J.Prof);
+  expectPlanMatchesLegacy(CP.P, CP.GetValue, Snap, "getValue");
+}
+
+TEST(PlanDifferentialTest, ChurnProgramUnprofiled) {
+  ChurnProgram CP = makeChurnProgram();
+  ProfileData Prof(CP.P.numMethods());
+  ProfileSnapshot Snap(Prof);
+  expectPlanMatchesLegacy(CP.P, CP.SumBoxes, Snap, "sumBoxes");
+}
+
+TEST(PlanDifferentialTest, ShapesProgramWithDevirtualization) {
+  ShapesProgram SP = makeShapesProgram();
+  TestJit J(SP.P);
+  Value Circle = J.interpret(SP.MakeCircle, {Value::makeInt(2)});
+  J.warmup(SP.AreaOf, {Circle}, 30);
+  ProfileSnapshot Snap(J.Prof);
+  expectPlanMatchesLegacy(SP.P, SP.AreaOf, Snap, "areaOf");
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline driver results
+//===----------------------------------------------------------------------===//
+
+TEST(PipelineResultTest, CarriesPerPhaseTimesAndTotals) {
+  MathProgram MP = makeMathProgram();
+  ProfileData Prof(MP.P.numMethods());
+  ProfileSnapshot Snap(Prof);
+  CompilerOptions CO;
+  CompileResult R = runCompilePipeline(MP.P, MP.SumTo, Snap, CO);
+  ASSERT_NE(R.G, nullptr);
+  EXPECT_EQ(R.Phases.runsFor("build"), 1u);
+  EXPECT_GE(R.Phases.runsFor("canon"), 2u);
+  EXPECT_GT(R.Phases.nanosFor("build"), 0u);
+  EXPECT_LE(R.Phases.totalNanos(), R.TotalNanos);
+  EXPECT_EQ(R.FixpointCapHits, 0u);
+}
+
+} // namespace
