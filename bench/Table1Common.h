@@ -22,15 +22,26 @@ inline int runTable1Suite(const char *Suite, const char *Title) {
   std::printf("Table 1 (%s block): without vs. with partial escape "
               "analysis\n", Suite);
   std::printf("(synthetic workloads per DESIGN.md; compare shapes, not "
-              "absolute values)\n\n");
+              "absolute values)\n");
   BenchmarkSet Set = buildBenchmarkSet();
   HarnessOptions Opts = HarnessOptions::fromEnvironment();
+  std::printf("(compiled methods run on the %s tier; JVM_EXEC_MODE "
+              "overrides)\n\n", execModeName(Opts.VM.Exec));
   std::vector<RowComparison> Rows =
       runSuite(Set, Suite, EscapeAnalysisMode::None,
                EscapeAnalysisMode::Partial, Opts);
   std::printf("%s", formatTable1Block(Title, Rows).c_str());
   std::printf("\n(averages include the rows omitted from the listing, "
               "as in the paper)\n");
+
+  // Same rows with PEA on both tiers: what the linear backend buys.
+  std::vector<RowComparison> Tiers =
+      runSuiteTiers(Set, Suite, EscapeAnalysisMode::Partial, Opts);
+  std::printf("\n%s", formatTierTable(Tiers).c_str());
+
+  appendTable1Json(Suite, Rows, Opts.VM.Exec, Tiers);
+  std::printf("\nper-row records appended to %s\n",
+              table1JsonPath().c_str());
   return 0;
 }
 

@@ -49,6 +49,11 @@ struct CompilerOptions {
   /// plan stops and reports a cap hit (JitMetrics::FixpointCapHits).
   unsigned CleanupFixpointMaxRounds = 4;
 
+  /// Translate the optimized graph to register-based linear code at the
+  /// end of the pipeline (the default execution tier). Off: only the
+  /// graph is installed and the walker executes it (debug aid).
+  bool EmitLinearCode = true;
+
   /// Run verifyGraph() after every phase of a plan and abort with the
   /// culprit phase's name on failure. Defaults on wherever assertions
   /// are on (this repo keeps them on in every build type) or when the

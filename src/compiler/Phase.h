@@ -30,6 +30,7 @@
 #include "pea/PartialEscapeAnalysis.h"
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -38,6 +39,7 @@ namespace jvm {
 
 class Graph;
 class Program;
+struct BlockSchedule;
 
 /// Wall-clock nanoseconds and run counts per phase *name*. Entries keep
 /// first-execution (i.e. plan) order, so printing the table reads like
@@ -121,6 +123,11 @@ struct PhaseContext {
   PhaseTimes Times;
   /// Fixpoint combinators that hit their round cap without converging.
   uint64_t FixpointCapHits = 0;
+  /// Block structure + floating-node placement of the final graph, set by
+  /// the "schedule" phase (see compiler/Schedule.h). The backend's linear
+  /// code generator consumes it; plans without the phase leave it null
+  /// and the backend schedules on its own.
+  std::shared_ptr<const BlockSchedule> Schedule;
 
   // Dump sinks (see PhasePlan.h) ----------------------------------------
   /// When non-null, the runner appends "== after <phase> ==" IR dumps

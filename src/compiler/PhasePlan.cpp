@@ -2,6 +2,7 @@
 
 #include "compiler/PhasePlan.h"
 
+#include "compiler/Schedule.h"
 #include "compiler/StandardPhases.h"
 #include "ir/Graph.h"
 #include "ir/Printer.h"
@@ -149,5 +150,9 @@ PhasePlan jvm::makeDefaultPhasePlan(const CompilerOptions &Options) {
   // Unconditional final verification, exactly like the pre-plan pipeline
   // (redundant but cheap when VerifyAfterEachPhase already ran).
   Plan.append<VerifyPhase>();
+  // Block formation + global code motion over the verified final graph;
+  // the backend's linear code generator consumes the result.
+  if (Options.EmitLinearCode)
+    Plan.append<SchedulePhase>();
   return Plan;
 }

@@ -1,0 +1,391 @@
+//===- Schedule.cpp - Basic blocks and global code motion ----------------------===//
+
+#include "compiler/Schedule.h"
+
+#include "support/Casting.h"
+#include "support/ErrorHandling.h"
+
+using namespace jvm;
+
+bool BlockSchedule::dominates(unsigned A, unsigned B) const {
+  while (Blocks[B].DomDepth > Blocks[A].DomDepth)
+    B = Blocks[B].IDom;
+  return A == B;
+}
+
+bool jvm::isSchedulableExpression(const Node *N) {
+  switch (N->kind()) {
+  case NodeKind::ConstantInt:
+  case NodeKind::ConstantNull:
+  case NodeKind::Arith:
+  case NodeKind::Compare:
+  case NodeKind::InstanceOf:
+    return true;
+  default:
+    return false;
+  }
+}
+
+namespace {
+
+/// Builds one BlockSchedule; lives only for the duration of the analysis.
+class Scheduler {
+public:
+  Scheduler(const Graph &G, BlockSchedule &S) : G(G), S(S) {}
+
+  void run() {
+    buildBlocks();
+    computeRPO();
+    computeDominators();
+    computeLoopDepths();
+    placeExpressions();
+  }
+
+private:
+  //===------------------------------------------------------------------===//
+  // Block formation
+  //===------------------------------------------------------------------===//
+
+  /// Successor fixed nodes of the terminator \p T (block leaders).
+  void appendLeaders(const FixedNode *T, std::vector<const FixedNode *> &Out) {
+    switch (T->kind()) {
+    case NodeKind::If: {
+      const auto *If = cast<IfNode>(T);
+      Out.push_back(If->trueSuccessor());
+      Out.push_back(If->falseSuccessor());
+      break;
+    }
+    case NodeKind::End:
+      Out.push_back(cast<EndNode>(T)->merge());
+      break;
+    case NodeKind::LoopEnd:
+      Out.push_back(cast<LoopEndNode>(T)->loopBegin());
+      break;
+    case NodeKind::Return:
+    case NodeKind::Deoptimize:
+    case NodeKind::Unreachable:
+      break;
+    default:
+      jvm_unreachable("block ended on a non-terminator");
+    }
+  }
+
+  void buildBlocks() {
+    S.BlockOf.assign(G.nodeIdBound(), -1);
+    S.FloatBlock.assign(G.nodeIdBound(), -1);
+    std::vector<const FixedNode *> Work{G.start()};
+    std::vector<const FixedNode *> Leaders;
+    while (!Work.empty()) {
+      const FixedNode *Leader = Work.back();
+      Work.pop_back();
+      assert(Leader && "control flow edge to null");
+      if (S.BlockOf[Leader->id()] != -1)
+        continue;
+      unsigned Index = S.Blocks.size();
+      S.Blocks.emplace_back();
+      BasicBlock &B = S.Blocks.back();
+      B.Index = Index;
+      const FixedNode *N = Leader;
+      for (;;) {
+        B.Nodes.push_back(N);
+        S.BlockOf[N->id()] = static_cast<int>(Index);
+        const auto *FWN = dyn_cast<FixedWithNextNode>(N);
+        if (!FWN)
+          break; // If/End/LoopEnd/Return/Deoptimize/Unreachable terminate.
+        const FixedNode *Next = FWN->next();
+        assert(Next && "fixed chain ended without a terminator");
+        assert(!isa<MergeNode>(Next) &&
+               "merge entered through `next` instead of an End");
+        N = Next;
+      }
+      Leaders.clear();
+      appendLeaders(B.Nodes.back(), Leaders);
+      for (const FixedNode *L : Leaders)
+        Work.push_back(L);
+    }
+    // Successor/predecessor edges, now that every leader has its block.
+    std::vector<const FixedNode *> Succs;
+    for (BasicBlock &B : S.Blocks) {
+      Succs.clear();
+      appendLeaders(B.Nodes.back(), Succs);
+      for (const FixedNode *L : Succs) {
+        int T = S.BlockOf[L->id()];
+        assert(T >= 0 && "successor block was never built");
+        B.Succs.push_back(static_cast<unsigned>(T));
+        S.Blocks[T].Preds.push_back(B.Index);
+      }
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Dominators and loops
+  //===------------------------------------------------------------------===//
+
+  void computeRPO() {
+    unsigned N = S.Blocks.size();
+    std::vector<uint8_t> State(N, 0); // 0 new, 1 on stack, 2 done
+    std::vector<std::pair<unsigned, unsigned>> Stack; // (block, next succ)
+    std::vector<unsigned> Post;
+    Post.reserve(N);
+    Stack.emplace_back(0, 0);
+    State[0] = 1;
+    while (!Stack.empty()) {
+      auto &[B, NextSucc] = Stack.back();
+      if (NextSucc < S.Blocks[B].Succs.size()) {
+        unsigned T = S.Blocks[B].Succs[NextSucc++];
+        if (!State[T]) {
+          State[T] = 1;
+          Stack.emplace_back(T, 0);
+        }
+      } else {
+        State[B] = 2;
+        Post.push_back(B);
+        Stack.pop_back();
+      }
+    }
+    S.RPO.assign(Post.rbegin(), Post.rend());
+    RPONum.assign(N, 0);
+    for (unsigned I = 0; I != S.RPO.size(); ++I)
+      RPONum[S.RPO[I]] = I;
+  }
+
+  unsigned intersect(unsigned A, unsigned B) const {
+    while (A != B) {
+      while (RPONum[A] > RPONum[B])
+        A = S.Blocks[A].IDom;
+      while (RPONum[B] > RPONum[A])
+        B = S.Blocks[B].IDom;
+    }
+    return A;
+  }
+
+  void computeDominators() {
+    // Cooper/Harvey/Kennedy iterative algorithm over RPO.
+    constexpr unsigned Undef = ~0u;
+    for (BasicBlock &B : S.Blocks)
+      B.IDom = Undef;
+    S.Blocks[0].IDom = 0;
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (unsigned B : S.RPO) {
+        if (B == 0)
+          continue;
+        unsigned NewIdom = Undef;
+        for (unsigned P : S.Blocks[B].Preds) {
+          if (S.Blocks[P].IDom == Undef)
+            continue;
+          NewIdom = NewIdom == Undef ? P : intersect(P, NewIdom);
+        }
+        assert(NewIdom != Undef && "reachable block with no processed pred");
+        if (S.Blocks[B].IDom != NewIdom) {
+          S.Blocks[B].IDom = NewIdom;
+          Changed = true;
+        }
+      }
+    }
+    for (unsigned B : S.RPO)
+      S.Blocks[B].DomDepth =
+          B == 0 ? 0 : S.Blocks[S.Blocks[B].IDom].DomDepth + 1;
+  }
+
+  void computeLoopDepths() {
+    // Natural loop of each back edge (LoopEnd block -> header), flooded
+    // backwards over predecessors.
+    std::vector<uint8_t> InLoop;
+    std::vector<unsigned> Stack;
+    for (BasicBlock &T : S.Blocks) {
+      if (T.terminator()->kind() != NodeKind::LoopEnd)
+        continue;
+      unsigned Header = T.Succs.front();
+      InLoop.assign(S.Blocks.size(), 0);
+      InLoop[Header] = 1;
+      Stack.clear();
+      Stack.push_back(T.Index);
+      while (!Stack.empty()) {
+        unsigned B = Stack.back();
+        Stack.pop_back();
+        if (InLoop[B])
+          continue;
+        InLoop[B] = 1;
+        for (unsigned P : S.Blocks[B].Preds)
+          Stack.push_back(P);
+      }
+      for (unsigned B = 0; B != S.Blocks.size(); ++B)
+        if (InLoop[B])
+          ++S.Blocks[B].LoopDepth;
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Global code motion for floating expressions
+  //===------------------------------------------------------------------===//
+
+  int lca(int A, int B) const {
+    if (A < 0)
+      return B;
+    if (B < 0)
+      return A;
+    unsigned X = A, Y = B;
+    while (S.Blocks[X].DomDepth > S.Blocks[Y].DomDepth)
+      X = S.Blocks[X].IDom;
+    while (S.Blocks[Y].DomDepth > S.Blocks[X].DomDepth)
+      Y = S.Blocks[Y].IDom;
+    while (X != Y) {
+      X = S.Blocks[X].IDom;
+      Y = S.Blocks[Y].IDom;
+    }
+    return static_cast<int>(X);
+  }
+
+  /// Block defining the value of \p In, as seen by a (reachable) user:
+  /// the earliest block a use of \p In may be placed in.
+  int defBlockEarly(const Node *In) {
+    switch (In->kind()) {
+    case NodeKind::Parameter:
+      return 0;
+    case NodeKind::Phi:
+      return S.BlockOf[cast<PhiNode>(In)->merge()->id()];
+    case NodeKind::AllocatedObject:
+      return S.BlockOf[cast<AllocatedObjectNode>(In)->commit()->id()];
+    default:
+      if (isSchedulableExpression(In))
+        return earlyOf(In);
+      assert(In->isFixed() && "unexpected value input kind");
+      return S.BlockOf[In->id()];
+    }
+  }
+
+  /// Earliest legal block for the expression \p N: the deepest (in the
+  /// dominator tree) of its inputs' definition blocks.
+  int earlyOf(const Node *N) {
+    unsigned Id = N->id();
+    if (EarlyBlock[Id] >= 0)
+      return EarlyBlock[Id];
+    int Early = 0;
+    for (const Node *In : N->inputs()) {
+      int D = defBlockEarly(In);
+      assert(D >= 0 && "live expression uses a value from unreachable code");
+      if (S.Blocks[D].DomDepth > S.Blocks[Early].DomDepth)
+        Early = D;
+    }
+    EarlyBlock[Id] = Early;
+    return Early;
+  }
+
+  /// Blocks in which the user \p U consumes the expression \p N, merged
+  /// into \p Late via LCA. Users in unreachable code contribute nothing.
+  void mergeUseBlocks(const Node *U, const Node *N, int &Late) {
+    if (const auto *Phi = dyn_cast<PhiNode>(U)) {
+      const MergeNode *M = Phi->merge();
+      if (S.BlockOf[M->id()] < 0)
+        return; // phi of an unreachable merge
+      // A phi use is a use at the jump feeding the matching operand.
+      for (unsigned I = 0, E = Phi->numValues(); I != E; ++I)
+        if (Phi->valueAt(I) == N)
+          Late = lca(Late, S.BlockOf[M->input(I)->id()]);
+      return;
+    }
+    if (const auto *FS = dyn_cast<FrameStateNode>(U)) {
+      // Frame states are metadata: only the ones reachable from a
+      // Deoptimize sink are ever evaluated, in the sink's block. States
+      // on stateful nodes (Invoke, stores, ...) contribute no uses.
+      for (unsigned B : StateDeoptBlocks[FS->id()])
+        Late = lca(Late, static_cast<int>(B));
+      return;
+    }
+    if (isSchedulableExpression(U)) {
+      Late = lca(Late, finalOf(U));
+      return;
+    }
+    if (U->isFixed()) {
+      int B = S.BlockOf[U->id()];
+      if (B >= 0)
+        Late = lca(Late, B);
+      return;
+    }
+    // Remaining user kinds (VirtualObject has no inputs; AllocatedObject
+    // only uses its commit) cannot consume an expression.
+    assert(!isa<VirtualObjectNode>(U) && !isa<AllocatedObjectNode>(U) &&
+           "unexpected expression user");
+  }
+
+  /// Final placement for the expression \p N: between its earliest legal
+  /// block and the latest common dominator of its uses, at the smallest
+  /// loop depth (ties broken latest). -1 when no emitted code uses it.
+  int finalOf(const Node *N) {
+    unsigned Id = N->id();
+    if (FinalState[Id] == 2)
+      return S.FloatBlock[Id];
+    assert(FinalState[Id] == 0 && "cycle in the pure expression DAG");
+    FinalState[Id] = 1;
+    int Late = -1;
+    for (const Node *U : N->usages())
+      mergeUseBlocks(U, N, Late);
+    int Final = Late;
+    if (Late >= 0) {
+      int Early = earlyOf(N);
+      // Walk the dominator chain from the latest block up to the
+      // earliest, picking the smallest loop depth (out of loops when
+      // possible; later among equals, to shorten live ranges).
+      unsigned B = Late;
+      for (;;) {
+        if (S.Blocks[B].LoopDepth <
+            S.Blocks[static_cast<unsigned>(Final)].LoopDepth)
+          Final = static_cast<int>(B);
+        if (static_cast<int>(B) == Early)
+          break;
+        unsigned D = S.Blocks[B].IDom;
+        assert(D != B && "expression's early block does not dominate its "
+                         "late block");
+        B = D;
+      }
+    }
+    S.FloatBlock[Id] = Final;
+    FinalState[Id] = 2;
+    return Final;
+  }
+
+  void placeExpressions() {
+    unsigned Bound = G.nodeIdBound();
+    EarlyBlock.assign(Bound, -1);
+    FinalState.assign(Bound, 0);
+    StateDeoptBlocks.assign(Bound, {});
+    for (unsigned Id = 0; Id != Bound; ++Id) {
+      const Node *N = G.nodeAt(Id);
+      if (!N || N->kind() != NodeKind::Deoptimize)
+        continue;
+      int B = S.BlockOf[Id];
+      if (B < 0)
+        continue;
+      for (const FrameStateNode *FS = cast<DeoptimizeNode>(N)->state(); FS;
+           FS = FS->outer())
+        StateDeoptBlocks[FS->id()].push_back(static_cast<unsigned>(B));
+    }
+    for (unsigned Id = 0; Id != Bound; ++Id) {
+      const Node *N = G.nodeAt(Id);
+      if (N && isSchedulableExpression(N))
+        finalOf(N);
+    }
+  }
+
+  const Graph &G;
+  BlockSchedule &S;
+  std::vector<unsigned> RPONum;
+  std::vector<int> EarlyBlock;
+  std::vector<uint8_t> FinalState; // 0 unvisited, 1 visiting, 2 done
+  std::vector<std::vector<unsigned>> StateDeoptBlocks;
+};
+
+} // namespace
+
+std::unique_ptr<BlockSchedule> jvm::computeBlockSchedule(const Graph &G) {
+  auto S = std::make_unique<BlockSchedule>();
+  Scheduler(G, *S).run();
+  return S;
+}
+
+bool SchedulePhase::run(Graph &G, PhaseContext &Ctx) const {
+  Ctx.Schedule = computeBlockSchedule(G);
+  return false;
+}

@@ -1,0 +1,87 @@
+//===- Schedule.h - Basic blocks and global code motion -------------*- C++ -*-===//
+///
+/// \file
+/// Turns the sea-of-nodes graph back into a conventional CFG for code
+/// generation: basic blocks over the fixed-node chains, a dominator tree,
+/// loop depths, and a global-code-motion placement (Click-style) that
+/// assigns every live floating expression to the block where the linear
+/// code generator will emit it — out of loops when possible, as late as
+/// legal otherwise.
+///
+/// The schedule is a read-only analysis result: it never mutates the
+/// graph. It is computed by the "schedule" phase at the end of the
+/// default plan and consumed by the LinearCode translator in src/vm.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_COMPILER_SCHEDULE_H
+#define JVM_COMPILER_SCHEDULE_H
+
+#include "compiler/Phase.h"
+#include "ir/Graph.h"
+
+#include <memory>
+#include <vector>
+
+namespace jvm {
+
+/// One basic block: a maximal run of fixed nodes ending in a terminator
+/// (If, End, LoopEnd, Return, Deoptimize, Unreachable).
+struct BasicBlock {
+  unsigned Index = 0;
+  /// The fixed nodes in control-flow order; the last one terminates the
+  /// block (there is no fallthrough in this IR).
+  std::vector<const FixedNode *> Nodes;
+  std::vector<unsigned> Succs;
+  std::vector<unsigned> Preds;
+  /// Immediate dominator (the entry block dominates itself).
+  unsigned IDom = 0;
+  /// Depth in the dominator tree; entry = 0.
+  unsigned DomDepth = 0;
+  /// Natural-loop nesting depth; 0 outside all loops.
+  unsigned LoopDepth = 0;
+
+  const FixedNode *terminator() const { return Nodes.back(); }
+};
+
+/// The block structure of one graph plus the chosen placement for every
+/// live floating expression.
+struct BlockSchedule {
+  /// Blocks[0] is the entry block (contains Start).
+  std::vector<BasicBlock> Blocks;
+  /// Reverse post order over Blocks indices; dominators precede the
+  /// blocks they dominate (the CFG is reducible by construction).
+  std::vector<unsigned> RPO;
+  /// Node id -> block index for fixed nodes; -1 for floating nodes and
+  /// fixed nodes unreachable from Start.
+  std::vector<int> BlockOf;
+  /// Node id -> chosen block for schedulable floating expressions
+  /// (constants, arithmetic, compares, instanceof); -1 when the node is
+  /// not an expression or has no uses that survive into emitted code.
+  std::vector<int> FloatBlock;
+
+  int blockOf(const Node *N) const { return BlockOf[N->id()]; }
+  bool dominates(unsigned A, unsigned B) const;
+};
+
+/// Computes blocks, dominators, loop depths and the floating-node
+/// placement for \p G. The graph must verify (every merge entered through
+/// its ends, every path ending in a terminator).
+std::unique_ptr<BlockSchedule> computeBlockSchedule(const Graph &G);
+
+/// True for node kinds the scheduler places (pure floating expressions
+/// the linear code generator emits as instructions).
+bool isSchedulableExpression(const Node *N);
+
+/// Pipeline phase that records the schedule of the final graph in
+/// PhaseContext::Schedule for the backend. Pure analysis: never reports
+/// the graph as changed.
+class SchedulePhase : public Phase {
+public:
+  const char *name() const override { return "schedule"; }
+  bool run(Graph &G, PhaseContext &Ctx) const override;
+};
+
+} // namespace jvm
+
+#endif // JVM_COMPILER_SCHEDULE_H

@@ -126,18 +126,23 @@ int MergeNode::indexOfEnd(const FixedNode *End) const {
 
 std::vector<PhiNode *> MergeNode::phis() const {
   std::vector<PhiNode *> Result;
+  phis(Result);
+  return Result;
+}
+
+void MergeNode::phis(std::vector<PhiNode *> &Out) const {
+  Out.clear();
   for (Node *U : usages())
     if (auto *Phi = dyn_cast<PhiNode>(U))
       if (Phi->input(0) == this) {
         // A phi lists its merge exactly once; guard against the usage
         // list containing this merge multiple times for other reasons.
         bool Seen = false;
-        for (PhiNode *Existing : Result)
+        for (PhiNode *Existing : Out)
           Seen |= Existing == Phi;
         if (!Seen)
-          Result.push_back(Phi);
+          Out.push_back(Phi);
       }
-  return Result;
 }
 
 LoopEndNode::LoopEndNode(LoopBeginNode *Loop)

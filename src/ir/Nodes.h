@@ -394,6 +394,10 @@ public:
   /// merge input is this node).
   std::vector<PhiNode *> phis() const;
 
+  /// Non-allocating variant: clears \p Out and fills it with the phis of
+  /// this merge. Lets hot callers reuse one scratch vector.
+  void phis(std::vector<PhiNode *> &Out) const;
+
   static bool classof(const Node *N) {
     return N->kind() == NodeKind::Merge || N->kind() == NodeKind::LoopBegin;
   }

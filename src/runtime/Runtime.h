@@ -22,7 +22,10 @@ struct RuntimeMetrics {
   uint64_t MonitorOps = 0;      ///< monitor enters + exits performed
   uint64_t Deopts = 0;          ///< deoptimizations taken
   uint64_t InterpretedOps = 0;  ///< bytecodes interpreted
-  uint64_t CompiledOps = 0;     ///< fixed IR nodes executed in compiled code
+  /// Work done in compiled code: fixed IR nodes walked (graph tier) or
+  /// linear instructions dispatched (linear tier). Executors accumulate
+  /// locally and flush once per call, so mid-call reads see stale values.
+  uint64_t CompiledOps = 0;
   uint64_t CompiledCalls = 0;   ///< method entries through compiled code
   uint64_t InterpretedCalls = 0;///< method entries through the interpreter
 };

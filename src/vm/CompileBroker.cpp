@@ -3,8 +3,10 @@
 #include "vm/CompileBroker.h"
 
 #include "bytecode/Program.h"
+#include "compiler/Schedule.h"
 #include "ir/Graph.h"
 #include "support/Debug.h"
+#include "vm/LinearCode.h"
 
 #include <atomic>
 #include <chrono>
@@ -34,6 +36,11 @@ std::atomic<uint64_t> NextCompileSeq{0};
 
 } // namespace
 
+CompileResult::CompileResult() = default;
+CompileResult::CompileResult(CompileResult &&) noexcept = default;
+CompileResult &CompileResult::operator=(CompileResult &&) noexcept = default;
+CompileResult::~CompileResult() = default;
+
 CompileResult jvm::runCompilePipeline(const PhasePlan &Plan, const Program &P,
                                       MethodId Method,
                                       const ProfileSnapshot &Profiles,
@@ -58,6 +65,14 @@ CompileResult jvm::runCompilePipeline(const PhasePlan &Plan, const Program &P,
   {
     ScopedNanoTimer Total(R.TotalNanos);
     Plan.run(*G, Ctx);
+    if (CO.EmitLinearCode) {
+      // Translate to the linear tier inside the timed window: emission
+      // is part of producing installable code. Custom plans that skipped
+      // the schedule phase get one computed here.
+      PhaseTimer Timer(Ctx.Times, "emit");
+      R.Code = Ctx.Schedule ? translateGraph(*G, *Ctx.Schedule)
+                            : translateGraph(*G);
+    }
   }
 
   if (DumpPhases)

@@ -51,11 +51,20 @@
 namespace jvm {
 
 class Graph;
+class LinearCode;
 class Program;
 
 /// Everything one pipeline run produces.
 struct CompileResult {
+  CompileResult();
+  CompileResult(CompileResult &&) noexcept;
+  CompileResult &operator=(CompileResult &&) noexcept;
+  ~CompileResult(); // out of line: LinearCode is incomplete here
+
   std::unique_ptr<Graph> G;
+  /// The graph translated to register-based linear code (the default
+  /// execution tier); null when Options.EmitLinearCode is off.
+  std::unique_ptr<LinearCode> Code;
   PEAStats Stats;
   /// Wall-clock nanoseconds and run counts keyed by phase name ("build",
   /// "canon", "gvn", ... — whatever the plan scheduled).

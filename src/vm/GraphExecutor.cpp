@@ -4,10 +4,10 @@
 
 #include "ir/Printer.h"
 #include "support/Casting.h"
-#include <cstdio>
 #include "support/ErrorHandling.h"
+#include "vm/LinearCode.h"
 
-#include <map>
+#include <cstdio>
 
 using namespace jvm;
 
@@ -17,16 +17,29 @@ class ExecutionContext {
 public:
   ExecutionContext(Runtime &RT, const Graph &G,
                    const std::vector<Value> &Args, const CallHandler &Call,
-                   const DeoptHandlerFn &Deopt)
+                   const DeoptHandlerFn &Deopt,
+                   GraphExecutor::FrameStorage &S)
       : RT(RT), P(RT.program()), G(G), Args(Args), Call(Call), Deopt(Deopt),
-        Env(G.nodeIdBound()), Pinned(G.nodeIdBound(), false),
-        CachedAt(G.nodeIdBound(), 0), EnvRoots(RT, &Env) {}
+        S(S), Env(S.Env), Pinned(S.Pinned), CachedAt(S.CachedAt),
+        EnvRoots(RT, &Env) {
+    // The assigns clear the frame's previous activation (the environment
+    // is a GC root, so stale references must go) and never allocate once
+    // the pooled frame has grown to this graph's size.
+    unsigned Bound = G.nodeIdBound();
+    Env.assign(Bound, Value());
+    Pinned.assign(Bound, 0);
+    CachedAt.assign(Bound, 0);
+  }
 
   Value run() {
     ++RT.metrics().CompiledCalls;
+    RuntimeMetrics &RM = RT.metrics();
+    // Per-op work accumulates locally and is flushed once on exit; a
+    // shared-counter increment per walked node is measurable overhead.
+    uint64_t Ops = 0;
     const FixedNode *N = G.start();
     for (;;) {
-      ++RT.metrics().CompiledOps;
+      ++Ops;
       switch (N->kind()) {
       case NodeKind::Start:
       case NodeKind::Begin:
@@ -60,14 +73,17 @@ public:
 
       case NodeKind::Return: {
         const auto *Ret = cast<ReturnNode>(N);
+        RM.CompiledOps += Ops;
         return Ret->hasValue() ? eval(Ret->value()) : Value::makeVoid();
       }
 
       case NodeKind::Deoptimize:
+        RM.CompiledOps += Ops;
         return deoptimize(cast<DeoptimizeNode>(N));
 
       case NodeKind::Unreachable:
-        jvm_unreachable("compiled code reached an Unreachable node");
+        RM.CompiledOps += Ops;
+        reportCompiledTrap(G.method(), "unreachable code executed");
 
       case NodeKind::NewInstance: {
         const auto *New = cast<NewInstanceNode>(N);
@@ -102,18 +118,15 @@ public:
       case NodeKind::LoadIndexed: {
         const auto *Load = cast<LoadIndexedNode>(N);
         HeapObject *Arr = evalRefNonNull(Load->array());
-        int64_t Idx = evalInt(Load->index());
-        assert(Idx >= 0 && Idx < Arr->length() && "index out of bounds");
-        pin(Load, Arr->slot(static_cast<unsigned>(Idx)));
+        pin(Load, Arr->slot(checkedIndex(Arr, evalInt(Load->index()))));
         N = Load->next();
         break;
       }
       case NodeKind::StoreIndexed: {
         const auto *Store = cast<StoreIndexedNode>(N);
         HeapObject *Arr = evalRefNonNull(Store->array());
-        int64_t Idx = evalInt(Store->index());
-        assert(Idx >= 0 && Idx < Arr->length() && "index out of bounds");
-        Arr->setSlot(static_cast<unsigned>(Idx), eval(Store->value()));
+        unsigned Idx = checkedIndex(Arr, evalInt(Store->index()));
+        Arr->setSlot(Idx, eval(Store->value()));
         N = Store->next();
         break;
       }
@@ -158,7 +171,8 @@ public:
         MethodId Target = Inv->callee();
         if (Inv->callKind() == CallKind::Virtual) {
           HeapObject *Receiver = CallArgs[0].asRef();
-          assert(Receiver && "null receiver in compiled code");
+          if (!Receiver)
+            reportCompiledTrap(G.method(), "null receiver");
           Target = P.resolveVirtual(Inv->callee(), Receiver->objectClass());
         }
         pin(Inv, Call(Target, std::move(CallArgs)));
@@ -209,7 +223,7 @@ private:
     case NodeKind::Arith: {
       const auto *A = cast<ArithNode>(N);
       Result = Value::makeInt(
-          evalArith(A->op(), evalInt(A->x()), evalInt(A->y())));
+          applyArith(A->op(), evalInt(A->x()), evalInt(A->y())));
       break;
     }
     case NodeKind::Compare:
@@ -237,44 +251,22 @@ private:
 
   void pin(const Node *N, Value V) {
     Env[N->id()] = V;
-    Pinned[N->id()] = true;
+    Pinned[N->id()] = 1;
   }
 
   int64_t evalInt(const Node *N) { return eval(N).asInt(); }
 
   HeapObject *evalRefNonNull(const Node *N) {
     HeapObject *O = eval(N).asRef();
-    assert(O && "null dereference in compiled code");
+    if (!O)
+      reportCompiledTrap(G.method(), "null dereference");
     return O;
   }
 
-  static int64_t evalArith(ArithKind Op, int64_t X, int64_t Y) {
-    switch (Op) {
-    case ArithKind::Add:
-      return static_cast<int64_t>(static_cast<uint64_t>(X) +
-                                  static_cast<uint64_t>(Y));
-    case ArithKind::Sub:
-      return static_cast<int64_t>(static_cast<uint64_t>(X) -
-                                  static_cast<uint64_t>(Y));
-    case ArithKind::Mul:
-      return static_cast<int64_t>(static_cast<uint64_t>(X) *
-                                  static_cast<uint64_t>(Y));
-    case ArithKind::Div:
-      return Y == 0 ? 0 : X / Y;
-    case ArithKind::Rem:
-      return Y == 0 ? 0 : X % Y;
-    case ArithKind::And:
-      return X & Y;
-    case ArithKind::Or:
-      return X | Y;
-    case ArithKind::Xor:
-      return X ^ Y;
-    case ArithKind::Shl:
-      return static_cast<int64_t>(static_cast<uint64_t>(X) << (Y & 63));
-    case ArithKind::Shr:
-      return X >> (Y & 63);
-    }
-    jvm_unreachable("unknown arithmetic kind");
+  unsigned checkedIndex(const HeapObject *Arr, int64_t Idx) {
+    if (Idx < 0 || Idx >= Arr->length())
+      reportCompiledTrap(G.method(), "array index out of bounds");
+    return static_cast<unsigned>(Idx);
   }
 
   bool evalCompare(const CompareNode *C) {
@@ -296,15 +288,13 @@ private:
   /// Simultaneous phi assignment when entering \p M through end \p Index.
   void transferPhis(MergeNode *M, int Index) {
     assert(Index >= 0 && "control entered a merge through a foreign end");
-    auto [It, Inserted] = PhiCache.try_emplace(M);
-    if (Inserted)
-      It->second = M->phis();
-    const std::vector<PhiNode *> &Phis = It->second;
-    ScratchValues.resize(Phis.size());
+    M->phis(S.PhiScratch);
+    const std::vector<PhiNode *> &Phis = S.PhiScratch;
+    S.ScratchValues.resize(Phis.size());
     for (unsigned I = 0, E = Phis.size(); I != E; ++I)
-      ScratchValues[I] = eval(Phis[I]->valueAt(Index));
+      S.ScratchValues[I] = eval(Phis[I]->valueAt(Index));
     for (unsigned I = 0, E = Phis.size(); I != E; ++I)
-      pin(Phis[I], ScratchValues[I]);
+      pin(Phis[I], S.ScratchValues[I]);
     ++Version; // Pure expressions over phis must be recomputed.
   }
 
@@ -338,15 +328,21 @@ private:
             pin(AO, Value::makeRef(O));
       return;
     }
-    std::vector<Value> Fresh(NumObjs);
+    // Entry evaluation is pure, so the scratch cannot be clobbered by a
+    // nested materialize; the scope roots the fresh objects while their
+    // siblings allocate.
+    std::vector<Value> &Fresh = S.MatScratch;
+    Fresh.assign(NumObjs, Value());
     Runtime::RootScope Scope(RT, &Fresh);
 
-    std::map<const VirtualObjectNode *, unsigned> IndexOf;
-    for (unsigned I = 0; I != NumObjs; ++I) {
-      const VirtualObjectNode *VO = Commit->objectAt(I);
-      Fresh[I] = Value::makeRef(allocateForVirtual(VO));
-      IndexOf[VO] = I;
-    }
+    for (unsigned I = 0; I != NumObjs; ++I)
+      Fresh[I] = Value::makeRef(allocateForVirtual(Commit->objectAt(I)));
+    auto indexOf = [&](const VirtualObjectNode *VO) -> unsigned {
+      for (unsigned I = 0; I != NumObjs; ++I)
+        if (Commit->objectAt(I) == VO)
+          return I;
+      jvm_unreachable("entry references a foreign virtual object");
+    };
     // Fill entries; entries referencing sibling virtual objects resolve
     // to the freshly allocated cells (cyclic structures).
     for (unsigned I = 0; I != NumObjs; ++I) {
@@ -355,13 +351,10 @@ private:
       for (unsigned E = 0; E != VO->numEntries(); ++E) {
         const Node *Entry = Commit->entryOf(I, E);
         Value V;
-        if (const auto *Sibling = dyn_cast<VirtualObjectNode>(Entry)) {
-          assert(IndexOf.count(Sibling) && "entry references a foreign "
-                                           "virtual object");
-          V = Fresh[IndexOf[Sibling]];
-        } else {
+        if (const auto *Sibling = dyn_cast<VirtualObjectNode>(Entry))
+          V = Fresh[indexOf(Sibling)];
+        else
           V = eval(Entry);
-        }
         O->setSlot(E, V);
       }
       // Re-acquire elided locks on the now-real object.
@@ -381,16 +374,25 @@ private:
     Req.Root = G.method();
     Req.Reason = N->reason();
 
-    // Materialize every virtual object mapped anywhere in the state chain.
+    // Materialize every virtual object mapped anywhere in the state
+    // chain. Local vectors, not executor scratch: the deopt handler runs
+    // the interpreter, which may re-enter compiled code while Fresh is
+    // still rooted.
     std::vector<Value> Fresh;
     Runtime::RootScope Scope(RT, &Fresh);
-    std::map<const VirtualObjectNode *, unsigned> IndexOf;
+    std::vector<const VirtualObjectNode *> Virtuals;
+    auto indexOf = [&](const VirtualObjectNode *VO) -> int {
+      for (unsigned I = 0, E = Virtuals.size(); I != E; ++I)
+        if (Virtuals[I] == VO)
+          return static_cast<int>(I);
+      return -1;
+    };
     for (const FrameStateNode *FS = N->state(); FS; FS = FS->outer()) {
       for (unsigned I = 0, E = FS->numVirtualMappings(); I != E; ++I) {
         const VirtualObjectNode *VO = FS->mappedObject(I);
-        if (IndexOf.count(VO))
+        if (indexOf(VO) >= 0)
           continue;
-        IndexOf[VO] = Fresh.size();
+        Virtuals.push_back(VO);
         Fresh.push_back(Value::makeRef(allocateForVirtual(VO)));
       }
     }
@@ -398,8 +400,9 @@ private:
       if (!V)
         return Value::makeInt(0); // Dead slot.
       if (const auto *VO = dyn_cast<VirtualObjectNode>(V)) {
-        assert(IndexOf.count(VO) && "unmapped virtual object in state");
-        return Fresh[IndexOf[VO]];
+        int Idx = indexOf(VO);
+        assert(Idx >= 0 && "unmapped virtual object in state");
+        return Fresh[Idx];
       }
       return eval(V);
     };
@@ -408,21 +411,21 @@ private:
       for (unsigned I = 0, E = FS->numVirtualMappings(); I != E; ++I) {
         const VirtualObjectNode *VO = FS->mappedObject(I);
         const auto &M = FS->virtualMapping(I);
-        HeapObject *O = Fresh[IndexOf[VO]].asRef();
+        HeapObject *O = Fresh[indexOf(VO)].asRef();
         // The same object may be mapped by several states in the chain;
         // the snapshots are identical, so filling twice is harmless.
         for (unsigned EI = 0; EI != M.NumEntries; ++EI)
           O->setSlot(EI, Resolve(FS->mappedEntry(I, EI)));
       }
     }
-    std::map<const VirtualObjectNode *, bool> Locked;
+    std::vector<uint8_t> Locked(Virtuals.size(), 0);
     for (const FrameStateNode *FS = N->state(); FS; FS = FS->outer()) {
       for (unsigned I = 0, E = FS->numVirtualMappings(); I != E; ++I) {
-        const VirtualObjectNode *VO = FS->mappedObject(I);
-        if (Locked[VO])
+        int Idx = indexOf(FS->mappedObject(I));
+        if (Locked[Idx])
           continue;
-        Locked[VO] = true;
-        HeapObject *O = Fresh[IndexOf[VO]].asRef();
+        Locked[Idx] = 1;
+        HeapObject *O = Fresh[Idx].asRef();
         for (int L = 0; L != FS->virtualMapping(I).LockDepth; ++L)
           RT.monitorEnter(O);
       }
@@ -449,17 +452,22 @@ private:
   const std::vector<Value> &Args;
   const CallHandler &Call;
   const DeoptHandlerFn &Deopt;
-  std::vector<Value> Env;
-  std::vector<bool> Pinned;
-  std::vector<uint64_t> CachedAt;
+  GraphExecutor::FrameStorage &S;
+  std::vector<Value> &Env;
+  std::vector<uint8_t> &Pinned;
+  std::vector<uint64_t> &CachedAt;
   uint64_t Version = 1;
-  std::map<MergeNode *, std::vector<PhiNode *>> PhiCache;
-  std::vector<Value> ScratchValues;
   Runtime::RootScope EnvRoots;
 };
 
 } // namespace
 
 Value GraphExecutor::execute(const Graph &G, const std::vector<Value> &Args) {
-  return ExecutionContext(RT, G, Args, Call, Deopt).run();
+  if (Depth == FramePool.size())
+    FramePool.push_back(std::make_unique<FrameStorage>());
+  FrameStorage &S = *FramePool[Depth];
+  ++Depth;
+  Value Result = ExecutionContext(RT, G, Args, Call, Deopt, S).run();
+  --Depth;
+  return Result;
 }

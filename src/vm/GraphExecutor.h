@@ -22,6 +22,7 @@
 #include "runtime/Runtime.h"
 
 #include <functional>
+#include <memory>
 
 namespace jvm {
 
@@ -38,6 +39,20 @@ using DeoptHandlerFn = std::function<Value(DeoptRequest &&)>;
 
 class GraphExecutor {
 public:
+  /// Reusable per-activation storage: the node-indexed environment the
+  /// walk evaluates into plus the scratch vectors of phi transfers and
+  /// materializes. Pooled per recursion depth (Invokes re-enter the
+  /// executor through the VM) so steady-state calls never allocate
+  /// nodeIdBound-sized vectors.
+  struct FrameStorage {
+    std::vector<Value> Env;
+    std::vector<uint8_t> Pinned;
+    std::vector<uint64_t> CachedAt;
+    std::vector<PhiNode *> PhiScratch;
+    std::vector<Value> ScratchValues;
+    std::vector<Value> MatScratch;
+  };
+
   GraphExecutor(Runtime &RT, CallHandler CallFn, DeoptHandlerFn DeoptFn)
       : RT(RT), Call(std::move(CallFn)), Deopt(std::move(DeoptFn)) {}
 
@@ -48,6 +63,8 @@ private:
   Runtime &RT;
   CallHandler Call;
   DeoptHandlerFn Deopt;
+  std::vector<std::unique_ptr<FrameStorage>> FramePool;
+  unsigned Depth = 0;
 };
 
 } // namespace jvm

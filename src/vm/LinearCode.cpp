@@ -1,0 +1,809 @@
+//===- LinearCode.cpp - Graph -> linear code translation and execution ---------===//
+
+#include "vm/LinearCode.h"
+
+#include "compiler/Schedule.h"
+#include "support/Casting.h"
+
+#include <cstdio>
+#include <map>
+
+using namespace jvm;
+
+void jvm::reportCompiledTrap(MethodId Method, const char *What) {
+  char Buf[128];
+  std::snprintf(Buf, sizeof(Buf), "compiled code trap in m%d: %s",
+                static_cast<int>(Method), What);
+  reportFatalError(Buf, __FILE__, __LINE__);
+}
+
+//===----------------------------------------------------------------------===//
+// Translation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Emits one graph as linear code, block by block in reverse post order.
+/// Because dominators precede the blocks they dominate in that order,
+/// every expression is emitted (once, in its scheduled block) before any
+/// instruction that reads its register.
+class Translator {
+public:
+  Translator(const Graph &G, const BlockSchedule &S, LinearCode &L)
+      : G(G), S(S), L(L) {}
+
+  void run() {
+    unsigned Bound = G.nodeIdBound();
+    RegOf.assign(Bound, -1);
+    Emitted.assign(Bound, 0);
+    L.Method = G.method();
+    L.NumParams = G.numParams();
+    NextReg = L.NumParams;
+    // All parameter nodes of index I share register I; the executor
+    // preloads those registers from the argument vector.
+    for (unsigned Id = 0; Id != Bound; ++Id)
+      if (const Node *N = G.nodeAt(Id))
+        if (const auto *Par = dyn_cast<ParameterNode>(N)) {
+          assert(Par->index() < L.NumParams && "parameter index out of range");
+          RegOf[Id] = static_cast<int>(Par->index());
+        }
+    // Group scheduled expressions by block (ascending node id: the
+    // emission order within a block's flush is deterministic).
+    FloatsIn.assign(S.Blocks.size(), {});
+    for (unsigned Id = 0; Id != Bound; ++Id)
+      if (S.FloatBlock[Id] >= 0)
+        FloatsIn[S.FloatBlock[Id]].push_back(G.nodeAt(Id));
+
+    BlockPc.assign(S.Blocks.size(), 0);
+    for (unsigned B : S.RPO)
+      emitBlock(B);
+    for (const Patch &Pt : Patches) {
+      uint32_t Pc = BlockPc[Pt.Target];
+      LInst &I = L.Insts[Pt.Inst];
+      (Pt.Field == 0 ? I.A : Pt.Field == 1 ? I.B : I.C) = Pc;
+    }
+    L.NumRegs = NextReg;
+    for (const LinearCode::MoveList &ML : L.MoveLists)
+      L.MaxMoves = std::max(L.MaxMoves, ML.Count);
+  }
+
+private:
+  struct Patch {
+    uint32_t Inst;
+    uint8_t Field; ///< 0 = A, 1 = B, 2 = C
+    unsigned Target;
+  };
+
+  uint32_t append(LInst I) {
+    L.Insts.push_back(I);
+    return static_cast<uint32_t>(L.Insts.size() - 1);
+  }
+
+  void patchTo(uint32_t Inst, uint8_t Field, unsigned TargetBlock) {
+    Patches.push_back({Inst, Field, TargetBlock});
+  }
+
+  uint32_t ensureReg(const Node *N) {
+    int &Reg = RegOf[N->id()];
+    if (Reg < 0)
+      Reg = static_cast<int>(NextReg++);
+    return static_cast<uint32_t>(Reg);
+  }
+
+  uint32_t intPoolIndex(int64_t V) {
+    auto [It, Inserted] = IntPoolIndex.try_emplace(V, L.IntPool.size());
+    if (Inserted)
+      L.IntPool.push_back(V);
+    return It->second;
+  }
+
+  /// Register holding \p N's value at the current emission point,
+  /// emitting \p N first if it is an expression scheduled in the current
+  /// block that has not been emitted yet.
+  uint32_t useVal(const Node *N) {
+    assert(N && "using a null value");
+    if (isSchedulableExpression(N) && !Emitted[N->id()])
+      emitExpr(N);
+    return ensureReg(N);
+  }
+
+  void emitExpr(const Node *N) {
+    unsigned Id = N->id();
+    assert(S.FloatBlock[Id] == static_cast<int>(CurBlock) &&
+           "expression used outside the blocks its scheduled block "
+           "dominates");
+    Emitted[Id] = 1;
+    switch (N->kind()) {
+    case NodeKind::ConstantInt: {
+      uint32_t Pool = intPoolIndex(cast<ConstantIntNode>(N)->value());
+      append({LOp::ConstInt, 0, ensureReg(N), Pool, 0, 0});
+      break;
+    }
+    case NodeKind::ConstantNull:
+      append({LOp::ConstNull, 0, ensureReg(N), 0, 0, 0});
+      break;
+    case NodeKind::Arith: {
+      const auto *A = cast<ArithNode>(N);
+      uint32_t X = useVal(A->x()), Y = useVal(A->y());
+      append({LOp::Arith, static_cast<uint8_t>(A->op()), ensureReg(N), X, Y,
+              0});
+      break;
+    }
+    case NodeKind::Compare: {
+      const auto *C = cast<CompareNode>(N);
+      uint32_t X = useVal(C->x());
+      uint32_t Y = C->op() == CmpKind::IsNull ? 0 : useVal(C->y());
+      append({LOp::Compare, static_cast<uint8_t>(C->op()), ensureReg(N), X, Y,
+              0});
+      break;
+    }
+    case NodeKind::InstanceOf: {
+      const auto *IO = cast<InstanceOfNode>(N);
+      uint32_t O = useVal(IO->object());
+      append({LOp::InstanceOf, static_cast<uint8_t>(IO->isExact()),
+              ensureReg(N), O, static_cast<uint32_t>(IO->testedClass()), 0});
+      break;
+    }
+    default:
+      jvm_unreachable("emitExpr on a non-expression node");
+    }
+  }
+
+  /// Emits every not-yet-emitted expression scheduled in the current
+  /// block. Needed before branches: an expression placed here may be
+  /// consumed only in dominated blocks.
+  void flushFloats() {
+    for (const Node *N : FloatsIn[CurBlock])
+      if (!Emitted[N->id()])
+        emitExpr(N);
+  }
+
+  LSlotRef slotRefFor(const Node *V,
+                      const std::vector<const VirtualObjectNode *> &VOs) {
+    if (!V)
+      return {LSlotRef::Dead, 0};
+    if (const auto *VO = dyn_cast<VirtualObjectNode>(V)) {
+      for (unsigned K = 0, E = VOs.size(); K != E; ++K)
+        if (VOs[K] == VO)
+          return {LSlotRef::Virtual, K};
+      jvm_unreachable("unmapped virtual object in a frame state");
+    }
+    return {LSlotRef::Reg, useVal(V)};
+  }
+
+  void emitMaterialize(const MaterializeNode *Commit) {
+    L.HasEffects = true;
+    LinearCode::MatDesc D;
+    D.FirstObj = L.Objects.size();
+    D.NumObjs = Commit->numObjects();
+    for (unsigned K = 0; K != D.NumObjs; ++K) {
+      const VirtualObjectNode *VO = Commit->objectAt(K);
+      LinearCode::ObjTemplate T{
+          VO->objectClass(),    VO->isArray(),
+          VO->elementType(),    Commit->lockDepthOf(K),
+          static_cast<uint32_t>(L.Slots.size()), VO->numEntries()};
+      for (unsigned E = 0; E != VO->numEntries(); ++E) {
+        const Node *Entry = Commit->entryOf(K, E);
+        if (const auto *Sibling = dyn_cast<VirtualObjectNode>(Entry)) {
+          // Entries referencing sibling objects of the same commit
+          // (cyclic structures) resolve to the fresh cells at runtime.
+          uint32_t Idx = ~0u;
+          for (unsigned J = 0; J != D.NumObjs; ++J)
+            if (Commit->objectAt(J) == Sibling)
+              Idx = J;
+          assert(Idx != ~0u && "entry references a foreign virtual object");
+          L.Slots.push_back({LSlotRef::Virtual, Idx});
+        } else {
+          L.Slots.push_back({LSlotRef::Reg, useVal(Entry)});
+        }
+      }
+      L.Objects.push_back(T);
+    }
+    D.FirstProj = L.Projections.size();
+    for (const Node *U : Commit->usages())
+      if (const auto *AO = dyn_cast<AllocatedObjectNode>(U))
+        if (AO->commit() == Commit)
+          L.Projections.push_back({AO->objectIndex(), ensureReg(AO)});
+    D.NumProjs = L.Projections.size() - D.FirstProj;
+    uint32_t Idx = static_cast<uint32_t>(L.Mats.size());
+    L.Mats.push_back(D);
+    append({LOp::Materialize, 0, 0, Idx, 0, 0});
+  }
+
+  void emitDeopt(const DeoptimizeNode *N) {
+    L.HasEffects = true;
+    LinearCode::DeoptDesc D;
+    D.Reason = N->reason();
+    D.FirstObj = L.Objects.size();
+    D.FirstFrame = L.Frames.size();
+    // Pass 1: discover the virtual objects in exactly the graph walker's
+    // order — state chain innermost outwards, first mapping of each
+    // object wins (it provides entries and lock depth).
+    std::vector<const VirtualObjectNode *> VOs;
+    std::vector<std::pair<const FrameStateNode *, unsigned>> FirstMap;
+    for (const FrameStateNode *FS = N->state(); FS; FS = FS->outer())
+      for (unsigned K = 0, E = FS->numVirtualMappings(); K != E; ++K) {
+        const VirtualObjectNode *VO = FS->mappedObject(K);
+        bool Seen = false;
+        for (const VirtualObjectNode *Existing : VOs)
+          Seen |= Existing == VO;
+        if (!Seen) {
+          VOs.push_back(VO);
+          FirstMap.emplace_back(FS, K);
+        }
+      }
+    D.NumObjs = VOs.size();
+    // Pass 2: templates. Entries may reference objects discovered later,
+    // so the full VOs list must exist before any entry resolves.
+    for (unsigned K = 0; K != VOs.size(); ++K) {
+      const VirtualObjectNode *VO = VOs[K];
+      auto [FS, MI] = FirstMap[K];
+      const FrameStateNode::VirtualMapping &M = FS->virtualMapping(MI);
+      LinearCode::ObjTemplate T{
+          VO->objectClass(), VO->isArray(), VO->elementType(), M.LockDepth,
+          static_cast<uint32_t>(L.Slots.size()), M.NumEntries};
+      for (unsigned E = 0; E != M.NumEntries; ++E)
+        L.Slots.push_back(slotRefFor(FS->mappedEntry(MI, E), VOs));
+      L.Objects.push_back(T);
+    }
+    // Frames, innermost first.
+    unsigned NumFrames = 0;
+    for (const FrameStateNode *FS = N->state(); FS; FS = FS->outer()) {
+      LinearCode::FrameDesc F;
+      F.Method = FS->method();
+      F.Bci = FS->bci();
+      F.Reexecute = FS->isReexecute();
+      F.FirstLocal = L.Slots.size();
+      F.NumLocals = FS->numLocals();
+      for (unsigned K = 0; K != F.NumLocals; ++K)
+        L.Slots.push_back(slotRefFor(FS->localAt(K), VOs));
+      F.FirstStack = L.Slots.size();
+      F.NumStack = FS->numStack();
+      for (unsigned K = 0; K != F.NumStack; ++K)
+        L.Slots.push_back(slotRefFor(FS->stackAt(K), VOs));
+      L.Frames.push_back(F);
+      ++NumFrames;
+    }
+    D.NumFrames = NumFrames;
+    uint32_t Idx = static_cast<uint32_t>(L.Deopts.size());
+    L.Deopts.push_back(D);
+    append({LOp::Deopt, 0, 0, Idx, 0, 0});
+  }
+
+  void emitJump(const MergeNode *M, int EndIndex) {
+    assert(EndIndex >= 0 && "control entered a merge through a foreign end");
+    M->phis(PhiScratch);
+    uint32_t First = static_cast<uint32_t>(L.Moves.size());
+    for (const PhiNode *Phi : PhiScratch) {
+      uint32_t Src = useVal(Phi->valueAt(EndIndex));
+      uint32_t Dst = ensureReg(Phi);
+      if (Dst != Src)
+        L.Moves.push_back({Dst, Src});
+    }
+    flushFloats();
+    uint32_t ListIdx = static_cast<uint32_t>(L.MoveLists.size());
+    L.MoveLists.push_back(
+        {First, static_cast<uint32_t>(L.Moves.size()) - First});
+    uint32_t Inst = append({LOp::Jump, 0, 0, 0, ListIdx, 0});
+    patchTo(Inst, 0, static_cast<unsigned>(S.BlockOf[M->id()]));
+  }
+
+  void emitFixed(const FixedNode *F) {
+    switch (F->kind()) {
+    case NodeKind::Start:
+    case NodeKind::Begin:
+    case NodeKind::LoopExit:
+    case NodeKind::Merge:
+    case NodeKind::LoopBegin:
+      break; // structural: no instruction
+
+    case NodeKind::If: {
+      const auto *If = cast<IfNode>(F);
+      uint32_t Cond = useVal(If->condition());
+      flushFloats();
+      uint32_t Inst = append({LOp::Branch, 0, 0, Cond, 0, 0});
+      patchTo(Inst, 1,
+              static_cast<unsigned>(S.BlockOf[If->trueSuccessor()->id()]));
+      patchTo(Inst, 2,
+              static_cast<unsigned>(S.BlockOf[If->falseSuccessor()->id()]));
+      break;
+    }
+    case NodeKind::End: {
+      const auto *End = cast<EndNode>(F);
+      const MergeNode *M = End->merge();
+      emitJump(M, M->indexOfEnd(End));
+      break;
+    }
+    case NodeKind::LoopEnd: {
+      const auto *End = cast<LoopEndNode>(F);
+      const LoopBeginNode *M = End->loopBegin();
+      emitJump(M, M->indexOfEnd(End));
+      break;
+    }
+    case NodeKind::Return: {
+      const auto *Ret = cast<ReturnNode>(F);
+      if (Ret->hasValue())
+        append({LOp::Ret, 0, 0, useVal(Ret->value()), 0, 0});
+      else
+        append({LOp::RetVoid, 0, 0, 0, 0, 0});
+      break;
+    }
+    case NodeKind::Deoptimize:
+      emitDeopt(cast<DeoptimizeNode>(F));
+      break;
+    case NodeKind::Unreachable:
+      append({LOp::Trap, 0, 0, 0, 0, 0});
+      break;
+
+    case NodeKind::NewInstance: {
+      L.HasEffects = true;
+      const auto *New = cast<NewInstanceNode>(F);
+      append({LOp::NewInstance, 0, ensureReg(New),
+              static_cast<uint32_t>(New->instanceClass()), 0, 0});
+      break;
+    }
+    case NodeKind::NewArray: {
+      L.HasEffects = true;
+      const auto *New = cast<NewArrayNode>(F);
+      uint32_t Len = useVal(New->length());
+      append({LOp::NewArray, static_cast<uint8_t>(New->elementType()),
+              ensureReg(New), Len, 0, 0});
+      break;
+    }
+    case NodeKind::LoadField: {
+      const auto *Load = cast<LoadFieldNode>(F);
+      uint32_t Obj = useVal(Load->object());
+      append({LOp::LoadField, 0, ensureReg(Load), Obj,
+              static_cast<uint32_t>(Load->field()), 0});
+      break;
+    }
+    case NodeKind::StoreField: {
+      L.HasEffects = true;
+      const auto *Store = cast<StoreFieldNode>(F);
+      uint32_t Obj = useVal(Store->object());
+      uint32_t Val = useVal(Store->value());
+      append({LOp::StoreField, 0, 0, Obj,
+              static_cast<uint32_t>(Store->field()), Val});
+      break;
+    }
+    case NodeKind::LoadIndexed: {
+      const auto *Load = cast<LoadIndexedNode>(F);
+      uint32_t Arr = useVal(Load->array());
+      uint32_t Idx = useVal(Load->index());
+      append({LOp::LoadIndexed, 0, ensureReg(Load), Arr, Idx, 0});
+      break;
+    }
+    case NodeKind::StoreIndexed: {
+      L.HasEffects = true;
+      const auto *Store = cast<StoreIndexedNode>(F);
+      uint32_t Arr = useVal(Store->array());
+      uint32_t Idx = useVal(Store->index());
+      uint32_t Val = useVal(Store->value());
+      append({LOp::StoreIndexed, 0, 0, Arr, Idx, Val});
+      break;
+    }
+    case NodeKind::ArrayLength: {
+      const auto *Len = cast<ArrayLengthNode>(F);
+      uint32_t Arr = useVal(Len->array());
+      append({LOp::ArrayLength, 0, ensureReg(Len), Arr, 0, 0});
+      break;
+    }
+    case NodeKind::LoadStatic: {
+      const auto *Load = cast<LoadStaticNode>(F);
+      append({LOp::LoadStatic, 0, ensureReg(Load),
+              static_cast<uint32_t>(Load->index()), 0, 0});
+      break;
+    }
+    case NodeKind::StoreStatic: {
+      L.HasEffects = true;
+      const auto *Store = cast<StoreStaticNode>(F);
+      uint32_t Val = useVal(Store->value());
+      append({LOp::StoreStatic, 0, 0,
+              static_cast<uint32_t>(Store->index()), Val, 0});
+      break;
+    }
+    case NodeKind::MonitorEnter: {
+      L.HasEffects = true;
+      const auto *Mon = cast<MonitorEnterNode>(F);
+      append({LOp::MonitorEnter, 0, 0, useVal(Mon->object()), 0, 0});
+      break;
+    }
+    case NodeKind::MonitorExit: {
+      L.HasEffects = true;
+      const auto *Mon = cast<MonitorExitNode>(F);
+      append({LOp::MonitorExit, 0, 0, useVal(Mon->object()), 0, 0});
+      break;
+    }
+    case NodeKind::Invoke: {
+      L.HasEffects = true;
+      const auto *Inv = cast<InvokeNode>(F);
+      LinearCode::CallDesc D;
+      D.Callee = Inv->callee();
+      D.Kind = Inv->callKind();
+      D.FirstArg = static_cast<uint32_t>(L.CallArgRegs.size());
+      D.NumArgs = Inv->numArgs();
+      for (unsigned K = 0; K != D.NumArgs; ++K)
+        L.CallArgRegs.push_back(useVal(Inv->argAt(K)));
+      uint32_t Idx = static_cast<uint32_t>(L.Calls.size());
+      L.Calls.push_back(D);
+      append({LOp::Invoke, 0, ensureReg(Inv), Idx, 0, 0});
+      break;
+    }
+    case NodeKind::Materialize:
+      emitMaterialize(cast<MaterializeNode>(F));
+      break;
+
+    default:
+      jvm_unreachable("floating node in a basic block's fixed chain");
+    }
+  }
+
+  void emitBlock(unsigned B) {
+    CurBlock = B;
+    BlockPc[B] = static_cast<uint32_t>(L.Insts.size());
+    for (const FixedNode *F : S.Blocks[B].Nodes)
+      emitFixed(F);
+  }
+
+  const Graph &G;
+  const BlockSchedule &S;
+  LinearCode &L;
+  std::vector<int> RegOf;
+  std::vector<uint8_t> Emitted;
+  std::vector<std::vector<const Node *>> FloatsIn;
+  std::vector<uint32_t> BlockPc;
+  std::vector<Patch> Patches;
+  std::map<int64_t, uint32_t> IntPoolIndex;
+  std::vector<PhiNode *> PhiScratch;
+  unsigned NextReg = 0;
+  unsigned CurBlock = 0;
+};
+
+} // namespace
+
+std::unique_ptr<LinearCode> jvm::translateGraph(const Graph &G,
+                                                const BlockSchedule &S) {
+  auto L = std::make_unique<LinearCode>();
+  Translator(G, S, *L).run();
+  return L;
+}
+
+std::unique_ptr<LinearCode> jvm::translateGraph(const Graph &G) {
+  std::unique_ptr<BlockSchedule> S = computeBlockSchedule(G);
+  return translateGraph(G, *S);
+}
+
+//===----------------------------------------------------------------------===//
+// Execution
+//===----------------------------------------------------------------------===//
+
+#if defined(__GNUC__) || defined(__clang__)
+#define JVM_THREADED_DISPATCH 1
+#else
+#define JVM_THREADED_DISPATCH 0
+#endif
+
+LinearExecutor::LinearExecutor(Runtime &RT, CallHandler CallFn,
+                               DeoptHandlerFn DeoptFn)
+    : RT(RT), Call(std::move(CallFn)), Deopt(std::move(DeoptFn)) {
+  // The pooled register frames of all active activations are GC roots
+  // for the lifetime of the executor (frames above Depth are stale and
+  // cleared before reuse, so they are deliberately not visited).
+  RT.heap().addRootProvider([this](const std::function<void(Value)> &Visit) {
+    for (unsigned D = 0; D != Depth; ++D)
+      for (const Value &V : *FramePool[D])
+        Visit(V);
+  });
+}
+
+HeapObject *LinearExecutor::allocateTemplate(const LinearCode::ObjTemplate &T) {
+  if (T.IsArray)
+    return RT.heap().allocateArray(T.ElemTy, T.NumEntries);
+  return RT.allocateInstance(T.Cls);
+}
+
+void LinearExecutor::doMaterialize(const LinearCode &L,
+                                   const LinearCode::MatDesc &M,
+                                   std::vector<Value> &R) {
+  // Same observable order as the graph walker: allocate every object,
+  // then per object fill its entries and replay its elided locks.
+  MatScratch.clear();
+  Runtime::RootScope Scope(RT, &MatScratch);
+  for (uint32_t K = 0; K != M.NumObjs; ++K)
+    MatScratch.push_back(
+        Value::makeRef(allocateTemplate(L.Objects[M.FirstObj + K])));
+  for (uint32_t K = 0; K != M.NumObjs; ++K) {
+    const LinearCode::ObjTemplate &T = L.Objects[M.FirstObj + K];
+    HeapObject *O = MatScratch[K].asRef();
+    for (uint32_t E = 0; E != T.NumEntries; ++E) {
+      const LSlotRef &Slot = L.Slots[T.FirstEntry + E];
+      O->setSlot(E, Slot.K == LSlotRef::Reg ? R[Slot.Index]
+                                            : MatScratch[Slot.Index]);
+    }
+    for (int32_t Lock = 0; Lock != T.LockDepth; ++Lock)
+      RT.monitorEnter(O);
+  }
+  const LinearCode::Projection *Pr = L.Projections.data() + M.FirstProj;
+  for (uint32_t K = 0; K != M.NumProjs; ++K)
+    R[Pr[K].DstReg] = MatScratch[Pr[K].ObjIndex];
+}
+
+Value LinearExecutor::doDeopt(const LinearCode &L,
+                              const LinearCode::DeoptDesc &D,
+                              std::vector<Value> &R) {
+  ++RT.metrics().Deopts;
+  DeoptRequest Req;
+  Req.Root = L.method();
+  Req.Reason = D.Reason;
+  // Materialize the scalar-replaced objects in recorded (= walker
+  // discovery) order; the scope keeps them rooted through the handler.
+  std::vector<Value> Fresh;
+  Fresh.reserve(D.NumObjs);
+  Runtime::RootScope Scope(RT, &Fresh);
+  for (uint32_t K = 0; K != D.NumObjs; ++K)
+    Fresh.push_back(
+        Value::makeRef(allocateTemplate(L.Objects[D.FirstObj + K])));
+  auto Resolve = [&](const LSlotRef &Slot) -> Value {
+    switch (Slot.K) {
+    case LSlotRef::Reg:
+      return R[Slot.Index];
+    case LSlotRef::Virtual:
+      return Fresh[Slot.Index];
+    case LSlotRef::Dead:
+      return Value::makeInt(0);
+    }
+    jvm_unreachable("unknown slot reference kind");
+  };
+  for (uint32_t K = 0; K != D.NumObjs; ++K) {
+    const LinearCode::ObjTemplate &T = L.Objects[D.FirstObj + K];
+    HeapObject *O = Fresh[K].asRef();
+    for (uint32_t E = 0; E != T.NumEntries; ++E)
+      O->setSlot(E, Resolve(L.Slots[T.FirstEntry + E]));
+  }
+  for (uint32_t K = 0; K != D.NumObjs; ++K) {
+    const LinearCode::ObjTemplate &T = L.Objects[D.FirstObj + K];
+    HeapObject *O = Fresh[K].asRef();
+    for (int32_t Lock = 0; Lock != T.LockDepth; ++Lock)
+      RT.monitorEnter(O);
+  }
+  for (uint32_t K = 0; K != D.NumFrames; ++K) {
+    const LinearCode::FrameDesc &F = L.Frames[D.FirstFrame + K];
+    ResumeFrame RF;
+    RF.Method = F.Method;
+    RF.Bci = F.Bci;
+    RF.Reexecute = F.Reexecute;
+    RF.Locals.reserve(F.NumLocals);
+    for (uint32_t S = 0; S != F.NumLocals; ++S)
+      RF.Locals.push_back(Resolve(L.Slots[F.FirstLocal + S]));
+    RF.Stack.reserve(F.NumStack);
+    for (uint32_t S = 0; S != F.NumStack; ++S)
+      RF.Stack.push_back(Resolve(L.Slots[F.FirstStack + S]));
+    Req.Frames.push_back(std::move(RF));
+  }
+  return Deopt(std::move(Req));
+}
+
+Value LinearExecutor::execute(const LinearCode &L,
+                              const std::vector<Value> &Args) {
+  ++RT.metrics().CompiledCalls;
+  assert(Args.size() == L.numParams() && "argument count mismatch");
+  if (Depth == FramePool.size())
+    FramePool.push_back(std::make_unique<std::vector<Value>>());
+  std::vector<Value> &R = *FramePool[Depth];
+  // Clearing drops stale references from the frame's previous use; the
+  // assign never allocates once the frame reached this code's size.
+  R.assign(L.numRegs(), Value());
+  for (unsigned I = 0, E = L.numParams(); I != E; ++I)
+    R[I] = Args[I];
+  if (MoveScratch.size() < L.maxMoves())
+    MoveScratch.resize(L.maxMoves());
+  ++Depth;
+  Value Result = run(L, R);
+  --Depth;
+  return Result;
+}
+
+Value LinearExecutor::run(const LinearCode &L, std::vector<Value> &R) {
+  const Program &P = RT.program();
+  RuntimeMetrics &RM = RT.metrics();
+  const LInst *const Code = L.Insts.data();
+  const LInst *IP = Code;
+  const LInst *I = nullptr;
+  // Per-op work accumulates locally and is flushed once on exit: the
+  // metrics block is shared with broker workers' caches, and a per-op
+  // shared-counter write in the hot loop costs real throughput.
+  uint64_t Ops = 0;
+
+  auto RefNonNull = [&](uint32_t Reg) -> HeapObject * {
+    HeapObject *O = R[Reg].asRef();
+    if (!O)
+      reportCompiledTrap(L.method(), "null dereference");
+    return O;
+  };
+  auto CheckedIndex = [&](const HeapObject *Arr, int64_t Idx) -> unsigned {
+    if (Idx < 0 || Idx >= Arr->length())
+      reportCompiledTrap(L.method(), "array index out of bounds");
+    return static_cast<unsigned>(Idx);
+  };
+
+#if JVM_THREADED_DISPATCH
+  // Label table indexed by LOp; order must match the enum exactly.
+  static const void *const Table[NumLOps] = {
+      &&L_ConstInt,     &&L_ConstNull,   &&L_Arith,       &&L_Compare,
+      &&L_InstanceOf,   &&L_Branch,      &&L_Jump,        &&L_Ret,
+      &&L_RetVoid,      &&L_NewInstance, &&L_NewArray,    &&L_LoadField,
+      &&L_StoreField,   &&L_LoadIndexed, &&L_StoreIndexed, &&L_ArrayLength,
+      &&L_LoadStatic,   &&L_StoreStatic, &&L_MonitorEnter, &&L_MonitorExit,
+      &&L_Invoke,       &&L_Materialize, &&L_Deopt,       &&L_Trap};
+#define JVM_CASE(Name) L_##Name:
+#define JVM_NEXT()                                                            \
+  do {                                                                        \
+    ++Ops;                                                                    \
+    I = IP++;                                                                 \
+    goto *Table[static_cast<unsigned>(I->Op)];                                \
+  } while (0)
+  JVM_NEXT();
+#else
+#define JVM_CASE(Name) case LOp::Name:
+#define JVM_NEXT() continue
+  for (;;) {
+    ++Ops;
+    I = IP++;
+    switch (I->Op) {
+#endif
+
+  JVM_CASE(ConstInt) {
+    R[I->Dst] = Value::makeInt(L.IntPool[I->A]);
+    JVM_NEXT();
+  }
+  JVM_CASE(ConstNull) {
+    R[I->Dst] = Value::makeRef(nullptr);
+    JVM_NEXT();
+  }
+  JVM_CASE(Arith) {
+    R[I->Dst] = Value::makeInt(applyArith(static_cast<ArithKind>(I->Sub),
+                                          R[I->A].asInt(), R[I->B].asInt()));
+    JVM_NEXT();
+  }
+  JVM_CASE(Compare) {
+    bool V;
+    switch (static_cast<CmpKind>(I->Sub)) {
+    case CmpKind::IntEq:
+      V = R[I->A].asInt() == R[I->B].asInt();
+      break;
+    case CmpKind::IntLt:
+      V = R[I->A].asInt() < R[I->B].asInt();
+      break;
+    case CmpKind::IntLe:
+      V = R[I->A].asInt() <= R[I->B].asInt();
+      break;
+    case CmpKind::RefEq:
+      V = R[I->A].asRef() == R[I->B].asRef();
+      break;
+    case CmpKind::IsNull:
+      V = R[I->A].asRef() == nullptr;
+      break;
+    default:
+      jvm_unreachable("unknown compare kind");
+    }
+    R[I->Dst] = Value::makeInt(V ? 1 : 0);
+    JVM_NEXT();
+  }
+  JVM_CASE(InstanceOf) {
+    HeapObject *O = R[I->A].asRef();
+    ClassId Cls = static_cast<ClassId>(I->B);
+    bool Is = O && !O->isArray() &&
+              (I->Sub ? O->objectClass() == Cls
+                      : P.isSubclassOf(O->objectClass(), Cls));
+    R[I->Dst] = Value::makeInt(Is ? 1 : 0);
+    JVM_NEXT();
+  }
+  JVM_CASE(Branch) {
+    IP = Code + (R[I->A].asInt() != 0 ? I->B : I->C);
+    JVM_NEXT();
+  }
+  JVM_CASE(Jump) {
+    const LinearCode::MoveList &ML = L.MoveLists[I->B];
+    const LinearCode::PhiMove *Mv = L.Moves.data() + ML.First;
+    // Parallel semantics: all sources read before any destination is
+    // written (phis may permute each other).
+    for (uint32_t K = 0; K != ML.Count; ++K)
+      MoveScratch[K] = R[Mv[K].Src];
+    for (uint32_t K = 0; K != ML.Count; ++K)
+      R[Mv[K].Dst] = MoveScratch[K];
+    IP = Code + I->A;
+    JVM_NEXT();
+  }
+  JVM_CASE(Ret) {
+    RM.CompiledOps += Ops;
+    return R[I->A];
+  }
+  JVM_CASE(RetVoid) {
+    RM.CompiledOps += Ops;
+    return Value::makeVoid();
+  }
+  JVM_CASE(NewInstance) {
+    R[I->Dst] = Value::makeRef(
+        RT.allocateInstance(static_cast<ClassId>(I->A)));
+    JVM_NEXT();
+  }
+  JVM_CASE(NewArray) {
+    R[I->Dst] = Value::makeRef(RT.heap().allocateArray(
+        static_cast<ValueType>(I->Sub), R[I->A].asInt()));
+    JVM_NEXT();
+  }
+  JVM_CASE(LoadField) {
+    R[I->Dst] = RefNonNull(I->A)->slot(I->B);
+    JVM_NEXT();
+  }
+  JVM_CASE(StoreField) {
+    RefNonNull(I->A)->setSlot(I->B, R[I->C]);
+    JVM_NEXT();
+  }
+  JVM_CASE(LoadIndexed) {
+    HeapObject *Arr = RefNonNull(I->A);
+    R[I->Dst] = Arr->slot(CheckedIndex(Arr, R[I->B].asInt()));
+    JVM_NEXT();
+  }
+  JVM_CASE(StoreIndexed) {
+    HeapObject *Arr = RefNonNull(I->A);
+    Arr->setSlot(CheckedIndex(Arr, R[I->B].asInt()), R[I->C]);
+    JVM_NEXT();
+  }
+  JVM_CASE(ArrayLength) {
+    R[I->Dst] = Value::makeInt(RefNonNull(I->A)->length());
+    JVM_NEXT();
+  }
+  JVM_CASE(LoadStatic) {
+    R[I->Dst] = RT.getStatic(static_cast<StaticIndex>(I->A));
+    JVM_NEXT();
+  }
+  JVM_CASE(StoreStatic) {
+    RT.setStatic(static_cast<StaticIndex>(I->A), R[I->B]);
+    JVM_NEXT();
+  }
+  JVM_CASE(MonitorEnter) {
+    RT.monitorEnter(RefNonNull(I->A));
+    JVM_NEXT();
+  }
+  JVM_CASE(MonitorExit) {
+    RT.monitorExit(RefNonNull(I->A));
+    JVM_NEXT();
+  }
+  JVM_CASE(Invoke) {
+    const LinearCode::CallDesc &D = L.Calls[I->A];
+    std::vector<Value> CallArgs(D.NumArgs);
+    const uint32_t *AR = L.CallArgRegs.data() + D.FirstArg;
+    for (uint32_t K = 0; K != D.NumArgs; ++K)
+      CallArgs[K] = R[AR[K]];
+    MethodId Target = D.Callee;
+    if (D.Kind == CallKind::Virtual) {
+      HeapObject *Receiver = CallArgs[0].asRef();
+      if (!Receiver)
+        reportCompiledTrap(L.method(), "null receiver");
+      Target = P.resolveVirtual(D.Callee, Receiver->objectClass());
+    }
+    R[I->Dst] = Call(Target, std::move(CallArgs));
+    JVM_NEXT();
+  }
+  JVM_CASE(Materialize) {
+    doMaterialize(L, L.Mats[I->A], R);
+    JVM_NEXT();
+  }
+  JVM_CASE(Deopt) {
+    RM.CompiledOps += Ops;
+    return doDeopt(L, L.Deopts[I->A], R);
+  }
+  JVM_CASE(Trap) {
+    RM.CompiledOps += Ops;
+    reportCompiledTrap(L.method(), "unreachable code executed");
+  }
+
+#if !JVM_THREADED_DISPATCH
+    }
+    jvm_unreachable("invalid linear opcode");
+  }
+#endif
+#undef JVM_CASE
+#undef JVM_NEXT
+}

@@ -1,0 +1,271 @@
+//===- LinearCode.h - Register-based linear code backend ------------*- C++ -*-===//
+///
+/// \file
+/// The default execution tier for compiled methods: at install time the
+/// optimized sea-of-nodes graph is translated ONCE into a flat stream of
+/// register-based instructions (virtual registers = slot indices into a
+/// preallocated frame), and every call afterwards is a tight dispatch
+/// loop — computed-goto threaded where the compiler supports it, dense
+/// switch otherwise. Compared to the GraphExecutor walk this removes the
+/// per-call nodeIdBound-sized environments, the recursive on-demand
+/// expression evaluation, the map-based phi cache and the re-evaluation
+/// churn after every merge: phi transfers become precomputed parallel
+/// move lists, and every floating expression is emitted exactly once in
+/// the block the scheduler chose (compiler/Schedule.h).
+///
+/// The paper's deopt contract survives translation intact: Deopt
+/// instructions carry compact frame-state descriptors — including the
+/// virtual-object field maps of Section 5.5 — and reconstruct the same
+/// DeoptRequest (same allocation order, lock re-acquisition and frame
+/// layout) the graph walker would have produced.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_VM_LINEARCODE_H
+#define JVM_VM_LINEARCODE_H
+
+#include "ir/Graph.h"
+#include "runtime/Runtime.h"
+#include "support/ErrorHandling.h"
+#include "vm/GraphExecutor.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace jvm {
+
+struct BlockSchedule;
+
+/// Opcodes of the linear instruction set. One instruction per executed
+/// graph node; structural nodes (Begin, Merge, ...) emit nothing.
+enum class LOp : uint8_t {
+  ConstInt,    ///< Dst = IntPool[A]
+  ConstNull,   ///< Dst = null
+  Arith,       ///< Dst = R[A] <Sub:ArithKind> R[B]
+  Compare,     ///< Dst = R[A] <Sub:CmpKind> R[B] (IsNull: R[A] only)
+  InstanceOf,  ///< Dst = R[A] instanceof class B (Sub = exact)
+  Branch,      ///< pc = R[A] != 0 ? B : C
+  Jump,        ///< parallel moves MoveLists[B], then pc = A
+  Ret,         ///< return R[A]
+  RetVoid,     ///< return void
+  NewInstance, ///< Dst = new instance of class A
+  NewArray,    ///< Dst = new array, elem type Sub, length R[A]
+  LoadField,   ///< Dst = R[A].field[B]
+  StoreField,  ///< R[A].field[B] = R[C]
+  LoadIndexed, ///< Dst = R[A][R[B]]
+  StoreIndexed,///< R[A][R[B]] = R[C]
+  ArrayLength, ///< Dst = R[A].length
+  LoadStatic,  ///< Dst = statics[A]
+  StoreStatic, ///< statics[A] = R[B]
+  MonitorEnter,///< lock R[A]
+  MonitorExit, ///< unlock R[A]
+  Invoke,      ///< Dst = call Calls[A]
+  Materialize, ///< commit Mats[A] to the heap
+  Deopt,       ///< reconstruct Deopts[A] and bail to the interpreter
+  Trap,        ///< verifier-provably-dead path was reached: VM bug
+};
+
+constexpr unsigned NumLOps = static_cast<unsigned>(LOp::Trap) + 1;
+
+/// One fixed-size instruction. Operands A/B/C/Dst are virtual register
+/// indices, pc targets or side-table indices depending on the opcode.
+struct LInst {
+  LOp Op;
+  uint8_t Sub = 0; ///< ArithKind / CmpKind / exactness / element type
+  uint32_t Dst = 0;
+  uint32_t A = 0;
+  uint32_t B = 0;
+  uint32_t C = 0;
+};
+
+/// A value reference inside a materialize/deopt descriptor.
+struct LSlotRef {
+  enum Kind : uint8_t {
+    Reg,     ///< live value in register Index
+    Virtual, ///< the Index-th object of the same descriptor
+    Dead,    ///< dead slot; reconstructs as Int(0)
+  };
+  Kind K = Dead;
+  uint32_t Index = 0;
+};
+
+/// The translated form of one method's optimized graph.
+class LinearCode {
+public:
+  /// Per-merge parallel phi assignment, pre-resolved to register moves.
+  struct PhiMove {
+    uint32_t Dst;
+    uint32_t Src;
+  };
+  struct MoveList {
+    uint32_t First; ///< index into Moves
+    uint32_t Count;
+  };
+
+  struct CallDesc {
+    MethodId Callee;
+    CallKind Kind;
+    uint32_t FirstArg; ///< index into CallArgRegs
+    uint32_t NumArgs;
+  };
+
+  /// One virtual object to (re)allocate, shared by materialize and deopt
+  /// descriptors. Entries index into Slots.
+  struct ObjTemplate {
+    ClassId Cls;
+    bool IsArray;
+    ValueType ElemTy;
+    int32_t LockDepth; ///< elided monitor acquisitions to replay
+    uint32_t FirstEntry;
+    uint32_t NumEntries;
+  };
+
+  /// AllocatedObject projection of a materialize: after the commit,
+  /// register DstReg holds the ObjIndex-th fresh object.
+  struct Projection {
+    uint32_t ObjIndex;
+    uint32_t DstReg;
+  };
+
+  struct MatDesc {
+    uint32_t FirstObj; ///< index into Objects
+    uint32_t NumObjs;
+    uint32_t FirstProj; ///< index into Projections
+    uint32_t NumProjs;
+  };
+
+  /// One interpreter frame to reconstruct (innermost first within a
+  /// DeoptDesc). Locals and stack slots index into Slots.
+  struct FrameDesc {
+    MethodId Method;
+    int32_t Bci;
+    bool Reexecute;
+    uint32_t FirstLocal;
+    uint32_t NumLocals;
+    uint32_t FirstStack;
+    uint32_t NumStack;
+  };
+
+  struct DeoptDesc {
+    DeoptReason Reason;
+    /// Virtual objects mapped anywhere in the state chain, in the graph
+    /// walker's discovery order (innermost state outwards, first mapping
+    /// wins) — allocation order and lock replay are bit-for-bit the same.
+    uint32_t FirstObj; ///< index into Objects
+    uint32_t NumObjs;
+    uint32_t FirstFrame; ///< index into Frames
+    uint32_t NumFrames;
+  };
+
+  MethodId method() const { return Method; }
+  unsigned numRegs() const { return NumRegs; }
+  unsigned numParams() const { return NumParams; }
+  unsigned numInsts() const { return Insts.size(); }
+  /// True when executing the code can touch VM state beyond its own
+  /// registers (calls, stores, allocation, monitors, deopt). Pure code
+  /// may be re-run for differential checking.
+  bool hasEffects() const { return HasEffects; }
+  /// Largest phi move list; executors size their scratch once per call.
+  unsigned maxMoves() const { return MaxMoves; }
+
+  // The tables are plain data filled by the translator and read by the
+  // executor; both live in this file's .cpp.
+  std::vector<LInst> Insts;
+  std::vector<int64_t> IntPool;
+  std::vector<PhiMove> Moves;
+  std::vector<MoveList> MoveLists;
+  std::vector<CallDesc> Calls;
+  std::vector<uint32_t> CallArgRegs;
+  std::vector<LSlotRef> Slots;
+  std::vector<ObjTemplate> Objects;
+  std::vector<Projection> Projections;
+  std::vector<MatDesc> Mats;
+  std::vector<FrameDesc> Frames;
+  std::vector<DeoptDesc> Deopts;
+  MethodId Method = NoMethod;
+  unsigned NumRegs = 0;
+  unsigned NumParams = 0;
+  unsigned MaxMoves = 0;
+  bool HasEffects = false;
+};
+
+/// Translates \p G (with its block schedule \p S) into linear code.
+/// Deterministic: node ids and usage-list order fully define the output.
+std::unique_ptr<LinearCode> translateGraph(const Graph &G,
+                                           const BlockSchedule &S);
+
+/// Convenience overload computing the schedule itself (used by custom
+/// plans that did not run the "schedule" phase).
+std::unique_ptr<LinearCode> translateGraph(const Graph &G);
+
+/// Executes LinearCode against the runtime. One instance per VM; frames
+/// are pooled per recursion depth (Invokes re-enter the executor through
+/// the VM) and registered as GC roots for the lifetime of the executor.
+class LinearExecutor {
+public:
+  LinearExecutor(Runtime &RT, CallHandler CallFn, DeoptHandlerFn DeoptFn);
+
+  /// Executes \p L with \p Args; returns the method result.
+  Value execute(const LinearCode &L, const std::vector<Value> &Args);
+
+private:
+  Value run(const LinearCode &L, std::vector<Value> &R);
+  Value doDeopt(const LinearCode &L, const LinearCode::DeoptDesc &D,
+                std::vector<Value> &R);
+  void doMaterialize(const LinearCode &L, const LinearCode::MatDesc &M,
+                     std::vector<Value> &R);
+  HeapObject *allocateTemplate(const LinearCode::ObjTemplate &T);
+
+  Runtime &RT;
+  CallHandler Call;
+  DeoptHandlerFn Deopt;
+  /// Register frames by recursion depth; entries stay allocated between
+  /// calls (cleared on reuse) so steady-state execution never mallocs.
+  std::vector<std::unique_ptr<std::vector<Value>>> FramePool;
+  unsigned Depth = 0;
+  /// Reusable scratch for parallel phi moves (no allocation mid-move, so
+  /// it needs no GC rooting) and for materialized objects (rooted via a
+  /// RootScope while in use; materializes never nest).
+  std::vector<Value> MoveScratch;
+  std::vector<Value> MatScratch;
+};
+
+/// Shared arithmetic semantics of both executors: two's-complement
+/// wraparound, division/remainder by zero produce zero (no exceptions).
+inline int64_t applyArith(ArithKind Op, int64_t X, int64_t Y) {
+  switch (Op) {
+  case ArithKind::Add:
+    return static_cast<int64_t>(static_cast<uint64_t>(X) +
+                                static_cast<uint64_t>(Y));
+  case ArithKind::Sub:
+    return static_cast<int64_t>(static_cast<uint64_t>(X) -
+                                static_cast<uint64_t>(Y));
+  case ArithKind::Mul:
+    return static_cast<int64_t>(static_cast<uint64_t>(X) *
+                                static_cast<uint64_t>(Y));
+  case ArithKind::Div:
+    return Y == 0 ? 0 : X / Y;
+  case ArithKind::Rem:
+    return Y == 0 ? 0 : X % Y;
+  case ArithKind::And:
+    return X & Y;
+  case ArithKind::Or:
+    return X | Y;
+  case ArithKind::Xor:
+    return X ^ Y;
+  case ArithKind::Shl:
+    return static_cast<int64_t>(static_cast<uint64_t>(X) << (Y & 63));
+  case ArithKind::Shr:
+    return X >> (Y & 63);
+  }
+  jvm_unreachable("unknown arithmetic kind");
+}
+
+/// Traps raised by compiled code on conditions our mini-Java has no
+/// exception model for. Fatal in every build type.
+[[noreturn]] void reportCompiledTrap(MethodId Method, const char *What);
+
+} // namespace jvm
+
+#endif // JVM_VM_LINEARCODE_H

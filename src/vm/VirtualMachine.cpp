@@ -8,6 +8,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <thread>
 
 using namespace jvm;
@@ -27,10 +30,46 @@ unsigned jvm::defaultCompilerThreads() {
   return N ? N : 1;
 }
 
+ExecMode jvm::defaultExecMode() {
+  static const ExecMode Mode = [] {
+    const char *E = std::getenv("JVM_EXEC_MODE");
+    if (!E || !*E || std::strcmp(E, "linear") == 0)
+      return ExecMode::Linear;
+    if (std::strcmp(E, "graph") == 0)
+      return ExecMode::Graph;
+    if (std::strcmp(E, "differential") == 0 || std::strcmp(E, "both") == 0)
+      return ExecMode::Differential;
+    std::fprintf(stderr,
+                 "warning: unknown JVM_EXEC_MODE '%s' "
+                 "(graph|linear|differential); using linear\n",
+                 E);
+    return ExecMode::Linear;
+  }();
+  return Mode;
+}
+
+const char *jvm::execModeName(ExecMode M) {
+  switch (M) {
+  case ExecMode::Graph:
+    return "graph";
+  case ExecMode::Linear:
+    return "linear";
+  case ExecMode::Differential:
+    return "differential";
+  }
+  return "unknown";
+}
+
 VirtualMachine::VirtualMachine(const Program &P, VMOptions Options)
     : P(P), Options(Options), RT(P), Profiles(P.numMethods()),
       Interp(RT, Profiles),
       Executor(
+          RT,
+          [this](MethodId Target, std::vector<Value> &&Args) {
+            return call(Target, std::move(Args));
+          },
+          [this](DeoptRequest &&Req) { return handleDeopt(std::move(Req)); }),
+      LinExecutor(
           RT,
           [this](MethodId Target, std::vector<Value> &&Args) {
             return call(Target, std::move(Args));
@@ -62,7 +101,7 @@ Value VirtualMachine::call(MethodId Method, std::vector<Value> Args) {
 
   MethodState &MS = States[Method];
   if (const Graph *G = MS.Code.load(std::memory_order_acquire))
-    return executeCompiled(*G, Args);
+    return executeCompiled(Method, *G, Args);
   if (Options.EnableJit &&
       !MS.CompilePending.load(std::memory_order_acquire) &&
       Profiles.of(Method).hotness() >= Options.CompileThreshold) {
@@ -71,20 +110,39 @@ Value VirtualMachine::call(MethodId Method, std::vector<Value> Args) {
     // the Code load up top and the flag load, and requesting now would
     // compile the method a second time.
     if (const Graph *G = MS.Code.load(std::memory_order_acquire))
-      return executeCompiled(*G, Args);
+      return executeCompiled(Method, *G, Args);
     requestCompile(Method);
     // Synchronous mode installs before returning; run the fresh code.
     if (const Graph *G = MS.Code.load(std::memory_order_acquire))
-      return executeCompiled(*G, Args);
+      return executeCompiled(Method, *G, Args);
   }
   return Interp.call(Method, std::move(Args));
 }
 
-Value VirtualMachine::executeCompiled(const Graph &G,
+Value VirtualMachine::executeCompiled(MethodId Method, const Graph &G,
                                       std::vector<Value> &Args) {
   Runtime::RootScope ArgRoots(RT, &Args);
   ++CompiledDepth;
-  Value Result = Executor.execute(G, Args);
+  const LinearCode *L =
+      Options.Exec == ExecMode::Graph
+          ? nullptr
+          : States[Method].Linear.load(std::memory_order_acquire);
+  Value Result;
+  if (!L) {
+    // Graph mode, or the method compiled without EmitLinearCode.
+    Result = Executor.execute(G, Args);
+  } else if (Options.Exec == ExecMode::Differential && !L->hasEffects()) {
+    // Effect-free code can run twice without observable consequences;
+    // the two tiers must agree on the result exactly.
+    Value Walked = Executor.execute(G, Args);
+    Result = LinExecutor.execute(*L, Args);
+    if (!(Result == Walked))
+      reportFatalError("differential execution mismatch between graph "
+                       "and linear tiers",
+                       __FILE__, __LINE__);
+  } else {
+    Result = LinExecutor.execute(*L, Args);
+  }
   --CompiledDepth;
   return Result;
 }
@@ -159,9 +217,16 @@ bool VirtualMachine::installCode(MethodId Method, uint64_t Version,
   }
   if (MS.Owned) {
     MS.Retired.push_back(std::move(MS.Owned));
+    if (MS.OwnedLinear)
+      MS.RetiredLinear.push_back(std::move(MS.OwnedLinear));
     HasRetired.store(true, std::memory_order_relaxed);
   }
   MS.Owned = std::move(R.G);
+  MS.OwnedLinear = std::move(R.Code);
+  // Linear first: a mutator that sees the new graph must also see its
+  // linear translation (the inverse interleaving is benign, see
+  // MethodState::Linear).
+  MS.Linear.store(MS.OwnedLinear.get(), std::memory_order_release);
   MS.Code.store(MS.Owned.get(), std::memory_order_release);
   ++Jit.Compilations;
   uint64_t Latency = Now - EnqueueNanos;
@@ -181,7 +246,10 @@ void VirtualMachine::invalidate(MethodId Method) {
     return;
   ++MS.Version; // Discards any compile in flight for the old profile.
   MS.Code.store(nullptr, std::memory_order_release);
+  MS.Linear.store(nullptr, std::memory_order_release);
   MS.Retired.push_back(std::move(MS.Owned));
+  if (MS.OwnedLinear)
+    MS.RetiredLinear.push_back(std::move(MS.OwnedLinear));
   HasRetired.store(true, std::memory_order_relaxed);
   MS.DeoptCount = 0;
   ++MS.Recompiles;
@@ -190,17 +258,23 @@ void VirtualMachine::invalidate(MethodId Method) {
 }
 
 void VirtualMachine::reclaimRetired() {
-  // Destroy outside the lock; workers only need the list unlinked.
+  // Destroy outside the lock; workers only need the lists unlinked.
   std::vector<std::unique_ptr<Graph>> Doomed;
+  std::vector<std::unique_ptr<LinearCode>> DoomedLinear;
   {
     std::lock_guard<std::mutex> L(StateMutex);
-    for (MethodState &MS : States)
+    for (MethodState &MS : States) {
       for (std::unique_ptr<Graph> &G : MS.Retired) {
         Doomed.push_back(std::move(G));
         ++Jit.RetiredReclaimed;
       }
-    for (MethodState &MS : States)
+      for (std::unique_ptr<LinearCode> &LC : MS.RetiredLinear)
+        DoomedLinear.push_back(std::move(LC));
+    }
+    for (MethodState &MS : States) {
       MS.Retired.clear();
+      MS.RetiredLinear.clear();
+    }
     HasRetired.store(false, std::memory_order_relaxed);
   }
 }

@@ -6,9 +6,12 @@
 /// setting (Figure 1 context): graph building with speculative branch
 /// pruning and devirtualization, inlining, canonicalization, global value
 /// numbering, the configured escape analysis, and cleanup. Compiled code
-/// runs through the GraphExecutor; deoptimizations resume in the
-/// interpreter, and methods that deoptimize repeatedly are invalidated
-/// and re-profiled (so failed speculations heal, as in HotSpot/Graal).
+/// runs as register-based linear code by default (vm/LinearCode.h); the
+/// graph-walking GraphExecutor tier stays selectable via JVM_EXEC_MODE,
+/// including a differential mode that runs both and compares.
+/// Deoptimizations resume in the interpreter, and methods that
+/// deoptimize repeatedly are invalidated and re-profiled (so failed
+/// speculations heal, as in HotSpot/Graal).
 ///
 /// Compilation is asynchronous by default: hot methods are handed to the
 /// background CompileBroker with an immutable profile snapshot, the
@@ -35,6 +38,7 @@
 #include "pea/PartialEscapeAnalysis.h"
 #include "runtime/Runtime.h"
 #include "vm/GraphExecutor.h"
+#include "vm/LinearCode.h"
 
 #include <atomic>
 #include <memory>
@@ -48,6 +52,30 @@ struct CompileResult;
 /// Number of background compiler threads the VM uses by default:
 /// the hardware concurrency (at least 1).
 unsigned defaultCompilerThreads();
+
+/// Which tier executes compiled methods.
+enum class ExecMode : uint8_t {
+  /// Walk the installed graph directly (GraphExecutor). Debug aid and
+  /// the baseline the linear tier is benchmarked against.
+  Graph,
+  /// Run the register-based linear translation (LinearExecutor). The
+  /// default; falls back to the walker for methods without linear code
+  /// (Compiler.EmitLinearCode off).
+  Linear,
+  /// Run both tiers and compare results — only for calls whose linear
+  /// code is effect-free (re-running effectful code would double its
+  /// side effects); effectful calls run the linear tier alone. Mismatch
+  /// is a fatal VM bug.
+  Differential,
+};
+
+/// The ExecMode selected by the JVM_EXEC_MODE environment variable
+/// ("graph", "linear", "differential"/"both"; read once). Linear when
+/// unset; unknown values warn and select Linear.
+ExecMode defaultExecMode();
+
+/// Short lower-case name for \p M ("graph", "linear", "differential").
+const char *execModeName(ExecMode M);
 
 struct VMOptions {
   CompilerOptions Compiler;
@@ -64,6 +92,8 @@ struct VMOptions {
   /// queue. 0 = legacy synchronous mode: compile on the caller thread at
   /// the threshold crossing (every compilation is a mutator stall).
   unsigned CompilerThreads = defaultCompilerThreads();
+  /// Which tier runs compiled methods (see ExecMode).
+  ExecMode Exec = defaultExecMode();
 };
 
 /// Counters describing the VM's compilation activity. Written under the
@@ -119,6 +149,12 @@ public:
     return States[Method].Code.load(std::memory_order_acquire);
   }
 
+  /// The linear translation of \p Method's compiled code, or null (not
+  /// compiled, or compiled without EmitLinearCode). Lock-free.
+  const LinearCode *compiledLinear(MethodId Method) const {
+    return States[Method].Linear.load(std::memory_order_acquire);
+  }
+
   /// Forces compilation of \p Method now, on the caller thread
   /// (benchmark warmup control). Any in-flight background compile of the
   /// method is discarded in favor of this one.
@@ -135,7 +171,8 @@ public:
   void waitForCompilerIdle();
 
 private:
-  Value executeCompiled(const Graph &G, std::vector<Value> &Args);
+  Value executeCompiled(MethodId Method, const Graph &G,
+                        std::vector<Value> &Args);
   /// Threshold crossing: enqueue on the broker, or compile inline in
   /// synchronous mode.
   void requestCompile(MethodId Method);
@@ -154,6 +191,11 @@ private:
     /// The published code pointer — the only thing the mutator's fast
     /// path reads. Owned by `Owned` below.
     std::atomic<const Graph *> Code{nullptr};
+    /// The linear translation of `Code`, published before it (both with
+    /// release stores). The mutator may briefly observe the old graph
+    /// with the new linear code — benign: both are correct translations
+    /// of the method, and retired code outlives the activation.
+    std::atomic<const LinearCode *> Linear{nullptr};
     /// True while a compile request for this method is queued or in
     /// flight (mutator sets, worker clears): the dedup fast path that
     /// keeps the mutator from re-snapshotting profiles on every call
@@ -161,11 +203,13 @@ private:
     std::atomic<bool> CompilePending{false};
     // Fields below are guarded by StateMutex. --------------------------
     std::unique_ptr<Graph> Owned;
+    std::unique_ptr<LinearCode> OwnedLinear;
     /// Invalidated graphs are retired, not destroyed: activations of the
     /// old code may still be on the native stack (an invalidation is
     /// triggered from a deoptimization *inside* that very code). They
     /// are reclaimed at the next safe point.
     std::vector<std::unique_ptr<Graph>> Retired;
+    std::vector<std::unique_ptr<LinearCode>> RetiredLinear;
     /// Bumped on every invalidation (and forced compile); in-flight
     /// compiles carry the version they were enqueued against and are
     /// discarded on mismatch.
@@ -180,6 +224,7 @@ private:
   ProfileData Profiles;
   Interpreter Interp;
   GraphExecutor Executor;
+  LinearExecutor LinExecutor;
   std::vector<MethodState> States;
   JitMetrics Jit;
   /// Guards MethodState's non-atomic fields and Jit. Never held while

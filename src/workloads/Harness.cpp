@@ -4,6 +4,7 @@
 
 #include "support/ErrorHandling.h"
 
+#include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -102,6 +103,146 @@ jvm::workloads::runSuite(const BenchmarkSet &Set, const std::string &Suite,
     std::fprintf(stderr, "  [measured] %-12s done\n", Row.Name.c_str());
   }
   return Result;
+}
+
+std::vector<RowComparison>
+jvm::workloads::runSuiteTiers(const BenchmarkSet &Set,
+                              const std::string &Suite,
+                              EscapeAnalysisMode Mode,
+                              const HarnessOptions &Opts) {
+  HarnessOptions GraphOpts = Opts;
+  GraphOpts.VM.Exec = ExecMode::Graph;
+  HarnessOptions LinearOpts = Opts;
+  LinearOpts.VM.Exec = ExecMode::Linear;
+  std::vector<RowComparison> Result;
+  for (const BenchmarkRow &Row : Set.Rows) {
+    if (Row.Suite != Suite)
+      continue;
+    RowComparison C;
+    C.Row = &Row;
+    C.Without = measureRow(Set, Row, Mode, GraphOpts);
+    C.With = measureRow(Set, Row, Mode, LinearOpts);
+    if (C.Without.Checksum != C.With.Checksum)
+      jvm_unreachable("benchmark checksum differs between execution tiers");
+    Result.push_back(C);
+    std::fprintf(stderr, "  [tiers]    %-12s done\n", Row.Name.c_str());
+  }
+  return Result;
+}
+
+std::string
+jvm::workloads::formatTierTable(const std::vector<RowComparison> &Rows) {
+  std::ostringstream OS;
+  char Buf[192];
+  std::snprintf(Buf, sizeof(Buf), "%-14s | %31s\n", "execution tier",
+                "Iterations / Minute");
+  OS << Buf;
+  std::snprintf(Buf, sizeof(Buf), "%-14s | %10s %10s %8s\n", "",
+                "graph", "linear", "speedup");
+  OS << Buf;
+  OS << std::string(48, '-') << '\n';
+  double SumSpeed = 0;
+  for (const RowComparison &C : Rows) {
+    double Delta =
+        percentDelta(C.Without.ItersPerMinute, C.With.ItersPerMinute);
+    SumSpeed += Delta;
+    std::snprintf(Buf, sizeof(Buf), "%-14s | %10.1f %10.1f %+7.1f%%\n",
+                  C.Row->Name.c_str(), C.Without.ItersPerMinute,
+                  C.With.ItersPerMinute, Delta);
+    OS << Buf;
+  }
+  if (!Rows.empty()) {
+    OS << std::string(48, '-') << '\n';
+    std::snprintf(Buf, sizeof(Buf), "%-14s | %21s %+7.1f%%\n", "average",
+                  "", SumSpeed / Rows.size());
+    OS << Buf;
+  }
+  return OS.str();
+}
+
+std::string jvm::workloads::table1JsonPath() {
+  if (const char *E = std::getenv("JVM_BENCH_JSON"))
+    return E;
+  return "BENCH_table1.json";
+}
+
+namespace {
+
+/// One JSON record; \p Ea and \p Exec say which configuration produced
+/// \p M.
+std::string jsonRecord(const std::string &Suite, const std::string &Name,
+                       const char *Ea, const char *Exec,
+                       const RowMeasurement &M) {
+  char Buf[320];
+  std::snprintf(Buf, sizeof(Buf),
+                "{\"suite\": \"%s\", \"benchmark\": \"%s\", "
+                "\"ea\": \"%s\", \"exec_mode\": \"%s\", "
+                "\"mb_per_iter\": %.6f, \"allocs_per_iter\": %.1f, "
+                "\"iters_per_min\": %.2f, \"monitor_ops_per_iter\": %.1f, "
+                "\"deopts\": %llu}",
+                Suite.c_str(), Name.c_str(), Ea, Exec,
+                M.KBPerIter / 1024.0, M.KAllocsPerIter * 1000.0,
+                M.ItersPerMinute, M.MonitorOpsPerIter,
+                (unsigned long long)M.Deopts);
+  return Buf;
+}
+
+} // namespace
+
+void jvm::workloads::appendTable1Json(const std::string &Suite,
+                                      const std::vector<RowComparison> &PeaRows,
+                                      ExecMode PeaExec,
+                                      const std::vector<RowComparison> &TierRows) {
+  std::vector<std::string> Records;
+  const char *Exec = execModeName(PeaExec);
+  for (const RowComparison &C : PeaRows) {
+    Records.push_back(jsonRecord(Suite, C.Row->Name, "none", Exec, C.Without));
+    Records.push_back(jsonRecord(Suite, C.Row->Name, "partial", Exec, C.With));
+  }
+  for (const RowComparison &C : TierRows) {
+    Records.push_back(
+        jsonRecord(Suite, C.Row->Name, "partial", "graph", C.Without));
+    Records.push_back(
+        jsonRecord(Suite, C.Row->Name, "partial", "linear", C.With));
+  }
+
+  // Keep the file one valid JSON array across binaries: splice new
+  // records in front of the closing bracket of any existing array.
+  std::string Path = table1JsonPath();
+  std::string Existing;
+  if (FILE *In = std::fopen(Path.c_str(), "rb")) {
+    char Chunk[4096];
+    size_t N;
+    while ((N = std::fread(Chunk, 1, sizeof(Chunk), In)) > 0)
+      Existing.append(Chunk, N);
+    std::fclose(In);
+  }
+  std::string Inner;
+  size_t Open = Existing.find('['), Close = Existing.rfind(']');
+  if (Open != std::string::npos && Close != std::string::npos && Open < Close) {
+    Inner = Existing.substr(Open + 1, Close - Open - 1);
+    while (!Inner.empty() && (std::isspace((unsigned char)Inner.back()) ||
+                              Inner.back() == ','))
+      Inner.pop_back();
+  }
+
+  FILE *Out = std::fopen(Path.c_str(), "wb");
+  if (!Out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", Path.c_str());
+    return;
+  }
+  std::fprintf(Out, "[");
+  const char *Sep = "\n";
+  if (!Inner.empty()) {
+    std::fprintf(Out, "%s", Inner.c_str());
+    Sep = ",\n";
+  }
+  for (const std::string &R : Records) {
+    std::fprintf(Out, "%s%s", Sep, R.c_str());
+    Sep = ",\n";
+  }
+  std::fprintf(Out, "\n]\n");
+  std::fclose(Out);
 }
 
 double jvm::workloads::percentDelta(double Without, double With) {

@@ -76,6 +76,32 @@ std::vector<RowComparison> runSuite(const BenchmarkSet &Set,
                                     EscapeAnalysisMode Mode,
                                     const HarnessOptions &Opts);
 
+/// Measures every row of \p Suite under \p Mode twice, once per
+/// execution tier: Without = graph walker, With = linear code.
+std::vector<RowComparison> runSuiteTiers(const BenchmarkSet &Set,
+                                         const std::string &Suite,
+                                         EscapeAnalysisMode Mode,
+                                         const HarnessOptions &Opts);
+
+/// Renders the execution-tier comparison (iterations per minute,
+/// graph walker vs linear code).
+std::string formatTierTable(const std::vector<RowComparison> &Rows);
+
+/// Where appendTable1Json writes: $JVM_BENCH_JSON, default
+/// "BENCH_table1.json" in the working directory.
+std::string table1JsonPath();
+
+/// Appends machine-readable per-row records to table1JsonPath(),
+/// keeping the file one valid JSON array across the three Table 1
+/// binaries: MB/iteration, allocations/iteration, iterations/minute,
+/// with the escape-analysis mode and execution tier that produced them.
+/// \p PeaRows compare EA off/on under \p PeaExec; \p TierRows compare
+/// the graph and linear tiers (both PEA).
+void appendTable1Json(const std::string &Suite,
+                      const std::vector<RowComparison> &PeaRows,
+                      ExecMode PeaExec,
+                      const std::vector<RowComparison> &TierRows);
+
 /// Renders one Table 1 block. Rows the paper omits are excluded from the
 /// listing but included in the averages, exactly like the original.
 std::string formatTable1Block(const std::string &Title,

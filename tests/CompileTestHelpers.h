@@ -20,6 +20,7 @@
 #include "ir/Verifier.h"
 #include "pea/PartialEscapeAnalysis.h"
 #include "vm/GraphExecutor.h"
+#include "vm/LinearCode.h"
 
 #include <memory>
 
@@ -108,6 +109,22 @@ public:
           return Interp.resume(std::move(Req.Frames));
         });
     return Ex.execute(G, Args);
+  }
+
+  /// Translates \p G to linear code and runs that instead; same call and
+  /// deopt wiring as execute().
+  Value executeLinear(const Graph &G, std::vector<Value> Args) {
+    Runtime::RootScope ArgRoots(RT, &Args);
+    std::unique_ptr<LinearCode> L = translateGraph(G);
+    LinearExecutor Ex(
+        RT,
+        [this](MethodId Target, std::vector<Value> &&CallArgs) {
+          return Interp.call(Target, std::move(CallArgs));
+        },
+        [this](DeoptRequest &&Req) {
+          return Interp.resume(std::move(Req.Frames));
+        });
+    return Ex.execute(*L, Args);
   }
 
   const Program &P;

@@ -1,0 +1,479 @@
+//===- linearcode_test.cpp - Linear tier vs graph walker equivalence -----------===//
+//
+// The register-based linear tier must be observationally identical to
+// the graph walker it replaces: same results, same heap activity, same
+// deoptimization requests — on hand-built graphs (executor level), on
+// the shared test programs (deopt + materialization paths), and on
+// every synthetic benchmark row (whole-VM level, ExecMode::Graph vs
+// ExecMode::Linear).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+#include "vm/CompileBroker.h"
+#include "vm/VirtualMachine.h"
+#include "workloads/Suites.h"
+
+#include "CompileTestHelpers.h"
+#include "TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+using namespace jvm;
+using namespace jvm::testjit;
+using namespace jvm::testprogs;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Translation structure
+//===----------------------------------------------------------------------===//
+
+TEST(LinearTranslationTest, ProducesCompactWellFormedCode) {
+  MathProgram MP = makeMathProgram();
+  TestJit J(MP.P);
+  std::unique_ptr<Graph> G = J.buildOptimized(MP.SumTo, /*WithProfile=*/false);
+  std::unique_ptr<LinearCode> L = translateGraph(*G);
+
+  EXPECT_EQ(L->method(), MP.SumTo);
+  EXPECT_EQ(L->numParams(), 1u);
+  EXPECT_GT(L->numInsts(), 0u);
+  EXPECT_GE(L->numRegs(), L->numParams());
+  // sumTo is a pure loop: no calls, allocation, stores or monitors.
+  EXPECT_FALSE(L->hasEffects());
+  // Every control transfer lands inside the stream; every destination
+  // register is within the frame.
+  for (const LInst &I : L->Insts) {
+    if (I.Op == LOp::Branch) {
+      EXPECT_LT(I.B, L->numInsts());
+      EXPECT_LT(I.C, L->numInsts());
+    }
+    if (I.Op == LOp::Jump) {
+      EXPECT_LT(I.A, L->numInsts());
+    }
+    EXPECT_LT(I.Dst, L->numRegs());
+  }
+  // The constant pool holds each value once.
+  for (unsigned A = 0; A != L->IntPool.size(); ++A)
+    for (unsigned B = A + 1; B != L->IntPool.size(); ++B)
+      EXPECT_NE(L->IntPool[A], L->IntPool[B]);
+}
+
+TEST(LinearTranslationTest, CallsMarkTheCodeEffectful) {
+  MathProgram MP = makeMathProgram();
+  TestJit J(MP.P);
+  J.Opts.EnableInlining = false;
+  // fact recurses through an Invoke; re-running it would double-count
+  // the nested calls, so the differential tier must not replay it.
+  std::unique_ptr<Graph> G = J.buildOptimized(MP.Fact, /*WithProfile=*/false);
+  EXPECT_TRUE(translateGraph(*G)->hasEffects());
+}
+
+TEST(LinearTranslationTest, BrokerEmitsLinearCodeAlongsideTheGraph) {
+  MathProgram MP = makeMathProgram();
+  ProfileData Prof(MP.P.numMethods());
+  CompilerOptions CO;
+  CompileResult R = runCompilePipeline(
+      MP.P, MP.Max, ProfileSnapshot(Prof, MP.P, MP.Max), CO);
+  ASSERT_NE(R.G, nullptr);
+  ASSERT_NE(R.Code, nullptr);
+  EXPECT_GT(R.Code->numInsts(), 0u);
+  EXPECT_EQ(R.Code->method(), MP.Max);
+  EXPECT_GT(R.Phases.runsFor("schedule"), 0u);
+  EXPECT_GT(R.Phases.runsFor("emit"), 0u);
+
+  CO.EmitLinearCode = false;
+  R = runCompilePipeline(MP.P, MP.Max, ProfileSnapshot(Prof, MP.P, MP.Max),
+                         CO);
+  ASSERT_NE(R.G, nullptr);
+  EXPECT_EQ(R.Code, nullptr);
+  EXPECT_EQ(R.Phases.runsFor("schedule"), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Hand-built graphs through both tiers
+//===----------------------------------------------------------------------===//
+
+/// Runs one hand-built graph through the walker AND the linear tier
+/// (fresh runtime each, so heap counters compare 1:1) with the same
+/// canned call/deopt handlers executor_test uses.
+struct TierFixture {
+  Program P;
+  ClassId Cls = NoClass;
+  FieldIndex F0 = -1, F1 = -1;
+
+  std::vector<DeoptRequest> Deopts;
+  Value DeoptResult = Value::makeInt(-7);
+
+  TierFixture() {
+    Cls = P.addClass("C");
+    F0 = P.addField(Cls, "f0", ValueType::Int);
+    F1 = P.addField(Cls, "f1", ValueType::Ref);
+    P.addMethod("neg", NoClass, {ValueType::Int}, ValueType::Int);
+  }
+
+  CallHandler callHandler() {
+    return [](MethodId, std::vector<Value> &&A) {
+      return Value::makeInt(-A[0].asInt());
+    };
+  }
+  DeoptHandlerFn deoptHandler() {
+    return [this](DeoptRequest &&Req) {
+      Deopts.push_back(std::move(Req));
+      return DeoptResult;
+    };
+  }
+
+  Value runGraph(Runtime &RT, const Graph &G, std::vector<Value> Args) {
+    GraphExecutor Ex(RT, callHandler(), deoptHandler());
+    Runtime::RootScope Roots(RT, &Args);
+    return Ex.execute(G, Args);
+  }
+
+  Value runLinear(Runtime &RT, const Graph &G, std::vector<Value> Args) {
+    std::unique_ptr<LinearCode> L = translateGraph(G);
+    LinearExecutor Ex(RT, callHandler(), deoptHandler());
+    Runtime::RootScope Roots(RT, &Args);
+    return Ex.execute(*L, Args);
+  }
+};
+
+TEST(LinearTierTest, PhiSwapProblemHandled) {
+  // Loop that swaps two phis each iteration; the precomputed move lists
+  // must keep simultaneous-assignment semantics.
+  Graph G(0, {ValueType::Int});
+  auto *FwdEnd = G.create<EndNode>();
+  G.start()->setNext(FwdEnd);
+  auto *Loop = G.create<LoopBeginNode>();
+  Loop->addEnd(FwdEnd);
+  auto *A = G.create<PhiNode>(Loop, ValueType::Int);
+  auto *B = G.create<PhiNode>(Loop, ValueType::Int);
+  auto *I = G.create<PhiNode>(Loop, ValueType::Int);
+  A->appendValue(G.intConstant(1));
+  B->appendValue(G.intConstant(2));
+  I->appendValue(G.intConstant(0));
+  auto *Cond = G.create<CompareNode>(CmpKind::IntLt, I, G.param(0));
+  auto *If = G.create<IfNode>(Cond);
+  Loop->setNext(If);
+  auto *Body = G.create<BeginNode>();
+  auto *ExitB = G.create<BeginNode>();
+  If->setTrueSuccessor(Body);
+  If->setFalseSuccessor(ExitB);
+  auto *Back = G.create<LoopEndNode>(Loop);
+  Body->setNext(Back);
+  Loop->addBackEdge(Back);
+  A->appendValue(B); // a' = b
+  B->appendValue(A); // b' = a  (the swap)
+  I->appendValue(G.create<ArithNode>(ArithKind::Add, I, G.intConstant(1)));
+  auto *Exit = G.create<LoopExitNode>(Loop);
+  ExitB->setNext(Exit);
+  auto *Enc = G.create<ArithNode>(
+      ArithKind::Add,
+      G.create<ArithNode>(ArithKind::Mul, A, G.intConstant(10)), B);
+  auto *Ret = G.create<ReturnNode>(Enc);
+  Exit->setNext(Ret);
+  verifyGraphOrDie(G);
+
+  TierFixture F;
+  Runtime RT(F.P);
+  EXPECT_EQ(F.runLinear(RT, G, {Value::makeInt(3)}).asInt(), 21);
+  EXPECT_EQ(F.runLinear(RT, G, {Value::makeInt(4)}).asInt(), 12);
+}
+
+TEST(LinearTierTest, MaterializeCyclicPairMatchesWalker) {
+  // Commit of two objects referencing each other: a.f1 = b, b.f1 = a.
+  TierFixture F;
+  Graph G(0, {ValueType::Int});
+  auto *Commit = G.create<MaterializeNode>(nullptr);
+  auto *VA = G.create<VirtualObjectNode>(F.Cls, false, ValueType::Void, 2);
+  auto *VB = G.create<VirtualObjectNode>(F.Cls, false, ValueType::Void, 2);
+  Commit->addObject(VA, {G.param(0), VB}, 0);
+  Commit->addObject(VB, {G.intConstant(9), VA}, /*LockDepth=*/1);
+  auto *AO = G.create<AllocatedObjectNode>(Commit, 0);
+  G.start()->setNext(Commit);
+  auto *Ret = G.create<ReturnNode>(AO);
+  Commit->setNext(Ret);
+  verifyGraphOrDie(G);
+
+  for (int Tier = 0; Tier != 2; ++Tier) {
+    Runtime RT(F.P);
+    Value R = Tier == 0 ? F.runGraph(RT, G, {Value::makeInt(5)})
+                        : F.runLinear(RT, G, {Value::makeInt(5)});
+    HeapObject *A = R.asRef();
+    ASSERT_NE(A, nullptr) << "tier " << Tier;
+    HeapObject *B = A->slot(F.F1).asRef();
+    ASSERT_NE(B, nullptr) << "tier " << Tier;
+    EXPECT_EQ(A->slot(F.F0), Value::makeInt(5)) << "tier " << Tier;
+    EXPECT_EQ(B->slot(F.F0), Value::makeInt(9)) << "tier " << Tier;
+    EXPECT_EQ(B->slot(F.F1).asRef(), A) << "tier " << Tier;
+    EXPECT_EQ(B->lockCount(), 1) << "tier " << Tier;
+    EXPECT_EQ(RT.heap().allocationCount(), 2u) << "tier " << Tier;
+    EXPECT_EQ(RT.metrics().MonitorOps, 1u) << "tier " << Tier;
+  }
+}
+
+TEST(LinearTierTest, DeoptRequestsAreBitForBitEquivalent) {
+  // Two frames, two virtual objects (one referencing the other, one
+  // with an elided lock): both tiers must produce structurally
+  // identical DeoptRequests.
+  TierFixture F;
+  Graph G(0, {ValueType::Int});
+  auto *Outer =
+      G.create<FrameStateNode>(/*Method=*/0, /*Bci=*/4, false, 1, 1, 0);
+  auto *VA = G.create<VirtualObjectNode>(F.Cls, false, ValueType::Void, 2);
+  auto *VB = G.create<VirtualObjectNode>(F.Cls, false, ValueType::Void, 2);
+  Outer->setLocalAt(0, G.param(0));
+  Outer->setStackAt(0, G.intConstant(40));
+  auto *Inner =
+      G.create<FrameStateNode>(/*Method=*/1, /*Bci=*/2, true, 2, 0, 0);
+  Inner->setLocalAt(0, VA);
+  // Local 1 stays dead (null) — must reconstruct as Int(0).
+  Inner->setOuter(Outer);
+  Inner->addVirtualMapping(VA, {G.param(0), VB}, 0);
+  Inner->addVirtualMapping(VB, {G.intConstant(2), G.nullConstant()}, 1);
+  auto *Deopt = G.create<DeoptimizeNode>(DeoptReason::TypeGuardFailed, Inner);
+  G.start()->setNext(Deopt);
+
+  for (int Tier = 0; Tier != 2; ++Tier) {
+    Runtime RT(F.P);
+    F.Deopts.clear();
+    Value R = Tier == 0 ? F.runGraph(RT, G, {Value::makeInt(3)})
+                        : F.runLinear(RT, G, {Value::makeInt(3)});
+    EXPECT_EQ(R, F.DeoptResult) << "tier " << Tier;
+    ASSERT_EQ(F.Deopts.size(), 1u) << "tier " << Tier;
+    const DeoptRequest &Req = F.Deopts[0];
+    EXPECT_EQ(Req.Root, 0) << "tier " << Tier;
+    EXPECT_EQ(Req.Reason, DeoptReason::TypeGuardFailed) << "tier " << Tier;
+    ASSERT_EQ(Req.Frames.size(), 2u) << "tier " << Tier;
+
+    const ResumeFrame &In = Req.Frames[0];
+    EXPECT_EQ(In.Method, 1) << "tier " << Tier;
+    EXPECT_EQ(In.Bci, 2) << "tier " << Tier;
+    EXPECT_TRUE(In.Reexecute) << "tier " << Tier;
+    ASSERT_EQ(In.Locals.size(), 2u) << "tier " << Tier;
+    HeapObject *A = In.Locals[0].asRef();
+    ASSERT_NE(A, nullptr) << "tier " << Tier;
+    EXPECT_EQ(A->slot(F.F0), Value::makeInt(3)) << "tier " << Tier;
+    HeapObject *B = A->slot(F.F1).asRef();
+    ASSERT_NE(B, nullptr) << "tier " << Tier;
+    EXPECT_EQ(B->slot(F.F0), Value::makeInt(2)) << "tier " << Tier;
+    EXPECT_EQ(B->lockCount(), 1) << "tier " << Tier;
+    EXPECT_EQ(In.Locals[1], Value::makeInt(0)) << "tier " << Tier;
+
+    const ResumeFrame &Out = Req.Frames[1];
+    EXPECT_EQ(Out.Method, 0) << "tier " << Tier;
+    EXPECT_EQ(Out.Bci, 4) << "tier " << Tier;
+    EXPECT_FALSE(Out.Reexecute) << "tier " << Tier;
+    EXPECT_EQ(Out.Stack[0], Value::makeInt(40)) << "tier " << Tier;
+
+    EXPECT_EQ(RT.heap().allocationCount(), 2u) << "tier " << Tier;
+    EXPECT_EQ(RT.metrics().Deopts, 1u) << "tier " << Tier;
+    EXPECT_EQ(RT.metrics().MonitorOps, 1u) << "tier " << Tier;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Compiled test programs through both tiers
+//===----------------------------------------------------------------------===//
+
+TEST(LinearTierTest, ArithmeticAndLoopsMatchTheWalker) {
+  MathProgram MP = makeMathProgram();
+  TestJit J(MP.P);
+  std::unique_ptr<Graph> Abs = J.buildOptimized(MP.Abs, false);
+  std::unique_ptr<Graph> Sum = J.buildOptimized(MP.SumTo, false);
+  std::unique_ptr<Graph> Fact = J.buildOptimized(MP.Fact, false);
+  for (int64_t X : {-17L, 0L, 5L, 64L}) {
+    EXPECT_EQ(J.execute(*Abs, {Value::makeInt(X)}).asInt(),
+              J.executeLinear(*Abs, {Value::makeInt(X)}).asInt());
+    EXPECT_EQ(J.execute(*Sum, {Value::makeInt(X)}).asInt(),
+              J.executeLinear(*Sum, {Value::makeInt(X)}).asInt());
+    if (X >= 0 && X < 10) {
+      EXPECT_EQ(J.execute(*Fact, {Value::makeInt(X)}).asInt(),
+                J.executeLinear(*Fact, {Value::makeInt(X)}).asInt());
+    }
+  }
+}
+
+TEST(LinearTierTest, MaterializationUnderPeaMatchesTheWalker) {
+  // getValue under PEA: the Key is virtual until it escapes into the
+  // cache (Listing 4's materialize-on-store path).
+  CacheProgram CP = makeCacheProgram(/*UpdateCacheOnMiss=*/true);
+  std::vector<Value> Args{Value::makeInt(7), Value::makeRef(nullptr)};
+
+  uint64_t Allocs[2], Monitors[2];
+  int64_t Results[2];
+  for (int Tier = 0; Tier != 2; ++Tier) {
+    TestJit J(CP.P);
+    J.warmup(CP.GetValue, Args, 8);
+    std::unique_ptr<Graph> G =
+        J.buildWithEA(CP.GetValue, EscapeAnalysisMode::Partial);
+    J.RT.resetMetrics();
+    uint64_t Before = J.RT.heap().allocationCount();
+    Value V = Tier == 0 ? J.execute(*G, Args) : J.executeLinear(*G, Args);
+    Results[Tier] = V.asRef() ? V.asRef()->slot(CP.BoxVal).asInt() : -1;
+    Allocs[Tier] = J.RT.heap().allocationCount() - Before;
+    Monitors[Tier] = J.RT.metrics().MonitorOps;
+  }
+  EXPECT_EQ(Results[0], Results[1]);
+  EXPECT_EQ(Allocs[0], Allocs[1]);
+  EXPECT_EQ(Monitors[0], Monitors[1]);
+}
+
+//===----------------------------------------------------------------------===//
+// Whole-VM agreement (ExecMode::Graph vs ExecMode::Linear)
+//===----------------------------------------------------------------------===//
+
+struct VmRun {
+  int64_t Checksum = 0;
+  uint64_t Allocs = 0;
+  uint64_t Bytes = 0;
+  uint64_t Deopts = 0;
+  uint64_t MonitorOps = 0;
+};
+
+VmRun runCacheWorkload(ExecMode Mode) {
+  CacheProgram CP = makeCacheProgram(/*UpdateCacheOnMiss=*/true);
+  VMOptions VO;
+  VO.CompileThreshold = 4;
+  VO.CompilerThreads = 0; // Deterministic install points.
+  VO.Compiler.EAMode = EscapeAnalysisMode::Partial;
+  VO.Exec = Mode;
+  VirtualMachine VM(CP.P, VO);
+  VmRun R;
+  for (int I = 0; I != 60; ++I) {
+    Value V = VM.call(CP.GetValue,
+                      {Value::makeInt(I % 5), Value::makeRef(nullptr)});
+    R.Checksum += V.asRef() ? V.asRef()->slot(CP.BoxVal).asInt() : -1;
+  }
+  R.Allocs = VM.runtime().heap().allocationCount();
+  R.Bytes = VM.runtime().heap().allocatedBytes();
+  R.Deopts = VM.runtime().metrics().Deopts;
+  R.MonitorOps = VM.runtime().metrics().MonitorOps;
+  return R;
+}
+
+TEST(ExecModeTest, CacheWorkloadIdenticalAcrossTiers) {
+  VmRun Graph = runCacheWorkload(ExecMode::Graph);
+  VmRun Linear = runCacheWorkload(ExecMode::Linear);
+  EXPECT_EQ(Graph.Checksum, Linear.Checksum);
+  EXPECT_EQ(Graph.Allocs, Linear.Allocs);
+  EXPECT_EQ(Graph.Bytes, Linear.Bytes);
+  EXPECT_EQ(Graph.Deopts, Linear.Deopts);
+  EXPECT_EQ(Graph.MonitorOps, Linear.MonitorOps);
+}
+
+TEST(ExecModeTest, DeoptingWorkloadIdenticalAcrossTiers) {
+  // Devirtualized virtual dispatch that the input distribution later
+  // betrays: both tiers must deopt identically and heal the same way.
+  VmRun Runs[2];
+  int Idx = 0;
+  for (ExecMode Mode : {ExecMode::Graph, ExecMode::Linear}) {
+    ShapesProgram SP = makeShapesProgram();
+    VMOptions VO;
+    VO.CompileThreshold = 6;
+    VO.CompilerThreads = 0;
+    VO.Compiler.DevirtMinProfile = 4;
+    VO.Compiler.EAMode = EscapeAnalysisMode::Partial;
+    VO.Exec = Mode;
+    VirtualMachine VM(SP.P, VO);
+    VmRun &R = Runs[Idx++];
+    // Circles-only warmup, then squares break the speculation.
+    for (int I = 0; I != 20; ++I) {
+      Value Shape = VM.call(SP.MakeCircle, {Value::makeInt(I % 7)});
+      R.Checksum += VM.call(SP.AreaOf, {Shape}).asInt();
+    }
+    for (int I = 0; I != 20; ++I) {
+      Value Shape = I % 2 ? VM.call(SP.MakeSquare, {Value::makeInt(I)})
+                          : VM.call(SP.MakeCircle, {Value::makeInt(I)});
+      R.Checksum += VM.call(SP.AreaOf, {Shape}).asInt();
+    }
+    R.Allocs = VM.runtime().heap().allocationCount();
+    R.Deopts = VM.runtime().metrics().Deopts;
+  }
+  EXPECT_EQ(Runs[0].Checksum, Runs[1].Checksum);
+  EXPECT_EQ(Runs[0].Allocs, Runs[1].Allocs);
+  EXPECT_EQ(Runs[0].Deopts, Runs[1].Deopts);
+}
+
+TEST(ExecModeTest, DifferentialModeAcceptsAgreeingTiers) {
+  MathProgram MP = makeMathProgram();
+  VMOptions VO;
+  VO.CompileThreshold = 4;
+  VO.CompilerThreads = 0;
+  VO.Exec = ExecMode::Differential;
+  VirtualMachine VM(MP.P, VO);
+  int64_t Sum = 0;
+  for (int I = 0; I != 40; ++I)
+    Sum += VM.call(MP.SumTo, {Value::makeInt(I)}).asInt();
+  // Sum of the first 40 triangular numbers.
+  EXPECT_EQ(Sum, 10660);
+  EXPECT_NE(VM.compiledGraph(MP.SumTo), nullptr);
+  EXPECT_NE(VM.compiledLinear(MP.SumTo), nullptr);
+}
+
+TEST(ExecModeTest, GraphModeStillInstallsLinearCode) {
+  MathProgram MP = makeMathProgram();
+  VMOptions VO;
+  VO.CompileThreshold = 4;
+  VO.CompilerThreads = 0;
+  VO.Exec = ExecMode::Graph;
+  VirtualMachine VM(MP.P, VO);
+  for (int I = 0; I != 20; ++I)
+    VM.call(MP.SumTo, {Value::makeInt(I)});
+  // Same pipeline, same installation — just not executed.
+  EXPECT_NE(VM.compiledGraph(MP.SumTo), nullptr);
+  EXPECT_NE(VM.compiledLinear(MP.SumTo), nullptr);
+}
+
+/// Every synthetic benchmark row, whole-VM, graph vs linear tier: same
+/// checksum, same heap activity, same deopt and monitor counts.
+const workloads::BenchmarkSet &sharedSet() {
+  static const workloads::BenchmarkSet Set = workloads::buildBenchmarkSet();
+  return Set;
+}
+
+class RowTierEquivalenceTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RowTierEquivalenceTest, GraphAndLinearTiersAgree) {
+  const workloads::BenchmarkSet &Set = sharedSet();
+  const workloads::BenchmarkRow &Row = Set.Rows[GetParam()];
+  const int64_t Scale = 1500;
+
+  VmRun Runs[2];
+  int Idx = 0;
+  for (ExecMode Mode : {ExecMode::Graph, ExecMode::Linear}) {
+    VMOptions VO;
+    VO.CompileThreshold = 100;
+    VO.CompilerThreads = 0;
+    VO.Compiler.EAMode = EscapeAnalysisMode::Partial;
+    VO.Exec = Mode;
+    VirtualMachine VM(Set.WP.P, VO);
+    VM.call(Set.WP.Setup, {});
+    std::vector<Value> Args{Value::makeInt(Scale)};
+    for (int I = 0; I != 4; ++I)
+      VM.call(Row.Driver, Args);
+    VM.runtime().resetMetrics();
+    uint64_t Allocs0 = VM.runtime().heap().allocationCount();
+    uint64_t Bytes0 = VM.runtime().heap().allocatedBytes();
+    VmRun &R = Runs[Idx++];
+    for (int I = 0; I != 3; ++I)
+      R.Checksum += VM.call(Row.Driver, Args).asInt();
+    R.Allocs = VM.runtime().heap().allocationCount() - Allocs0;
+    R.Bytes = VM.runtime().heap().allocatedBytes() - Bytes0;
+    R.Deopts = VM.runtime().metrics().Deopts;
+    R.MonitorOps = VM.runtime().metrics().MonitorOps;
+  }
+  EXPECT_EQ(Runs[0].Checksum, Runs[1].Checksum) << Row.Name;
+  EXPECT_EQ(Runs[0].Allocs, Runs[1].Allocs) << Row.Name;
+  EXPECT_EQ(Runs[0].Bytes, Runs[1].Bytes) << Row.Name;
+  EXPECT_EQ(Runs[0].Deopts, Runs[1].Deopts) << Row.Name;
+  EXPECT_EQ(Runs[0].MonitorOps, Runs[1].MonitorOps) << Row.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRows, RowTierEquivalenceTest, ::testing::Range(0u, 27u),
+    [](const ::testing::TestParamInfo<unsigned> &Info) {
+      return sharedSet().Rows[Info.param].Name;
+    });
+
+} // namespace

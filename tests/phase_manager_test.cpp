@@ -259,16 +259,23 @@ TEST(DefaultPlanTest, MirrorsTheSeedPipelineStageForStage) {
   EXPECT_EQ(planNames(makeDefaultPhasePlan(CO)),
             (std::vector<std::string>{"build", "canon", "inline", "canon",
                                       "gvn", "dce", "escape-partial",
-                                      "cleanup", "verify"}));
+                                      "cleanup", "verify", "schedule"}));
 
   CO.EAMode = EscapeAnalysisMode::FlowInsensitive;
   EXPECT_EQ(planNames(makeDefaultPhasePlan(CO)),
             (std::vector<std::string>{"build", "canon", "inline", "canon",
                                       "gvn", "dce", "escape-flowins",
-                                      "cleanup", "verify"}));
+                                      "cleanup", "verify", "schedule"}));
 
   CO.EAMode = EscapeAnalysisMode::None;
   CO.EnableInlining = false;
+  EXPECT_EQ(planNames(makeDefaultPhasePlan(CO)),
+            (std::vector<std::string>{"build", "canon", "gvn", "dce",
+                                      "cleanup", "verify", "schedule"}));
+
+  // The schedule phase only serves the linear-code backend; plans built
+  // for a graph-walking configuration omit it.
+  CO.EmitLinearCode = false;
   EXPECT_EQ(planNames(makeDefaultPhasePlan(CO)),
             (std::vector<std::string>{"build", "canon", "gvn", "dce",
                                       "cleanup", "verify"}));
