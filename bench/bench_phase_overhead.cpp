@@ -17,6 +17,7 @@
 #include "compiler/DeadCodeElimination.h"
 #include "compiler/GVN.h"
 #include "compiler/GraphBuilder.h"
+#include "observability/Trace.h"
 #include "pea/PartialEscapeAnalysis.h"
 
 #include <benchmark/benchmark.h>
@@ -137,6 +138,60 @@ void BM_FullPipelineWithPea(benchmark::State &State) {
   State.SetComplexityN(State.range(0));
 }
 
+//===----------------------------------------------------------------------===//
+// Tracer overhead. The observability contract (DESIGN.md §9) is that the
+// disabled fast path is one relaxed atomic load: an instrumentation site
+// that tracing is off for must cost nanoseconds, so instrumenting a
+// phase or the deopt path costs nothing in the common case. The enabled
+// variants quantify the per-event recording cost for comparison.
+//===----------------------------------------------------------------------===//
+
+void BM_TracerDisabledCheck(benchmark::State &State) {
+  Tracer::get().setEnabled(false);
+  for (auto _ : State) {
+    // The exact shape of every disabled instrumentation site in the VM.
+    if (traceWants(TracePea))
+      Tracer::get().instant(TracePea, "never");
+    benchmark::DoNotOptimize(&trace_detail::ActiveMask);
+  }
+}
+
+void BM_TracerDisabledScope(benchmark::State &State) {
+  Tracer::get().setEnabled(false);
+  for (auto _ : State) {
+    TraceScope Span(TraceCompile, "never");
+    benchmark::DoNotOptimize(&Span);
+  }
+}
+
+// The enabled variants run a fixed iteration count (set at registration
+// below): the ring never wraps, so the combined event count must stay
+// under the default per-thread capacity (1<<16) or the later iterations
+// would measure the drop path instead of recording.
+
+void BM_TracerEnabledInstant(benchmark::State &State) {
+  Tracer::get().setEnabled(true);
+  Tracer::get().setCategories(TracePea);
+  for (auto _ : State)
+    if (traceWants(TracePea))
+      Tracer::get().instant(TracePea, "bench", "arg", 1);
+  Tracer::get().setEnabled(false);
+  Tracer::get().setCategories(TraceDefaultCategories);
+  Tracer::get().clear();
+}
+
+void BM_TracerEnabledScope(benchmark::State &State) {
+  Tracer::get().setEnabled(true);
+  Tracer::get().setCategories(TraceCompile);
+  for (auto _ : State) {
+    TraceScope Span(TraceCompile, "bench");
+    benchmark::DoNotOptimize(&Span);
+  }
+  Tracer::get().setEnabled(false);
+  Tracer::get().setCategories(TraceDefaultCategories);
+  Tracer::get().clear();
+}
+
 } // namespace
 
 BENCHMARK(BM_GraphBuilding)->RangeMultiplier(4)->Range(4, 256)
@@ -150,5 +205,12 @@ BENCHMARK(BM_FlowInsensitiveEscapeAnalysis)->RangeMultiplier(4)
     ->Range(4, 256)->Complexity(benchmark::oN);
 BENCHMARK(BM_FullPipelineWithPea)->RangeMultiplier(4)->Range(4, 256)
     ->Complexity(benchmark::oN);
+
+BENCHMARK(BM_TracerDisabledCheck);
+BENCHMARK(BM_TracerDisabledScope);
+// 20000 + 2*20000 events < the 1<<16 default ring (see the comment at
+// the benchmark definitions).
+BENCHMARK(BM_TracerEnabledInstant)->Iterations(20000);
+BENCHMARK(BM_TracerEnabledScope)->Iterations(20000);
 
 BENCHMARK_MAIN();

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Schema lint for the VM's Chrome trace_event JSON output.
+
+Validates a trace file written via JVM_TRACE= (or Tracer::writeJson):
+
+  * the file is valid JSON with the expected top-level shape
+    (traceEvents list, displayTimeUnit, otherData with drop accounting),
+  * every event carries the required keys with the right types and a
+    known phase ('B', 'E', 'I' or 'M'),
+  * per (pid, tid), 'B'/'E' events nest LIFO with matching names and no
+    span left open,
+  * timestamps are non-decreasing per thread (events are appended to
+    per-thread ring buffers in record order),
+  * with --expect-no-drops, otherData.droppedEvents is zero (the
+    perf-smoke run must fit in the default ring).
+
+Exit status 0 on success, 1 with a diagnostic on the first failure.
+Usage: check_trace.py <trace.json> [--expect-no-drops]
+"""
+
+import json
+import sys
+
+VALID_PHASES = {"B", "E", "I", "M"}
+REQUIRED_OTHER_DATA = ("droppedEvents", "highWater", "ringCapacity")
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_event_shape(ev, idx):
+    if not isinstance(ev, dict):
+        fail(f"event #{idx} is not an object: {ev!r}")
+    name = ev.get("name")
+    if not isinstance(name, str) or not name:
+        fail(f"event #{idx} has no name: {ev!r}")
+    ph = ev.get("ph")
+    if ph not in VALID_PHASES:
+        fail(f"event #{idx} ({name}) has invalid ph {ph!r}")
+    for key in ("pid", "tid"):
+        if not isinstance(ev.get(key), int):
+            fail(f"event #{idx} ({name}) missing integer {key!r}")
+    if ph != "M":
+        if not isinstance(ev.get("ts"), (int, float)):
+            fail(f"event #{idx} ({name}) missing numeric ts")
+        if not isinstance(ev.get("cat"), str):
+            fail(f"event #{idx} ({name}) missing cat")
+    if "args" in ev and not isinstance(ev["args"], dict):
+        fail(f"event #{idx} ({name}) has non-object args")
+
+
+def check_spans(events):
+    """Per-(pid,tid) LIFO matching of B/E pairs and ts monotonicity."""
+    open_spans = {}
+    last_ts = {}
+    for idx, ev in enumerate(events):
+        if ev["ph"] == "M":
+            continue
+        key = (ev["pid"], ev["tid"])
+        ts = ev["ts"]
+        if ts < last_ts.get(key, 0):
+            fail(
+                f"event #{idx} ({ev['name']}) goes back in time on "
+                f"pid/tid {key}: {ts} < {last_ts[key]}"
+            )
+        last_ts[key] = ts
+        if ev["ph"] == "B":
+            open_spans.setdefault(key, []).append(ev["name"])
+        elif ev["ph"] == "E":
+            stack = open_spans.get(key, [])
+            if not stack:
+                fail(
+                    f"event #{idx}: 'E' for {ev['name']!r} with no open "
+                    f"span on pid/tid {key}"
+                )
+            top = stack.pop()
+            if top != ev["name"]:
+                fail(
+                    f"event #{idx}: 'E' for {ev['name']!r} closes "
+                    f"{top!r} on pid/tid {key}"
+                )
+    for key, stack in open_spans.items():
+        if stack:
+            fail(f"unclosed span(s) {stack!r} on pid/tid {key}")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = argv[1]
+    expect_no_drops = "--expect-no-drops" in argv[2:]
+
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            trace = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+    if not isinstance(trace, dict):
+        fail("top level is not an object")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        fail("missing traceEvents list")
+    if trace.get("displayTimeUnit") not in ("ms", "ns"):
+        fail(f"bad displayTimeUnit: {trace.get('displayTimeUnit')!r}")
+    other = trace.get("otherData")
+    if not isinstance(other, dict):
+        fail("missing otherData object")
+    for key in REQUIRED_OTHER_DATA:
+        if not isinstance(other.get(key), int):
+            fail(f"otherData missing integer {key!r}")
+
+    for idx, ev in enumerate(events):
+        check_event_shape(ev, idx)
+    check_spans(events)
+
+    dropped = other["droppedEvents"]
+    if expect_no_drops and dropped != 0:
+        fail(
+            f"{dropped} events dropped (ring capacity "
+            f"{other['ringCapacity']}); raise JVM_TRACE_RING or reduce "
+            f"the traced workload"
+        )
+
+    spans = sum(1 for ev in events if ev["ph"] == "B")
+    instants = sum(1 for ev in events if ev["ph"] == "I")
+    tids = {(ev["pid"], ev["tid"]) for ev in events}
+    print(
+        f"check_trace: OK: {len(events)} events ({spans} spans, "
+        f"{instants} instants) across {len(tids)} thread(s), "
+        f"{dropped} dropped"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

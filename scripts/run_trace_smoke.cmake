@@ -1,0 +1,37 @@
+# Runs a bench binary with JVM_TRACE enabled, then lints the resulting
+# Chrome trace JSON with check_trace.py. Invoked by ctest (perf-smoke /
+# observability labels) via:
+#
+#   cmake -DBENCH=<binary> -DPYTHON=<python3> -DCHECK=<check_trace.py>
+#         -DTRACE=<out.json> -P run_trace_smoke.cmake
+#
+# The smoke run traces the default categories (compile/code/tier/deopt —
+# the per-operation "pea"/"monitor" categories are disabled-by-default
+# precisely because they flood the ring) and must fit in the default ring
+# without drops: check_trace runs with --expect-no-drops so a silent-loss
+# regression fails the test.
+
+foreach(Var BENCH PYTHON CHECK TRACE)
+  if(NOT DEFINED ${Var})
+    message(FATAL_ERROR "run_trace_smoke.cmake: ${Var} not set")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env
+          "JVM_TRACE=${TRACE}"
+          "JVM_BENCH_WARMUP=4" "JVM_BENCH_MEASURE=3" "JVM_BENCH_REPEATS=1"
+          "JVM_EXEC_MODE=linear"
+          "JVM_BENCH_JSON=${TRACE}.bench.json"
+          ${BENCH}
+  RESULT_VARIABLE BenchResult)
+if(BenchResult)
+  message(FATAL_ERROR "traced bench run failed: ${BenchResult}")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${CHECK} ${TRACE} --expect-no-drops
+  RESULT_VARIABLE CheckResult)
+if(CheckResult)
+  message(FATAL_ERROR "trace schema lint failed: ${CheckResult}")
+endif()

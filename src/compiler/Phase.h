@@ -73,6 +73,18 @@ struct PhaseTimes {
   PhaseTimes &operator+=(const PhaseTimes &RHS);
 };
 
+/// One phase execution in pipeline order, kept for the compilation log:
+/// unlike PhaseTimes (which merges by name), the trail preserves every
+/// execution separately, with the live-node count before/after — the raw
+/// material for CompileLog::PhaseRec.
+struct PhaseTrailEntry {
+  const char *Name = nullptr;
+  uint64_t Nanos = 0;
+  uint32_t NodesBefore = 0;
+  uint32_t NodesAfter = 0;
+  bool Changed = false;
+};
+
 /// RAII wall-clock timer: adds the scope's elapsed nanoseconds to \p Sink.
 class ScopedNanoTimer {
 public:
@@ -123,6 +135,10 @@ struct PhaseContext {
   PhaseTimes Times;
   /// Fixpoint combinators that hit their round cap without converging.
   uint64_t FixpointCapHits = 0;
+  /// When non-null, the plan runner appends one PhaseTrailEntry per
+  /// (non-composite) phase execution — the compilation log's record of
+  /// what the pipeline actually did, in order.
+  std::vector<PhaseTrailEntry> *Trail = nullptr;
   /// Block structure + floating-node placement of the final graph, set by
   /// the "schedule" phase (see compiler/Schedule.h). The backend's linear
   /// code generator consumes it; plans without the phase leave it null

@@ -7,8 +7,10 @@
 #include "ir/Graph.h"
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
+#include "observability/Trace.h"
 #include "pea/EscapePhases.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -75,8 +77,26 @@ bool jvm::runManagedPhase(const Phase &Ph, Graph &G, PhaseContext &Ctx) {
   if (Ph.isComposite())
     return Ph.run(G, Ctx);
 
+  TraceScope Span(TraceCompile, Ph.name(), "method",
+                  static_cast<int64_t>(Ctx.Method));
+  uint64_t StartNanos = 0;
+  uint32_t NodesBefore = 0;
+  if (Ctx.Trail) {
+    StartNanos = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now().time_since_epoch())
+                     .count();
+    NodesBefore = G.numLiveNodes();
+  }
   PhaseTimer Timer(Ctx.Times, Ph.name());
   bool Changed = Ph.run(G, Ctx);
+  if (Ctx.Trail) {
+    uint64_t EndNanos = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now().time_since_epoch())
+                            .count();
+    Ctx.Trail->push_back(PhaseTrailEntry{Ph.name(), EndNanos - StartNanos,
+                                         NodesBefore, G.numLiveNodes(),
+                                         Changed});
+  }
   if (Ctx.Options.VerifyAfterEachPhase) {
     std::vector<std::string> Problems = verifyGraph(G);
     if (!Problems.empty())

@@ -1,0 +1,90 @@
+//===- CompileLog.cpp - Per-method structured compilation log ------------------===//
+
+#include "observability/CompileLog.h"
+
+#include <cstdio>
+
+using namespace jvm;
+
+void CompileLog::addRecord(unsigned Method, Record R) {
+  std::lock_guard<std::mutex> L(Mutex);
+  PerMethod[Method].push_back(std::move(R));
+}
+
+void CompileLog::addDeopt(unsigned Method, const char *Reason,
+                          uint32_t Rematerialized) {
+  std::lock_guard<std::mutex> L(Mutex);
+  std::vector<Record> &Hist = PerMethod[Method];
+  for (auto It = Hist.rbegin(); It != Hist.rend(); ++It) {
+    if (!It->Installed)
+      continue;
+    It->Deopts.push_back(DeoptRec{Reason, Rematerialized});
+    return;
+  }
+}
+
+std::vector<CompileLog::Record> CompileLog::recordsFor(unsigned Method) const {
+  std::lock_guard<std::mutex> L(Mutex);
+  return PerMethod[Method];
+}
+
+uint64_t CompileLog::numRecords() const {
+  std::lock_guard<std::mutex> L(Mutex);
+  uint64_t N = 0;
+  for (const auto &Hist : PerMethod)
+    N += Hist.size();
+  return N;
+}
+
+std::string CompileLog::renderText() const {
+  std::lock_guard<std::mutex> L(Mutex);
+  std::string Out;
+  char Buf[256];
+  for (unsigned M = 0, E = PerMethod.size(); M != E; ++M) {
+    if (PerMethod[M].empty())
+      continue;
+    std::snprintf(Buf, sizeof(Buf), "method m%u: %zu compilation(s)\n", M,
+                  PerMethod[M].size());
+    Out += Buf;
+    for (const Record &R : PerMethod[M]) {
+      std::snprintf(Buf, sizeof(Buf),
+                    "  compile #%llu hotness=%llu %s version=%llu "
+                    "total=%lluus enqueue-to-install=%lluus nodes=%u\n",
+                    static_cast<unsigned long long>(R.CompileSeq),
+                    static_cast<unsigned long long>(R.Hotness),
+                    R.Installed ? "installed" : "DISCARDED",
+                    static_cast<unsigned long long>(R.Version),
+                    static_cast<unsigned long long>(R.TotalNanos / 1000),
+                    static_cast<unsigned long long>(
+                        R.EnqueueToInstallNanos / 1000),
+                    R.FinalNodes);
+      Out += Buf;
+      for (const PhaseRec &P : R.Phases) {
+        std::snprintf(Buf, sizeof(Buf),
+                      "    phase %-16s %8lluus nodes %u -> %u%s\n",
+                      P.Name.c_str(),
+                      static_cast<unsigned long long>(P.Nanos / 1000),
+                      P.NodesBefore, P.NodesAfter,
+                      P.Changed ? "" : " (no change)");
+        Out += Buf;
+      }
+      if (R.Escape.VirtualizedAllocations || R.Escape.MaterializeSites ||
+          R.Escape.ElidedMonitorOps || R.Escape.VirtualizedStates) {
+        std::snprintf(Buf, sizeof(Buf),
+                      "    pea virtualized=%u materialize-sites=%u "
+                      "elided-monitors=%u rewritten-states=%u\n",
+                      R.Escape.VirtualizedAllocations,
+                      R.Escape.MaterializeSites, R.Escape.ElidedMonitorOps,
+                      R.Escape.VirtualizedStates);
+        Out += Buf;
+      }
+      for (const DeoptRec &D : R.Deopts) {
+        std::snprintf(Buf, sizeof(Buf),
+                      "    deopt reason=%s rematerialized=%u\n",
+                      D.Reason.c_str(), D.Rematerialized);
+        Out += Buf;
+      }
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,102 @@
+//===- CompileLog.h - Per-method structured compilation log ---------*- C++ -*-===//
+///
+/// \file
+/// A structured per-method compilation history, in the spirit of
+/// HotSpot's -XX:+LogCompilation: for every pipeline run the VM records
+/// the hotness that triggered it, each phase executed with its wall time
+/// and live-node count before/after, the escape-analysis decisions
+/// (allocations virtualized, materialize sites inserted, states
+/// rewritten), whether the result installed (and as which code version)
+/// or was discarded stale, the enqueue-to-install latency — and, after
+/// installation, every deoptimization the code takes with its reason and
+/// how many scalar-replaced virtual objects had to be rematerialized.
+///
+/// Tests query it through VirtualMachine::compileLog(); setting
+/// `JVM_COMPILE_LOG=<file>` makes every VM append its rendered log there
+/// at destruction.
+///
+/// Thread safety: records are added by broker workers (install path) and
+/// the mutator (deopts) under an internal mutex; reads from the mutator
+/// after waitForCompilerIdle() observe a consistent history.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_OBSERVABILITY_COMPILELOG_H
+#define JVM_OBSERVABILITY_COMPILELOG_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace jvm {
+
+class CompileLog {
+public:
+  /// One phase execution inside one pipeline run.
+  struct PhaseRec {
+    std::string Name;
+    uint64_t Nanos = 0;
+    uint32_t NodesBefore = 0;
+    uint32_t NodesAfter = 0;
+    bool Changed = false;
+  };
+
+  /// One deoptimization taken by installed code.
+  struct DeoptRec {
+    std::string Reason;
+    uint32_t Rematerialized = 0; ///< virtual objects rebuilt on the heap
+  };
+
+  /// PEA work done by one pipeline run (mirrors PEAStats, flattened so
+  /// the log has no compiler dependencies).
+  struct EscapeRec {
+    uint32_t VirtualizedAllocations = 0;
+    uint32_t MaterializeSites = 0;
+    uint32_t ElidedMonitorOps = 0;
+    uint32_t VirtualizedStates = 0;
+  };
+
+  /// One pipeline run of one method.
+  struct Record {
+    uint64_t CompileSeq = 0; ///< process-wide compile ordinal
+    uint64_t Hotness = 0;    ///< hotness at enqueue/trigger time
+    bool Installed = false;  ///< false: discarded stale (version raced)
+    uint64_t Version = 0;    ///< code version installed as (if Installed)
+    uint64_t TotalNanos = 0;
+    uint64_t EnqueueToInstallNanos = 0;
+    uint32_t FinalNodes = 0;
+    EscapeRec Escape;
+    std::vector<PhaseRec> Phases;
+    std::vector<DeoptRec> Deopts; ///< appended while this code is live
+  };
+
+  explicit CompileLog(unsigned NumMethods) : PerMethod(NumMethods) {}
+
+  /// Appends \p R to \p Method's history.
+  void addRecord(unsigned Method, Record R);
+
+  /// Attributes a deoptimization to \p Method's latest installed record
+  /// (no-op if the method has none — e.g. its code was logged before an
+  /// invalidation raced the log, or compilation was synchronous-legacy).
+  void addDeopt(unsigned Method, const char *Reason, uint32_t Rematerialized);
+
+  /// Copy of \p Method's history (copied under the lock; cheap at test
+  /// scale, race-free at broker scale).
+  std::vector<Record> recordsFor(unsigned Method) const;
+
+  /// Total pipeline runs logged over all methods.
+  uint64_t numRecords() const;
+
+  /// Human-readable rendering of the whole log; one block per compiled
+  /// method, pipeline runs in compile order.
+  std::string renderText() const;
+
+private:
+  mutable std::mutex Mutex;
+  std::vector<std::vector<Record>> PerMethod;
+};
+
+} // namespace jvm
+
+#endif // JVM_OBSERVABILITY_COMPILELOG_H

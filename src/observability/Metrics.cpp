@@ -1,0 +1,161 @@
+//===- Metrics.cpp - Unified VM metrics registry -------------------------------===//
+
+#include "observability/Metrics.h"
+
+#include "support/ErrorHandling.h"
+
+#include <cstdio>
+
+using namespace jvm;
+
+uint64_t MetricHistogram::percentileUpperBound(double P) const {
+  uint64_t Total = count();
+  if (Total == 0)
+    return 0;
+  uint64_t Need = static_cast<uint64_t>(P * Total);
+  if (Need < 1)
+    Need = 1;
+  uint64_t Seen = 0;
+  for (unsigned I = 0; I != NumBuckets; ++I) {
+    Seen += bucketCount(I);
+    if (Seen >= Need)
+      return I == 64 ? UINT64_MAX : (uint64_t(1) << I);
+  }
+  return UINT64_MAX;
+}
+
+MetricsRegistry::Entry *MetricsRegistry::find(const std::string &Name) {
+  for (auto &E : Entries)
+    if (E->Name == Name)
+      return E.get();
+  return nullptr;
+}
+
+const MetricsRegistry::Entry *
+MetricsRegistry::find(const std::string &Name) const {
+  for (const auto &E : Entries)
+    if (E->Name == Name)
+      return E.get();
+  return nullptr;
+}
+
+MetricCounter &MetricsRegistry::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> L(Mutex);
+  if (Entry *E = find(Name)) {
+    if (E->K != Kind::Counter)
+      reportFatalError(
+          ("metric name registered with a different kind: " + Name).c_str(),
+          __FILE__, __LINE__);
+    return *E->C;
+  }
+  auto E = std::make_unique<Entry>();
+  E->Name = Name;
+  E->K = Kind::Counter;
+  E->C = std::make_unique<MetricCounter>();
+  Entries.push_back(std::move(E));
+  return *Entries.back()->C;
+}
+
+MetricHistogram &MetricsRegistry::histogram(const std::string &Name) {
+  std::lock_guard<std::mutex> L(Mutex);
+  if (Entry *E = find(Name)) {
+    if (E->K != Kind::Histogram)
+      reportFatalError(
+          ("metric name registered with a different kind: " + Name).c_str(),
+          __FILE__, __LINE__);
+    return *E->H;
+  }
+  auto E = std::make_unique<Entry>();
+  E->Name = Name;
+  E->K = Kind::Histogram;
+  E->H = std::make_unique<MetricHistogram>();
+  Entries.push_back(std::move(E));
+  return *Entries.back()->H;
+}
+
+void MetricsRegistry::gauge(const std::string &Name, GaugeFn Read) {
+  std::lock_guard<std::mutex> L(Mutex);
+  if (find(Name))
+    reportFatalError(("duplicate gauge registration: " + Name).c_str(),
+                     __FILE__, __LINE__);
+  auto E = std::make_unique<Entry>();
+  E->Name = Name;
+  E->K = Kind::Gauge;
+  E->G = std::move(Read);
+  Entries.push_back(std::move(E));
+}
+
+void MetricsRegistry::provider(ProviderFn Emit) {
+  std::lock_guard<std::mutex> L(Mutex);
+  Providers.push_back(std::move(Emit));
+}
+
+bool MetricsRegistry::has(const std::string &Name) const {
+  std::lock_guard<std::mutex> L(Mutex);
+  return find(Name) != nullptr;
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> L(Mutex);
+  return Entries.size();
+}
+
+void MetricsRegistry::forEachValue(
+    const std::function<void(const std::string &, uint64_t)> &Row) const {
+  // Callbacks (gauges, providers) must not re-enter the registry.
+  std::lock_guard<std::mutex> L(Mutex);
+  for (const auto &E : Entries) {
+    switch (E->K) {
+    case Kind::Counter:
+      Row(E->Name, E->C->value());
+      break;
+    case Kind::Gauge:
+      Row(E->Name, E->G());
+      break;
+    case Kind::Histogram:
+      Row(E->Name + ".count", E->H->count());
+      Row(E->Name + ".sum", E->H->sum());
+      Row(E->Name + ".mean", E->H->mean());
+      Row(E->Name + ".max", E->H->max());
+      Row(E->Name + ".p90", E->H->percentileUpperBound(0.90));
+      break;
+    }
+  }
+  for (const ProviderFn &P : Providers)
+    P(Row);
+}
+
+std::string MetricsRegistry::dumpText() const {
+  std::string Out;
+  forEachValue([&](const std::string &Name, uint64_t V) {
+    char Buf[192];
+    std::snprintf(Buf, sizeof(Buf), "%-44s %20llu\n", Name.c_str(),
+                  static_cast<unsigned long long>(V));
+    Out += Buf;
+  });
+  return Out;
+}
+
+std::string MetricsRegistry::dumpJson() const {
+  std::string Out = "{";
+  bool First = true;
+  forEachValue([&](const std::string &Name, uint64_t V) {
+    char Buf[224];
+    std::snprintf(Buf, sizeof(Buf), "%s\"%s\": %llu", First ? "" : ", ",
+                  Name.c_str(), static_cast<unsigned long long>(V));
+    Out += Buf;
+    First = false;
+  });
+  Out += "}";
+  return Out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> L(Mutex);
+  for (auto &E : Entries) {
+    if (E->C)
+      E->C->reset();
+    if (E->H)
+      E->H->reset();
+  }
+}

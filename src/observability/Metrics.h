@@ -1,0 +1,185 @@
+//===- Metrics.h - Unified VM metrics registry ----------------------*- C++ -*-===//
+///
+/// \file
+/// One registry of named, typed metrics for the whole VM, replacing the
+/// disconnected ad-hoc counter structs (RuntimeMetrics, JitMetrics,
+/// PEAStats) as the *reporting* surface: the structs keep their cheap
+/// plain-field updates on the hot paths, and the registry exposes them
+/// through three metric kinds:
+///
+///  - **Counter**: an owned atomic monotonic count, updated through the
+///    registry (used where no legacy struct exists, e.g. tracer drops).
+///  - **Gauge**: a callback evaluated at dump time — how the legacy
+///    structs register their fields without paying for indirection on
+///    every increment.
+///  - **Histogram**: fixed log2 buckets (bucket i counts values whose
+///    bit width is i, i.e. [2^(i-1), 2^i)), recorded live on the paths
+///    that need distributions, not just sums: enqueue-to-install latency
+///    and mutator compile stalls.
+///
+/// dumpText() renders one coherent table; dumpJson() one JSON object —
+/// what `VirtualMachine::dumpMetrics*` and the Table 1 benches consume
+/// instead of each bench hand-formatting its own block.
+///
+/// Thread safety: registration and rendering take the registry mutex;
+/// Counter/Histogram updates are lock-free relaxed atomics on stable
+/// addresses. Gauge callbacks are evaluated on the dumping thread — dump
+/// from the mutator after waitForCompilerIdle() for consistent values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_OBSERVABILITY_METRICS_H
+#define JVM_OBSERVABILITY_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace jvm {
+
+/// Monotonic atomic counter owned by the registry.
+class MetricCounter {
+public:
+  void add(uint64_t Delta = 1) {
+    V.fetch_add(Delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// Fixed-bucket log2 histogram: 65 buckets, bucket 0 holds the value 0
+/// and bucket i (1..64) holds values of bit width i, i.e. [2^(i-1), 2^i).
+/// Recording is wait-free (relaxed adds + a CAS loop for the max).
+class MetricHistogram {
+public:
+  static constexpr unsigned NumBuckets = 65;
+
+  /// The bucket \p V falls into: 0 for 0, otherwise bit_width(V).
+  static unsigned bucketFor(uint64_t V) {
+    unsigned W = 0;
+    while (V) {
+      ++W;
+      V >>= 1;
+    }
+    return W;
+  }
+
+  /// Smallest value belonging to bucket \p I (0, 1, 2, 4, 8, ...).
+  static uint64_t bucketLowerBound(unsigned I) {
+    return I == 0 ? 0 : uint64_t(1) << (I - 1);
+  }
+
+  void record(uint64_t V) {
+    Buckets[bucketFor(V)].fetch_add(1, std::memory_order_relaxed);
+    Count.fetch_add(1, std::memory_order_relaxed);
+    Sum.fetch_add(V, std::memory_order_relaxed);
+    uint64_t Prev = Max.load(std::memory_order_relaxed);
+    while (V > Prev &&
+           !Max.compare_exchange_weak(Prev, V, std::memory_order_relaxed))
+      ;
+  }
+
+  uint64_t count() const { return Count.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return Sum.load(std::memory_order_relaxed); }
+  uint64_t max() const { return Max.load(std::memory_order_relaxed); }
+  uint64_t mean() const {
+    uint64_t N = count();
+    return N ? sum() / N : 0;
+  }
+  uint64_t bucketCount(unsigned I) const {
+    return Buckets[I].load(std::memory_order_relaxed);
+  }
+
+  /// Upper bound (exclusive, as a bucket boundary) of the first bucket
+  /// at which the cumulative count reaches \p P in [0,1] of the total;
+  /// 0 when empty. Coarse by construction (log2 buckets).
+  uint64_t percentileUpperBound(double P) const;
+
+  void reset() {
+    for (auto &B : Buckets)
+      B.store(0, std::memory_order_relaxed);
+    Count.store(0, std::memory_order_relaxed);
+    Sum.store(0, std::memory_order_relaxed);
+    Max.store(0, std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<uint64_t> Buckets[NumBuckets] = {};
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> Sum{0};
+  std::atomic<uint64_t> Max{0};
+};
+
+class MetricsRegistry {
+public:
+  /// Evaluated at dump time; must be callable until the registry dies.
+  using GaugeFn = std::function<uint64_t()>;
+  /// Emits extra (name, value) pairs at dump time — for sources whose
+  /// metric names are dynamic, like the per-phase-name timing table.
+  using ProviderFn =
+      std::function<void(const std::function<void(const std::string &Name,
+                                                  uint64_t Value)> &Emit)>;
+
+  /// The counter named \p Name, created on first use. Addresses are
+  /// stable for the registry's lifetime. Fatal if \p Name already names
+  /// a metric of a different kind.
+  MetricCounter &counter(const std::string &Name);
+
+  /// The histogram named \p Name, created on first use (same contract).
+  MetricHistogram &histogram(const std::string &Name);
+
+  /// Registers a dump-time gauge. Fatal on any name collision: gauges
+  /// have no owned state, so a duplicate is always a wiring bug.
+  void gauge(const std::string &Name, GaugeFn Read);
+
+  /// Registers a dynamic multi-metric provider.
+  void provider(ProviderFn Emit);
+
+  /// True if \p Name names any registered metric (not provider output).
+  bool has(const std::string &Name) const;
+  size_t size() const;
+
+  /// One row per metric, registration order, histograms expanded to
+  /// count/mean/max/p90. Gauges and providers are evaluated now.
+  std::string dumpText() const;
+
+  /// One flat JSON object {"name": value, ...}; histograms contribute
+  /// name.count / name.sum / name.max / name.p90 keys.
+  std::string dumpJson() const;
+
+  /// Zeroes owned counters and histograms (measurement windows; the
+  /// bench harness resets between warmup and measured iterations).
+  /// Gauges read live sources and are unaffected.
+  void reset();
+
+private:
+  enum class Kind : uint8_t { Counter, Gauge, Histogram };
+  struct Entry {
+    std::string Name;
+    Kind K;
+    std::unique_ptr<MetricCounter> C;
+    std::unique_ptr<MetricHistogram> H;
+    GaugeFn G;
+  };
+
+  Entry *find(const std::string &Name);
+  const Entry *find(const std::string &Name) const;
+  /// Renders every metric in registration order via \p Row.
+  void forEachValue(
+      const std::function<void(const std::string &, uint64_t)> &Row) const;
+
+  mutable std::mutex Mutex;
+  std::vector<std::unique_ptr<Entry>> Entries;
+  std::vector<ProviderFn> Providers;
+};
+
+} // namespace jvm
+
+#endif // JVM_OBSERVABILITY_METRICS_H

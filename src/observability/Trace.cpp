@@ -1,0 +1,355 @@
+//===- Trace.cpp - Low-overhead VM event tracing -------------------------------===//
+
+#include "observability/Trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace jvm;
+
+std::atomic<uint32_t> jvm::trace_detail::ActiveMask{0};
+
+namespace {
+
+uint64_t nowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+size_t ringCapacityFromEnv() {
+  if (const char *E = std::getenv("JVM_TRACE_RING"))
+    if (long N = std::atol(E); N > 0)
+      return static_cast<size_t>(N);
+  return 1 << 16; // 65536 events/thread; ~5 MB worst case per thread
+}
+
+uint32_t categoryMaskFromEnv() {
+  const char *E = std::getenv("JVM_TRACE_CATEGORIES");
+  if (!E || !*E)
+    return TraceDefaultCategories;
+  if (std::strcmp(E, "all") == 0)
+    return TraceCompile | TraceCode | TraceTier | TraceDeopt | TracePea |
+           TraceMonitor;
+  uint32_t Mask = 0;
+  std::string S(E);
+  size_t Pos = 0;
+  while (Pos < S.size()) {
+    size_t Comma = S.find(',', Pos);
+    std::string Tok = S.substr(Pos, Comma == std::string::npos
+                                        ? std::string::npos
+                                        : Comma - Pos);
+    if (Tok == "compile")
+      Mask |= TraceCompile;
+    else if (Tok == "code")
+      Mask |= TraceCode;
+    else if (Tok == "tier")
+      Mask |= TraceTier;
+    else if (Tok == "deopt")
+      Mask |= TraceDeopt;
+    else if (Tok == "pea")
+      Mask |= TracePea;
+    else if (Tok == "monitor")
+      Mask |= TraceMonitor;
+    else if (!Tok.empty())
+      std::fprintf(stderr,
+                   "warning: unknown JVM_TRACE_CATEGORIES token '%s'\n",
+                   Tok.c_str());
+    if (Comma == std::string::npos)
+      break;
+    Pos = Comma + 1;
+  }
+  return Mask ? Mask : TraceDefaultCategories;
+}
+
+/// Where JVM_TRACE exports at process exit (empty = no exit hook).
+std::string &exitTracePath() {
+  static std::string Path;
+  return Path;
+}
+
+void writeTraceAtExit() {
+  const std::string &Path = exitTracePath();
+  if (!Path.empty())
+    Tracer::get().writeJson(Path);
+}
+
+/// Reads JVM_TRACE once, before main() runs in practice (first Tracer
+/// use). Registered as a static initializer side effect of get().
+bool initFromEnvironment(Tracer &T) {
+  T.setCategories(categoryMaskFromEnv());
+  if (const char *E = std::getenv("JVM_TRACE"); E && *E) {
+    exitTracePath() = E;
+    T.setEnabled(true);
+    std::atexit(writeTraceAtExit);
+  }
+  return true;
+}
+
+/// Minimal JSON string escaping for names (static strings; control
+/// characters and quotes only).
+void appendJsonString(std::string &Out, const char *S) {
+  Out += '"';
+  for (; *S; ++S) {
+    char C = *S;
+    if (C == '"' || C == '\\') {
+      Out += '\\';
+      Out += C;
+    } else if (static_cast<unsigned char>(C) < 0x20) {
+      char Buf[8];
+      std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+      Out += Buf;
+    } else {
+      Out += C;
+    }
+  }
+  Out += '"';
+}
+
+thread_local void *LocalBuffer = nullptr;
+
+} // namespace
+
+const char *jvm::traceCategoryName(TraceCategory C) {
+  switch (C) {
+  case TraceCompile:
+    return "compile";
+  case TraceCode:
+    return "code";
+  case TraceTier:
+    return "tier";
+  case TraceDeopt:
+    return "deopt";
+  case TracePea:
+    return "pea";
+  case TraceMonitor:
+    return "monitor";
+  }
+  return "unknown";
+}
+
+Tracer::Tracer() : Capacity(ringCapacityFromEnv()), StartNanos(nowNanos()) {}
+
+namespace {
+/// Forces the singleton (and with it the JVM_TRACE environment hookup)
+/// into existence before main(): the hot paths only ever consult the
+/// ActiveMask word through traceWants() and would otherwise never
+/// construct the tracer in a run where nothing enables it explicitly.
+struct TraceEagerInit {
+  TraceEagerInit() { Tracer::get(); }
+} EagerInit;
+} // namespace
+
+Tracer &Tracer::get() {
+  // Leaked on purpose: the atexit JSON writer and late-destroyed VMs may
+  // record or export after static destruction began.
+  static Tracer *T = new Tracer();
+  static bool EnvInit = initFromEnvironment(*T);
+  (void)EnvInit;
+  return *T;
+}
+
+void Tracer::setEnabled(bool On) {
+  Enabled.store(On, std::memory_order_relaxed);
+  trace_detail::ActiveMask.store(
+      On ? Mask.load(std::memory_order_relaxed) : 0,
+      std::memory_order_relaxed);
+}
+
+void Tracer::setCategories(uint32_t NewMask) {
+  Mask.store(NewMask, std::memory_order_relaxed);
+  if (enabled())
+    trace_detail::ActiveMask.store(NewMask, std::memory_order_relaxed);
+}
+
+Tracer::ThreadBuffer &Tracer::localBuffer() {
+  if (LocalBuffer)
+    return *static_cast<ThreadBuffer *>(LocalBuffer);
+  std::lock_guard<std::mutex> L(RegistryMutex);
+  Buffers.push_back(std::make_unique<ThreadBuffer>(Capacity, NextTid++));
+  LocalBuffer = Buffers.back().get();
+  return *Buffers.back();
+}
+
+void Tracer::record(TraceEvent E) {
+  ThreadBuffer &B = localBuffer();
+  uint64_t N = B.Count.load(std::memory_order_relaxed);
+  if (N >= B.Events.size()) {
+    B.Dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  E.Tid = B.Tid;
+  E.TimeNanos = nowNanos() - StartNanos;
+  B.Events[N] = E;
+  // Publish after the slot is fully written; snapshot() acquires Count
+  // and therefore only reads committed slots (the buffer never wraps).
+  B.Count.store(N + 1, std::memory_order_release);
+}
+
+void Tracer::setCurrentThreadName(const char *Name) {
+  localBuffer().Name.store(Name, std::memory_order_relaxed);
+}
+
+void Tracer::instant(TraceCategory C, const char *Name, const char *Arg0Name,
+                     int64_t Arg0, const char *Arg1Name, int64_t Arg1,
+                     const char *StrArgName, const char *StrArg) {
+  TraceEvent E;
+  E.Name = Name;
+  E.Cat = traceCategoryName(C);
+  E.Ph = 'I';
+  E.Arg0Name = Arg0Name;
+  E.Arg0 = Arg0;
+  E.Arg1Name = Arg1Name;
+  E.Arg1 = Arg1;
+  E.StrArgName = StrArgName;
+  E.StrArg = StrArg;
+  record(E);
+}
+
+void Tracer::begin(TraceCategory C, const char *Name, const char *Arg0Name,
+                   int64_t Arg0) {
+  TraceEvent E;
+  E.Name = Name;
+  E.Cat = traceCategoryName(C);
+  E.Ph = 'B';
+  E.Arg0Name = Arg0Name;
+  E.Arg0 = Arg0;
+  record(E);
+}
+
+void Tracer::end(TraceCategory C, const char *Name) {
+  TraceEvent E;
+  E.Name = Name;
+  E.Cat = traceCategoryName(C);
+  E.Ph = 'E';
+  record(E);
+}
+
+uint64_t Tracer::droppedEvents() const {
+  std::lock_guard<std::mutex> L(RegistryMutex);
+  uint64_t Sum = 0;
+  for (const auto &B : Buffers)
+    Sum += B->Dropped.load(std::memory_order_relaxed) -
+           B->DroppedFloor.load(std::memory_order_relaxed);
+  return Sum;
+}
+
+uint64_t Tracer::highWater() const {
+  std::lock_guard<std::mutex> L(RegistryMutex);
+  uint64_t Max = 0;
+  for (const auto &B : Buffers)
+    Max = std::max(Max, B->Count.load(std::memory_order_relaxed));
+  return Max;
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> L(RegistryMutex);
+  std::vector<TraceEvent> Out;
+  for (const auto &B : Buffers) {
+    uint64_t N = std::min<uint64_t>(B->Count.load(std::memory_order_acquire),
+                                    B->Events.size());
+    for (uint64_t I = B->Floor.load(std::memory_order_relaxed); I < N; ++I)
+      Out.push_back(B->Events[I]);
+  }
+  return Out;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> L(RegistryMutex);
+  for (const auto &B : Buffers) {
+    B->Floor.store(B->Count.load(std::memory_order_acquire),
+                   std::memory_order_relaxed);
+    B->DroppedFloor.store(B->Dropped.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  }
+}
+
+std::string Tracer::exportJson() const {
+  std::string Out;
+  Out += "{\"traceEvents\":[\n";
+  bool First = true;
+  {
+    std::lock_guard<std::mutex> L(RegistryMutex);
+    for (const auto &B : Buffers) {
+      if (const char *Name = B->Name.load(std::memory_order_relaxed)) {
+        char Buf[160];
+        std::snprintf(Buf, sizeof(Buf),
+                      "%s{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                      "\"tid\":%u,\"args\":{\"name\":\"%s\"}}",
+                      First ? "" : ",\n", B->Tid, Name);
+        Out += Buf;
+        First = false;
+      }
+      uint64_t N = std::min<uint64_t>(
+          B->Count.load(std::memory_order_acquire), B->Events.size());
+      for (uint64_t I = B->Floor.load(std::memory_order_relaxed); I < N;
+           ++I) {
+        const TraceEvent &E = B->Events[I];
+        if (!First)
+          Out += ",\n";
+        First = false;
+        Out += "{\"name\":";
+        appendJsonString(Out, E.Name);
+        Out += ",\"cat\":";
+        appendJsonString(Out, E.Cat ? E.Cat : "vm");
+        char Buf[128];
+        std::snprintf(Buf, sizeof(Buf),
+                      ",\"ph\":\"%c\",\"pid\":1,\"tid\":%u,\"ts\":%.3f",
+                      E.Ph, E.Tid, E.TimeNanos / 1000.0);
+        Out += Buf;
+        if (E.Arg0Name || E.Arg1Name || E.StrArgName) {
+          Out += ",\"args\":{";
+          bool FirstArg = true;
+          auto IntArg = [&](const char *AN, int64_t V) {
+            if (!AN)
+              return;
+            if (!FirstArg)
+              Out += ',';
+            FirstArg = false;
+            appendJsonString(Out, AN);
+            std::snprintf(Buf, sizeof(Buf), ":%lld",
+                          static_cast<long long>(V));
+            Out += Buf;
+          };
+          IntArg(E.Arg0Name, E.Arg0);
+          IntArg(E.Arg1Name, E.Arg1);
+          if (E.StrArgName) {
+            if (!FirstArg)
+              Out += ',';
+            appendJsonString(Out, E.StrArgName);
+            Out += ':';
+            appendJsonString(Out, E.StrArg ? E.StrArg : "");
+          }
+          Out += '}';
+        }
+        Out += '}';
+      }
+    }
+  }
+  char Buf[192];
+  std::snprintf(Buf, sizeof(Buf),
+                "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{"
+                "\"droppedEvents\":%llu,\"highWater\":%llu,"
+                "\"ringCapacity\":%llu}}\n",
+                static_cast<unsigned long long>(droppedEvents()),
+                static_cast<unsigned long long>(highWater()),
+                static_cast<unsigned long long>(Capacity));
+  Out += Buf;
+  return Out;
+}
+
+bool Tracer::writeJson(const std::string &Path) const {
+  std::string Json = exportJson();
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "warning: cannot write trace file %s\n",
+                 Path.c_str());
+    return false;
+  }
+  std::fwrite(Json.data(), 1, Json.size(), F);
+  std::fclose(F);
+  return true;
+}

@@ -1,0 +1,212 @@
+//===- Trace.h - Low-overhead VM event tracing ----------------------*- C++ -*-===//
+///
+/// \file
+/// The VM-wide event tracer: every layer of the VM (compile pipeline,
+/// code installation, tier transitions, deoptimization, escape-analysis
+/// materialization, monitors) records scoped spans and instant events
+/// into per-thread append-only ring buffers, exportable as Chrome
+/// `trace_event` JSON (load the file in chrome://tracing or Perfetto).
+///
+/// Design constraints, in order:
+///
+///  1. **Near-zero cost when off.** Tracing is compiled in but disabled
+///     by default; the disabled fast path is ONE relaxed atomic load of
+///     a process-global category mask (`traceWants`), verified by
+///     bench_phase_overhead. No singleton init guard, no function call.
+///  2. **Lock-free recording.** Each thread owns its buffer: the owner
+///     appends with plain stores and publishes with one release store of
+///     the count; readers (export/snapshot) acquire the count and never
+///     race the writer. Buffers never wrap — when full, new events are
+///     counted as dropped (never silently lost) and the drop counter is
+///     surfaced through the metrics registry.
+///  3. **Static strings only.** Event names, categories and argument
+///     names must point to storage that outlives the tracer (string
+///     literals in practice); dynamic payloads travel as integer args.
+///
+/// Enabling: set `JVM_TRACE=<file>` to trace from startup and write the
+/// JSON at process exit, or call `Tracer::get().setEnabled(true)`
+/// programmatically (tests). `JVM_TRACE_CATEGORIES` selects categories
+/// ("all", or a comma list of compile,code,tier,deopt,pea,monitor); the
+/// high-frequency "pea" (runtime materialization sites) and "monitor"
+/// categories are off by default, like Chrome's disabled-by-default
+/// categories. `JVM_TRACE_RING` overrides the per-thread capacity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_OBSERVABILITY_TRACE_H
+#define JVM_OBSERVABILITY_TRACE_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace jvm {
+
+/// Event categories, one bit each (JVM_TRACE_CATEGORIES selects a mask).
+enum TraceCategory : uint32_t {
+  TraceCompile = 1u << 0, ///< pipeline spans + per-phase spans, enqueue
+  TraceCode = 1u << 1,    ///< install / invalidate / discard
+  TraceTier = 1u << 2,    ///< interpreter->compiled, graph<->linear
+  TraceDeopt = 1u << 3,   ///< deoptimizations (reason + remat payload)
+  TracePea = 1u << 4,     ///< runtime materialization sites (high freq)
+  TraceMonitor = 1u << 5, ///< monitor enter/exit (high freq)
+};
+
+/// Categories traced when JVM_TRACE is set without JVM_TRACE_CATEGORIES:
+/// everything except the per-operation high-frequency ones.
+constexpr uint32_t TraceDefaultCategories =
+    TraceCompile | TraceCode | TraceTier | TraceDeopt;
+
+/// Short name of \p C ("compile", "code", ...).
+const char *traceCategoryName(TraceCategory C);
+
+namespace trace_detail {
+/// Bit i set = category i currently recording; 0 = tracing disabled.
+/// The only word a disabled hot path ever touches.
+extern std::atomic<uint32_t> ActiveMask;
+} // namespace trace_detail
+
+/// True if an event of category \p C would be recorded right now. The
+/// hot-path gate: one relaxed atomic load, nothing else.
+inline bool traceWants(TraceCategory C) {
+  return (trace_detail::ActiveMask.load(std::memory_order_relaxed) & C) != 0;
+}
+
+/// One buffered event. All pointers must reference static storage.
+struct TraceEvent {
+  const char *Name = nullptr;
+  const char *Cat = nullptr;
+  char Ph = 'I';          ///< 'B' begin / 'E' end / 'I' instant
+  uint32_t Tid = 0;       ///< tracer-assigned thread id
+  uint64_t TimeNanos = 0; ///< steady clock, relative to tracer start
+  // Up to two integer args and one static-string arg, rendered into the
+  // Chrome "args" object. Null name = absent.
+  const char *Arg0Name = nullptr;
+  int64_t Arg0 = 0;
+  const char *Arg1Name = nullptr;
+  int64_t Arg1 = 0;
+  const char *StrArgName = nullptr;
+  const char *StrArg = nullptr;
+};
+
+class Tracer {
+public:
+  /// The process-global tracer (never destroyed; the JVM_TRACE exit hook
+  /// must be able to export after static destructors start running).
+  static Tracer &get();
+
+  bool enabled() const { return Enabled.load(std::memory_order_relaxed); }
+
+  /// Enables/disables recording (the category mask is preserved across
+  /// toggles). Thread-safe; events already buffered are kept.
+  void setEnabled(bool On);
+
+  /// Replaces the category mask (TraceCategory bits).
+  void setCategories(uint32_t Mask);
+  uint32_t categories() const { return Mask.load(std::memory_order_relaxed); }
+
+  /// Copies \p E into the calling thread's buffer (timestamp and tid are
+  /// filled in here). Callers gate on traceWants() first.
+  void record(TraceEvent E);
+
+  /// Names the calling thread in exported traces (static string).
+  void setCurrentThreadName(const char *Name);
+
+  // Convenience recorders (still check nothing — gate with traceWants).
+  void instant(TraceCategory C, const char *Name,
+               const char *Arg0Name = nullptr, int64_t Arg0 = 0,
+               const char *Arg1Name = nullptr, int64_t Arg1 = 0,
+               const char *StrArgName = nullptr, const char *StrArg = nullptr);
+  void begin(TraceCategory C, const char *Name,
+             const char *Arg0Name = nullptr, int64_t Arg0 = 0);
+  void end(TraceCategory C, const char *Name);
+
+  // Introspection ------------------------------------------------------------
+  /// Events dropped because a thread's buffer was full (never silent:
+  /// surface this through the metrics registry and assert on it in
+  /// perf-smoke runs).
+  uint64_t droppedEvents() const;
+  /// Largest number of events any thread ever buffered.
+  uint64_t highWater() const;
+  size_t ringCapacity() const { return Capacity; }
+
+  /// All buffered events since the last clear(), buffer by buffer (each
+  /// buffer's events in record order). Safe to call concurrently with
+  /// recording; events being appended concurrently may or may not be
+  /// included.
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Logically discards buffered events and drop counts (tests re-use
+  /// the process-global tracer). Buffers are floored, not rewound, so a
+  /// concurrently recording thread is never raced; capacity consumed
+  /// before the clear stays consumed.
+  void clear();
+
+  /// Renders everything buffered as a Chrome trace_event JSON object.
+  std::string exportJson() const;
+
+  /// Writes exportJson() to \p Path; false (with a warning) on I/O error.
+  bool writeJson(const std::string &Path) const;
+
+private:
+  Tracer();
+
+  struct ThreadBuffer {
+    explicit ThreadBuffer(size_t Cap, uint32_t Tid) : Tid(Tid) {
+      Events.resize(Cap);
+    }
+    std::vector<TraceEvent> Events;
+    /// Committed events; owner-written (release), reader-acquired. The
+    /// buffer never wraps, so slots below Count are immutable.
+    std::atomic<uint64_t> Count{0};
+    std::atomic<uint64_t> Dropped{0};
+    /// snapshot()/export read from Floor instead of 0 after a clear().
+    std::atomic<uint64_t> Floor{0};
+    std::atomic<uint64_t> DroppedFloor{0};
+    std::atomic<const char *> Name{nullptr};
+    const uint32_t Tid;
+  };
+
+  ThreadBuffer &localBuffer();
+
+  const size_t Capacity;
+  const uint64_t StartNanos;
+  std::atomic<bool> Enabled{false};
+  std::atomic<uint32_t> Mask{TraceDefaultCategories};
+  mutable std::mutex RegistryMutex; ///< guards Buffers growth
+  std::vector<std::unique_ptr<ThreadBuffer>> Buffers;
+  uint32_t NextTid = 1;
+};
+
+/// RAII span: records a 'B' event on construction and the matching 'E'
+/// on destruction. The enabled decision is captured at construction so
+/// pairs stay matched even if tracing toggles mid-scope.
+class TraceScope {
+public:
+  TraceScope(TraceCategory C, const char *Name,
+             const char *Arg0Name = nullptr, int64_t Arg0 = 0)
+      : Cat(C), Name(Name) {
+    Active = traceWants(C);
+    if (Active)
+      Tracer::get().begin(C, Name, Arg0Name, Arg0);
+  }
+  ~TraceScope() {
+    if (Active)
+      Tracer::get().end(Cat, Name);
+  }
+
+  TraceScope(const TraceScope &) = delete;
+  TraceScope &operator=(const TraceScope &) = delete;
+
+private:
+  TraceCategory Cat;
+  const char *Name;
+  bool Active;
+};
+
+} // namespace jvm
+
+#endif // JVM_OBSERVABILITY_TRACE_H

@@ -11,6 +11,7 @@
 #define JVM_RUNTIME_RUNTIME_H
 
 #include "bytecode/Program.h"
+#include "observability/Trace.h"
 #include "runtime/Heap.h"
 
 #include <vector>
@@ -86,12 +87,16 @@ public:
     assert(O && "monitor enter on null");
     O->rawLock();
     ++Metrics.MonitorOps;
+    if (traceWants(TraceMonitor))
+      Tracer::get().instant(TraceMonitor, "monitor-enter");
   }
 
   void monitorExit(HeapObject *O) {
     assert(O && "monitor exit on null");
     O->rawUnlock();
     ++Metrics.MonitorOps;
+    if (traceWants(TraceMonitor))
+      Tracer::get().instant(TraceMonitor, "monitor-exit");
   }
 
   RuntimeMetrics &metrics() { return Metrics; }

@@ -5,6 +5,7 @@
 #include "bytecode/Program.h"
 #include "compiler/Schedule.h"
 #include "ir/Graph.h"
+#include "observability/Trace.h"
 #include "support/Debug.h"
 #include "vm/LinearCode.h"
 
@@ -48,8 +49,15 @@ CompileResult jvm::runCompilePipeline(const PhasePlan &Plan, const Program &P,
   CompileResult R;
   PhaseContext Ctx(P, Profiles, CO, Method);
   Ctx.CompileSeq = NextCompileSeq.fetch_add(1, std::memory_order_relaxed);
+  R.CompileSeq = Ctx.CompileSeq;
+  // The trail is always collected: one vector of plain structs per
+  // compile is noise next to the pipeline itself, and the compilation
+  // log wants complete histories, not histories since it was enabled.
+  Ctx.Trail = &R.Trail;
   if (DumpGraphDir)
     Ctx.DumpDir = DumpGraphDir;
+  TraceScope Span(TraceCompile, "compile", "method",
+                  static_cast<int64_t>(Method));
 
   // Dumps accumulate in a per-compile buffer and are flushed below in a
   // single write, so compiles on concurrent broker workers never
@@ -69,9 +77,15 @@ CompileResult jvm::runCompilePipeline(const PhasePlan &Plan, const Program &P,
       // Translate to the linear tier inside the timed window: emission
       // is part of producing installable code. Custom plans that skipped
       // the schedule phase get one computed here.
+      TraceScope EmitSpan(TraceCompile, "emit", "method",
+                          static_cast<int64_t>(Method));
+      uint64_t EmitStart = nowNanos();
       PhaseTimer Timer(Ctx.Times, "emit");
       R.Code = Ctx.Schedule ? translateGraph(*G, *Ctx.Schedule)
                             : translateGraph(*G);
+      R.Trail.push_back(PhaseTrailEntry{"emit", nowNanos() - EmitStart,
+                                        G->numLiveNodes(), G->numLiveNodes(),
+                                        true});
     }
   }
 
@@ -138,6 +152,10 @@ bool CompileBroker::enqueue(MethodId M, uint64_t Hotness, uint64_t Version,
 void CompileBroker::kick() { WorkAvailable.notify_one(); }
 
 void CompileBroker::workerLoop() {
+  // Name the thread in exported traces. Harmless when tracing is off
+  // (once per worker lifetime); spans recorded here land under this tid.
+  if (Tracer::get().enabled())
+    Tracer::get().setCurrentThreadName("compiler-worker");
   for (;;) {
     std::shared_ptr<Task> T;
     {

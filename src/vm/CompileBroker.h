@@ -69,7 +69,12 @@ struct CompileResult {
   /// Wall-clock nanoseconds and run counts keyed by phase name ("build",
   /// "canon", "gvn", ... — whatever the plan scheduled).
   PhaseTimes Phases;
+  /// Every phase execution in pipeline order, with node counts — the raw
+  /// material for the per-method compilation log.
+  std::vector<PhaseTrailEntry> Trail;
   uint64_t TotalNanos = 0; ///< whole pipeline, including plan overhead
+  /// Process-wide compile ordinal assigned to this pipeline run.
+  uint64_t CompileSeq = 0;
   /// Fixpoint phases that hit their round cap without converging.
   uint64_t FixpointCapHits = 0;
 };

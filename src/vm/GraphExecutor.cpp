@@ -3,6 +3,7 @@
 #include "vm/GraphExecutor.h"
 
 #include "ir/Printer.h"
+#include "observability/Trace.h"
 #include "support/Casting.h"
 #include "support/ErrorHandling.h"
 #include "vm/LinearCode.h"
@@ -310,6 +311,10 @@ private:
 
   void executeMaterialize(const MaterializeNode *Commit) {
     unsigned NumObjs = Commit->numObjects();
+    if (traceWants(TracePea))
+      Tracer::get().instant(TracePea, "materialize", "method",
+                            static_cast<int64_t>(G.method()), "objects",
+                            static_cast<int64_t>(NumObjs));
     if (NumObjs == 1) {
       // Fast path: no sibling resolution, no scratch state. Entry
       // evaluation is pure (it cannot allocate), so the fresh object
@@ -430,6 +435,8 @@ private:
           RT.monitorEnter(O);
       }
     }
+
+    Req.Rematerialized = static_cast<unsigned>(Virtuals.size());
 
     // Build the interpreter frames, innermost first.
     for (const FrameStateNode *FS = N->state(); FS; FS = FS->outer()) {

@@ -31,6 +31,10 @@ namespace jvm {
 struct DeoptRequest {
   MethodId Root = NoMethod; ///< Method whose compiled code deoptimized.
   DeoptReason Reason = DeoptReason::BranchNeverTaken;
+  /// Scalar-replaced virtual objects rebuilt on the heap for this deopt
+  /// (Section 5.5 rematerialization) — surfaced in traces and the
+  /// compilation log.
+  unsigned Rematerialized = 0;
   std::vector<ResumeFrame> Frames; ///< Innermost first.
 };
 

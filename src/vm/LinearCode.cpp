@@ -3,6 +3,7 @@
 #include "vm/LinearCode.h"
 
 #include "compiler/Schedule.h"
+#include "observability/Trace.h"
 #include "support/Casting.h"
 
 #include <cstdio>
@@ -505,6 +506,10 @@ HeapObject *LinearExecutor::allocateTemplate(const LinearCode::ObjTemplate &T) {
 void LinearExecutor::doMaterialize(const LinearCode &L,
                                    const LinearCode::MatDesc &M,
                                    std::vector<Value> &R) {
+  if (traceWants(TracePea))
+    Tracer::get().instant(TracePea, "materialize", "method",
+                          static_cast<int64_t>(L.method()), "objects",
+                          static_cast<int64_t>(M.NumObjs));
   // Same observable order as the graph walker: allocate every object,
   // then per object fill its entries and replay its elided locks.
   MatScratch.clear();
@@ -535,6 +540,7 @@ Value LinearExecutor::doDeopt(const LinearCode &L,
   DeoptRequest Req;
   Req.Root = L.method();
   Req.Reason = D.Reason;
+  Req.Rematerialized = D.NumObjs;
   // Materialize the scalar-replaced objects in recorded (= walker
   // discovery) order; the scope keeps them rooted through the handler.
   std::vector<Value> Fresh;

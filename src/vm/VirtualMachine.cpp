@@ -75,15 +75,17 @@ VirtualMachine::VirtualMachine(const Program &P, VMOptions Options)
             return call(Target, std::move(Args));
           },
           [this](DeoptRequest &&Req) { return handleDeopt(std::move(Req)); }),
-      States(P.numMethods()) {
+      States(P.numMethods()), CLog(P.numMethods()) {
   Interp.setCallHandler([this](MethodId Target, std::vector<Value> &&Args) {
     return call(Target, std::move(Args));
   });
+  registerMetrics();
   if (Options.EnableJit && Options.CompilerThreads > 0)
     Broker = std::make_unique<CompileBroker>(
         P, Options.Compiler, Options.CompilerThreads,
         [this](CompileBroker::Task &&T, CompileResult &&R) {
-          installCode(T.Method, T.Version, std::move(R), T.EnqueueNanos);
+          installCode(T.Method, T.Version, std::move(R), T.EnqueueNanos,
+                      T.Hotness);
           // Clear the dedup flag last: once visible, the mutator may
           // request a fresh compile of this method.
           States[T.Method].CompilePending.store(false,
@@ -91,7 +93,122 @@ VirtualMachine::VirtualMachine(const Program &P, VMOptions Options)
         });
 }
 
-VirtualMachine::~VirtualMachine() = default;
+VirtualMachine::~VirtualMachine() {
+  // Environment-driven end-of-VM dumps. Both append (one block/object
+  // per VM instance), so multi-VM processes — the test binaries — leave
+  // every VM's data in the file.
+  const char *MetricsPath = std::getenv("JVM_METRICS_JSON");
+  const char *LogPath = std::getenv("JVM_COMPILE_LOG");
+  if ((MetricsPath && *MetricsPath) || (LogPath && *LogPath)) {
+    waitForCompilerIdle();
+    if (MetricsPath && *MetricsPath) {
+      if (std::FILE *F = std::fopen(MetricsPath, "a")) {
+        std::string Json = dumpMetricsJson() + "\n";
+        std::fwrite(Json.data(), 1, Json.size(), F);
+        std::fclose(F);
+      }
+    }
+    if (LogPath && *LogPath) {
+      if (std::FILE *F = std::fopen(LogPath, "a")) {
+        std::string Text = CLog.renderText();
+        std::fwrite(Text.data(), 1, Text.size(), F);
+        std::fclose(F);
+      }
+    }
+  }
+}
+
+void VirtualMachine::registerMetrics() {
+  // RuntimeMetrics + heap: live sources, read at dump time.
+  Registry.gauge("runtime.interpreted_ops",
+                 [this] { return RT.metrics().InterpretedOps; });
+  Registry.gauge("runtime.interpreted_calls",
+                 [this] { return RT.metrics().InterpretedCalls; });
+  Registry.gauge("runtime.compiled_ops",
+                 [this] { return RT.metrics().CompiledOps; });
+  Registry.gauge("runtime.compiled_calls",
+                 [this] { return RT.metrics().CompiledCalls; });
+  Registry.gauge("runtime.monitor_ops",
+                 [this] { return RT.metrics().MonitorOps; });
+  Registry.gauge("runtime.deopts", [this] { return RT.metrics().Deopts; });
+  Registry.gauge("heap.allocations",
+                 [this] { return RT.heap().allocationCount(); });
+  Registry.gauge("heap.allocated_bytes",
+                 [this] { return RT.heap().allocatedBytes(); });
+  Registry.gauge("heap.gc_runs", [this] { return RT.heap().gcRuns(); });
+  Registry.gauge("heap.live_objects",
+                 [this] { return RT.heap().liveObjects(); });
+
+  // JitMetrics (and the PEAStats it aggregates): guarded by StateMutex,
+  // so each gauge takes it — dump-time only cost.
+  auto JitGauge = [this](const char *Name, uint64_t JitMetrics::*Field) {
+    Registry.gauge(Name, [this, Field] {
+      std::lock_guard<std::mutex> L(StateMutex);
+      return Jit.*Field;
+    });
+  };
+  JitGauge("jit.compilations", &JitMetrics::Compilations);
+  JitGauge("jit.invalidations", &JitMetrics::Invalidations);
+  JitGauge("jit.compiles_discarded", &JitMetrics::CompilesDiscarded);
+  JitGauge("jit.retired_reclaimed", &JitMetrics::RetiredReclaimed);
+  JitGauge("jit.compile_nanos", &JitMetrics::CompileNanos);
+  JitGauge("jit.mutator_stall_nanos", &JitMetrics::MutatorStallNanos);
+  JitGauge("jit.fixpoint_cap_hits", &JitMetrics::FixpointCapHits);
+  JitGauge("jit.queue_depth_high_water", &JitMetrics::QueueDepthHighWater);
+  JitGauge("jit.enqueue_to_install_nanos", &JitMetrics::EnqueueToInstallNanos);
+  JitGauge("jit.enqueue_to_install_nanos_max",
+           &JitMetrics::EnqueueToInstallNanosMax);
+  auto PeaGauge = [this](const char *Name, unsigned PEAStats::*Field) {
+    Registry.gauge(Name, [this, Field] {
+      std::lock_guard<std::mutex> L(StateMutex);
+      return uint64_t(Jit.EscapeStats.*Field);
+    });
+  };
+  PeaGauge("pea.virtualized_allocations", &PEAStats::VirtualizedAllocations);
+  PeaGauge("pea.materialize_sites", &PEAStats::MaterializeSites);
+  PeaGauge("pea.scalar_replaced_loads", &PEAStats::ScalarReplacedLoads);
+  PeaGauge("pea.scalar_replaced_stores", &PEAStats::ScalarReplacedStores);
+  PeaGauge("pea.elided_monitor_ops", &PEAStats::ElidedMonitorOps);
+  PeaGauge("pea.folded_checks", &PEAStats::FoldedChecks);
+  PeaGauge("pea.loop_iterations", &PEAStats::LoopIterations);
+  PeaGauge("pea.virtualized_states", &PEAStats::VirtualizedStates);
+
+  // Per-phase pipeline time: names are dynamic (whatever the plans ran),
+  // so a provider emits them at dump time.
+  Registry.provider(
+      [this](const std::function<void(const std::string &, uint64_t)> &Emit) {
+        std::lock_guard<std::mutex> L(StateMutex);
+        for (const PhaseTimes::Entry &E : Jit.PhaseNanos.Entries) {
+          Emit("jit.phase." + E.Name + ".nanos", E.Nanos);
+          Emit("jit.phase." + E.Name + ".runs", E.Runs);
+        }
+      });
+
+  // Tracer health: ring overflow must never be silent. The perf-smoke
+  // trace run asserts dropped_events == 0 at the default ring size.
+  Registry.gauge("trace.dropped_events",
+                 [] { return Tracer::get().droppedEvents(); });
+  Registry.gauge("trace.ring_high_water",
+                 [] { return Tracer::get().highWater(); });
+  Registry.gauge("trace.ring_capacity",
+                 [] { return uint64_t(Tracer::get().ringCapacity()); });
+
+  // Live histograms, recorded on the install/stall paths (lock-free).
+  EnqueueToInstallHist = &Registry.histogram("jit.enqueue_to_install_latency_ns");
+  MutatorStallHist = &Registry.histogram("jit.mutator_stall_latency_ns");
+}
+
+void VirtualMachine::resetMetrics() {
+  // Drain the broker first: an install racing the reset would charge a
+  // warmup compile to the measured window (or worse, split it).
+  waitForCompilerIdle();
+  RT.resetMetrics();
+  {
+    std::lock_guard<std::mutex> L(StateMutex);
+    Jit = JitMetrics();
+  }
+  Registry.reset();
+}
 
 Value VirtualMachine::call(MethodId Method, std::vector<Value> Args) {
   // Safe point: no compiled activation is on the stack, so code retired
@@ -127,6 +244,19 @@ Value VirtualMachine::executeCompiled(MethodId Method, const Graph &G,
       Options.Exec == ExecMode::Graph
           ? nullptr
           : States[Method].Linear.load(std::memory_order_acquire);
+  if (traceWants(TraceTier)) {
+    // Mutator-only bookkeeping: emit one instant per tier *change*, not
+    // per call (interpreter -> compiled on the first compiled entry,
+    // graph <-> linear when the mode or available code flips).
+    MethodState &MS = States[Method];
+    uint8_t Tier = L ? 2 : 1;
+    if (MS.TracedTier != Tier) {
+      Tracer::get().instant(TraceTier, "tier-transition", "method",
+                            static_cast<int64_t>(Method), "from",
+                            MS.TracedTier, "to", L ? "linear" : "graph");
+      MS.TracedTier = Tier;
+    }
+  }
   Value Result;
   if (!L) {
     // Graph mode, or the method compiled without EmitLinearCode.
@@ -160,17 +290,24 @@ void VirtualMachine::requestCompile(MethodId Method) {
   }
   MethodState &MS = States[Method];
   MS.CompilePending.store(true, std::memory_order_relaxed);
-  if (!Broker->enqueue(Method, Profiles.of(Method).hotness(), Version,
+  uint64_t Hotness = Profiles.of(Method).hotness();
+  if (!Broker->enqueue(Method, Hotness, Version,
                        ProfileSnapshot(Profiles, P, Method))) {
     MS.CompilePending.store(false, std::memory_order_relaxed);
     return;
   }
+  if (traceWants(TraceCompile))
+    Tracer::get().instant(TraceCompile, "enqueue", "method",
+                          static_cast<int64_t>(Method), "hotness",
+                          static_cast<int64_t>(Hotness));
   uint64_t HighWater = Broker->queueDepthHighWater();
+  uint64_t Stall = nowNanos() - Start;
+  MutatorStallHist->record(Stall);
   {
     std::lock_guard<std::mutex> L(StateMutex);
     Jit.QueueDepthHighWater = std::max(Jit.QueueDepthHighWater, HighWater);
     // With a broker the only mutator cost is the snapshot + enqueue.
-    Jit.MutatorStallNanos += nowNanos() - Start;
+    Jit.MutatorStallNanos += Stall;
   }
   // Wake a worker only after the stall window closed: on a saturated
   // machine the worker may preempt this thread the moment it is woken,
@@ -189,54 +326,89 @@ void VirtualMachine::compileSync(MethodId Method) {
     // favor of this (fresher-profiled) one.
     Version = ++States[Method].Version;
   }
+  uint64_t Hotness = Profiles.of(Method).hotness();
   CompileResult R = runCompilePipeline(
       P, Method, ProfileSnapshot(Profiles, P, Method), Options.Compiler);
-  installCode(Method, Version, std::move(R), Start);
+  installCode(Method, Version, std::move(R), Start, Hotness);
+  uint64_t Stall = nowNanos() - Start;
+  MutatorStallHist->record(Stall);
   std::lock_guard<std::mutex> L(StateMutex);
-  Jit.MutatorStallNanos += nowNanos() - Start;
+  Jit.MutatorStallNanos += Stall;
 }
 
 bool VirtualMachine::installCode(MethodId Method, uint64_t Version,
-                                 CompileResult &&R, uint64_t EnqueueNanos) {
+                                 CompileResult &&R, uint64_t EnqueueNanos,
+                                 uint64_t Hotness) {
   uint64_t Now = nowNanos();
-  std::lock_guard<std::mutex> L(StateMutex);
-  // Pipeline cost is real whether or not the result installs.
-  Jit.CompileNanos += R.TotalNanos;
-  Jit.PhaseNanos += R.Phases;
-  Jit.FixpointCapHits += R.FixpointCapHits;
-  Jit.EscapeStats += R.Stats;
 
-  MethodState &MS = States[Method];
-  if (MS.Version != Version) {
-    // The method was invalidated (or force-recompiled) after this
-    // compile was enqueued: its speculations are based on a retracted
-    // profile, drop it.
-    ++Jit.CompilesDiscarded;
-    JVM_DEBUG("discarded stale compile of m" << Method);
-    return false;
-  }
-  if (MS.Owned) {
-    MS.Retired.push_back(std::move(MS.Owned));
-    if (MS.OwnedLinear)
-      MS.RetiredLinear.push_back(std::move(MS.OwnedLinear));
-    HasRetired.store(true, std::memory_order_relaxed);
-  }
-  MS.Owned = std::move(R.G);
-  MS.OwnedLinear = std::move(R.Code);
-  // Linear first: a mutator that sees the new graph must also see its
-  // linear translation (the inverse interleaving is benign, see
-  // MethodState::Linear).
-  MS.Linear.store(MS.OwnedLinear.get(), std::memory_order_release);
-  MS.Code.store(MS.Owned.get(), std::memory_order_release);
-  ++Jit.Compilations;
+  // The log record is assembled outside the state lock (string copies);
+  // whether it says "installed" is decided under it below.
+  CompileLog::Record Rec;
+  Rec.CompileSeq = R.CompileSeq;
+  Rec.Hotness = Hotness;
+  Rec.TotalNanos = R.TotalNanos;
+  Rec.FinalNodes = R.G ? R.G->numLiveNodes() : 0;
+  Rec.Escape.VirtualizedAllocations = R.Stats.VirtualizedAllocations;
+  Rec.Escape.MaterializeSites = R.Stats.MaterializeSites;
+  Rec.Escape.ElidedMonitorOps = R.Stats.ElidedMonitorOps;
+  Rec.Escape.VirtualizedStates = R.Stats.VirtualizedStates;
+  Rec.Phases.reserve(R.Trail.size());
+  for (const PhaseTrailEntry &T : R.Trail)
+    Rec.Phases.push_back(CompileLog::PhaseRec{T.Name, T.Nanos, T.NodesBefore,
+                                              T.NodesAfter, T.Changed});
+
+  bool Installed = false;
   uint64_t Latency = Now - EnqueueNanos;
-  Jit.EnqueueToInstallNanos += Latency;
-  Jit.EnqueueToInstallNanosMax =
-      std::max(Jit.EnqueueToInstallNanosMax, Latency);
-  JVM_DEBUG("compiled m" << Method << " ("
-                         << escapeAnalysisModeName(Options.Compiler.EAMode)
-                         << ")");
-  return true;
+  {
+    std::lock_guard<std::mutex> L(StateMutex);
+    // Pipeline cost is real whether or not the result installs.
+    Jit.CompileNanos += R.TotalNanos;
+    Jit.PhaseNanos += R.Phases;
+    Jit.FixpointCapHits += R.FixpointCapHits;
+    Jit.EscapeStats += R.Stats;
+
+    MethodState &MS = States[Method];
+    if (MS.Version != Version) {
+      // The method was invalidated (or force-recompiled) after this
+      // compile was enqueued: its speculations are based on a retracted
+      // profile, drop it.
+      ++Jit.CompilesDiscarded;
+      JVM_DEBUG("discarded stale compile of m" << Method);
+    } else {
+      if (MS.Owned) {
+        MS.Retired.push_back(std::move(MS.Owned));
+        if (MS.OwnedLinear)
+          MS.RetiredLinear.push_back(std::move(MS.OwnedLinear));
+        HasRetired.store(true, std::memory_order_relaxed);
+      }
+      MS.Owned = std::move(R.G);
+      MS.OwnedLinear = std::move(R.Code);
+      // Linear first: a mutator that sees the new graph must also see its
+      // linear translation (the inverse interleaving is benign, see
+      // MethodState::Linear).
+      MS.Linear.store(MS.OwnedLinear.get(), std::memory_order_release);
+      MS.Code.store(MS.Owned.get(), std::memory_order_release);
+      ++Jit.Compilations;
+      Jit.EnqueueToInstallNanos += Latency;
+      Jit.EnqueueToInstallNanosMax =
+          std::max(Jit.EnqueueToInstallNanosMax, Latency);
+      Rec.Installed = true;
+      Rec.Version = MS.Version;
+      Rec.EnqueueToInstallNanos = Latency;
+      Installed = true;
+      JVM_DEBUG("compiled m" << Method << " ("
+                             << escapeAnalysisModeName(Options.Compiler.EAMode)
+                             << ")");
+    }
+  }
+  if (Installed)
+    EnqueueToInstallHist->record(Latency);
+  if (traceWants(TraceCode))
+    Tracer::get().instant(TraceCode, Installed ? "install" : "discard-stale",
+                          "method", static_cast<int64_t>(Method), "version",
+                          static_cast<int64_t>(Rec.Version));
+  CLog.addRecord(Method, std::move(Rec));
+  return Installed;
 }
 
 void VirtualMachine::invalidate(MethodId Method) {
@@ -254,6 +426,13 @@ void VirtualMachine::invalidate(MethodId Method) {
   MS.DeoptCount = 0;
   ++MS.Recompiles;
   ++Jit.Invalidations;
+  // Back to the interpreter until recompiled; the next compiled entry is
+  // a fresh tier transition.
+  MS.TracedTier = 0;
+  if (traceWants(TraceCode))
+    Tracer::get().instant(TraceCode, "invalidate", "method",
+                          static_cast<int64_t>(Method), "version",
+                          static_cast<int64_t>(MS.Version));
   JVM_DEBUG("invalidated m" << Method);
 }
 
@@ -289,6 +468,16 @@ void VirtualMachine::waitForCompilerIdle() {
 }
 
 Value VirtualMachine::handleDeopt(DeoptRequest &&Req) {
+  const char *Reason = deoptReasonName(Req.Reason);
+  if (traceWants(TraceDeopt))
+    Tracer::get().instant(TraceDeopt, "deopt", "method",
+                          static_cast<int64_t>(Req.Root), "rematerialized",
+                          static_cast<int64_t>(Req.Rematerialized), "reason",
+                          Reason);
+  // Attribute the deopt to the installed code's log record (with the
+  // Section 5.5 rematerialization payload) before a possible
+  // invalidation retires that record's code.
+  CLog.addDeopt(Req.Root, Reason, Req.Rematerialized);
   MethodState &MS = States[Req.Root];
   ++MS.DeoptCount;
   if (MS.DeoptCount > Options.MaxDeoptsPerMethod) {

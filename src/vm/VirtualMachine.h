@@ -35,6 +35,9 @@
 #include "compiler/CompilerOptions.h"
 #include "compiler/Phase.h"
 #include "interp/Interpreter.h"
+#include "observability/CompileLog.h"
+#include "observability/Metrics.h"
+#include "observability/Trace.h"
 #include "pea/PartialEscapeAnalysis.h"
 #include "runtime/Runtime.h"
 #include "vm/GraphExecutor.h"
@@ -43,6 +46,7 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <string>
 
 namespace jvm {
 
@@ -143,6 +147,31 @@ public:
   const VMOptions &options() const { return Options; }
   JitMetrics &jitMetrics() { return Jit; }
 
+  /// The unified metrics registry: every RuntimeMetrics/JitMetrics/
+  /// PEAStats field is registered here (as a dump-time gauge), plus the
+  /// live histograms (enqueue-to-install and mutator-stall latency) and
+  /// the tracer's drop/high-water counters. Dump from the mutator after
+  /// waitForCompilerIdle() for a consistent snapshot.
+  MetricsRegistry &metricsRegistry() { return Registry; }
+
+  /// The per-method compilation log (phases, PEA decisions, installs,
+  /// deopts). Populated on every pipeline run; always on.
+  CompileLog &compileLog() { return CLog; }
+
+  /// One coherent text table of every registered metric.
+  std::string dumpMetricsText() { return Registry.dumpText(); }
+
+  /// The same as one flat JSON object (what JVM_METRICS_JSON appends).
+  std::string dumpMetricsJson() { return Registry.dumpJson(); }
+
+  /// Resets every measurement-window metric: RuntimeMetrics (including
+  /// heap allocation counters and the per-call compiled/interpreted op
+  /// counts), JitMetrics, and the registry's owned counters/histograms.
+  /// Waits for the broker first so no in-flight install writes into the
+  /// cleared window. The bench harness calls this between warmup and
+  /// measured iterations; see Harness::measureRow.
+  void resetMetrics();
+
   /// The compiled graph of \p Method, or null. Lock-free: one acquire
   /// load, safe to call from the mutator at any time.
   const Graph *compiledGraph(MethodId Method) const {
@@ -179,9 +208,12 @@ private:
   void compileSync(MethodId Method);
   /// Publishes \p R for \p Method if its code version still matches
   /// \p Version; discards otherwise. Called from workers and the
-  /// synchronous path alike. Returns true if installed.
+  /// synchronous path alike. Returns true if installed. \p Hotness is
+  /// the trigger hotness, recorded in the compilation log.
   bool installCode(MethodId Method, uint64_t Version, CompileResult &&R,
-                   uint64_t EnqueueNanos);
+                   uint64_t EnqueueNanos, uint64_t Hotness);
+  /// Registers every VM metric into the registry (constructor).
+  void registerMetrics();
   /// Frees all retired graphs. Only called at a safe point: the mutator
   /// has no compiled activation on its stack.
   void reclaimRetired();
@@ -216,6 +248,10 @@ private:
     uint64_t Version = 0;
     uint64_t DeoptCount = 0;
     uint64_t Recompiles = 0;
+    /// Last tier this method was observed executing in, for tier-
+    /// transition trace instants (0 = interpreter, 1 = graph walker,
+    /// 2 = linear). Mutator-only; maintained only while tracing.
+    uint8_t TracedTier = 0;
   };
 
   const Program &P;
@@ -227,6 +263,12 @@ private:
   LinearExecutor LinExecutor;
   std::vector<MethodState> States;
   JitMetrics Jit;
+  MetricsRegistry Registry;
+  CompileLog CLog;
+  /// Cached registry histograms (stable addresses; recording is
+  /// lock-free, so hot paths never touch the registry mutex).
+  MetricHistogram *EnqueueToInstallHist = nullptr;
+  MetricHistogram *MutatorStallHist = nullptr;
   /// Guards MethodState's non-atomic fields and Jit. Never held while
   /// calling into the broker, so the two locks never nest.
   std::mutex StateMutex;

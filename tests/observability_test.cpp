@@ -1,0 +1,704 @@
+//===- observability_test.cpp - Tracer, metrics registry, compile log ----------===//
+//
+// Covers the observability subsystem end to end: metric registration and
+// kind uniqueness, log2 histogram bucketing edge cases, trace recording
+// with matched B/E span pairs across threads, Chrome-JSON export
+// well-formedness, ring-overflow drop accounting, the per-method
+// compilation log (including a forced deoptimization with virtual-object
+// rematerialization), and VirtualMachine::resetMetrics.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestPrograms.h"
+#include "bytecode/BytecodeVerifier.h"
+#include "bytecode/CodeBuilder.h"
+#include "observability/CompileLog.h"
+#include "observability/Metrics.h"
+#include "observability/Trace.h"
+#include "vm/VirtualMachine.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace jvm;
+using namespace jvm::testprogs;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Minimal JSON well-formedness checker (objects, arrays, strings,
+// numbers, literals). Returns true iff the whole input is one valid
+// JSON value. Enough to validate the tracer's generated output without
+// a JSON dependency; scripts/check_trace.py does full schema linting.
+//===----------------------------------------------------------------------===//
+
+class JsonScanner {
+public:
+  explicit JsonScanner(const std::string &S) : S(S) {}
+
+  bool valid() {
+    skipWs();
+    if (!value())
+      return false;
+    skipWs();
+    return Pos == S.size();
+  }
+
+private:
+  bool value() {
+    if (Pos >= S.size())
+      return false;
+    switch (S[Pos]) {
+    case '{':
+      return object();
+    case '[':
+      return array();
+    case '"':
+      return string();
+    case 't':
+      return literal("true");
+    case 'f':
+      return literal("false");
+    case 'n':
+      return literal("null");
+    default:
+      return number();
+    }
+  }
+
+  bool object() {
+    ++Pos; // '{'
+    skipWs();
+    if (peek() == '}') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      if (!string())
+        return false;
+      skipWs();
+      if (peek() != ':')
+        return false;
+      ++Pos;
+      skipWs();
+      if (!value())
+        return false;
+      skipWs();
+      if (peek() == ',') {
+        ++Pos;
+        continue;
+      }
+      if (peek() == '}') {
+        ++Pos;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++Pos; // '['
+    skipWs();
+    if (peek() == ']') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      if (!value())
+        return false;
+      skipWs();
+      if (peek() == ',') {
+        ++Pos;
+        continue;
+      }
+      if (peek() == ']') {
+        ++Pos;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"')
+      return false;
+    ++Pos;
+    while (Pos < S.size() && S[Pos] != '"') {
+      if (S[Pos] == '\\') {
+        ++Pos;
+        if (Pos >= S.size())
+          return false;
+      }
+      ++Pos;
+    }
+    if (Pos >= S.size())
+      return false;
+    ++Pos; // closing quote
+    return true;
+  }
+
+  bool number() {
+    size_t Start = Pos;
+    if (peek() == '-')
+      ++Pos;
+    while (Pos < S.size() &&
+           (std::isdigit(static_cast<unsigned char>(S[Pos])) ||
+            S[Pos] == '.' || S[Pos] == 'e' || S[Pos] == 'E' ||
+            S[Pos] == '+' || S[Pos] == '-'))
+      ++Pos;
+    return Pos > Start;
+  }
+
+  bool literal(const char *L) {
+    size_t N = std::strlen(L);
+    if (S.compare(Pos, N, L) != 0)
+      return false;
+    Pos += N;
+    return true;
+  }
+
+  char peek() const { return Pos < S.size() ? S[Pos] : '\0'; }
+  void skipWs() {
+    while (Pos < S.size() &&
+           std::isspace(static_cast<unsigned char>(S[Pos])))
+      ++Pos;
+  }
+
+  const std::string &S;
+  size_t Pos = 0;
+};
+
+/// Per-tid LIFO matching of 'B'/'E' events: every end must close the
+/// innermost open begin of the same thread, and no span stays open.
+void expectSpansMatched(const std::vector<TraceEvent> &Events) {
+  std::map<uint32_t, std::vector<const char *>> Open;
+  for (const TraceEvent &E : Events) {
+    if (E.Ph == 'B') {
+      Open[E.Tid].push_back(E.Name);
+    } else if (E.Ph == 'E') {
+      auto &Stack = Open[E.Tid];
+      ASSERT_FALSE(Stack.empty())
+          << "'E' event '" << E.Name << "' with no open span on tid "
+          << E.Tid;
+      EXPECT_STREQ(Stack.back(), E.Name) << "mismatched span on tid " << E.Tid;
+      Stack.pop_back();
+    }
+  }
+  for (const auto &[Tid, Stack] : Open)
+    EXPECT_TRUE(Stack.empty()) << "unclosed span on tid " << Tid;
+}
+
+/// Every test runs against the process-global tracer: start from a clean,
+/// disabled state and leave it that way.
+class ObservabilityTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Tracer::get().setEnabled(false);
+    Tracer::get().clear();
+    Tracer::get().setCategories(TraceDefaultCategories);
+  }
+  void TearDown() override {
+    Tracer::get().setEnabled(false);
+    Tracer::get().clear();
+    Tracer::get().setCategories(TraceDefaultCategories);
+  }
+};
+
+VMOptions fastJit(unsigned CompilerThreads = 0) {
+  VMOptions O;
+  O.CompileThreshold = 5;
+  O.Compiler.EAMode = EscapeAnalysisMode::Partial;
+  O.Compiler.PruneMinProfile = 5;
+  O.Compiler.DevirtMinProfile = 5;
+  O.CompilerThreads = CompilerThreads;
+  return O;
+}
+
+/// One block of the paper's speculation pattern:
+///   t = new T; t.val = x; if (x < 0) global = t; return x + t.val;
+/// Warmed with x >= 0 the store is branch-pruned into a deopt and t is
+/// scalar-replaced — calling with x < 0 then deoptimizes with one
+/// virtual object to rematerialize.
+struct DeoptProgram {
+  Program P;
+  MethodId M = NoMethod;
+};
+
+DeoptProgram makeDeoptProgram() {
+  DeoptProgram R;
+  ClassId T = R.P.addClass("T");
+  FieldIndex Val = R.P.addField(T, "val", ValueType::Int);
+  StaticIndex Global = R.P.addStatic("global", ValueType::Ref);
+  R.M = R.P.addMethod("f", NoClass, {ValueType::Int}, ValueType::Int);
+  CodeBuilder C(R.P, R.M);
+  unsigned X = 0;
+  unsigned Tl = C.newLocal();
+  Label Skip = C.newLabel();
+  C.newObj(T).store(Tl);
+  C.load(Tl).load(X).putField(T, Val);
+  C.load(X).constI(0).ifGe(Skip);
+  C.load(Tl).putStatic(Global);
+  C.bind(Skip);
+  C.load(X).load(Tl).getField(T, Val).add().retInt();
+  C.finish();
+  verifyProgramOrDie(R.P);
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// MetricsRegistry
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsRegistryTest, CounterGetOrCreateReturnsStableIdentity) {
+  MetricsRegistry R;
+  MetricCounter &A = R.counter("vm.widgets");
+  MetricCounter &B = R.counter("vm.widgets");
+  EXPECT_EQ(&A, &B);
+  A.add(3);
+  B.add();
+  EXPECT_EQ(A.value(), 4u);
+  EXPECT_TRUE(R.has("vm.widgets"));
+  EXPECT_FALSE(R.has("vm.gadgets"));
+  EXPECT_EQ(R.size(), 1u);
+}
+
+TEST(MetricsRegistryTest, HistogramGetOrCreateReturnsStableIdentity) {
+  MetricsRegistry R;
+  MetricHistogram &A = R.histogram("vm.latency");
+  MetricHistogram &B = R.histogram("vm.latency");
+  EXPECT_EQ(&A, &B);
+  EXPECT_EQ(R.size(), 1u);
+}
+
+TEST(MetricsRegistryTest, KindMismatchDies) {
+  MetricsRegistry R;
+  R.counter("vm.thing");
+  EXPECT_DEATH(R.histogram("vm.thing"), "different kind");
+  MetricsRegistry R2;
+  R2.gauge("vm.g", [] { return 1u; });
+  EXPECT_DEATH(R2.gauge("vm.g", [] { return 2u; }), "duplicate gauge");
+}
+
+TEST(MetricsRegistryTest, DumpTextOneRowPerMetricHistogramsExpand) {
+  MetricsRegistry R;
+  R.counter("a.count").add(7);
+  R.gauge("b.gauge", [] { return uint64_t(42); });
+  R.histogram("c.hist").record(100);
+  std::string Text = R.dumpText();
+  EXPECT_NE(Text.find("a.count"), std::string::npos);
+  EXPECT_NE(Text.find("42"), std::string::npos);
+  EXPECT_NE(Text.find("c.hist.count"), std::string::npos);
+  EXPECT_NE(Text.find("c.hist.mean"), std::string::npos);
+  EXPECT_NE(Text.find("c.hist.max"), std::string::npos);
+  EXPECT_NE(Text.find("c.hist.p90"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, DumpJsonIsValidAndProvidersEmit) {
+  MetricsRegistry R;
+  R.counter("x").add(1);
+  R.provider([](const std::function<void(const std::string &, uint64_t)> &E) {
+    E("dynamic.one", 11);
+    E("dynamic.two", 22);
+  });
+  std::string Json = R.dumpJson();
+  JsonScanner Scan(Json);
+  EXPECT_TRUE(Scan.valid()) << Json;
+  EXPECT_NE(Json.find("\"dynamic.one\": 11"), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"dynamic.two\": 22"), std::string::npos) << Json;
+}
+
+TEST(MetricsRegistryTest, ResetZeroesOwnedMetricsOnly) {
+  MetricsRegistry R;
+  R.counter("c").add(5);
+  R.histogram("h").record(9);
+  uint64_t Live = 17;
+  R.gauge("g", [&Live] { return Live; });
+  R.reset();
+  EXPECT_EQ(R.counter("c").value(), 0u);
+  EXPECT_EQ(R.histogram("h").count(), 0u);
+  EXPECT_EQ(R.histogram("h").sum(), 0u);
+  EXPECT_EQ(R.histogram("h").max(), 0u);
+  // Gauges read live sources; reset must not touch them.
+  EXPECT_NE(R.dumpText().find("17"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// MetricHistogram bucketing
+//===----------------------------------------------------------------------===//
+
+TEST(MetricHistogramTest, BucketEdgeCases) {
+  EXPECT_EQ(MetricHistogram::bucketFor(0), 0u);
+  EXPECT_EQ(MetricHistogram::bucketFor(1), 1u);
+  EXPECT_EQ(MetricHistogram::bucketFor(2), 2u);
+  EXPECT_EQ(MetricHistogram::bucketFor(3), 2u);
+  EXPECT_EQ(MetricHistogram::bucketFor(4), 3u);
+  EXPECT_EQ(MetricHistogram::bucketFor(7), 3u);
+  EXPECT_EQ(MetricHistogram::bucketFor(8), 4u);
+  EXPECT_EQ(MetricHistogram::bucketFor((uint64_t(1) << 63) - 1), 63u);
+  EXPECT_EQ(MetricHistogram::bucketFor(uint64_t(1) << 63), 64u);
+  EXPECT_EQ(MetricHistogram::bucketFor(UINT64_MAX), 64u);
+
+  EXPECT_EQ(MetricHistogram::bucketLowerBound(0), 0u);
+  EXPECT_EQ(MetricHistogram::bucketLowerBound(1), 1u);
+  EXPECT_EQ(MetricHistogram::bucketLowerBound(2), 2u);
+  EXPECT_EQ(MetricHistogram::bucketLowerBound(3), 4u);
+  EXPECT_EQ(MetricHistogram::bucketLowerBound(64), uint64_t(1) << 63);
+}
+
+TEST(MetricHistogramTest, RecordAccumulatesAndBucketsCorrectly) {
+  MetricHistogram H;
+  H.record(0);
+  H.record(1);
+  H.record(2);
+  H.record(3);
+  H.record(UINT64_MAX);
+  EXPECT_EQ(H.count(), 5u);
+  EXPECT_EQ(H.max(), UINT64_MAX);
+  EXPECT_EQ(H.bucketCount(0), 1u);
+  EXPECT_EQ(H.bucketCount(1), 1u);
+  EXPECT_EQ(H.bucketCount(2), 2u);
+  EXPECT_EQ(H.bucketCount(64), 1u);
+}
+
+TEST(MetricHistogramTest, PercentileUpperBound) {
+  MetricHistogram H;
+  EXPECT_EQ(H.percentileUpperBound(0.9), 0u); // empty
+  for (int I = 0; I != 10; ++I)
+    H.record(8); // bucket 4: [8, 16)
+  EXPECT_EQ(H.percentileUpperBound(0.9), 16u);
+  EXPECT_EQ(H.mean(), 8u);
+}
+
+//===----------------------------------------------------------------------===//
+// Tracer
+//===----------------------------------------------------------------------===//
+
+TEST_F(ObservabilityTest, DisabledFastPathRecordsNothing) {
+  ASSERT_FALSE(traceWants(TraceCompile));
+  {
+    TraceScope Span(TraceCompile, "should-not-record");
+    if (traceWants(TraceDeopt))
+      Tracer::get().instant(TraceDeopt, "nope");
+  }
+  EXPECT_TRUE(Tracer::get().snapshot().empty());
+}
+
+TEST_F(ObservabilityTest, CategoryMaskFiltersEvents) {
+  Tracer::get().setCategories(TraceCompile);
+  Tracer::get().setEnabled(true);
+  EXPECT_TRUE(traceWants(TraceCompile));
+  EXPECT_FALSE(traceWants(TraceMonitor));
+  EXPECT_FALSE(traceWants(TracePea));
+}
+
+TEST_F(ObservabilityTest, SpansAndInstantsRoundTrip) {
+  Tracer::get().setEnabled(true);
+  {
+    TraceScope Outer(TraceCompile, "outer");
+    {
+      TraceScope Inner(TraceCompile, "inner");
+      Tracer::get().instant(TraceDeopt, "blip", "method", 7, "rematerialized",
+                            2, "reason", "branch-never-taken");
+    }
+  }
+  Tracer::get().setEnabled(false);
+  std::vector<TraceEvent> Events = Tracer::get().snapshot();
+  ASSERT_EQ(Events.size(), 5u);
+  expectSpansMatched(Events);
+  // Record order on one thread: B outer, B inner, I, E inner, E outer.
+  EXPECT_EQ(Events[0].Ph, 'B');
+  EXPECT_STREQ(Events[0].Name, "outer");
+  EXPECT_EQ(Events[2].Ph, 'I');
+  EXPECT_EQ(Events[2].Arg0, 7);
+  EXPECT_EQ(Events[2].Arg1, 2);
+  EXPECT_STREQ(Events[2].StrArg, "branch-never-taken");
+  // Timestamps are monotone per thread.
+  for (size_t I = 1; I != Events.size(); ++I)
+    EXPECT_GE(Events[I].TimeNanos, Events[I - 1].TimeNanos);
+}
+
+TEST_F(ObservabilityTest, SpanCapturesEnabledAtConstruction) {
+  Tracer::get().setEnabled(true);
+  {
+    TraceScope Span(TraceCompile, "toggled");
+    // Disabling mid-span must not orphan the 'B'.
+    Tracer::get().setEnabled(false);
+  }
+  std::vector<TraceEvent> Events = Tracer::get().snapshot();
+  ASSERT_EQ(Events.size(), 2u);
+  expectSpansMatched(Events);
+}
+
+TEST_F(ObservabilityTest, SpansMatchAcrossConcurrentThreads) {
+  Tracer::get().setEnabled(true);
+  auto Work = [] {
+    for (int I = 0; I != 50; ++I) {
+      TraceScope Outer(TraceCompile, "outer");
+      TraceScope Inner(TraceCompile, "inner");
+      Tracer::get().instant(TraceCode, "tick");
+    }
+  };
+  std::thread A(Work), B(Work);
+  A.join();
+  B.join();
+  Tracer::get().setEnabled(false);
+  std::vector<TraceEvent> Events = Tracer::get().snapshot();
+  expectSpansMatched(Events);
+  std::set<uint32_t> Tids;
+  for (const TraceEvent &E : Events)
+    Tids.insert(E.Tid);
+  EXPECT_GE(Tids.size(), 2u);
+}
+
+TEST_F(ObservabilityTest, ExportJsonIsWellFormed) {
+  Tracer::get().setEnabled(true);
+  Tracer::get().setCurrentThreadName("test-mutator");
+  {
+    TraceScope Span(TraceCompile, "compile");
+    Tracer::get().instant(TraceDeopt, "deopt", "method", 1, "rematerialized",
+                          3, "reason", "type-guard \"quoted\"");
+  }
+  Tracer::get().setEnabled(false);
+  std::string Json = Tracer::get().exportJson();
+  JsonScanner Scan(Json);
+  EXPECT_TRUE(Scan.valid()) << Json;
+  EXPECT_NE(Json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(Json.find("\"droppedEvents\""), std::string::npos);
+  EXPECT_NE(Json.find("\"highWater\""), std::string::npos);
+  EXPECT_NE(Json.find("\\\"quoted\\\""), std::string::npos);
+}
+
+TEST_F(ObservabilityTest, ClearFloorsEventsAndDrops) {
+  Tracer::get().setEnabled(true);
+  Tracer::get().instant(TraceCompile, "before");
+  Tracer::get().clear();
+  Tracer::get().instant(TraceCompile, "after");
+  Tracer::get().setEnabled(false);
+  std::vector<TraceEvent> Events = Tracer::get().snapshot();
+  ASSERT_EQ(Events.size(), 1u);
+  EXPECT_STREQ(Events[0].Name, "after");
+}
+
+//===----------------------------------------------------------------------===//
+// VM integration
+//===----------------------------------------------------------------------===//
+
+TEST_F(ObservabilityTest, VmRegistersCoreMetrics) {
+  MathProgram MP = makeMathProgram();
+  VirtualMachine VM(MP.P, fastJit());
+  MetricsRegistry &R = VM.metricsRegistry();
+  for (const char *Name :
+       {"runtime.interpreted_ops", "runtime.compiled_calls",
+        "runtime.monitor_ops", "runtime.deopts", "heap.allocations",
+        "heap.allocated_bytes", "jit.compilations", "jit.invalidations",
+        "jit.compiles_discarded", "jit.mutator_stall_nanos",
+        "pea.virtualized_allocations", "pea.materialize_sites",
+        "trace.dropped_events", "trace.ring_high_water",
+        "jit.enqueue_to_install_latency_ns", "jit.mutator_stall_latency_ns"})
+    EXPECT_TRUE(R.has(Name)) << Name;
+
+  for (int I = 0; I != 10; ++I)
+    VM.call(MP.SumTo, {Value::makeInt(10)});
+  VM.waitForCompilerIdle();
+  std::string Json = VM.dumpMetricsJson();
+  JsonScanner Scan(Json);
+  EXPECT_TRUE(Scan.valid()) << Json;
+  // The phase-times provider emits per-phase rows once something compiled.
+  EXPECT_NE(Json.find("jit.phase.build.nanos"), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"jit.compilations\": 1"), std::string::npos) << Json;
+}
+
+TEST_F(ObservabilityTest, VmEmitsCompileInstallTierAndDeoptEvents) {
+  Tracer::get().setCategories(TraceCompile | TraceCode | TraceTier |
+                              TraceDeopt | TracePea | TraceMonitor);
+  Tracer::get().setEnabled(true);
+  DeoptProgram DP = makeDeoptProgram();
+  VirtualMachine VM(DP.P, fastJit());
+  for (int I = 1; I <= 10; ++I)
+    EXPECT_EQ(VM.call(DP.M, {Value::makeInt(I)}).asInt(), 2 * I);
+  ASSERT_NE(VM.compiledGraph(DP.M), nullptr);
+  // The pruned branch fires: one deopt, one virtual object rebuilt.
+  EXPECT_EQ(VM.call(DP.M, {Value::makeInt(-4)}).asInt(), -8);
+  EXPECT_EQ(VM.runtime().metrics().Deopts, 1u);
+  Tracer::get().setEnabled(false);
+
+  std::vector<TraceEvent> Events = Tracer::get().snapshot();
+  expectSpansMatched(Events);
+  bool SawCompileSpan = false, SawPhaseSpan = false, SawInstall = false,
+       SawTier = false, SawDeopt = false;
+  for (const TraceEvent &E : Events) {
+    if (E.Ph == 'B' && std::string(E.Name) == "compile")
+      SawCompileSpan = true;
+    if (E.Ph == 'B' && std::string(E.Name) == "build")
+      SawPhaseSpan = true;
+    if (E.Ph == 'I' && std::string(E.Name) == "install")
+      SawInstall = true;
+    if (E.Ph == 'I' && std::string(E.Name) == "tier-transition")
+      SawTier = true;
+    if (E.Ph == 'I' && std::string(E.Name) == "deopt") {
+      SawDeopt = true;
+      EXPECT_EQ(E.Arg0, static_cast<int64_t>(DP.M));
+      EXPECT_STREQ(E.Arg1Name, "rematerialized");
+      EXPECT_GE(E.Arg1, 1) << "deopt must carry the rematerialization payload";
+      EXPECT_STREQ(E.StrArgName, "reason");
+      EXPECT_NE(E.StrArg, nullptr);
+    }
+  }
+  EXPECT_TRUE(SawCompileSpan);
+  EXPECT_TRUE(SawPhaseSpan);
+  EXPECT_TRUE(SawInstall);
+  EXPECT_TRUE(SawTier);
+  EXPECT_TRUE(SawDeopt);
+}
+
+TEST_F(ObservabilityTest, BrokerWorkersEmitMatchedSpans) {
+  Tracer::get().setEnabled(true);
+  MathProgram MP = makeMathProgram();
+  VMOptions O = fastJit(/*CompilerThreads=*/2);
+  {
+    VirtualMachine VM(MP.P, O);
+    for (int I = 0; I != 20; ++I) {
+      VM.call(MP.SumTo, {Value::makeInt(10)});
+      VM.call(MP.Abs, {Value::makeInt(I + 1)});
+      VM.call(MP.Max, {Value::makeInt(I), Value::makeInt(3)});
+      VM.call(MP.Fact, {Value::makeInt(5)});
+    }
+    VM.waitForCompilerIdle();
+  }
+  Tracer::get().setEnabled(false);
+  std::vector<TraceEvent> Events = Tracer::get().snapshot();
+  expectSpansMatched(Events);
+  // Compile spans run on broker workers, not the mutator: the worker
+  // tids must appear, and the export must stay well-formed.
+  std::set<uint32_t> CompileTids;
+  for (const TraceEvent &E : Events)
+    if (E.Ph == 'B' && std::string(E.Name) == "compile")
+      CompileTids.insert(E.Tid);
+  EXPECT_GE(CompileTids.size(), 1u);
+  std::string Json = Tracer::get().exportJson();
+  JsonScanner Scan(Json);
+  EXPECT_TRUE(Scan.valid());
+  EXPECT_NE(Json.find("compiler-worker"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// CompileLog
+//===----------------------------------------------------------------------===//
+
+TEST_F(ObservabilityTest, CompileLogRecordsPhasesAndForcedDeopt) {
+  DeoptProgram DP = makeDeoptProgram();
+  VirtualMachine VM(DP.P, fastJit());
+  for (int I = 1; I <= 10; ++I)
+    VM.call(DP.M, {Value::makeInt(I)});
+  ASSERT_NE(VM.compiledGraph(DP.M), nullptr);
+  EXPECT_EQ(VM.call(DP.M, {Value::makeInt(-1)}).asInt(), -2);
+
+  std::vector<CompileLog::Record> Recs = VM.compileLog().recordsFor(DP.M);
+  ASSERT_GE(Recs.size(), 1u);
+  const CompileLog::Record &R = Recs.front();
+  EXPECT_TRUE(R.Installed);
+  EXPECT_GT(R.Hotness, 0u);
+  EXPECT_GT(R.TotalNanos, 0u);
+  EXPECT_GT(R.FinalNodes, 0u);
+  ASSERT_FALSE(R.Phases.empty());
+  EXPECT_EQ(R.Phases.front().Name, "build");
+  // The build phase populates the empty graph: node count must grow.
+  EXPECT_GT(R.Phases.front().NodesAfter, R.Phases.front().NodesBefore);
+  bool SawEscape = false;
+  for (const CompileLog::PhaseRec &Ph : R.Phases)
+    if (Ph.Name == "escape-partial")
+      SawEscape = true;
+  EXPECT_TRUE(SawEscape);
+  EXPECT_GE(R.Escape.VirtualizedAllocations, 1u);
+
+  ASSERT_EQ(R.Deopts.size(), 1u);
+  EXPECT_GE(R.Deopts.front().Rematerialized, 1u)
+      << "the scalar-replaced T must be rebuilt at the deopt";
+  EXPECT_FALSE(R.Deopts.front().Reason.empty());
+
+  std::string Text = VM.compileLog().renderText();
+  EXPECT_NE(Text.find("installed"), std::string::npos);
+  EXPECT_NE(Text.find("deopt reason="), std::string::npos);
+  EXPECT_NE(Text.find("rematerialized="), std::string::npos);
+}
+
+TEST_F(ObservabilityTest, CompileLogAttributesRecompiles) {
+  MathProgram MP = makeMathProgram();
+  VirtualMachine VM(MP.P, fastJit());
+  VM.call(MP.SumTo, {Value::makeInt(3)});
+  VM.compileNow(MP.SumTo);
+  VM.invalidate(MP.SumTo);
+  VM.compileNow(MP.SumTo);
+  std::vector<CompileLog::Record> Recs =
+      VM.compileLog().recordsFor(MP.SumTo);
+  ASSERT_EQ(Recs.size(), 2u);
+  EXPECT_TRUE(Recs[0].Installed);
+  EXPECT_TRUE(Recs[1].Installed);
+  EXPECT_GT(Recs[1].Version, Recs[0].Version);
+  EXPECT_GT(Recs[1].CompileSeq, Recs[0].CompileSeq);
+  EXPECT_EQ(VM.compileLog().numRecords(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// resetMetrics
+//===----------------------------------------------------------------------===//
+
+TEST_F(ObservabilityTest, ResetMetricsClearsJitRuntimeAndHistograms) {
+  MathProgram MP = makeMathProgram();
+  VirtualMachine VM(MP.P, fastJit());
+  for (int I = 0; I != 10; ++I)
+    VM.call(MP.SumTo, {Value::makeInt(10)});
+  VM.waitForCompilerIdle();
+  ASSERT_GE(VM.jitMetrics().Compilations, 1u);
+  ASSERT_GT(VM.runtime().metrics().CompiledCalls, 0u);
+  MetricHistogram &Stall =
+      VM.metricsRegistry().histogram("jit.mutator_stall_latency_ns");
+  ASSERT_GT(Stall.count(), 0u);
+
+  VM.resetMetrics();
+  EXPECT_EQ(VM.jitMetrics().Compilations, 0u);
+  EXPECT_EQ(VM.jitMetrics().MutatorStallNanos, 0u);
+  EXPECT_EQ(VM.jitMetrics().EscapeStats.VirtualizedAllocations, 0u);
+  EXPECT_EQ(VM.runtime().metrics().CompiledCalls, 0u);
+  EXPECT_EQ(VM.runtime().metrics().InterpretedOps, 0u);
+  EXPECT_EQ(VM.runtime().heap().allocationCount(), 0u);
+  EXPECT_EQ(Stall.count(), 0u);
+  // Compiled code survives the reset; only the window counters clear.
+  EXPECT_NE(VM.compiledGraph(MP.SumTo), nullptr);
+  VM.call(MP.SumTo, {Value::makeInt(10)});
+  EXPECT_GT(VM.runtime().metrics().CompiledCalls, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Ring overflow accounting (last: it permanently fills one thread's
+// buffer, which is why it records from a disposable thread).
+//===----------------------------------------------------------------------===//
+
+TEST_F(ObservabilityTest, RingOverflowCountsDropsNeverSilent) {
+  Tracer::get().setEnabled(true);
+  size_t Cap = Tracer::get().ringCapacity();
+  std::thread Spammer([Cap] {
+    for (size_t I = 0; I != Cap + 100; ++I)
+      Tracer::get().instant(TraceCompile, "spam");
+  });
+  Spammer.join();
+  Tracer::get().setEnabled(false);
+  EXPECT_GE(Tracer::get().droppedEvents(), 100u);
+  EXPECT_EQ(Tracer::get().highWater(), Cap);
+  // The drop count reaches the export's otherData so no loss is silent.
+  std::string Json = Tracer::get().exportJson();
+  EXPECT_NE(Json.find("\"droppedEvents\""), std::string::npos);
+}
+
+} // namespace
