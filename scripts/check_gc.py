@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""GC-behavior check for the Table 1 bench JSON output.
+
+Validates the BENCH_table1 JSON array written via JVM_BENCH_JSON after a
+run with a deliberately small young space (perf_smoke_gc):
+
+  * every record carries the PR 5 GC fields (scavenges, full_gcs,
+    bytes_promoted, gc_pause_p50_ns, gc_pause_p99_ns) as non-negative
+    integers,
+  * the run scavenged: sum(scavenges) > 0 — a young space this small
+    must collect, so zero means the trigger is broken,
+  * no measured window fell back to a full collection:
+    sum(full_gcs) == 0 — churn workloads' live sets fit the old-space
+    threshold, so a full GC here means promotion is leaking,
+  * pause percentiles are ordered: p50 <= p99 per record.
+
+Exit status 0 on success, 1 with a diagnostic on the first failure.
+Usage: check_gc.py <BENCH_table1.json>
+"""
+
+import json
+import sys
+
+GC_FIELDS = ("scavenges", "full_gcs", "bytes_promoted",
+             "gc_pause_p50_ns", "gc_pause_p99_ns")
+
+
+def fail(msg):
+    print(f"check_gc: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: check_gc.py <BENCH_table1.json>")
+    try:
+        with open(sys.argv[1]) as f:
+            records = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {sys.argv[1]}: {e}")
+    if not isinstance(records, list) or not records:
+        fail("expected a non-empty JSON array of bench records")
+
+    total_scavenges = 0
+    total_full = 0
+    for i, rec in enumerate(records):
+        if not isinstance(rec, dict):
+            fail(f"record #{i} is not an object")
+        for field in GC_FIELDS:
+            v = rec.get(field)
+            if not isinstance(v, int) or v < 0:
+                fail(f"record #{i} ({rec.get('benchmark')}): "
+                     f"field {field!r} missing or invalid: {v!r}")
+        if rec["gc_pause_p50_ns"] > rec["gc_pause_p99_ns"]:
+            fail(f"record #{i} ({rec.get('benchmark')}): "
+                 f"p50 {rec['gc_pause_p50_ns']} > p99 {rec['gc_pause_p99_ns']}")
+        total_scavenges += rec["scavenges"]
+        total_full += rec["full_gcs"]
+
+    if total_scavenges == 0:
+        fail("no scavenges across the whole run despite the small "
+             "young space: the collection trigger is broken")
+    if total_full != 0:
+        fail(f"{total_full} full GCs in the measured windows: churn "
+             "live sets should never grow the old space to its threshold")
+    print(f"check_gc: OK: {len(records)} records, "
+          f"{total_scavenges} scavenges, 0 full GCs")
+
+
+if __name__ == "__main__":
+    main()

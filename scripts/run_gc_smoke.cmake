@@ -1,0 +1,37 @@
+# Runs a Table 1 bench with a deliberately small young space so the
+# measured windows must scavenge, then checks the GC fields of the bench
+# JSON with check_gc.py. Invoked by ctest (perf-smoke / memory labels):
+#
+#   cmake -DBENCH=<binary> -DPYTHON=<python3> -DCHECK=<check_gc.py>
+#         -DJSON=<out.json> -P run_gc_smoke.cmake
+#
+# 64 KB regions / 256 KB young: every churn row allocates a multiple of
+# that per iteration, so scavenges are guaranteed; live sets stay far
+# below the full-GC threshold, so full collections mean a promotion leak.
+
+foreach(Var BENCH PYTHON CHECK JSON)
+  if(NOT DEFINED ${Var})
+    message(FATAL_ERROR "run_gc_smoke.cmake: ${Var} not set")
+  endif()
+endforeach()
+
+file(REMOVE ${JSON})
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env
+          "JVM_HEAP_REGION=64k" "JVM_HEAP_YOUNG=256k"
+          "JVM_BENCH_WARMUP=4" "JVM_BENCH_MEASURE=3" "JVM_BENCH_REPEATS=1"
+          "JVM_EXEC_MODE=linear"
+          "JVM_BENCH_JSON=${JSON}"
+          ${BENCH}
+  RESULT_VARIABLE BenchResult)
+if(BenchResult)
+  message(FATAL_ERROR "gc smoke bench run failed: ${BenchResult}")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${CHECK} ${JSON}
+  RESULT_VARIABLE CheckResult)
+if(CheckResult)
+  message(FATAL_ERROR "gc behavior check failed: ${CheckResult}")
+endif()

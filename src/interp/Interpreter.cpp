@@ -8,15 +8,24 @@ using namespace jvm;
 
 Interpreter::Interpreter(Runtime &RT, ProfileData &Profiles)
     : RT(RT), P(RT.program()), Profiles(Profiles) {
-  RT.heap().addRootProvider([this](const std::function<void(Value)> &Visit) {
+  RootToken = RT.heap().addRootProvider([this](const RootVisitor &Visit) {
     for (Frame *F : ActiveFrames) {
-      for (const Value &V : F->Locals)
+      for (Value &V : F->Locals)
         Visit(V);
-      for (const Value &V : F->Stack)
+      for (Value &V : F->Stack)
         Visit(V);
     }
+    for (std::vector<ResumeFrame> *Frames : PendingResumes)
+      for (ResumeFrame &RF : *Frames) {
+        for (Value &V : RF.Locals)
+          Visit(V);
+        for (Value &V : RF.Stack)
+          Visit(V);
+      }
   });
 }
+
+Interpreter::~Interpreter() { RT.heap().removeRootProvider(RootToken); }
 
 Value Interpreter::dispatchCall(MethodId Target, std::vector<Value> &&Args) {
   if (Callback)
@@ -40,6 +49,9 @@ Value Interpreter::call(MethodId Method, std::vector<Value> Args) {
 
 Value Interpreter::resume(std::vector<ResumeFrame> Frames) {
   assert(!Frames.empty() && "resume without frames");
+  // While the innermost activation executes, the outer frames' values
+  // exist only in this vector: root it (updating) for the duration.
+  PendingResumes.push_back(&Frames);
   Value Result = Value::makeVoid();
   for (unsigned I = 0, E = Frames.size(); I != E; ++I) {
     ResumeFrame &RF = Frames[I];
@@ -63,6 +75,7 @@ Value Interpreter::resume(std::vector<ResumeFrame> Frames) {
     }
     Result = execute(F, Entry);
   }
+  PendingResumes.pop_back();
   return Result;
 }
 

@@ -39,6 +39,7 @@ using CallHandler = std::function<Value(MethodId Target, std::vector<Value> &&Ar
 class Interpreter {
 public:
   Interpreter(Runtime &RT, ProfileData &Profiles);
+  ~Interpreter();
 
   /// Invokes \p Method with \p Args, counting the invocation.
   Value call(MethodId Method, std::vector<Value> Args);
@@ -69,6 +70,13 @@ private:
   CallHandler Callback;
   /// Active frames, registered as GC roots.
   std::vector<Frame *> ActiveFrames;
+  /// Resume-frame vectors currently being worked through by resume():
+  /// while the innermost activation runs, the outer frames' locals and
+  /// stacks live only here — a moving GC must see (and update) them.
+  /// A stack because deopts can nest (resumed code re-enters compiled
+  /// code, which may deoptimize again).
+  std::vector<std::vector<ResumeFrame> *> PendingResumes;
+  uint64_t RootToken = 0;
 };
 
 } // namespace jvm

@@ -1,0 +1,57 @@
+//===- MemoryConfig.cpp - Memory-manager tuning knobs -------------------------===//
+
+#include "memory/MemoryConfig.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace jvm::memory;
+
+namespace {
+
+/// Parses "4096", "256k", "8m", "1g" (case-insensitive suffix). Returns
+/// false on malformed input (which warns and keeps the default).
+bool parseSize(const char *S, size_t &Out) {
+  char *End = nullptr;
+  unsigned long long N = std::strtoull(S, &End, 10);
+  if (End == S)
+    return false;
+  size_t Mult = 1;
+  if (*End == 'k' || *End == 'K')
+    Mult = 1ull << 10, ++End;
+  else if (*End == 'm' || *End == 'M')
+    Mult = 1ull << 20, ++End;
+  else if (*End == 'g' || *End == 'G')
+    Mult = 1ull << 30, ++End;
+  if (*End != '\0')
+    return false;
+  Out = static_cast<size_t>(N * Mult);
+  return true;
+}
+
+void readSizeEnv(const char *Name, size_t &Out) {
+  const char *E = std::getenv(Name);
+  if (!E || !*E)
+    return;
+  size_t V;
+  if (parseSize(E, V))
+    Out = V;
+  else
+    std::fprintf(stderr, "warning: malformed %s='%s' ignored\n", Name, E);
+}
+
+} // namespace
+
+MemoryConfig MemoryConfig::fromEnvironment() {
+  MemoryConfig C;
+  readSizeEnv("JVM_HEAP_REGION", C.RegionBytes);
+  readSizeEnv("JVM_HEAP_YOUNG", C.YoungBytes);
+  if (C.RegionBytes < 4096)
+    C.RegionBytes = 4096;
+  if (C.YoungBytes < 2 * C.RegionBytes)
+    C.YoungBytes = 2 * C.RegionBytes;
+  if (const char *E = std::getenv("JVM_GC_STRESS"); E && *E && *E != '0')
+    C.StressGc = true;
+  return C;
+}

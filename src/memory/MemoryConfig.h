@@ -1,0 +1,69 @@
+//===- MemoryConfig.h - Memory-manager tuning knobs -----------------*- C++ -*-===//
+///
+/// \file
+/// Sizing and policy knobs of the region-based memory manager, with the
+/// environment-variable surface the README documents:
+///
+///   JVM_HEAP_YOUNG   young-space capacity (bytes; k/m/g suffixes)
+///   JVM_HEAP_REGION  region size (bytes; k/m/g suffixes)
+///   JVM_GC_STRESS    1 = scavenge before *every* allocation (debug)
+///   JVM_GC_LOG       file the per-collection log is appended to
+///
+/// Tests construct configs directly (small young spaces force scavenges
+/// deterministically); the VM default reads the environment once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_MEMORY_MEMORYCONFIG_H
+#define JVM_MEMORY_MEMORYCONFIG_H
+
+#include <cstddef>
+
+namespace jvm {
+namespace memory {
+
+struct MemoryConfig {
+  /// Size of one region, the granule the young and old spaces grow and
+  /// shrink by. TLABs are refilled one region at a time.
+  size_t RegionBytes = 256 << 10;
+
+  /// Young-space capacity: a TLAB refill that would exceed this many
+  /// bytes of young regions triggers a scavenge first.
+  size_t YoungBytes = 8 << 20;
+
+  /// Scavenges an object must survive before its next copy promotes it
+  /// to the old space (HotSpot's tenuring threshold, radically shrunk:
+  /// our workloads are allocation-churn loops).
+  unsigned PromoteAge = 2;
+
+  /// Old-space occupancy that triggers a full collection, re-armed after
+  /// each one at max(this, live * FullGcGrowthFactor).
+  size_t FullGcThresholdBytes = 16 << 20;
+  double FullGcGrowthFactor = 2.0;
+
+  /// Debug knob: run a scavenge at every allocation — i.e. at every
+  /// safepoint a GC could possibly hit — so unrooted-reference bugs
+  /// surface deterministically instead of at one unlucky heap size.
+  bool StressGc = false;
+
+  /// The config selected by the environment (see file comment), starting
+  /// from the defaults above. Out-of-range values are clamped, not
+  /// errors: a 4 KB floor on regions, two regions minimum young space.
+  static MemoryConfig fromEnvironment();
+
+  /// Young capacity in whole regions (>= 2 so a scavenge always has a
+  /// survivor region to copy into while the from-space still stands).
+  size_t youngRegionCount() const {
+    size_t N = (YoungBytes + RegionBytes - 1) / RegionBytes;
+    return N < 2 ? 2 : N;
+  }
+
+  /// Largest object the young space accepts; bigger ones are born old
+  /// (they would dominate copy cost) or, above RegionBytes, humongous.
+  size_t largeObjectBytes() const { return RegionBytes / 2; }
+};
+
+} // namespace memory
+} // namespace jvm
+
+#endif // JVM_MEMORY_MEMORYCONFIG_H

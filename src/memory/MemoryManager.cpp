@@ -1,0 +1,523 @@
+//===- MemoryManager.cpp - Region-based generational memory manager -----------===//
+
+#include "memory/MemoryManager.h"
+
+#include "observability/Trace.h"
+#include "support/Debug.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <type_traits>
+
+using namespace jvm;
+using namespace jvm::memory;
+
+// One memcpy must relocate an object: header and slots alike.
+static_assert(std::is_trivially_copyable_v<Value>,
+              "Value must be memcpy-relocatable");
+
+namespace {
+uint64_t nowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+} // namespace
+
+MemoryManager::MemoryManager(const MemoryConfig &Config)
+    : Cfg(Config), Regions(Config.RegionBytes),
+      NextFullGcBytes(Config.FullGcThresholdBytes) {
+  if (Cfg.PromoteAge == 0)
+    Cfg.PromoteAge = 1; // age 0 objects may not skip the young space
+}
+
+MemoryManager::~MemoryManager() {
+  if (const char *Path = std::getenv("JVM_GC_LOG"); Path && *Path) {
+    if (std::FILE *F = std::fopen(Path, "a")) {
+      std::string Text = renderGcLog();
+      std::fwrite(Text.data(), 1, Text.size(), F);
+      std::fclose(F);
+    }
+  }
+  for (Region *R : YoungRegions)
+    Regions.release(R);
+  for (Region *R : OldRegions)
+    Regions.release(R);
+  for (auto &[R, O] : Humongous)
+    Regions.release(R);
+}
+
+// Allocation -----------------------------------------------------------------
+
+void MemoryManager::initObject(HeapObject *O, ClassId Cls, bool IsArray,
+                               ValueType ElemTy, uint32_t NumSlots,
+                               uint8_t Flags) {
+  O->Forward = nullptr;
+  O->Cls = Cls;
+  O->NumSlots = NumSlots;
+  O->LockCount = 0;
+  O->ElemTy = ElemTy;
+  O->Flags = Flags | (IsArray ? HeapObject::FlagArray : 0);
+  O->Age = 0;
+  O->Pad = 0;
+  ++AllocCount;
+  AllocBytes += HeapObject::allocationSize(NumSlots);
+}
+
+HeapObject *MemoryManager::allocateRaw(uint32_t NumSlots) {
+  // The GC-stress knob collects *before* the bump, never between an
+  // object's birth and the caller rooting it: a just-allocated object is
+  // unreferenced by definition and must not move before it is published.
+  if (Cfg.StressGc && !InGc)
+    scavenge();
+  size_t Size = HeapObject::allocationSize(NumSlots);
+  if (Size > Cfg.largeObjectBytes()) {
+    if (Size > Cfg.RegionBytes)
+      return allocateHumongous(NumSlots);
+    // Born old: copying region-sized objects through survivor space
+    // would dominate scavenge cost.
+    auto *O = reinterpret_cast<HeapObject *>(oldSpaceBump(Size));
+    O->Flags = HeapObject::FlagOld; // placement flag; initObject keeps it
+    OldBytes += Size;
+    ++OldCount;
+    return O;
+  }
+  if (TlabCur + Size > TlabEnd || !TlabCur)
+    refillTlab(Size);
+  auto *O = reinterpret_cast<HeapObject *>(TlabCur);
+  TlabCur += Size;
+  O->Flags = 0;
+  ++YoungCount;
+  return O;
+}
+
+HeapObject *MemoryManager::allocateInstance(
+    ClassId Cls, const std::vector<ValueType> &FieldTypes) {
+  auto *O = allocateRaw(static_cast<uint32_t>(FieldTypes.size()));
+  initObject(O, Cls, /*IsArray=*/false, ValueType::Void, FieldTypes.size(),
+             O->Flags);
+  Value *Slots = O->slots();
+  for (unsigned I = 0, E = FieldTypes.size(); I != E; ++I)
+    Slots[I] = Value::defaultOf(FieldTypes[I]);
+  return O;
+}
+
+HeapObject *MemoryManager::allocateArray(ValueType ElemTy, int64_t Length) {
+  assert(Length >= 0 && "negative array length");
+  auto *O = allocateRaw(static_cast<uint32_t>(Length));
+  initObject(O, NoClass, /*IsArray=*/true, ElemTy,
+             static_cast<uint32_t>(Length), O->Flags);
+  Value *Slots = O->slots();
+  Value Default = Value::defaultOf(ElemTy);
+  for (int64_t I = 0; I != Length; ++I)
+    Slots[I] = Default;
+  return O;
+}
+
+void MemoryManager::refillTlab(size_t NeedBytes) {
+  flushTlab();
+  if (YoungRegions.size() >= Cfg.youngRegionCount())
+    scavenge();
+  // After a scavenge the survivors may still fill the young space (live
+  // set ~ capacity); allocate anyway — promotion drains them over the
+  // next PromoteAge scavenges, so progress is guaranteed.
+  Region *R = Regions.allocate(Cfg.RegionBytes);
+  YoungRegions.push_back(R);
+  TlabCur = R->Base;
+  TlabEnd = R->end();
+  assert(NeedBytes <= Cfg.RegionBytes && "TLAB object exceeds a region");
+  (void)NeedBytes;
+}
+
+void MemoryManager::flushTlab() {
+  if (!TlabCur)
+    return;
+  // The TLAB always bumps the youngest region.
+  YoungRegions.back()->Top = TlabCur;
+  TlabCur = TlabEnd = nullptr;
+}
+
+char *MemoryManager::oldSpaceBump(size_t Bytes) {
+  assert(Bytes <= Cfg.RegionBytes && "old-space object exceeds a region");
+  Region *R = OldRegions.empty() ? nullptr : OldRegions.back();
+  if (!R || R->Top + Bytes > R->end()) {
+    R = Regions.allocate(Cfg.RegionBytes);
+    OldRegions.push_back(R);
+  }
+  char *P = R->Top;
+  R->Top += Bytes;
+  return P;
+}
+
+HeapObject *MemoryManager::allocateHumongous(uint32_t NumSlots) {
+  size_t Size = HeapObject::allocationSize(NumSlots);
+  Region *R = Regions.allocate(std::max(Size, Cfg.RegionBytes));
+  R->Top = R->Base + Size;
+  auto *O = reinterpret_cast<HeapObject *>(R->Base);
+  O->Flags = HeapObject::FlagHumongous; // read back by allocate{Instance,Array}
+  Humongous.emplace_back(R, O);
+  OldBytes += Size;
+  ++OldCount;
+  return O;
+}
+
+size_t MemoryManager::youngOccupancyBytes() const {
+  size_t Sum = 0;
+  for (const Region *R : YoungRegions)
+    Sum += R->used();
+  if (TlabCur) {
+    // The open TLAB's region Top lags the bump pointer until flush.
+    const Region *R = YoungRegions.back();
+    Sum += static_cast<size_t>(TlabCur - R->Base) - R->used();
+  }
+  return Sum;
+}
+
+// Roots ----------------------------------------------------------------------
+
+uint64_t MemoryManager::addRootProvider(RootProvider Provider) {
+  uint64_t Token = NextRootToken++;
+  RootProviders.emplace_back(Token, std::move(Provider));
+  return Token;
+}
+
+void MemoryManager::removeRootProvider(uint64_t Token) {
+  for (auto It = RootProviders.begin(); It != RootProviders.end(); ++It) {
+    if (It->first == Token) {
+      RootProviders.erase(It);
+      return;
+    }
+  }
+  assert(false && "removing an unregistered root provider");
+}
+
+void MemoryManager::visitRoots(const RootVisitor &V) {
+  for (auto &[Token, Provider] : RootProviders)
+    Provider(V);
+}
+
+// Scavenge -------------------------------------------------------------------
+
+bool MemoryManager::inFromSpace(const HeapObject *O) const {
+  const char *P = reinterpret_cast<const char *>(O);
+  if (P < FromLo || P >= FromHi)
+    return false;
+  auto It = std::upper_bound(
+      FromRanges.begin(), FromRanges.end(), P,
+      [](const char *P, const std::pair<const char *, const char *> &R) {
+        return P < R.first;
+      });
+  if (It == FromRanges.begin())
+    return false;
+  --It;
+  return P < It->second;
+}
+
+char *MemoryManager::survivorBump(size_t Bytes) {
+  Region *R = SurvivorRegions.empty() ? nullptr : SurvivorRegions.back();
+  if (!R || R->Top + Bytes > R->end()) {
+    R = Regions.allocate(Cfg.RegionBytes);
+    SurvivorRegions.push_back(R);
+  }
+  char *P = R->Top;
+  R->Top += Bytes;
+  return P;
+}
+
+HeapObject *MemoryManager::evacuateYoung(HeapObject *O) {
+  size_t Size = O->sizeInBytes();
+  HeapObject *To;
+  if (O->Age + 1u >= Cfg.PromoteAge) {
+    To = reinterpret_cast<HeapObject *>(oldSpaceBump(Size));
+    std::memcpy(To, O, Size);
+    To->Flags |= HeapObject::FlagOld;
+    OldBytes += Size;
+    ++OldCount;
+    GcPromoted += Size;
+  } else {
+    To = reinterpret_cast<HeapObject *>(survivorBump(Size));
+    std::memcpy(To, O, Size);
+    ++To->Age;
+    ++YoungCount;
+    GcCopied += Size;
+  }
+  To->Forward = nullptr;
+  O->Forward = To;
+  Worklist.push_back(To);
+  return To;
+}
+
+void MemoryManager::forwardIfYoung(Value &V) {
+  if (!V.isRef())
+    return;
+  HeapObject *O = V.asRef();
+  if (!O || !inFromSpace(O))
+    return; // old, humongous, or an already-evacuated to-space copy
+  if (!O->Forward)
+    evacuateYoung(O);
+  V = Value::makeRef(O->Forward);
+}
+
+void MemoryManager::scanOldSpace(const RootVisitor &V) {
+  // Snapshot the regions and their tops: promotions during this scan
+  // grow the old space, and those fresh copies are scanned through the
+  // worklist instead (their slots still point into from-space).
+  std::vector<std::pair<Region *, char *>> Snapshot;
+  Snapshot.reserve(OldRegions.size());
+  for (Region *R : OldRegions)
+    Snapshot.emplace_back(R, R->Top);
+  for (auto &[R, Top] : Snapshot) {
+    for (char *P = R->Base; P < Top;) {
+      auto *O = reinterpret_cast<HeapObject *>(P);
+      Value *Slots = O->slots();
+      for (uint32_t I = 0, E = O->NumSlots; I != E; ++I)
+        V(Slots[I]);
+      P += O->sizeInBytes();
+    }
+  }
+  for (auto &[R, O] : Humongous) {
+    Value *Slots = O->slots();
+    for (uint32_t I = 0, E = O->NumSlots; I != E; ++I)
+      V(Slots[I]);
+  }
+}
+
+void MemoryManager::drainWorklist(const RootVisitor &V) {
+  while (!Worklist.empty()) {
+    HeapObject *O = Worklist.back();
+    Worklist.pop_back();
+    Value *Slots = O->slots();
+    for (uint32_t I = 0, E = O->NumSlots; I != E; ++I)
+      V(Slots[I]);
+  }
+}
+
+void MemoryManager::scavenge() {
+  if (InGc)
+    return;
+  InGc = true;
+  uint64_t Start = nowNanos();
+  flushTlab();
+  GcRecord Rec;
+  Rec.YoungBefore = youngOccupancyBytes();
+  Rec.OldBefore = OldBytes;
+  TraceScope Span(TraceGc, "scavenge", "young_bytes",
+                  static_cast<int64_t>(Rec.YoungBefore));
+
+  std::vector<Region *> FromRegions = std::move(YoungRegions);
+  YoungRegions.clear();
+  FromRanges.clear();
+  for (Region *R : FromRegions)
+    FromRanges.emplace_back(R->Base, R->Top);
+  std::sort(FromRanges.begin(), FromRanges.end());
+  FromLo = FromRanges.empty() ? nullptr : FromRanges.front().first;
+  FromHi = FromRanges.empty() ? nullptr : FromRanges.back().second;
+
+  SurvivorRegions.clear();
+  YoungCount = 0;
+  GcCopied = GcPromoted = 0;
+  RootVisitor Forward = [this](Value &V) { forwardIfYoung(V); };
+  visitRoots(Forward);
+  scanOldSpace(Forward);
+  drainWorklist(Forward);
+
+  for (Region *R : FromRegions)
+    Regions.release(R);
+  YoungRegions = std::move(SurvivorRegions);
+  SurvivorRegions.clear();
+  FromRanges.clear();
+  FromLo = FromHi = nullptr;
+
+  ++Scavenges;
+  BytesCopied += GcCopied;
+  BytesPromoted += GcPromoted;
+  Rec.Seq = ++GcSeq;
+  Rec.Copied = GcCopied;
+  Rec.Promoted = GcPromoted;
+  Rec.YoungAfter = youngOccupancyBytes();
+  Rec.OldAfter = OldBytes;
+  Rec.PauseNanos = nowNanos() - Start;
+  ScavengePauseNs.record(Rec.PauseNanos);
+  recordGc(Rec);
+  if (traceWants(TraceGc))
+    Tracer::get().instant(TraceGc, "scavenge-stats", "bytes_copied",
+                          static_cast<int64_t>(GcCopied), "bytes_promoted",
+                          static_cast<int64_t>(GcPromoted));
+  JVM_DEBUG("scavenge #" << Rec.Seq << ": " << Rec.YoungBefore << " -> "
+                         << Rec.YoungAfter << " young bytes, promoted "
+                         << GcPromoted);
+  InGc = false;
+
+  if (OldBytes >= NextFullGcBytes)
+    collectFull();
+}
+
+// Full collection ------------------------------------------------------------
+
+void MemoryManager::forwardFull(Value &V) {
+  if (!V.isRef())
+    return;
+  HeapObject *O = V.asRef();
+  if (!O)
+    return;
+  if (O->Flags & HeapObject::FlagHumongous) {
+    // Humongous objects never move; mark-and-scan in place.
+    if (!(O->Flags & HeapObject::FlagMarked)) {
+      O->Flags |= HeapObject::FlagMarked;
+      ++OldCount;
+      Worklist.push_back(O);
+    }
+    return;
+  }
+  if (!inFromSpace(O))
+    return; // an evacuated to-space copy reached through a second root
+  if (!O->Forward) {
+    size_t Size = O->sizeInBytes();
+    HeapObject *To;
+    if ((O->Flags & HeapObject::FlagOld) || O->Age + 1u >= Cfg.PromoteAge) {
+      To = reinterpret_cast<HeapObject *>(oldSpaceBump(Size));
+      std::memcpy(To, O, Size);
+      OldBytes += Size;
+      ++OldCount;
+      if (O->Flags & HeapObject::FlagOld)
+        GcCopied += Size;
+      else {
+        To->Flags |= HeapObject::FlagOld;
+        GcPromoted += Size;
+      }
+    } else {
+      To = reinterpret_cast<HeapObject *>(survivorBump(Size));
+      std::memcpy(To, O, Size);
+      ++To->Age;
+      ++YoungCount;
+      GcCopied += Size;
+    }
+    To->Forward = nullptr;
+    O->Forward = To;
+    Worklist.push_back(To);
+  }
+  V = Value::makeRef(O->Forward);
+}
+
+void MemoryManager::collectFull() {
+  if (InGc)
+    return;
+  InGc = true;
+  uint64_t Start = nowNanos();
+  flushTlab();
+  GcRecord Rec;
+  Rec.Full = true;
+  Rec.YoungBefore = youngOccupancyBytes();
+  Rec.OldBefore = OldBytes;
+  TraceScope Span(TraceGc, "full-gc", "old_bytes",
+                  static_cast<int64_t>(Rec.OldBefore));
+
+  // From-space is everything that moves: all young and old regions.
+  std::vector<Region *> FromRegions = std::move(YoungRegions);
+  YoungRegions.clear();
+  FromRegions.insert(FromRegions.end(), OldRegions.begin(), OldRegions.end());
+  OldRegions.clear();
+  FromRanges.clear();
+  for (Region *R : FromRegions)
+    FromRanges.emplace_back(R->Base, R->Top);
+  std::sort(FromRanges.begin(), FromRanges.end());
+  FromLo = FromRanges.empty() ? nullptr : FromRanges.front().first;
+  FromHi = FromRanges.empty() ? nullptr : FromRanges.back().second;
+
+  SurvivorRegions.clear();
+  // Live figures are rebuilt from scratch; humongous bytes re-enter
+  // OldBytes only if their object is marked live below.
+  YoungCount = OldCount = 0;
+  OldBytes = 0;
+  GcCopied = GcPromoted = 0;
+  for (auto &[R, O] : Humongous)
+    O->Flags &= ~HeapObject::FlagMarked;
+
+  RootVisitor Forward = [this](Value &V) { forwardFull(V); };
+  visitRoots(Forward);
+  drainWorklist(Forward);
+
+  // Sweep humongous regions: unmarked ones die in place.
+  std::vector<std::pair<Region *, HeapObject *>> LiveHumongous;
+  for (auto &[R, O] : Humongous) {
+    if (O->Flags & HeapObject::FlagMarked) {
+      O->Flags &= ~HeapObject::FlagMarked;
+      OldBytes += O->sizeInBytes();
+      LiveHumongous.emplace_back(R, O);
+    } else {
+      Regions.release(R);
+    }
+  }
+  Humongous = std::move(LiveHumongous);
+
+  for (Region *R : FromRegions)
+    Regions.release(R);
+  YoungRegions = std::move(SurvivorRegions);
+  SurvivorRegions.clear();
+  FromRanges.clear();
+  FromLo = FromHi = nullptr;
+
+  NextFullGcBytes = std::max(
+      Cfg.FullGcThresholdBytes,
+      static_cast<size_t>(static_cast<double>(OldBytes) *
+                          Cfg.FullGcGrowthFactor));
+
+  ++FullGcs;
+  BytesCopied += GcCopied;
+  BytesPromoted += GcPromoted;
+  Rec.Seq = ++GcSeq;
+  Rec.Copied = GcCopied;
+  Rec.Promoted = GcPromoted;
+  Rec.YoungAfter = youngOccupancyBytes();
+  Rec.OldAfter = OldBytes;
+  Rec.PauseNanos = nowNanos() - Start;
+  FullGcPauseNs.record(Rec.PauseNanos);
+  recordGc(Rec);
+  if (traceWants(TraceGc))
+    Tracer::get().instant(TraceGc, "full-gc-stats", "bytes_copied",
+                          static_cast<int64_t>(GcCopied), "bytes_promoted",
+                          static_cast<int64_t>(GcPromoted));
+  JVM_DEBUG("full gc #" << Rec.Seq << ": old " << Rec.OldBefore << " -> "
+                        << Rec.OldAfter << " bytes");
+  InGc = false;
+}
+
+// Metrics and log ------------------------------------------------------------
+
+void MemoryManager::resetMetrics() {
+  AllocCount = 0;
+  AllocBytes = 0;
+  Scavenges = 0;
+  FullGcs = 0;
+  BytesCopied = 0;
+  BytesPromoted = 0;
+  ScavengePauseNs.reset();
+  FullGcPauseNs.reset();
+}
+
+void MemoryManager::recordGc(GcRecord R) { GcLog.push_back(R); }
+
+std::string MemoryManager::renderGcLog() const {
+  std::string Out;
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "=== gc log: %llu scavenges, %llu full gcs ===\n",
+                (unsigned long long)Scavenges, (unsigned long long)FullGcs);
+  Out += Buf;
+  for (const GcRecord &R : GcLog) {
+    std::snprintf(
+        Buf, sizeof(Buf),
+        "[gc] #%llu %-8s pause=%lluus copied=%lluB promoted=%lluB "
+        "young %llu->%llu old %llu->%llu\n",
+        (unsigned long long)R.Seq, R.Full ? "full" : "scavenge",
+        (unsigned long long)(R.PauseNanos / 1000), (unsigned long long)R.Copied,
+        (unsigned long long)R.Promoted, (unsigned long long)R.YoungBefore,
+        (unsigned long long)R.YoungAfter, (unsigned long long)R.OldBefore,
+        (unsigned long long)R.OldAfter);
+    Out += Buf;
+  }
+  return Out;
+}

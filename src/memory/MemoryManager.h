@@ -1,0 +1,201 @@
+//===- MemoryManager.h - Region-based generational memory manager ----*- C++ -*-===//
+///
+/// \file
+/// The allocation and collection engine behind jvm::Heap: a bump
+/// allocator over fixed-size regions with a generational copying
+/// collector.
+///
+/// **Allocation.** The mutator owns one TLAB — a bump window over the
+/// current young region. The fast path is a pointer compare and add;
+/// refills take whole regions. Objects larger than half a region are
+/// born in the old space (bump-allocated too); objects larger than a
+/// region get a dedicated humongous region and never move. Deopt
+/// rematerialization and interpreter/executor `new` all funnel through
+/// this path.
+///
+/// **Scavenge (young collection).** Cheney-style copying: when the young
+/// space is at capacity (or `JVM_GC_STRESS` forces it), live young
+/// objects are evacuated — to a fresh survivor region, or, once their
+/// age reaches `PromoteAge`, to the old space — leaving a forwarding
+/// pointer; from-space regions are then recycled wholesale. Roots come
+/// from the registered updating RootProviders *plus a linear scan of
+/// every old-space and humongous object*: we are write-barrier-free by
+/// design (builder's choice, documented in DESIGN.md §10) — the old
+/// space is small in our workloads, and scanning it beats threading
+/// card-marking through every setSlot in two executor tiers.
+///
+/// **Full collection.** Triggered by old-space growth (or Heap::collect):
+/// evacuates *all* live young+old objects into fresh regions (copying
+/// compaction), marks and sweeps humongous regions in place.
+///
+/// **Observability.** Scavenge/full-GC TraceScope spans with bytes
+/// copied/promoted payloads, pause-time log2 histograms, and a
+/// per-collection log appended to `$JVM_GC_LOG` at destruction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_MEMORY_MEMORYMANAGER_H
+#define JVM_MEMORY_MEMORYMANAGER_H
+
+#include "memory/MemoryConfig.h"
+#include "memory/Object.h"
+#include "memory/Region.h"
+#include "observability/Metrics.h"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace jvm {
+namespace memory {
+
+class MemoryManager {
+public:
+  explicit MemoryManager(const MemoryConfig &Config);
+  ~MemoryManager();
+
+  // Allocation ---------------------------------------------------------------
+  HeapObject *allocateInstance(ClassId Cls,
+                               const std::vector<ValueType> &FieldTypes);
+  HeapObject *allocateArray(ValueType ElemTy, int64_t Length);
+
+  // Roots --------------------------------------------------------------------
+  /// Registers an updating root enumerator; the token removes it again
+  /// (executors are created and destroyed under one heap, e.g. in tests).
+  uint64_t addRootProvider(RootProvider Provider);
+  void removeRootProvider(uint64_t Token);
+
+  // Collection ---------------------------------------------------------------
+  /// Young collection: evacuate live young objects, recycle from-space.
+  void scavenge();
+  /// Full collection: copying compaction of young + old, humongous sweep.
+  void collectFull();
+
+  // Metrics ------------------------------------------------------------------
+  uint64_t allocationCount() const { return AllocCount; }
+  uint64_t allocatedBytes() const { return AllocBytes; }
+  uint64_t scavenges() const { return Scavenges; }
+  uint64_t fullGcs() const { return FullGcs; }
+  uint64_t gcRuns() const { return Scavenges + FullGcs; }
+  uint64_t bytesCopied() const { return BytesCopied; }
+  uint64_t bytesPromoted() const { return BytesPromoted; }
+  uint64_t liveObjects() const { return YoungCount + OldCount; }
+
+  /// Current occupancy (allocated bytes actually holding objects).
+  size_t youngOccupancyBytes() const;
+  size_t oldOccupancyBytes() const { return OldBytes; }
+
+  const MetricHistogram &scavengePauses() const { return ScavengePauseNs; }
+  const MetricHistogram &fullGcPauses() const { return FullGcPauseNs; }
+
+  /// Clears the whole GC metric window: counts, bytes, pause histograms.
+  /// Occupancy and live-object figures describe current state and stay.
+  void resetMetrics();
+
+  // GC log -------------------------------------------------------------------
+  /// One line per collection since construction (or the last reset):
+  /// kind, pause, bytes copied/promoted, occupancy before/after.
+  std::string renderGcLog() const;
+
+  const MemoryConfig &config() const { return Cfg; }
+
+  MemoryManager(const MemoryManager &) = delete;
+  MemoryManager &operator=(const MemoryManager &) = delete;
+
+private:
+  struct GcRecord {
+    uint64_t Seq = 0;
+    bool Full = false;
+    uint64_t PauseNanos = 0;
+    uint64_t Copied = 0;   ///< bytes evacuated within the young space
+    uint64_t Promoted = 0; ///< bytes moved young -> old
+    uint64_t YoungBefore = 0, YoungAfter = 0;
+    uint64_t OldBefore = 0, OldAfter = 0;
+  };
+
+  /// The allocation slow/fast path shared by instances and arrays.
+  HeapObject *allocateRaw(uint32_t NumSlots);
+  void initObject(HeapObject *O, ClassId Cls, bool IsArray, ValueType ElemTy,
+                  uint32_t NumSlots, uint8_t Flags);
+  /// Grabs a fresh young region for the TLAB, scavenging first when the
+  /// young space is at capacity.
+  void refillTlab(size_t NeedBytes);
+  /// Retires the TLAB's bump pointer into its region's Top.
+  void flushTlab();
+  /// Bump-allocates \p Bytes in the old space (new region as needed).
+  char *oldSpaceBump(size_t Bytes);
+  /// Allocates an oversized object in its own dedicated region.
+  HeapObject *allocateHumongous(uint32_t NumSlots);
+
+  // Scavenge machinery -------------------------------------------------------
+  /// True if \p O lies in one of the captured from-space ranges.
+  bool inFromSpace(const HeapObject *O) const;
+  /// Evacuates (or re-reads the forwarding of) a young \p V in place.
+  void forwardIfYoung(Value &V);
+  /// Copies \p O out of the young from-space; survivor or promotion.
+  HeapObject *evacuateYoung(HeapObject *O);
+  /// Bump-allocates \p Bytes in the current survivor (to-space) region.
+  char *survivorBump(size_t Bytes);
+  /// Scans every old-space and humongous object's slots with \p V — the
+  /// write-barrier-free substitute for a remembered set. Snapshots the
+  /// region list first: promotions during the scan grow the old space,
+  /// and those copies are handled by the worklist instead.
+  void scanOldSpace(const RootVisitor &V);
+  void visitRoots(const RootVisitor &V);
+  void drainWorklist(const RootVisitor &V);
+
+  // Full-GC machinery --------------------------------------------------------
+  void forwardFull(Value &V);
+
+  void recordGc(GcRecord R);
+
+  MemoryConfig Cfg;
+  RegionAllocator Regions;
+
+  // Young space: the regions allocated since the last scavenge. The last
+  // one backs the TLAB; its Top lags the TLAB bump pointer until flush.
+  std::vector<Region *> YoungRegions;
+  char *TlabCur = nullptr;
+  char *TlabEnd = nullptr;
+  size_t YoungUsedBytes = 0; ///< bytes bumped in retired young regions
+
+  // Old space: bump-filled regions; the last one is the open one.
+  std::vector<Region *> OldRegions;
+  size_t OldBytes = 0; ///< object bytes in old regions + humongous
+  size_t NextFullGcBytes;
+
+  // Humongous objects: one per dedicated region, never moved.
+  std::vector<std::pair<Region *, HeapObject *>> Humongous;
+
+  std::vector<std::pair<uint64_t, RootProvider>> RootProviders;
+  uint64_t NextRootToken = 1;
+
+  // In-flight collection state.
+  bool InGc = false;
+  std::vector<std::pair<const char *, const char *>> FromRanges;
+  const char *FromLo = nullptr, *FromHi = nullptr;
+  std::vector<HeapObject *> Worklist;
+  std::vector<Region *> SurvivorRegions; ///< scavenge to-space (young)
+  uint64_t GcCopied = 0, GcPromoted = 0; ///< bytes, current collection
+
+  // Metrics.
+  uint64_t AllocCount = 0;
+  uint64_t AllocBytes = 0;
+  uint64_t Scavenges = 0;
+  uint64_t FullGcs = 0;
+  uint64_t BytesCopied = 0;
+  uint64_t BytesPromoted = 0;
+  uint64_t YoungCount = 0; ///< live-object estimate, exact right after GC
+  uint64_t OldCount = 0;
+  MetricHistogram ScavengePauseNs;
+  MetricHistogram FullGcPauseNs;
+
+  std::vector<GcRecord> GcLog;
+  uint64_t GcSeq = 0;
+};
+
+} // namespace memory
+} // namespace jvm
+
+#endif // JVM_MEMORY_MEMORYMANAGER_H

@@ -1,0 +1,132 @@
+//===- Object.h - Moving-safe heap object layout --------------------*- C++ -*-===//
+///
+/// \file
+/// The heap cell layout of the region-based memory manager: a fixed
+/// 24-byte header followed by the value slots *inline* in the same
+/// allocation. The old layout (header + std::vector<Value>) pinned the
+/// slot storage on the C++ heap, which a copying collector cannot move;
+/// here one memcpy of `sizeInBytes()` bytes relocates the whole object,
+/// and regions can be freed wholesale without running destructors
+/// (everything is trivially copyable).
+///
+/// Header fields the collector uses:
+///  - `Forward`: the forwarding pointer. Null outside a collection;
+///    during one, non-null means "already evacuated, the copy lives
+///    there". Cleared in the to-space copy at evacuation time.
+///  - `Flags` bit 0: array bit. Bit 1: humongous (region-sized objects
+///    that never move; full GC marks and sweeps them in place, bit 2 is
+///    the mark).
+///  - `Age`: scavenges survived; at `MemoryConfig::PromoteAge` the next
+///    copy goes to the old space instead of a survivor region.
+///
+/// Root enumeration is *updating*: visitors receive `Value &` so the
+/// collector can overwrite relocated references in place. Every
+/// component holding references in C++-side storage (interpreter frames,
+/// executor environments, the statics table, deopt scratch vectors)
+/// registers a RootProvider and must visit each live slot as an lvalue.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_MEMORY_OBJECT_H
+#define JVM_MEMORY_OBJECT_H
+
+#include "runtime/Value.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace jvm {
+
+namespace memory {
+class MemoryManager;
+} // namespace memory
+
+/// A heap cell: class instance or array. Always allocated by the memory
+/// manager inside a region; never constructed on the C++ heap.
+class HeapObject {
+public:
+  ClassId objectClass() const { return Cls; }
+  bool isArray() const { return Flags & FlagArray; }
+  ValueType elementType() const { return ElemTy; }
+
+  unsigned numSlots() const { return NumSlots; }
+  int64_t length() const {
+    assert(isArray() && "length of a non-array");
+    return static_cast<int64_t>(NumSlots);
+  }
+
+  const Value &slot(unsigned I) const {
+    assert(I < NumSlots && "slot index out of range");
+    return slots()[I];
+  }
+
+  void setSlot(unsigned I, const Value &V) {
+    assert(I < NumSlots && "slot index out of range");
+    slots()[I] = V;
+  }
+
+  /// Recursive monitor state (single-threaded VM: a counter).
+  int lockCount() const { return LockCount; }
+
+  /// The object's real footprint: the 24-byte header plus 16 bytes per
+  /// slot — exactly the bytes the allocator bumped for it, and exactly
+  /// what the allocation-bytes metric accounts.
+  size_t sizeInBytes() const { return allocationSize(NumSlots); }
+
+  /// Bytes a \p NumSlots-slot object occupies in a region. The header is
+  /// 8-aligned and Value is 16 bytes, so the sum needs no padding.
+  static size_t allocationSize(uint32_t NumSlots) {
+    return sizeof(HeapObject) + size_t(NumSlots) * sizeof(Value);
+  }
+
+  // Monitor transitions are counted by the Runtime, which owns the
+  // metrics; see Runtime::monitorEnter/monitorExit.
+  void rawLock() { ++LockCount; }
+  void rawUnlock() {
+    assert(LockCount > 0 && "monitor exit without matching enter");
+    --LockCount;
+  }
+
+private:
+  friend class memory::MemoryManager;
+
+  enum : uint8_t {
+    FlagArray = 1u << 0,
+    FlagHumongous = 1u << 1,
+    FlagMarked = 1u << 2, ///< full-GC mark; humongous objects only
+    FlagOld = 1u << 3,    ///< lives in the old space (promoted or born old)
+  };
+
+  /// The inline slot array starts right after the header.
+  Value *slots() { return reinterpret_cast<Value *>(this + 1); }
+  const Value *slots() const {
+    return reinterpret_cast<const Value *>(this + 1);
+  }
+
+  HeapObject() = delete; ///< placement-initialized by the manager only
+
+  HeapObject *Forward;  ///< forwarding pointer; null outside collections
+  ClassId Cls;
+  uint32_t NumSlots;
+  int32_t LockCount;
+  ValueType ElemTy;
+  uint8_t Flags;
+  uint8_t Age;
+  uint8_t Pad = 0;
+};
+
+static_assert(sizeof(HeapObject) == 24, "object header grew");
+static_assert(alignof(HeapObject) <= alignof(Value),
+              "slots would need padding after the header");
+
+/// Visits one GC root *slot*. The reference is live storage: a moving
+/// collection overwrites it with the relocated address.
+using RootVisitor = std::function<void(Value &)>;
+
+/// Enumerates GC roots by invoking the visitor on every root slot.
+using RootProvider = std::function<void(const RootVisitor &)>;
+
+} // namespace jvm
+
+#endif // JVM_MEMORY_OBJECT_H

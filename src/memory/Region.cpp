@@ -1,0 +1,46 @@
+//===- Region.cpp - Contiguous allocation regions -----------------------------===//
+
+#include "memory/Region.h"
+
+#include <cassert>
+#include <new>
+
+using namespace jvm::memory;
+
+RegionAllocator::~RegionAllocator() {
+  assert(InUse == 0 && "regions leaked past the manager's destructor");
+  for (Region *R : FreeList) {
+    ::operator delete(R->Base);
+    delete R;
+  }
+}
+
+Region *RegionAllocator::allocate(size_t Bytes) {
+  assert(Bytes >= StandardBytes && "undersized region request");
+  ++InUse;
+  if (Bytes == StandardBytes && !FreeList.empty()) {
+    Region *R = FreeList.back();
+    FreeList.pop_back();
+    R->Top = R->Base;
+    return R;
+  }
+  ++TotalAllocated;
+  Region *R = new Region();
+  // operator new returns max_align_t-aligned storage, enough for the
+  // 8-aligned object headers bumped into it.
+  R->Base = static_cast<char *>(::operator new(Bytes));
+  R->Top = R->Base;
+  R->Bytes = Bytes;
+  return R;
+}
+
+void RegionAllocator::release(Region *R) {
+  assert(InUse > 0 && "release without allocate");
+  --InUse;
+  if (R->Bytes == StandardBytes) {
+    FreeList.push_back(R);
+    return;
+  }
+  ::operator delete(R->Base);
+  delete R;
+}

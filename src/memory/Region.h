@@ -1,0 +1,71 @@
+//===- Region.h - Contiguous allocation regions ---------------------*- C++ -*-===//
+///
+/// \file
+/// The storage granule of the memory manager: a contiguous chunk of raw
+/// bytes objects are bump-allocated into. Regions carry no per-object
+/// bookkeeping — `Top` is the bump pointer, and because every object
+/// starts with a fixed header whose `allocationSize()` is derivable from
+/// it, the collector can walk a region linearly from `Base` to `Top`
+/// (how the old space is scanned for young references without write
+/// barriers).
+///
+/// The allocator recycles standard-sized regions on a free list so a
+/// steady-state scavenge (release from-space, grab to-space) touches no
+/// system allocator at all. Humongous regions (one oversized object
+/// each) are sized exactly and never cached.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_MEMORY_REGION_H
+#define JVM_MEMORY_REGION_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace jvm {
+namespace memory {
+
+struct Region {
+  char *Base = nullptr;
+  char *Top = nullptr; ///< bump pointer; objects live in [Base, Top)
+  size_t Bytes = 0;
+
+  char *end() { return Base + Bytes; }
+  size_t used() const { return static_cast<size_t>(Top - Base); }
+  bool contains(const void *P) const {
+    return P >= Base && P < Base + Bytes;
+  }
+};
+
+class RegionAllocator {
+public:
+  explicit RegionAllocator(size_t StandardBytes)
+      : StandardBytes(StandardBytes) {}
+  ~RegionAllocator();
+
+  /// A fresh region of \p Bytes (>= StandardBytes for humongous
+  /// allocations; exactly StandardBytes otherwise), Top reset to Base.
+  Region *allocate(size_t Bytes);
+
+  /// Returns \p R to the free list (standard size) or the system.
+  void release(Region *R);
+
+  size_t standardBytes() const { return StandardBytes; }
+  uint64_t regionsInUse() const { return InUse; }
+  uint64_t regionsAllocated() const { return TotalAllocated; }
+
+  RegionAllocator(const RegionAllocator &) = delete;
+  RegionAllocator &operator=(const RegionAllocator &) = delete;
+
+private:
+  const size_t StandardBytes;
+  std::vector<Region *> FreeList; ///< standard-sized regions only
+  uint64_t InUse = 0;
+  uint64_t TotalAllocated = 0;
+};
+
+} // namespace memory
+} // namespace jvm
+
+#endif // JVM_MEMORY_REGION_H

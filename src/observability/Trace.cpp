@@ -33,7 +33,7 @@ uint32_t categoryMaskFromEnv() {
     return TraceDefaultCategories;
   if (std::strcmp(E, "all") == 0)
     return TraceCompile | TraceCode | TraceTier | TraceDeopt | TracePea |
-           TraceMonitor;
+           TraceMonitor | TraceGc;
   uint32_t Mask = 0;
   std::string S(E);
   size_t Pos = 0;
@@ -54,6 +54,8 @@ uint32_t categoryMaskFromEnv() {
       Mask |= TracePea;
     else if (Tok == "monitor")
       Mask |= TraceMonitor;
+    else if (Tok == "gc")
+      Mask |= TraceGc;
     else if (!Tok.empty())
       std::fprintf(stderr,
                    "warning: unknown JVM_TRACE_CATEGORIES token '%s'\n",
@@ -127,6 +129,8 @@ const char *jvm::traceCategoryName(TraceCategory C) {
     return "pea";
   case TraceMonitor:
     return "monitor";
+  case TraceGc:
+    return "gc";
   }
   return "unknown";
 }

@@ -26,7 +26,7 @@
 /// Enabling: set `JVM_TRACE=<file>` to trace from startup and write the
 /// JSON at process exit, or call `Tracer::get().setEnabled(true)`
 /// programmatically (tests). `JVM_TRACE_CATEGORIES` selects categories
-/// ("all", or a comma list of compile,code,tier,deopt,pea,monitor); the
+/// ("all", or a comma list of compile,code,tier,deopt,pea,monitor,gc); the
 /// high-frequency "pea" (runtime materialization sites) and "monitor"
 /// categories are off by default, like Chrome's disabled-by-default
 /// categories. `JVM_TRACE_RING` overrides the per-thread capacity.
@@ -53,12 +53,14 @@ enum TraceCategory : uint32_t {
   TraceDeopt = 1u << 3,   ///< deoptimizations (reason + remat payload)
   TracePea = 1u << 4,     ///< runtime materialization sites (high freq)
   TraceMonitor = 1u << 5, ///< monitor enter/exit (high freq)
+  TraceGc = 1u << 6,      ///< scavenge / full-GC spans with byte payloads
 };
 
 /// Categories traced when JVM_TRACE is set without JVM_TRACE_CATEGORIES:
-/// everything except the per-operation high-frequency ones.
+/// everything except the per-operation high-frequency ones. GC spans are
+/// per-collection (rare), so they are on by default.
 constexpr uint32_t TraceDefaultCategories =
-    TraceCompile | TraceCode | TraceTier | TraceDeopt;
+    TraceCompile | TraceCode | TraceTier | TraceDeopt | TraceGc;
 
 /// Short name of \p C ("compile", "code", ...).
 const char *traceCategoryName(TraceCategory C);

@@ -1,136 +1,96 @@
 //===- Heap.h - Object model and garbage-collected heap ------------*- C++ -*-===//
 ///
 /// \file
-/// The garbage-collected heap. Objects are class instances (typed field
-/// slots) or arrays. Allocation is bump-style bookkeeping over the C++
-/// heap plus an exact, non-moving mark-sweep collector; roots are
-/// enumerated through RootProvider callbacks registered by the
-/// interpreter, the compiled-graph executor and the statics table.
+/// The garbage-collected heap, now a facade over the region-based
+/// memory manager (src/memory): TLAB bump allocation over fixed-size
+/// regions, a Cheney-style copying scavenge for the young generation
+/// with survival-count promotion, and a compacting full collection.
+/// Objects MOVE: components holding references in C++ storage register
+/// updating RootProviders (see memory/Object.h) so collections can
+/// rewrite their slots in place.
 ///
 /// The heap also owns the allocation metrics the paper's evaluation
-/// reports (allocation count and allocated bytes).
+/// reports (allocation count and allocated bytes) plus the GC metrics
+/// PR 5 adds: scavenge/full-GC counts, bytes copied/promoted, occupancy
+/// and pause-time histograms.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef JVM_RUNTIME_HEAP_H
 #define JVM_RUNTIME_HEAP_H
 
+#include "memory/MemoryConfig.h"
+#include "memory/MemoryManager.h"
+#include "memory/Object.h"
 #include "runtime/Value.h"
 
 #include <cstddef>
-#include <functional>
+#include <string>
 #include <vector>
 
 namespace jvm {
 
-/// A heap cell: class instance or array.
-class HeapObject {
-public:
-  ClassId objectClass() const { return Cls; }
-  bool isArray() const { return IsArray; }
-  ValueType elementType() const { return ElemTy; }
-
-  unsigned numSlots() const { return Slots.size(); }
-  int64_t length() const {
-    assert(IsArray && "length of a non-array");
-    return static_cast<int64_t>(Slots.size());
-  }
-
-  const Value &slot(unsigned I) const {
-    assert(I < Slots.size() && "slot index out of range");
-    return Slots[I];
-  }
-
-  void setSlot(unsigned I, const Value &V) {
-    assert(I < Slots.size() && "slot index out of range");
-    Slots[I] = V;
-  }
-
-  /// Recursive monitor state (single-threaded VM: a counter).
-  int lockCount() const { return LockCount; }
-
-  /// Object header + 8 bytes per slot; matches what the allocation-bytes
-  /// metric accounts.
-  size_t sizeInBytes() const { return 16 + 8 * Slots.size(); }
-
-private:
-  friend class Heap;
-
-  HeapObject(ClassId Cls, bool IsArray, ValueType ElemTy, unsigned NumSlots,
-             ValueType SlotDefault)
-      : Cls(Cls), IsArray(IsArray), ElemTy(ElemTy) {
-    Slots.assign(NumSlots, Value::defaultOf(SlotDefault));
-  }
-
-  ClassId Cls;
-  bool IsArray;
-  ValueType ElemTy;
-  int LockCount = 0;
-  bool Marked = false;
-  std::vector<Value> Slots;
-
-public:
-  // Monitor transitions are counted by the Runtime, which owns the
-  // metrics; see Runtime::monitorEnter/monitorExit.
-  void rawLock() { ++LockCount; }
-  void rawUnlock() {
-    assert(LockCount > 0 && "monitor exit without matching enter");
-    --LockCount;
-  }
-};
-
-/// Enumerates GC roots by invoking the visitor on every root value.
-using RootProvider = std::function<void(const std::function<void(Value)> &)>;
-
 class Heap {
 public:
-  /// \p GcThresholdBytes: a collection runs when this many bytes were
-  /// allocated since the last one.
-  explicit Heap(size_t GcThresholdBytes = 64 << 20)
-      : GcThresholdBytes(GcThresholdBytes) {}
-  ~Heap();
+  explicit Heap(const memory::MemoryConfig &Config =
+                    memory::MemoryConfig::fromEnvironment())
+      : M(Config) {}
 
-  /// Allocates a class instance with \p NumFields slots, each typed by
-  /// \p FieldTypes (may be shorter; missing entries default to Int).
+  /// Allocates a class instance with \p FieldTypes.size() slots, each
+  /// typed by \p FieldTypes (missing entries default to Int).
   HeapObject *allocateInstance(ClassId Cls,
-                               const std::vector<ValueType> &FieldTypes);
+                               const std::vector<ValueType> &FieldTypes) {
+    return M.allocateInstance(Cls, FieldTypes);
+  }
 
   /// Allocates an array of \p Length elements of \p ElemTy.
-  HeapObject *allocateArray(ValueType ElemTy, int64_t Length);
-
-  /// Registers a root enumerator for the lifetime of the heap.
-  void addRootProvider(RootProvider Provider) {
-    RootProviders.push_back(std::move(Provider));
+  HeapObject *allocateArray(ValueType ElemTy, int64_t Length) {
+    return M.allocateArray(ElemTy, Length);
   }
 
-  /// Runs a full mark-sweep collection.
-  void collect();
+  /// Registers an updating root enumerator. The token deregisters it
+  /// again — mandatory for components shorter-lived than the heap.
+  uint64_t addRootProvider(RootProvider Provider) {
+    return M.addRootProvider(std::move(Provider));
+  }
+  void removeRootProvider(uint64_t Token) { M.removeRootProvider(Token); }
+
+  /// Runs a full collection (young + old copying compaction).
+  void collect() { M.collectFull(); }
+
+  /// Runs a young collection only.
+  void scavenge() { M.scavenge(); }
 
   // Metrics ------------------------------------------------------------------
-  uint64_t allocationCount() const { return AllocCount; }
-  uint64_t allocatedBytes() const { return AllocBytes; }
-  uint64_t gcRuns() const { return GcRuns; }
-  uint64_t liveObjects() const { return Objects.size(); }
+  uint64_t allocationCount() const { return M.allocationCount(); }
+  uint64_t allocatedBytes() const { return M.allocatedBytes(); }
+  uint64_t gcRuns() const { return M.gcRuns(); }
+  uint64_t scavenges() const { return M.scavenges(); }
+  uint64_t fullGcs() const { return M.fullGcs(); }
+  uint64_t bytesCopied() const { return M.bytesCopied(); }
+  uint64_t bytesPromoted() const { return M.bytesPromoted(); }
+  uint64_t liveObjects() const { return M.liveObjects(); }
+  size_t youngBytes() const { return M.youngOccupancyBytes(); }
+  size_t oldBytes() const { return M.oldOccupancyBytes(); }
+  const MetricHistogram &scavengePauses() const { return M.scavengePauses(); }
+  const MetricHistogram &fullGcPauses() const { return M.fullGcPauses(); }
 
-  void resetMetrics() {
-    AllocCount = 0;
-    AllocBytes = 0;
-  }
+  /// Clears the full GC metric window — allocation counters, collection
+  /// counts, copied/promoted bytes and the pause histograms — so bench
+  /// measurement windows start clean (VirtualMachine::resetMetrics).
+  void resetMetrics() { M.resetMetrics(); }
+
+  /// The per-collection log (also appended to $JVM_GC_LOG at exit).
+  std::string renderGcLog() const { return M.renderGcLog(); }
+
+  memory::MemoryManager &manager() { return M; }
+  const memory::MemoryConfig &config() const { return M.config(); }
 
   Heap(const Heap &) = delete;
   Heap &operator=(const Heap &) = delete;
 
 private:
-  void maybeCollect();
-  void accountAllocation(HeapObject *O);
-
-  size_t GcThresholdBytes;
-  size_t BytesSinceGc = 0;
-  std::vector<HeapObject *> Objects;
-  std::vector<RootProvider> RootProviders;
-  uint64_t AllocCount = 0;
-  uint64_t AllocBytes = 0;
-  uint64_t GcRuns = 0;
+  memory::MemoryManager M;
 };
 
 } // namespace jvm

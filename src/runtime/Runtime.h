@@ -34,15 +34,17 @@ struct RuntimeMetrics {
 /// Mutable program state: heap, statics, metrics.
 class Runtime {
 public:
-  explicit Runtime(const Program &P) : Prog(P) {
+  explicit Runtime(const Program &P, const memory::MemoryConfig &Memory =
+                                         memory::MemoryConfig::fromEnvironment())
+      : Prog(P), TheHeap(Memory) {
     Statics.resize(P.numStatics());
     for (unsigned I = 0, E = P.numStatics(); I != E; ++I)
       Statics[I] = Value::defaultOf(P.staticAt(I).Ty);
-    TheHeap.addRootProvider([this](const std::function<void(Value)> &Visit) {
-      for (const Value &V : Statics)
+    TheHeap.addRootProvider([this](const RootVisitor &Visit) {
+      for (Value &V : Statics)
         Visit(V);
-      for (const std::vector<Value> *Vec : ExtraRootVectors)
-        for (const Value &V : *Vec)
+      for (std::vector<Value> *Vec : ExtraRootVectors)
+        for (Value &V : *Vec)
           Visit(V);
     });
   }
@@ -50,10 +52,11 @@ public:
   /// RAII registration of a Value vector as GC roots; used by components
   /// that hold references in C++ temporaries across allocation points
   /// (call argument vectors, executor environments, the deoptimizer's
-  /// scratch state).
+  /// scratch state). The vector is visited as *updating* storage: a
+  /// moving collection rewrites its elements in place.
   class RootScope {
   public:
-    RootScope(Runtime &RT, const std::vector<Value> *Vec) : RT(RT) {
+    RootScope(Runtime &RT, std::vector<Value> *Vec) : RT(RT) {
       RT.ExtraRootVectors.push_back(Vec);
     }
     ~RootScope() { RT.ExtraRootVectors.pop_back(); }
@@ -111,7 +114,7 @@ private:
   const Program &Prog;
   Heap TheHeap;
   std::vector<Value> Statics;
-  std::vector<const std::vector<Value> *> ExtraRootVectors;
+  std::vector<std::vector<Value> *> ExtraRootVectors;
   RuntimeMetrics Metrics;
 };
 

@@ -20,9 +20,13 @@ public:
                    const std::vector<Value> &Args, const CallHandler &Call,
                    const DeoptHandlerFn &Deopt,
                    GraphExecutor::FrameStorage &S)
-      : RT(RT), P(RT.program()), G(G), Args(Args), Call(Call), Deopt(Deopt),
-        S(S), Env(S.Env), Pinned(S.Pinned), CachedAt(S.CachedAt),
-        EnvRoots(RT, &Env) {
+      : RT(RT), P(RT.program()), G(G), Args(S.ArgCopy), Call(Call),
+        Deopt(Deopt), S(S), Env(S.Env), Pinned(S.Pinned),
+        CachedAt(S.CachedAt), EnvRoots(RT, &Env), ArgRoots(RT, &S.ArgCopy) {
+    // Copy the arguments into pooled, *rooted* storage: the caller's
+    // vector may be an unrooted temporary, and objects now move — a
+    // collection mid-call must be able to update the parameter slots.
+    S.ArgCopy.assign(Args.begin(), Args.end());
     // The assigns clear the frame's previous activation (the environment
     // is a GC root, so stale references must go) and never allocate once
     // the pooled frame has grown to this graph's size.
@@ -465,6 +469,7 @@ private:
   std::vector<uint64_t> &CachedAt;
   uint64_t Version = 1;
   Runtime::RootScope EnvRoots;
+  Runtime::RootScope ArgRoots;
 };
 
 } // namespace

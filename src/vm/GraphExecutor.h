@@ -50,6 +50,10 @@ public:
   /// nodeIdBound-sized vectors.
   struct FrameStorage {
     std::vector<Value> Env;
+    /// Rooted copy of the activation's arguments (the caller's vector
+    /// may be an unrooted temporary; parameters must survive a moving
+    /// collection mid-call).
+    std::vector<Value> ArgCopy;
     std::vector<uint8_t> Pinned;
     std::vector<uint64_t> CachedAt;
     std::vector<PhiNode *> PhiScratch;

@@ -489,13 +489,16 @@ LinearExecutor::LinearExecutor(Runtime &RT, CallHandler CallFn,
     : RT(RT), Call(std::move(CallFn)), Deopt(std::move(DeoptFn)) {
   // The pooled register frames of all active activations are GC roots
   // for the lifetime of the executor (frames above Depth are stale and
-  // cleared before reuse, so they are deliberately not visited).
-  RT.heap().addRootProvider([this](const std::function<void(Value)> &Visit) {
+  // cleared before reuse, so they are deliberately not visited). The
+  // visitor updates registers in place when a collection moves objects.
+  RootToken = RT.heap().addRootProvider([this](const RootVisitor &Visit) {
     for (unsigned D = 0; D != Depth; ++D)
-      for (const Value &V : *FramePool[D])
+      for (Value &V : *FramePool[D])
         Visit(V);
   });
 }
+
+LinearExecutor::~LinearExecutor() { RT.heap().removeRootProvider(RootToken); }
 
 HeapObject *LinearExecutor::allocateTemplate(const LinearCode::ObjTemplate &T) {
   if (T.IsArray)

@@ -205,6 +205,7 @@ std::unique_ptr<LinearCode> translateGraph(const Graph &G);
 class LinearExecutor {
 public:
   LinearExecutor(Runtime &RT, CallHandler CallFn, DeoptHandlerFn DeoptFn);
+  ~LinearExecutor();
 
   /// Executes \p L with \p Args; returns the method result.
   Value execute(const LinearCode &L, const std::vector<Value> &Args);
@@ -229,6 +230,7 @@ private:
   /// RootScope while in use; materializes never nest).
   std::vector<Value> MoveScratch;
   std::vector<Value> MatScratch;
+  uint64_t RootToken = 0;
 };
 
 /// Shared arithmetic semantics of both executors: two's-complement

@@ -61,7 +61,7 @@ const char *jvm::execModeName(ExecMode M) {
 }
 
 VirtualMachine::VirtualMachine(const Program &P, VMOptions Options)
-    : P(P), Options(Options), RT(P), Profiles(P.numMethods()),
+    : P(P), Options(Options), RT(P, Options.Memory), Profiles(P.numMethods()),
       Interp(RT, Profiles),
       Executor(
           RT,
@@ -138,6 +138,28 @@ void VirtualMachine::registerMetrics() {
   Registry.gauge("heap.gc_runs", [this] { return RT.heap().gcRuns(); });
   Registry.gauge("heap.live_objects",
                  [this] { return RT.heap().liveObjects(); });
+  // Generational-collector behaviour (PR 5): collection counts, copy
+  // volume, occupancy, and pause-time percentiles from the heap-owned
+  // log2 histograms.
+  Registry.gauge("heap.scavenges", [this] { return RT.heap().scavenges(); });
+  Registry.gauge("heap.full_gcs", [this] { return RT.heap().fullGcs(); });
+  Registry.gauge("heap.bytes_copied",
+                 [this] { return RT.heap().bytesCopied(); });
+  Registry.gauge("heap.bytes_promoted",
+                 [this] { return RT.heap().bytesPromoted(); });
+  Registry.gauge("heap.young_bytes",
+                 [this] { return uint64_t(RT.heap().youngBytes()); });
+  Registry.gauge("heap.old_bytes",
+                 [this] { return uint64_t(RT.heap().oldBytes()); });
+  Registry.gauge("heap.scavenge_pause_p50_ns", [this] {
+    return RT.heap().scavengePauses().percentileUpperBound(0.5);
+  });
+  Registry.gauge("heap.scavenge_pause_p99_ns", [this] {
+    return RT.heap().scavengePauses().percentileUpperBound(0.99);
+  });
+  Registry.gauge("heap.full_gc_pause_p99_ns", [this] {
+    return RT.heap().fullGcPauses().percentileUpperBound(0.99);
+  });
 
   // JitMetrics (and the PEAStats it aggregates): guarded by StateMutex,
   // so each gauge takes it — dump-time only cost.

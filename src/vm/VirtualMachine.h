@@ -35,6 +35,7 @@
 #include "compiler/CompilerOptions.h"
 #include "compiler/Phase.h"
 #include "interp/Interpreter.h"
+#include "memory/MemoryConfig.h"
 #include "observability/CompileLog.h"
 #include "observability/Metrics.h"
 #include "observability/Trace.h"
@@ -98,6 +99,10 @@ struct VMOptions {
   unsigned CompilerThreads = defaultCompilerThreads();
   /// Which tier runs compiled methods (see ExecMode).
   ExecMode Exec = defaultExecMode();
+  /// Heap sizing/policy (region size, young capacity, promotion age,
+  /// GC stress). Defaults read JVM_HEAP_YOUNG / JVM_HEAP_REGION /
+  /// JVM_GC_STRESS once; tests override fields directly.
+  memory::MemoryConfig Memory = memory::MemoryConfig::fromEnvironment();
 };
 
 /// Counters describing the VM's compilation activity. Written under the

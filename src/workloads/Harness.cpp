@@ -74,6 +74,11 @@ RowMeasurement jvm::workloads::measureRow(const BenchmarkSet &Set,
   M.ItersPerMinute =
       Seconds > 0 ? Opts.MeasureIters * 60.0 / Seconds : 0;
   M.Deopts = RT.metrics().Deopts;
+  M.Scavenges = RT.heap().scavenges();
+  M.FullGcs = RT.heap().fullGcs();
+  M.BytesPromoted = RT.heap().bytesPromoted();
+  M.GcPauseP50Ns = RT.heap().scavengePauses().percentileUpperBound(0.5);
+  M.GcPauseP99Ns = RT.heap().scavengePauses().percentileUpperBound(0.99);
   // Measured-window values only: recompiles forced by measured-phase
   // deopts, not the warmup's initial compilations.
   M.Compilations = VM.jitMetrics().Compilations;
@@ -177,17 +182,25 @@ namespace {
 std::string jsonRecord(const std::string &Suite, const std::string &Name,
                        const char *Ea, const char *Exec,
                        const RowMeasurement &M) {
-  char Buf[320];
+  char Buf[512];
   std::snprintf(Buf, sizeof(Buf),
                 "{\"suite\": \"%s\", \"benchmark\": \"%s\", "
                 "\"ea\": \"%s\", \"exec_mode\": \"%s\", "
                 "\"mb_per_iter\": %.6f, \"allocs_per_iter\": %.1f, "
                 "\"iters_per_min\": %.2f, \"monitor_ops_per_iter\": %.1f, "
-                "\"deopts\": %llu}",
+                "\"deopts\": %llu, "
+                "\"scavenges\": %llu, \"full_gcs\": %llu, "
+                "\"bytes_promoted\": %llu, "
+                "\"gc_pause_p50_ns\": %llu, \"gc_pause_p99_ns\": %llu}",
                 Suite.c_str(), Name.c_str(), Ea, Exec,
                 M.KBPerIter / 1024.0, M.KAllocsPerIter * 1000.0,
                 M.ItersPerMinute, M.MonitorOpsPerIter,
-                (unsigned long long)M.Deopts);
+                (unsigned long long)M.Deopts,
+                (unsigned long long)M.Scavenges,
+                (unsigned long long)M.FullGcs,
+                (unsigned long long)M.BytesPromoted,
+                (unsigned long long)M.GcPauseP50Ns,
+                (unsigned long long)M.GcPauseP99Ns);
   return Buf;
 }
 

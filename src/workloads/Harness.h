@@ -54,6 +54,13 @@ struct RowMeasurement {
   uint64_t Deopts = 0;
   uint64_t Compilations = 0;
   uint64_t Invalidations = 0;
+  // Memory behaviour of the measured window (PR 5): the generational
+  // collector's activity and pause-time percentiles.
+  uint64_t Scavenges = 0;
+  uint64_t FullGcs = 0;
+  uint64_t BytesPromoted = 0;
+  uint64_t GcPauseP50Ns = 0;
+  uint64_t GcPauseP99Ns = 0;
   PEAStats Escape; ///< escape-analysis work over all row compilations
   int64_t Checksum = 0; ///< sum of driver results (cross-mode validation)
 };

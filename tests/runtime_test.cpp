@@ -44,7 +44,10 @@ TEST(HeapTest, InstanceAllocationTypesDefaults) {
   ASSERT_EQ(O->numSlots(), 2u);
   EXPECT_EQ(O->slot(0), Value::makeInt(0));
   EXPECT_EQ(O->slot(1), Value::makeRef(nullptr));
-  EXPECT_EQ(O->sizeInBytes(), 16u + 16u);
+  // 24-byte header + 16 bytes per slot — the real footprint of the
+  // moving-safe inline layout, exactly what the allocator bumped.
+  EXPECT_EQ(O->sizeInBytes(), HeapObject::allocationSize(2));
+  EXPECT_EQ(O->sizeInBytes(), 24u + 32u);
 }
 
 TEST(HeapTest, ArrayAllocationAndLength) {
@@ -56,7 +59,7 @@ TEST(HeapTest, ArrayAllocationAndLength) {
   EXPECT_EQ(A->slot(9), Value::makeInt(0));
   A->setSlot(3, Value::makeInt(42));
   EXPECT_EQ(A->slot(3), Value::makeInt(42));
-  EXPECT_EQ(A->sizeInBytes(), 16u + 80u);
+  EXPECT_EQ(A->sizeInBytes(), 24u + 160u);
 }
 
 TEST(HeapTest, MetricsAccumulate) {
@@ -66,10 +69,19 @@ TEST(HeapTest, MetricsAccumulate) {
   RT.allocateInstance(0);
   RT.heap().allocateArray(ValueType::Ref, 4);
   EXPECT_EQ(RT.heap().allocationCount(), 3u);
-  EXPECT_EQ(RT.heap().allocatedBytes(), 32u + 32u + 48u);
+  EXPECT_EQ(RT.heap().allocatedBytes(), 56u + 56u + 88u);
+  RT.heap().collect();
+  EXPECT_GE(RT.heap().gcRuns(), 1u);
   RT.heap().resetMetrics();
   EXPECT_EQ(RT.heap().allocationCount(), 0u);
   EXPECT_EQ(RT.heap().allocatedBytes(), 0u);
+  // resetMetrics clears the *full* GC metric window, gcRuns included
+  // (the seed heap left it accumulating across bench warmup windows).
+  EXPECT_EQ(RT.heap().gcRuns(), 0u);
+  EXPECT_EQ(RT.heap().bytesCopied(), 0u);
+  EXPECT_EQ(RT.heap().bytesPromoted(), 0u);
+  EXPECT_EQ(RT.heap().scavengePauses().count(), 0u);
+  EXPECT_EQ(RT.heap().fullGcPauses().count(), 0u);
 }
 
 TEST(GcTest, UnreachableObjectsAreCollected) {
@@ -86,11 +98,17 @@ TEST(GcTest, StaticsAreRoots) {
   Program P = twoFieldProgram();
   Runtime RT(P);
   HeapObject *Kept = RT.allocateInstance(0);
+  Kept->setSlot(0, Value::makeInt(77));
   RT.setStatic(0, Value::makeRef(Kept));
   RT.allocateInstance(0); // Garbage.
   RT.heap().collect();
   EXPECT_EQ(RT.heap().liveObjects(), 1u);
-  EXPECT_EQ(RT.getStatic(0).asRef(), Kept);
+  // The collector moves objects: re-read the (updated) static root
+  // instead of the stale pre-GC pointer, and check identity by content.
+  HeapObject *Moved = RT.getStatic(0).asRef();
+  ASSERT_NE(Moved, nullptr);
+  EXPECT_EQ(Moved->slot(0), Value::makeInt(77));
+  EXPECT_EQ(Moved->objectClass(), 0);
 }
 
 TEST(GcTest, ReachabilityIsTransitive) {
