@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Lint for the native tier's code dumps against the compile log.
+
+After a run with JVM_EXEC_MODE=native, JVM_DUMP_NATIVE=<dir> and
+JVM_COMPILE_LOG=<file>, validates that the dumped machine code and the
+log agree 1:1:
+
+  * every *installed* compile-log record carrying a "native" line has a
+    dump file m<method>.c<seq>.bin that exists, is non-empty, and whose
+    size equals the record's bytes= value,
+  * every dump file in the directory is claimed by exactly one such
+    record (no orphans, no double-claims),
+  * at least one native record was logged at all — an empty intersection
+    would make the whole check vacuous (e.g. the tier silently fell back
+    everywhere, which is exactly the regression this exists to catch).
+
+Records that are DISCARDED (a stale compile losing the version race)
+may carry a native line without a dump: the dump happens at install.
+
+Exit status 0 on success, 1 with a diagnostic on the first failure.
+Usage: check_native.py <dump-dir> <compile-log>
+"""
+
+import os
+import re
+import sys
+
+METHOD_RE = re.compile(r"^method m(\d+): ")
+COMPILE_RE = re.compile(r"^  compile #(\d+) hotness=\d+ (installed|DISCARDED) ")
+NATIVE_RE = re.compile(r"^    native emit=(\d+)us bytes=(\d+)$")
+
+
+def fail(msg):
+    print(f"check_native: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def parse_log(path):
+    """Yields (method, seq, installed, bytes) for records with a native
+    line. The log may contain many VM renderings appended back to back;
+    method headers simply restart."""
+    records = []
+    method = None
+    current = None  # (method, seq, installed) awaiting a native line
+    try:
+        with open(path) as f:
+            for line in f:
+                m = METHOD_RE.match(line)
+                if m:
+                    method = int(m.group(1))
+                    current = None
+                    continue
+                m = COMPILE_RE.match(line)
+                if m:
+                    if method is None:
+                        fail("compile record before any method header")
+                    current = (method, int(m.group(1)), m.group(2) == "installed")
+                    continue
+                m = NATIVE_RE.match(line)
+                if m:
+                    if current is None:
+                        fail("native line outside a compile record")
+                    records.append((*current, int(m.group(2))))
+                    current = None
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+    return records
+
+
+def main():
+    if len(sys.argv) != 3:
+        fail("usage: check_native.py <dump-dir> <compile-log>")
+    dump_dir, log_path = sys.argv[1], sys.argv[2]
+
+    records = parse_log(log_path)
+    installed = [(m, s, b) for (m, s, ok, b) in records if ok]
+    if not installed:
+        fail(f"no installed native records in {log_path}: the native "
+             "tier fell back (or emitted nothing) on every compile")
+
+    try:
+        on_disk = {f for f in os.listdir(dump_dir) if f.endswith(".bin")}
+    except OSError as e:
+        fail(f"cannot list {dump_dir}: {e}")
+
+    claimed = set()
+    for method, seq, nbytes in installed:
+        name = f"m{method}.c{seq}.bin"
+        if name in claimed:
+            fail(f"two installed records claim {name}: compile seq reuse")
+        claimed.add(name)
+        path = os.path.join(dump_dir, name)
+        if name not in on_disk:
+            fail(f"log has installed native compile #{seq} of m{method} "
+                 f"({nbytes} bytes) but {name} was not dumped")
+        size = os.path.getsize(path)
+        if size == 0:
+            fail(f"{name} is empty")
+        if size != nbytes:
+            fail(f"{name} is {size} bytes on disk but the compile log "
+                 f"says {nbytes}")
+
+    orphans = on_disk - claimed
+    if orphans:
+        fail(f"{len(orphans)} dump file(s) not matched by any installed "
+             f"log record, e.g. {sorted(orphans)[0]}")
+
+    total = sum(b for (_, _, b) in installed)
+    print(f"check_native: OK: {len(installed)} methods, {total} code bytes, "
+          f"dumps and log agree 1:1")
+
+
+if __name__ == "__main__":
+    main()

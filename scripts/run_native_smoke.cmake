@@ -1,0 +1,41 @@
+# Runs a bench binary on the native tier with code dumping and the
+# compile log enabled, then lints dumps-vs-log 1:1 with check_native.py.
+# Invoked by ctest (perf-smoke / native labels) via:
+#
+#   cmake -DBENCH=<binary> -DPYTHON=<python3> -DCHECK=<check_native.py>
+#         -DOUT=<workdir> -P run_native_smoke.cmake
+#
+# The dump directory and the (append-mode) compile log are recreated
+# from scratch each run so a stale file can never satisfy the check.
+
+foreach(Var BENCH PYTHON CHECK OUT)
+  if(NOT DEFINED ${Var})
+    message(FATAL_ERROR "run_native_smoke.cmake: ${Var} not set")
+  endif()
+endforeach()
+
+set(DumpDir "${OUT}/native_dump")
+set(LogFile "${OUT}/native_compile.log")
+file(REMOVE_RECURSE "${DumpDir}")
+file(REMOVE "${LogFile}")
+file(MAKE_DIRECTORY "${DumpDir}")
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env
+          "JVM_EXEC_MODE=native"
+          "JVM_DUMP_NATIVE=${DumpDir}"
+          "JVM_COMPILE_LOG=${LogFile}"
+          "JVM_BENCH_WARMUP=4" "JVM_BENCH_MEASURE=3" "JVM_BENCH_REPEATS=1"
+          "JVM_BENCH_JSON=${OUT}/BENCH_table1_native_smoke.json"
+          ${BENCH}
+  RESULT_VARIABLE BenchResult)
+if(BenchResult)
+  message(FATAL_ERROR "native bench run failed: ${BenchResult}")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${CHECK} ${DumpDir} ${LogFile}
+  RESULT_VARIABLE CheckResult)
+if(CheckResult)
+  message(FATAL_ERROR "native dump lint failed: ${CheckResult}")
+endif()

@@ -1,0 +1,56 @@
+//===- CodeCache.cpp - mmap-backed W^X executable spans ------------------------===//
+
+#include "jit/CodeCache.h"
+
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define JVM_HAVE_MMAP 1
+#include <sys/mman.h>
+#include <unistd.h>
+#else
+#define JVM_HAVE_MMAP 0
+#endif
+
+using namespace jvm;
+
+CodeCache::Span CodeCache::install(const uint8_t *Bytes, size_t Size) {
+#if JVM_HAVE_MMAP
+  if (Size == 0)
+    return {};
+  static const size_t Page = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+  size_t Mapped = (Size + Page - 1) & ~(Page - 1);
+  void *P = ::mmap(nullptr, Mapped, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (P == MAP_FAILED)
+    return {};
+  std::memcpy(P, Bytes, Size);
+  // W^X flip: writable mapping becomes execute-only-after-read. On
+  // x86-64 the mprotect's kernel round-trip also serializes the store
+  // buffer, so no explicit icache flush is needed on this architecture
+  // (and __builtin___clear_cache would be the hook for ones that do).
+  if (::mprotect(P, Mapped, PROT_READ | PROT_EXEC) != 0) {
+    ::munmap(P, Mapped);
+    return {};
+  }
+  Reserved.fetch_add(Mapped, std::memory_order_relaxed);
+  Code.fetch_add(Size, std::memory_order_relaxed);
+  Methods.fetch_add(1, std::memory_order_relaxed);
+  return {static_cast<uint8_t *>(P), Mapped, Size};
+#else
+  (void)Bytes;
+  (void)Size;
+  return {};
+#endif
+}
+
+void CodeCache::release(const Span &S) {
+  if (!S)
+    return;
+#if JVM_HAVE_MMAP
+  ::munmap(S.Ptr, S.MappedBytes);
+#endif
+  Reserved.fetch_sub(S.MappedBytes, std::memory_order_relaxed);
+  Code.fetch_sub(S.CodeBytes, std::memory_order_relaxed);
+  Methods.fetch_sub(1, std::memory_order_relaxed);
+}

@@ -1,0 +1,68 @@
+//===- CodeCache.h - Executable memory for the native tier ----------*- C++ -*-===//
+///
+/// \file
+/// Owns the executable pages native methods run from. Each installed
+/// method gets its own page-granular mmap span with strict W^X
+/// discipline: the span is mapped read-write, the finished code is
+/// copied in, then the protection flips to read-execute before the
+/// entry pointer escapes — no page is ever writable and executable at
+/// the same time, and because spans are never shared between methods a
+/// broker worker patching one method can never race a mutator executing
+/// another on the same page.
+///
+/// Spans are returned to the OS when the owning NativeCode is reclaimed
+/// (invalidation/retirement goes through the VM's safe-point scheme, so
+/// nothing can still be executing the span by then). Counters feed the
+/// code.cache_* metrics gauges.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_JIT_CODECACHE_H
+#define JVM_JIT_CODECACHE_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace jvm {
+
+class CodeCache {
+public:
+  /// One installed method's executable span. Ptr/MappedBytes describe
+  /// the mmap region (page multiple); CodeBytes is the useful prefix.
+  struct Span {
+    uint8_t *Ptr = nullptr;
+    size_t MappedBytes = 0;
+    size_t CodeBytes = 0;
+    explicit operator bool() const { return Ptr != nullptr; }
+  };
+
+  CodeCache() = default;
+  CodeCache(const CodeCache &) = delete;
+  CodeCache &operator=(const CodeCache &) = delete;
+
+  /// Maps a fresh span, copies \p Bytes of finished machine code into
+  /// it and seals it read-execute. Returns an empty span if the OS
+  /// refuses (counted; the caller falls back to the linear tier).
+  Span install(const uint8_t *Code, size_t Bytes);
+
+  /// Unmaps \p S and rolls its footprint out of the counters. The VM
+  /// only calls this after safe-point reclamation proved no frame can
+  /// still be executing inside the span.
+  void release(const Span &S);
+
+  uint64_t reservedBytes() const {
+    return Reserved.load(std::memory_order_relaxed);
+  }
+  uint64_t codeBytes() const { return Code.load(std::memory_order_relaxed); }
+  uint64_t methods() const { return Methods.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> Reserved{0}; ///< mmap'd bytes currently live
+  std::atomic<uint64_t> Code{0};     ///< useful code bytes currently live
+  std::atomic<uint64_t> Methods{0};  ///< spans currently live
+};
+
+} // namespace jvm
+
+#endif // JVM_JIT_CODECACHE_H

@@ -1,0 +1,98 @@
+//===- NativeCode.h - Installed native method + emitter entry -------*- C++ -*-===//
+///
+/// \file
+/// Tier 4 of the execution stack: machine code produced by the
+/// copy-and-patch emitter over a method's LinearCode. A NativeCode
+/// pairs an executable CodeCache span with the LinearCode it was
+/// emitted from — the side tables (calls, materialize/deopt
+/// descriptors, move lists) stay in the LinearCode and are read by the
+/// native tier's runtime helpers, so the deopt safety net is shared
+/// with the linear tier rather than duplicated.
+///
+/// Emission is deliberately fallible: emitNativeCode returns null on a
+/// non-x86-64 host, when the build disabled the backend, or when the
+/// OS refuses executable memory. The VM counts that as a fallback and
+/// keeps dispatching the method through the linear tier — never a
+/// crash.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_JIT_NATIVECODE_H
+#define JVM_JIT_NATIVECODE_H
+
+#include "jit/CodeCache.h"
+#include "vm/LinearCode.h"
+
+#include <memory>
+#include <string>
+
+namespace jvm {
+
+class NativeExecutor;
+
+/// First argument of every native entry point (held in r12 throughout):
+/// the runtime services the templates' helper calls reach back into.
+struct NativeContext {
+  Runtime *RT;
+  NativeExecutor *Exec;
+  /// Per-top-level-call instruction counter; templates bump it through
+  /// r13 exactly once per executed instruction, mirroring the linear
+  /// dispatcher's Ops accounting.
+  uint64_t *Ops;
+};
+
+/// True when this build can emit and execute native code on this host
+/// (x86-64, mmap available, JVM_ENABLE_NATIVE on).
+bool nativeBackendSupported();
+
+/// One method's installed machine code. Owned by the VM's MethodState
+/// alongside the graph and linear versions; released through the same
+/// retire/reclaim safe-point scheme.
+class NativeCode {
+public:
+  /// SysV: rdi = context, rsi = register frame (GC-rooted, stable for
+  /// the duration of the call). The 16-byte Value returns in rax:rdx.
+  using EntryFn = Value (*)(NativeContext *, Value *Frame);
+
+  NativeCode(const NativeCode &) = delete;
+  NativeCode &operator=(const NativeCode &) = delete;
+  ~NativeCode() { Cache.release(Span); }
+
+  MethodId method() const { return L.method(); }
+  const LinearCode &linear() const { return L; }
+  unsigned numRegs() const { return L.numRegs(); }
+  unsigned numParams() const { return L.numParams(); }
+  bool hasEffects() const { return L.hasEffects(); }
+  EntryFn entry() const { return Entry; }
+  const uint8_t *codeBytes() const { return Span.Ptr; }
+  size_t codeSize() const { return Span.CodeBytes; }
+  uint64_t emitNanos() const { return EmitNanos; }
+
+private:
+  friend std::unique_ptr<NativeCode>
+  emitNativeCode(const LinearCode &, CodeCache &, std::string *);
+
+  NativeCode(const LinearCode &L, CodeCache &Cache) : L(L), Cache(Cache) {}
+
+  const LinearCode &L; ///< owned by the same MethodState, outlives us
+  CodeCache &Cache;
+  CodeCache::Span Span;
+  EntryFn Entry = nullptr;
+  uint64_t EmitNanos = 0;
+  /// Parallel-phi staging buffer; its address is patched into Jump
+  /// templates as an immediate. Safe to share across activations of
+  /// this method: moves never allocate or call out mid-sequence, and
+  /// exactly one mutator thread runs compiled code in this VM.
+  std::unique_ptr<Value[]> MoveScratch;
+};
+
+/// Emits \p L as x86-64 machine code into \p Cache. Returns null (with
+/// \p FailReason set, if given) when the backend cannot emit on this
+/// host/build — the caller falls back to the linear tier.
+std::unique_ptr<NativeCode> emitNativeCode(const LinearCode &L,
+                                           CodeCache &Cache,
+                                           std::string *FailReason = nullptr);
+
+} // namespace jvm
+
+#endif // JVM_JIT_NATIVECODE_H

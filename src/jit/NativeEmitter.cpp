@@ -1,0 +1,697 @@
+//===- NativeEmitter.cpp - Copy-and-patch x86-64 over linear code --------------===//
+///
+/// Maps each LOp of a method's linear stream to a pre-baked x86-64
+/// template and patches the variable parts: register-frame slot
+/// displacements, pooled constants (imm64), intra-method branch targets
+/// (rel32 against the per-instruction native-offset table) and helper /
+/// side-table addresses (imm64). Register conventions inside a method:
+///
+///   rbx  register-frame base (Value* — GC-rooted, stable)   callee-saved
+///   r12  NativeContext*                                     callee-saved
+///   r13  &per-call ops counter                              callee-saved
+///   rax, rcx, rdx, xmm0   template scratch
+///
+/// Values are never cached in machine registers across a helper call:
+/// anything the GC must see lives in the rooted frame, and collections
+/// can only start inside helpers, so a raw object pointer loaded by a
+/// template is dead again before any safepoint can move the object.
+///
+/// Every template begins by bumping the ops counter through r13, so
+/// native execution reports the exact instruction counts of the linear
+/// dispatcher (the differential oracle compares them).
+///
+//===----------------------------------------------------------------------===//
+
+#include "jit/NativeCode.h"
+#include "jit/NativeHelpers.h"
+#include "jit/NativeLayout.h"
+
+#include <chrono>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+using namespace jvm;
+
+bool jvm::nativeBackendSupported() {
+#if defined(JVM_ENABLE_NATIVE) && JVM_ENABLE_NATIVE && defined(__x86_64__) && \
+    (defined(__unix__) || defined(__APPLE__))
+  return true;
+#else
+  return false;
+#endif
+}
+
+#if defined(JVM_ENABLE_NATIVE) && JVM_ENABLE_NATIVE && defined(__x86_64__) && \
+    (defined(__unix__) || defined(__APPLE__))
+
+namespace {
+
+/// x86 condition-code nibbles (used in 0F 8x jcc and 0F 9x setcc).
+enum Cc : uint8_t {
+  CcB = 0x2,  ///< unsigned <
+  CcAe = 0x3, ///< unsigned >=
+  CcE = 0x4,
+  CcNe = 0x5,
+  CcL = 0xC, ///< signed <
+  CcLe = 0xE,
+};
+
+class Emitter {
+public:
+  Emitter(const LinearCode &L, const NativeCode *NC, Value *MoveScratch)
+      : L(L), NC(NC), Scratch(MoveScratch) {}
+
+  bool run(std::string *Why);
+  const std::vector<uint8_t> &code() const { return B; }
+
+private:
+  // --- raw byte plumbing -------------------------------------------------
+  void u8(uint8_t X) { B.push_back(X); }
+  void u32(uint32_t X) {
+    for (int K = 0; K != 4; ++K)
+      B.push_back(static_cast<uint8_t>(X >> (8 * K)));
+  }
+  void u64(uint64_t X) {
+    for (int K = 0; K != 8; ++K)
+      B.push_back(static_cast<uint8_t>(X >> (8 * K)));
+  }
+  size_t pos() const { return B.size(); }
+  void patch32(size_t At, int32_t V) { std::memcpy(&B[At], &V, 4); }
+
+  // --- branch bookkeeping ------------------------------------------------
+  /// Where a pending rel32 resolves to once all offsets are known.
+  enum class Target : uint8_t { Inst, Epilogue, TrapNull, TrapOob };
+  struct Fixup {
+    size_t Rel32At;
+    Target T;
+    uint32_t Pc; ///< for Target::Inst
+  };
+
+  /// jcc rel32 to a not-yet-known target.
+  void jcc(Cc C, Target T, uint32_t Pc = 0) {
+    u8(0x0F);
+    u8(static_cast<uint8_t>(0x80 | C));
+    Fixups.push_back({pos(), T, Pc});
+    u32(0);
+  }
+  void jmp(Target T, uint32_t Pc = 0) {
+    u8(0xE9);
+    Fixups.push_back({pos(), T, Pc});
+    u32(0);
+  }
+  /// Intra-template forward jump: returns the rel32 position to bind().
+  size_t jccLocal(Cc C) {
+    u8(0x0F);
+    u8(static_cast<uint8_t>(0x80 | C));
+    size_t At = pos();
+    u32(0);
+    return At;
+  }
+  size_t jmpLocal() {
+    u8(0xE9);
+    size_t At = pos();
+    u32(0);
+    return At;
+  }
+  void bind(size_t Rel32At) {
+    patch32(Rel32At, static_cast<int32_t>(pos() - (Rel32At + 4)));
+  }
+
+  // --- frame accessors (rbx = Value* frame base) -------------------------
+  static int32_t tagDisp(uint32_t Vr) {
+    return static_cast<int32_t>(Vr * NativeLayout::ValueSize +
+                                NativeLayout::ValueTag);
+  }
+  static int32_t payDisp(uint32_t Vr) {
+    return static_cast<int32_t>(Vr * NativeLayout::ValueSize +
+                                NativeLayout::ValuePayload);
+  }
+
+  /// mov <r64>, qword [rbx+disp32] — R is the 0..2 encoding of rax/rcx/rdx.
+  void loadPay(uint8_t R, uint32_t Vr) {
+    u8(0x48);
+    u8(0x8B);
+    u8(static_cast<uint8_t>(0x83 | (R << 3)));
+    u32(static_cast<uint32_t>(payDisp(Vr)));
+  }
+  /// mov qword [rbx+disp32], <r64>
+  void storePay(uint8_t R, uint32_t Vr) {
+    u8(0x48);
+    u8(0x89);
+    u8(static_cast<uint8_t>(0x83 | (R << 3)));
+    u32(static_cast<uint32_t>(payDisp(Vr)));
+  }
+  /// mov byte [rbx+disp32], tag
+  void storeTag(uint32_t Vr, ValueType Ty) {
+    u8(0xC6);
+    u8(0x83);
+    u32(static_cast<uint32_t>(tagDisp(Vr)));
+    u8(static_cast<uint8_t>(Ty));
+  }
+  /// movups xmm0, [rbx+disp32] — whole 16-byte slot (tag + payload).
+  void loadSlot(uint32_t Vr) {
+    u8(0x0F);
+    u8(0x10);
+    u8(0x83);
+    u32(static_cast<uint32_t>(Vr * NativeLayout::ValueSize));
+  }
+  /// movups [rbx+disp32], xmm0
+  void storeSlot(uint32_t Vr) {
+    u8(0x0F);
+    u8(0x11);
+    u8(0x83);
+    u32(static_cast<uint32_t>(Vr * NativeLayout::ValueSize));
+  }
+
+  // --- misc encodings ----------------------------------------------------
+  void incOps() { // inc qword [r13] — one linear instruction executed
+    u8(0x49);
+    u8(0xFF);
+    u8(0x45);
+    u8(0x00);
+  }
+  void movRaxImm64(uint64_t V) {
+    u8(0x48);
+    u8(0xB8);
+    u64(V);
+  }
+  void testRaxRax() {
+    u8(0x48);
+    u8(0x85);
+    u8(0xC0);
+  }
+  /// Loads the object's slot count: mov edx, dword [rax+NumSlots].
+  void loadNumSlotsEdx() {
+    u8(0x8B);
+    u8(0x50);
+    u8(static_cast<uint8_t>(NativeLayout::ObjectNumSlots));
+  }
+  void setccMovzxRax(Cc C) { // setcc al; movzx eax, al
+    u8(0x0F);
+    u8(static_cast<uint8_t>(0x90 | C));
+    u8(0xC0);
+    u8(0x0F);
+    u8(0xB6);
+    u8(0xC0);
+  }
+
+  /// The uniform call-out: mov rdi,r12; mov rsi,rbx; mov rdx,imm64(NC);
+  /// mov ecx,imm32; mov rax,imm64(helper); call rax. Stack is 16-aligned
+  /// here (entry rsp%16==8, prologue pushed three words).
+  void callHelper(const void *Fn, uint32_t Imm) {
+    u8(0x4C);
+    u8(0x89);
+    u8(0xE7); // mov rdi, r12
+    u8(0x48);
+    u8(0x89);
+    u8(0xDE); // mov rsi, rbx
+    u8(0x48);
+    u8(0xBA); // mov rdx, imm64
+    u64(reinterpret_cast<uint64_t>(NC));
+    u8(0xB9); // mov ecx, imm32
+    u32(Imm);
+    movRaxImm64(reinterpret_cast<uint64_t>(Fn));
+    u8(0xFF);
+    u8(0xD0); // call rax
+  }
+
+  /// Null check on the object pointer in rax.
+  void trapIfRaxNull() {
+    testRaxRax();
+    jcc(CcE, Target::TrapNull);
+  }
+
+  void emitArith(ArithKind Op);
+  bool emitInst(uint32_t Pc, const LInst &I, std::string *Why);
+
+  const LinearCode &L;
+  const NativeCode *NC;
+  Value *Scratch;
+  std::vector<uint8_t> B;
+  std::vector<size_t> InstOff;
+  std::vector<Fixup> Fixups;
+  size_t EpilogueOff = 0;
+  size_t TrapNullOff = 0;
+  size_t TrapOobOff = 0;
+};
+
+void Emitter::emitArith(ArithKind Op) {
+  // Operands: rax = X, rcx = Y; result must end in rax. Semantics are
+  // applyArith's exactly — including the div/rem guards for Y == 0 and
+  // Y == -1, which idiv would fault on (#DE) instead of wrapping.
+  switch (Op) {
+  case ArithKind::Add:
+    u8(0x48);
+    u8(0x01);
+    u8(0xC8); // add rax, rcx
+    return;
+  case ArithKind::Sub:
+    u8(0x48);
+    u8(0x29);
+    u8(0xC8); // sub rax, rcx
+    return;
+  case ArithKind::Mul:
+    u8(0x48);
+    u8(0x0F);
+    u8(0xAF);
+    u8(0xC1); // imul rax, rcx
+    return;
+  case ArithKind::And:
+    u8(0x48);
+    u8(0x21);
+    u8(0xC8);
+    return;
+  case ArithKind::Or:
+    u8(0x48);
+    u8(0x09);
+    u8(0xC8);
+    return;
+  case ArithKind::Xor:
+    u8(0x48);
+    u8(0x31);
+    u8(0xC8);
+    return;
+  case ArithKind::Shl:
+    u8(0x48);
+    u8(0xD3);
+    u8(0xE0); // shl rax, cl (hardware masks cl to 6 bits = Y & 63)
+    return;
+  case ArithKind::Shr:
+    u8(0x48);
+    u8(0xD3);
+    u8(0xF8); // sar rax, cl
+    return;
+  case ArithKind::Div: {
+    u8(0x48);
+    u8(0x85);
+    u8(0xC9); // test rcx, rcx
+    size_t Zero = jccLocal(CcE);
+    u8(0x48);
+    u8(0x83);
+    u8(0xF9);
+    u8(0xFF); // cmp rcx, -1
+    size_t Neg = jccLocal(CcE);
+    u8(0x48);
+    u8(0x99); // cqo
+    u8(0x48);
+    u8(0xF7);
+    u8(0xF9); // idiv rcx
+    size_t Done1 = jmpLocal();
+    bind(Neg);
+    u8(0x48);
+    u8(0xF7);
+    u8(0xD8); // neg rax (wrapping 0 - X)
+    size_t Done2 = jmpLocal();
+    bind(Zero);
+    u8(0x31);
+    u8(0xC0); // xor eax, eax
+    bind(Done1);
+    bind(Done2);
+    return;
+  }
+  case ArithKind::Rem: {
+    u8(0x48);
+    u8(0x85);
+    u8(0xC9); // test rcx, rcx
+    size_t Zero = jccLocal(CcE);
+    u8(0x48);
+    u8(0x83);
+    u8(0xF9);
+    u8(0xFF); // cmp rcx, -1
+    size_t One = jccLocal(CcE);
+    u8(0x48);
+    u8(0x99); // cqo
+    u8(0x48);
+    u8(0xF7);
+    u8(0xF9); // idiv rcx
+    u8(0x48);
+    u8(0x89);
+    u8(0xD0); // mov rax, rdx (remainder)
+    size_t Done = jmpLocal();
+    bind(Zero);
+    bind(One);
+    u8(0x31);
+    u8(0xC0); // xor eax, eax
+    bind(Done);
+    return;
+  }
+  }
+  jvm_unreachable("unknown arithmetic kind");
+}
+
+bool Emitter::emitInst(uint32_t Pc, const LInst &I, std::string *Why) {
+  incOps();
+  switch (I.Op) {
+  case LOp::ConstInt:
+    movRaxImm64(static_cast<uint64_t>(L.IntPool[I.A]));
+    storeTag(I.Dst, ValueType::Int);
+    storePay(0, I.Dst);
+    return true;
+
+  case LOp::ConstNull:
+    storeTag(I.Dst, ValueType::Ref);
+    u8(0x48);
+    u8(0xC7);
+    u8(0x83); // mov qword [rbx+disp32], 0
+    u32(static_cast<uint32_t>(payDisp(I.Dst)));
+    u32(0);
+    return true;
+
+  case LOp::Arith:
+    loadPay(0, I.A); // rax = X
+    loadPay(1, I.B); // rcx = Y
+    emitArith(static_cast<ArithKind>(I.Sub));
+    storeTag(I.Dst, ValueType::Int);
+    storePay(0, I.Dst);
+    return true;
+
+  case LOp::Compare: {
+    switch (static_cast<CmpKind>(I.Sub)) {
+    case CmpKind::IsNull:
+      loadPay(0, I.A);
+      testRaxRax();
+      setccMovzxRax(CcE);
+      break;
+    case CmpKind::IntEq:
+    case CmpKind::RefEq:
+      loadPay(0, I.A);
+      loadPay(1, I.B);
+      u8(0x48);
+      u8(0x39);
+      u8(0xC8); // cmp rax, rcx
+      setccMovzxRax(CcE);
+      break;
+    case CmpKind::IntLt:
+      loadPay(0, I.A);
+      loadPay(1, I.B);
+      u8(0x48);
+      u8(0x39);
+      u8(0xC8);
+      setccMovzxRax(CcL);
+      break;
+    case CmpKind::IntLe:
+      loadPay(0, I.A);
+      loadPay(1, I.B);
+      u8(0x48);
+      u8(0x39);
+      u8(0xC8);
+      setccMovzxRax(CcLe);
+      break;
+    default:
+      if (Why)
+        *Why = "unknown compare kind";
+      return false;
+    }
+    storeTag(I.Dst, ValueType::Int);
+    storePay(0, I.Dst);
+    return true;
+  }
+
+  case LOp::Branch:
+    // cmp qword [rbx + A.payload], 0
+    u8(0x48);
+    u8(0x83);
+    u8(0xBB);
+    u32(static_cast<uint32_t>(payDisp(I.A)));
+    u8(0x00);
+    if (I.B == Pc + 1) {
+      jcc(CcE, Target::Inst, I.C); // fall through to the true target
+    } else {
+      jcc(CcNe, Target::Inst, I.B);
+      if (I.C != Pc + 1)
+        jmp(Target::Inst, I.C);
+    }
+    return true;
+
+  case LOp::Jump: {
+    const LinearCode::MoveList &ML = L.MoveLists[I.B];
+    const LinearCode::PhiMove *Mv = L.Moves.data() + ML.First;
+    if (ML.Count == 1) {
+      // A single move cannot self-interfere; copy directly.
+      loadSlot(Mv[0].Src);
+      storeSlot(Mv[0].Dst);
+    } else if (ML.Count > 1) {
+      // Parallel semantics via the per-code staging buffer (rdx): all
+      // sources out first, then all destinations — phis may permute.
+      u8(0x48);
+      u8(0xBA); // mov rdx, imm64(scratch)
+      u64(reinterpret_cast<uint64_t>(Scratch));
+      for (uint32_t K = 0; K != ML.Count; ++K) {
+        loadSlot(Mv[K].Src);
+        u8(0x0F);
+        u8(0x11);
+        u8(0x82); // movups [rdx+disp32], xmm0
+        u32(static_cast<uint32_t>(K * NativeLayout::ValueSize));
+      }
+      for (uint32_t K = 0; K != ML.Count; ++K) {
+        u8(0x0F);
+        u8(0x10);
+        u8(0x82); // movups xmm0, [rdx+disp32]
+        u32(static_cast<uint32_t>(K * NativeLayout::ValueSize));
+        storeSlot(Mv[K].Dst);
+      }
+    }
+    if (I.A != Pc + 1)
+      jmp(Target::Inst, I.A);
+    return true;
+  }
+
+  case LOp::Ret:
+    // Return the full Value in rax:rdx (tag word, payload word).
+    u8(0x0F);
+    u8(0xB6);
+    u8(0x83); // movzx eax, byte [rbx + A.tag]
+    u32(static_cast<uint32_t>(tagDisp(I.A)));
+    u8(0x48);
+    u8(0x8B);
+    u8(0x93); // mov rdx, [rbx + A.payload]
+    u32(static_cast<uint32_t>(payDisp(I.A)));
+    jmp(Target::Epilogue);
+    return true;
+
+  case LOp::RetVoid:
+    u8(0x31);
+    u8(0xC0); // xor eax, eax (ValueType::Void)
+    u8(0x31);
+    u8(0xD2); // xor edx, edx
+    jmp(Target::Epilogue);
+    return true;
+
+  case LOp::LoadField:
+    loadPay(0, I.A);
+    trapIfRaxNull();
+    u8(0x0F);
+    u8(0x10);
+    u8(0x80); // movups xmm0, [rax+disp32]
+    u32(static_cast<uint32_t>(NativeLayout::ObjectSlots +
+                              I.B * NativeLayout::ValueSize));
+    storeSlot(I.Dst);
+    return true;
+
+  case LOp::StoreField:
+    loadPay(0, I.A);
+    trapIfRaxNull();
+    loadSlot(I.C);
+    u8(0x0F);
+    u8(0x11);
+    u8(0x80); // movups [rax+disp32], xmm0
+    u32(static_cast<uint32_t>(NativeLayout::ObjectSlots +
+                              I.B * NativeLayout::ValueSize));
+    return true;
+
+  case LOp::LoadIndexed:
+  case LOp::StoreIndexed:
+    loadPay(0, I.A); // rax = array
+    trapIfRaxNull();
+    loadPay(1, I.B); // rcx = index
+    loadNumSlotsEdx();
+    u8(0x48);
+    u8(0x39);
+    u8(0xD1); // cmp rcx, rdx — unsigned: negative indexes are huge
+    jcc(CcAe, Target::TrapOob);
+    u8(0x48);
+    u8(0xC1);
+    u8(0xE1);
+    u8(0x04); // shl rcx, 4 (index -> slot byte offset)
+    if (I.Op == LOp::LoadIndexed) {
+      u8(0x0F);
+      u8(0x10);
+      u8(0x44);
+      u8(0x08); // movups xmm0, [rax+rcx+slots]
+      u8(static_cast<uint8_t>(NativeLayout::ObjectSlots));
+      storeSlot(I.Dst);
+    } else {
+      loadSlot(I.C);
+      u8(0x0F);
+      u8(0x11);
+      u8(0x44);
+      u8(0x08); // movups [rax+rcx+slots], xmm0
+      u8(static_cast<uint8_t>(NativeLayout::ObjectSlots));
+    }
+    return true;
+
+  case LOp::ArrayLength:
+    loadPay(0, I.A);
+    trapIfRaxNull();
+    u8(0x8B);
+    u8(0x40); // mov eax, dword [rax+NumSlots] (zero-extends)
+    u8(static_cast<uint8_t>(NativeLayout::ObjectNumSlots));
+    storeTag(I.Dst, ValueType::Int);
+    storePay(0, I.Dst);
+    return true;
+
+  // Allocation, statics, monitors, calls and the PEA commit/deopt paths
+  // go through the uniform helper template: the C++ side re-reads the
+  // LInst and shares the linear tier's implementation (and safety net)
+  // verbatim.
+  case LOp::NewInstance:
+    callHelper(reinterpret_cast<const void *>(&jvmNativeNewInstance), Pc);
+    return true;
+  case LOp::NewArray:
+    callHelper(reinterpret_cast<const void *>(&jvmNativeNewArray), Pc);
+    return true;
+  case LOp::LoadStatic:
+    callHelper(reinterpret_cast<const void *>(&jvmNativeLoadStatic), Pc);
+    return true;
+  case LOp::StoreStatic:
+    callHelper(reinterpret_cast<const void *>(&jvmNativeStoreStatic), Pc);
+    return true;
+  case LOp::MonitorEnter:
+    callHelper(reinterpret_cast<const void *>(&jvmNativeMonitorEnter), Pc);
+    return true;
+  case LOp::MonitorExit:
+    callHelper(reinterpret_cast<const void *>(&jvmNativeMonitorExit), Pc);
+    return true;
+  case LOp::InstanceOf:
+    callHelper(reinterpret_cast<const void *>(&jvmNativeInstanceOf), Pc);
+    return true;
+  case LOp::Invoke:
+    callHelper(reinterpret_cast<const void *>(&jvmNativeInvoke), Pc);
+    return true;
+  case LOp::Materialize:
+    callHelper(reinterpret_cast<const void *>(&jvmNativeMaterialize), Pc);
+    return true;
+
+  case LOp::Deopt:
+    // The helper rebuilds the DeoptRequest from the shared side tables
+    // and returns the interpreter's result in rax:rdx — forward it.
+    callHelper(reinterpret_cast<const void *>(&jvmNativeDeopt), Pc);
+    jmp(Target::Epilogue);
+    return true;
+
+  case LOp::Trap:
+    callHelper(reinterpret_cast<const void *>(&jvmNativeTrap), 2);
+    u8(0x0F);
+    u8(0x0B); // ud2 — the helper never returns
+    return true;
+  }
+  if (Why)
+    *Why = "linear opcode without a native template";
+  return false;
+}
+
+bool Emitter::run(std::string *Why) {
+  // All frame accesses use disp32; an absurdly large frame would wrap.
+  if (static_cast<uint64_t>(L.numRegs()) * NativeLayout::ValueSize >
+      static_cast<uint64_t>(std::numeric_limits<int32_t>::max()) / 2) {
+    if (Why)
+      *Why = "register frame too large for disp32 addressing";
+    return false;
+  }
+
+  // Prologue: save rbx/r12/r13 (rsp: 8 -> 32 mod 16 == 0, so helper
+  // call sites meet the ABI's 16-byte alignment with no extra padding),
+  // then establish the method-wide registers.
+  u8(0x53); // push rbx
+  u8(0x41);
+  u8(0x54); // push r12
+  u8(0x41);
+  u8(0x55); // push r13
+  u8(0x49);
+  u8(0x89);
+  u8(0xFC); // mov r12, rdi (context)
+  u8(0x48);
+  u8(0x89);
+  u8(0xF3); // mov rbx, rsi (frame)
+  u8(0x4C);
+  u8(0x8B);
+  u8(0x6F); // mov r13, [rdi + Ops]
+  u8(static_cast<uint8_t>(offsetof(NativeContext, Ops)));
+
+  InstOff.resize(L.Insts.size());
+  for (uint32_t Pc = 0; Pc != L.Insts.size(); ++Pc) {
+    InstOff[Pc] = pos();
+    if (!emitInst(Pc, L.Insts[Pc], Why))
+      return false;
+  }
+
+  EpilogueOff = pos();
+  u8(0x41);
+  u8(0x5D); // pop r13
+  u8(0x41);
+  u8(0x5C); // pop r12
+  u8(0x5B); // pop rbx
+  u8(0xC3); // ret
+
+  // Shared trap exits; reached from any failed null/bounds check.
+  TrapNullOff = pos();
+  callHelper(reinterpret_cast<const void *>(&jvmNativeTrap), 0);
+  u8(0x0F);
+  u8(0x0B);
+  TrapOobOff = pos();
+  callHelper(reinterpret_cast<const void *>(&jvmNativeTrap), 1);
+  u8(0x0F);
+  u8(0x0B);
+
+  for (const Fixup &F : Fixups) {
+    size_t To = F.T == Target::Inst       ? InstOff[F.Pc]
+                : F.T == Target::Epilogue ? EpilogueOff
+                : F.T == Target::TrapNull ? TrapNullOff
+                                          : TrapOobOff;
+    patch32(F.Rel32At,
+            static_cast<int32_t>(static_cast<int64_t>(To) -
+                                 static_cast<int64_t>(F.Rel32At + 4)));
+  }
+  return true;
+}
+
+} // namespace
+
+std::unique_ptr<NativeCode> jvm::emitNativeCode(const LinearCode &L,
+                                                CodeCache &Cache,
+                                                std::string *Why) {
+  auto Start = std::chrono::steady_clock::now();
+  std::unique_ptr<NativeCode> N(new NativeCode(L, Cache));
+  if (L.maxMoves() > 0)
+    N->MoveScratch = std::make_unique<Value[]>(L.maxMoves());
+  Emitter E(L, N.get(), N->MoveScratch.get());
+  if (!E.run(Why))
+    return nullptr;
+  N->Span = Cache.install(E.code().data(), E.code().size());
+  if (!N->Span) {
+    if (Why)
+      *Why = "executable memory unavailable";
+    return nullptr;
+  }
+  N->Entry = reinterpret_cast<NativeCode::EntryFn>(N->Span.Ptr);
+  N->EmitNanos = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - Start)
+          .count());
+  return N;
+}
+
+#else // stub backend: keeps non-x86-64 builds green
+
+std::unique_ptr<NativeCode> jvm::emitNativeCode(const LinearCode &L,
+                                                CodeCache &Cache,
+                                                std::string *Why) {
+  (void)L;
+  (void)Cache;
+  if (Why)
+    *Why = "native backend not built for this host";
+  return nullptr;
+}
+
+#endif

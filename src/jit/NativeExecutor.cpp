@@ -1,0 +1,156 @@
+//===- NativeExecutor.cpp - Native frames and the helper symbols ---------------===//
+
+#include "jit/NativeExecutor.h"
+
+#include "jit/NativeHelpers.h"
+
+#include <cassert>
+
+using namespace jvm;
+
+NativeExecutor::NativeExecutor(Runtime &RT, CallHandler CallFn,
+                               DeoptHandlerFn DeoptFn)
+    : RT(RT), Call(std::move(CallFn)), Deopt(std::move(DeoptFn)),
+      Ctx{&RT, this, &LocalOps} {
+  // The pooled frames of all active native activations are GC roots for
+  // the lifetime of the executor; the visitor updates slots in place
+  // when a collection moves objects (frames above Depth are stale and
+  // cleared before reuse, so they are deliberately not visited).
+  RootToken = RT.heap().addRootProvider([this](const RootVisitor &Visit) {
+    for (unsigned D = 0; D != Depth; ++D)
+      for (Value &V : *FramePool[D])
+        Visit(V);
+  });
+}
+
+NativeExecutor::~NativeExecutor() { RT.heap().removeRootProvider(RootToken); }
+
+Value NativeExecutor::execute(const NativeCode &N,
+                              const std::vector<Value> &Args) {
+  ++RT.metrics().CompiledCalls;
+  assert(Args.size() == N.numParams() && "argument count mismatch");
+  assert(N.entry() && "executing native code that was never installed");
+  if (Depth == FramePool.size())
+    FramePool.push_back(std::make_unique<std::vector<Value>>());
+  std::vector<Value> &R = *FramePool[Depth];
+  R.assign(N.numRegs(), Value());
+  for (unsigned I = 0, E = N.numParams(); I != E; ++I)
+    R[I] = Args[I];
+  ++Depth;
+  Value Result = N.entry()(&Ctx, R.data());
+  --Depth;
+  if (Depth == 0) {
+    RT.metrics().CompiledOps += LocalOps;
+    LocalOps = 0;
+  }
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Helper symbols — the C entry points of the machine-code templates.
+// Uniform shape: re-read the calling LInst from the shared LinearCode
+// tables and perform exactly what the linear dispatcher would.
+//===----------------------------------------------------------------------===//
+
+namespace {
+const LInst &instAt(const jvm::NativeCode *N, uint32_t Pc) {
+  return N->linear().Insts[Pc];
+}
+} // namespace
+
+extern "C" void jvmNativeNewInstance(NativeContext *C, Value *R,
+                                     const NativeCode *N, uint32_t Pc) {
+  const LInst &I = instAt(N, Pc);
+  R[I.Dst] =
+      Value::makeRef(C->RT->allocateInstance(static_cast<ClassId>(I.A)));
+}
+
+extern "C" void jvmNativeNewArray(NativeContext *C, Value *R,
+                                  const NativeCode *N, uint32_t Pc) {
+  const LInst &I = instAt(N, Pc);
+  R[I.Dst] = Value::makeRef(C->RT->heap().allocateArray(
+      static_cast<ValueType>(I.Sub), R[I.A].asInt()));
+}
+
+extern "C" void jvmNativeLoadStatic(NativeContext *C, Value *R,
+                                    const NativeCode *N, uint32_t Pc) {
+  const LInst &I = instAt(N, Pc);
+  R[I.Dst] = C->RT->getStatic(static_cast<StaticIndex>(I.A));
+}
+
+extern "C" void jvmNativeStoreStatic(NativeContext *C, Value *R,
+                                     const NativeCode *N, uint32_t Pc) {
+  const LInst &I = instAt(N, Pc);
+  C->RT->setStatic(static_cast<StaticIndex>(I.A), R[I.B]);
+}
+
+extern "C" void jvmNativeMonitorEnter(NativeContext *C, Value *R,
+                                      const NativeCode *N, uint32_t Pc) {
+  const LInst &I = instAt(N, Pc);
+  HeapObject *O = R[I.A].asRef();
+  if (!O)
+    reportCompiledTrap(N->method(), "null dereference");
+  C->RT->monitorEnter(O);
+}
+
+extern "C" void jvmNativeMonitorExit(NativeContext *C, Value *R,
+                                     const NativeCode *N, uint32_t Pc) {
+  const LInst &I = instAt(N, Pc);
+  HeapObject *O = R[I.A].asRef();
+  if (!O)
+    reportCompiledTrap(N->method(), "null dereference");
+  C->RT->monitorExit(O);
+}
+
+extern "C" void jvmNativeInstanceOf(NativeContext *C, Value *R,
+                                    const NativeCode *N, uint32_t Pc) {
+  const LInst &I = instAt(N, Pc);
+  HeapObject *O = R[I.A].asRef();
+  ClassId Cls = static_cast<ClassId>(I.B);
+  bool Is = O && !O->isArray() &&
+            (I.Sub ? O->objectClass() == Cls
+                   : C->RT->program().isSubclassOf(O->objectClass(), Cls));
+  R[I.Dst] = Value::makeInt(Is ? 1 : 0);
+}
+
+extern "C" void jvmNativeInvoke(NativeContext *C, Value *R,
+                                const NativeCode *N, uint32_t Pc) {
+  const LinearCode &L = N->linear();
+  const LInst &I = L.Insts[Pc];
+  const LinearCode::CallDesc &D = L.Calls[I.A];
+  std::vector<Value> CallArgs(D.NumArgs);
+  const uint32_t *AR = L.CallArgRegs.data() + D.FirstArg;
+  for (uint32_t K = 0; K != D.NumArgs; ++K)
+    CallArgs[K] = R[AR[K]];
+  MethodId Target = D.Callee;
+  if (D.Kind == CallKind::Virtual) {
+    HeapObject *Receiver = CallArgs[0].asRef();
+    if (!Receiver)
+      reportCompiledTrap(L.method(), "null receiver");
+    Target = C->RT->program().resolveVirtual(D.Callee, Receiver->objectClass());
+  }
+  R[I.Dst] = C->Exec->callHandler()(Target, std::move(CallArgs));
+}
+
+extern "C" void jvmNativeMaterialize(NativeContext *C, Value *R,
+                                     const NativeCode *N, uint32_t Pc) {
+  const LinearCode &L = N->linear();
+  const LInst &I = L.Insts[Pc];
+  runMaterialize(*C->RT, L, L.Mats[I.A], R, C->Exec->matScratch());
+}
+
+extern "C" Value jvmNativeDeopt(NativeContext *C, Value *R,
+                                const NativeCode *N, uint32_t Pc) {
+  const LinearCode &L = N->linear();
+  const LInst &I = L.Insts[Pc];
+  return runDeopt(*C->RT, L, L.Deopts[I.A], R, C->Exec->deoptHandler());
+}
+
+extern "C" void jvmNativeTrap(NativeContext *C, Value *R, const NativeCode *N,
+                              uint32_t Kind) {
+  (void)C;
+  (void)R;
+  reportCompiledTrap(N->method(), Kind == 0   ? "null dereference"
+                                  : Kind == 1 ? "array index out of bounds"
+                                              : "unreachable code executed");
+}

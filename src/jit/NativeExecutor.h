@@ -1,0 +1,59 @@
+//===- NativeExecutor.h - Frame management for native activations ---*- C++ -*-===//
+///
+/// \file
+/// Runs installed NativeCode against the runtime. The executor owns
+/// what the machine code cannot: GC-rooted register frames (pooled per
+/// recursion depth, exactly like the LinearExecutor — the frame's data
+/// pointer is handed to the entry function in rsi and stays stable for
+/// the whole activation because collections only start inside helpers,
+/// which never touch the pool), the call/deopt handlers the helper
+/// symbols dispatch through, and the per-top-level-call ops counter
+/// that templates bump via r13.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_JIT_NATIVEEXECUTOR_H
+#define JVM_JIT_NATIVEEXECUTOR_H
+
+#include "jit/NativeCode.h"
+
+#include <memory>
+#include <vector>
+
+namespace jvm {
+
+class NativeExecutor {
+public:
+  NativeExecutor(Runtime &RT, CallHandler CallFn, DeoptHandlerFn DeoptFn);
+  ~NativeExecutor();
+
+  /// Executes \p N with \p Args; returns the method result.
+  Value execute(const NativeCode &N, const std::vector<Value> &Args);
+
+  // Accessors for the extern "C" helper symbols (NativeExecutor.cpp);
+  // not meant for general use.
+  const CallHandler &callHandler() const { return Call; }
+  const DeoptHandlerFn &deoptHandler() const { return Deopt; }
+  std::vector<Value> &matScratch() { return MatScratch; }
+
+private:
+  Runtime &RT;
+  CallHandler Call;
+  DeoptHandlerFn Deopt;
+  NativeContext Ctx;
+  /// Register frames by recursion depth; entries stay allocated between
+  /// calls (cleared on reuse) so steady-state execution never mallocs.
+  std::vector<std::unique_ptr<std::vector<Value>>> FramePool;
+  unsigned Depth = 0;
+  /// Instructions executed since the outermost native entry; flushed to
+  /// the shared RuntimeMetrics block when Depth returns to zero (the
+  /// same once-per-run accounting the linear dispatcher uses).
+  uint64_t LocalOps = 0;
+  /// Materialize staging (rooted by runMaterialize while in use).
+  std::vector<Value> MatScratch;
+  uint64_t RootToken = 0;
+};
+
+} // namespace jvm
+
+#endif // JVM_JIT_NATIVEEXECUTOR_H

@@ -1,0 +1,53 @@
+//===- NativeHelpers.h - Runtime entry points of native templates ---*- C++ -*-===//
+///
+/// \file
+/// The C symbols native code calls back into. Templates pass the same
+/// four SysV arguments everywhere — context (r12), register frame
+/// (rbx), the NativeCode being executed and the pc of the calling
+/// instruction — and each helper re-reads its LInst from the shared
+/// LinearCode tables, so the machine code itself carries no per-opcode
+/// operand plumbing beyond the patch sites. Defined in
+/// NativeExecutor.cpp; declared here for the emitter to take addresses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_JIT_NATIVEHELPERS_H
+#define JVM_JIT_NATIVEHELPERS_H
+
+#include "jit/NativeCode.h"
+
+#include <cstdint>
+
+extern "C" {
+
+void jvmNativeNewInstance(jvm::NativeContext *C, jvm::Value *R,
+                          const jvm::NativeCode *N, uint32_t Pc);
+void jvmNativeNewArray(jvm::NativeContext *C, jvm::Value *R,
+                       const jvm::NativeCode *N, uint32_t Pc);
+void jvmNativeLoadStatic(jvm::NativeContext *C, jvm::Value *R,
+                         const jvm::NativeCode *N, uint32_t Pc);
+void jvmNativeStoreStatic(jvm::NativeContext *C, jvm::Value *R,
+                          const jvm::NativeCode *N, uint32_t Pc);
+void jvmNativeMonitorEnter(jvm::NativeContext *C, jvm::Value *R,
+                           const jvm::NativeCode *N, uint32_t Pc);
+void jvmNativeMonitorExit(jvm::NativeContext *C, jvm::Value *R,
+                          const jvm::NativeCode *N, uint32_t Pc);
+void jvmNativeInstanceOf(jvm::NativeContext *C, jvm::Value *R,
+                         const jvm::NativeCode *N, uint32_t Pc);
+void jvmNativeInvoke(jvm::NativeContext *C, jvm::Value *R,
+                     const jvm::NativeCode *N, uint32_t Pc);
+void jvmNativeMaterialize(jvm::NativeContext *C, jvm::Value *R,
+                          const jvm::NativeCode *N, uint32_t Pc);
+/// Rebuilds the DeoptRequest through the shared runDeopt path and runs
+/// the VM's deopt handler; the template forwards the returned Value
+/// (rax:rdx) straight to the method epilogue.
+jvm::Value jvmNativeDeopt(jvm::NativeContext *C, jvm::Value *R,
+                          const jvm::NativeCode *N, uint32_t Pc);
+/// Kind: 0 = null dereference, 1 = array index out of bounds,
+/// 2 = unreachable code executed. Fatal, like the linear tier's traps.
+[[noreturn]] void jvmNativeTrap(jvm::NativeContext *C, jvm::Value *R,
+                                const jvm::NativeCode *N, uint32_t Kind);
+
+} // extern "C"
+
+#endif // JVM_JIT_NATIVEHELPERS_H

@@ -1,0 +1,53 @@
+//===- NativeLayout.h - Object/Value offsets baked into templates --.-*- C++ -*-===//
+///
+/// \file
+/// The copy-and-patch emitter hard-codes a handful of byte offsets into
+/// its x86-64 templates: where a Value's tag and payload live inside a
+/// register-frame slot, and where an object's slot array and length
+/// field live relative to its header. This struct is the single point
+/// where those numbers are derived from the real C++ layouts (it is a
+/// friend of Value and HeapObject), with static_asserts so a layout
+/// change breaks the build instead of the generated code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_JIT_NATIVELAYOUT_H
+#define JVM_JIT_NATIVELAYOUT_H
+
+#include "memory/Object.h"
+#include "runtime/Value.h"
+
+#include <cstddef>
+
+namespace jvm {
+
+struct NativeLayout {
+  // One register-frame slot is one Value: tag byte first, 8-byte
+  // payload word (int or object pointer) second.
+  static constexpr size_t ValueSize = sizeof(Value);
+  static constexpr size_t ValueTag = offsetof(Value, Ty);
+  static constexpr size_t ValuePayload = offsetof(Value, I);
+
+  // Heap objects: fixed header, then NumSlots inline Value slots.
+  static constexpr size_t ObjectNumSlots = offsetof(HeapObject, NumSlots);
+  static constexpr size_t ObjectSlots = sizeof(HeapObject);
+
+  // Inside the struct so the friendship covers the private-member
+  // offsetof expressions.
+  static_assert(sizeof(Value) == 16, "templates assume 16-byte slots");
+  static_assert(offsetof(Value, Ty) == 0,
+                "templates store the tag byte first");
+  static_assert(offsetof(Value, I) == 8, "templates load payloads at slot+8");
+  static_assert(offsetof(Value, R) == offsetof(Value, I),
+                "int and ref payloads must alias");
+  static_assert(sizeof(HeapObject) == 24, "slot base moved");
+};
+
+static_assert(static_cast<int>(ValueType::Void) == 0 &&
+                  static_cast<int>(ValueType::Int) == 1 &&
+                  static_cast<int>(ValueType::Ref) == 2,
+              "templates write tag immediates");
+
+} // namespace jvm
+
+#endif // JVM_JIT_NATIVELAYOUT_H

@@ -90,6 +90,9 @@ public:
 
 private:
   friend class memory::MemoryManager;
+  /// The native tier bakes header offsets (NumSlots, inline slot base)
+  /// into machine code; jit/NativeLayout.h asserts what it assumes.
+  friend struct NativeLayout;
 
   enum : uint8_t {
     FlagArray = 1u << 0,

@@ -78,6 +78,12 @@ std::string CompileLog::renderText() const {
                       R.Escape.VirtualizedStates);
         Out += Buf;
       }
+      if (R.NativeBytes) {
+        std::snprintf(Buf, sizeof(Buf), "    native emit=%lluus bytes=%llu\n",
+                      static_cast<unsigned long long>(R.NativeEmitNanos / 1000),
+                      static_cast<unsigned long long>(R.NativeBytes));
+        Out += Buf;
+      }
       for (const DeoptRec &D : R.Deopts) {
         std::snprintf(Buf, sizeof(Buf),
                       "    deopt reason=%s rematerialized=%u\n",

@@ -67,6 +67,9 @@ public:
     uint64_t EnqueueToInstallNanos = 0;
     uint32_t FinalNodes = 0;
     EscapeRec Escape;
+    uint64_t NativeEmitNanos = 0; ///< copy-and-patch emit time (0: no native)
+    uint64_t NativeBytes = 0;     ///< installed machine-code bytes (0: fell
+                                  ///< back to the linear tier)
     std::vector<PhaseRec> Phases;
     std::vector<DeoptRec> Deopts; ///< appended while this code is live
   };

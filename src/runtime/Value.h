@@ -66,6 +66,11 @@ public:
   }
 
 private:
+  /// The native tier's emitter bakes this layout (tag byte + payload
+  /// word) into machine-code templates; jit/NativeLayout.h asserts the
+  /// offsets it assumes.
+  friend struct NativeLayout;
+
   ValueType Ty;
   union {
     int64_t I;

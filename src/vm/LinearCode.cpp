@@ -500,15 +500,16 @@ LinearExecutor::LinearExecutor(Runtime &RT, CallHandler CallFn,
 
 LinearExecutor::~LinearExecutor() { RT.heap().removeRootProvider(RootToken); }
 
-HeapObject *LinearExecutor::allocateTemplate(const LinearCode::ObjTemplate &T) {
+HeapObject *jvm::allocateSideTableObject(Runtime &RT,
+                                         const LinearCode::ObjTemplate &T) {
   if (T.IsArray)
     return RT.heap().allocateArray(T.ElemTy, T.NumEntries);
   return RT.allocateInstance(T.Cls);
 }
 
-void LinearExecutor::doMaterialize(const LinearCode &L,
-                                   const LinearCode::MatDesc &M,
-                                   std::vector<Value> &R) {
+void jvm::runMaterialize(Runtime &RT, const LinearCode &L,
+                         const LinearCode::MatDesc &M, Value *R,
+                         std::vector<Value> &MatScratch) {
   if (traceWants(TracePea))
     Tracer::get().instant(TracePea, "materialize", "method",
                           static_cast<int64_t>(L.method()), "objects",
@@ -519,7 +520,7 @@ void LinearExecutor::doMaterialize(const LinearCode &L,
   Runtime::RootScope Scope(RT, &MatScratch);
   for (uint32_t K = 0; K != M.NumObjs; ++K)
     MatScratch.push_back(
-        Value::makeRef(allocateTemplate(L.Objects[M.FirstObj + K])));
+        Value::makeRef(allocateSideTableObject(RT, L.Objects[M.FirstObj + K])));
   for (uint32_t K = 0; K != M.NumObjs; ++K) {
     const LinearCode::ObjTemplate &T = L.Objects[M.FirstObj + K];
     HeapObject *O = MatScratch[K].asRef();
@@ -536,9 +537,9 @@ void LinearExecutor::doMaterialize(const LinearCode &L,
     R[Pr[K].DstReg] = MatScratch[Pr[K].ObjIndex];
 }
 
-Value LinearExecutor::doDeopt(const LinearCode &L,
-                              const LinearCode::DeoptDesc &D,
-                              std::vector<Value> &R) {
+Value jvm::runDeopt(Runtime &RT, const LinearCode &L,
+                    const LinearCode::DeoptDesc &D, const Value *R,
+                    const DeoptHandlerFn &Deopt) {
   ++RT.metrics().Deopts;
   DeoptRequest Req;
   Req.Root = L.method();
@@ -551,7 +552,7 @@ Value LinearExecutor::doDeopt(const LinearCode &L,
   Runtime::RootScope Scope(RT, &Fresh);
   for (uint32_t K = 0; K != D.NumObjs; ++K)
     Fresh.push_back(
-        Value::makeRef(allocateTemplate(L.Objects[D.FirstObj + K])));
+        Value::makeRef(allocateSideTableObject(RT, L.Objects[D.FirstObj + K])));
   auto Resolve = [&](const LSlotRef &Slot) -> Value {
     switch (Slot.K) {
     case LSlotRef::Reg:
@@ -796,12 +797,12 @@ Value LinearExecutor::run(const LinearCode &L, std::vector<Value> &R) {
     JVM_NEXT();
   }
   JVM_CASE(Materialize) {
-    doMaterialize(L, L.Mats[I->A], R);
+    runMaterialize(RT, L, L.Mats[I->A], R.data(), MatScratch);
     JVM_NEXT();
   }
   JVM_CASE(Deopt) {
     RM.CompiledOps += Ops;
-    return doDeopt(L, L.Deopts[I->A], R);
+    return runDeopt(RT, L, L.Deopts[I->A], R.data(), Deopt);
   }
   JVM_CASE(Trap) {
     RM.CompiledOps += Ops;

@@ -190,6 +190,30 @@ public:
   bool HasEffects = false;
 };
 
+/// Allocates the heap shape (instance or array) described by one
+/// side-table object template. Shared by every compiled tier.
+HeapObject *allocateSideTableObject(Runtime &RT,
+                                    const LinearCode::ObjTemplate &T);
+
+/// Commits materialize descriptor \p M against register frame \p R:
+/// allocate every object, then per object fill entries and replay
+/// elided locks — the same observable order as the graph walker.
+/// \p MatScratch is caller-owned reusable storage (rooted internally
+/// while the fresh objects are being wired up).
+void runMaterialize(Runtime &RT, const LinearCode &L,
+                    const LinearCode::MatDesc &M, Value *R,
+                    std::vector<Value> &MatScratch);
+
+/// Rebuilds the DeoptRequest of descriptor \p D from register frame
+/// \p R — rematerializing the scalar-replaced virtual objects in the
+/// graph walker's discovery order, replaying lock depths, resolving
+/// dead slots to Int(0) — and hands it to \p Deopt. This is the one
+/// deopt path shared by the linear and native tiers, so the paper's
+/// Section 5.5 contract is implemented exactly once.
+Value runDeopt(Runtime &RT, const LinearCode &L,
+               const LinearCode::DeoptDesc &D, const Value *R,
+               const DeoptHandlerFn &Deopt);
+
 /// Translates \p G (with its block schedule \p S) into linear code.
 /// Deterministic: node ids and usage-list order fully define the output.
 std::unique_ptr<LinearCode> translateGraph(const Graph &G,
@@ -212,11 +236,6 @@ public:
 
 private:
   Value run(const LinearCode &L, std::vector<Value> &R);
-  Value doDeopt(const LinearCode &L, const LinearCode::DeoptDesc &D,
-                std::vector<Value> &R);
-  void doMaterialize(const LinearCode &L, const LinearCode::MatDesc &M,
-                     std::vector<Value> &R);
-  HeapObject *allocateTemplate(const LinearCode::ObjTemplate &T);
 
   Runtime &RT;
   CallHandler Call;
@@ -233,8 +252,12 @@ private:
   uint64_t RootToken = 0;
 };
 
-/// Shared arithmetic semantics of both executors: two's-complement
-/// wraparound, division/remainder by zero produce zero (no exceptions).
+/// Shared arithmetic semantics of every tier: two's-complement
+/// wraparound, division/remainder by zero produce zero (no exceptions),
+/// INT64_MIN / -1 wraps to INT64_MIN with remainder zero. The -1 cases
+/// are pinned down explicitly because the native tier lowers Div/Rem to
+/// x86 idiv, which faults on the overflowing quotient — both tiers guard
+/// the same way so results stay bit-identical.
 inline int64_t applyArith(ArithKind Op, int64_t X, int64_t Y) {
   switch (Op) {
   case ArithKind::Add:
@@ -247,9 +270,15 @@ inline int64_t applyArith(ArithKind Op, int64_t X, int64_t Y) {
     return static_cast<int64_t>(static_cast<uint64_t>(X) *
                                 static_cast<uint64_t>(Y));
   case ArithKind::Div:
-    return Y == 0 ? 0 : X / Y;
+    if (Y == 0)
+      return 0;
+    if (Y == -1)
+      return static_cast<int64_t>(0 - static_cast<uint64_t>(X));
+    return X / Y;
   case ArithKind::Rem:
-    return Y == 0 ? 0 : X % Y;
+    if (Y == 0 || Y == -1)
+      return 0;
+    return X % Y;
   case ArithKind::And:
     return X & Y;
   case ArithKind::Or:

@@ -30,21 +30,43 @@ unsigned jvm::defaultCompilerThreads() {
   return N ? N : 1;
 }
 
-ExecMode jvm::defaultExecMode() {
-  static const ExecMode Mode = [] {
-    const char *E = std::getenv("JVM_EXEC_MODE");
-    if (!E || !*E || std::strcmp(E, "linear") == 0)
-      return ExecMode::Linear;
-    if (std::strcmp(E, "graph") == 0)
-      return ExecMode::Graph;
-    if (std::strcmp(E, "differential") == 0 || std::strcmp(E, "both") == 0)
-      return ExecMode::Differential;
-    std::fprintf(stderr,
-                 "warning: unknown JVM_EXEC_MODE '%s' "
-                 "(graph|linear|differential); using linear\n",
-                 E);
+bool jvm::execModeFromName(const char *Name, ExecMode &M) {
+  if (!Name)
+    return false;
+  if (std::strcmp(Name, "linear") == 0)
+    M = ExecMode::Linear;
+  else if (std::strcmp(Name, "graph") == 0)
+    M = ExecMode::Graph;
+  else if (std::strcmp(Name, "native") == 0)
+    M = ExecMode::Native;
+  else if (std::strcmp(Name, "differential") == 0 ||
+           std::strcmp(Name, "both") == 0)
+    M = ExecMode::Differential;
+  else
+    return false;
+  return true;
+}
+
+ExecMode jvm::execModeFromEnvironment(const char *Text) {
+  if (!Text || !*Text)
     return ExecMode::Linear;
-  }();
+  ExecMode M;
+  if (execModeFromName(Text, M))
+    return M;
+  // A typo here must not silently select a different tier: a benchmark
+  // or differential run would happily produce numbers for the wrong
+  // configuration.
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf),
+                "unknown JVM_EXEC_MODE '%s' "
+                "(valid: graph, linear, native, differential)",
+                Text);
+  reportFatalError(Buf, __FILE__, __LINE__);
+}
+
+ExecMode jvm::defaultExecMode() {
+  static const ExecMode Mode =
+      execModeFromEnvironment(std::getenv("JVM_EXEC_MODE"));
   return Mode;
 }
 
@@ -54,6 +76,8 @@ const char *jvm::execModeName(ExecMode M) {
     return "graph";
   case ExecMode::Linear:
     return "linear";
+  case ExecMode::Native:
+    return "native";
   case ExecMode::Differential:
     return "differential";
   }
@@ -70,6 +94,12 @@ VirtualMachine::VirtualMachine(const Program &P, VMOptions Options)
           },
           [this](DeoptRequest &&Req) { return handleDeopt(std::move(Req)); }),
       LinExecutor(
+          RT,
+          [this](MethodId Target, std::vector<Value> &&Args) {
+            return call(Target, std::move(Args));
+          },
+          [this](DeoptRequest &&Req) { return handleDeopt(std::move(Req)); }),
+      NatExecutor(
           RT,
           [this](MethodId Target, std::vector<Value> &&Args) {
             return call(Target, std::move(Args));
@@ -180,6 +210,14 @@ void VirtualMachine::registerMetrics() {
   JitGauge("jit.enqueue_to_install_nanos", &JitMetrics::EnqueueToInstallNanos);
   JitGauge("jit.enqueue_to_install_nanos_max",
            &JitMetrics::EnqueueToInstallNanosMax);
+  // Native tier: emission activity plus the code cache's live footprint.
+  JitGauge("jit.native_methods", &JitMetrics::NativeMethods);
+  JitGauge("jit.native_fallbacks", &JitMetrics::NativeFallbacks);
+  JitGauge("jit.native_emit_nanos", &JitMetrics::NativeEmitNanos);
+  Registry.gauge("code.cache_reserved_bytes",
+                 [this] { return Cache.reservedBytes(); });
+  Registry.gauge("code.cache_code_bytes", [this] { return Cache.codeBytes(); });
+  Registry.gauge("code.cache_methods", [this] { return Cache.methods(); });
   auto PeaGauge = [this](const char *Name, unsigned PEAStats::*Field) {
     Registry.gauge(Name, [this, Field] {
       std::lock_guard<std::mutex> L(StateMutex);
@@ -266,16 +304,25 @@ Value VirtualMachine::executeCompiled(MethodId Method, const Graph &G,
       Options.Exec == ExecMode::Graph
           ? nullptr
           : States[Method].Linear.load(std::memory_order_acquire);
+  // The machine-code tier only dispatches in Native and Differential
+  // modes; Linear mode must measure the linear dispatcher itself.
+  const NativeCode *N = (Options.Exec == ExecMode::Native ||
+                         Options.Exec == ExecMode::Differential) &&
+                                L
+                            ? States[Method].Native.load(
+                                  std::memory_order_acquire)
+                            : nullptr;
   if (traceWants(TraceTier)) {
     // Mutator-only bookkeeping: emit one instant per tier *change*, not
     // per call (interpreter -> compiled on the first compiled entry,
-    // graph <-> linear when the mode or available code flips).
+    // tier <-> tier when the mode or available code flips).
     MethodState &MS = States[Method];
-    uint8_t Tier = L ? 2 : 1;
+    uint8_t Tier = N ? 3 : L ? 2 : 1;
     if (MS.TracedTier != Tier) {
       Tracer::get().instant(TraceTier, "tier-transition", "method",
                             static_cast<int64_t>(Method), "from",
-                            MS.TracedTier, "to", L ? "linear" : "graph");
+                            MS.TracedTier, "to",
+                            N ? "native" : L ? "linear" : "graph");
       MS.TracedTier = Tier;
     }
   }
@@ -284,14 +331,26 @@ Value VirtualMachine::executeCompiled(MethodId Method, const Graph &G,
     // Graph mode, or the method compiled without EmitLinearCode.
     Result = Executor.execute(G, Args);
   } else if (Options.Exec == ExecMode::Differential && !L->hasEffects()) {
-    // Effect-free code can run twice without observable consequences;
-    // the two tiers must agree on the result exactly.
+    // Effect-free code can run repeatedly without observable
+    // consequences; every available tier must agree on the result
+    // exactly.
     Value Walked = Executor.execute(G, Args);
     Result = LinExecutor.execute(*L, Args);
     if (!(Result == Walked))
       reportFatalError("differential execution mismatch between graph "
                        "and linear tiers",
                        __FILE__, __LINE__);
+    if (N) {
+      Value Native = NatExecutor.execute(*N, Args);
+      if (!(Native == Result))
+        reportFatalError("differential execution mismatch between linear "
+                         "and native tiers",
+                         __FILE__, __LINE__);
+    }
+  } else if (N) {
+    // Native mode, or the effectful leg of differential mode (which
+    // runs the best tier once — still full native coverage).
+    Result = NatExecutor.execute(*N, Args);
   } else {
     Result = LinExecutor.execute(*L, Args);
   }
@@ -361,6 +420,19 @@ void VirtualMachine::compileSync(MethodId Method) {
 bool VirtualMachine::installCode(MethodId Method, uint64_t Version,
                                  CompileResult &&R, uint64_t EnqueueNanos,
                                  uint64_t Hotness) {
+  // Lower the linear stream to machine code before taking the state
+  // lock: emission is pure (it reads only the immutable LinearCode) and
+  // runs on the compiling thread, so workers emit concurrently. A null
+  // result is the documented fallback — the method keeps running on the
+  // linear tier.
+  std::unique_ptr<NativeCode> Native;
+  const bool TriedNative = R.Code != nullptr && Options.EnableNativeTier;
+  if (TriedNative) {
+    TraceScope EmitSpan(TraceCompile, "native-emit", "method",
+                        static_cast<int64_t>(Method));
+    Native = emitNativeCode(*R.Code, Cache);
+  }
+
   uint64_t Now = nowNanos();
 
   // The log record is assembled outside the state lock (string copies);
@@ -370,6 +442,10 @@ bool VirtualMachine::installCode(MethodId Method, uint64_t Version,
   Rec.Hotness = Hotness;
   Rec.TotalNanos = R.TotalNanos;
   Rec.FinalNodes = R.G ? R.G->numLiveNodes() : 0;
+  if (Native) {
+    Rec.NativeEmitNanos = Native->emitNanos();
+    Rec.NativeBytes = Native->codeSize();
+  }
   Rec.Escape.VirtualizedAllocations = R.Stats.VirtualizedAllocations;
   Rec.Escape.MaterializeSites = R.Stats.MaterializeSites;
   Rec.Escape.ElidedMonitorOps = R.Stats.ElidedMonitorOps;
@@ -401,16 +477,44 @@ bool VirtualMachine::installCode(MethodId Method, uint64_t Version,
         MS.Retired.push_back(std::move(MS.Owned));
         if (MS.OwnedLinear)
           MS.RetiredLinear.push_back(std::move(MS.OwnedLinear));
+        if (MS.OwnedNative)
+          MS.RetiredNative.push_back(std::move(MS.OwnedNative));
         HasRetired.store(true, std::memory_order_relaxed);
       }
       MS.Owned = std::move(R.G);
       MS.OwnedLinear = std::move(R.Code);
-      // Linear first: a mutator that sees the new graph must also see its
-      // linear translation (the inverse interleaving is benign, see
-      // MethodState::Linear).
+      MS.OwnedNative = std::move(Native);
+      // Most-derived first: a mutator that sees the new graph must also
+      // see its linear translation, and one that sees the linear code
+      // must see its machine code (the inverse interleavings are benign,
+      // see MethodState::Linear).
+      MS.Native.store(MS.OwnedNative.get(), std::memory_order_release);
       MS.Linear.store(MS.OwnedLinear.get(), std::memory_order_release);
       MS.Code.store(MS.Owned.get(), std::memory_order_release);
       ++Jit.Compilations;
+      if (MS.OwnedNative) {
+        ++Jit.NativeMethods;
+        Jit.NativeEmitNanos += MS.OwnedNative->emitNanos();
+        // Env-gated debug dump, named so scripts/check_native.py can
+        // match files 1:1 against compile-log records. Written under
+        // the lock on purpose: the NativeCode must not be retired by a
+        // concurrent install while we read its bytes, and the path is
+        // debug-only.
+        static const char *DumpDir = std::getenv("JVM_DUMP_NATIVE");
+        if (DumpDir && *DumpDir) {
+          char Path[512];
+          std::snprintf(Path, sizeof(Path), "%s/m%d.c%llu.bin", DumpDir,
+                        static_cast<int>(Method),
+                        static_cast<unsigned long long>(Rec.CompileSeq));
+          if (std::FILE *F = std::fopen(Path, "wb")) {
+            std::fwrite(MS.OwnedNative->codeBytes(), 1,
+                        MS.OwnedNative->codeSize(), F);
+            std::fclose(F);
+          }
+        }
+      } else if (TriedNative) {
+        ++Jit.NativeFallbacks;
+      }
       Jit.EnqueueToInstallNanos += Latency;
       Jit.EnqueueToInstallNanosMax =
           std::max(Jit.EnqueueToInstallNanosMax, Latency);
@@ -441,9 +545,12 @@ void VirtualMachine::invalidate(MethodId Method) {
   ++MS.Version; // Discards any compile in flight for the old profile.
   MS.Code.store(nullptr, std::memory_order_release);
   MS.Linear.store(nullptr, std::memory_order_release);
+  MS.Native.store(nullptr, std::memory_order_release);
   MS.Retired.push_back(std::move(MS.Owned));
   if (MS.OwnedLinear)
     MS.RetiredLinear.push_back(std::move(MS.OwnedLinear));
+  if (MS.OwnedNative)
+    MS.RetiredNative.push_back(std::move(MS.OwnedNative));
   HasRetired.store(true, std::memory_order_relaxed);
   MS.DeoptCount = 0;
   ++MS.Recompiles;
@@ -460,8 +567,12 @@ void VirtualMachine::invalidate(MethodId Method) {
 
 void VirtualMachine::reclaimRetired() {
   // Destroy outside the lock; workers only need the lists unlinked.
+  // Native bodies precede their linear code in the doomed lists (the
+  // NativeCode destructor unmaps while its LinearCode is still alive;
+  // vector destruction order makes that hold regardless).
   std::vector<std::unique_ptr<Graph>> Doomed;
   std::vector<std::unique_ptr<LinearCode>> DoomedLinear;
+  std::vector<std::unique_ptr<NativeCode>> DoomedNative;
   {
     std::lock_guard<std::mutex> L(StateMutex);
     for (MethodState &MS : States) {
@@ -471,13 +582,17 @@ void VirtualMachine::reclaimRetired() {
       }
       for (std::unique_ptr<LinearCode> &LC : MS.RetiredLinear)
         DoomedLinear.push_back(std::move(LC));
+      for (std::unique_ptr<NativeCode> &NC : MS.RetiredNative)
+        DoomedNative.push_back(std::move(NC));
     }
     for (MethodState &MS : States) {
       MS.Retired.clear();
       MS.RetiredLinear.clear();
+      MS.RetiredNative.clear();
     }
     HasRetired.store(false, std::memory_order_relaxed);
   }
+  DoomedNative.clear(); // unmap before the LinearCode tables go away
 }
 
 void VirtualMachine::waitForCompilerIdle() {

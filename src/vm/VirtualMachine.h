@@ -6,9 +6,10 @@
 /// setting (Figure 1 context): graph building with speculative branch
 /// pruning and devirtualization, inlining, canonicalization, global value
 /// numbering, the configured escape analysis, and cleanup. Compiled code
-/// runs as register-based linear code by default (vm/LinearCode.h); the
-/// graph-walking GraphExecutor tier stays selectable via JVM_EXEC_MODE,
-/// including a differential mode that runs both and compares.
+/// runs as register-based linear code by default (vm/LinearCode.h), or
+/// as copy-and-patch machine code (src/jit/) under JVM_EXEC_MODE=native;
+/// the graph-walking GraphExecutor tier stays selectable too, and the
+/// differential mode runs every available tier and compares.
 /// Deoptimizations resume in the interpreter, and methods that
 /// deoptimize repeatedly are invalidated and re-profiled (so failed
 /// speculations heal, as in HotSpot/Graal).
@@ -35,6 +36,9 @@
 #include "compiler/CompilerOptions.h"
 #include "compiler/Phase.h"
 #include "interp/Interpreter.h"
+#include "jit/CodeCache.h"
+#include "jit/NativeCode.h"
+#include "jit/NativeExecutor.h"
 #include "memory/MemoryConfig.h"
 #include "observability/CompileLog.h"
 #include "observability/Metrics.h"
@@ -67,19 +71,32 @@ enum class ExecMode : uint8_t {
   /// default; falls back to the walker for methods without linear code
   /// (Compiler.EmitLinearCode off).
   Linear,
-  /// Run both tiers and compare results — only for calls whose linear
-  /// code is effect-free (re-running effectful code would double its
-  /// side effects); effectful calls run the linear tier alone. Mismatch
-  /// is a fatal VM bug.
+  /// Run the copy-and-patch machine code (NativeExecutor); falls back
+  /// to linear for methods the emitter declined, then to the walker.
+  Native,
+  /// Cross-check the tiers against each other: calls whose compiled
+  /// code is effect-free run under every available tier and the results
+  /// must match exactly (re-running effectful code would double its
+  /// side effects; such calls run the best single tier). Mismatch is a
+  /// fatal VM bug.
   Differential,
 };
 
-/// The ExecMode selected by the JVM_EXEC_MODE environment variable
-/// ("graph", "linear", "differential"/"both"; read once). Linear when
-/// unset; unknown values warn and select Linear.
+/// Parses an exec-mode name ("graph", "linear", "native",
+/// "differential"/"both"). Returns false on anything else.
+bool execModeFromName(const char *Name, ExecMode &M);
+
+/// The mode a JVM_EXEC_MODE value selects: empty/unset means Linear,
+/// anything unrecognized is a hard configuration error (fatal) naming
+/// the valid modes — a bench run silently falling back to the wrong
+/// tier would corrupt its comparison.
+ExecMode execModeFromEnvironment(const char *Text);
+
+/// execModeFromEnvironment(getenv("JVM_EXEC_MODE")), read once.
 ExecMode defaultExecMode();
 
-/// Short lower-case name for \p M ("graph", "linear", "differential").
+/// Short lower-case name for \p M ("graph", "linear", "native",
+/// "differential").
 const char *execModeName(ExecMode M);
 
 struct VMOptions {
@@ -99,6 +116,10 @@ struct VMOptions {
   unsigned CompilerThreads = defaultCompilerThreads();
   /// Which tier runs compiled methods (see ExecMode).
   ExecMode Exec = defaultExecMode();
+  /// Emit machine code for every installed method (when the backend
+  /// supports the host). Off = the native tier never exists, whatever
+  /// Exec says; useful for isolating the emitter in tests.
+  bool EnableNativeTier = true;
   /// Heap sizing/policy (region size, young capacity, promotion age,
   /// GC stress). Defaults read JVM_HEAP_YOUNG / JVM_HEAP_REGION /
   /// JVM_GC_STRESS once; tests override fields directly.
@@ -124,6 +145,10 @@ struct JitMetrics {
   PhaseTimes PhaseNanos;
   /// Cleanup fixpoints that hit their round cap without converging.
   uint64_t FixpointCapHits = 0;
+  // Native tier ---------------------------------------------------------
+  uint64_t NativeMethods = 0;   ///< native bodies installed
+  uint64_t NativeFallbacks = 0; ///< emissions declined; linear served
+  uint64_t NativeEmitNanos = 0; ///< total emission time (all threads)
   // Broker queue behavior ----------------------------------------------
   uint64_t QueueDepthHighWater = 0;
   uint64_t EnqueueToInstallNanos = 0;    ///< summed over installed graphs
@@ -189,6 +214,15 @@ public:
     return States[Method].Linear.load(std::memory_order_acquire);
   }
 
+  /// The installed machine code of \p Method, or null (not compiled,
+  /// native tier disabled, or the emitter fell back). Lock-free.
+  const NativeCode *compiledNative(MethodId Method) const {
+    return States[Method].Native.load(std::memory_order_acquire);
+  }
+
+  /// The executable-memory cache backing the native tier.
+  const CodeCache &codeCache() const { return Cache; }
+
   /// Forces compilation of \p Method now, on the caller thread
   /// (benchmark warmup control). Any in-flight background compile of the
   /// method is discarded in favor of this one.
@@ -233,6 +267,10 @@ private:
     /// with the new linear code — benign: both are correct translations
     /// of the method, and retired code outlives the activation.
     std::atomic<const LinearCode *> Linear{nullptr};
+    /// The machine code emitted from `Linear`, published before both
+    /// (same release-store ordering argument). Null when the emitter
+    /// fell back or the tier is disabled.
+    std::atomic<const NativeCode *> Native{nullptr};
     /// True while a compile request for this method is queued or in
     /// flight (mutator sets, worker clears): the dedup fast path that
     /// keeps the mutator from re-snapshotting profiles on every call
@@ -241,12 +279,17 @@ private:
     // Fields below are guarded by StateMutex. --------------------------
     std::unique_ptr<Graph> Owned;
     std::unique_ptr<LinearCode> OwnedLinear;
+    /// References OwnedLinear's tables; retired and reclaimed together
+    /// with it (the NativeCode destructor returns the executable span
+    /// to the CodeCache).
+    std::unique_ptr<NativeCode> OwnedNative;
     /// Invalidated graphs are retired, not destroyed: activations of the
     /// old code may still be on the native stack (an invalidation is
     /// triggered from a deoptimization *inside* that very code). They
     /// are reclaimed at the next safe point.
     std::vector<std::unique_ptr<Graph>> Retired;
     std::vector<std::unique_ptr<LinearCode>> RetiredLinear;
+    std::vector<std::unique_ptr<NativeCode>> RetiredNative;
     /// Bumped on every invalidation (and forced compile); in-flight
     /// compiles carry the version they were enqueued against and are
     /// discarded on mismatch.
@@ -255,7 +298,8 @@ private:
     uint64_t Recompiles = 0;
     /// Last tier this method was observed executing in, for tier-
     /// transition trace instants (0 = interpreter, 1 = graph walker,
-    /// 2 = linear). Mutator-only; maintained only while tracing.
+    /// 2 = linear, 3 = native). Mutator-only; maintained only while
+    /// tracing.
     uint8_t TracedTier = 0;
   };
 
@@ -266,6 +310,10 @@ private:
   Interpreter Interp;
   GraphExecutor Executor;
   LinearExecutor LinExecutor;
+  /// Declared before States so executable spans outlive the NativeCode
+  /// objects (MethodState) that release into the cache on destruction.
+  CodeCache Cache;
+  NativeExecutor NatExecutor;
   std::vector<MethodState> States;
   JitMetrics Jit;
   MetricsRegistry Registry;

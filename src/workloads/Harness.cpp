@@ -2,10 +2,12 @@
 
 #include "workloads/Harness.h"
 
+#include "jit/NativeCode.h"
 #include "support/ErrorHandling.h"
 
 #include <cctype>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -114,7 +116,7 @@ jvm::workloads::runSuite(const BenchmarkSet &Set, const std::string &Suite,
   return Result;
 }
 
-std::vector<RowComparison>
+std::vector<TierComparison>
 jvm::workloads::runSuiteTiers(const BenchmarkSet &Set,
                               const std::string &Suite,
                               EscapeAnalysisMode Mode,
@@ -123,16 +125,29 @@ jvm::workloads::runSuiteTiers(const BenchmarkSet &Set,
   GraphOpts.VM.Exec = ExecMode::Graph;
   HarnessOptions LinearOpts = Opts;
   LinearOpts.VM.Exec = ExecMode::Linear;
-  std::vector<RowComparison> Result;
+  // Measuring the linear tier with the native tier disabled keeps the
+  // comparison honest: both columns pay identical compile costs and the
+  // only variable is which installed artifact executes.
+  LinearOpts.VM.EnableNativeTier = false;
+  HarnessOptions NativeOpts = Opts;
+  NativeOpts.VM.Exec = ExecMode::Native;
+  const bool HasNative = nativeBackendSupported();
+  std::vector<TierComparison> Result;
   for (const BenchmarkRow &Row : Set.Rows) {
     if (Row.Suite != Suite)
       continue;
-    RowComparison C;
+    TierComparison C;
     C.Row = &Row;
-    C.Without = measureRow(Set, Row, Mode, GraphOpts);
-    C.With = measureRow(Set, Row, Mode, LinearOpts);
-    if (C.Without.Checksum != C.With.Checksum)
+    C.HasNative = HasNative;
+    C.Graph = measureRow(Set, Row, Mode, GraphOpts);
+    C.Linear = measureRow(Set, Row, Mode, LinearOpts);
+    if (C.Graph.Checksum != C.Linear.Checksum)
       jvm_unreachable("benchmark checksum differs between execution tiers");
+    if (HasNative) {
+      C.Native = measureRow(Set, Row, Mode, NativeOpts);
+      if (C.Native.Checksum != C.Linear.Checksum)
+        jvm_unreachable("benchmark checksum differs between execution tiers");
+    }
     Result.push_back(C);
     std::fprintf(stderr, "  [tiers]    %-12s done\n", Row.Name.c_str());
   }
@@ -140,30 +155,57 @@ jvm::workloads::runSuiteTiers(const BenchmarkSet &Set,
 }
 
 std::string
-jvm::workloads::formatTierTable(const std::vector<RowComparison> &Rows) {
+jvm::workloads::formatTierTable(const std::vector<TierComparison> &Rows) {
+  const bool HasNative = !Rows.empty() && Rows.front().HasNative;
   std::ostringstream OS;
   char Buf[192];
-  std::snprintf(Buf, sizeof(Buf), "%-14s | %31s\n", "execution tier",
-                "Iterations / Minute");
+  unsigned Width = HasNative ? 59 : 48;
+  std::snprintf(Buf, sizeof(Buf), "%-14s | %*s\n", "execution tier",
+                Width - 17, "Iterations / Minute");
   OS << Buf;
-  std::snprintf(Buf, sizeof(Buf), "%-14s | %10s %10s %8s\n", "",
-                "graph", "linear", "speedup");
+  if (HasNative)
+    std::snprintf(Buf, sizeof(Buf), "%-14s | %10s %10s %10s %8s\n", "",
+                  "graph", "linear", "native", "nat/lin");
+  else
+    std::snprintf(Buf, sizeof(Buf), "%-14s | %10s %10s %8s\n", "",
+                  "graph", "linear", "lin/gr");
   OS << Buf;
-  OS << std::string(48, '-') << '\n';
-  double SumSpeed = 0;
-  for (const RowComparison &C : Rows) {
-    double Delta =
-        percentDelta(C.Without.ItersPerMinute, C.With.ItersPerMinute);
-    SumSpeed += Delta;
-    std::snprintf(Buf, sizeof(Buf), "%-14s | %10.1f %10.1f %+7.1f%%\n",
-                  C.Row->Name.c_str(), C.Without.ItersPerMinute,
-                  C.With.ItersPerMinute, Delta);
+  OS << std::string(Width, '-') << '\n';
+  double SumLogSpeed = 0;
+  unsigned NumSpeed = 0;
+  for (const TierComparison &C : Rows) {
+    if (HasNative) {
+      double Ratio = C.Linear.ItersPerMinute > 0
+                         ? C.Native.ItersPerMinute / C.Linear.ItersPerMinute
+                         : 0;
+      if (Ratio > 0) {
+        SumLogSpeed += std::log(Ratio);
+        ++NumSpeed;
+      }
+      std::snprintf(Buf, sizeof(Buf),
+                    "%-14s | %10.1f %10.1f %10.1f %7.2fx\n",
+                    C.Row->Name.c_str(), C.Graph.ItersPerMinute,
+                    C.Linear.ItersPerMinute, C.Native.ItersPerMinute, Ratio);
+    } else {
+      double Ratio = C.Graph.ItersPerMinute > 0
+                         ? C.Linear.ItersPerMinute / C.Graph.ItersPerMinute
+                         : 0;
+      if (Ratio > 0) {
+        SumLogSpeed += std::log(Ratio);
+        ++NumSpeed;
+      }
+      std::snprintf(Buf, sizeof(Buf), "%-14s | %10.1f %10.1f %7.2fx\n",
+                    C.Row->Name.c_str(), C.Graph.ItersPerMinute,
+                    C.Linear.ItersPerMinute, Ratio);
+    }
     OS << Buf;
   }
-  if (!Rows.empty()) {
-    OS << std::string(48, '-') << '\n';
-    std::snprintf(Buf, sizeof(Buf), "%-14s | %21s %+7.1f%%\n", "average",
-                  "", SumSpeed / Rows.size());
+  if (NumSpeed) {
+    OS << std::string(Width, '-') << '\n';
+    std::snprintf(Buf, sizeof(Buf), "%-14s | %*s %7.2fx\n", "geomean",
+                  Width - 26, HasNative ? "(native over linear)"
+                                        : "(linear over graph)",
+                  std::exp(SumLogSpeed / NumSpeed));
     OS << Buf;
   }
   return OS.str();
@@ -209,18 +251,21 @@ std::string jsonRecord(const std::string &Suite, const std::string &Name,
 void jvm::workloads::appendTable1Json(const std::string &Suite,
                                       const std::vector<RowComparison> &PeaRows,
                                       ExecMode PeaExec,
-                                      const std::vector<RowComparison> &TierRows) {
+                                      const std::vector<TierComparison> &TierRows) {
   std::vector<std::string> Records;
   const char *Exec = execModeName(PeaExec);
   for (const RowComparison &C : PeaRows) {
     Records.push_back(jsonRecord(Suite, C.Row->Name, "none", Exec, C.Without));
     Records.push_back(jsonRecord(Suite, C.Row->Name, "partial", Exec, C.With));
   }
-  for (const RowComparison &C : TierRows) {
+  for (const TierComparison &C : TierRows) {
     Records.push_back(
-        jsonRecord(Suite, C.Row->Name, "partial", "graph", C.Without));
+        jsonRecord(Suite, C.Row->Name, "partial", "graph", C.Graph));
     Records.push_back(
-        jsonRecord(Suite, C.Row->Name, "partial", "linear", C.With));
+        jsonRecord(Suite, C.Row->Name, "partial", "linear", C.Linear));
+    if (C.HasNative)
+      Records.push_back(
+          jsonRecord(Suite, C.Row->Name, "partial", "native", C.Native));
   }
 
   // Keep the file one valid JSON array across binaries: splice new

@@ -71,6 +71,17 @@ struct RowComparison {
   RowMeasurement With;    ///< comparison mode
 };
 
+/// One row measured once per execution tier (all with PEA on). Native is
+/// only populated when the copy-and-patch backend runs on this host
+/// (HasNative); elsewhere the column is omitted from tables and JSON.
+struct TierComparison {
+  const BenchmarkRow *Row = nullptr;
+  RowMeasurement Graph;
+  RowMeasurement Linear;
+  RowMeasurement Native;
+  bool HasNative = false;
+};
+
 /// Runs \p Row for \p MeasureIters iterations after warmup in a fresh VM.
 RowMeasurement measureRow(const BenchmarkSet &Set, const BenchmarkRow &Row,
                           EscapeAnalysisMode Mode,
@@ -83,16 +94,18 @@ std::vector<RowComparison> runSuite(const BenchmarkSet &Set,
                                     EscapeAnalysisMode Mode,
                                     const HarnessOptions &Opts);
 
-/// Measures every row of \p Suite under \p Mode twice, once per
-/// execution tier: Without = graph walker, With = linear code.
-std::vector<RowComparison> runSuiteTiers(const BenchmarkSet &Set,
-                                         const std::string &Suite,
-                                         EscapeAnalysisMode Mode,
-                                         const HarnessOptions &Opts);
+/// Measures every row of \p Suite under \p Mode once per execution
+/// tier: graph walker, linear code, and — when the backend supports
+/// this host — native machine code.
+std::vector<TierComparison> runSuiteTiers(const BenchmarkSet &Set,
+                                          const std::string &Suite,
+                                          EscapeAnalysisMode Mode,
+                                          const HarnessOptions &Opts);
 
-/// Renders the execution-tier comparison (iterations per minute,
-/// graph walker vs linear code).
-std::string formatTierTable(const std::vector<RowComparison> &Rows);
+/// Renders the execution-tier comparison (iterations per minute, graph
+/// walker vs linear vs native; the speedup column and the geomean in
+/// the footer compare native against linear).
+std::string formatTierTable(const std::vector<TierComparison> &Rows);
 
 /// Where appendTable1Json writes: $JVM_BENCH_JSON, default
 /// "BENCH_table1.json" in the working directory.
@@ -103,11 +116,11 @@ std::string table1JsonPath();
 /// binaries: MB/iteration, allocations/iteration, iterations/minute,
 /// with the escape-analysis mode and execution tier that produced them.
 /// \p PeaRows compare EA off/on under \p PeaExec; \p TierRows compare
-/// the graph and linear tiers (both PEA).
+/// the graph, linear and (when measured) native tiers (all PEA).
 void appendTable1Json(const std::string &Suite,
                       const std::vector<RowComparison> &PeaRows,
                       ExecMode PeaExec,
-                      const std::vector<RowComparison> &TierRows);
+                      const std::vector<TierComparison> &TierRows);
 
 /// Renders one Table 1 block. Rows the paper omits are excluded from the
 /// listing but included in the averages, exactly like the original.
