@@ -1,0 +1,187 @@
+//===- bench_multitenant.cpp - Isolates × threads throughput sweep -------------===//
+//
+// Demonstrates the isolate refactor's headline property: N tenants in
+// ONE process, each with its own heap/profiles/code tables, all
+// compiling through the single process-wide CompileBroker. Sweeps a
+// grid of (isolates × app threads) points over a mixed Table 1
+// workload and reports, per point:
+//
+//   ops/s        aggregate throughput (all isolates, all threads)
+//   p50/p99      per-op latency percentiles as seen by app threads
+//   broker       process broker worker count — the column that must
+//                NOT grow as isolates scale (shared substrate, not
+//                per-tenant pools)
+//   queue-hw     process compile queue high water over the point
+//
+// Correctness gates (exit 1 on failure, so perf_smoke_multitenant
+// notices):
+//   - every isolate's checksum equals expectedChecksum(), the same op
+//     multiset replayed on a plain single-tenant VirtualMachine — the
+//     acceptance criterion that multi-tenant plumbing does not change
+//     single-tenant behavior;
+//   - broker worker count is identical across all points.
+//
+// Environment (see src/support/Env.h):
+//   JVM_MT_ISOLATES  comma grid of isolate counts   (default 1,2,4)
+//   JVM_MT_THREADS   comma grid of threads/isolate  (default 1,2)
+//   JVM_MT_OPS       ops per thread per point       (default 64)
+//   JVM_MT_JSON      output path for the JSON array (default
+//                    BENCH_multitenant.json in the CWD)
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Env.h"
+#include "workloads/MultiTenant.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace jvm;
+using namespace jvm::workloads;
+
+namespace {
+
+/// Parses "1,2,4" into {1,2,4}; unset/empty/garbage falls back to
+/// \p Default. Values are clamped to [1, 64] — a grid point is a full
+/// set of OS threads, not something to launch thousands of.
+std::vector<unsigned> parseGrid(const char *Raw,
+                                std::vector<unsigned> Default) {
+  if (!EnvSnapshot::isSet(Raw))
+    return Default;
+  std::vector<unsigned> Grid;
+  const char *P = Raw;
+  while (*P) {
+    char *End = nullptr;
+    long V = std::strtol(P, &End, 10);
+    if (End == P)
+      break;
+    if (V < 1)
+      V = 1;
+    if (V > 64)
+      V = 64;
+    Grid.push_back(unsigned(V));
+    P = *End == ',' ? End + 1 : End;
+    if (End == P && *End)
+      break;
+  }
+  return Grid.empty() ? Default : Grid;
+}
+
+uint64_t parseOps(const char *Raw, uint64_t Default) {
+  if (!EnvSnapshot::isSet(Raw))
+    return Default;
+  char *End = nullptr;
+  long V = std::strtol(Raw, &End, 10);
+  return (End != Raw && V > 0) ? uint64_t(V) : Default;
+}
+
+double ms(uint64_t Nanos) { return Nanos / 1e6; }
+
+} // namespace
+
+int main() {
+  const EnvSnapshot &Env = EnvSnapshot::process();
+  std::vector<unsigned> IsolateGrid = parseGrid(Env.MtIsolates, {1, 2, 4});
+  std::vector<unsigned> ThreadGrid = parseGrid(Env.MtThreads, {1, 2});
+  uint64_t OpsPerThread = parseOps(Env.MtOps, 64);
+  const char *JsonPath = EnvSnapshot::isSet(Env.MtJson)
+                             ? Env.MtJson
+                             : "BENCH_multitenant.json";
+
+  BenchmarkSet Set = buildBenchmarkSet();
+
+  std::printf("Multi-tenant throughput: isolates x app threads, one "
+              "process, one compile broker\n");
+  {
+    std::string Mix;
+    for (const std::string &N : defaultRowMix())
+      Mix += (Mix.empty() ? "" : ",") + N;
+    std::printf("(row mix: %s; %llu ops/thread/point)\n\n", Mix.c_str(),
+                (unsigned long long)OpsPerThread);
+  }
+
+  std::printf("%-10s %8s %12s %10s %10s %10s %8s %9s\n", "isolates",
+              "threads", "total-ops", "ops/s", "p50", "p99", "broker",
+              "queue-hw");
+  std::printf("%-10s %8s %12s %10s %10s %10s %8s %9s\n", "", "(per-iso)", "",
+              "", "(ms)", "(ms)", "", "");
+
+  // expectedChecksum depends only on (threads, ops), not isolate count:
+  // compute once per thread-grid entry and hold EVERY isolate of every
+  // point to it.
+  std::vector<int64_t> Expected(ThreadGrid.size());
+  for (size_t T = 0; T != ThreadGrid.size(); ++T) {
+    MultiTenantOptions Opts;
+    Opts.ThreadsPerIsolate = ThreadGrid[T];
+    Opts.OpsPerThread = OpsPerThread;
+    Expected[T] = expectedChecksum(Set, Opts);
+  }
+
+  std::vector<std::string> Records;
+  bool Ok = true;
+  unsigned FirstBrokerThreads = 0;
+  bool HaveBroker = false;
+  for (unsigned Isolates : IsolateGrid) {
+    for (size_t T = 0; T != ThreadGrid.size(); ++T) {
+      MultiTenantOptions Opts;
+      Opts.Isolates = Isolates;
+      Opts.ThreadsPerIsolate = ThreadGrid[T];
+      Opts.OpsPerThread = OpsPerThread;
+      MultiTenantResult R = runMultiTenant(Set, Opts);
+
+      std::printf("%-10u %8u %12llu %10.0f %10.3f %10.3f %8u %9llu\n",
+                  R.Isolates, R.ThreadsPerIsolate,
+                  (unsigned long long)R.TotalOps, R.OpsPerSecond,
+                  ms(R.OpLatencyP50Ns), ms(R.OpLatencyP99Ns),
+                  R.BrokerThreads,
+                  (unsigned long long)R.QueueDepthHighWater);
+      std::fprintf(stderr, "  [measured] isolates=%u threads=%u\n",
+                   R.Isolates, R.ThreadsPerIsolate);
+
+      for (const MultiTenantResult::IsolateStats &S : R.PerIsolate)
+        if (S.Checksum != Expected[T]) {
+          std::fprintf(stderr,
+                       "FAIL: isolate %u checksum %lld != single-tenant "
+                       "expected %lld (isolates=%u threads=%u)\n",
+                       S.Id, (long long)S.Checksum,
+                       (long long)Expected[T], Isolates, ThreadGrid[T]);
+          Ok = false;
+        }
+
+      if (!HaveBroker) {
+        FirstBrokerThreads = R.BrokerThreads;
+        HaveBroker = true;
+      } else if (R.BrokerThreads != FirstBrokerThreads) {
+        std::fprintf(stderr,
+                     "FAIL: broker worker count changed across points "
+                     "(%u -> %u) — the pool must be process-wide, not "
+                     "per-isolate\n",
+                     FirstBrokerThreads, R.BrokerThreads);
+        Ok = false;
+      }
+
+      Records.push_back(multiTenantJson(R));
+    }
+  }
+
+  if (std::FILE *F = std::fopen(JsonPath, "w")) {
+    std::fputs("[\n", F);
+    for (size_t I = 0; I != Records.size(); ++I)
+      std::fprintf(F, "  %s%s\n", Records[I].c_str(),
+                   I + 1 != Records.size() ? "," : "");
+    std::fputs("]\n", F);
+    std::fclose(F);
+    std::printf("\nwrote %zu records to %s\n", Records.size(), JsonPath);
+  } else {
+    std::fprintf(stderr, "FAIL: cannot write %s\n", JsonPath);
+    Ok = false;
+  }
+
+  if (Ok)
+    std::printf("checksums match single-tenant replay; broker pool "
+                "constant at %u worker(s) across %zu points\n",
+                FirstBrokerThreads, Records.size());
+  return Ok ? 0 : 1;
+}

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Schema check for the bench_multitenant JSON output.
+
+Validates the array written via JVM_MT_JSON (perf_smoke_multitenant):
+
+  * non-empty JSON array; every record carries the full schema
+    (configuration, throughput, latency percentiles, broker stats and a
+    per_isolate array) with the right types,
+  * per-record invariants: total_ops == isolates * threads_per_isolate
+    * per-thread ops implied by per_isolate[i].ops; p50 <= p99 <= max;
+    per_isolate has exactly `isolates` entries with process-unique ids,
+  * isolate independence: every isolate in a record reports the same
+    checksum (same op multiset => same commutative sum) and nonzero ops,
+  * the shared-broker property: broker_threads is identical across all
+    records — the worker pool must not grow with isolate count.
+
+Exit status 0 on success, 1 with a diagnostic on the first failure.
+Usage: check_multitenant.py <BENCH_multitenant.json>
+"""
+
+import json
+import sys
+
+INT_FIELDS = ("threads_per_isolate", "total_ops", "wall_nanos",
+              "op_p50_ns", "op_p99_ns", "op_max_ns", "broker_threads",
+              "queue_depth_high_water")
+NUM_FIELDS = ("isolates", "ops_per_sec")
+ISO_INT_FIELDS = ("id", "ops", "checksum", "compilations",
+                  "compiles_discarded", "heap_allocations", "gc_runs",
+                  "deopts")
+
+
+def fail(msg):
+    print(f"check_multitenant: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: check_multitenant.py <BENCH_multitenant.json>")
+    try:
+        with open(sys.argv[1]) as f:
+            records = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {sys.argv[1]}: {e}")
+    if not isinstance(records, list) or not records:
+        fail("expected a non-empty JSON array of sweep records")
+
+    broker_threads = set()
+    seen_ids = set()
+    for i, rec in enumerate(records):
+        if not isinstance(rec, dict):
+            fail(f"record #{i} is not an object")
+        for field in INT_FIELDS:
+            v = rec.get(field)
+            if not isinstance(v, int) or v < 0:
+                fail(f"record #{i}: field {field!r} missing or invalid: {v!r}")
+        for field in NUM_FIELDS:
+            v = rec.get(field)
+            if not isinstance(v, (int, float)) or v < 0:
+                fail(f"record #{i}: field {field!r} missing or invalid: {v!r}")
+        if not (rec["op_p50_ns"] <= rec["op_p99_ns"] <= rec["op_max_ns"]):
+            fail(f"record #{i}: latency percentiles out of order: "
+                 f"p50={rec['op_p50_ns']} p99={rec['op_p99_ns']} "
+                 f"max={rec['op_max_ns']}")
+
+        isolates = int(rec["isolates"])
+        per = rec.get("per_isolate")
+        if not isinstance(per, list) or len(per) != isolates:
+            fail(f"record #{i}: per_isolate should have {isolates} "
+                 f"entries, got {per!r}")
+        checksums = set()
+        ops_sum = 0
+        for j, iso in enumerate(per):
+            if not isinstance(iso, dict):
+                fail(f"record #{i} isolate #{j} is not an object")
+            for field in ISO_INT_FIELDS:
+                v = iso.get(field)
+                if not isinstance(v, int) or (field != "checksum" and v < 0):
+                    fail(f"record #{i} isolate #{j}: field {field!r} "
+                         f"missing or invalid: {v!r}")
+            if iso["id"] in seen_ids:
+                fail(f"record #{i} isolate #{j}: id {iso['id']} reused — "
+                     "isolate ids must be process-unique")
+            seen_ids.add(iso["id"])
+            if iso["ops"] == 0:
+                fail(f"record #{i} isolate #{j}: zero ops retired")
+            checksums.add(iso["checksum"])
+            ops_sum += iso["ops"]
+        if len(checksums) != 1:
+            fail(f"record #{i}: isolates disagree on the checksum "
+                 f"({sorted(checksums)}) — per-tenant state is leaking")
+        if ops_sum != rec["total_ops"]:
+            fail(f"record #{i}: per_isolate ops sum {ops_sum} != "
+                 f"total_ops {rec['total_ops']}")
+        broker_threads.add(rec["broker_threads"])
+
+    if len(broker_threads) != 1:
+        fail(f"broker_threads varies across records ({sorted(broker_threads)})"
+             " — the compile worker pool must be process-wide")
+    print(f"check_multitenant: OK: {len(records)} records, "
+          f"{len(seen_ids)} isolates, broker pool constant at "
+          f"{broker_threads.pop()} worker(s)")
+
+
+if __name__ == "__main__":
+    main()

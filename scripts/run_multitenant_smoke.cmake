@@ -1,0 +1,37 @@
+# Runs bench_multitenant at a single small grid point (2 isolates x
+# 2 app threads, few ops) and lints the JSON it writes with
+# check_multitenant.py. Invoked by ctest (perf-smoke / isolate labels):
+#
+#   cmake -DBENCH=<binary> -DPYTHON=<python3>
+#         -DCHECK=<check_multitenant.py> -DJSON=<out.json>
+#         -P run_multitenant_smoke.cmake
+#
+# The bench itself exits nonzero if any isolate's checksum diverges from
+# the single-tenant replay or the broker pool size changes between
+# points, so this smoke covers the correctness gates too, not just the
+# schema.
+
+foreach(Var BENCH PYTHON CHECK JSON)
+  if(NOT DEFINED ${Var})
+    message(FATAL_ERROR "run_multitenant_smoke.cmake: ${Var} not set")
+  endif()
+endforeach()
+
+file(REMOVE ${JSON})
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env
+          "JVM_MT_ISOLATES=2" "JVM_MT_THREADS=2" "JVM_MT_OPS=24"
+          "JVM_MT_JSON=${JSON}"
+          ${BENCH}
+  RESULT_VARIABLE BenchResult)
+if(BenchResult)
+  message(FATAL_ERROR "multitenant smoke bench run failed: ${BenchResult}")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${CHECK} ${JSON}
+  RESULT_VARIABLE CheckResult)
+if(CheckResult)
+  message(FATAL_ERROR "multitenant schema check failed: ${CheckResult}")
+endif()

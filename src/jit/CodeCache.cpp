@@ -14,6 +14,14 @@
 
 using namespace jvm;
 
+CodeCache &CodeCache::process() {
+  // Meyers static: outlives every isolate constructed in main() and is
+  // destroyed (empty — all spans released with their isolates) at exit,
+  // keeping leak checkers quiet.
+  static CodeCache C;
+  return C;
+}
+
 CodeCache::Span CodeCache::install(const uint8_t *Bytes, size_t Size) {
 #if JVM_HAVE_MMAP
   if (Size == 0)

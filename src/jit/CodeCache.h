@@ -41,6 +41,13 @@ public:
   CodeCache(const CodeCache &) = delete;
   CodeCache &operator=(const CodeCache &) = delete;
 
+  /// The process-shared cache every isolate installs into. One pool of
+  /// executable memory per process (like HotSpot's code cache), while
+  /// each isolate keeps its own method-indexed tables of NativeCode
+  /// pointing into it; spans still release when the owning isolate
+  /// reclaims the NativeCode. Counters therefore aggregate all tenants.
+  static CodeCache &process();
+
   /// Maps a fresh span, copies \p Bytes of finished machine code into
   /// it and seals it read-execute. Returns an empty span if the OS
   /// refuses (counted; the caller falls back to the linear tier).

@@ -2,6 +2,8 @@
 
 #include "memory/MemoryConfig.h"
 
+#include "support/Env.h"
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,8 +32,7 @@ bool parseSize(const char *S, size_t &Out) {
   return true;
 }
 
-void readSizeEnv(const char *Name, size_t &Out) {
-  const char *E = std::getenv(Name);
+void readSizeValue(const char *Name, const char *E, size_t &Out) {
   if (!E || !*E)
     return;
   size_t V;
@@ -43,15 +44,19 @@ void readSizeEnv(const char *Name, size_t &Out) {
 
 } // namespace
 
-MemoryConfig MemoryConfig::fromEnvironment() {
+MemoryConfig MemoryConfig::fromSnapshot(const jvm::EnvSnapshot &Env) {
   MemoryConfig C;
-  readSizeEnv("JVM_HEAP_REGION", C.RegionBytes);
-  readSizeEnv("JVM_HEAP_YOUNG", C.YoungBytes);
+  readSizeValue("JVM_HEAP_REGION", Env.HeapRegion, C.RegionBytes);
+  readSizeValue("JVM_HEAP_YOUNG", Env.HeapYoung, C.YoungBytes);
   if (C.RegionBytes < 4096)
     C.RegionBytes = 4096;
   if (C.YoungBytes < 2 * C.RegionBytes)
     C.YoungBytes = 2 * C.RegionBytes;
-  if (const char *E = std::getenv("JVM_GC_STRESS"); E && *E && *E != '0')
+  if (jvm::EnvSnapshot::isOn(Env.GcStress))
     C.StressGc = true;
   return C;
+}
+
+MemoryConfig MemoryConfig::fromEnvironment() {
+  return fromSnapshot(jvm::EnvSnapshot::process());
 }

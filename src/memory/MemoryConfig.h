@@ -20,6 +20,9 @@
 #include <cstddef>
 
 namespace jvm {
+
+struct EnvSnapshot;
+
 namespace memory {
 
 struct MemoryConfig {
@@ -49,7 +52,12 @@ struct MemoryConfig {
   /// The config selected by the environment (see file comment), starting
   /// from the defaults above. Out-of-range values are clamped, not
   /// errors: a 4 KB floor on regions, two regions minimum young space.
+  /// Reads the once-captured process EnvSnapshot, never getenv directly.
   static MemoryConfig fromEnvironment();
+
+  /// Same derivation from an explicit snapshot (isolate construction,
+  /// tests with synthetic environments).
+  static MemoryConfig fromSnapshot(const jvm::EnvSnapshot &Env);
 
   /// Young capacity in whole regions (>= 2 so a scavenge always has a
   /// survivor region to copy into while the from-space still stands).

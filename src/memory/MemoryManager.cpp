@@ -4,6 +4,7 @@
 
 #include "observability/Trace.h"
 #include "support/Debug.h"
+#include "support/Env.h"
 
 #include <algorithm>
 #include <chrono>
@@ -35,7 +36,8 @@ MemoryManager::MemoryManager(const MemoryConfig &Config)
 }
 
 MemoryManager::~MemoryManager() {
-  if (const char *Path = std::getenv("JVM_GC_LOG"); Path && *Path) {
+  if (const char *Path = EnvSnapshot::process().GcLog;
+      EnvSnapshot::isSet(Path)) {
     if (std::FILE *F = std::fopen(Path, "a")) {
       std::string Text = renderGcLog();
       std::fwrite(Text.data(), 1, Text.size(), F);
@@ -305,7 +307,8 @@ void MemoryManager::scavenge() {
   Rec.YoungBefore = youngOccupancyBytes();
   Rec.OldBefore = OldBytes;
   TraceScope Span(TraceGc, "scavenge", "young_bytes",
-                  static_cast<int64_t>(Rec.YoungBefore));
+                  static_cast<int64_t>(Rec.YoungBefore), "isolate",
+                  static_cast<int64_t>(TraceIsolateId));
 
   std::vector<Region *> FromRegions = std::move(YoungRegions);
   YoungRegions.clear();
@@ -413,7 +416,8 @@ void MemoryManager::collectFull() {
   Rec.YoungBefore = youngOccupancyBytes();
   Rec.OldBefore = OldBytes;
   TraceScope Span(TraceGc, "full-gc", "old_bytes",
-                  static_cast<int64_t>(Rec.OldBefore));
+                  static_cast<int64_t>(Rec.OldBefore), "isolate",
+                  static_cast<int64_t>(TraceIsolateId));
 
   // From-space is everything that moves: all young and old regions.
   std::vector<Region *> FromRegions = std::move(YoungRegions);

@@ -100,6 +100,13 @@ public:
 
   const MemoryConfig &config() const { return Cfg; }
 
+  /// Tags this heap's GC trace spans with the owning isolate's id (the
+  /// tracer is process-wide; without the tag, concurrent tenants' GC
+  /// spans would be indistinguishable). 0 = untagged (standalone heaps
+  /// in tests). Set once right after construction, before any mutator
+  /// runs.
+  void setTraceIsolateId(uint32_t Id) { TraceIsolateId = Id; }
+
   MemoryManager(const MemoryManager &) = delete;
   MemoryManager &operator=(const MemoryManager &) = delete;
 
@@ -151,6 +158,7 @@ private:
   void recordGc(GcRecord R);
 
   MemoryConfig Cfg;
+  uint32_t TraceIsolateId = 0;
   RegionAllocator Regions;
 
   // Young space: the regions allocated since the last scavenge. The last

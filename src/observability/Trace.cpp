@@ -2,6 +2,8 @@
 
 #include "observability/Trace.h"
 
+#include "support/Env.h"
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -21,14 +23,14 @@ uint64_t nowNanos() {
 }
 
 size_t ringCapacityFromEnv() {
-  if (const char *E = std::getenv("JVM_TRACE_RING"))
+  if (const char *E = EnvSnapshot::process().TraceRing)
     if (long N = std::atol(E); N > 0)
       return static_cast<size_t>(N);
   return 1 << 16; // 65536 events/thread; ~5 MB worst case per thread
 }
 
 uint32_t categoryMaskFromEnv() {
-  const char *E = std::getenv("JVM_TRACE_CATEGORIES");
+  const char *E = EnvSnapshot::process().TraceCategories;
   if (!E || !*E)
     return TraceDefaultCategories;
   if (std::strcmp(E, "all") == 0)
@@ -83,7 +85,7 @@ void writeTraceAtExit() {
 /// use). Registered as a static initializer side effect of get().
 bool initFromEnvironment(Tracer &T) {
   T.setCategories(categoryMaskFromEnv());
-  if (const char *E = std::getenv("JVM_TRACE"); E && *E) {
+  if (const char *E = EnvSnapshot::process().Trace; E && *E) {
     exitTracePath() = E;
     T.setEnabled(true);
     std::atexit(writeTraceAtExit);
@@ -199,7 +201,8 @@ void Tracer::setCurrentThreadName(const char *Name) {
 
 void Tracer::instant(TraceCategory C, const char *Name, const char *Arg0Name,
                      int64_t Arg0, const char *Arg1Name, int64_t Arg1,
-                     const char *StrArgName, const char *StrArg) {
+                     const char *StrArgName, const char *StrArg,
+                     const char *Arg2Name, int64_t Arg2) {
   TraceEvent E;
   E.Name = Name;
   E.Cat = traceCategoryName(C);
@@ -208,19 +211,23 @@ void Tracer::instant(TraceCategory C, const char *Name, const char *Arg0Name,
   E.Arg0 = Arg0;
   E.Arg1Name = Arg1Name;
   E.Arg1 = Arg1;
+  E.Arg2Name = Arg2Name;
+  E.Arg2 = Arg2;
   E.StrArgName = StrArgName;
   E.StrArg = StrArg;
   record(E);
 }
 
 void Tracer::begin(TraceCategory C, const char *Name, const char *Arg0Name,
-                   int64_t Arg0) {
+                   int64_t Arg0, const char *Arg1Name, int64_t Arg1) {
   TraceEvent E;
   E.Name = Name;
   E.Cat = traceCategoryName(C);
   E.Ph = 'B';
   E.Arg0Name = Arg0Name;
   E.Arg0 = Arg0;
+  E.Arg1Name = Arg1Name;
+  E.Arg1 = Arg1;
   record(E);
 }
 
@@ -304,7 +311,7 @@ std::string Tracer::exportJson() const {
                       ",\"ph\":\"%c\",\"pid\":1,\"tid\":%u,\"ts\":%.3f",
                       E.Ph, E.Tid, E.TimeNanos / 1000.0);
         Out += Buf;
-        if (E.Arg0Name || E.Arg1Name || E.StrArgName) {
+        if (E.Arg0Name || E.Arg1Name || E.Arg2Name || E.StrArgName) {
           Out += ",\"args\":{";
           bool FirstArg = true;
           auto IntArg = [&](const char *AN, int64_t V) {
@@ -320,6 +327,7 @@ std::string Tracer::exportJson() const {
           };
           IntArg(E.Arg0Name, E.Arg0);
           IntArg(E.Arg1Name, E.Arg1);
+          IntArg(E.Arg2Name, E.Arg2);
           if (E.StrArgName) {
             if (!FirstArg)
               Out += ',';

@@ -84,12 +84,16 @@ struct TraceEvent {
   char Ph = 'I';          ///< 'B' begin / 'E' end / 'I' instant
   uint32_t Tid = 0;       ///< tracer-assigned thread id
   uint64_t TimeNanos = 0; ///< steady clock, relative to tracer start
-  // Up to two integer args and one static-string arg, rendered into the
-  // Chrome "args" object. Null name = absent.
+  // Up to three integer args and one static-string arg, rendered into
+  // the Chrome "args" object. Null name = absent. The third slot exists
+  // so multi-tenant events can carry an "isolate" id next to their
+  // method/version payload without displacing either.
   const char *Arg0Name = nullptr;
   int64_t Arg0 = 0;
   const char *Arg1Name = nullptr;
   int64_t Arg1 = 0;
+  const char *Arg2Name = nullptr;
+  int64_t Arg2 = 0;
   const char *StrArgName = nullptr;
   const char *StrArg = nullptr;
 };
@@ -118,12 +122,16 @@ public:
   void setCurrentThreadName(const char *Name);
 
   // Convenience recorders (still check nothing — gate with traceWants).
+  // The trailing Arg2 pair sits after the string arg so pre-existing
+  // positional call sites keep their meaning.
   void instant(TraceCategory C, const char *Name,
                const char *Arg0Name = nullptr, int64_t Arg0 = 0,
                const char *Arg1Name = nullptr, int64_t Arg1 = 0,
-               const char *StrArgName = nullptr, const char *StrArg = nullptr);
+               const char *StrArgName = nullptr, const char *StrArg = nullptr,
+               const char *Arg2Name = nullptr, int64_t Arg2 = 0);
   void begin(TraceCategory C, const char *Name,
-             const char *Arg0Name = nullptr, int64_t Arg0 = 0);
+             const char *Arg0Name = nullptr, int64_t Arg0 = 0,
+             const char *Arg1Name = nullptr, int64_t Arg1 = 0);
   void end(TraceCategory C, const char *Name);
 
   // Introspection ------------------------------------------------------------
@@ -189,11 +197,12 @@ private:
 class TraceScope {
 public:
   TraceScope(TraceCategory C, const char *Name,
-             const char *Arg0Name = nullptr, int64_t Arg0 = 0)
+             const char *Arg0Name = nullptr, int64_t Arg0 = 0,
+             const char *Arg1Name = nullptr, int64_t Arg1 = 0)
       : Cat(C), Name(Name) {
     Active = traceWants(C);
     if (Active)
-      Tracer::get().begin(C, Name, Arg0Name, Arg0);
+      Tracer::get().begin(C, Name, Arg0Name, Arg0, Arg1Name, Arg1);
   }
   ~TraceScope() {
     if (Active)

@@ -83,6 +83,9 @@ public:
   /// The per-collection log (also appended to $JVM_GC_LOG at exit).
   std::string renderGcLog() const { return M.renderGcLog(); }
 
+  /// See memory::MemoryManager::setTraceIsolateId.
+  void setTraceIsolateId(uint32_t Id) { M.setTraceIsolateId(Id); }
+
   memory::MemoryManager &manager() { return M; }
   const memory::MemoryConfig &config() const { return M.config(); }
 

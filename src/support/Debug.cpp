@@ -2,13 +2,16 @@
 
 #include "support/Debug.h"
 
+#include "support/Env.h"
+
 #include <cstdio>
-#include <cstdlib>
 
 namespace {
 
 bool &debugFlag() {
-  static bool Enabled = std::getenv("JVM_DEBUG") != nullptr;
+  // Seeded from the process env snapshot (not a private getenv): every
+  // subsystem observes the same JVM_DEBUG value, captured once.
+  static bool Enabled = jvm::EnvSnapshot::process().Debug != nullptr;
   return Enabled;
 }
 

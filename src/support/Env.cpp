@@ -1,0 +1,41 @@
+//===- Env.cpp - Process environment snapshot ----------------------------------===//
+
+#include "support/Env.h"
+
+#include <cstdlib>
+
+using namespace jvm;
+
+EnvSnapshot EnvSnapshot::capture() {
+  EnvSnapshot S;
+  S.Debug = std::getenv("JVM_DEBUG");
+  S.DumpPhases = std::getenv("JVM_DUMP_PHASES");
+  S.DumpGraphDir = std::getenv("JVM_DUMP_GRAPH_DIR");
+  S.DumpNative = std::getenv("JVM_DUMP_NATIVE");
+  S.ExecMode = std::getenv("JVM_EXEC_MODE");
+  S.CompilerThreads = std::getenv("JVM_COMPILER_THREADS");
+  S.MetricsJson = std::getenv("JVM_METRICS_JSON");
+  S.CompileLog = std::getenv("JVM_COMPILE_LOG");
+  S.Trace = std::getenv("JVM_TRACE");
+  S.TraceCategories = std::getenv("JVM_TRACE_CATEGORIES");
+  S.TraceRing = std::getenv("JVM_TRACE_RING");
+  S.HeapRegion = std::getenv("JVM_HEAP_REGION");
+  S.HeapYoung = std::getenv("JVM_HEAP_YOUNG");
+  S.GcStress = std::getenv("JVM_GC_STRESS");
+  S.GcLog = std::getenv("JVM_GC_LOG");
+  S.BenchWarmup = std::getenv("JVM_BENCH_WARMUP");
+  S.BenchMeasure = std::getenv("JVM_BENCH_MEASURE");
+  S.BenchRepeats = std::getenv("JVM_BENCH_REPEATS");
+  S.BenchJson = std::getenv("JVM_BENCH_JSON");
+  S.BenchDiag = std::getenv("JVM_BENCH_DIAG");
+  S.MtIsolates = std::getenv("JVM_MT_ISOLATES");
+  S.MtThreads = std::getenv("JVM_MT_THREADS");
+  S.MtOps = std::getenv("JVM_MT_OPS");
+  S.MtJson = std::getenv("JVM_MT_JSON");
+  return S;
+}
+
+const EnvSnapshot &EnvSnapshot::process() {
+  static const EnvSnapshot S = capture();
+  return S;
+}

@@ -1,0 +1,89 @@
+//===- Env.h - Process environment snapshot -------------------------*- C++ -*-===//
+///
+/// \file
+/// One snapshot of every JVM_* environment variable the VM reads,
+/// captured exactly once per process (EnvSnapshot::process()) before any
+/// subsystem consumes it. This replaces the ~20 scattered std::getenv
+/// calls — and in particular the function-local `static const char *X =
+/// getenv(...)` first-call-wins pattern — with a single, auditable
+/// surface:
+///
+///  - every variable is listed here, so `grep JVM_ Env.h` is the
+///    authoritative inventory of the environment interface;
+///  - capture happens at one point in time, so two subsystems can never
+///    observe different values of the same variable;
+///  - isolates carry a reference to the snapshot they were configured
+///    from, so per-tenant option derivation is explicit instead of
+///    ambient.
+///
+/// Fields keep the raw C-string values (pointers into the process
+/// environment, stable for the process lifetime; nullptr = unset) and
+/// each consumer keeps its own parsing/clamping rules — the snapshot
+/// centralizes *when* the environment is read, not every component's
+/// interpretation of it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_SUPPORT_ENV_H
+#define JVM_SUPPORT_ENV_H
+
+namespace jvm {
+
+struct EnvSnapshot {
+  // Diagnostics ---------------------------------------------------------
+  const char *Debug = nullptr;        ///< JVM_DEBUG: set = debug lines on
+  const char *DumpPhases = nullptr;   ///< JVM_DUMP_PHASES: set = dump IR
+  const char *DumpGraphDir = nullptr; ///< JVM_DUMP_GRAPH_DIR: snapshot dir
+  const char *DumpNative = nullptr;   ///< JVM_DUMP_NATIVE: raw code dir
+
+  // Execution -----------------------------------------------------------
+  const char *ExecMode = nullptr;        ///< JVM_EXEC_MODE: tier selection
+  const char *CompilerThreads = nullptr; ///< JVM_COMPILER_THREADS: shared
+                                         ///< broker pool size (process-wide)
+
+  // Observability -------------------------------------------------------
+  const char *MetricsJson = nullptr;     ///< JVM_METRICS_JSON: append path
+  const char *CompileLog = nullptr;      ///< JVM_COMPILE_LOG: append path
+  const char *Trace = nullptr;           ///< JVM_TRACE: export path
+  const char *TraceCategories = nullptr; ///< JVM_TRACE_CATEGORIES
+  const char *TraceRing = nullptr;       ///< JVM_TRACE_RING: events/thread
+
+  // Memory --------------------------------------------------------------
+  const char *HeapRegion = nullptr; ///< JVM_HEAP_REGION: region bytes
+  const char *HeapYoung = nullptr;  ///< JVM_HEAP_YOUNG: young capacity
+  const char *GcStress = nullptr;   ///< JVM_GC_STRESS: scavenge per alloc
+  const char *GcLog = nullptr;      ///< JVM_GC_LOG: append path
+
+  // Benchmark harness ---------------------------------------------------
+  const char *BenchWarmup = nullptr;  ///< JVM_BENCH_WARMUP
+  const char *BenchMeasure = nullptr; ///< JVM_BENCH_MEASURE
+  const char *BenchRepeats = nullptr; ///< JVM_BENCH_REPEATS
+  const char *BenchJson = nullptr;    ///< JVM_BENCH_JSON: Table 1 records
+  const char *BenchDiag = nullptr;    ///< JVM_BENCH_DIAG: dump registry
+
+  // Multi-tenant driver -------------------------------------------------
+  const char *MtIsolates = nullptr; ///< JVM_MT_ISOLATES: comma grid
+  const char *MtThreads = nullptr;  ///< JVM_MT_THREADS: comma grid
+  const char *MtOps = nullptr;      ///< JVM_MT_OPS: ops/thread/point
+  const char *MtJson = nullptr;     ///< JVM_MT_JSON: records path
+
+  /// Reads the environment now. Tests that need a divergent view build
+  /// their own snapshot; production code uses process().
+  static EnvSnapshot capture();
+
+  /// The process-wide snapshot, captured on first use and immutable
+  /// afterwards. Every subsystem reads this one.
+  static const EnvSnapshot &process();
+
+  /// True if \p V is set and non-empty (the usual "is this path/value
+  /// configured" test).
+  static bool isSet(const char *V) { return V && *V; }
+
+  /// True if \p V is set, non-empty and not "0" (boolean knobs like
+  /// JVM_GC_STRESS that treat an explicit 0 as off).
+  static bool isOn(const char *V) { return V && *V && *V != '0'; }
+};
+
+} // namespace jvm
+
+#endif // JVM_SUPPORT_ENV_H

@@ -1,4 +1,4 @@
-//===- CompileBroker.cpp - Background JIT compilation --------------------------===//
+//===- CompileBroker.cpp - Process-wide background JIT service ----------------===//
 
 #include "vm/CompileBroker.h"
 
@@ -7,9 +7,11 @@
 #include "ir/Graph.h"
 #include "observability/Trace.h"
 #include "support/Debug.h"
+#include "support/Env.h"
 #include "vm/LinearCode.h"
 
 #include <atomic>
+#include <cassert>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -26,13 +28,15 @@ uint64_t nowNanos() {
 
 /// JVM_DUMP_PHASES=1 prints the IR after each phase that changed the
 /// graph. JVM_DUMP_GRAPH_DIR=<dir> additionally writes one IR snapshot
-/// file per (method, phase). Both resolved once at startup: the hot
-/// compile path (and concurrent workers) must not call getenv per
-/// compilation.
-const bool DumpPhases = std::getenv("JVM_DUMP_PHASES") != nullptr;
-const char *const DumpGraphDir = std::getenv("JVM_DUMP_GRAPH_DIR");
+/// file per (method, phase). Both resolved once at startup via the
+/// process env snapshot: the hot compile path (and concurrent workers)
+/// must not call getenv per compilation.
+bool dumpPhases() { return EnvSnapshot::process().DumpPhases != nullptr; }
+const char *dumpGraphDir() { return EnvSnapshot::process().DumpGraphDir; }
 
 /// Distinguishes recompilations of the same method in dump file names.
+/// Process-wide on purpose: with one broker serving many isolates, the
+/// compile ordinal is the only total order compiles have.
 std::atomic<uint64_t> NextCompileSeq{0};
 
 } // namespace
@@ -45,7 +49,8 @@ CompileResult::~CompileResult() = default;
 CompileResult jvm::runCompilePipeline(const PhasePlan &Plan, const Program &P,
                                       MethodId Method,
                                       const ProfileSnapshot &Profiles,
-                                      const CompilerOptions &CO) {
+                                      const CompilerOptions &CO,
+                                      uint32_t IsolateId) {
   CompileResult R;
   PhaseContext Ctx(P, Profiles, CO, Method);
   Ctx.CompileSeq = NextCompileSeq.fetch_add(1, std::memory_order_relaxed);
@@ -54,16 +59,17 @@ CompileResult jvm::runCompilePipeline(const PhasePlan &Plan, const Program &P,
   // compile is noise next to the pipeline itself, and the compilation
   // log wants complete histories, not histories since it was enabled.
   Ctx.Trail = &R.Trail;
-  if (DumpGraphDir)
-    Ctx.DumpDir = DumpGraphDir;
+  if (dumpGraphDir())
+    Ctx.DumpDir = dumpGraphDir();
   TraceScope Span(TraceCompile, "compile", "method",
-                  static_cast<int64_t>(Method));
+                  static_cast<int64_t>(Method), "isolate",
+                  static_cast<int64_t>(IsolateId));
 
   // Dumps accumulate in a per-compile buffer and are flushed below in a
   // single write, so compiles on concurrent broker workers never
   // interleave their phase trails.
   std::string DumpText;
-  if (DumpPhases) {
+  if (dumpPhases()) {
     Ctx.DumpText = &DumpText;
     DumpText += "=== compiling m" + std::to_string(Method) + " (compile #" +
                 std::to_string(Ctx.CompileSeq) + ") ===\n";
@@ -89,7 +95,7 @@ CompileResult jvm::runCompilePipeline(const PhasePlan &Plan, const Program &P,
     }
   }
 
-  if (DumpPhases)
+  if (dumpPhases())
     std::fwrite(DumpText.data(), 1, DumpText.size(), stderr);
 
   R.Stats = Ctx.Stats;
@@ -101,15 +107,14 @@ CompileResult jvm::runCompilePipeline(const PhasePlan &Plan, const Program &P,
 
 CompileResult jvm::runCompilePipeline(const Program &P, MethodId Method,
                                       const ProfileSnapshot &Profiles,
-                                      const CompilerOptions &CO) {
-  return runCompilePipeline(makeDefaultPhasePlan(CO), P, Method, Profiles, CO);
+                                      const CompilerOptions &CO,
+                                      uint32_t IsolateId) {
+  return runCompilePipeline(makeDefaultPhasePlan(CO), P, Method, Profiles, CO,
+                            IsolateId);
 }
 
-CompileBroker::CompileBroker(const Program &P, CompilerOptions Options,
-                             unsigned Threads, InstallFn Install)
-    : P(P), Options(Options), Plan(makeDefaultPhasePlan(Options)),
-      NumThreads(Threads ? Threads : 1), Install(std::move(Install)),
-      Pending(P.numMethods(), 0) {
+CompileBroker::CompileBroker(unsigned Threads)
+    : NumThreads(Threads ? Threads : 1) {
   // Spawn the pool up front: thread creation is hundreds of
   // microseconds and must not land on the mutator's first enqueue.
   Workers.reserve(NumThreads);
@@ -122,7 +127,7 @@ CompileBroker::~CompileBroker() {
     std::lock_guard<std::mutex> L(Mutex);
     Stopping = true;
     // Queued-but-unstarted tasks die with the broker; their Pending
-    // flags are irrelevant once the owner is shutting down too.
+    // flags are irrelevant once everything is shutting down.
     while (!Queue.empty())
       Queue.pop();
   }
@@ -131,18 +136,81 @@ CompileBroker::~CompileBroker() {
     W.join();
 }
 
-bool CompileBroker::enqueue(MethodId M, uint64_t Hotness, uint64_t Version,
-                            ProfileSnapshot Snapshot) {
+CompileBroker &CompileBroker::process() {
+  // Meyers static, NOT a leaked new: the pool must join (and its clients
+  // must already be gone) before exit so leak checkers stay quiet and
+  // exit-time trace export sees no half-written spans.
+  static CompileBroker B([] {
+    if (const char *V = EnvSnapshot::process().CompilerThreads) {
+      long N = std::strtol(V, nullptr, 10);
+      if (N > 0)
+        return static_cast<unsigned>(N);
+    }
+    unsigned N = std::thread::hardware_concurrency();
+    return N ? N : 1u;
+  }());
+  return B;
+}
+
+CompileBroker::Client *CompileBroker::findLocked(ClientId Id) {
+  auto It = Clients.find(Id);
+  return It == Clients.end() ? nullptr : It->second.get();
+}
+
+void CompileBroker::registerClient(ClientId Id, const Program &P,
+                                   CompilerOptions Options, InstallFn Install) {
+  assert(Id != 0 && "client id 0 is reserved");
+  std::lock_guard<std::mutex> L(Mutex);
+  assert(!Clients.count(Id) && "client id already registered");
+  auto C = std::make_unique<Client>();
+  C->P = &P;
+  C->Options = Options;
+  C->Plan = makeDefaultPhasePlan(Options);
+  C->Install = std::move(Install);
+  C->Pending.assign(P.numMethods(), 0);
+  Clients.emplace(Id, std::move(C));
+}
+
+void CompileBroker::unregisterClient(ClientId Id) {
+  std::unique_lock<std::mutex> L(Mutex);
+  Client *C = findLocked(Id);
+  if (!C)
+    return;
+  C->Unregistering = true;
+  if (C->Queued) {
+    // Drop this client's queued entries now rather than lazily at pop:
+    // with idle workers asleep, lazy dropping would leave the entries
+    // (and their Program/snapshot references) alive indefinitely.
+    std::priority_queue<QueueEntry> Kept;
+    while (!Queue.empty()) {
+      if (Queue.top().T->Client != Id)
+        Kept.push(Queue.top());
+      Queue.pop();
+    }
+    Queue = std::move(Kept);
+    C->Queued = 0;
+  }
+  // In-flight compiles still hold a raw Client* and will run the install
+  // callback; wait them out before the record (and the isolate behind
+  // it) goes away.
+  Idle.wait(L, [C] { return C->InFlight == 0; });
+  Clients.erase(Id);
+}
+
+bool CompileBroker::enqueue(ClientId Id, MethodId M, uint64_t Hotness,
+                            uint64_t Version, ProfileSnapshot Snapshot) {
   {
     std::lock_guard<std::mutex> L(Mutex);
-    if (Stopping || Pending[M])
+    Client *C = findLocked(Id);
+    if (!C || C->Unregistering || Stopping || C->Pending[M])
       return false;
-    Pending[M] = 1;
+    C->Pending[M] = 1;
+    ++C->Queued;
     Queue.push(QueueEntry{Hotness, NextSeq++,
-                          std::make_shared<Task>(M, Hotness, Version,
+                          std::make_shared<Task>(Id, M, Hotness, Version,
                                                  nowNanos(),
                                                  std::move(Snapshot))});
-    uint64_t Depth = Queue.size() + InFlight;
+    uint64_t Depth = Queue.size() + InFlightTotal;
     if (Depth > HighWater)
       HighWater = Depth;
   }
@@ -158,6 +226,7 @@ void CompileBroker::workerLoop() {
     Tracer::get().setCurrentThreadName("compiler-worker");
   for (;;) {
     std::shared_ptr<Task> T;
+    Client *C = nullptr;
     {
       std::unique_lock<std::mutex> L(Mutex);
       WorkAvailable.wait(L, [this] { return Stopping || !Queue.empty(); });
@@ -165,31 +234,49 @@ void CompileBroker::workerLoop() {
         return;
       T = Queue.top().T;
       Queue.pop();
-      ++InFlight;
+      C = findLocked(T->Client);
+      assert(C && !C->Unregistering &&
+             "queued task for missing client: unregister drains the queue");
+      --C->Queued;
+      ++C->InFlight;
+      ++InFlightTotal;
     }
 
-    JVM_DEBUG("broker: compiling m" << T->Method << " (hotness "
-                                    << T->Hotness << ")");
-    CompileResult R =
-        runCompilePipeline(Plan, P, T->Method, T->Snapshot, Options);
+    JVM_DEBUG("broker: compiling m" << T->Method << " for isolate "
+                                    << T->Client << " (hotness " << T->Hotness
+                                    << ")");
+    // C stays valid without the lock: unregisterClient blocks on
+    // InFlight == 0 before erasing, and we bumped InFlight above.
+    CompileResult R = runCompilePipeline(C->Plan, *C->P, T->Method,
+                                         T->Snapshot, C->Options, T->Client);
     MethodId M = T->Method;
-    Install(std::move(*T), std::move(R));
+    C->Install(std::move(*T), std::move(R));
 
     {
       std::lock_guard<std::mutex> L(Mutex);
-      Pending[M] = 0;
-      --InFlight;
+      C->Pending[M] = 0;
+      --C->InFlight;
+      --InFlightTotal;
     }
     Idle.notify_all();
   }
 }
 
-void CompileBroker::waitIdle() {
+void CompileBroker::waitIdle(ClientId Id) {
   std::unique_lock<std::mutex> L(Mutex);
-  Idle.wait(L, [this] { return Queue.empty() && InFlight == 0; });
+  Idle.wait(L, [this, Id] {
+    // An unknown id is idle by definition (already unregistered).
+    const Client *C = findLocked(Id);
+    return !C || (C->Queued == 0 && C->InFlight == 0);
+  });
 }
 
 uint64_t CompileBroker::queueDepthHighWater() const {
   std::lock_guard<std::mutex> L(Mutex);
   return HighWater;
+}
+
+size_t CompileBroker::numClients() const {
+  std::lock_guard<std::mutex> L(Mutex);
+  return Clients.size();
 }

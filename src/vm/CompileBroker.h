@@ -1,13 +1,17 @@
-//===- CompileBroker.h - Background JIT compilation -----------------*- C++ -*-===//
+//===- CompileBroker.h - Process-wide background JIT service --------*- C++ -*-===//
 ///
 /// \file
 /// The compile broker takes JIT compilation off the mutator thread, the
-/// way HotSpot's and Graal's compile brokers do: the VM enqueues a hot
-/// method together with an immutable ProfileSnapshot, a pool of worker
-/// threads drains a hotness-prioritized queue, and the finished graph is
-/// handed back for atomic installation. The interpreter keeps running
-/// the method until its code is ready, so compilation never stalls the
-/// application.
+/// way HotSpot's and Graal's compile brokers do — and, since the isolate
+/// refactor, it is a **process-wide service**: one worker pool compiles
+/// on behalf of every isolate in the process. An isolate registers as a
+/// client (carrying its Program, CompilerOptions, prebuilt PhasePlan and
+/// install callback), enqueues hot methods together with immutable
+/// ProfileSnapshots, and the pool drains one hotness-prioritized queue
+/// shared by all tenants. Worker count is fixed at process startup
+/// (JVM_COMPILER_THREADS, default hardware concurrency) and does NOT
+/// grow with the number of isolates — that is the point: compilation
+/// capacity is a shared substrate, per-tenant state is not.
 ///
 /// Key properties:
 ///  - **Snapshot isolation.** Workers read only the ProfileSnapshot taken
@@ -16,18 +20,25 @@
 ///    is identical to what a synchronous compile at the same trigger
 ///    point would have produced.
 ///  - **Hotness priority.** The queue is a max-heap on the hotness at
-///    enqueue time (FIFO among equals), so under load the methods that
-///    burn the most interpreter cycles compile first.
-///  - **In-flight dedup.** A method is queued at most once; re-requests
-///    while a compile is pending are dropped.
+///    enqueue time (FIFO among equals), across all isolates: under load
+///    the methods that burn the most interpreter cycles compile first,
+///    whoever owns them.
+///  - **In-flight dedup.** A (client, method) pair is queued at most
+///    once; re-requests while a compile is pending are dropped.
 ///  - **Versioned installation.** Each task carries the method's code
-///    version at enqueue time. Installation (done by the owner through
-///    the install callback) compares versions, so an in-flight compile of
-///    a just-invalidated method is discarded instead of installed.
+///    version at enqueue time. Installation (done by the owning isolate
+///    through its install callback) compares versions, so an in-flight
+///    compile of a just-invalidated method is discarded instead of
+///    installed.
+///  - **Safe unregistration.** unregisterClient() drops the client's
+///    queued tasks and blocks until its in-flight compilations have
+///    installed or discarded — after it returns, no worker can touch the
+///    (about to be destroyed) isolate again.
 ///
 /// The broker also owns the compile pipeline itself (runCompilePipeline),
 /// which both the workers and the legacy synchronous path
-/// (CompilerThreads = 0) run — one pipeline, two schedulers.
+/// (CompilerThreads = 0, which never touches the broker at all) run —
+/// one pipeline, two schedulers.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -42,6 +53,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <queue>
@@ -85,84 +97,136 @@ struct CompileResult {
 /// JVM_DUMP_PHASES text in one write so concurrent compiles never
 /// interleave. Pure with respect to VM state: reads only \p P and the
 /// snapshot, so any number of pipelines may run concurrently on
-/// different threads.
+/// different threads. \p IsolateId tags the compile span in exported
+/// traces (0 = unattributed, e.g. direct pipeline tests).
 CompileResult runCompilePipeline(const PhasePlan &Plan, const Program &P,
                                  MethodId Method,
                                  const ProfileSnapshot &Profiles,
-                                 const CompilerOptions &Options);
+                                 const CompilerOptions &Options,
+                                 uint32_t IsolateId = 0);
 
 /// Convenience overload for one-shot (synchronous) compiles: builds the
 /// default plan from \p Options and runs it.
 CompileResult runCompilePipeline(const Program &P, MethodId Method,
                                  const ProfileSnapshot &Profiles,
-                                 const CompilerOptions &Options);
+                                 const CompilerOptions &Options,
+                                 uint32_t IsolateId = 0);
 
 class CompileBroker {
 public:
-  /// One queued compilation request.
+  /// Identifies a registered isolate. Chosen by the caller (isolates
+  /// pass their process-wide isolate id) so queue entries, traces and
+  /// logs all speak the same id space. Id 0 is reserved/invalid.
+  using ClientId = uint32_t;
+
+  /// One queued compilation request, tagged with the isolate it
+  /// compiles for.
   struct Task {
+    ClientId Client = 0;
     MethodId Method = NoMethod;
     uint64_t Hotness = 0;      ///< priority at enqueue time
     uint64_t Version = 0;      ///< method code version at enqueue time
     uint64_t EnqueueNanos = 0; ///< for enqueue-to-install latency
     ProfileSnapshot Snapshot;
 
-    Task(MethodId M, uint64_t Hotness, uint64_t Version,
+    Task(ClientId C, MethodId M, uint64_t Hotness, uint64_t Version,
          uint64_t EnqueueNanos, ProfileSnapshot Snap)
-        : Method(M), Hotness(Hotness), Version(Version),
+        : Client(C), Method(M), Hotness(Hotness), Version(Version),
           EnqueueNanos(EnqueueNanos), Snapshot(std::move(Snap)) {}
   };
 
-  /// Called on a worker thread with a finished compilation. The owner
-  /// decides whether to install or discard (version check) — the broker
-  /// itself never touches method state.
+  /// Called on a worker thread with a finished compilation. The owning
+  /// isolate decides whether to install or discard (version check) —
+  /// the broker itself never touches method state.
   using InstallFn = std::function<void(Task &&, CompileResult &&)>;
 
-  /// \p Threads must be >= 1; the worker pool starts immediately so
-  /// thread creation is never charged to a mutator's enqueue.
-  CompileBroker(const Program &P, CompilerOptions Options, unsigned Threads,
-                InstallFn Install);
+  /// A private broker with its own pool (tests). Production isolates
+  /// use process() instead. \p Threads is clamped to >= 1; the worker
+  /// pool starts immediately so thread creation is never charged to a
+  /// mutator's enqueue.
+  explicit CompileBroker(unsigned Threads);
 
-  /// Drains nothing: pending queue entries are dropped, in-flight
-  /// compilations finish (and install/discard) before workers join.
+  /// Pending queue entries are dropped, in-flight compilations finish
+  /// (and install/discard) before workers join. All clients must have
+  /// been unregistered — except at process exit, where remaining
+  /// registrations would be a caller bug anyway.
   ~CompileBroker();
 
   CompileBroker(const CompileBroker &) = delete;
   CompileBroker &operator=(const CompileBroker &) = delete;
 
-  /// Requests compilation of \p M. Returns false if a request for \p M
-  /// is already queued or in flight (the request is dropped). Does NOT
-  /// wake a worker: call kick() afterwards, outside any stall-accounting
-  /// window — on a saturated machine the woken worker may preempt the
-  /// caller immediately, and that compile time is not mutator stall.
-  bool enqueue(MethodId M, uint64_t Hotness, uint64_t Version,
+  /// The process-wide broker, created on first use with
+  /// JVM_COMPILER_THREADS workers (default: hardware concurrency).
+  /// Worker count never changes afterwards, however many isolates
+  /// register — scale-out adds tenants, not compiler threads.
+  static CompileBroker &process();
+
+  /// Registers an isolate: \p Id must be nonzero and not currently
+  /// registered. The broker builds the client's PhasePlan from
+  /// \p Options once, here, so workers share one read-only plan per
+  /// isolate. \p Install runs on worker threads; it must stay callable
+  /// until unregisterClient(Id) returns.
+  void registerClient(ClientId Id, const Program &P, CompilerOptions Options,
+                      InstallFn Install);
+
+  /// Removes \p Id: queued tasks are dropped, then the call blocks until
+  /// every in-flight compilation for \p Id has finished installing or
+  /// discarding. After return the broker holds no reference to the
+  /// client and will never invoke its callback again.
+  void unregisterClient(ClientId Id);
+
+  /// Requests compilation of \p M for client \p Id. Returns false if a
+  /// request for (Id, M) is already queued or in flight (the request is
+  /// dropped) or \p Id is not registered. Does NOT wake a worker: call
+  /// kick() afterwards, outside any stall-accounting window — on a
+  /// saturated machine the woken worker may preempt the caller
+  /// immediately, and that compile time is not mutator stall.
+  bool enqueue(ClientId Id, MethodId M, uint64_t Hotness, uint64_t Version,
                ProfileSnapshot Snapshot);
 
   /// Wakes a worker to pick up queued work.
   void kick();
 
-  /// Blocks until the queue is empty and no compilation is in flight.
-  /// Establishes happens-before with all completed installations.
-  void waitIdle();
+  /// Blocks until client \p Id has nothing queued and nothing in flight.
+  /// Establishes happens-before with all of that client's completed
+  /// installations. Other isolates' work may still be running — one
+  /// tenant quiescing must not wait on its neighbors.
+  void waitIdle(ClientId Id);
 
-  /// Largest queue depth ever observed (including in-flight tasks).
+  /// Largest queue depth ever observed (including in-flight tasks),
+  /// process-wide across all clients.
   uint64_t queueDepthHighWater() const;
+
+  /// Number of clients currently registered (diagnostics/tests).
+  size_t numClients() const;
 
   unsigned numThreads() const { return NumThreads; }
 
 private:
-  void workerLoop();
+  /// Per-isolate registration record. Stable address while registered:
+  /// workers hold a raw pointer across a compile, and unregisterClient
+  /// waits for InFlight to drain before erasing.
+  struct Client {
+    const Program *P = nullptr;
+    CompilerOptions Options;
+    /// Built once at registration; shared read-only by all workers
+    /// (phases are stateless, so concurrent Plan.run calls are safe).
+    PhasePlan Plan;
+    InstallFn Install;
+    std::vector<uint8_t> Pending; ///< per-method queued-or-in-flight
+    uint64_t Queued = 0;          ///< entries currently in the queue
+    unsigned InFlight = 0;        ///< workers compiling for this client
+    bool Unregistering = false;   ///< drop this client's queued tasks
+  };
 
-  const Program &P;
-  const CompilerOptions Options;
-  /// Built once from Options; shared read-only by all workers (phases
-  /// are stateless, so concurrent Plan.run calls are safe).
-  const PhasePlan Plan;
+  void workerLoop();
+  Client *findLocked(ClientId Id);
+
   const unsigned NumThreads;
-  InstallFn Install;
 
   /// Max-heap on hotness; ties broken FIFO by sequence number so equal
-  /// priorities keep their request order (determinism under one worker).
+  /// priorities keep their request order (determinism under one worker),
+  /// across isolates.
   struct QueueEntry {
     uint64_t Hotness;
     uint64_t Seq;
@@ -178,11 +242,11 @@ private:
   std::condition_variable WorkAvailable;
   std::condition_variable Idle;
   std::priority_queue<QueueEntry> Queue;
-  std::vector<uint8_t> Pending; ///< per-method queued-or-in-flight flag
+  std::map<ClientId, std::unique_ptr<Client>> Clients;
   std::vector<std::thread> Workers;
   uint64_t NextSeq = 0;
   uint64_t HighWater = 0;
-  unsigned InFlight = 0;
+  unsigned InFlightTotal = 0;
   bool Stopping = false;
 };
 

@@ -1,15 +1,15 @@
-//===- VirtualMachine.cpp - Tiered execution -----------------------------------===//
+//===- Isolate.cpp - Per-tenant VM state ---------------------------------------===//
 
-#include "vm/VirtualMachine.h"
+#include "vm/Isolate.h"
 
 #include "ir/Graph.h"
 #include "support/Debug.h"
+#include "support/Env.h"
 #include "vm/CompileBroker.h"
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <thread>
 
@@ -22,6 +22,11 @@ uint64_t nowNanos() {
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+/// Tenant ids, process-unique and never reused: the broker, the tracer
+/// and the metrics records all key on them, and a reused id could stitch
+/// a dead tenant's events onto a live one in post-processed output.
+std::atomic<uint32_t> NextIsolateId{1};
 
 } // namespace
 
@@ -66,7 +71,7 @@ ExecMode jvm::execModeFromEnvironment(const char *Text) {
 
 ExecMode jvm::defaultExecMode() {
   static const ExecMode Mode =
-      execModeFromEnvironment(std::getenv("JVM_EXEC_MODE"));
+      execModeFromEnvironment(EnvSnapshot::process().ExecMode);
   return Mode;
 }
 
@@ -84,8 +89,9 @@ const char *jvm::execModeName(ExecMode M) {
   return "unknown";
 }
 
-VirtualMachine::VirtualMachine(const Program &P, VMOptions Options)
-    : P(P), Options(Options), RT(P, Options.Memory), Profiles(P.numMethods()),
+Isolate::Isolate(const Program &P, VMOptions Options)
+    : Id(NextIsolateId.fetch_add(1, std::memory_order_relaxed)), P(P),
+      Options(Options), RT(P, Options.Memory), Profiles(P.numMethods()),
       Interp(RT, Profiles),
       Executor(
           RT,
@@ -109,10 +115,15 @@ VirtualMachine::VirtualMachine(const Program &P, VMOptions Options)
   Interp.setCallHandler([this](MethodId Target, std::vector<Value> &&Args) {
     return call(Target, std::move(Args));
   });
+  RT.heap().setTraceIsolateId(Id);
   registerMetrics();
-  if (Options.EnableJit && Options.CompilerThreads > 0)
-    Broker = std::make_unique<CompileBroker>(
-        P, Options.Compiler, Options.CompilerThreads,
+  if (Options.EnableJit && Options.CompilerThreads > 0) {
+    // Asynchronous mode: become a client of the process-wide broker.
+    // The pool (sized once, from JVM_COMPILER_THREADS) is shared by all
+    // isolates — registering adds a queue tenant, not threads.
+    Broker = &CompileBroker::process();
+    Broker->registerClient(
+        Id, P, Options.Compiler,
         [this](CompileBroker::Task &&T, CompileResult &&R) {
           installCode(T.Method, T.Version, std::move(R), T.EnqueueNanos,
                       T.Hotness);
@@ -121,34 +132,45 @@ VirtualMachine::VirtualMachine(const Program &P, VMOptions Options)
           States[T.Method].CompilePending.store(false,
                                                 std::memory_order_release);
         });
+  }
 }
 
-VirtualMachine::~VirtualMachine() {
-  // Environment-driven end-of-VM dumps. Both append (one block/object
-  // per VM instance), so multi-VM processes — the test binaries — leave
-  // every VM's data in the file.
-  const char *MetricsPath = std::getenv("JVM_METRICS_JSON");
-  const char *LogPath = std::getenv("JVM_COMPILE_LOG");
-  if ((MetricsPath && *MetricsPath) || (LogPath && *LogPath)) {
-    waitForCompilerIdle();
-    if (MetricsPath && *MetricsPath) {
-      if (std::FILE *F = std::fopen(MetricsPath, "a")) {
-        std::string Json = dumpMetricsJson() + "\n";
-        std::fwrite(Json.data(), 1, Json.size(), F);
-        std::fclose(F);
-      }
+Isolate::~Isolate() {
+  // Sever the broker link before anything else: queued compiles for
+  // this isolate are dropped, in-flight ones finish installing or
+  // discarding, and after this returns no worker holds a reference to
+  // us — the rest of teardown can proceed single-threaded.
+  if (Broker)
+    Broker->unregisterClient(Id);
+
+  // Environment-driven end-of-isolate dumps. Both append — one
+  // block/object per isolate — so multi-isolate processes (and the test
+  // binaries, which create many short-lived isolates) leave every
+  // tenant's data in the file, each tagged with its isolate id.
+  const EnvSnapshot &Env = EnvSnapshot::process();
+  if (EnvSnapshot::isSet(Env.MetricsJson)) {
+    if (std::FILE *F = std::fopen(Env.MetricsJson, "a")) {
+      std::string Json = dumpMetricsJson() + "\n";
+      std::fwrite(Json.data(), 1, Json.size(), F);
+      std::fclose(F);
     }
-    if (LogPath && *LogPath) {
-      if (std::FILE *F = std::fopen(LogPath, "a")) {
-        std::string Text = CLog.renderText();
-        std::fwrite(Text.data(), 1, Text.size(), F);
-        std::fclose(F);
-      }
+  }
+  if (EnvSnapshot::isSet(Env.CompileLog)) {
+    if (std::FILE *F = std::fopen(Env.CompileLog, "a")) {
+      std::string Text = CLog.renderText();
+      std::fwrite(Text.data(), 1, Text.size(), F);
+      std::fclose(F);
     }
   }
 }
 
-void VirtualMachine::registerMetrics() {
+const CodeCache &Isolate::codeCache() const { return CodeCache::process(); }
+
+void Isolate::registerMetrics() {
+  // Identity first: every dumped record (JVM_METRICS_JSON appends one
+  // object per isolate) must say which tenant it describes.
+  Registry.gauge("isolate.id", [this] { return uint64_t(Id); });
+
   // RuntimeMetrics + heap: live sources, read at dump time.
   Registry.gauge("runtime.interpreted_ops",
                  [this] { return RT.metrics().InterpretedOps; });
@@ -210,14 +232,18 @@ void VirtualMachine::registerMetrics() {
   JitGauge("jit.enqueue_to_install_nanos", &JitMetrics::EnqueueToInstallNanos);
   JitGauge("jit.enqueue_to_install_nanos_max",
            &JitMetrics::EnqueueToInstallNanosMax);
-  // Native tier: emission activity plus the code cache's live footprint.
+  // Native tier: this isolate's emission activity, plus the *process*
+  // code cache's live footprint (spans from every isolate — per-tenant
+  // share is jit.native_methods and the method tables).
   JitGauge("jit.native_methods", &JitMetrics::NativeMethods);
   JitGauge("jit.native_fallbacks", &JitMetrics::NativeFallbacks);
   JitGauge("jit.native_emit_nanos", &JitMetrics::NativeEmitNanos);
   Registry.gauge("code.cache_reserved_bytes",
-                 [this] { return Cache.reservedBytes(); });
-  Registry.gauge("code.cache_code_bytes", [this] { return Cache.codeBytes(); });
-  Registry.gauge("code.cache_methods", [this] { return Cache.methods(); });
+                 [] { return CodeCache::process().reservedBytes(); });
+  Registry.gauge("code.cache_code_bytes",
+                 [] { return CodeCache::process().codeBytes(); });
+  Registry.gauge("code.cache_methods",
+                 [] { return CodeCache::process().methods(); });
   auto PeaGauge = [this](const char *Name, unsigned PEAStats::*Field) {
     Registry.gauge(Name, [this, Field] {
       std::lock_guard<std::mutex> L(StateMutex);
@@ -246,6 +272,7 @@ void VirtualMachine::registerMetrics() {
 
   // Tracer health: ring overflow must never be silent. The perf-smoke
   // trace run asserts dropped_events == 0 at the default ring size.
+  // Process-wide source (the tracer is shared), same as code.cache_*.
   Registry.gauge("trace.dropped_events",
                  [] { return Tracer::get().droppedEvents(); });
   Registry.gauge("trace.ring_high_water",
@@ -258,9 +285,9 @@ void VirtualMachine::registerMetrics() {
   MutatorStallHist = &Registry.histogram("jit.mutator_stall_latency_ns");
 }
 
-void VirtualMachine::resetMetrics() {
-  // Drain the broker first: an install racing the reset would charge a
-  // warmup compile to the measured window (or worse, split it).
+void Isolate::resetMetrics() {
+  // Drain our broker work first: an install racing the reset would
+  // charge a warmup compile to the measured window (or worse, split it).
   waitForCompilerIdle();
   RT.resetMetrics();
   {
@@ -270,7 +297,7 @@ void VirtualMachine::resetMetrics() {
   Registry.reset();
 }
 
-Value VirtualMachine::call(MethodId Method, std::vector<Value> Args) {
+Value Isolate::call(MethodId Method, std::vector<Value> Args) {
   // Safe point: no compiled activation is on the stack, so code retired
   // by earlier invalidations can be freed.
   if (CompiledDepth == 0 && HasRetired.load(std::memory_order_relaxed))
@@ -296,8 +323,8 @@ Value VirtualMachine::call(MethodId Method, std::vector<Value> Args) {
   return Interp.call(Method, std::move(Args));
 }
 
-Value VirtualMachine::executeCompiled(MethodId Method, const Graph &G,
-                                      std::vector<Value> &Args) {
+Value Isolate::executeCompiled(MethodId Method, const Graph &G,
+                               std::vector<Value> &Args) {
   Runtime::RootScope ArgRoots(RT, &Args);
   ++CompiledDepth;
   const LinearCode *L =
@@ -322,7 +349,8 @@ Value VirtualMachine::executeCompiled(MethodId Method, const Graph &G,
       Tracer::get().instant(TraceTier, "tier-transition", "method",
                             static_cast<int64_t>(Method), "from",
                             MS.TracedTier, "to",
-                            N ? "native" : L ? "linear" : "graph");
+                            N ? "native" : L ? "linear" : "graph", "isolate",
+                            static_cast<int64_t>(Id));
       MS.TracedTier = Tier;
     }
   }
@@ -358,7 +386,7 @@ Value VirtualMachine::executeCompiled(MethodId Method, const Graph &G,
   return Result;
 }
 
-void VirtualMachine::requestCompile(MethodId Method) {
+void Isolate::requestCompile(MethodId Method) {
   if (!Broker) {
     compileSync(Method);
     return;
@@ -372,7 +400,7 @@ void VirtualMachine::requestCompile(MethodId Method) {
   MethodState &MS = States[Method];
   MS.CompilePending.store(true, std::memory_order_relaxed);
   uint64_t Hotness = Profiles.of(Method).hotness();
-  if (!Broker->enqueue(Method, Hotness, Version,
+  if (!Broker->enqueue(Id, Method, Hotness, Version,
                        ProfileSnapshot(Profiles, P, Method))) {
     MS.CompilePending.store(false, std::memory_order_relaxed);
     return;
@@ -380,7 +408,8 @@ void VirtualMachine::requestCompile(MethodId Method) {
   if (traceWants(TraceCompile))
     Tracer::get().instant(TraceCompile, "enqueue", "method",
                           static_cast<int64_t>(Method), "hotness",
-                          static_cast<int64_t>(Hotness));
+                          static_cast<int64_t>(Hotness), nullptr, nullptr,
+                          "isolate", static_cast<int64_t>(Id));
   uint64_t HighWater = Broker->queueDepthHighWater();
   uint64_t Stall = nowNanos() - Start;
   MutatorStallHist->record(Stall);
@@ -396,9 +425,9 @@ void VirtualMachine::requestCompile(MethodId Method) {
   Broker->kick();
 }
 
-void VirtualMachine::compileNow(MethodId Method) { compileSync(Method); }
+void Isolate::compileNow(MethodId Method) { compileSync(Method); }
 
-void VirtualMachine::compileSync(MethodId Method) {
+void Isolate::compileSync(MethodId Method) {
   uint64_t Start = nowNanos();
   uint64_t Version;
   {
@@ -409,7 +438,7 @@ void VirtualMachine::compileSync(MethodId Method) {
   }
   uint64_t Hotness = Profiles.of(Method).hotness();
   CompileResult R = runCompilePipeline(
-      P, Method, ProfileSnapshot(Profiles, P, Method), Options.Compiler);
+      P, Method, ProfileSnapshot(Profiles, P, Method), Options.Compiler, Id);
   installCode(Method, Version, std::move(R), Start, Hotness);
   uint64_t Stall = nowNanos() - Start;
   MutatorStallHist->record(Stall);
@@ -417,20 +446,21 @@ void VirtualMachine::compileSync(MethodId Method) {
   Jit.MutatorStallNanos += Stall;
 }
 
-bool VirtualMachine::installCode(MethodId Method, uint64_t Version,
-                                 CompileResult &&R, uint64_t EnqueueNanos,
-                                 uint64_t Hotness) {
+bool Isolate::installCode(MethodId Method, uint64_t Version, CompileResult &&R,
+                          uint64_t EnqueueNanos, uint64_t Hotness) {
   // Lower the linear stream to machine code before taking the state
   // lock: emission is pure (it reads only the immutable LinearCode) and
-  // runs on the compiling thread, so workers emit concurrently. A null
-  // result is the documented fallback — the method keeps running on the
-  // linear tier.
+  // runs on the compiling thread, so workers emit concurrently — for
+  // this isolate or any other; the process CodeCache install path is
+  // atomic-counter-only. A null result is the documented fallback — the
+  // method keeps running on the linear tier.
   std::unique_ptr<NativeCode> Native;
   const bool TriedNative = R.Code != nullptr && Options.EnableNativeTier;
   if (TriedNative) {
     TraceScope EmitSpan(TraceCompile, "native-emit", "method",
-                        static_cast<int64_t>(Method));
-    Native = emitNativeCode(*R.Code, Cache);
+                        static_cast<int64_t>(Method), "isolate",
+                        static_cast<int64_t>(Id));
+    Native = emitNativeCode(*R.Code, CodeCache::process());
   }
 
   uint64_t Now = nowNanos();
@@ -500,7 +530,7 @@ bool VirtualMachine::installCode(MethodId Method, uint64_t Version,
         // the lock on purpose: the NativeCode must not be retired by a
         // concurrent install while we read its bytes, and the path is
         // debug-only.
-        static const char *DumpDir = std::getenv("JVM_DUMP_NATIVE");
+        const char *DumpDir = EnvSnapshot::process().DumpNative;
         if (DumpDir && *DumpDir) {
           char Path[512];
           std::snprintf(Path, sizeof(Path), "%s/m%d.c%llu.bin", DumpDir,
@@ -532,12 +562,13 @@ bool VirtualMachine::installCode(MethodId Method, uint64_t Version,
   if (traceWants(TraceCode))
     Tracer::get().instant(TraceCode, Installed ? "install" : "discard-stale",
                           "method", static_cast<int64_t>(Method), "version",
-                          static_cast<int64_t>(Rec.Version));
+                          static_cast<int64_t>(Rec.Version), nullptr, nullptr,
+                          "isolate", static_cast<int64_t>(Id));
   CLog.addRecord(Method, std::move(Rec));
   return Installed;
 }
 
-void VirtualMachine::invalidate(MethodId Method) {
+void Isolate::invalidate(MethodId Method) {
   std::lock_guard<std::mutex> L(StateMutex);
   MethodState &MS = States[Method];
   if (!MS.Owned)
@@ -561,11 +592,12 @@ void VirtualMachine::invalidate(MethodId Method) {
   if (traceWants(TraceCode))
     Tracer::get().instant(TraceCode, "invalidate", "method",
                           static_cast<int64_t>(Method), "version",
-                          static_cast<int64_t>(MS.Version));
+                          static_cast<int64_t>(MS.Version), nullptr, nullptr,
+                          "isolate", static_cast<int64_t>(Id));
   JVM_DEBUG("invalidated m" << Method);
 }
 
-void VirtualMachine::reclaimRetired() {
+void Isolate::reclaimRetired() {
   // Destroy outside the lock; workers only need the lists unlinked.
   // Native bodies precede their linear code in the doomed lists (the
   // NativeCode destructor unmaps while its LinearCode is still alive;
@@ -595,22 +627,22 @@ void VirtualMachine::reclaimRetired() {
   DoomedNative.clear(); // unmap before the LinearCode tables go away
 }
 
-void VirtualMachine::waitForCompilerIdle() {
+void Isolate::waitForCompilerIdle() {
   if (!Broker)
     return;
-  Broker->waitIdle();
+  Broker->waitIdle(Id);
   uint64_t HighWater = Broker->queueDepthHighWater();
   std::lock_guard<std::mutex> L(StateMutex);
   Jit.QueueDepthHighWater = std::max(Jit.QueueDepthHighWater, HighWater);
 }
 
-Value VirtualMachine::handleDeopt(DeoptRequest &&Req) {
+Value Isolate::handleDeopt(DeoptRequest &&Req) {
   const char *Reason = deoptReasonName(Req.Reason);
   if (traceWants(TraceDeopt))
     Tracer::get().instant(TraceDeopt, "deopt", "method",
                           static_cast<int64_t>(Req.Root), "rematerialized",
                           static_cast<int64_t>(Req.Rematerialized), "reason",
-                          Reason);
+                          Reason, "isolate", static_cast<int64_t>(Id));
   // Attribute the deopt to the installed code's log record (with the
   // Section 5.5 rematerialization payload) before a possible
   // invalidation retires that record's code.

@@ -1,0 +1,379 @@
+//===- Isolate.h - Per-tenant VM state ------------------------------*- C++ -*-===//
+///
+/// \file
+/// An Isolate is one tenant's worth of virtual machine: its heap
+/// (region-based generational GC with TLABs), profiles, interpreter and
+/// executor tiers, installed-code tables, metrics registry and compile
+/// log, and the options snapshot it was created with. Everything a
+/// guest program can observe lives here; nothing a guest program can
+/// observe is shared with other isolates.
+///
+/// What IS shared — deliberately — are the process-wide services:
+///
+///  - the **CompileBroker** (vm/CompileBroker.h): one worker pool
+///    compiles for every isolate. An isolate registers as a broker
+///    client under its isolate id at construction and unregisters
+///    (draining its queued and in-flight compiles) at destruction.
+///    Worker count is fixed per process, so adding tenants adds zero
+///    compiler threads.
+///  - the **CodeCache** (jit/CodeCache.h): executable spans for all
+///    isolates' native code come from one cache; each isolate's
+///    method-indexed tables point into it, and spans are returned when
+///    that isolate retires/reclaims the owning NativeCode.
+///  - the **Tracer** (observability/Trace.h): one event stream for the
+///    process; isolate-attributable events carry an "isolate" arg.
+///
+/// Execution semantics are unchanged from the single-VM design: methods
+/// start in the profiling interpreter and are JIT-compiled once hot,
+/// through graph building with speculative branch pruning and
+/// devirtualization, inlining, canonicalization, GVN, the configured
+/// escape analysis, and cleanup (the paper's Figure 1 context).
+/// Compiled code runs as register-based linear code by default, as
+/// copy-and-patch machine code under JVM_EXEC_MODE=native, or through
+/// the graph walker; differential mode cross-checks the tiers.
+/// Deoptimizations resume in the interpreter and repeatedly failing
+/// methods are invalidated and re-profiled.
+///
+/// Threading model: ONE mutator thread calls into each isolate
+/// (call/invalidate/compileNow); any number of broker workers compile
+/// and install concurrently, into any number of isolates. Retired code
+/// (old graphs that may still have activations on the native stack) is
+/// reclaimed at the owning isolate's safe points. Multi-tenant drivers
+/// that want several app threads per isolate serialize them externally
+/// (see workloads/MultiTenant.h) — cross-isolate concurrency needs no
+/// locks beyond the shared services' own.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_VM_ISOLATE_H
+#define JVM_VM_ISOLATE_H
+
+#include "compiler/CompilerOptions.h"
+#include "compiler/Phase.h"
+#include "interp/Interpreter.h"
+#include "jit/CodeCache.h"
+#include "jit/NativeCode.h"
+#include "jit/NativeExecutor.h"
+#include "memory/MemoryConfig.h"
+#include "observability/CompileLog.h"
+#include "observability/Metrics.h"
+#include "observability/Trace.h"
+#include "pea/PartialEscapeAnalysis.h"
+#include "runtime/Runtime.h"
+#include "vm/GraphExecutor.h"
+#include "vm/LinearCode.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace jvm {
+
+class CompileBroker;
+struct CompileResult;
+
+/// Number of compiler threads the process-wide broker starts by default:
+/// the hardware concurrency (at least 1). JVM_COMPILER_THREADS overrides.
+unsigned defaultCompilerThreads();
+
+/// Which tier executes compiled methods.
+enum class ExecMode : uint8_t {
+  /// Walk the installed graph directly (GraphExecutor). Debug aid and
+  /// the baseline the linear tier is benchmarked against.
+  Graph,
+  /// Run the register-based linear translation (LinearExecutor). The
+  /// default; falls back to the walker for methods without linear code
+  /// (Compiler.EmitLinearCode off).
+  Linear,
+  /// Run the copy-and-patch machine code (NativeExecutor); falls back
+  /// to linear for methods the emitter declined, then to the walker.
+  Native,
+  /// Cross-check the tiers against each other: calls whose compiled
+  /// code is effect-free run under every available tier and the results
+  /// must match exactly (re-running effectful code would double its
+  /// side effects; such calls run the best single tier). Mismatch is a
+  /// fatal VM bug.
+  Differential,
+};
+
+/// Parses an exec-mode name ("graph", "linear", "native",
+/// "differential"/"both"). Returns false on anything else.
+bool execModeFromName(const char *Name, ExecMode &M);
+
+/// The mode a JVM_EXEC_MODE value selects: empty/unset means Linear,
+/// anything unrecognized is a hard configuration error (fatal) naming
+/// the valid modes — a bench run silently falling back to the wrong
+/// tier would corrupt its comparison.
+ExecMode execModeFromEnvironment(const char *Text);
+
+/// execModeFromEnvironment applied to the process env snapshot's
+/// JVM_EXEC_MODE, resolved once.
+ExecMode defaultExecMode();
+
+/// Short lower-case name for \p M ("graph", "linear", "native",
+/// "differential").
+const char *execModeName(ExecMode M);
+
+struct VMOptions {
+  CompilerOptions Compiler;
+  bool EnableJit = true;
+  /// Hotness (invocations + back edges / 8) before a method compiles.
+  /// High enough that branch and receiver profiles mature first — a
+  /// method compiled with immature profiles misses devirtualization and,
+  /// since it never deoptimizes, would stay pessimal forever.
+  uint64_t CompileThreshold = 200;
+  /// Deoptimizations of one compiled method before it is thrown away and
+  /// re-profiled.
+  uint64_t MaxDeoptsPerMethod = 3;
+  /// 0 = legacy synchronous mode: compile on the caller thread at the
+  /// threshold crossing (every compilation is a mutator stall; never
+  /// touches the broker). Any nonzero value = asynchronous compilation
+  /// through the process-wide CompileBroker; the value no longer sizes
+  /// a private pool — pool size is a process decision
+  /// (JVM_COMPILER_THREADS / defaultCompilerThreads()), constant however
+  /// many isolates exist.
+  unsigned CompilerThreads = defaultCompilerThreads();
+  /// Which tier runs compiled methods (see ExecMode).
+  ExecMode Exec = defaultExecMode();
+  /// Emit machine code for every installed method (when the backend
+  /// supports the host). Off = the native tier never exists, whatever
+  /// Exec says; useful for isolating the emitter in tests.
+  bool EnableNativeTier = true;
+  /// Heap sizing/policy (region size, young capacity, promotion age,
+  /// GC stress). Defaults read JVM_HEAP_YOUNG / JVM_HEAP_REGION /
+  /// JVM_GC_STRESS from the process env snapshot; tests override fields
+  /// directly.
+  memory::MemoryConfig Memory = memory::MemoryConfig::fromEnvironment();
+};
+
+/// Counters describing one isolate's compilation activity. Written under
+/// the isolate's state lock (workers and mutator); read them from the
+/// mutator after waitForCompilerIdle() for a consistent snapshot.
+struct JitMetrics {
+  uint64_t Compilations = 0;      ///< graphs actually installed
+  uint64_t Invalidations = 0;
+  uint64_t CompilesDiscarded = 0; ///< finished after invalidation; dropped
+  uint64_t RetiredReclaimed = 0;  ///< retired graphs freed at safe points
+  uint64_t CompileNanos = 0;      ///< total pipeline time (all threads)
+  /// Mutator-thread time spent blocked on compilation: the whole
+  /// pipeline in synchronous mode, just snapshot + enqueue with a
+  /// background broker. The number bench_compile_latency reports.
+  uint64_t MutatorStallNanos = 0;
+  /// Per-phase pipeline time and run counts, keyed by phase name
+  /// ("build", "canon", "inline", "gvn", "dce", "escape-partial", ...).
+  /// Sums to ~CompileNanos; one row per phase the plans actually ran.
+  PhaseTimes PhaseNanos;
+  /// Cleanup fixpoints that hit their round cap without converging.
+  uint64_t FixpointCapHits = 0;
+  // Native tier ---------------------------------------------------------
+  uint64_t NativeMethods = 0;   ///< native bodies this isolate installed
+  uint64_t NativeFallbacks = 0; ///< emissions declined; linear served
+  uint64_t NativeEmitNanos = 0; ///< total emission time (all threads)
+  // Broker queue behavior ----------------------------------------------
+  /// Process-wide queue high water observed from this isolate (the
+  /// queue is shared; per-isolate depth is not a defined quantity).
+  uint64_t QueueDepthHighWater = 0;
+  uint64_t EnqueueToInstallNanos = 0;    ///< summed over installed graphs
+  uint64_t EnqueueToInstallNanosMax = 0;
+  PEAStats EscapeStats; ///< aggregated over all compilations
+};
+
+class Isolate {
+public:
+  Isolate(const Program &P, VMOptions Options);
+  /// Unregisters from the process broker first — queued compiles are
+  /// dropped, in-flight ones finish installing or discarding — so no
+  /// worker can touch this isolate once teardown proceeds. Then appends
+  /// the JVM_METRICS_JSON / JVM_COMPILE_LOG records (one per isolate,
+  /// tagged with the isolate id).
+  ~Isolate();
+
+  Isolate(const Isolate &) = delete;
+  Isolate &operator=(const Isolate &) = delete;
+
+  /// Process-unique tenant id, assigned at construction (starts at 1;
+  /// never reused). Doubles as the broker client id and the "isolate"
+  /// arg on trace events and metrics records.
+  uint32_t id() const { return Id; }
+
+  /// Tiered call: runs compiled code when available, otherwise
+  /// interprets (and requests compilation once the threshold is crossed).
+  Value call(MethodId Method, std::vector<Value> Args);
+
+  /// Convenience for tests/benchmarks: call with no profiling threshold
+  /// games — just dispatch.
+  Value call(MethodId Method, std::initializer_list<Value> Args) {
+    return call(Method, std::vector<Value>(Args));
+  }
+
+  Runtime &runtime() { return RT; }
+  const Runtime &runtime() const { return RT; }
+  ProfileData &profiles() { return Profiles; }
+  const VMOptions &options() const { return Options; }
+  JitMetrics &jitMetrics() { return Jit; }
+
+  /// The per-isolate metrics registry: every RuntimeMetrics/JitMetrics/
+  /// PEAStats field is registered here (as a dump-time gauge), plus the
+  /// live histograms (enqueue-to-install and mutator-stall latency), the
+  /// isolate id, and the process tracer's drop/high-water counters.
+  /// Dump from the mutator after waitForCompilerIdle() for a consistent
+  /// snapshot.
+  MetricsRegistry &metricsRegistry() { return Registry; }
+
+  /// The per-method compilation log (phases, PEA decisions, installs,
+  /// deopts). Populated on every pipeline run; always on.
+  CompileLog &compileLog() { return CLog; }
+
+  /// One coherent text table of every registered metric.
+  std::string dumpMetricsText() { return Registry.dumpText(); }
+
+  /// The same as one flat JSON object (what JVM_METRICS_JSON appends).
+  /// Contains "isolate.id", so records from different isolates in one
+  /// process never collide.
+  std::string dumpMetricsJson() { return Registry.dumpJson(); }
+
+  /// Resets every measurement-window metric: RuntimeMetrics (including
+  /// heap allocation counters and the per-call compiled/interpreted op
+  /// counts), JitMetrics, and the registry's owned counters/histograms.
+  /// Waits for this isolate's broker work first so no in-flight install
+  /// writes into the cleared window. The bench harness calls this
+  /// between warmup and measured iterations; see Harness::measureRow.
+  void resetMetrics();
+
+  /// The compiled graph of \p Method, or null. Lock-free: one acquire
+  /// load, safe to call from the mutator at any time.
+  const Graph *compiledGraph(MethodId Method) const {
+    return States[Method].Code.load(std::memory_order_acquire);
+  }
+
+  /// The linear translation of \p Method's compiled code, or null (not
+  /// compiled, or compiled without EmitLinearCode). Lock-free.
+  const LinearCode *compiledLinear(MethodId Method) const {
+    return States[Method].Linear.load(std::memory_order_acquire);
+  }
+
+  /// The installed machine code of \p Method, or null (not compiled,
+  /// native tier disabled, or the emitter fell back). Lock-free.
+  const NativeCode *compiledNative(MethodId Method) const {
+    return States[Method].Native.load(std::memory_order_acquire);
+  }
+
+  /// The process-shared executable-memory cache backing the native tier.
+  /// Its counters cover every isolate; this isolate's share is
+  /// jitMetrics().NativeMethods and the method-indexed tables.
+  const CodeCache &codeCache() const;
+
+  /// Forces compilation of \p Method now, on the caller thread
+  /// (benchmark warmup control). Any in-flight background compile of the
+  /// method is discarded in favor of this one.
+  void compileNow(MethodId Method);
+
+  /// Drops compiled code for \p Method. An in-flight background compile
+  /// enqueued against the old code is discarded instead of installed.
+  void invalidate(MethodId Method);
+
+  /// Blocks until the process broker has nothing queued or in flight
+  /// *for this isolate* (other tenants' compiles may still be running).
+  /// No-op in synchronous mode. Establishes the happens-before edge that
+  /// makes reading jitMetrics()/compiledGraph() race-free afterwards.
+  void waitForCompilerIdle();
+
+private:
+  Value executeCompiled(MethodId Method, const Graph &G,
+                        std::vector<Value> &Args);
+  /// Threshold crossing: enqueue on the broker, or compile inline in
+  /// synchronous mode.
+  void requestCompile(MethodId Method);
+  void compileSync(MethodId Method);
+  /// Publishes \p R for \p Method if its code version still matches
+  /// \p Version; discards otherwise. Called from workers and the
+  /// synchronous path alike. Returns true if installed. \p Hotness is
+  /// the trigger hotness, recorded in the compilation log.
+  bool installCode(MethodId Method, uint64_t Version, CompileResult &&R,
+                   uint64_t EnqueueNanos, uint64_t Hotness);
+  /// Registers every isolate metric into the registry (constructor).
+  void registerMetrics();
+  /// Frees all retired graphs. Only called at a safe point: the mutator
+  /// has no compiled activation on its stack.
+  void reclaimRetired();
+  Value handleDeopt(DeoptRequest &&Req);
+
+  struct MethodState {
+    /// The published code pointer — the only thing the mutator's fast
+    /// path reads. Owned by `Owned` below.
+    std::atomic<const Graph *> Code{nullptr};
+    /// The linear translation of `Code`, published before it (both with
+    /// release stores). The mutator may briefly observe the old graph
+    /// with the new linear code — benign: both are correct translations
+    /// of the method, and retired code outlives the activation.
+    std::atomic<const LinearCode *> Linear{nullptr};
+    /// The machine code emitted from `Linear`, published before both
+    /// (same release-store ordering argument). Null when the emitter
+    /// fell back or the tier is disabled.
+    std::atomic<const NativeCode *> Native{nullptr};
+    /// True while a compile request for this method is queued or in
+    /// flight (mutator sets, worker clears): the dedup fast path that
+    /// keeps the mutator from re-snapshotting profiles on every call
+    /// while a compile is pending.
+    std::atomic<bool> CompilePending{false};
+    // Fields below are guarded by StateMutex. --------------------------
+    std::unique_ptr<Graph> Owned;
+    std::unique_ptr<LinearCode> OwnedLinear;
+    /// References OwnedLinear's tables; retired and reclaimed together
+    /// with it (the NativeCode destructor returns the executable span
+    /// to the process CodeCache).
+    std::unique_ptr<NativeCode> OwnedNative;
+    /// Invalidated graphs are retired, not destroyed: activations of the
+    /// old code may still be on the native stack (an invalidation is
+    /// triggered from a deoptimization *inside* that very code). They
+    /// are reclaimed at the next safe point.
+    std::vector<std::unique_ptr<Graph>> Retired;
+    std::vector<std::unique_ptr<LinearCode>> RetiredLinear;
+    std::vector<std::unique_ptr<NativeCode>> RetiredNative;
+    /// Bumped on every invalidation (and forced compile); in-flight
+    /// compiles carry the version they were enqueued against and are
+    /// discarded on mismatch.
+    uint64_t Version = 0;
+    uint64_t DeoptCount = 0;
+    uint64_t Recompiles = 0;
+    /// Last tier this method was observed executing in, for tier-
+    /// transition trace instants (0 = interpreter, 1 = graph walker,
+    /// 2 = linear, 3 = native). Mutator-only; maintained only while
+    /// tracing.
+    uint8_t TracedTier = 0;
+  };
+
+  const uint32_t Id;
+  const Program &P;
+  VMOptions Options;
+  Runtime RT;
+  ProfileData Profiles;
+  Interpreter Interp;
+  GraphExecutor Executor;
+  LinearExecutor LinExecutor;
+  NativeExecutor NatExecutor;
+  std::vector<MethodState> States;
+  JitMetrics Jit;
+  MetricsRegistry Registry;
+  CompileLog CLog;
+  /// Cached registry histograms (stable addresses; recording is
+  /// lock-free, so hot paths never touch the registry mutex).
+  MetricHistogram *EnqueueToInstallHist = nullptr;
+  MetricHistogram *MutatorStallHist = nullptr;
+  /// Guards MethodState's non-atomic fields and Jit. Never held while
+  /// calling into the broker, so the two locks never nest.
+  std::mutex StateMutex;
+  /// Depth of compiled-code activations on the mutator stack; retired
+  /// graphs are reclaimed only at depth 0.
+  unsigned CompiledDepth = 0;
+  std::atomic<bool> HasRetired{false};
+  /// The process-wide broker this isolate is registered with, or null
+  /// in synchronous mode (CompilerThreads = 0 / EnableJit off). Not
+  /// owned; registration is released in the destructor.
+  CompileBroker *Broker = nullptr;
+};
+
+} // namespace jvm
+
+#endif // JVM_VM_ISOLATE_H

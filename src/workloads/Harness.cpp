@@ -3,6 +3,7 @@
 #include "workloads/Harness.h"
 
 #include "jit/NativeCode.h"
+#include "support/Env.h"
 #include "support/ErrorHandling.h"
 
 #include <cctype>
@@ -16,12 +17,13 @@ using namespace jvm;
 using namespace jvm::workloads;
 
 HarnessOptions HarnessOptions::fromEnvironment() {
+  const EnvSnapshot &Env = EnvSnapshot::process();
   HarnessOptions O;
-  if (const char *E = std::getenv("JVM_BENCH_WARMUP"))
+  if (const char *E = Env.BenchWarmup)
     O.WarmupIters = std::atoi(E);
-  if (const char *E = std::getenv("JVM_BENCH_MEASURE"))
+  if (const char *E = Env.BenchMeasure)
     O.MeasureIters = std::atoi(E);
-  if (const char *E = std::getenv("JVM_BENCH_REPEATS"))
+  if (const char *E = Env.BenchRepeats)
     O.Repeats = std::atoi(E);
   return O;
 }
@@ -86,7 +88,7 @@ RowMeasurement jvm::workloads::measureRow(const BenchmarkSet &Set,
   M.Compilations = VM.jitMetrics().Compilations;
   M.Invalidations = VM.jitMetrics().Invalidations;
   M.Escape += VM.jitMetrics().EscapeStats;
-  if (std::getenv("JVM_BENCH_DIAG")) {
+  if (EnvSnapshot::process().BenchDiag) {
     // The unified registry is the diagnostic surface: one coherent table
     // instead of a hand-picked fprintf subset.
     std::fprintf(stderr, "  [diag] %s / %s (measured window)\n%s",
@@ -212,7 +214,7 @@ jvm::workloads::formatTierTable(const std::vector<TierComparison> &Rows) {
 }
 
 std::string jvm::workloads::table1JsonPath() {
-  if (const char *E = std::getenv("JVM_BENCH_JSON"))
+  if (const char *E = EnvSnapshot::process().BenchJson)
     return E;
   return "BENCH_table1.json";
 }

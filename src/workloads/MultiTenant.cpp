@@ -1,0 +1,252 @@
+//===- MultiTenant.cpp - Multi-isolate throughput driver -----------------------===//
+
+#include "workloads/MultiTenant.h"
+
+#include "observability/Metrics.h"
+#include "support/ErrorHandling.h"
+#include "vm/CompileBroker.h"
+#include "vm/VirtualMachine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+using namespace jvm;
+using namespace jvm::workloads;
+
+namespace {
+
+uint64_t nowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+const BenchmarkRow &findRowOrDie(const BenchmarkSet &Set,
+                                 const std::string &Name) {
+  if (const BenchmarkRow *R = Set.find(Name))
+    return *R;
+  std::fprintf(stderr, "multitenant: unknown benchmark row '%s'\n",
+               Name.c_str());
+  jvm_unreachable("unknown benchmark row in multi-tenant mix");
+}
+
+int64_t opScale(const BenchmarkRow &Row, const MultiTenantOptions &Opts) {
+  int64_t Div = Opts.ScaleDivisor > 0 ? Opts.ScaleDivisor : 1;
+  int64_t S = Row.Scale / Div;
+  return S > 0 ? S : 1;
+}
+
+} // namespace
+
+std::vector<std::string> jvm::workloads::defaultRowMix() {
+  // One allocation-churn row, one transaction/lock row, the headline
+  // PEA row and a cache/monitor row: together they exercise the heap,
+  // the compile pipeline, deopt machinery and monitors per tenant.
+  return {"sunflow", "h2", "factorie", "tomcat"};
+}
+
+MultiTenantResult
+jvm::workloads::runMultiTenant(const BenchmarkSet &Set,
+                               const MultiTenantOptions &Opts) {
+  const std::vector<std::string> Names =
+      Opts.RowNames.empty() ? defaultRowMix() : Opts.RowNames;
+  std::vector<const BenchmarkRow *> Rows;
+  Rows.reserve(Names.size());
+  for (const std::string &N : Names)
+    Rows.push_back(&findRowOrDie(Set, N));
+
+  MultiTenantResult R;
+  R.Isolates = Opts.Isolates;
+  R.ThreadsPerIsolate = Opts.ThreadsPerIsolate;
+  R.BrokerThreads = (Opts.VM.EnableJit && Opts.VM.CompilerThreads > 0)
+                        ? CompileBroker::process().numThreads()
+                        : 0;
+
+  // All tenants run the same immutable Program; per-tenant mutable state
+  // (heap, profiles, code tables) lives inside each Isolate.
+  struct Tenant {
+    explicit Tenant(const BenchmarkSet &Set, const VMOptions &VM)
+        : Iso(Set.WP.P, VM) {}
+    Isolate Iso;
+    /// Serializes app threads: the VM keeps its single-mutator contract,
+    /// threads interleave whole operations.
+    std::mutex CallMutex;
+    std::mutex StatMutex;
+    int64_t Checksum = 0;
+    uint64_t Ops = 0;
+  };
+  std::vector<std::unique_ptr<Tenant>> Tenants;
+  Tenants.reserve(Opts.Isolates);
+  for (unsigned I = 0; I != Opts.Isolates; ++I) {
+    Tenants.push_back(std::make_unique<Tenant>(Set, Opts.VM));
+    // Workload globals (shared tables the kernels read) are heap state,
+    // so each tenant initializes its own copy.
+    Tenants.back()->Iso.call(Set.WP.Setup, {});
+  }
+
+  // Shared wait-free telemetry: every op's wall latency, as observed by
+  // the issuing app thread (queueing behind the tenant's mutex counts —
+  // that wait is real latency to a tenant's request).
+  MetricHistogram OpLatency;
+
+  // Start barrier so thread-spawn overhead stays out of the measured
+  // window; wall time covers first op issued -> last op retired.
+  std::mutex StartMutex;
+  std::condition_variable StartCv;
+  bool Go = false;
+
+  std::vector<std::thread> Threads;
+  Threads.reserve(size_t(Opts.Isolates) * Opts.ThreadsPerIsolate);
+  for (unsigned I = 0; I != Opts.Isolates; ++I) {
+    for (unsigned T = 0; T != Opts.ThreadsPerIsolate; ++T) {
+      Tenant *Ten = Tenants[I].get();
+      Threads.emplace_back([&, Ten, T] {
+        {
+          std::unique_lock<std::mutex> L(StartMutex);
+          StartCv.wait(L, [&] { return Go; });
+        }
+        int64_t Sum = 0;
+        // Fixed per-thread sequence: row (T + K) mod |rows| at step K.
+        // The multiset of ops a tenant performs is therefore identical
+        // whatever the interleaving, making the tenant checksum (a
+        // commutative sum) deterministic and cross-checkable.
+        for (uint64_t K = 0; K != Opts.OpsPerThread; ++K) {
+          const BenchmarkRow &Row = *Rows[(T + K) % Rows.size()];
+          std::vector<Value> Args{Value::makeInt(opScale(Row, Opts))};
+          uint64_t T0 = nowNanos();
+          Value V;
+          {
+            std::lock_guard<std::mutex> L(Ten->CallMutex);
+            V = Ten->Iso.call(Row.Driver, std::move(Args));
+          }
+          OpLatency.record(nowNanos() - T0);
+          Sum += V.asInt();
+        }
+        std::lock_guard<std::mutex> L(Ten->StatMutex);
+        Ten->Checksum += Sum;
+        Ten->Ops += Opts.OpsPerThread;
+      });
+    }
+  }
+
+  uint64_t Start;
+  {
+    std::lock_guard<std::mutex> L(StartMutex);
+    Go = true;
+    Start = nowNanos();
+  }
+  StartCv.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+  R.WallNanos = nowNanos() - Start;
+
+  R.TotalOps =
+      uint64_t(Opts.Isolates) * Opts.ThreadsPerIsolate * Opts.OpsPerThread;
+  R.OpsPerSecond =
+      R.WallNanos ? double(R.TotalOps) * 1e9 / double(R.WallNanos) : 0;
+  // Percentiles are log2-bucket upper bounds; the max is exact. Clamp
+  // so p50 <= p99 <= max holds (a bucket bound can overshoot the max).
+  R.OpLatencyMaxNs = OpLatency.max();
+  R.OpLatencyP99Ns =
+      std::min<uint64_t>(OpLatency.percentileUpperBound(0.99), R.OpLatencyMaxNs);
+  R.OpLatencyP50Ns =
+      std::min<uint64_t>(OpLatency.percentileUpperBound(0.5), R.OpLatencyP99Ns);
+
+  for (std::unique_ptr<Tenant> &Ten : Tenants) {
+    // Quiesce this tenant's broker work so its counters are settled
+    // (other tenants' compiles may still be running — waitForCompilerIdle
+    // is per-client by design).
+    Ten->Iso.waitForCompilerIdle();
+    MultiTenantResult::IsolateStats S;
+    S.Id = Ten->Iso.id();
+    S.Ops = Ten->Ops;
+    S.Checksum = Ten->Checksum;
+    S.Compilations = Ten->Iso.jitMetrics().Compilations;
+    S.CompilesDiscarded = Ten->Iso.jitMetrics().CompilesDiscarded;
+    S.HeapAllocations = Ten->Iso.runtime().heap().allocationCount();
+    S.GcRuns = Ten->Iso.runtime().heap().gcRuns();
+    S.Deopts = Ten->Iso.runtime().metrics().Deopts;
+    R.QueueDepthHighWater =
+        std::max(R.QueueDepthHighWater,
+                 Ten->Iso.jitMetrics().QueueDepthHighWater);
+    R.PerIsolate.push_back(S);
+  }
+
+  // Tenants (and their broker registrations) die here; the process
+  // broker, code cache and tracer live on for the next point.
+  return R;
+}
+
+int64_t jvm::workloads::expectedChecksum(const BenchmarkSet &Set,
+                                         const MultiTenantOptions &Opts) {
+  const std::vector<std::string> Names =
+      Opts.RowNames.empty() ? defaultRowMix() : Opts.RowNames;
+  std::vector<const BenchmarkRow *> Rows;
+  for (const std::string &N : Names)
+    Rows.push_back(&findRowOrDie(Set, N));
+
+  // A plain single-tenant VM replays one isolate's op multiset on one
+  // thread. Results are deterministic per (driver, scale) whatever the
+  // tier or compilation timing, so this is THE value every isolate of a
+  // runMultiTenant with the same options must report.
+  VirtualMachine VM(Set.WP.P, Opts.VM);
+  VM.call(Set.WP.Setup, {});
+  int64_t Sum = 0;
+  for (unsigned T = 0; T != Opts.ThreadsPerIsolate; ++T)
+    for (uint64_t K = 0; K != Opts.OpsPerThread; ++K) {
+      const BenchmarkRow &Row = *Rows[(T + K) % Rows.size()];
+      Sum += VM.call(Row.Driver, {Value::makeInt(opScale(Row, Opts))}).asInt();
+    }
+  return Sum;
+}
+
+std::string jvm::workloads::multiTenantJson(const MultiTenantResult &R) {
+  char Buf[256];
+  std::string J = "{";
+  auto Num = [&](const char *Key, double V, bool First = false) {
+    std::snprintf(Buf, sizeof(Buf), "%s\"%s\": %.2f", First ? "" : ", ", Key,
+                  V);
+    J += Buf;
+  };
+  auto Int = [&](const char *Key, uint64_t V) {
+    std::snprintf(Buf, sizeof(Buf), ", \"%s\": %llu", Key,
+                  static_cast<unsigned long long>(V));
+    J += Buf;
+  };
+  Num("isolates", R.Isolates, /*First=*/true);
+  Int("threads_per_isolate", R.ThreadsPerIsolate);
+  Int("total_ops", R.TotalOps);
+  Int("wall_nanos", R.WallNanos);
+  Num("ops_per_sec", R.OpsPerSecond);
+  Int("op_p50_ns", R.OpLatencyP50Ns);
+  Int("op_p99_ns", R.OpLatencyP99Ns);
+  Int("op_max_ns", R.OpLatencyMaxNs);
+  Int("broker_threads", R.BrokerThreads);
+  Int("queue_depth_high_water", R.QueueDepthHighWater);
+  J += ", \"per_isolate\": [";
+  for (size_t I = 0; I != R.PerIsolate.size(); ++I) {
+    const MultiTenantResult::IsolateStats &S = R.PerIsolate[I];
+    if (I)
+      J += ", ";
+    std::snprintf(Buf, sizeof(Buf),
+                  "{\"id\": %u, \"ops\": %llu, \"checksum\": %lld, "
+                  "\"compilations\": %llu, \"compiles_discarded\": %llu, "
+                  "\"heap_allocations\": %llu, \"gc_runs\": %llu, "
+                  "\"deopts\": %llu}",
+                  S.Id, static_cast<unsigned long long>(S.Ops),
+                  static_cast<long long>(S.Checksum),
+                  static_cast<unsigned long long>(S.Compilations),
+                  static_cast<unsigned long long>(S.CompilesDiscarded),
+                  static_cast<unsigned long long>(S.HeapAllocations),
+                  static_cast<unsigned long long>(S.GcRuns),
+                  static_cast<unsigned long long>(S.Deopts));
+    J += Buf;
+  }
+  J += "]}";
+  return J;
+}

@@ -1,0 +1,128 @@
+//===- MultiTenant.h - Multi-isolate throughput driver --------------*- C++ -*-===//
+///
+/// \file
+/// Drives N isolates × M app threads over the Table 1 workloads in ONE
+/// process, exercising exactly what the isolate refactor shares and
+/// what it doesn't: every isolate gets its own heap, profiles and
+/// installed-code tables, while all of them compile through the
+/// process-wide CompileBroker and install native code into the process
+/// CodeCache.
+///
+/// Each isolate keeps the VM's single-mutator contract by serializing
+/// its app threads behind a per-isolate mutex — threads interleave
+/// *operations*, never VM internals. Scaling therefore comes from
+/// isolates (independent heaps run truly concurrently), which is the
+/// multi-tenant deployment shape this models: many small tenants, one
+/// JIT substrate.
+///
+/// Determinism for cross-checking: thread t of an isolate runs a fixed
+/// op sequence (row (t + k) mod |rows| at step k), so the multiset of
+/// operations an isolate performs — and hence its result checksum — is
+/// independent of thread interleaving. expectedChecksum() replays the
+/// same multiset on a plain single VirtualMachine; a 1-isolate run must
+/// match it exactly (acceptance criterion: multi-tenant plumbing does
+/// not change single-tenant behavior).
+///
+/// Telemetry: per-op latency is recorded into a wait-free shared
+/// MetricHistogram (p50/p99 in the result), throughput is total ops
+/// over wall time, and the broker worker count is reported so callers
+/// can assert it stays constant as isolates scale.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_WORKLOADS_MULTITENANT_H
+#define JVM_WORKLOADS_MULTITENANT_H
+
+#include "vm/Isolate.h"
+#include "workloads/Suites.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jvm {
+namespace workloads {
+
+struct MultiTenantOptions {
+  unsigned Isolates = 2;
+  unsigned ThreadsPerIsolate = 2;
+  /// Driver calls each app thread performs (one call = one "op").
+  uint64_t OpsPerThread = 64;
+  /// An op runs its row's driver at Scale / ScaleDivisor (min 1): a
+  /// full Table 1 iteration is a batch sized for per-minute throughput
+  /// numbers, far too coarse for per-op latency percentiles.
+  int64_t ScaleDivisor = 16;
+  /// Row names from the benchmark set each thread cycles through.
+  /// Empty = a default mix of allocation-, call- and lock-heavy Table 1
+  /// rows (see defaultRowMix).
+  std::vector<std::string> RowNames;
+  /// Per-isolate VM configuration. Defaults to asynchronous compilation
+  /// (the shared broker) with the harness's compile threshold; tests
+  /// override fields (e.g. Memory for GC stress, CompilerThreads = 0
+  /// for synchronous cross-checks).
+  VMOptions VM;
+
+  MultiTenantOptions() {
+    // Same threshold rationale as HarnessOptions: profiles must mature
+    // before compiling. Unlike the Table 1 harness this driver wants
+    // the *shared broker* in the picture, so compilation stays async.
+    VM.CompileThreshold = 500;
+  }
+};
+
+/// The workload mix used when MultiTenantOptions::RowNames is empty.
+std::vector<std::string> defaultRowMix();
+
+struct MultiTenantResult {
+  unsigned Isolates = 0;
+  unsigned ThreadsPerIsolate = 0;
+  uint64_t TotalOps = 0;
+  uint64_t WallNanos = 0;
+  double OpsPerSecond = 0;
+  /// Per-op latency percentiles over all isolates and threads (log2
+  /// histogram upper bounds, like every histogram metric in the VM).
+  uint64_t OpLatencyP50Ns = 0;
+  uint64_t OpLatencyP99Ns = 0;
+  uint64_t OpLatencyMaxNs = 0;
+  /// Worker threads in the process-wide broker (0 = synchronous mode).
+  /// Constant across points however many isolates run — the property
+  /// bench_multitenant exists to demonstrate.
+  unsigned BrokerThreads = 0;
+  /// Process-wide compile queue high water over the run.
+  uint64_t QueueDepthHighWater = 0;
+
+  struct IsolateStats {
+    uint32_t Id = 0;       ///< process-unique isolate id
+    uint64_t Ops = 0;
+    int64_t Checksum = 0;  ///< sum of driver results (order-independent)
+    uint64_t Compilations = 0;
+    uint64_t CompilesDiscarded = 0;
+    uint64_t HeapAllocations = 0;
+    uint64_t GcRuns = 0;
+    uint64_t Deopts = 0;
+  };
+  std::vector<IsolateStats> PerIsolate;
+};
+
+/// Runs the configured isolates × threads matrix to completion and
+/// reports throughput, latency percentiles and per-isolate stats.
+/// Isolates are created at the start and destroyed (unregistering from
+/// the broker) before returning.
+MultiTenantResult runMultiTenant(const BenchmarkSet &Set,
+                                 const MultiTenantOptions &Opts);
+
+/// The checksum every isolate in a runMultiTenant(Set, Opts) run must
+/// produce, computed by replaying one isolate's op multiset on a plain
+/// single-tenant VirtualMachine with the same VM options.
+int64_t expectedChecksum(const BenchmarkSet &Set,
+                         const MultiTenantOptions &Opts);
+
+/// Renders \p R as one JSON object (the schema scripts/
+/// check_multitenant.py lints): configuration, throughput, latency
+/// percentiles, broker stats and a per_isolate array.
+std::string multiTenantJson(const MultiTenantResult &R);
+
+} // namespace workloads
+} // namespace jvm
+
+#endif // JVM_WORKLOADS_MULTITENANT_H

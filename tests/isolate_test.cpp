@@ -1,0 +1,242 @@
+//===- isolate_test.cpp - Multi-isolate / process-broker tests -----------------===//
+//
+// Covers the isolate refactor: per-tenant state independence (heaps,
+// profiles, metrics, installed code), the process-wide CompileBroker's
+// client lifecycle (register/unregister, constant worker pool), and the
+// multi-tenant driver's determinism — N isolates × M app threads over a
+// mixed Table 1 workload must reproduce exactly the checksum a plain
+// single-tenant VirtualMachine computes, including under GC stress
+// (scavenge before every allocation). These tests carry the "isolate"
+// and "concurrency" ctest labels; run them under ThreadSanitizer via
+// -DJVM_SANITIZE=thread.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestPrograms.h"
+#include "vm/CompileBroker.h"
+#include "vm/Isolate.h"
+#include "workloads/MultiTenant.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace jvm;
+using namespace jvm::testprogs;
+using namespace jvm::workloads;
+
+namespace {
+
+VMOptions syncOptions() {
+  VMOptions O;
+  O.CompileThreshold = 5;
+  O.CompilerThreads = 0; // synchronous: never touches the broker
+  return O;
+}
+
+VMOptions asyncOptions() {
+  VMOptions O;
+  O.CompileThreshold = 5;
+  O.CompilerThreads = 1; // any nonzero value = the shared process broker
+  return O;
+}
+
+/// True if \p Json contains the exact "key": value pair.
+bool jsonHas(const std::string &Json, const std::string &Key, uint64_t V) {
+  char Buf[128];
+  std::snprintf(Buf, sizeof(Buf), "\"%s\": %llu", Key.c_str(),
+                static_cast<unsigned long long>(V));
+  return Json.find(Buf) != std::string::npos;
+}
+
+TEST(IsolateTest, IdsAreProcessUniqueAndNeverReused) {
+  MathProgram MP = makeMathProgram();
+  std::set<uint32_t> Seen;
+  uint32_t Last = 0;
+  for (int Round = 0; Round != 3; ++Round) {
+    // Fresh isolates every round: destruction must not recycle ids.
+    Isolate A(MP.P, syncOptions());
+    Isolate B(MP.P, syncOptions());
+    for (uint32_t Id : {A.id(), B.id()}) {
+      EXPECT_NE(Id, 0u);
+      EXPECT_GT(Id, Last);
+      EXPECT_TRUE(Seen.insert(Id).second) << "id " << Id << " reused";
+    }
+    Last = B.id();
+  }
+}
+
+TEST(IsolateTest, HeapAndProfileStateIsPerIsolate) {
+  MathProgram MP = makeMathProgram();
+  Isolate Busy(MP.P, syncOptions());
+  Isolate Idle(MP.P, syncOptions());
+
+  for (int I = 0; I != 20; ++I)
+    EXPECT_EQ(Busy.call(MP.SumTo, {Value::makeInt(10)}).asInt(), 55);
+
+  // Busy compiled and counted; Idle observed nothing.
+  EXPECT_NE(Busy.compiledGraph(MP.SumTo), nullptr);
+  EXPECT_EQ(Idle.compiledGraph(MP.SumTo), nullptr);
+  EXPECT_EQ(Busy.jitMetrics().Compilations, 1u);
+  EXPECT_EQ(Idle.jitMetrics().Compilations, 0u);
+  EXPECT_GT(Busy.runtime().metrics().InterpretedCalls, 0u);
+  EXPECT_EQ(Idle.runtime().metrics().InterpretedCalls, 0u);
+
+  // Heap counters are per-tenant too: allocate in one isolate only.
+  ChurnProgram CP = makeChurnProgram();
+  Isolate HeapA(CP.P, syncOptions());
+  Isolate HeapB(CP.P, syncOptions());
+  uint64_t Before = HeapB.runtime().heap().allocationCount();
+  EXPECT_EQ(HeapA.call(CP.SumBoxes, {Value::makeInt(16)}).asInt(), 120);
+  EXPECT_GT(HeapA.runtime().heap().allocationCount(), 0u);
+  EXPECT_EQ(HeapB.runtime().heap().allocationCount(), Before);
+}
+
+TEST(IsolateTest, MetricsRecordsCarryTheIsolateId) {
+  MathProgram MP = makeMathProgram();
+  Isolate A(MP.P, syncOptions());
+  Isolate B(MP.P, syncOptions());
+  A.call(MP.SumTo, {Value::makeInt(5)});
+
+  // Each record names its tenant, so JVM_METRICS_JSON output from one
+  // process never collides between isolates (satellite: metric-name
+  // collision fix).
+  std::string JsonA = A.dumpMetricsJson();
+  std::string JsonB = B.dumpMetricsJson();
+  EXPECT_TRUE(jsonHas(JsonA, "isolate.id", A.id())) << JsonA;
+  EXPECT_TRUE(jsonHas(JsonB, "isolate.id", B.id())) << JsonB;
+  EXPECT_FALSE(jsonHas(JsonB, "isolate.id", A.id())) << JsonB;
+}
+
+TEST(IsolateTest, ProcessBrokerSharedByAllIsolates) {
+  MathProgram MP = makeMathProgram();
+  CompileBroker &Broker = CompileBroker::process();
+  unsigned Workers = Broker.numThreads();
+  EXPECT_GE(Workers, 1u);
+  size_t Clients = Broker.numClients();
+  {
+    Isolate A(MP.P, asyncOptions());
+    Isolate B(MP.P, asyncOptions());
+    Isolate C(MP.P, asyncOptions());
+    // Three tenants, zero new compiler threads: the pool is process-wide.
+    EXPECT_EQ(Broker.numClients(), Clients + 3);
+    EXPECT_EQ(Broker.numThreads(), Workers);
+
+    // All three compile through the shared pool and install privately.
+    for (Isolate *Iso : {&A, &B, &C})
+      for (int I = 0; I != 20; ++I)
+        EXPECT_EQ(Iso->call(MP.SumTo, {Value::makeInt(10)}).asInt(), 55);
+    for (Isolate *Iso : {&A, &B, &C}) {
+      Iso->waitForCompilerIdle();
+      EXPECT_NE(Iso->compiledGraph(MP.SumTo), nullptr);
+      EXPECT_GE(Iso->jitMetrics().Compilations, 1u);
+    }
+  }
+  // Destruction unregistered every client; the pool is untouched.
+  EXPECT_EQ(Broker.numClients(), Clients);
+  EXPECT_EQ(Broker.numThreads(), Workers);
+}
+
+TEST(IsolateTest, UnregisterDropsQueuedWorkSafely) {
+  MathProgram MP = makeMathProgram();
+  // Construct/destruct isolates with enqueued-but-possibly-unfinished
+  // compiles in a loop: the destructor must drain the client's queue
+  // and wait out in-flight compiles without a worker touching freed
+  // per-tenant state (the TSan build is the real referee here).
+  for (int Round = 0; Round != 8; ++Round) {
+    Isolate Iso(MP.P, asyncOptions());
+    for (int I = 0; I != 6; ++I)
+      EXPECT_EQ(Iso.call(MP.SumTo, {Value::makeInt(10)}).asInt(), 55);
+    // No waitForCompilerIdle: teardown races the in-flight compile.
+  }
+}
+
+TEST(IsolateTest, MultiTenantMatchesSingleTenantChecksum) {
+  BenchmarkSet Set = buildBenchmarkSet();
+  MultiTenantOptions Opts;
+  Opts.Isolates = 3;
+  Opts.ThreadsPerIsolate = 2;
+  Opts.OpsPerThread = 8;
+  int64_t Expected = expectedChecksum(Set, Opts);
+
+  MultiTenantResult R = runMultiTenant(Set, Opts);
+  ASSERT_EQ(R.PerIsolate.size(), 3u);
+  std::set<uint32_t> Ids;
+  for (const MultiTenantResult::IsolateStats &S : R.PerIsolate) {
+    // Acceptance criterion: multi-tenancy does not change single-tenant
+    // behavior — every tenant reproduces the plain-VM checksum.
+    EXPECT_EQ(S.Checksum, Expected) << "isolate " << S.Id;
+    EXPECT_EQ(S.Ops, Opts.ThreadsPerIsolate * Opts.OpsPerThread);
+    EXPECT_GT(S.HeapAllocations, 0u);
+    EXPECT_TRUE(Ids.insert(S.Id).second);
+  }
+  EXPECT_EQ(R.TotalOps, 3u * 2u * 8u);
+  EXPECT_GE(R.BrokerThreads, 1u);
+  EXPECT_GT(R.OpLatencyP99Ns, 0u);
+  EXPECT_GE(R.OpLatencyP99Ns, R.OpLatencyP50Ns);
+
+  // And a 1-isolate run of the same driver matches too (the shape the
+  // bench's differential gate uses).
+  MultiTenantOptions One = Opts;
+  One.Isolates = 1;
+  MultiTenantResult R1 = runMultiTenant(Set, One);
+  ASSERT_EQ(R1.PerIsolate.size(), 1u);
+  EXPECT_EQ(R1.PerIsolate[0].Checksum, Expected);
+}
+
+TEST(IsolateTest, MultiTenantDeterministicUnderGcStress) {
+  BenchmarkSet Set = buildBenchmarkSet();
+  MultiTenantOptions Opts;
+  Opts.Isolates = 2;
+  Opts.ThreadsPerIsolate = 2;
+  Opts.OpsPerThread = 3;
+  // Tiny ops (scale 24000/8000 = 3 kernel elements) so "scavenge before
+  // EVERY allocation" stays affordable; small young space so promotion
+  // paths run too. Same JVM_GC_STRESS=1 semantics, set directly on the
+  // per-isolate config (the env snapshot is process-wide and already
+  // captured).
+  Opts.ScaleDivisor = 8000;
+  Opts.VM.Memory.StressGc = true;
+  Opts.VM.Memory.RegionBytes = 64 << 10;
+  Opts.VM.Memory.YoungBytes = 256 << 10;
+  int64_t Expected = expectedChecksum(Set, Opts);
+
+  MultiTenantResult R = runMultiTenant(Set, Opts);
+  ASSERT_EQ(R.PerIsolate.size(), 2u);
+  for (const MultiTenantResult::IsolateStats &S : R.PerIsolate) {
+    EXPECT_EQ(S.Checksum, Expected) << "isolate " << S.Id;
+    // Stress mode means every tenant really collected, independently.
+    EXPECT_GT(S.GcRuns, 0u) << "isolate " << S.Id;
+  }
+}
+
+TEST(IsolateTest, ConcurrentIsolatesOnDistinctThreads) {
+  // One mutator thread per isolate, all running the allocation-churn
+  // program at once against the shared broker: the cross-isolate
+  // concurrency shape (no app-thread serialization needed because no
+  // isolate is shared). TSan referees the shared services.
+  ChurnProgram CP = makeChurnProgram();
+  constexpr int NumIsolates = 4;
+  std::vector<std::thread> Threads;
+  std::vector<int64_t> Sums(NumIsolates, 0);
+  for (int T = 0; T != NumIsolates; ++T)
+    Threads.emplace_back([&, T] {
+      VMOptions O = asyncOptions();
+      O.Memory.RegionBytes = 64 << 10;
+      O.Memory.YoungBytes = 256 << 10;
+      Isolate Iso(CP.P, O);
+      int64_t Sum = 0;
+      for (int I = 0; I != 200; ++I)
+        Sum += Iso.call(CP.SumBoxes, {Value::makeInt(I % 32)}).asInt();
+      Sums[T] = Sum;
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  for (int T = 1; T != NumIsolates; ++T)
+    EXPECT_EQ(Sums[T], Sums[0]);
+}
+
+} // namespace
