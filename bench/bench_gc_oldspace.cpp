@@ -1,0 +1,207 @@
+//===- bench_gc_oldspace.cpp - Young-GC pause vs old-space size ---------------===//
+//
+// The PR 8 claim, measured: with a card-table remembered set, the young
+// collection pause depends on the live *young* data and the dirty-card
+// count — NOT on how big the old space is. The sweep fixes one churn
+// workload (constant allocation rate, constant old->young store rate,
+// constant live window) and scales only the live old-space population
+// {2, 4, 8, 16} MB — an 8x span. Each point runs twice:
+//
+//   card_remset  the default collector: scavenge scans dirty cards only
+//   full_scan    JVM_GC_SCAN_OLD semantics (MemoryConfig::ScanOldFallback):
+//                the PR 5 behavior, every scavenge walks the whole old
+//                space looking for old->young references
+//
+// Pauses are exact per-collection numbers from Heap::gcRecords(), not
+// histogram bucket bounds: the point of the bench is the *shape* of the
+// p99-vs-old-size curve, which bucketing would flatten. The JSON goes
+// to JVM_GC_BENCH_JSON (default BENCH_gc_oldspace.json) and
+// scripts/check_gc_oldspace.py asserts the card-mode curve is flat and
+// the full-scan curve is not.
+//
+//   JVM_GC_BENCH_JSON   output path for the sweep records
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Runtime.h"
+#include "support/Env.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace jvm;
+
+namespace {
+
+// One churn workload for every point. 64 KB regions keep the region
+// count interesting; 1 MB young space means ~20 scavenges per point at
+// this allocation rate; the full-GC threshold is parked far above any
+// point's live set so every pause measured is a scavenge.
+constexpr size_t RegionBytes = 64 << 10;
+constexpr size_t YoungBytes = 1 << 20;
+constexpr int ChurnIters = 4000;
+constexpr int GarbagePerIter = 6;   // 100-slot arrays, ~1.6 KB each
+constexpr unsigned OldMbSweep[] = {2, 4, 8, 16};
+/// Old->young stores rotate over this many arrays however large the old
+/// population is: the mutator's store locality — and therefore the
+/// dirty-card count per scavenge — is a property of the workload, not
+/// of the old-space size. (The barrier marks the holder's *header*
+/// card, so each distinct dirtied array costs one full-object scan;
+/// keeping the target set fixed keeps that cost fixed.)
+constexpr size_t StoreTargetArrays = 16;
+
+/// A born-old ref array: 2100 slots = 33,624 bytes, above
+/// largeObjectBytes() (32 KB) but below RegionBytes, so the allocator
+/// places it directly in the old space — no promotion warm-up needed to
+/// build a multi-megabyte old population.
+constexpr int64_t OldArraySlots = 2100;
+constexpr size_t OldArrayBytes = 24 + 16 * size_t(OldArraySlots);
+
+struct PointResult {
+  const char *Mode;
+  unsigned OldMb;
+  size_t OldBytes;
+  uint64_t Scavenges;
+  uint64_t PauseP50Ns, PauseP99Ns, PauseMaxNs;
+  uint64_t CardsDirtied, CardsScanned;
+  unsigned WorkersMax;
+  uint64_t CopiedBytes;
+};
+
+/// Nearest-rank-below percentile: with ~40 samples per point, p99 is
+/// the second-largest pause, so one stray OS scheduling hiccup cannot
+/// dominate the flatness comparison (the exact max is reported too).
+uint64_t percentile(std::vector<uint64_t> &Sorted, double P) {
+  if (Sorted.empty())
+    return 0;
+  size_t Idx = static_cast<size_t>(P * double(Sorted.size() - 1));
+  return Sorted[std::min(Idx, Sorted.size() - 1)];
+}
+
+PointResult runPoint(unsigned OldMb, bool FullScan) {
+  Program P;
+  ClassId Node = P.addClass("Node");
+  P.addField(Node, "val", ValueType::Int);
+  P.addField(Node, "next", ValueType::Ref);
+
+  memory::MemoryConfig C;
+  C.RegionBytes = RegionBytes;
+  C.YoungBytes = YoungBytes;
+  C.FullGcThresholdBytes = size_t(1) << 30;
+  C.ScanOldFallback = FullScan;
+  Runtime RT(P, C);
+
+  // Build the old population: enough born-old arrays for OldMb MB,
+  // rooted for the whole run through a RootScope vector.
+  std::vector<Value> OldRoots;
+  const size_t NumArrays = (size_t(OldMb) << 20) / OldArrayBytes;
+  OldRoots.reserve(NumArrays);
+  Runtime::RootScope Scope(RT, &OldRoots);
+  for (size_t I = 0; I != NumArrays; ++I)
+    OldRoots.push_back(
+        Value::makeRef(RT.heap().allocateArray(ValueType::Ref, OldArraySlots)));
+  const size_t OldBytes = RT.heap().oldBytes();
+
+  // Only the churn is measured.
+  RT.heap().resetMetrics();
+
+  // Constant-rate churn, identical at every point: one young node
+  // stored into a rotating slot of a *fixed-size* target set (the
+  // old->young edges the remembered set exists for), then pure young
+  // garbage to drive scavenges. Everything outside the target set is
+  // old ballast the card-mode scavenge must never look at.
+  const size_t Targets = std::min(StoreTargetArrays, NumArrays);
+  for (int I = 0; I != ChurnIters; ++I) {
+    HeapObject *N = RT.allocateInstance(Node);
+    N->setSlot(0, Value::makeInt(I));
+    HeapObject *Arr = OldRoots[size_t(I) % Targets].asRef();
+    RT.heap().write(Arr, unsigned(I / 7) % unsigned(OldArraySlots),
+                    Value::makeRef(N));
+    for (int G = 0; G != GarbagePerIter; ++G)
+      RT.heap().allocateArray(ValueType::Int, 100);
+  }
+
+  PointResult R{};
+  R.Mode = FullScan ? "full_scan" : "card_remset";
+  R.OldMb = OldMb;
+  R.OldBytes = OldBytes;
+  std::vector<uint64_t> Pauses;
+  for (const memory::MemoryManager::GcRecord &Rec : RT.heap().gcRecords()) {
+    if (Rec.Full)
+      continue;
+    Pauses.push_back(Rec.PauseNanos);
+    R.WorkersMax = std::max(R.WorkersMax, Rec.Workers);
+  }
+  std::sort(Pauses.begin(), Pauses.end());
+  R.Scavenges = Pauses.size();
+  R.PauseP50Ns = percentile(Pauses, 0.5);
+  R.PauseP99Ns = percentile(Pauses, 0.99);
+  R.PauseMaxNs = Pauses.empty() ? 0 : Pauses.back();
+  R.CardsDirtied = RT.heap().cardsDirtied();
+  R.CardsScanned = RT.heap().cardsScanned();
+  R.CopiedBytes = RT.heap().bytesCopied() + RT.heap().bytesPromoted();
+  return R;
+}
+
+} // namespace
+
+int main() {
+  const EnvSnapshot &Env = EnvSnapshot::process();
+  const char *JsonPath = EnvSnapshot::isSet(Env.GcBenchJson)
+                             ? Env.GcBenchJson
+                             : "BENCH_gc_oldspace.json";
+
+  std::string J = "{\n  \"bench\": \"gc_oldspace\",\n";
+  char Buf[512];
+  std::snprintf(Buf, sizeof(Buf),
+                "  \"region_bytes\": %zu,\n  \"young_bytes\": %zu,\n"
+                "  \"churn_iters\": %d,\n  \"points\": [\n",
+                RegionBytes, YoungBytes, ChurnIters);
+  J += Buf;
+
+  bool First = true;
+  for (bool FullScan : {false, true}) {
+    for (unsigned OldMb : OldMbSweep) {
+      PointResult R = runPoint(OldMb, FullScan);
+      std::printf("%-11s old=%2u MB  scavenges=%3llu  p50=%8llu ns  "
+                  "p99=%8llu ns  cards_scanned=%llu  workers<=%u\n",
+                  R.Mode, R.OldMb,
+                  static_cast<unsigned long long>(R.Scavenges),
+                  static_cast<unsigned long long>(R.PauseP50Ns),
+                  static_cast<unsigned long long>(R.PauseP99Ns),
+                  static_cast<unsigned long long>(R.CardsScanned),
+                  R.WorkersMax);
+      std::snprintf(
+          Buf, sizeof(Buf),
+          "%s    {\"mode\": \"%s\", \"old_mb\": %u, \"old_bytes\": %zu, "
+          "\"scavenges\": %llu, \"pause_p50_ns\": %llu, "
+          "\"pause_p99_ns\": %llu, \"pause_max_ns\": %llu, "
+          "\"cards_dirtied\": %llu, \"cards_scanned\": %llu, "
+          "\"workers_max\": %u, \"copied_bytes\": %llu}",
+          First ? "" : ",\n", R.Mode, R.OldMb, R.OldBytes,
+          static_cast<unsigned long long>(R.Scavenges),
+          static_cast<unsigned long long>(R.PauseP50Ns),
+          static_cast<unsigned long long>(R.PauseP99Ns),
+          static_cast<unsigned long long>(R.PauseMaxNs),
+          static_cast<unsigned long long>(R.CardsDirtied),
+          static_cast<unsigned long long>(R.CardsScanned), R.WorkersMax,
+          static_cast<unsigned long long>(R.CopiedBytes));
+      J += Buf;
+      First = false;
+    }
+  }
+  J += "\n  ]\n}\n";
+
+  if (std::FILE *F = std::fopen(JsonPath, "w")) {
+    std::fwrite(J.data(), 1, J.size(), F);
+    std::fclose(F);
+    std::printf("wrote %s\n", JsonPath);
+  } else {
+    std::fprintf(stderr, "bench_gc_oldspace: cannot write %s\n", JsonPath);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Lint BENCH_gc_oldspace.json: the card-table flatness claim, checked.
+
+The bench sweeps the live old-space population over an >=8x span while
+holding the churn workload fixed, once per mode:
+
+  card_remset  scavenge scans dirty cards only (the PR 8 collector)
+  full_scan    the legacy whole-old-space scan (JVM_GC_SCAN_OLD=1)
+
+This checker asserts the shape of the two curves, not absolute speed:
+
+  * schema: both modes cover the same old_mb sweep, counters sane,
+    p50 <= p99 <= max per point, old-space span really is >= 8x;
+  * card_remset p99 is flat: the largest point is within 4x of the
+    smallest OR within an absolute 300us — a slack band that absorbs
+    scheduler noise on tiny pauses but fails any O(old-size) term;
+  * card_remset work is constant: cards_scanned identical at every
+    old size (the dirty-card count is a property of the workload);
+  * full_scan p50 grows with old size (>= 1.3x from the smallest to
+    the largest point) — proving the sweep is actually big enough
+    that a non-flat collector shows through.
+
+Usage: check_gc_oldspace.py BENCH_gc_oldspace.json
+Exit 0 when every check passes, 1 with a diagnostic otherwise.
+"""
+
+import json
+import sys
+
+INT_FIELDS = (
+    "old_mb",
+    "old_bytes",
+    "scavenges",
+    "pause_p50_ns",
+    "pause_p99_ns",
+    "pause_max_ns",
+    "cards_dirtied",
+    "cards_scanned",
+    "workers_max",
+    "copied_bytes",
+)
+
+FLAT_RATIO = 4.0  # card p99: largest point within 4x of smallest ...
+FLAT_SLACK_NS = 300_000  # ... or within 300us absolute, whichever is looser
+GROWTH_RATIO = 1.3  # full_scan p50 must grow at least this much
+SPAN_RATIO = 8.0  # required old-space size span, largest/smallest
+
+
+def fail(msg):
+    print(f"check_gc_oldspace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail(f"usage: {sys.argv[0]} BENCH_gc_oldspace.json")
+    try:
+        with open(sys.argv[1]) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        fail(f"cannot load {sys.argv[1]}: {e}")
+
+    if doc.get("bench") != "gc_oldspace":
+        fail(f"unexpected bench id {doc.get('bench')!r}")
+    points = doc.get("points")
+    if not isinstance(points, list) or not points:
+        fail("no points[] in JSON")
+
+    by_mode = {"card_remset": [], "full_scan": []}
+    for p in points:
+        mode = p.get("mode")
+        if mode not in by_mode:
+            fail(f"unknown mode {mode!r}")
+        for field in INT_FIELDS:
+            v = p.get(field)
+            if not isinstance(v, int) or v < 0:
+                fail(f"{mode} old_mb={p.get('old_mb')}: bad {field}={v!r}")
+        if not p["pause_p50_ns"] <= p["pause_p99_ns"] <= p["pause_max_ns"]:
+            fail(
+                f"{mode} old_mb={p['old_mb']}: percentile order violated "
+                f"(p50={p['pause_p50_ns']} p99={p['pause_p99_ns']} "
+                f"max={p['pause_max_ns']})"
+            )
+        if p["scavenges"] < 10:
+            fail(
+                f"{mode} old_mb={p['old_mb']}: only {p['scavenges']} "
+                "scavenges — too few samples for percentiles"
+            )
+        by_mode[mode].append(p)
+
+    sweeps = {m: sorted(p["old_mb"] for p in pts) for m, pts in by_mode.items()}
+    if sweeps["card_remset"] != sweeps["full_scan"]:
+        fail(f"modes sweep different old sizes: {sweeps}")
+    if len(sweeps["card_remset"]) < 3:
+        fail(f"sweep too short: {sweeps['card_remset']}")
+
+    for mode, pts in by_mode.items():
+        pts.sort(key=lambda p: p["old_bytes"])
+        span = pts[-1]["old_bytes"] / pts[0]["old_bytes"]
+        if span < SPAN_RATIO:
+            fail(
+                f"{mode}: old-space span {span:.2f}x < required "
+                f"{SPAN_RATIO}x ({pts[0]['old_bytes']} .. "
+                f"{pts[-1]['old_bytes']} bytes)"
+            )
+
+    card = by_mode["card_remset"]
+    full = by_mode["full_scan"]
+
+    # The headline: card-mode p99 does not scale with old-space size.
+    p99s = [p["pause_p99_ns"] for p in card]
+    limit = max(FLAT_RATIO * min(p99s), min(p99s) + FLAT_SLACK_NS)
+    if max(p99s) > limit:
+        fail(
+            f"card_remset p99 not flat: max {max(p99s)} ns > limit "
+            f"{limit:.0f} ns (min {min(p99s)} ns over an "
+            f"{card[-1]['old_bytes'] / card[0]['old_bytes']:.1f}x "
+            "old-space span)"
+        )
+
+    # Scavenge work must be card-driven and constant across the sweep.
+    scanned = {p["cards_scanned"] for p in card}
+    if 0 in scanned:
+        fail("card_remset point scanned zero cards — barrier not firing?")
+    if len(scanned) != 1:
+        fail(
+            f"card_remset cards_scanned varies with old size: {sorted(scanned)}"
+            " — dirty-card volume should be workload-determined"
+        )
+    if any(p["cards_scanned"] != 0 for p in full):
+        fail("full_scan point reports scanned cards — fallback not engaged?")
+
+    # And the control: the legacy scan does get slower as old space grows,
+    # so the flat card curve is a property of the collector, not the sweep.
+    growth = full[-1]["pause_p50_ns"] / max(1, full[0]["pause_p50_ns"])
+    if growth < GROWTH_RATIO:
+        fail(
+            f"full_scan p50 grew only {growth:.2f}x over the sweep "
+            f"(expected >= {GROWTH_RATIO}x) — old-space sweep too small "
+            "to distinguish the collectors"
+        )
+
+    print(
+        "check_gc_oldspace: OK "
+        f"(card p99 {min(p99s)}..{max(p99s)} ns over "
+        f"{card[-1]['old_bytes'] / card[0]['old_bytes']:.1f}x old span, "
+        f"full_scan p50 grew {growth:.1f}x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

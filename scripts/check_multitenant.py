@@ -27,7 +27,7 @@ INT_FIELDS = ("threads_per_isolate", "total_ops", "wall_nanos",
 NUM_FIELDS = ("isolates", "ops_per_sec")
 ISO_INT_FIELDS = ("id", "ops", "checksum", "compilations",
                   "compiles_discarded", "heap_allocations", "gc_runs",
-                  "deopts")
+                  "deopts", "gc_pause_p50_ns", "gc_pause_p99_ns")
 
 
 def fail(msg):
@@ -85,6 +85,10 @@ def main():
             seen_ids.add(iso["id"])
             if iso["ops"] == 0:
                 fail(f"record #{i} isolate #{j}: zero ops retired")
+            if iso["gc_pause_p50_ns"] > iso["gc_pause_p99_ns"]:
+                fail(f"record #{i} isolate #{j}: gc pause percentiles out "
+                     f"of order: p50={iso['gc_pause_p50_ns']} "
+                     f"p99={iso['gc_pause_p99_ns']}")
             checksums.add(iso["checksum"])
             ops_sum += iso["ops"]
         if len(checksums) != 1:

@@ -1,0 +1,35 @@
+# Runs the old-space sweep bench (card_remset vs full_scan over an 8x
+# old-space span) and lints the JSON with check_gc_oldspace.py: schema,
+# card-mode p99 flat, constant cards_scanned, full_scan p50 growing.
+# Invoked by ctest (perf-smoke / memory labels):
+#
+#   cmake -DBENCH=<bench_gc_oldspace> -DPYTHON=<python3>
+#         -DCHECK=<check_gc_oldspace.py> -DJSON=<out.json>
+#         -P run_gc_oldspace_smoke.cmake
+#
+# The bench fixes its own heap geometry (64 KB regions / 1 MB young);
+# the only knob that matters here is where the JSON lands.
+
+foreach(Var BENCH PYTHON CHECK JSON)
+  if(NOT DEFINED ${Var})
+    message(FATAL_ERROR "run_gc_oldspace_smoke.cmake: ${Var} not set")
+  endif()
+endforeach()
+
+file(REMOVE ${JSON})
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env
+          "JVM_GC_BENCH_JSON=${JSON}"
+          ${BENCH}
+  RESULT_VARIABLE BenchResult)
+if(BenchResult)
+  message(FATAL_ERROR "gc old-space bench run failed: ${BenchResult}")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${CHECK} ${JSON}
+  RESULT_VARIABLE CheckResult)
+if(CheckResult)
+  message(FATAL_ERROR "gc old-space flatness check failed: ${CheckResult}")
+endif()

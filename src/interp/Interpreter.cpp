@@ -272,7 +272,7 @@ Value Interpreter::execute(Frame &F, int EntryBci) {
       Value V = PopValue();
       HeapObject *O = PopRef();
       assert(O && "null dereference in putfield");
-      O->setSlot(I.B, V);
+      RT.heap().write(O, I.B, V);
       break;
     }
     case Opcode::InstanceOf: {
@@ -313,7 +313,7 @@ Value Interpreter::execute(Frame &F, int EntryBci) {
       HeapObject *A = PopRef();
       assert(A && A->isArray() && "bad array store");
       assert(Idx >= 0 && Idx < A->length() && "array index out of bounds");
-      A->setSlot(static_cast<unsigned>(Idx), V);
+      RT.heap().write(A, static_cast<unsigned>(Idx), V);
       break;
     }
     case Opcode::ArrLen: {

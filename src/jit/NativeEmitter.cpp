@@ -222,6 +222,45 @@ private:
     jcc(CcE, Target::TrapNull);
   }
 
+  /// Generational write-barrier filter, emitted right after a field or
+  /// element store while rax still holds the holder object. Young
+  /// holders (the common case), non-reference values, null, and
+  /// old-to-old references all resolve inline; only a potential
+  /// old->young edge falls through to the card-marking helper.
+  void emitWriteBarrier(uint32_t ValVr, uint32_t Pc) {
+    u8(0x0F);
+    u8(0xB6);
+    u8(0x50); // movzx edx, byte [rax + Flags]
+    u8(static_cast<uint8_t>(NativeLayout::ObjectFlags));
+    u8(0xF6);
+    u8(0xC2); // test dl, old-mask
+    u8(NativeLayout::ObjectOldMask);
+    size_t YoungHolder = jccLocal(CcE);
+    u8(0x80);
+    u8(0xBB); // cmp byte [rbx + val.tag], Ref
+    u32(static_cast<uint32_t>(tagDisp(ValVr)));
+    u8(static_cast<uint8_t>(ValueType::Ref));
+    size_t NotRef = jccLocal(CcNe);
+    loadPay(2, ValVr); // rdx = stored object
+    u8(0x48);
+    u8(0x85);
+    u8(0xD2); // test rdx, rdx
+    size_t NullVal = jccLocal(CcE);
+    u8(0x0F);
+    u8(0xB6);
+    u8(0x52); // movzx edx, byte [rdx + Flags]
+    u8(static_cast<uint8_t>(NativeLayout::ObjectFlags));
+    u8(0xF6);
+    u8(0xC2); // test dl, old-mask — an old value cannot be a young target
+    u8(NativeLayout::ObjectOldMask);
+    size_t OldValue = jccLocal(CcNe);
+    callHelper(reinterpret_cast<const void *>(&jvmNativeWriteBarrier), Pc);
+    bind(YoungHolder);
+    bind(NotRef);
+    bind(NullVal);
+    bind(OldValue);
+  }
+
   void emitArith(ArithKind Op);
   bool emitInst(uint32_t Pc, const LInst &I, std::string *Why);
 
@@ -498,6 +537,7 @@ bool Emitter::emitInst(uint32_t Pc, const LInst &I, std::string *Why) {
     u8(0x80); // movups [rax+disp32], xmm0
     u32(static_cast<uint32_t>(NativeLayout::ObjectSlots +
                               I.B * NativeLayout::ValueSize));
+    emitWriteBarrier(I.C, Pc);
     return true;
 
   case LOp::LoadIndexed:
@@ -528,6 +568,7 @@ bool Emitter::emitInst(uint32_t Pc, const LInst &I, std::string *Why) {
       u8(0x44);
       u8(0x08); // movups [rax+rcx+slots], xmm0
       u8(static_cast<uint8_t>(NativeLayout::ObjectSlots));
+      emitWriteBarrier(I.C, Pc);
     }
     return true;
 

@@ -139,6 +139,15 @@ extern "C" void jvmNativeMaterialize(NativeContext *C, Value *R,
   runMaterialize(*C->RT, L, L.Mats[I.A], R, C->Exec->matScratch());
 }
 
+extern "C" void jvmNativeWriteBarrier(NativeContext *C, Value *R,
+                                      const NativeCode *N, uint32_t Pc) {
+  const LInst &I = instAt(N, Pc);
+  // The template already performed the store; only the remembered-set
+  // update runs here. I.A/I.C are the holder and value registers for
+  // both StoreField and StoreIndexed.
+  C->RT->heap().writeBarrier(R[I.A].asRef(), R[I.C]);
+}
+
 extern "C" Value jvmNativeDeopt(NativeContext *C, Value *R,
                                 const NativeCode *N, uint32_t Pc) {
   const LinearCode &L = N->linear();

@@ -38,6 +38,13 @@ void jvmNativeInvoke(jvm::NativeContext *C, jvm::Value *R,
                      const jvm::NativeCode *N, uint32_t Pc);
 void jvmNativeMaterialize(jvm::NativeContext *C, jvm::Value *R,
                           const jvm::NativeCode *N, uint32_t Pc);
+/// Write-barrier slow path: the store templates filter young holders,
+/// non-reference values, null, and old targets inline and only call
+/// out when an old->young edge may have been created. Reads the
+/// holder (I.A) and stored value (I.C) back from the register frame
+/// and dirties the holder's card.
+void jvmNativeWriteBarrier(jvm::NativeContext *C, jvm::Value *R,
+                           const jvm::NativeCode *N, uint32_t Pc);
 /// Rebuilds the DeoptRequest through the shared runDeopt path and runs
 /// the VM's deopt handler; the template forwards the returned Value
 /// (rax:rdx) straight to the method epilogue.

@@ -32,6 +32,13 @@ struct NativeLayout {
   static constexpr size_t ObjectNumSlots = offsetof(HeapObject, NumSlots);
   static constexpr size_t ObjectSlots = sizeof(HeapObject);
 
+  // Generational write barrier: the store templates test the holder's
+  // flag byte against this mask inline; only stores into old-space (or
+  // humongous) objects fall through to the slow-path helper.
+  static constexpr size_t ObjectFlags = offsetof(HeapObject, Flags);
+  static constexpr uint8_t ObjectOldMask =
+      HeapObject::FlagHumongous | HeapObject::FlagOld;
+
   // Inside the struct so the friendship covers the private-member
   // offsetof expressions.
   static_assert(sizeof(Value) == 16, "templates assume 16-byte slots");
@@ -41,6 +48,8 @@ struct NativeLayout {
   static_assert(offsetof(Value, R) == offsetof(Value, I),
                 "int and ref payloads must alias");
   static_assert(sizeof(HeapObject) == 24, "slot base moved");
+  static_assert(offsetof(HeapObject, Flags) < 128,
+                "barrier templates address the flag byte with disp8");
 };
 
 static_assert(static_cast<int>(ValueType::Void) == 0 &&

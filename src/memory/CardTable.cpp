@@ -1,0 +1,141 @@
+//===- CardTable.cpp - Remembered set over old-generation regions --------------===//
+
+#include "memory/CardTable.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <mutex>
+
+using namespace jvm;
+using namespace jvm::memory;
+
+CardTable::CardTable(size_t CardBytes)
+    : Bytes(CardBytes), Shift([CardBytes] {
+        assert(CardBytes && (CardBytes & (CardBytes - 1)) == 0 &&
+               "card size must be a power of two");
+        unsigned S = 0;
+        for (size_t B = CardBytes; B > 1; B >>= 1)
+          ++S;
+        return S;
+      }()) {}
+
+void CardTable::trackRegion(Region *R) {
+  auto S = std::make_unique<Span>();
+  S->Base = R->Base;
+  S->R = R;
+  S->NumCards = static_cast<uint32_t>((R->Bytes + Bytes - 1) >> Shift);
+  S->Cards = std::make_unique<std::atomic<uint8_t>[]>(S->NumCards);
+  S->FirstObj = std::make_unique<std::atomic<uint32_t>[]>(S->NumCards);
+  for (uint32_t I = 0; I != S->NumCards; ++I) {
+    S->Cards[I].store(0, std::memory_order_relaxed);
+    S->FirstObj[I].store(NoObject, std::memory_order_relaxed);
+  }
+  std::unique_lock<std::shared_mutex> L(SpanLock);
+  auto It = std::lower_bound(
+      Spans.begin(), Spans.end(), S->Base,
+      [](const std::unique_ptr<Span> &A, const char *B) { return A->Base < B; });
+  Spans.insert(It, std::move(S));
+}
+
+void CardTable::untrackRegion(Region *R) {
+  std::unique_lock<std::shared_mutex> L(SpanLock);
+  for (auto It = Spans.begin(); It != Spans.end(); ++It)
+    if ((*It)->R == R) {
+      Spans.erase(It);
+      return;
+    }
+  assert(false && "untrackRegion: region was not tracked");
+}
+
+void CardTable::untrackAll() {
+  std::unique_lock<std::shared_mutex> L(SpanLock);
+  Spans.clear();
+}
+
+CardTable::Span *CardTable::findSpan(const char *P) {
+  // Callers hold SpanLock (shared or unique).
+  auto It = std::upper_bound(
+      Spans.begin(), Spans.end(), P,
+      [](const char *A, const std::unique_ptr<Span> &B) { return A < B->Base; });
+  if (It == Spans.begin())
+    return nullptr;
+  Span *S = std::prev(It)->get();
+  if (P < S->Base || P >= S->Base + S->R->Bytes)
+    return nullptr;
+  return S;
+}
+
+void CardTable::recordObjectStart(const char *P) {
+  std::shared_lock<std::shared_mutex> L(SpanLock);
+  Span *S = findSpan(P);
+  assert(S && "recordObjectStart outside any tracked region");
+  std::atomic<uint32_t> &E = S->FirstObj[cardIndex(*S, P)];
+  // First-object-wins: relaxed min-CAS, racing promotion workers may
+  // record starts in the same card in any order.
+  uint32_t Off = static_cast<uint32_t>(P - S->Base);
+  uint32_t Cur = E.load(std::memory_order_relaxed);
+  while (Off < Cur &&
+         !E.compare_exchange_weak(Cur, Off, std::memory_order_relaxed))
+    ;
+}
+
+void CardTable::mark(const char *P) {
+  std::shared_lock<std::shared_mutex> L(SpanLock);
+  Span *S = findSpan(P);
+  assert(S && "write barrier on an untracked old object");
+  if (!S)
+    return;
+  if (S->Cards[cardIndex(*S, P)].exchange(1, std::memory_order_relaxed) == 0)
+    Dirtied.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool CardTable::isDirty(const char *P) const {
+  std::shared_lock<std::shared_mutex> L(SpanLock);
+  const Span *S = findSpan(P);
+  if (!S)
+    return false;
+  return S->Cards[cardIndex(*S, P)].load(std::memory_order_relaxed) != 0;
+}
+
+void CardTable::takeDirtyCards(std::vector<ScanItem> &Out) {
+  static_assert(sizeof(std::atomic<uint8_t>) == 1,
+                "word-at-a-time clean-card skip assumes packed card bytes");
+  std::unique_lock<std::shared_mutex> L(SpanLock);
+  for (std::unique_ptr<Span> &SP : Spans) {
+    Span &S = *SP;
+    char *Top = S.R->Top;
+    // The sweep over the table itself is the only O(old-size) term left
+    // in a scavenge; holding SpanLock exclusively means no mark() races
+    // this loop, so clean stretches can be skipped a word at a time.
+    const uint8_t *Raw = reinterpret_cast<const uint8_t *>(S.Cards.get());
+    for (uint32_t C = 0; C != S.NumCards;) {
+      if ((C & 7) == 0 && C + 8 <= S.NumCards) {
+        uint64_t W;
+        std::memcpy(&W, Raw + C, 8);
+        if (W == 0) {
+          C += 8;
+          continue;
+        }
+      }
+      if (S.Cards[C].load(std::memory_order_relaxed) == 0) {
+        ++C;
+        continue;
+      }
+      S.Cards[C].store(0, std::memory_order_relaxed);
+      uint32_t First = S.FirstObj[C].load(std::memory_order_relaxed);
+      if (First == NoObject)
+        continue; // dirty but empty card: nothing ever started here
+      char *FirstP = S.Base + First;
+      if (FirstP >= Top)
+        continue;
+      Out.push_back(ScanItem{FirstP, S.Base + ((size_t(C) + 1) << Shift), Top,
+                             &S.Cards[C]});
+    }
+  }
+}
+
+size_t CardTable::trackedRegions() const {
+  std::shared_lock<std::shared_mutex> L(SpanLock);
+  return Spans.size();
+}

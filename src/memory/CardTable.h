@@ -1,0 +1,147 @@
+//===- CardTable.h - Remembered set over old-generation regions -----*- C++ -*-===//
+///
+/// \file
+/// The card-table remembered set that replaces the PR 5 "scan the whole
+/// old space every scavenge" design. Every old-generation region (bump
+/// regions and humongous regions alike) is *tracked*: it gets a span of
+/// card bytes, one per `CardBytes` of storage, plus a first-object
+/// table so a dirty card can be decoded back into objects.
+///
+/// **Card semantics.** A card is dirtied for the card containing an
+/// object's *header*, never for the card of the written slot. A dirty
+/// card therefore means "some object starting in this card may hold a
+/// young reference", and scanning it walks the objects that *start*
+/// inside the card (found via the first-object table, then linearly by
+/// `sizeInBytes()`), visiting all their slots — including slots that
+/// physically live in later cards. This keeps the first-object table
+/// trivially maintainable at allocation time and makes a card scan
+/// self-contained: no backward search for a preceding object header.
+///
+/// **Why spans, not one flat table.** Regions are independent
+/// `operator new` chunks, so there is no contiguous heap to index with
+/// a single shifted pointer. Instead each tracked region owns its card
+/// arrays and the barrier slow path binary-searches a sorted span index
+/// — acceptable because old-to-young stores are the rare case the
+/// inline barrier filter already screened for.
+///
+/// **Thread safety.** Card bytes and first-object entries are relaxed
+/// atomics: parallel scavenge workers re-mark cards and record promoted
+/// object starts concurrently. The span index itself is guarded by a
+/// shared mutex (readers: mark/record/isDirty; writers: track/untrack,
+/// which also happen mid-scavenge when promotion opens a new region).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_MEMORY_CARDTABLE_H
+#define JVM_MEMORY_CARDTABLE_H
+
+#include "memory/Region.h"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+namespace jvm {
+namespace memory {
+
+class CardTable {
+public:
+  explicit CardTable(size_t CardBytes);
+
+  size_t cardBytes() const { return Bytes; }
+
+  /// Starts tracking \p R as old-generation storage: allocates clean
+  /// cards and an empty first-object table for it.
+  void trackRegion(Region *R);
+
+  /// Stops tracking \p R (humongous death at full GC).
+  void untrackRegion(Region *R);
+
+  /// Drops every span (full GC rebuilds the old space from scratch).
+  void untrackAll();
+
+  /// Records that an object was just bump-allocated at \p P inside a
+  /// tracked region, so card scans know where decoding starts. Safe
+  /// from concurrent scavenge workers (atomic min on the entry).
+  void recordObjectStart(const char *P);
+
+  /// Dirties the card containing the object header at \p P. Safe from
+  /// any thread; counts a newly-dirtied card once.
+  void mark(const char *P);
+
+  /// True if the card containing the header at \p P is dirty (verifier
+  /// and test introspection).
+  bool isDirty(const char *P) const;
+
+  /// One dirty card, decoded and ready to scan: walk objects starting
+  /// at First while their start stays below both CardEnd and TopSnap.
+  /// The card bit was already cleared; re-dirty via remark() if young
+  /// references survive the scan.
+  struct ScanItem {
+    char *First;   ///< first object starting in the card
+    char *CardEnd; ///< card limit: objects starting at/after it belong
+                   ///< to the next card's scan
+    char *TopSnap; ///< region Top at snapshot time; later allocations
+                   ///< (in-scavenge promotions) are scanned as gray
+                   ///< objects instead
+    std::atomic<uint8_t> *CardByte; ///< for remark()
+  };
+
+  /// Collects every dirty card into \p Out, clearing the bits: the
+  /// remembered set is consumed by the scavenge and rebuilt from what
+  /// the scan (and the mutator, afterwards) finds still old-to-young.
+  /// Serial (runs before the parallel copy phase).
+  void takeDirtyCards(std::vector<ScanItem> &Out);
+
+  /// Re-dirties a card taken by takeDirtyCards (young refs survived).
+  static void remark(const ScanItem &I) {
+    I.CardByte->store(1, std::memory_order_relaxed);
+  }
+
+  /// Cards dirtied since construction (mutator barriers + GC re-marks).
+  uint64_t cardsDirtied() const {
+    return Dirtied.load(std::memory_order_relaxed);
+  }
+
+  size_t trackedRegions() const;
+
+  CardTable(const CardTable &) = delete;
+  CardTable &operator=(const CardTable &) = delete;
+
+private:
+  /// Per-region card state. unique_ptr keeps Span storage stable while
+  /// the index vector grows (scan items point into Cards mid-scavenge).
+  struct Span {
+    char *Base;
+    Region *R;
+    uint32_t NumCards;
+    std::unique_ptr<std::atomic<uint8_t>[]> Cards;
+    /// Byte offset of the first object *starting* in each card;
+    /// NoObject if no object starts there.
+    std::unique_ptr<std::atomic<uint32_t>[]> FirstObj;
+  };
+  static constexpr uint32_t NoObject = ~0u;
+
+  Span *findSpan(const char *P);
+  const Span *findSpan(const char *P) const {
+    return const_cast<CardTable *>(this)->findSpan(P);
+  }
+  uint32_t cardIndex(const Span &S, const char *P) const {
+    return static_cast<uint32_t>(static_cast<size_t>(P - S.Base) >> Shift);
+  }
+
+  const size_t Bytes;   ///< card granularity (power of two)
+  const unsigned Shift; ///< log2(Bytes)
+  /// Sorted by Base for binary search.
+  std::vector<std::unique_ptr<Span>> Spans;
+  mutable std::shared_mutex SpanLock;
+  std::atomic<uint64_t> Dirtied{0};
+};
+
+} // namespace memory
+} // namespace jvm
+
+#endif // JVM_MEMORY_CARDTABLE_H

@@ -54,6 +54,26 @@ MemoryConfig MemoryConfig::fromSnapshot(const jvm::EnvSnapshot &Env) {
     C.YoungBytes = 2 * C.RegionBytes;
   if (jvm::EnvSnapshot::isOn(Env.GcStress))
     C.StressGc = true;
+
+  readSizeValue("JVM_GC_CARD", Env.GcCard, C.CardBytes);
+  if (C.CardBytes < 64)
+    C.CardBytes = 64;
+  if (C.CardBytes > C.RegionBytes)
+    C.CardBytes = C.RegionBytes;
+  // Round down to a power of two (card index is a shift).
+  while (C.CardBytes & (C.CardBytes - 1))
+    C.CardBytes &= C.CardBytes - 1;
+
+  if (Env.GcWorkers && *Env.GcWorkers) {
+    unsigned long W = std::strtoul(Env.GcWorkers, nullptr, 10);
+    C.GcWorkers = W > 16 ? 16 : static_cast<unsigned>(W);
+  }
+  if (Env.GcPauseBudget && *Env.GcPauseBudget)
+    C.PauseBudgetUs = std::strtoull(Env.GcPauseBudget, nullptr, 10);
+  if (jvm::EnvSnapshot::isOn(Env.VerifyHeap))
+    C.VerifyHeap = true;
+  if (jvm::EnvSnapshot::isOn(Env.GcScanOld))
+    C.ScanOldFallback = true;
   return C;
 }
 

@@ -4,10 +4,15 @@
 /// Sizing and policy knobs of the region-based memory manager, with the
 /// environment-variable surface the README documents:
 ///
-///   JVM_HEAP_YOUNG   young-space capacity (bytes; k/m/g suffixes)
-///   JVM_HEAP_REGION  region size (bytes; k/m/g suffixes)
-///   JVM_GC_STRESS    1 = scavenge before *every* allocation (debug)
-///   JVM_GC_LOG       file the per-collection log is appended to
+///   JVM_HEAP_YOUNG          young-space capacity (bytes; k/m/g suffixes)
+///   JVM_HEAP_REGION         region size (bytes; k/m/g suffixes)
+///   JVM_GC_STRESS           1 = scavenge before *every* allocation (debug)
+///   JVM_GC_LOG              file the per-collection log is appended to
+///   JVM_GC_CARD             card size in bytes (power of two)
+///   JVM_GC_WORKERS          scavenge copy threads (0 = adaptive)
+///   JVM_GC_PAUSE_BUDGET_US  auto-size young gen to this scavenge pause
+///   JVM_GC_SCAN_OLD         1 = legacy full old-space scan (no remset)
+///   JVM_VERIFY_HEAP         1 = walk + verify the heap after every GC
 ///
 /// Tests construct configs directly (small young spaces force scavenges
 /// deterministically); the VM default reads the environment once.
@@ -18,6 +23,7 @@
 #define JVM_MEMORY_MEMORYCONFIG_H
 
 #include <cstddef>
+#include <cstdint>
 
 namespace jvm {
 
@@ -47,7 +53,40 @@ struct MemoryConfig {
   /// Debug knob: run a scavenge at every allocation — i.e. at every
   /// safepoint a GC could possibly hit — so unrooted-reference bugs
   /// surface deterministically instead of at one unlucky heap size.
+  /// Also forces the scavenge worker count to 1 so promotion order (and
+  /// therefore old-space layout) is bit-for-bit reproducible.
   bool StressGc = false;
+
+  /// Card granularity of the old-space remembered set: one dirty byte
+  /// covers this many bytes of old storage. Smaller cards mean less
+  /// scanning per old-to-young store but a bigger table. Power of two,
+  /// clamped to [64, RegionBytes].
+  size_t CardBytes = 512;
+
+  /// Scavenge copy-phase worker count. 0 = adaptive: parallel only when
+  /// the previous scavenge copied enough bytes for the thread wake cost
+  /// to pay off, serial otherwise. A nonzero value forces that many
+  /// workers (clamped to [1, 16]). StressGc overrides this to 1.
+  unsigned GcWorkers = 0;
+
+  /// Target p99 scavenge pause in microseconds; 0 = off. When set, the
+  /// young-generation capacity is adapted downward after an over-budget
+  /// scavenge (less to copy next time) and grows back while pauses stay
+  /// comfortably under budget.
+  uint64_t PauseBudgetUs = 0;
+
+  /// Debug knob: verify the whole heap after every collection — every
+  /// reachable slot points at a live object, no forwarding pointer
+  /// survives, and every old→young reference is covered by a dirty
+  /// card. Fatal on the first violation.
+  bool VerifyHeap = false;
+
+  /// Compatibility/benchmark knob: ignore the remembered set and find
+  /// old-to-young references by scanning the entire old space, exactly
+  /// like the PR 5 collector. This is the "before" configuration of
+  /// bench_gc_oldspace; barriers still run (cards are still dirtied) so
+  /// the comparison isolates the scan policy.
+  bool ScanOldFallback = false;
 
   /// The config selected by the environment (see file comment), starting
   /// from the defaults above. Out-of-range values are clamped, not

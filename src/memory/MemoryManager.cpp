@@ -8,9 +8,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
+#include <thread>
 #include <type_traits>
 
 using namespace jvm;
@@ -21,21 +24,112 @@ static_assert(std::is_trivially_copyable_v<Value>,
               "Value must be memcpy-relocatable");
 
 namespace {
+
 uint64_t nowNanos() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+/// Claim sentinel for forwarding pointers: "a worker is copying this
+/// object right now". Never a valid object address.
+HeapObject *const FwdBusy = reinterpret_cast<HeapObject *>(1);
+
+/// A local gray stack longer than this donates half to the shared
+/// overflow queue so idle workers find work.
+constexpr size_t GrayDonateThreshold = 64;
+/// Root slots per static copy-phase task.
+constexpr size_t RootChunkSlots = 128;
+/// Adaptive mode goes parallel only when the previous scavenge copied
+/// at least this much: below it, waking workers costs more than the
+/// copies (typical all-young-dies scavenges finish in single-digit µs).
+constexpr uint64_t AdaptiveParallelBytes = 256 << 10;
+
 } // namespace
 
+namespace jvm {
+namespace memory {
+
+/// Lazily-spawned, condvar-parked scavenge worker threads. The caller
+/// always executes worker 0 itself; pool threads take indices 1..N-1.
+/// Threads persist across scavenges (spawn cost would dwarf a pause)
+/// and park between jobs.
+class GcWorkerPool {
+public:
+  ~GcWorkerPool() {
+    {
+      std::lock_guard<std::mutex> L(M);
+      Shutdown = true;
+    }
+    Cv.notify_all();
+    for (std::thread &T : Threads)
+      T.join();
+  }
+
+  void run(unsigned N, const std::function<void(unsigned)> &Fn) {
+    assert(N > 1 && "serial jobs do not need the pool");
+    {
+      std::lock_guard<std::mutex> L(M);
+      while (Threads.size() < N - 1)
+        spawn();
+      Job = &Fn;
+      JobWorkers = N;
+      Remaining = N - 1;
+      ++JobSeq;
+    }
+    Cv.notify_all();
+    Fn(0);
+    std::unique_lock<std::mutex> L(M);
+    DoneCv.wait(L, [this] { return Remaining == 0; });
+    Job = nullptr;
+  }
+
+private:
+  void spawn() {
+    unsigned Idx = static_cast<unsigned>(Threads.size());
+    Threads.emplace_back([this, Idx] {
+      uint64_t Seen = 0;
+      std::unique_lock<std::mutex> L(M);
+      for (;;) {
+        Cv.wait(L, [&] { return Shutdown || JobSeq != Seen; });
+        if (Shutdown)
+          return;
+        Seen = JobSeq;
+        if (Idx + 1 >= JobWorkers)
+          continue; // pool is larger than this job
+        const std::function<void(unsigned)> *F = Job;
+        L.unlock();
+        (*F)(Idx + 1);
+        L.lock();
+        if (--Remaining == 0)
+          DoneCv.notify_all();
+      }
+    });
+  }
+
+  std::mutex M;
+  std::condition_variable Cv, DoneCv;
+  std::vector<std::thread> Threads;
+  const std::function<void(unsigned)> *Job = nullptr;
+  unsigned JobWorkers = 0;
+  unsigned Remaining = 0;
+  uint64_t JobSeq = 0;
+  bool Shutdown = false;
+};
+
+} // namespace memory
+} // namespace jvm
+
 MemoryManager::MemoryManager(const MemoryConfig &Config)
-    : Cfg(Config), Regions(Config.RegionBytes),
+    : Cfg(Config), Regions(Config.RegionBytes), Cards(Config.CardBytes),
+      CurYoungCapBytes(Config.YoungBytes),
       NextFullGcBytes(Config.FullGcThresholdBytes) {
   if (Cfg.PromoteAge == 0)
     Cfg.PromoteAge = 1; // age 0 objects may not skip the young space
 }
 
 MemoryManager::~MemoryManager() {
+  Pool.reset(); // joins worker threads before any region dies
   if (const char *Path = EnvSnapshot::process().GcLog;
       EnvSnapshot::isSet(Path)) {
     if (std::FILE *F = std::fopen(Path, "a")) {
@@ -50,6 +144,18 @@ MemoryManager::~MemoryManager() {
     Regions.release(R);
   for (auto &[R, O] : Humongous)
     Regions.release(R);
+}
+
+GcWorkerPool &MemoryManager::pool() {
+  if (!Pool)
+    Pool = std::make_unique<GcWorkerPool>();
+  return *Pool;
+}
+
+// Write barrier --------------------------------------------------------------
+
+void MemoryManager::writeBarrierSlow(HeapObject *O) {
+  Cards.mark(reinterpret_cast<const char *>(O));
 }
 
 // Allocation -----------------------------------------------------------------
@@ -119,9 +225,14 @@ HeapObject *MemoryManager::allocateArray(ValueType ElemTy, int64_t Length) {
   return O;
 }
 
+size_t MemoryManager::curYoungRegionCount() const {
+  size_t N = CurYoungCapBytes / Cfg.RegionBytes;
+  return N < 2 ? 2 : N;
+}
+
 void MemoryManager::refillTlab(size_t NeedBytes) {
   flushTlab();
-  if (YoungRegions.size() >= Cfg.youngRegionCount())
+  if (YoungRegions.size() >= curYoungRegionCount())
     scavenge();
   // After a scavenge the survivors may still fill the young space (live
   // set ~ capacity); allocate anyway — promotion drains them over the
@@ -148,9 +259,11 @@ char *MemoryManager::oldSpaceBump(size_t Bytes) {
   if (!R || R->Top + Bytes > R->end()) {
     R = Regions.allocate(Cfg.RegionBytes);
     OldRegions.push_back(R);
+    Cards.trackRegion(R);
   }
   char *P = R->Top;
   R->Top += Bytes;
+  Cards.recordObjectStart(P);
   return P;
 }
 
@@ -161,6 +274,8 @@ HeapObject *MemoryManager::allocateHumongous(uint32_t NumSlots) {
   auto *O = reinterpret_cast<HeapObject *>(R->Base);
   O->Flags = HeapObject::FlagHumongous; // read back by allocate{Instance,Array}
   Humongous.emplace_back(R, O);
+  Cards.trackRegion(R);
+  Cards.recordObjectStart(R->Base);
   OldBytes += Size;
   ++OldCount;
   return O;
@@ -218,82 +333,216 @@ bool MemoryManager::inFromSpace(const HeapObject *O) const {
   return P < It->second;
 }
 
-char *MemoryManager::survivorBump(size_t Bytes) {
-  Region *R = SurvivorRegions.empty() ? nullptr : SurvivorRegions.back();
+unsigned MemoryManager::decideWorkers() const {
+  if (Cfg.StressGc)
+    return 1; // reproducible promotion order under stress runs
+  if (Cfg.GcWorkers)
+    return Cfg.GcWorkers; // forced (already clamped to [1, 16])
+  unsigned HW = std::thread::hardware_concurrency();
+  if (HW < 2 || LastScavengeVolume < AdaptiveParallelBytes)
+    return 1; // waking workers would cost more than the copies
+  return std::min(4u, HW);
+}
+
+char *MemoryManager::workerSurvivorBump(WorkerState &W, size_t Bytes) {
+  Region *R = W.Survivor;
   if (!R || R->Top + Bytes > R->end()) {
+    std::lock_guard<std::mutex> L(GcAllocMutex);
     R = Regions.allocate(Cfg.RegionBytes);
     SurvivorRegions.push_back(R);
+    W.Survivor = R;
   }
   char *P = R->Top;
   R->Top += Bytes;
   return P;
 }
 
-HeapObject *MemoryManager::evacuateYoung(HeapObject *O) {
+char *MemoryManager::workerOldBump(WorkerState &W, size_t Bytes) {
+  assert(Bytes <= Cfg.RegionBytes && "promoted object exceeds a region");
+  Region *R = W.OldPlab;
+  if (!R || R->Top + Bytes > R->end()) {
+    std::lock_guard<std::mutex> L(GcAllocMutex);
+    R = Regions.allocate(Cfg.RegionBytes);
+    OldRegions.push_back(R);
+    Cards.trackRegion(R);
+    W.OldPlab = R;
+  }
+  char *P = R->Top;
+  R->Top += Bytes;
+  Cards.recordObjectStart(P);
+  return P;
+}
+
+void MemoryManager::pushGray(WorkerState &W, HeapObject *O) {
+  W.Gray.push_back(O);
+  if (NumGcWorkers > 1 && W.Gray.size() > GrayDonateThreshold) {
+    // Donate the older half so idle workers share the graph walk.
+    std::lock_guard<std::mutex> L(OverflowMutex);
+    size_t Half = W.Gray.size() / 2;
+    GrayOverflow.insert(GrayOverflow.end(), W.Gray.begin(),
+                        W.Gray.begin() + Half);
+    W.Gray.erase(W.Gray.begin(), W.Gray.begin() + Half);
+  }
+}
+
+bool MemoryManager::grabOverflow(WorkerState &W) {
+  std::lock_guard<std::mutex> L(OverflowMutex);
+  if (GrayOverflow.empty())
+    return false;
+  size_t N = std::min<size_t>(GrayOverflow.size(), 32);
+  W.Gray.insert(W.Gray.end(), GrayOverflow.end() - N, GrayOverflow.end());
+  GrayOverflow.erase(GrayOverflow.end() - N, GrayOverflow.end());
+  return true;
+}
+
+HeapObject *MemoryManager::forwardObject(HeapObject *O, WorkerState &W) {
+  // Claim-then-copy: exactly one worker CASes the null forwarding
+  // pointer to the busy sentinel and copies; racers spin on the
+  // sentinel until the winner publishes the to-space address. No
+  // speculative copies to throw away, and the payload memcpy is always
+  // single-writer.
+  HeapObject *F = __atomic_load_n(&O->Forward, __ATOMIC_ACQUIRE);
+  for (;;) {
+    if (F == FwdBusy) {
+      std::this_thread::yield();
+      F = __atomic_load_n(&O->Forward, __ATOMIC_ACQUIRE);
+      continue;
+    }
+    if (F)
+      return F;
+    HeapObject *Expected = nullptr;
+    if (__atomic_compare_exchange_n(&O->Forward, &Expected, FwdBusy,
+                                    /*weak=*/false, __ATOMIC_ACQ_REL,
+                                    __ATOMIC_ACQUIRE))
+      break; // claimed
+    F = Expected;
+  }
   size_t Size = O->sizeInBytes();
   HeapObject *To;
   if (O->Age + 1u >= Cfg.PromoteAge) {
-    To = reinterpret_cast<HeapObject *>(oldSpaceBump(Size));
+    To = reinterpret_cast<HeapObject *>(workerOldBump(W, Size));
     std::memcpy(To, O, Size);
     To->Flags |= HeapObject::FlagOld;
-    OldBytes += Size;
-    ++OldCount;
-    GcPromoted += Size;
+    W.Promoted += Size;
+    ++W.OldCount;
   } else {
-    To = reinterpret_cast<HeapObject *>(survivorBump(Size));
+    To = reinterpret_cast<HeapObject *>(workerSurvivorBump(W, Size));
     std::memcpy(To, O, Size);
     ++To->Age;
-    ++YoungCount;
-    GcCopied += Size;
+    W.Copied += Size;
+    ++W.YoungCount;
   }
-  To->Forward = nullptr;
-  O->Forward = To;
-  Worklist.push_back(To);
+  To->Forward = nullptr; // memcpy brought the busy sentinel along
+  GcPending.fetch_add(1, std::memory_order_relaxed);
+  pushGray(W, To);
+  __atomic_store_n(&O->Forward, To, __ATOMIC_RELEASE);
   return To;
 }
 
-void MemoryManager::forwardIfYoung(Value &V) {
-  if (!V.isRef())
-    return;
-  HeapObject *O = V.asRef();
-  if (!O || !inFromSpace(O))
-    return; // old, humongous, or an already-evacuated to-space copy
-  if (!O->Forward)
-    evacuateYoung(O);
-  V = Value::makeRef(O->Forward);
+bool MemoryManager::forwardSlots(HeapObject *O, WorkerState &W) {
+  bool AnyYoung = false;
+  Value *Slots = O->slots();
+  for (uint32_t I = 0, E = O->NumSlots; I != E; ++I) {
+    Value &V = Slots[I];
+    if (!V.isRef())
+      continue;
+    HeapObject *T = V.asRef();
+    if (!T)
+      continue;
+    if (inFromSpace(T)) {
+      T = forwardObject(T, W);
+      V = Value::makeRef(T);
+    }
+    // Check the *final* referent: a slot may already point at a
+    // to-space survivor another task forwarded first.
+    if (!(T->Flags & (HeapObject::FlagOld | HeapObject::FlagHumongous)))
+      AnyYoung = true;
+  }
+  return AnyYoung;
 }
 
-void MemoryManager::scanOldSpace(const RootVisitor &V) {
-  // Snapshot the regions and their tops: promotions during this scan
-  // grow the old space, and those fresh copies are scanned through the
-  // worklist instead (their slots still point into from-space).
-  std::vector<std::pair<Region *, char *>> Snapshot;
-  Snapshot.reserve(OldRegions.size());
-  for (Region *R : OldRegions)
-    Snapshot.emplace_back(R, R->Top);
-  for (auto &[R, Top] : Snapshot) {
-    for (char *P = R->Base; P < Top;) {
+void MemoryManager::scanGray(HeapObject *O, WorkerState &W) {
+  bool AnyYoung = forwardSlots(O, W);
+  // A promoted object retaining young references enters the remembered
+  // set here — the next scavenge must find it without a mutator store.
+  if (AnyYoung &&
+      (O->Flags & (HeapObject::FlagOld | HeapObject::FlagHumongous)))
+    Cards.mark(reinterpret_cast<const char *>(O));
+}
+
+void MemoryManager::processStatic(const StaticTask &T, WorkerState &W) {
+  switch (T.K) {
+  case StaticTask::Roots:
+    for (size_t I = T.Begin; I != T.End; ++I) {
+      Value &V = *RootSlots[I];
+      if (!V.isRef())
+        continue;
+      HeapObject *O = V.asRef();
+      if (!O || !inFromSpace(O))
+        continue;
+      V = Value::makeRef(forwardObject(O, W));
+    }
+    break;
+  case StaticTask::Card: {
+    // Walk the objects *starting* in this card (their slots may extend
+    // past it — card marks cover the holder's header). TopSnap bounds
+    // the walk to pre-scavenge allocations; in-scavenge promotions into
+    // the same region are scanned as gray objects instead.
+    char *P = T.Item.First;
+    char *End = std::min(T.Item.CardEnd, T.Item.TopSnap);
+    bool AnyYoung = false;
+    while (P < End) {
       auto *O = reinterpret_cast<HeapObject *>(P);
-      Value *Slots = O->slots();
-      for (uint32_t I = 0, E = O->NumSlots; I != E; ++I)
-        V(Slots[I]);
+      if (forwardSlots(O, W))
+        AnyYoung = true;
       P += O->sizeInBytes();
     }
+    if (AnyYoung)
+      CardTable::remark(T.Item);
+    break;
   }
-  for (auto &[R, O] : Humongous) {
-    Value *Slots = O->slots();
-    for (uint32_t I = 0, E = O->NumSlots; I != E; ++I)
-      V(Slots[I]);
+  case StaticTask::Range:
+    // JVM_GC_SCAN_OLD fallback: the PR 5 whole-old-space scan.
+    for (char *P = T.RBase; P < T.REnd;) {
+      auto *O = reinterpret_cast<HeapObject *>(P);
+      forwardSlots(O, W);
+      P += O->sizeInBytes();
+    }
+    break;
+  case StaticTask::Hum:
+    forwardSlots(T.H, W);
+    break;
   }
 }
 
-void MemoryManager::drainWorklist(const RootVisitor &V) {
-  while (!Worklist.empty()) {
-    HeapObject *O = Worklist.back();
-    Worklist.pop_back();
-    Value *Slots = O->slots();
-    for (uint32_t I = 0, E = O->NumSlots; I != E; ++I)
-      V(Slots[I]);
+void MemoryManager::copyWorker(unsigned Wi) {
+  WorkerState &W = Workers[Wi];
+  bool StaticsDone = false;
+  for (;;) {
+    if (!W.Gray.empty()) {
+      HeapObject *O = W.Gray.back();
+      W.Gray.pop_back();
+      scanGray(O, W);
+      GcPending.fetch_sub(1, std::memory_order_acq_rel);
+      continue;
+    }
+    if (!StaticsDone) {
+      size_t T = StaticNext.fetch_add(1, std::memory_order_relaxed);
+      if (T < StaticTasks.size()) {
+        processStatic(StaticTasks[T], W);
+        GcPending.fetch_sub(1, std::memory_order_acq_rel);
+        continue;
+      }
+      StaticsDone = true;
+    }
+    if (NumGcWorkers > 1 && grabOverflow(W))
+      continue;
+    // Termination: every static task and every gray object is counted
+    // in GcPending (incremented before publication, decremented after
+    // its scan). Zero pending ⇒ no work exists anywhere.
+    if (GcPending.load(std::memory_order_acquire) == 0)
+      return;
+    std::this_thread::yield();
   }
 }
 
@@ -322,10 +571,101 @@ void MemoryManager::scavenge() {
   SurvivorRegions.clear();
   YoungCount = 0;
   GcCopied = GcPromoted = 0;
-  RootVisitor Forward = [this](Value &V) { forwardIfYoung(V); };
-  visitRoots(Forward);
-  scanOldSpace(Forward);
-  drainWorklist(Forward);
+
+  // Phase 1 (serial): collect root slots. Providers enumerate live
+  // Value storage; dedup by address so two providers reporting the same
+  // slot can't race to forward through it in the copy phase.
+  {
+    TraceScope RootSpan(TraceGc, "scavenge-roots", "isolate",
+                        static_cast<int64_t>(TraceIsolateId));
+    RootSlots.clear();
+    visitRoots([this](Value &V) {
+      if (V.isRef() && V.asRef())
+        RootSlots.push_back(&V);
+    });
+    std::sort(RootSlots.begin(), RootSlots.end());
+    RootSlots.erase(std::unique(RootSlots.begin(), RootSlots.end()),
+                    RootSlots.end());
+  }
+
+  // Phase 2 (serial): consume the remembered set (or snapshot the whole
+  // old space in the JVM_GC_SCAN_OLD fallback).
+  StaticTasks.clear();
+  for (size_t I = 0; I < RootSlots.size(); I += RootChunkSlots) {
+    StaticTask T;
+    T.K = StaticTask::Roots;
+    T.Begin = I;
+    T.End = std::min(I + RootChunkSlots, RootSlots.size());
+    StaticTasks.push_back(T);
+  }
+  {
+    TraceScope CardSpan(TraceGc, "scavenge-cards", "isolate",
+                        static_cast<int64_t>(TraceIsolateId));
+    CardItems.clear();
+    if (Cfg.ScanOldFallback) {
+      for (Region *R : OldRegions) {
+        StaticTask T;
+        T.K = StaticTask::Range;
+        T.RBase = R->Base;
+        T.REnd = R->Top;
+        StaticTasks.push_back(T);
+      }
+      for (auto &[R, O] : Humongous) {
+        StaticTask T;
+        T.K = StaticTask::Hum;
+        T.H = O;
+        StaticTasks.push_back(T);
+      }
+    } else {
+      Cards.takeDirtyCards(CardItems);
+      for (const CardTable::ScanItem &I : CardItems) {
+        StaticTask T;
+        T.K = StaticTask::Card;
+        T.Item = I;
+        StaticTasks.push_back(T);
+      }
+    }
+  }
+  Rec.CardsScanned = CardItems.size();
+  CardsScannedTotal += CardItems.size();
+
+  // Phase 3: the copy phase — parallel when it pays.
+  NumGcWorkers = decideWorkers();
+  if (Workers.size() < NumGcWorkers)
+    Workers.resize(NumGcWorkers);
+  for (WorkerState &W : Workers) {
+    W.Gray.clear();
+    W.Survivor = nullptr;
+    W.Copied = W.Promoted = 0;
+    W.YoungCount = W.OldCount = 0;
+  }
+  GrayOverflow.clear();
+  StaticNext.store(0, std::memory_order_relaxed);
+  GcPending.store(static_cast<int64_t>(StaticTasks.size()),
+                  std::memory_order_relaxed);
+  {
+    TraceScope CopySpan(TraceGc, "scavenge-copy", "workers",
+                        static_cast<int64_t>(NumGcWorkers), "isolate",
+                        static_cast<int64_t>(TraceIsolateId));
+    if (NumGcWorkers == 1)
+      copyWorker(0);
+    else
+      pool().run(NumGcWorkers, [this](unsigned Wi) { copyWorker(Wi); });
+  }
+  LastWorkers = NumGcWorkers;
+  assert(GrayOverflow.empty() && "copy phase terminated with shared work");
+  for (unsigned I = 0; I != NumGcWorkers; ++I) {
+    WorkerState &W = Workers[I];
+    assert(W.Gray.empty() && "copy phase terminated with local work");
+    GcCopied += W.Copied;
+    GcPromoted += W.Promoted;
+    YoungCount += W.YoungCount;
+    OldCount += W.OldCount;
+    OldBytes += W.Promoted;
+    W.LifetimeCopied += W.Copied + W.Promoted;
+    W.Survivor = nullptr; // survivor regions never persist across GCs
+  }
+  LastScavengeVolume = GcCopied + GcPromoted;
 
   for (Region *R : FromRegions)
     Regions.release(R);
@@ -340,18 +680,35 @@ void MemoryManager::scavenge() {
   Rec.Seq = ++GcSeq;
   Rec.Copied = GcCopied;
   Rec.Promoted = GcPromoted;
+  Rec.Workers = NumGcWorkers;
   Rec.YoungAfter = youngOccupancyBytes();
   Rec.OldAfter = OldBytes;
   Rec.PauseNanos = nowNanos() - Start;
   ScavengePauseNs.record(Rec.PauseNanos);
   recordGc(Rec);
+
+  // Pause-budget controller: shrink the young space after an
+  // over-budget pause (less live data to copy next time), grow it back
+  // one region at a time while pauses stay at < half budget.
+  if (Cfg.PauseBudgetUs) {
+    uint64_t PauseUs = Rec.PauseNanos / 1000;
+    if (PauseUs > Cfg.PauseBudgetUs)
+      CurYoungCapBytes = std::max(2 * Cfg.RegionBytes, CurYoungCapBytes / 2);
+    else if (PauseUs * 2 < Cfg.PauseBudgetUs &&
+             CurYoungCapBytes < Cfg.YoungBytes)
+      CurYoungCapBytes += Cfg.RegionBytes;
+  }
+
   if (traceWants(TraceGc))
     Tracer::get().instant(TraceGc, "scavenge-stats", "bytes_copied",
                           static_cast<int64_t>(GcCopied), "bytes_promoted",
                           static_cast<int64_t>(GcPromoted));
   JVM_DEBUG("scavenge #" << Rec.Seq << ": " << Rec.YoungBefore << " -> "
                          << Rec.YoungAfter << " young bytes, promoted "
-                         << GcPromoted);
+                         << GcPromoted << ", cards " << Rec.CardsScanned
+                         << ", workers " << NumGcWorkers);
+  if (Cfg.VerifyHeap)
+    verifyHeap("scavenge");
   InGc = false;
 
   if (OldBytes >= NextFullGcBytes)
@@ -359,6 +716,17 @@ void MemoryManager::scavenge() {
 }
 
 // Full collection ------------------------------------------------------------
+
+char *MemoryManager::survivorBump(size_t Bytes) {
+  Region *R = SurvivorRegions.empty() ? nullptr : SurvivorRegions.back();
+  if (!R || R->Top + Bytes > R->end()) {
+    R = Regions.allocate(Cfg.RegionBytes);
+    SurvivorRegions.push_back(R);
+  }
+  char *P = R->Top;
+  R->Top += Bytes;
+  return P;
+}
 
 void MemoryManager::forwardFull(Value &V) {
   if (!V.isRef())
@@ -405,6 +773,29 @@ void MemoryManager::forwardFull(Value &V) {
   V = Value::makeRef(O->Forward);
 }
 
+void MemoryManager::drainWorklist(const RootVisitor &V) {
+  while (!Worklist.empty()) {
+    HeapObject *O = Worklist.back();
+    Worklist.pop_back();
+    bool AnyYoung = false;
+    Value *Slots = O->slots();
+    for (uint32_t I = 0, E = O->NumSlots; I != E; ++I) {
+      V(Slots[I]);
+      if (Slots[I].isRef()) {
+        HeapObject *T = Slots[I].asRef();
+        if (T &&
+            !(T->Flags & (HeapObject::FlagOld | HeapObject::FlagHumongous)))
+          AnyYoung = true;
+      }
+    }
+    // Rebuild the remembered set for the compacted old space: old
+    // copies that reference young survivors must start out dirty.
+    if (AnyYoung &&
+        (O->Flags & (HeapObject::FlagOld | HeapObject::FlagHumongous)))
+      Cards.mark(reinterpret_cast<const char *>(O));
+  }
+}
+
 void MemoryManager::collectFull() {
   if (InGc)
     return;
@@ -419,6 +810,10 @@ void MemoryManager::collectFull() {
                   static_cast<int64_t>(Rec.OldBefore), "isolate",
                   static_cast<int64_t>(TraceIsolateId));
 
+  // Worker promotion buffers live inside OldRegions, which all die now.
+  for (WorkerState &W : Workers)
+    W.OldPlab = nullptr;
+
   // From-space is everything that moves: all young and old regions.
   std::vector<Region *> FromRegions = std::move(YoungRegions);
   YoungRegions.clear();
@@ -431,14 +826,23 @@ void MemoryManager::collectFull() {
   FromLo = FromRanges.empty() ? nullptr : FromRanges.front().first;
   FromHi = FromRanges.empty() ? nullptr : FromRanges.back().second;
 
+  // The card table is rebuilt from scratch: surviving humongous spans
+  // stay tracked (those objects don't move), compacted old regions are
+  // re-tracked as oldSpaceBump creates them, and drainWorklist re-marks
+  // whatever still holds young references.
+  Cards.untrackAll();
+
   SurvivorRegions.clear();
   // Live figures are rebuilt from scratch; humongous bytes re-enter
   // OldBytes only if their object is marked live below.
   YoungCount = OldCount = 0;
   OldBytes = 0;
   GcCopied = GcPromoted = 0;
-  for (auto &[R, O] : Humongous)
+  for (auto &[R, O] : Humongous) {
     O->Flags &= ~HeapObject::FlagMarked;
+    Cards.trackRegion(R);
+    Cards.recordObjectStart(R->Base);
+  }
 
   RootVisitor Forward = [this](Value &V) { forwardFull(V); };
   visitRoots(Forward);
@@ -452,6 +856,7 @@ void MemoryManager::collectFull() {
       OldBytes += O->sizeInBytes();
       LiveHumongous.emplace_back(R, O);
     } else {
+      Cards.untrackRegion(R);
       Regions.release(R);
     }
   }
@@ -486,10 +891,78 @@ void MemoryManager::collectFull() {
                           static_cast<int64_t>(GcPromoted));
   JVM_DEBUG("full gc #" << Rec.Seq << ": old " << Rec.OldBefore << " -> "
                         << Rec.OldAfter << " bytes");
+  if (Cfg.VerifyHeap)
+    verifyHeap("full-gc");
   InGc = false;
 }
 
+// Heap verifier --------------------------------------------------------------
+
+void MemoryManager::verifyHeap(const char *Phase) {
+  // Collect every live object address. The TLAB is flushed at this
+  // point (verify runs inside a collection), so region Tops are exact.
+  std::vector<const HeapObject *> Live;
+  auto WalkRegion = [&](const Region *R) {
+    for (const char *P = R->Base; P < R->Top;) {
+      auto *O = reinterpret_cast<const HeapObject *>(P);
+      Live.push_back(O);
+      P += O->sizeInBytes();
+    }
+  };
+  for (const Region *R : YoungRegions)
+    WalkRegion(R);
+  for (const Region *R : OldRegions)
+    WalkRegion(R);
+  for (auto &[R, O] : Humongous)
+    Live.push_back(O);
+  std::sort(Live.begin(), Live.end());
+  auto IsLive = [&](const HeapObject *O) {
+    return std::binary_search(Live.begin(), Live.end(), O);
+  };
+  auto Fatal = [&](const char *Msg, const void *At) {
+    std::fprintf(stderr,
+                 "JVM_VERIFY_HEAP: %s after %s (object %p) — aborting\n", Msg,
+                 Phase, At);
+    std::abort();
+  };
+
+  for (const HeapObject *O : Live) {
+    if (__atomic_load_n(&O->Forward, __ATOMIC_RELAXED) != nullptr)
+      Fatal("live object still carries a forwarding pointer", O);
+    bool AnyYoung = false;
+    const Value *Slots = O->slots();
+    for (uint32_t I = 0, E = O->NumSlots; I != E; ++I) {
+      if (!Slots[I].isRef())
+        continue;
+      const HeapObject *T = Slots[I].asRef();
+      if (!T)
+        continue;
+      if (!IsLive(T))
+        Fatal("slot references a dead or stale (unforwarded) object", T);
+      if (!(T->Flags & (HeapObject::FlagOld | HeapObject::FlagHumongous)))
+        AnyYoung = true;
+    }
+    if (AnyYoung &&
+        (O->Flags & (HeapObject::FlagOld | HeapObject::FlagHumongous)) &&
+        !Cards.isDirty(reinterpret_cast<const char *>(O)))
+      Fatal("old-to-young reference on a clean card (missed write barrier)",
+            O);
+  }
+  visitRoots([&](Value &V) {
+    if (V.isRef() && V.asRef() && !IsLive(V.asRef()))
+      Fatal("root references a dead or stale (unforwarded) object", V.asRef());
+  });
+}
+
 // Metrics and log ------------------------------------------------------------
+
+std::vector<uint64_t> MemoryManager::workerCopiedBytes() const {
+  std::vector<uint64_t> Out;
+  Out.reserve(Workers.size());
+  for (const WorkerState &W : Workers)
+    Out.push_back(W.LifetimeCopied);
+  return Out;
+}
 
 void MemoryManager::resetMetrics() {
   AllocCount = 0;
@@ -498,8 +971,11 @@ void MemoryManager::resetMetrics() {
   FullGcs = 0;
   BytesCopied = 0;
   BytesPromoted = 0;
+  CardsScannedTotal = 0;
+  CardsDirtiedAtReset = Cards.cardsDirtied();
   ScavengePauseNs.reset();
   FullGcPauseNs.reset();
+  GcLog.clear();
 }
 
 void MemoryManager::recordGc(GcRecord R) { GcLog.push_back(R); }
@@ -515,12 +991,13 @@ std::string MemoryManager::renderGcLog() const {
     std::snprintf(
         Buf, sizeof(Buf),
         "[gc] #%llu %-8s pause=%lluus copied=%lluB promoted=%lluB "
-        "young %llu->%llu old %llu->%llu\n",
+        "young %llu->%llu old %llu->%llu cards=%llu workers=%u\n",
         (unsigned long long)R.Seq, R.Full ? "full" : "scavenge",
         (unsigned long long)(R.PauseNanos / 1000), (unsigned long long)R.Copied,
         (unsigned long long)R.Promoted, (unsigned long long)R.YoungBefore,
         (unsigned long long)R.YoungAfter, (unsigned long long)R.OldBefore,
-        (unsigned long long)R.OldAfter);
+        (unsigned long long)R.OldAfter, (unsigned long long)R.CardsScanned,
+        R.Workers);
     Out += Buf;
   }
   return Out;

@@ -3,7 +3,8 @@
 /// \file
 /// The allocation and collection engine behind jvm::Heap: a bump
 /// allocator over fixed-size regions with a generational copying
-/// collector.
+/// collector, a card-table remembered set, and a parallel scavenge
+/// copy phase.
 ///
 /// **Allocation.** The mutator owns one TLAB — a bump window over the
 /// current young region. The fast path is a pointer compare and add;
@@ -13,42 +14,73 @@
 /// rematerialization and interpreter/executor `new` all funnel through
 /// this path.
 ///
-/// **Scavenge (young collection).** Cheney-style copying: when the young
-/// space is at capacity (or `JVM_GC_STRESS` forces it), live young
-/// objects are evacuated — to a fresh survivor region, or, once their
-/// age reaches `PromoteAge`, to the old space — leaving a forwarding
-/// pointer; from-space regions are then recycled wholesale. Roots come
-/// from the registered updating RootProviders *plus a linear scan of
-/// every old-space and humongous object*: we are write-barrier-free by
-/// design (builder's choice, documented in DESIGN.md §10) — the old
-/// space is small in our workloads, and scanning it beats threading
-/// card-marking through every setSlot in two executor tiers.
+/// **Write barrier.** Every mutator reference store (all four execution
+/// tiers plus runtime helpers) goes through `Heap::write`, which lands
+/// in `writeBarrier` here: an inline filter (store target old? value a
+/// young reference?) in front of an out-of-line slow path that dirties
+/// the card of the *holder's header* in the CardTable. That remembered
+/// set is what lets a scavenge find old-to-young references without
+/// touching the rest of the old space — the PR 5 design scanned every
+/// old object per scavenge, making young-GC pause O(old space).
 ///
-/// **Full collection.** Triggered by old-space growth (or Heap::collect):
-/// evacuates *all* live young+old objects into fresh regions (copying
-/// compaction), marks and sweeps humongous regions in place.
+/// **Scavenge (young collection).** Three phases under one pause:
+/// root-slot collection (serial), dirty-card collection (serial,
+/// consumes and clears the remembered set), then a copy phase that
+/// evacuates live young objects — to a survivor region, or, once their
+/// age reaches `PromoteAge`, to the old space — over a static task
+/// array (root chunks + cards) drained by `JVM_GC_WORKERS` workers with
+/// per-worker copy buffers, local gray stacks with a shared overflow
+/// queue, and claim-then-copy forwarding (a CAS on the forwarding
+/// pointer elects the copier). Cards whose objects still hold young
+/// references after forwarding are re-dirtied, as are promoted objects
+/// that retain young references — the remembered set is rebuilt by the
+/// scan itself. `JVM_GC_STRESS` forces one worker so promotion order is
+/// reproducible; `JVM_GC_SCAN_OLD=1` restores the full old-space scan
+/// (the bench_gc_oldspace "before" mode).
 ///
-/// **Observability.** Scavenge/full-GC TraceScope spans with bytes
-/// copied/promoted payloads, pause-time log2 histograms, and a
-/// per-collection log appended to `$JVM_GC_LOG` at destruction.
+/// **Pause budget.** `JVM_GC_PAUSE_BUDGET_US` turns the young-space
+/// capacity into a control variable: an over-budget scavenge halves it
+/// (less to copy next time), comfortably-under-budget scavenges grow it
+/// back one region at a time toward the configured capacity.
+///
+/// **Full collection.** Triggered by old-space growth (or
+/// Heap::collect): evacuates *all* live young+old objects into fresh
+/// regions (copying compaction), marks and sweeps humongous regions in
+/// place, and rebuilds the card table from scratch. Serial: full GCs
+/// are rare and wholesale.
+///
+/// **Observability.** Per-phase TraceScope spans (scavenge-roots /
+/// scavenge-cards / scavenge-copy), cards-dirtied/scanned counters,
+/// per-worker copied bytes, pause-time log2 histograms, exact
+/// per-collection records (gcRecords()), and a per-collection log
+/// appended to `$JVM_GC_LOG` at destruction. `JVM_VERIFY_HEAP=1` walks
+/// the whole heap after every collection and aborts on a stale
+/// reference, a surviving forwarding pointer, or an old→young
+/// reference on a clean card.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef JVM_MEMORY_MEMORYMANAGER_H
 #define JVM_MEMORY_MEMORYMANAGER_H
 
+#include "memory/CardTable.h"
 #include "memory/MemoryConfig.h"
 #include "memory/Object.h"
 #include "memory/Region.h"
 #include "observability/Metrics.h"
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 namespace jvm {
 namespace memory {
+
+class GcWorkerPool;
 
 class MemoryManager {
 public:
@@ -59,6 +91,29 @@ public:
   HeapObject *allocateInstance(ClassId Cls,
                                const std::vector<ValueType> &FieldTypes);
   HeapObject *allocateArray(ValueType ElemTy, int64_t Length);
+
+  // Write barrier ------------------------------------------------------------
+  /// Post-store barrier: after `O->setSlot(I, V)` the mutator must call
+  /// this (via Heap::write) so a scavenge can find the reference without
+  /// scanning the old space. The inline filter dismisses the common
+  /// cases — young holder, non-reference value, null, old value — and
+  /// only an actual old→young store reaches the card mark.
+  void writeBarrier(HeapObject *O, const Value &V) {
+    if (!(O->Flags & (HeapObject::FlagOld | HeapObject::FlagHumongous)))
+      return; // young holder: the scavenge visits it anyway
+    if (!V.isRef())
+      return;
+    HeapObject *T = V.asRef();
+    if (!T || (T->Flags & (HeapObject::FlagOld | HeapObject::FlagHumongous)))
+      return; // null or old-to-old: no generation boundary crossed
+    writeBarrierSlow(O);
+  }
+
+  /// True if the card covering \p O's header is dirty (tests, verifier).
+  /// Always false for young objects (they have no cards).
+  bool cardIsDirty(const HeapObject *O) const {
+    return Cards.isDirty(reinterpret_cast<const char *>(O));
+  }
 
   // Roots --------------------------------------------------------------------
   /// Registers an updating root enumerator; the token removes it again
@@ -82,6 +137,20 @@ public:
   uint64_t bytesPromoted() const { return BytesPromoted; }
   uint64_t liveObjects() const { return YoungCount + OldCount; }
 
+  /// Cards dirtied by write barriers and GC re-marks since construction
+  /// (or the last metrics reset).
+  uint64_t cardsDirtied() const {
+    return Cards.cardsDirtied() - CardsDirtiedAtReset;
+  }
+  /// Dirty cards consumed (scanned) by scavenges.
+  uint64_t cardsScanned() const { return CardsScannedTotal; }
+  /// Copy-phase worker count of the most recent scavenge.
+  unsigned lastGcWorkers() const { return LastWorkers; }
+  /// Current (possibly budget-adapted) young-generation capacity.
+  size_t youngCapacityBytes() const { return CurYoungCapBytes; }
+  /// Lifetime bytes copied+promoted per scavenge worker (index = worker).
+  std::vector<uint64_t> workerCopiedBytes() const;
+
   /// Current occupancy (allocated bytes actually holding objects).
   size_t youngOccupancyBytes() const;
   size_t oldOccupancyBytes() const { return OldBytes; }
@@ -94,6 +163,23 @@ public:
   void resetMetrics();
 
   // GC log -------------------------------------------------------------------
+  struct GcRecord {
+    uint64_t Seq = 0;
+    bool Full = false;
+    uint64_t PauseNanos = 0;
+    uint64_t Copied = 0;   ///< bytes evacuated within the young space
+    uint64_t Promoted = 0; ///< bytes moved young -> old
+    uint64_t YoungBefore = 0, YoungAfter = 0;
+    uint64_t OldBefore = 0, OldAfter = 0;
+    uint64_t CardsScanned = 0; ///< dirty cards consumed this scavenge
+    unsigned Workers = 1;      ///< copy-phase workers used
+  };
+
+  /// Exact per-collection records since construction (or the last
+  /// reset): pause percentile computation without histogram bucketing
+  /// (bench_gc_oldspace needs real values, not log2 upper bounds).
+  const std::vector<GcRecord> &gcRecords() const { return GcLog; }
+
   /// One line per collection since construction (or the last reset):
   /// kind, pause, bytes copied/promoted, occupancy before/after.
   std::string renderGcLog() const;
@@ -111,15 +197,32 @@ public:
   MemoryManager &operator=(const MemoryManager &) = delete;
 
 private:
-  struct GcRecord {
-    uint64_t Seq = 0;
-    bool Full = false;
-    uint64_t PauseNanos = 0;
-    uint64_t Copied = 0;   ///< bytes evacuated within the young space
-    uint64_t Promoted = 0; ///< bytes moved young -> old
-    uint64_t YoungBefore = 0, YoungAfter = 0;
-    uint64_t OldBefore = 0, OldAfter = 0;
+  /// Per-worker scavenge state. The old-space PLAB persists across
+  /// scavenges (bounding per-collection region waste); everything else
+  /// is reset per collection. Lifetime copy bytes feed the per-worker
+  /// metrics.
+  struct WorkerState {
+    std::vector<HeapObject *> Gray; ///< local gray stack (unsynchronized)
+    Region *Survivor = nullptr;     ///< current survivor copy buffer
+    Region *OldPlab = nullptr;      ///< promotion buffer, persists
+    uint64_t Copied = 0, Promoted = 0; ///< bytes, current scavenge
+    uint64_t YoungCount = 0, OldCount = 0;
+    uint64_t LifetimeCopied = 0;
   };
+
+  /// One unit of the copy phase's static (pre-built, serially known)
+  /// work: a chunk of root slots, one dirty card, one old region range
+  /// (JVM_GC_SCAN_OLD fallback), or one humongous object (ditto).
+  struct StaticTask {
+    enum Kind : uint8_t { Roots, Card, Range, Hum } K = Roots;
+    size_t Begin = 0, End = 0;                  ///< Roots: RootSlots slice
+    CardTable::ScanItem Item{};                 ///< Card
+    char *RBase = nullptr, *REnd = nullptr;     ///< Range
+    HeapObject *H = nullptr;                    ///< Hum
+  };
+
+  /// The out-of-line card mark behind the inline writeBarrier filter.
+  void writeBarrierSlow(HeapObject *O);
 
   /// The allocation slow/fast path shared by instances and arrays.
   HeapObject *allocateRaw(uint32_t NumSlots);
@@ -130,7 +233,11 @@ private:
   void refillTlab(size_t NeedBytes);
   /// Retires the TLAB's bump pointer into its region's Top.
   void flushTlab();
-  /// Bump-allocates \p Bytes in the old space (new region as needed).
+  /// Young capacity in whole regions at the current (budget-adapted)
+  /// setting; >= 2 so a scavenge always has survivor headroom.
+  size_t curYoungRegionCount() const;
+  /// Bump-allocates \p Bytes in the old space (new region as needed);
+  /// tracks new regions in the card table and records object starts.
   char *oldSpaceBump(size_t Bytes);
   /// Allocates an oversized object in its own dedicated region.
   HeapObject *allocateHumongous(uint32_t NumSlots);
@@ -138,35 +245,57 @@ private:
   // Scavenge machinery -------------------------------------------------------
   /// True if \p O lies in one of the captured from-space ranges.
   bool inFromSpace(const HeapObject *O) const;
-  /// Evacuates (or re-reads the forwarding of) a young \p V in place.
-  void forwardIfYoung(Value &V);
-  /// Copies \p O out of the young from-space; survivor or promotion.
-  HeapObject *evacuateYoung(HeapObject *O);
-  /// Bump-allocates \p Bytes in the current survivor (to-space) region.
-  char *survivorBump(size_t Bytes);
-  /// Scans every old-space and humongous object's slots with \p V — the
-  /// write-barrier-free substitute for a remembered set. Snapshots the
-  /// region list first: promotions during the scan grow the old space,
-  /// and those copies are handled by the worklist instead.
-  void scanOldSpace(const RootVisitor &V);
   void visitRoots(const RootVisitor &V);
-  void drainWorklist(const RootVisitor &V);
+  /// Copy-phase workers for this scavenge: forced by config, 1 under
+  /// GC stress, else adaptive on the previous scavenge's copy volume.
+  unsigned decideWorkers() const;
+  /// The copy-phase worker loop: drain local gray, claim static tasks,
+  /// steal from the overflow queue, exit when the pending count hits 0.
+  void copyWorker(unsigned Wi);
+  void processStatic(const StaticTask &T, WorkerState &W);
+  /// Forwards one from-space object: claim-then-copy (CAS the forwarding
+  /// pointer to a busy sentinel, copy privately, publish). Returns the
+  /// to-space address; safe to race from any worker.
+  HeapObject *forwardObject(HeapObject *O, WorkerState &W);
+  /// Forwards every reference slot of \p O in place; returns true if any
+  /// slot still holds a young reference afterwards.
+  bool forwardSlots(HeapObject *O, WorkerState &W);
+  /// Scans a gray to-space object; re-dirties its card if it was
+  /// promoted and retains young references.
+  void scanGray(HeapObject *O, WorkerState &W);
+  void pushGray(WorkerState &W, HeapObject *O);
+  bool grabOverflow(WorkerState &W);
+  /// Per-worker bump allocation during the copy phase. Region
+  /// acquisition synchronizes on GcAllocMutex; the bump itself is on a
+  /// worker-exclusive region.
+  char *workerSurvivorBump(WorkerState &W, size_t Bytes);
+  char *workerOldBump(WorkerState &W, size_t Bytes);
+  GcWorkerPool &pool();
 
   // Full-GC machinery --------------------------------------------------------
   void forwardFull(Value &V);
+  /// Serial survivor bump for the full collection.
+  char *survivorBump(size_t Bytes);
+  void drainWorklist(const RootVisitor &V);
+
+  /// JVM_VERIFY_HEAP: whole-heap walk after a collection. Aborts on the
+  /// first stale reference, surviving forwarding pointer, or old→young
+  /// reference whose holder's card is clean.
+  void verifyHeap(const char *Phase);
 
   void recordGc(GcRecord R);
 
   MemoryConfig Cfg;
   uint32_t TraceIsolateId = 0;
   RegionAllocator Regions;
+  CardTable Cards;
 
   // Young space: the regions allocated since the last scavenge. The last
   // one backs the TLAB; its Top lags the TLAB bump pointer until flush.
   std::vector<Region *> YoungRegions;
   char *TlabCur = nullptr;
   char *TlabEnd = nullptr;
-  size_t YoungUsedBytes = 0; ///< bytes bumped in retired young regions
+  size_t CurYoungCapBytes; ///< pause-budget-adapted young capacity
 
   // Old space: bump-filled regions; the last one is the open one.
   std::vector<Region *> OldRegions;
@@ -183,9 +312,23 @@ private:
   bool InGc = false;
   std::vector<std::pair<const char *, const char *>> FromRanges;
   const char *FromLo = nullptr, *FromHi = nullptr;
-  std::vector<HeapObject *> Worklist;
-  std::vector<Region *> SurvivorRegions; ///< scavenge to-space (young)
+  std::vector<HeapObject *> Worklist; ///< full GC only (serial)
+  std::vector<Region *> SurvivorRegions; ///< scavenge/full-GC to-space
   uint64_t GcCopied = 0, GcPromoted = 0; ///< bytes, current collection
+
+  // Parallel copy-phase state (valid during a scavenge's copy phase).
+  std::vector<WorkerState> Workers;
+  unsigned NumGcWorkers = 1;
+  std::vector<Value *> RootSlots; ///< deduped root slots, reused buffer
+  std::vector<CardTable::ScanItem> CardItems;
+  std::vector<StaticTask> StaticTasks;
+  std::atomic<size_t> StaticNext{0};
+  std::atomic<int64_t> GcPending{0}; ///< unfinished tasks + gray objects
+  std::vector<HeapObject *> GrayOverflow;
+  std::mutex OverflowMutex;
+  std::mutex GcAllocMutex; ///< worker region acquisition
+  std::unique_ptr<GcWorkerPool> Pool;
+  uint64_t LastScavengeVolume = 0; ///< copied+promoted bytes last time
 
   // Metrics.
   uint64_t AllocCount = 0;
@@ -196,6 +339,9 @@ private:
   uint64_t BytesPromoted = 0;
   uint64_t YoungCount = 0; ///< live-object estimate, exact right after GC
   uint64_t OldCount = 0;
+  uint64_t CardsScannedTotal = 0;
+  uint64_t CardsDirtiedAtReset = 0;
+  unsigned LastWorkers = 1;
   MetricHistogram ScavengePauseNs;
   MetricHistogram FullGcPauseNs;
 

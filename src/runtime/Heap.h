@@ -48,6 +48,26 @@ public:
     return M.allocateArray(ElemTy, Length);
   }
 
+  // Mutator stores ----------------------------------------------------------
+  /// THE reference-store API for every execution tier: writes slot \p I
+  /// of \p O and runs the generational write barrier, so a later
+  /// scavenge can find an old→young reference through the card table
+  /// instead of scanning the old space. Raw HeapObject::setSlot is for
+  /// object initialization (freshly allocated objects are young) and
+  /// GC-internal fixups only.
+  void write(HeapObject *O, unsigned I, const Value &V) {
+    O->setSlot(I, V);
+    M.writeBarrier(O, V);
+  }
+
+  /// The barrier alone, for call sites that already performed the store
+  /// (the native tier's templates store inline, then call this).
+  void writeBarrier(HeapObject *O, const Value &V) { M.writeBarrier(O, V); }
+
+  /// Whether the card covering \p O's header is dirty (tests assert the
+  /// per-tier barriers actually fire).
+  bool cardIsDirty(const HeapObject *O) const { return M.cardIsDirty(O); }
+
   /// Registers an updating root enumerator. The token deregisters it
   /// again — mandatory for components shorter-lived than the heap.
   uint64_t addRootProvider(RootProvider Provider) {
@@ -72,8 +92,19 @@ public:
   uint64_t liveObjects() const { return M.liveObjects(); }
   size_t youngBytes() const { return M.youngOccupancyBytes(); }
   size_t oldBytes() const { return M.oldOccupancyBytes(); }
+  uint64_t cardsDirtied() const { return M.cardsDirtied(); }
+  uint64_t cardsScanned() const { return M.cardsScanned(); }
+  unsigned lastGcWorkers() const { return M.lastGcWorkers(); }
+  size_t youngCapacityBytes() const { return M.youngCapacityBytes(); }
   const MetricHistogram &scavengePauses() const { return M.scavengePauses(); }
+  std::vector<uint64_t> workerCopiedBytes() const {
+    return M.workerCopiedBytes();
+  }
   const MetricHistogram &fullGcPauses() const { return M.fullGcPauses(); }
+  /// Exact per-collection records (see MemoryManager::gcRecords).
+  const std::vector<memory::MemoryManager::GcRecord> &gcRecords() const {
+    return M.gcRecords();
+  }
 
   /// Clears the full GC metric window — allocation counters, collection
   /// counts, copied/promoted bytes and the pause histograms — so bench

@@ -23,6 +23,12 @@ EnvSnapshot EnvSnapshot::capture() {
   S.HeapYoung = std::getenv("JVM_HEAP_YOUNG");
   S.GcStress = std::getenv("JVM_GC_STRESS");
   S.GcLog = std::getenv("JVM_GC_LOG");
+  S.GcCard = std::getenv("JVM_GC_CARD");
+  S.GcWorkers = std::getenv("JVM_GC_WORKERS");
+  S.GcPauseBudget = std::getenv("JVM_GC_PAUSE_BUDGET_US");
+  S.GcScanOld = std::getenv("JVM_GC_SCAN_OLD");
+  S.VerifyHeap = std::getenv("JVM_VERIFY_HEAP");
+  S.GcBenchJson = std::getenv("JVM_GC_BENCH_JSON");
   S.BenchWarmup = std::getenv("JVM_BENCH_WARMUP");
   S.BenchMeasure = std::getenv("JVM_BENCH_MEASURE");
   S.BenchRepeats = std::getenv("JVM_BENCH_REPEATS");

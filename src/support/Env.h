@@ -53,6 +53,16 @@ struct EnvSnapshot {
   const char *HeapYoung = nullptr;  ///< JVM_HEAP_YOUNG: young capacity
   const char *GcStress = nullptr;   ///< JVM_GC_STRESS: scavenge per alloc
   const char *GcLog = nullptr;      ///< JVM_GC_LOG: append path
+  const char *GcCard = nullptr;     ///< JVM_GC_CARD: card bytes (pow2)
+  const char *GcWorkers = nullptr;  ///< JVM_GC_WORKERS: scavenge copy
+                                    ///< threads (0 = adaptive)
+  const char *GcPauseBudget = nullptr; ///< JVM_GC_PAUSE_BUDGET_US: young
+                                       ///< gen auto-sized to this pause
+  const char *GcScanOld = nullptr;  ///< JVM_GC_SCAN_OLD: 1 = legacy full
+                                    ///< old-space scan (no remembered set)
+  const char *VerifyHeap = nullptr; ///< JVM_VERIFY_HEAP: post-GC verifier
+  const char *GcBenchJson = nullptr; ///< JVM_GC_BENCH_JSON: bench_gc_oldspace
+                                     ///< records path
 
   // Benchmark harness ---------------------------------------------------
   const char *BenchWarmup = nullptr;  ///< JVM_BENCH_WARMUP

@@ -115,7 +115,7 @@ public:
       case NodeKind::StoreField: {
         const auto *Store = cast<StoreFieldNode>(N);
         HeapObject *Obj = evalRefNonNull(Store->object());
-        Obj->setSlot(Store->field(), eval(Store->value()));
+        RT.heap().write(Obj, Store->field(), eval(Store->value()));
         N = Store->next();
         break;
       }
@@ -131,7 +131,7 @@ public:
         const auto *Store = cast<StoreIndexedNode>(N);
         HeapObject *Arr = evalRefNonNull(Store->array());
         unsigned Idx = checkedIndex(Arr, evalInt(Store->index()));
-        Arr->setSlot(Idx, eval(Store->value()));
+        RT.heap().write(Arr, Idx, eval(Store->value()));
         N = Store->next();
         break;
       }
@@ -327,7 +327,9 @@ private:
       HeapObject *O = allocateForVirtual(VO);
       for (unsigned E = 0, EE = VO->numEntries(); E != EE; ++E) {
         const Node *Entry = Commit->entryOf(0, E);
-        O->setSlot(E, Entry == VO ? Value::makeRef(O) : eval(Entry));
+        // write (not raw setSlot): a large materialized object can be
+        // born old, so its fill stores need the generational barrier.
+        RT.heap().write(O, E, Entry == VO ? Value::makeRef(O) : eval(Entry));
       }
       for (int L = 0; L != Commit->lockDepthOf(0); ++L)
         RT.monitorEnter(O);
@@ -364,7 +366,7 @@ private:
           V = Fresh[indexOf(Sibling)];
         else
           V = eval(Entry);
-        O->setSlot(E, V);
+        RT.heap().write(O, E, V);
       }
       // Re-acquire elided locks on the now-real object.
       for (int L = 0; L != Commit->lockDepthOf(I); ++L)
@@ -424,7 +426,7 @@ private:
         // The same object may be mapped by several states in the chain;
         // the snapshots are identical, so filling twice is harmless.
         for (unsigned EI = 0; EI != M.NumEntries; ++EI)
-          O->setSlot(EI, Resolve(FS->mappedEntry(I, EI)));
+          RT.heap().write(O, EI, Resolve(FS->mappedEntry(I, EI)));
       }
     }
     std::vector<uint8_t> Locked(Virtuals.size(), 0);

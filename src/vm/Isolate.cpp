@@ -212,6 +212,26 @@ void Isolate::registerMetrics() {
   Registry.gauge("heap.full_gc_pause_p99_ns", [this] {
     return RT.heap().fullGcPauses().percentileUpperBound(0.99);
   });
+  // Card-table remembered set + parallel scavenge (PR 8): barrier and
+  // card-scan volume, copy-phase fan-out, and the adaptive young cap
+  // the pause-budget controller settled on.
+  Registry.gauge("gc.cards_dirtied",
+                 [this] { return RT.heap().cardsDirtied(); });
+  Registry.gauge("gc.cards_scanned",
+                 [this] { return RT.heap().cardsScanned(); });
+  Registry.gauge("gc.workers",
+                 [this] { return uint64_t(RT.heap().lastGcWorkers()); });
+  Registry.gauge("gc.young_capacity_bytes", [this] {
+    return uint64_t(RT.heap().youngCapacityBytes());
+  });
+  // Per-worker copy volume: worker count is runtime-dependent, so a
+  // provider emits one entry per worker that ever ran.
+  Registry.provider(
+      [this](const std::function<void(const std::string &, uint64_t)> &Emit) {
+        std::vector<uint64_t> Copied = RT.heap().workerCopiedBytes();
+        for (size_t I = 0; I != Copied.size(); ++I)
+          Emit("gc.worker." + std::to_string(I) + ".copied_bytes", Copied[I]);
+      });
 
   // JitMetrics (and the PEAStats it aggregates): guarded by StateMutex,
   // so each gauge takes it — dump-time only cost.

@@ -526,8 +526,11 @@ void jvm::runMaterialize(Runtime &RT, const LinearCode &L,
     HeapObject *O = MatScratch[K].asRef();
     for (uint32_t E = 0; E != T.NumEntries; ++E) {
       const LSlotRef &Slot = L.Slots[T.FirstEntry + E];
-      O->setSlot(E, Slot.K == LSlotRef::Reg ? R[Slot.Index]
-                                            : MatScratch[Slot.Index]);
+      // write (not raw setSlot): a large materialized object can be
+      // born old, so its fill stores need the generational barrier.
+      RT.heap().write(O, E,
+                      Slot.K == LSlotRef::Reg ? R[Slot.Index]
+                                              : MatScratch[Slot.Index]);
     }
     for (int32_t Lock = 0; Lock != T.LockDepth; ++Lock)
       RT.monitorEnter(O);
@@ -568,7 +571,7 @@ Value jvm::runDeopt(Runtime &RT, const LinearCode &L,
     const LinearCode::ObjTemplate &T = L.Objects[D.FirstObj + K];
     HeapObject *O = Fresh[K].asRef();
     for (uint32_t E = 0; E != T.NumEntries; ++E)
-      O->setSlot(E, Resolve(L.Slots[T.FirstEntry + E]));
+      RT.heap().write(O, E, Resolve(L.Slots[T.FirstEntry + E]));
   }
   for (uint32_t K = 0; K != D.NumObjs; ++K) {
     const LinearCode::ObjTemplate &T = L.Objects[D.FirstObj + K];
@@ -747,7 +750,7 @@ Value LinearExecutor::run(const LinearCode &L, std::vector<Value> &R) {
     JVM_NEXT();
   }
   JVM_CASE(StoreField) {
-    RefNonNull(I->A)->setSlot(I->B, R[I->C]);
+    RT.heap().write(RefNonNull(I->A), I->B, R[I->C]);
     JVM_NEXT();
   }
   JVM_CASE(LoadIndexed) {
@@ -757,7 +760,7 @@ Value LinearExecutor::run(const LinearCode &L, std::vector<Value> &R) {
   }
   JVM_CASE(StoreIndexed) {
     HeapObject *Arr = RefNonNull(I->A);
-    Arr->setSlot(CheckedIndex(Arr, R[I->B].asInt()), R[I->C]);
+    RT.heap().write(Arr, CheckedIndex(Arr, R[I->B].asInt()), R[I->C]);
     JVM_NEXT();
   }
   JVM_CASE(ArrayLength) {

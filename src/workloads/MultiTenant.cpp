@@ -171,6 +171,13 @@ jvm::workloads::runMultiTenant(const BenchmarkSet &Set,
     S.HeapAllocations = Ten->Iso.runtime().heap().allocationCount();
     S.GcRuns = Ten->Iso.runtime().heap().gcRuns();
     S.Deopts = Ten->Iso.runtime().metrics().Deopts;
+    // Same clamp as the op-latency percentiles: bucket upper bounds
+    // must not overshoot each other (p50 <= p99 <= max).
+    const MetricHistogram &Pauses = Ten->Iso.runtime().heap().scavengePauses();
+    S.GcPauseP99Ns =
+        std::min<uint64_t>(Pauses.percentileUpperBound(0.99), Pauses.max());
+    S.GcPauseP50Ns =
+        std::min<uint64_t>(Pauses.percentileUpperBound(0.5), S.GcPauseP99Ns);
     R.QueueDepthHighWater =
         std::max(R.QueueDepthHighWater,
                  Ten->Iso.jitMetrics().QueueDepthHighWater);
@@ -233,19 +240,23 @@ std::string jvm::workloads::multiTenantJson(const MultiTenantResult &R) {
     const MultiTenantResult::IsolateStats &S = R.PerIsolate[I];
     if (I)
       J += ", ";
-    std::snprintf(Buf, sizeof(Buf),
+    char IsoBuf[384];
+    std::snprintf(IsoBuf, sizeof(IsoBuf),
                   "{\"id\": %u, \"ops\": %llu, \"checksum\": %lld, "
                   "\"compilations\": %llu, \"compiles_discarded\": %llu, "
                   "\"heap_allocations\": %llu, \"gc_runs\": %llu, "
-                  "\"deopts\": %llu}",
+                  "\"deopts\": %llu, \"gc_pause_p50_ns\": %llu, "
+                  "\"gc_pause_p99_ns\": %llu}",
                   S.Id, static_cast<unsigned long long>(S.Ops),
                   static_cast<long long>(S.Checksum),
                   static_cast<unsigned long long>(S.Compilations),
                   static_cast<unsigned long long>(S.CompilesDiscarded),
                   static_cast<unsigned long long>(S.HeapAllocations),
                   static_cast<unsigned long long>(S.GcRuns),
-                  static_cast<unsigned long long>(S.Deopts));
-    J += Buf;
+                  static_cast<unsigned long long>(S.Deopts),
+                  static_cast<unsigned long long>(S.GcPauseP50Ns),
+                  static_cast<unsigned long long>(S.GcPauseP99Ns));
+    J += IsoBuf;
   }
   J += "]}";
   return J;

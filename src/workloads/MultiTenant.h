@@ -100,6 +100,10 @@ struct MultiTenantResult {
     uint64_t HeapAllocations = 0;
     uint64_t GcRuns = 0;
     uint64_t Deopts = 0;
+    /// Young-collection pause percentiles from this isolate's heap
+    /// histogram (0 when the tenant never scavenged).
+    uint64_t GcPauseP50Ns = 0;
+    uint64_t GcPauseP99Ns = 0;
   };
   std::vector<IsolateStats> PerIsolate;
 };

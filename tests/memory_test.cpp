@@ -249,13 +249,14 @@ TEST(PromotionTest, SurvivorsPromoteAfterAgeThreshold) {
   RT.heap().scavenge();
   EXPECT_EQ(RT.heap().bytesPromoted(), 56u);
   EXPECT_EQ(RT.heap().oldBytes(), 56u);
-  // A promoted object is an old-space root for later scavenges: hang a
-  // young child off it and make sure the next scavenge finds the child
-  // with no write barrier in sight.
+  // A promoted object holds young children alive only through the
+  // remembered set: hang a young child off it via the barriered store
+  // and make sure the card-driven scavenge finds the child.
   HeapObject *Old = RT.getStatic(0).asRef();
   HeapObject *Child = RT.allocateInstance(0);
   Child->setSlot(0, Value::makeInt(8));
-  Old->setSlot(1, Value::makeRef(Child));
+  RT.heap().write(Old, 1, Value::makeRef(Child));
+  EXPECT_TRUE(RT.heap().cardIsDirty(Old));
   RT.heap().scavenge();
   Old = RT.getStatic(0).asRef();
   ASSERT_NE(Old->slot(1).asRef(), nullptr);
@@ -274,13 +275,13 @@ TEST(PromotionTest, BornOldAndHumongousPlacement) {
   // 24 + 16*300 = 4824 > RegionBytes: humongous, never moves. Slots are
   // untyped Values, so an Int array can carry the reference to it.
   HeapObject *Huge = RT.heap().allocateArray(ValueType::Int, 300);
-  BornOld->setSlot(0, Value::makeRef(Huge));
+  RT.heap().write(BornOld, 0, Value::makeRef(Huge));
   RT.heap().scavenge();
   HeapObject *Old = RT.getStatic(0).asRef();
   EXPECT_EQ(Old->slot(199), Value::makeInt(5));
   EXPECT_EQ(Old->slot(0).asRef(), Huge); // humongous objects are pinned
   // Unreachable humongous objects die in a full collection.
-  Old->setSlot(0, Value::makeRef(nullptr));
+  RT.heap().write(Old, 0, Value::makeRef(nullptr));
   RT.heap().collect();
   EXPECT_EQ(RT.heap().liveObjects(), 1u);
 }
@@ -402,7 +403,7 @@ TEST(StressTest, ChurnWithLiveWindowStaysConsistent) {
       for (int J = 0; J != Window - 1 && Cur; ++J)
         Cur = Cur->slot(1).asRef();
       if (Cur)
-        Cur->setSlot(1, Value::makeRef(nullptr));
+        RT.heap().write(Cur, 1, Value::makeRef(nullptr));
     }
   }
   ASSERT_GE(RT.heap().scavenges(), 2u);

@@ -1,0 +1,121 @@
+//===- scavenge_parallel_test.cpp - Parallel-copy determinism -----------------===//
+//
+// The scavenger's copy phase fans out over a worker pool (claim-then-
+// copy forwarding, per-worker copy buffers, gray-stack work stealing).
+// Object *placement* may differ run to run, but the surviving object
+// graph must not: the same mutator sequence must yield the same
+// reachable values whatever JVM_GC_WORKERS says. This binary carries
+// the "concurrency" label so the TSan build sweeps the racy surface
+// (see README).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Runtime.h"
+
+#include <gtest/gtest.h>
+
+using namespace jvm;
+
+namespace {
+
+Program nodeProgram() {
+  Program P;
+  ClassId Node = P.addClass("Node");
+  P.addField(Node, "val", ValueType::Int);
+  P.addField(Node, "next", ValueType::Ref);
+  P.addStatic("root", ValueType::Ref);
+  return P;
+}
+
+/// Deterministic churn: a sliding window of live nodes chained through
+/// the static root, with a fixed LCG deciding window truncation points,
+/// plus a growing old-space population (every PromoteAge'th survivor
+/// window promotes). Returns a checksum over the surviving chain and
+/// the heap's exact copy/promote byte counters.
+uint64_t churnChecksum(unsigned Workers, size_t Total) {
+  Program P = nodeProgram();
+  memory::MemoryConfig C;
+  C.RegionBytes = 4096;
+  C.YoungBytes = 8192;
+  C.GcWorkers = Workers;
+  C.FullGcThresholdBytes = 64 << 10; // full GCs join the party too
+  Runtime RT(P, C);
+
+  uint64_t Lcg = 0x2545F4914F6CDD1Dull;
+  RT.setStatic(0, Value::makeRef(nullptr));
+  for (size_t I = 0; I != Total; ++I) {
+    HeapObject *N = RT.allocateInstance(0);
+    N->setSlot(0, Value::makeInt(static_cast<int64_t>(I)));
+    N->setSlot(1, RT.getStatic(0));
+    RT.setStatic(0, Value::makeRef(N));
+    Lcg = Lcg * 6364136223846793005ull + 1442695040888963407ull;
+    unsigned Window = 8 + unsigned((Lcg >> 33) % 48);
+    if (I % Window == Window - 1) {
+      HeapObject *Cur = RT.getStatic(0).asRef();
+      for (unsigned J = 0; J + 1 != Window && Cur; ++J)
+        Cur = Cur->slot(1).asRef();
+      if (Cur)
+        RT.heap().write(Cur, 1, Value::makeRef(nullptr));
+    }
+  }
+  EXPECT_GE(RT.heap().scavenges(), 2u);
+
+  uint64_t Sum = 0;
+  for (HeapObject *Cur = RT.getStatic(0).asRef(); Cur;
+       Cur = Cur->slot(1).asRef())
+    Sum = Sum * 31 + static_cast<uint64_t>(Cur->slot(0).asInt());
+  // Copy/promote *volumes* are part of the contract: the same objects
+  // must survive and promote, whoever copied them.
+  Sum = Sum * 31 + RT.heap().bytesCopied();
+  Sum = Sum * 31 + RT.heap().bytesPromoted();
+  Sum = Sum * 31 + RT.heap().liveObjects();
+  return Sum;
+}
+
+TEST(ParallelScavengeTest, ChecksumIndependentOfWorkerCount) {
+  const size_t Total = 4000;
+  uint64_t One = churnChecksum(1, Total);
+  EXPECT_EQ(One, churnChecksum(2, Total));
+  EXPECT_EQ(One, churnChecksum(4, Total));
+}
+
+TEST(ParallelScavengeTest, WorkerCountIsForcedByConfig) {
+  Program P = nodeProgram();
+  memory::MemoryConfig C;
+  C.RegionBytes = 4096;
+  C.YoungBytes = 8192;
+  C.GcWorkers = 3;
+  Runtime RT(P, C);
+  RT.setStatic(0, Value::makeRef(nullptr));
+  for (int I = 0; I != 400; ++I) {
+    HeapObject *N = RT.allocateInstance(0);
+    N->setSlot(1, RT.getStatic(0));
+    RT.setStatic(0, Value::makeRef(N));
+  }
+  ASSERT_GE(RT.heap().scavenges(), 1u);
+  EXPECT_EQ(RT.heap().lastGcWorkers(), 3u);
+  // Per-worker copy accounting covers every configured worker slot.
+  EXPECT_EQ(RT.heap().workerCopiedBytes().size(), 3u);
+}
+
+TEST(ParallelScavengeTest, StressModeStaysSingleWorker) {
+  // JVM_GC_STRESS scavenges before every allocation; its determinism
+  // contract predates parallelism, so the config override must win.
+  Program P = nodeProgram();
+  memory::MemoryConfig C;
+  C.RegionBytes = 4096;
+  C.YoungBytes = 8192;
+  C.GcWorkers = 4;
+  C.StressGc = true;
+  Runtime RT(P, C);
+  RT.setStatic(0, Value::makeRef(nullptr));
+  for (int I = 0; I != 50; ++I) {
+    HeapObject *N = RT.allocateInstance(0);
+    N->setSlot(1, RT.getStatic(0));
+    RT.setStatic(0, Value::makeRef(N));
+  }
+  ASSERT_GE(RT.heap().scavenges(), 1u);
+  EXPECT_EQ(RT.heap().lastGcWorkers(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,354 @@
+//===- writebarrier_test.cpp - Card-table write barriers across tiers ---------===//
+//
+// PR 8 surface: every mutator store path (interpreter, graph walker,
+// linear executor, native copy-and-patch templates) must dirty the
+// holder's card when it may create an old->young reference; the
+// scavenger must find children reachable ONLY through the remembered
+// set; the card lifecycle (consume on scan, re-mark while young refs
+// remain) must converge; the opt-in heap verifier must catch a missed
+// barrier; and the pause-budget controller must resize the young
+// generation. Parallel-scavenge determinism lives in
+// scavenge_parallel_test.cpp (label "concurrency", TSan sweep).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/BytecodeVerifier.h"
+#include "bytecode/CodeBuilder.h"
+#include "jit/NativeCode.h"
+#include "vm/VirtualMachine.h"
+
+#include <gtest/gtest.h>
+
+using namespace jvm;
+
+namespace {
+
+/// Static 0 holds a Node; attach(v) hangs a fresh Node(val=v) off
+/// root.next. The child is reachable ONLY through root, so once root
+/// is old it survives a scavenge only if the store dirtied root's card.
+struct AttachProgram {
+  Program P;
+  ClassId Node = NoClass;
+  FieldIndex Val = -1, Next = -1;
+  MethodId Init = NoMethod, Attach = NoMethod, ReadNext = NoMethod;
+};
+
+AttachProgram makeAttachProgram() {
+  AttachProgram R;
+  Program &P = R.P;
+  R.Node = P.addClass("Node");
+  R.Val = P.addField(R.Node, "val", ValueType::Int);
+  R.Next = P.addField(R.Node, "next", ValueType::Ref);
+  P.addStatic("root", ValueType::Ref);
+
+  R.Init = P.addMethod("init", NoClass, {}, ValueType::Void);
+  {
+    CodeBuilder C(P, R.Init);
+    unsigned N = C.newLocal();
+    C.newObj(R.Node).store(N);
+    C.load(N).constI(1).putField(R.Node, R.Val);
+    C.load(N).putStatic(0);
+    C.retVoid();
+    C.finish();
+  }
+
+  R.Attach = P.addMethod("attach", NoClass, {ValueType::Int}, ValueType::Void);
+  {
+    CodeBuilder C(P, R.Attach);
+    unsigned N = C.newLocal();
+    C.newObj(R.Node).store(N);
+    C.load(N).load(0).putField(R.Node, R.Val);
+    C.getStatic(0).load(N).putField(R.Node, R.Next);
+    C.retVoid();
+    C.finish();
+  }
+
+  R.ReadNext = P.addMethod("readNext", NoClass, {}, ValueType::Int);
+  {
+    CodeBuilder C(P, R.ReadNext);
+    C.getStatic(0).getField(R.Node, R.Next).getField(R.Node, R.Val).retInt();
+    C.finish();
+  }
+  verifyProgramOrDie(P);
+  return R;
+}
+
+VMOptions tierOpts(ExecMode E, bool Jit) {
+  VMOptions O;
+  O.Exec = E;
+  O.EnableJit = Jit;
+  O.CompileThreshold = 5;
+  O.Compiler.PruneMinProfile = 5;
+  O.CompilerThreads = 0; // deterministic tier-up points
+  O.Memory.RegionBytes = 4096;
+  O.Memory.YoungBytes = 8192;
+  return O;
+}
+
+/// Warms attach into the requested tier, promotes root, performs one
+/// more attach through that tier, and asserts the barrier fired and the
+/// young child survives the card-driven scavenge.
+void expectBarrierInTier(ExecMode E, bool Jit) {
+  AttachProgram AP = makeAttachProgram();
+  VirtualMachine VM(AP.P, tierOpts(E, Jit));
+  Runtime &RT = VM.runtime();
+  VM.call(AP.Init, {});
+  for (int I = 0; I != 10; ++I)
+    VM.call(AP.Attach, {Value::makeInt(I)});
+  if (Jit) {
+    ASSERT_NE(VM.compiledGraph(AP.Attach), nullptr);
+    if (E == ExecMode::Linear)
+      ASSERT_NE(VM.compiledLinear(AP.Attach), nullptr);
+    if (E == ExecMode::Native)
+      ASSERT_NE(VM.compiledNative(AP.Attach), nullptr);
+  }
+  // PromoteAge = 2: two scavenges age root (and the last warmup child
+  // it still references) into the old space.
+  RT.heap().scavenge();
+  RT.heap().scavenge();
+  uint64_t DirtiedBefore = RT.heap().cardsDirtied();
+  VM.call(AP.Attach, {Value::makeInt(42)});
+  HeapObject *Root = RT.getStatic(0).asRef();
+  ASSERT_NE(Root, nullptr);
+  EXPECT_TRUE(RT.heap().cardIsDirty(Root))
+      << "store tier did not dirty the holder's card";
+  EXPECT_GT(RT.heap().cardsDirtied(), DirtiedBefore);
+  RT.heap().scavenge();
+  EXPECT_GE(RT.heap().cardsScanned(), 1u);
+  EXPECT_EQ(VM.call(AP.ReadNext, {}).asInt(), 42)
+      << "child only reachable through the remembered set was lost";
+}
+
+TEST(WriteBarrierTest, InterpreterStoresDirtyCards) {
+  expectBarrierInTier(ExecMode::Linear, /*Jit=*/false);
+}
+
+TEST(WriteBarrierTest, GraphWalkerStoresDirtyCards) {
+  expectBarrierInTier(ExecMode::Graph, /*Jit=*/true);
+}
+
+TEST(WriteBarrierTest, LinearExecutorStoresDirtyCards) {
+  expectBarrierInTier(ExecMode::Linear, /*Jit=*/true);
+}
+
+TEST(WriteBarrierTest, NativeTemplatesDirtyCards) {
+  if (!nativeBackendSupported())
+    GTEST_SKIP() << "native backend not built for this host";
+  expectBarrierInTier(ExecMode::Native, /*Jit=*/true);
+}
+
+TEST(WriteBarrierTest, ArrayStoresDirtyCardsInEveryTier) {
+  // Same shape through ArrStoreRef: static 0 holds a ref-array born old
+  // enough, attach stores the young child into slot 1.
+  for (int Mode = 0; Mode != 2; ++Mode) {
+    Program P;
+    ClassId Node = P.addClass("Node");
+    FieldIndex Val = P.addField(Node, "val", ValueType::Int);
+    P.addStatic("arr", ValueType::Ref);
+    MethodId Attach =
+        P.addMethod("attach", NoClass, {ValueType::Int}, ValueType::Void);
+    {
+      CodeBuilder C(P, Attach);
+      unsigned N = C.newLocal();
+      C.newObj(Node).store(N);
+      C.load(N).load(0).putField(Node, Val);
+      C.getStatic(0).constI(1).load(N).arrStoreRef();
+      C.retVoid();
+      C.finish();
+    }
+    MethodId Read = P.addMethod("read", NoClass, {}, ValueType::Int);
+    {
+      CodeBuilder C(P, Read);
+      C.getStatic(0).constI(1).arrLoadRef().getField(Node, Val).retInt();
+      C.finish();
+    }
+    verifyProgramOrDie(P);
+
+    VirtualMachine VM(P, tierOpts(ExecMode::Linear, /*Jit=*/Mode == 1));
+    Runtime &RT = VM.runtime();
+    RT.setStatic(0,
+                 Value::makeRef(RT.heap().allocateArray(ValueType::Ref, 4)));
+    for (int I = 0; I != 10; ++I)
+      VM.call(Attach, {Value::makeInt(I)});
+    RT.heap().scavenge();
+    RT.heap().scavenge(); // array promotes
+    VM.call(Attach, {Value::makeInt(7)});
+    EXPECT_TRUE(RT.heap().cardIsDirty(RT.getStatic(0).asRef()))
+        << "mode " << Mode;
+    RT.heap().scavenge();
+    EXPECT_EQ(VM.call(Read, {}).asInt(), 7) << "mode " << Mode;
+  }
+}
+
+// Card lifecycle -------------------------------------------------------------
+
+TEST(CardLifecycleTest, CardStaysDirtyWhileYoungRefsRemainThenClears) {
+  AttachProgram AP = makeAttachProgram();
+  memory::MemoryConfig C;
+  C.RegionBytes = 4096;
+  C.YoungBytes = 8192;
+  Runtime RT(AP.P, C);
+  HeapObject *Parent = RT.allocateInstance(AP.Node);
+  RT.setStatic(0, Value::makeRef(Parent));
+  RT.heap().scavenge();
+  RT.heap().scavenge(); // parent is old now
+  Parent = RT.getStatic(0).asRef();
+  HeapObject *Child = RT.allocateInstance(AP.Node);
+  Child->setSlot(0, Value::makeInt(9));
+  RT.heap().write(Parent, 1, Value::makeRef(Child));
+  ASSERT_TRUE(RT.heap().cardIsDirty(Parent));
+  // Scavenge 1 consumes the card but must re-mark it: the child was
+  // copied (age 1), so the old->young edge still exists.
+  RT.heap().scavenge();
+  Parent = RT.getStatic(0).asRef();
+  EXPECT_TRUE(RT.heap().cardIsDirty(Parent));
+  EXPECT_EQ(Parent->slot(1).asRef()->slot(0), Value::makeInt(9));
+  // Scavenge 2 promotes the child: the edge is old->old, the consumed
+  // card must NOT come back.
+  RT.heap().scavenge();
+  Parent = RT.getStatic(0).asRef();
+  EXPECT_FALSE(RT.heap().cardIsDirty(Parent));
+  EXPECT_EQ(Parent->slot(1).asRef()->slot(0), Value::makeInt(9));
+}
+
+TEST(CardLifecycleTest, ScanOldFallbackStillFindsChildren) {
+  // JVM_GC_SCAN_OLD=1 semantics: ignore the remembered set and walk the
+  // whole old space (the "before" mode bench_gc_oldspace compares
+  // against). Correctness must be identical.
+  AttachProgram AP = makeAttachProgram();
+  memory::MemoryConfig C;
+  C.RegionBytes = 4096;
+  C.YoungBytes = 8192;
+  C.ScanOldFallback = true;
+  Runtime RT(AP.P, C);
+  HeapObject *Parent = RT.allocateInstance(AP.Node);
+  RT.setStatic(0, Value::makeRef(Parent));
+  RT.heap().scavenge();
+  RT.heap().scavenge();
+  Parent = RT.getStatic(0).asRef();
+  HeapObject *Child = RT.allocateInstance(AP.Node);
+  Child->setSlot(0, Value::makeInt(11));
+  RT.heap().write(Parent, 1, Value::makeRef(Child));
+  RT.heap().scavenge();
+  Parent = RT.getStatic(0).asRef();
+  EXPECT_EQ(Parent->slot(1).asRef()->slot(0), Value::makeInt(11));
+  EXPECT_EQ(RT.heap().cardsScanned(), 0u); // cards never consumed
+}
+
+// Heap verifier --------------------------------------------------------------
+
+TEST(HeapVerifierTest, CleanRunPassesWithVerifierOn) {
+  AttachProgram AP = makeAttachProgram();
+  memory::MemoryConfig C;
+  C.RegionBytes = 4096;
+  C.YoungBytes = 8192;
+  C.VerifyHeap = true;
+  C.FullGcThresholdBytes = 16384;
+  Runtime RT(AP.P, C);
+  HeapObject *Parent = RT.allocateInstance(AP.Node);
+  RT.setStatic(0, Value::makeRef(Parent));
+  for (int I = 0; I != 300; ++I) {
+    HeapObject *N = RT.allocateInstance(AP.Node);
+    N->setSlot(0, Value::makeInt(I));
+    Parent = RT.getStatic(0).asRef();
+    RT.heap().write(Parent, 1, Value::makeRef(N));
+  }
+  ASSERT_GE(RT.heap().scavenges(), 1u);
+  Parent = RT.getStatic(0).asRef();
+  EXPECT_EQ(Parent->slot(1).asRef()->slot(0), Value::makeInt(299));
+}
+
+TEST(HeapVerifierDeathTest, MissedBarrierIsFatal) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  AttachProgram AP = makeAttachProgram();
+  memory::MemoryConfig C;
+  C.RegionBytes = 4096;
+  C.YoungBytes = 8192;
+  C.VerifyHeap = true;
+  Runtime RT(AP.P, C);
+  HeapObject *Parent = RT.allocateInstance(AP.Node);
+  RT.setStatic(0, Value::makeRef(Parent));
+  RT.heap().scavenge();
+  RT.heap().scavenge(); // parent is old
+  Parent = RT.getStatic(0).asRef();
+  HeapObject *Child = RT.allocateInstance(AP.Node);
+  // Deliberately skip the barrier: the scavenge won't find the child
+  // and the verifier must abort (stale slot or clean-card diagnosis).
+  Parent->setSlot(1, Value::makeRef(Child));
+  EXPECT_DEATH(RT.heap().scavenge(), "JVM_VERIFY_HEAP");
+}
+
+// Pause-budget controller ----------------------------------------------------
+
+TEST(PauseBudgetTest, OverBudgetPausesShrinkTheYoungSpace) {
+  AttachProgram AP = makeAttachProgram();
+  memory::MemoryConfig C;
+  C.RegionBytes = 4096;
+  C.YoungBytes = 16384; // 4 regions
+  C.PauseBudgetUs = 1;  // any real copying pause overshoots 1us
+  Runtime RT(AP.P, C);
+  EXPECT_EQ(RT.heap().youngCapacityBytes(), 16384u);
+  // A live window guarantees every scavenge actually copies data.
+  RT.setStatic(0, Value::makeRef(nullptr));
+  for (int I = 0; I != 1200; ++I) {
+    HeapObject *N = RT.allocateInstance(AP.Node);
+    N->setSlot(0, Value::makeInt(I));
+    N->setSlot(1, RT.getStatic(0));
+    RT.setStatic(0, Value::makeRef(N));
+    if (I % 16 == 15) { // keep the window at 16 nodes
+      HeapObject *Cur = RT.getStatic(0).asRef();
+      for (int J = 0; J != 15 && Cur; ++J)
+        Cur = Cur->slot(1).asRef();
+      if (Cur)
+        RT.heap().write(Cur, 1, Value::makeRef(nullptr));
+    }
+  }
+  ASSERT_GE(RT.heap().scavenges(), 2u);
+  // At least one over-budget pause halved the cap; +1-region growth can
+  // recover at most partially between collections.
+  EXPECT_LT(RT.heap().youngCapacityBytes(), 16384u);
+  EXPECT_GE(RT.heap().youngCapacityBytes(), 8192u);
+}
+
+TEST(PauseBudgetTest, GenerousBudgetKeepsFullYoungSpace) {
+  AttachProgram AP = makeAttachProgram();
+  memory::MemoryConfig C;
+  C.RegionBytes = 4096;
+  C.YoungBytes = 16384;
+  C.PauseBudgetUs = 10 * 1000 * 1000; // 10s: never exceeded
+  Runtime RT(AP.P, C);
+  for (int I = 0; I != 1200; ++I)
+    RT.allocateInstance(AP.Node);
+  ASSERT_GE(RT.heap().scavenges(), 1u);
+  EXPECT_EQ(RT.heap().youngCapacityBytes(), 16384u);
+}
+
+// GC record plumbing ---------------------------------------------------------
+
+TEST(GcRecordTest, RecordsCarryCardAndWorkerCounts) {
+  AttachProgram AP = makeAttachProgram();
+  memory::MemoryConfig C;
+  C.RegionBytes = 4096;
+  C.YoungBytes = 8192;
+  Runtime RT(AP.P, C);
+  HeapObject *Parent = RT.allocateInstance(AP.Node);
+  RT.setStatic(0, Value::makeRef(Parent));
+  RT.heap().scavenge();
+  RT.heap().scavenge();
+  Parent = RT.getStatic(0).asRef();
+  HeapObject *Child = RT.allocateInstance(AP.Node);
+  RT.heap().write(Parent, 1, Value::makeRef(Child));
+  RT.heap().scavenge();
+  const auto &Recs = RT.heap().gcRecords();
+  ASSERT_EQ(Recs.size(), 3u);
+  EXPECT_FALSE(Recs.back().Full);
+  EXPECT_GE(Recs.back().CardsScanned, 1u);
+  EXPECT_GE(Recs.back().Workers, 1u);
+  EXPECT_EQ(RT.heap().lastGcWorkers(), Recs.back().Workers);
+  RT.heap().resetMetrics();
+  EXPECT_TRUE(RT.heap().gcRecords().empty());
+  EXPECT_EQ(RT.heap().cardsDirtied(), 0u);
+  EXPECT_EQ(RT.heap().cardsScanned(), 0u);
+}
+
+} // namespace
