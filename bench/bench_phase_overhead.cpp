@@ -17,6 +17,7 @@
 #include "compiler/DeadCodeElimination.h"
 #include "compiler/GVN.h"
 #include "compiler/GraphBuilder.h"
+#include "observability/Profiler.h"
 #include "observability/Trace.h"
 #include "pea/PartialEscapeAnalysis.h"
 
@@ -164,6 +165,31 @@ void BM_TracerDisabledScope(benchmark::State &State) {
   }
 }
 
+// The profiler makes the same promise (DESIGN.md §14): a tier entry
+// point or TLAB allocation site gated on profWantsSamples() /
+// profWantsAllocSamples() costs one relaxed atomic load while the
+// profiler is off. These are the exact shapes of the gates in the four
+// tier entry points and MemoryManager::initObject.
+
+void BM_ProfilerDisabledCheck(benchmark::State &State) {
+  Profiler::get().stop();
+  for (auto _ : State) {
+    if (profWantsSamples())
+      profSetCurrentIsolate(0);
+    if (profWantsAllocSamples())
+      profNoteAllocation(-1, 16);
+    benchmark::DoNotOptimize(&prof_detail::Active);
+  }
+}
+
+void BM_ProfilerDisabledScope(benchmark::State &State) {
+  Profiler::get().stop();
+  for (auto _ : State) {
+    ProfScope Frame(ProfTierLinear, 0);
+    benchmark::DoNotOptimize(&Frame);
+  }
+}
+
 // The enabled variants run a fixed iteration count (set at registration
 // below): the ring never wraps, so the combined event count must stay
 // under the default per-thread capacity (1<<16) or the later iterations
@@ -208,6 +234,8 @@ BENCHMARK(BM_FullPipelineWithPea)->RangeMultiplier(4)->Range(4, 256)
 
 BENCHMARK(BM_TracerDisabledCheck);
 BENCHMARK(BM_TracerDisabledScope);
+BENCHMARK(BM_ProfilerDisabledCheck);
+BENCHMARK(BM_ProfilerDisabledScope);
 // 20000 + 2*20000 events < the 1<<16 default ring (see the comment at
 // the benchmark definitions).
 BENCHMARK(BM_TracerEnabledInstant)->Iterations(20000);

@@ -27,7 +27,10 @@ INT_FIELDS = ("threads_per_isolate", "total_ops", "wall_nanos",
 NUM_FIELDS = ("isolates", "ops_per_sec")
 ISO_INT_FIELDS = ("id", "ops", "checksum", "compilations",
                   "compiles_discarded", "heap_allocations", "gc_runs",
-                  "deopts", "gc_pause_p50_ns", "gc_pause_p99_ns")
+                  "deopts", "gc_pause_p50_ns", "gc_pause_p99_ns",
+                  "prof_samples_interp", "prof_samples_graph",
+                  "prof_samples_linear", "prof_samples_native",
+                  "prof_alloc_samples")
 
 
 def fail(msg):
@@ -36,8 +39,10 @@ def fail(msg):
 
 
 def main():
-    if len(sys.argv) != 2:
-        fail("usage: check_multitenant.py <BENCH_multitenant.json>")
+    if len(sys.argv) < 2:
+        fail("usage: check_multitenant.py <BENCH_multitenant.json> "
+             "[--expect-prof-samples]")
+    expect_prof = "--expect-prof-samples" in sys.argv[2:]
     try:
         with open(sys.argv[1]) as f:
             records = json.load(f)
@@ -48,6 +53,7 @@ def main():
 
     broker_threads = set()
     seen_ids = set()
+    prof_samples = 0
     for i, rec in enumerate(records):
         if not isinstance(rec, dict):
             fail(f"record #{i} is not an object")
@@ -91,6 +97,11 @@ def main():
                      f"p99={iso['gc_pause_p99_ns']}")
             checksums.add(iso["checksum"])
             ops_sum += iso["ops"]
+            prof_samples += (iso["prof_samples_interp"]
+                             + iso["prof_samples_graph"]
+                             + iso["prof_samples_linear"]
+                             + iso["prof_samples_native"]
+                             + iso["prof_alloc_samples"])
         if len(checksums) != 1:
             fail(f"record #{i}: isolates disagree on the checksum "
                  f"({sorted(checksums)}) — per-tenant state is leaking")
@@ -102,9 +113,14 @@ def main():
     if len(broker_threads) != 1:
         fail(f"broker_threads varies across records ({sorted(broker_threads)})"
              " — the compile worker pool must be process-wide")
+    if expect_prof and prof_samples == 0:
+        fail("the run was profiled (--expect-prof-samples) but no isolate "
+             "reported any sampled self-time — per-isolate attribution "
+             "is broken")
+    prof_note = f", {prof_samples} prof samples" if prof_samples else ""
     print(f"check_multitenant: OK: {len(records)} records, "
           f"{len(seen_ids)} isolates, broker pool constant at "
-          f"{broker_threads.pop()} worker(s)")
+          f"{broker_threads.pop()} worker(s){prof_note}")
 
 
 if __name__ == "__main__":

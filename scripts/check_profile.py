@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Lint for the sampling profiler's folded-stack and residual reports.
+
+Validates the two files a profiled bench run produces:
+
+  * the JVM_PROF_FOLDED file is well-formed flamegraph.pl input — every
+    line is "frame;frame;... count" with a positive integer count, every
+    stack is rooted at an "isolate-<id>" frame (or is the bare "runtime"
+    pseudo-stack for tierless samples), and every non-root frame carries
+    a tier suffix (_[i], _[g], _[l], _[n]),
+  * at least --min-attributed (default 95%) of all samples are tier- and
+    method-attributed — samples on the "runtime" pseudo-stack count as
+    attributed (they are deliberately tierless: broker workers, GC
+    threads, driver code), unknown-method frames (m<id> with no name) do
+    not,
+  * the JVM_PROF residual-allocation report is non-empty: at least one
+    "== residual-allocations" block for an isolate running escape
+    analysis (ea= not "none") with sites > 0, and every listed site
+    carries a PEA join line ("pea: seq=..." or the interpreter-resident
+    marker) so the report actually connects sampled sites to compile-log
+    decisions.
+
+Exit status 0 on success, 1 with a diagnostic on the first failure.
+Usage: check_profile.py <folded.txt> <report.txt>
+                        [--min-attributed=FRACTION]
+"""
+
+import re
+import sys
+
+TIER_SUFFIXES = ("_[i]", "_[g]", "_[l]", "_[n]")
+SITE_RE = re.compile(
+    r"^  site method=(\S+) bci=(-?\d+) class=(\S+) samples=(\d+) "
+    r"est_bytes=(\d+) avg_object_bytes=(\d+)$"
+)
+HEADER_RE = re.compile(
+    r"^== residual-allocations isolate=(\d+) exec=(\S+) ea=(\S+) "
+    r"sites=(\d+) ==$"
+)
+
+
+def fail(msg):
+    print(f"check_profile: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_folded(path, min_attributed):
+    """Parses the folded file; returns (total, attributed, stacks)."""
+    total = attributed = stacks = 0
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        fail(f"{path}: {e}")
+    if not lines:
+        fail(f"{path}: folded output is empty (profiler recorded nothing)")
+    for lineno, line in enumerate(lines, 1):
+        pos = line.rfind(" ")
+        if pos <= 0:
+            fail(f"{path}:{lineno}: no count field: {line!r}")
+        stack, count = line[:pos], line[pos + 1 :]
+        if not count.isdigit() or int(count) <= 0:
+            fail(f"{path}:{lineno}: bad count {count!r}")
+        n = int(count)
+        total += n
+        stacks += 1
+        frames = stack.split(";")
+        if frames == ["runtime"]:
+            # Tierless pseudo-stack: non-mutator threads and ticks with
+            # no shadow frame. Deliberate, and counts as attributed.
+            attributed += n
+            continue
+        if not frames[0].startswith("isolate-"):
+            fail(f"{path}:{lineno}: stack not rooted at an isolate: {line!r}")
+        if len(frames) < 2:
+            fail(f"{path}:{lineno}: isolate root with no frames: {line!r}")
+        ok = True
+        for frame in frames[1:]:
+            if not frame.endswith(TIER_SUFFIXES):
+                fail(
+                    f"{path}:{lineno}: frame {frame!r} lacks a tier "
+                    f"suffix {TIER_SUFFIXES}"
+                )
+            # m<id> is the symbolizer's "no registered name" fallback.
+            if re.fullmatch(r"m\d+", frame[: -len("_[x]")]):
+                ok = False
+        if ok:
+            attributed += n
+    frac = attributed / total
+    if frac < min_attributed:
+        fail(
+            f"only {attributed}/{total} samples ({frac:.1%}) are tier- and "
+            f"method-attributed (need >= {min_attributed:.0%})"
+        )
+    return total, attributed, stacks
+
+
+def check_report(path):
+    """Validates the residual-allocation report; returns (blocks, sites)."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        fail(f"{path}: {e}")
+
+    blocks = sites = 0
+    ea_blocks_with_sites = 0
+    pending_site = None  # site line awaiting its pea: join line
+    current_ea = None
+    for lineno, line in enumerate(lines, 1):
+        header = HEADER_RE.match(line)
+        if header:
+            if pending_site is not None:
+                fail(f"{path}: site at line {pending_site} has no pea: line")
+            blocks += 1
+            current_ea = header.group(3)
+            if current_ea != "none" and int(header.group(4)) > 0:
+                ea_blocks_with_sites += 1
+            continue
+        if SITE_RE.match(line):
+            if pending_site is not None:
+                fail(f"{path}: site at line {pending_site} has no pea: line")
+            if current_ea is None:
+                fail(f"{path}:{lineno}: site line outside any block")
+            pending_site = lineno
+            sites += 1
+            continue
+        if line.startswith("    pea: "):
+            if pending_site is None:
+                fail(f"{path}:{lineno}: pea: line without a site line")
+            pending_site = None
+    if pending_site is not None:
+        fail(f"{path}: site at line {pending_site} has no pea: line")
+    if blocks == 0:
+        fail(f"{path}: no residual-allocations blocks (report is empty)")
+    if sites == 0:
+        fail(f"{path}: no sampled allocation sites in any block")
+    if ea_blocks_with_sites == 0:
+        fail(
+            f"{path}: no escape-analysis isolate reported residual sites; "
+            f"either alloc sampling or the PEA join is broken"
+        )
+    return blocks, sites
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    folded_path, report_path = argv[1], argv[2]
+    min_attributed = 0.95
+    for arg in argv[3:]:
+        if arg.startswith("--min-attributed="):
+            min_attributed = float(arg.split("=", 1)[1])
+
+    total, attributed, stacks = check_folded(folded_path, min_attributed)
+    blocks, sites = check_report(report_path)
+    print(
+        f"check_profile: OK: {total} samples in {stacks} stacks "
+        f"({attributed / total:.1%} attributed), {blocks} residual "
+        f"report blocks with {sites} sites"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

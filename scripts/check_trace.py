@@ -11,11 +11,18 @@ Validates a trace file written via JVM_TRACE= (or Tracer::writeJson):
     span left open,
   * timestamps are non-decreasing per thread (events are appended to
     per-thread ring buffers in record order),
+  * profiler sample events (cat "prof": prof-sample / prof-alloc
+    instants drained from the sampling profiler) carry integer isolate,
+    method and tier args with tier in the known range,
+  * native-tier profiler samples with no method attribution stay under a
+    small threshold (--max-unattributed-native, default 5% — the
+    CodeCache PC index plus the shadow stack should catch nearly all),
   * with --expect-no-drops, otherData.droppedEvents is zero (the
     perf-smoke run must fit in the default ring).
 
 Exit status 0 on success, 1 with a diagnostic on the first failure.
 Usage: check_trace.py <trace.json> [--expect-no-drops]
+                      [--max-unattributed-native=FRACTION]
 """
 
 import json
@@ -23,6 +30,13 @@ import sys
 
 VALID_PHASES = {"B", "E", "I", "M"}
 REQUIRED_OTHER_DATA = ("droppedEvents", "highWater", "ringCapacity")
+
+# Profiler sample schema: tier values 0..3 are the execution tiers,
+# 4 is the runtime pseudo-tier (no shadow frame / non-mutator thread).
+PROF_EVENT_NAMES = {"prof-sample", "prof-alloc"}
+PROF_REQUIRED_ARGS = ("isolate", "method", "tier")
+PROF_TIER_NATIVE = 3
+PROF_MAX_TIER = 4
 
 
 def fail(msg):
@@ -49,6 +63,43 @@ def check_event_shape(ev, idx):
             fail(f"event #{idx} ({name}) missing cat")
     if "args" in ev and not isinstance(ev["args"], dict):
         fail(f"event #{idx} ({name}) has non-object args")
+
+
+def check_prof_samples(events, max_unattributed_native):
+    """Validates profiler sample instants and native-PC attribution.
+
+    Returns (total_prof_events, native_samples, unattributed_native).
+    """
+    total = native = unattributed = 0
+    for idx, ev in enumerate(events):
+        if ev.get("cat") != "prof":
+            continue
+        name = ev["name"]
+        if name not in PROF_EVENT_NAMES:
+            fail(f"event #{idx}: unknown prof-category event {name!r}")
+        if ev["ph"] != "I":
+            fail(f"event #{idx} ({name}): prof events must be instants")
+        args = ev.get("args")
+        if not isinstance(args, dict):
+            fail(f"event #{idx} ({name}): prof event without args")
+        for key in PROF_REQUIRED_ARGS:
+            if not isinstance(args.get(key), int):
+                fail(f"event #{idx} ({name}): missing integer arg {key!r}")
+        tier = args["tier"]
+        if not 0 <= tier <= PROF_MAX_TIER:
+            fail(f"event #{idx} ({name}): tier {tier} out of range")
+        total += 1
+        if name == "prof-sample" and tier == PROF_TIER_NATIVE:
+            native += 1
+            if args["method"] < 0:
+                unattributed += 1
+    if native and unattributed / native > max_unattributed_native:
+        fail(
+            f"{unattributed}/{native} native-tier samples lack method "
+            f"attribution (> {max_unattributed_native:.0%}); the CodeCache "
+            f"PC index or the native tier's shadow frames are broken"
+        )
+    return total, native, unattributed
 
 
 def check_spans(events):
@@ -92,6 +143,10 @@ def main(argv):
         return 2
     path = argv[1]
     expect_no_drops = "--expect-no-drops" in argv[2:]
+    max_unattributed_native = 0.05
+    for arg in argv[2:]:
+        if arg.startswith("--max-unattributed-native="):
+            max_unattributed_native = float(arg.split("=", 1)[1])
 
     try:
         with open(path, "r", encoding="utf-8") as f:
@@ -116,6 +171,9 @@ def main(argv):
     for idx, ev in enumerate(events):
         check_event_shape(ev, idx)
     check_spans(events)
+    prof_total, prof_native, prof_unattr = check_prof_samples(
+        events, max_unattributed_native
+    )
 
     dropped = other["droppedEvents"]
     if expect_no_drops and dropped != 0:
@@ -128,10 +186,16 @@ def main(argv):
     spans = sum(1 for ev in events if ev["ph"] == "B")
     instants = sum(1 for ev in events if ev["ph"] == "I")
     tids = {(ev["pid"], ev["tid"]) for ev in events}
+    prof_note = ""
+    if prof_total:
+        prof_note = (
+            f", {prof_total} prof samples ({prof_native} native, "
+            f"{prof_unattr} unattributed)"
+        )
     print(
         f"check_trace: OK: {len(events)} events ({spans} spans, "
         f"{instants} instants) across {len(tids)} thread(s), "
-        f"{dropped} dropped"
+        f"{dropped} dropped{prof_note}"
     )
     return 0
 

@@ -19,10 +19,15 @@ endforeach()
 
 file(REMOVE ${JSON})
 
+# The smoke runs with the sampling profiler armed (JVM_PROF=1: sample,
+# no report file) and a generous alloc-sampling period, so the
+# per-isolate prof_samples_* / prof_alloc_samples JSON fields carry real
+# attribution data and the checker can insist on it.
 execute_process(
   COMMAND ${CMAKE_COMMAND} -E env
           "JVM_MT_ISOLATES=2" "JVM_MT_THREADS=2" "JVM_MT_OPS=24"
           "JVM_MT_JSON=${JSON}"
+          "JVM_PROF=1" "JVM_PROF_HZ=4000" "JVM_PROF_ALLOC_BYTES=8192"
           ${BENCH}
   RESULT_VARIABLE BenchResult)
 if(BenchResult)
@@ -30,7 +35,7 @@ if(BenchResult)
 endif()
 
 execute_process(
-  COMMAND ${PYTHON} ${CHECK} ${JSON}
+  COMMAND ${PYTHON} ${CHECK} ${JSON} --expect-prof-samples
   RESULT_VARIABLE CheckResult)
 if(CheckResult)
   message(FATAL_ERROR "multitenant schema check failed: ${CheckResult}")

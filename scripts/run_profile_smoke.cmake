@@ -1,0 +1,44 @@
+# Runs a bench binary with the sampling profiler armed (high tick rate,
+# small allocation-sampling period so a short smoke run still gathers
+# sites), then lints the folded flamegraph output and the residual-
+# allocation report with check_profile.py. Invoked by ctest
+# (perf-smoke / observability labels) via:
+#
+#   cmake -DBENCH=<binary> -DPYTHON=<python3> -DCHECK=<check_profile.py>
+#         -DFOLDED=<folded.txt> -DREPORT=<report.txt>
+#         -P run_profile_smoke.cmake
+#
+# The report file is append-mode (one block per destroyed isolate), so
+# both outputs are removed up front — a stale file from a previous run
+# must not be able to satisfy the checker.
+
+foreach(Var BENCH PYTHON CHECK FOLDED REPORT)
+  if(NOT DEFINED ${Var})
+    message(FATAL_ERROR "run_profile_smoke.cmake: ${Var} not set")
+  endif()
+endforeach()
+
+file(REMOVE ${FOLDED} ${REPORT})
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env
+          "JVM_PROF=${REPORT}"
+          "JVM_PROF_FOLDED=${FOLDED}"
+          "JVM_PROF_HZ=4000"
+          "JVM_PROF_ALLOC_BYTES=16384"
+          "JVM_PROF_SEED=42"
+          "JVM_BENCH_WARMUP=4" "JVM_BENCH_MEASURE=3" "JVM_BENCH_REPEATS=1"
+          "JVM_EXEC_MODE=linear"
+          "JVM_BENCH_JSON=${FOLDED}.bench.json"
+          ${BENCH}
+  RESULT_VARIABLE BenchResult)
+if(BenchResult)
+  message(FATAL_ERROR "profiled bench run failed: ${BenchResult}")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${CHECK} ${FOLDED} ${REPORT}
+  RESULT_VARIABLE CheckResult)
+if(CheckResult)
+  message(FATAL_ERROR "profile lint failed: ${CheckResult}")
+endif()

@@ -2,6 +2,7 @@
 
 #include "interp/Interpreter.h"
 
+#include "observability/Profiler.h"
 #include "support/ErrorHandling.h"
 
 using namespace jvm;
@@ -82,6 +83,9 @@ Value Interpreter::resume(std::vector<ResumeFrame> Frames) {
 Value Interpreter::execute(Frame &F, int EntryBci) {
   ActiveFrames.push_back(&F);
   const MethodInfo &M = *F.M;
+  // Profiler shadow frame for this activation; the loop below keeps its
+  // bytecode index current so samples carry interpreter-precise sites.
+  ProfScope ProfFrame(ProfTierInterp, M.Id);
   MethodProfile &Prof = Profiles.of(M.Id);
   RuntimeMetrics &Metrics = RT.metrics();
   std::vector<Value> &Stack = F.Stack;
@@ -116,6 +120,7 @@ Value Interpreter::execute(Frame &F, int EntryBci) {
            "pc out of range");
     const Instr &I = M.Code[Pc];
     ++Metrics.InterpretedOps;
+    ProfFrame.setBci(Pc);
     switch (I.Op) {
     case Opcode::Nop:
       break;

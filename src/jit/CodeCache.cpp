@@ -2,6 +2,10 @@
 
 #include "jit/CodeCache.h"
 
+#include "observability/Profiler.h"
+#include "support/Env.h"
+
+#include <cstdio>
 #include <cstring>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -14,11 +18,48 @@
 
 using namespace jvm;
 
+namespace {
+
+/// The profiler-facing resolver trampoline (Profiler::PcResolverFn):
+/// plain function pointer, installed once at CodeCache construction.
+bool resolvePcForProfiler(uintptr_t Pc, uint32_t &MethodOut,
+                          uint32_t &IsolateOut) {
+  return CodeCache::process().lookupPc(Pc, MethodOut, IsolateOut);
+}
+
+/// Appends one `perf` map line for a described span. perf's JIT map
+/// format is append-only (`<start-hex> <size-hex> <name>`); stale lines
+/// from released spans are harmless — perf uses the last match.
+void appendPerfMapLine(uintptr_t Start, size_t Bytes, const char *Name,
+                       uint32_t Isolate) {
+#if JVM_HAVE_MMAP
+  char Path[64];
+  std::snprintf(Path, sizeof(Path), "/tmp/perf-%d.map", int(getpid()));
+  if (std::FILE *F = std::fopen(Path, "a")) {
+    std::fprintf(F, "%lx %lx jit::%s@iso%u\n", static_cast<unsigned long>(Start),
+                 static_cast<unsigned long>(Bytes), Name ? Name : "?", Isolate);
+    std::fclose(F);
+  }
+#else
+  (void)Start;
+  (void)Bytes;
+  (void)Name;
+  (void)Isolate;
+#endif
+}
+
+} // namespace
+
 CodeCache &CodeCache::process() {
   // Meyers static: outlives every isolate constructed in main() and is
   // destroyed (empty — all spans released with their isolates) at exit,
   // keeping leak checkers quiet.
   static CodeCache C;
+  // Installed here, not in the profiler: the observability layer sits
+  // below the JIT in the link order and cannot name the CodeCache.
+  static bool ResolverInstalled =
+      (Profiler::setPcResolver(&resolvePcForProfiler), true);
+  (void)ResolverInstalled;
   return C;
 }
 
@@ -52,9 +93,88 @@ CodeCache::Span CodeCache::install(const uint8_t *Bytes, size_t Size) {
 #endif
 }
 
+void CodeCache::describe(const Span &S, uint32_t Method, uint32_t Isolate,
+                         const char *Name) {
+  if (!S)
+    return;
+  uintptr_t Start = reinterpret_cast<uintptr_t>(S.Ptr);
+  {
+    std::lock_guard<std::mutex> L(PcMutex);
+    size_t Used = PcSlotsUsed.load(std::memory_order_relaxed);
+    size_t Free = NumPcSlots;
+    for (size_t I = 0; I < Used; ++I)
+      if (PcSlots[I].Start.load(std::memory_order_relaxed) == 0) {
+        Free = I;
+        break;
+      }
+    if (Free == NumPcSlots && Used < NumPcSlots) {
+      Free = Used;
+      PcSlotsUsed.store(Used + 1, std::memory_order_release);
+    }
+    if (Free == NumPcSlots) {
+      PcOverflow.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      PcSlot &Slot = PcSlots[Free];
+      uint32_t G = Slot.Gen.load(std::memory_order_relaxed);
+      Slot.Gen.store(G + 1, std::memory_order_relaxed); // odd: mid-update
+      std::atomic_thread_fence(std::memory_order_release);
+      Slot.End.store(Start + S.CodeBytes, std::memory_order_relaxed);
+      Slot.MethodIso.store((uint64_t(Method) << 32) | Isolate,
+                           std::memory_order_relaxed);
+      Slot.Start.store(Start, std::memory_order_relaxed);
+      Slot.Gen.store(G + 2, std::memory_order_release); // even: stable
+    }
+  }
+  if (EnvSnapshot::isOn(EnvSnapshot::process().PerfMap))
+    appendPerfMapLine(Start, S.CodeBytes, Name, Isolate);
+}
+
+bool CodeCache::lookupPc(uintptr_t Pc, uint32_t &MethodOut,
+                         uint32_t &IsolateOut) const {
+  size_t Used = PcSlotsUsed.load(std::memory_order_acquire);
+  for (size_t I = 0; I < Used; ++I) {
+    const PcSlot &Slot = PcSlots[I];
+    uint32_t G1 = Slot.Gen.load(std::memory_order_acquire);
+    if (G1 & 1)
+      continue; // writer inside — skip, never spin
+    uintptr_t Start = Slot.Start.load(std::memory_order_relaxed);
+    uintptr_t End = Slot.End.load(std::memory_order_relaxed);
+    uint64_t MI = Slot.MethodIso.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (Slot.Gen.load(std::memory_order_relaxed) != G1)
+      continue; // moved under us — this sample misses, the next won't
+    if (Start == 0 || Pc < Start || Pc >= End)
+      continue;
+    MethodOut = uint32_t(MI >> 32);
+    IsolateOut = uint32_t(MI);
+    return true;
+  }
+  return false;
+}
+
 void CodeCache::release(const Span &S) {
   if (!S)
     return;
+  uintptr_t Start = reinterpret_cast<uintptr_t>(S.Ptr);
+  {
+    // Drop the PC-index entry before the pages go away so the handler
+    // can never resolve a PC into an unmapped (or re-mapped) span.
+    std::lock_guard<std::mutex> L(PcMutex);
+    size_t Used = PcSlotsUsed.load(std::memory_order_relaxed);
+    for (size_t I = 0; I < Used; ++I) {
+      PcSlot &Slot = PcSlots[I];
+      if (Slot.Start.load(std::memory_order_relaxed) != Start)
+        continue;
+      uint32_t G = Slot.Gen.load(std::memory_order_relaxed);
+      Slot.Gen.store(G + 1, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_release);
+      Slot.Start.store(0, std::memory_order_relaxed);
+      Slot.End.store(0, std::memory_order_relaxed);
+      Slot.MethodIso.store(0, std::memory_order_relaxed);
+      Slot.Gen.store(G + 2, std::memory_order_release);
+      break;
+    }
+  }
 #if JVM_HAVE_MMAP
   ::munmap(S.Ptr, S.MappedBytes);
 #endif

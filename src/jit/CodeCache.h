@@ -15,6 +15,17 @@
 /// nothing can still be executing the span by then). Counters feed the
 /// code.cache_* metrics gauges.
 ///
+/// The cache also owns the **PC index**: a fixed array of per-slot
+/// seqlock-protected (start, end, method, isolate) ranges the sampling
+/// profiler's SIGPROF handler resolves native-tier PCs through. Readers
+/// never lock and never retry — a slot whose generation is odd or moves
+/// across the read was interrupted mid-update and is simply skipped for
+/// this sample (the profiler counts it as a PC miss; the next tick sees
+/// the finished slot). describe() feeds the index at install time and
+/// also appends `perf`-style `/tmp/perf-<pid>.map` lines when
+/// JVM_PERF_MAP is on, so external Linux perf can symbolize the
+/// copy-and-patch tier.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef JVM_JIT_CODECACHE_H
@@ -23,6 +34,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 
 namespace jvm {
 
@@ -53,21 +65,53 @@ public:
   /// refuses (counted; the caller falls back to the linear tier).
   Span install(const uint8_t *Code, size_t Bytes);
 
-  /// Unmaps \p S and rolls its footprint out of the counters. The VM
-  /// only calls this after safe-point reclamation proved no frame can
-  /// still be executing inside the span.
+  /// Unmaps \p S, drops its PC-index entry, and rolls its footprint out
+  /// of the counters. The VM only calls this after safe-point
+  /// reclamation proved no frame can still be executing inside the span.
   void release(const Span &S);
+
+  /// Publishes \p S's identity into the PC index (and the perf map when
+  /// JVM_PERF_MAP is on). Called by the isolate once the span's method
+  /// is known, i.e. at NativeCode install time; \p Name is copied where
+  /// needed, not retained. Silently counted when the slot array is full.
+  void describe(const Span &S, uint32_t Method, uint32_t Isolate,
+                const char *Name);
+
+  /// Async-signal-safe PC resolution: true if \p Pc lies inside a
+  /// described live span. A slot mid-update (generation odd or moved
+  /// across the read) is skipped, never spun on — the handler may have
+  /// interrupted the writer it would be waiting for.
+  bool lookupPc(uintptr_t Pc, uint32_t &MethodOut, uint32_t &IsolateOut) const;
 
   uint64_t reservedBytes() const {
     return Reserved.load(std::memory_order_relaxed);
   }
   uint64_t codeBytes() const { return Code.load(std::memory_order_relaxed); }
   uint64_t methods() const { return Methods.load(std::memory_order_relaxed); }
+  uint64_t pcSlotOverflows() const {
+    return PcOverflow.load(std::memory_order_relaxed);
+  }
 
 private:
+  /// One PC-index slot: a per-slot seqlock. Gen even = stable, odd =
+  /// writer inside; Start == 0 = free.
+  struct PcSlot {
+    std::atomic<uint32_t> Gen{0};
+    std::atomic<uintptr_t> Start{0};
+    std::atomic<uintptr_t> End{0};
+    std::atomic<uint64_t> MethodIso{0}; ///< method << 32 | isolate
+  };
+  static constexpr size_t NumPcSlots = 2048;
+
   std::atomic<uint64_t> Reserved{0}; ///< mmap'd bytes currently live
   std::atomic<uint64_t> Code{0};     ///< useful code bytes currently live
   std::atomic<uint64_t> Methods{0};  ///< spans currently live
+
+  PcSlot PcSlots[NumPcSlots];
+  /// Upper bound of slots ever used — bounds the handler's scan.
+  std::atomic<size_t> PcSlotsUsed{0};
+  std::atomic<uint64_t> PcOverflow{0};
+  std::mutex PcMutex; ///< serializes writers (describe / release)
 };
 
 } // namespace jvm

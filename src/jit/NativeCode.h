@@ -66,6 +66,10 @@ public:
   EntryFn entry() const { return Entry; }
   const uint8_t *codeBytes() const { return Span.Ptr; }
   size_t codeSize() const { return Span.CodeBytes; }
+  /// The executable span, for CodeCache::describe at install time (the
+  /// PC index and perf map need the mapped range plus method identity
+  /// the cache itself never sees).
+  const CodeCache::Span &span() const { return Span; }
   uint64_t emitNanos() const { return EmitNanos; }
 
 private:

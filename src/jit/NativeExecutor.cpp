@@ -3,6 +3,7 @@
 #include "jit/NativeExecutor.h"
 
 #include "jit/NativeHelpers.h"
+#include "observability/Profiler.h"
 
 #include <cassert>
 
@@ -27,6 +28,11 @@ NativeExecutor::~NativeExecutor() { RT.heap().removeRootProvider(RootToken); }
 
 Value NativeExecutor::execute(const NativeCode &N,
                               const std::vector<Value> &Args) {
+  // The shadow frame says "native tier"; ticks inside the machine code
+  // also resolve their PC through the CodeCache index, while ticks
+  // inside a C++ helper called from it keep the frame's attribution and
+  // count as prof.native_pc_miss.
+  ProfScope ProfFrame(ProfTierNative, N.method());
   ++RT.metrics().CompiledCalls;
   assert(Args.size() == N.numParams() && "argument count mismatch");
   assert(N.entry() && "executing native code that was never installed");

@@ -2,6 +2,7 @@
 
 #include "memory/MemoryManager.h"
 
+#include "observability/Profiler.h"
 #include "observability/Trace.h"
 #include "support/Debug.h"
 #include "support/Env.h"
@@ -172,7 +173,14 @@ void MemoryManager::initObject(HeapObject *O, ClassId Cls, bool IsArray,
   O->Age = 0;
   O->Pad = 0;
   ++AllocCount;
-  AllocBytes += HeapObject::allocationSize(NumSlots);
+  size_t Size = HeapObject::allocationSize(NumSlots);
+  AllocBytes += Size;
+  // Allocation-site sampling: one relaxed load when off. Only genuine
+  // births come through here — GC copies bump no budgets — so the
+  // sampled stream is mutator allocation, which is what the residual-
+  // allocation report attributes. Arrays sample with class -1.
+  if (profWantsAllocSamples())
+    profNoteAllocation(IsArray ? -1 : int32_t(Cls), uint32_t(Size));
 }
 
 HeapObject *MemoryManager::allocateRaw(uint32_t NumSlots) {

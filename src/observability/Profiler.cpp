@@ -1,0 +1,643 @@
+//===- Profiler.cpp - Sampling profiler implementation --------------------------===//
+
+#include "observability/Profiler.h"
+
+#include "observability/Trace.h"
+#include "support/Env.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <signal.h>
+#include <sys/time.h>
+#define JVM_PROF_HAVE_ITIMER 1
+#endif
+#if defined(__linux__) && defined(__x86_64__)
+#include <ucontext.h>
+#define JVM_PROF_HAVE_PC 1
+#endif
+
+using namespace jvm;
+
+namespace jvm {
+namespace prof_detail {
+std::atomic<uint32_t> Active{0};
+std::atomic<uint64_t> AllocPeriod{0};
+thread_local ProfThreadState *TlsState = nullptr;
+} // namespace prof_detail
+} // namespace jvm
+
+namespace {
+
+/// The singleton, raw (the handler must reach it without the function-
+/// local-static guard in Profiler::get(), which is not signal-safe the
+/// first time through).
+std::atomic<Profiler *> GProfiler{nullptr};
+
+/// Handler-touched globals live here, not in the class: the handler
+/// performs only loads/stores on process-lifetime atomics.
+std::atomic<Profiler::PcResolverFn> GPcResolver{nullptr};
+std::atomic<uint64_t> GOtherThreadSamples{0};
+
+uint64_t nowNanos() {
+  timespec Ts;
+  clock_gettime(CLOCK_MONOTONIC, &Ts); // async-signal-safe per POSIX
+  return uint64_t(Ts.tv_sec) * 1000000000ull + uint64_t(Ts.tv_nsec);
+}
+
+uint64_t xorshift64(uint64_t &X) {
+  X ^= X << 13;
+  X ^= X >> 7;
+  X ^= X << 17;
+  return X;
+}
+
+/// Copies the shadow stack into \p Smp (frames root-first, leaf-most
+/// ProfSample::StackCap kept) and fills the leaf attribution. Runs in
+/// the handler and on the mutator alloc path — loads and stores only.
+void fillFromShadowStack(ProfThreadState &S, ProfSample &Smp, uintptr_t Pc) {
+  uint32_t D = S.Depth.load(std::memory_order_relaxed);
+  std::atomic_signal_fence(std::memory_order_acquire);
+  if (D == 0) {
+    Smp.Tier = ProfTierRuntime;
+    return;
+  }
+  if (D > ProfThreadState::MaxDepth) // cannot happen; belt and braces
+    D = ProfThreadState::MaxDepth;
+  uint32_t Start = 0;
+  if (D > ProfSample::StackCap) {
+    Start = D - ProfSample::StackCap;
+    Smp.Flags |= ProfSample::FlagTruncated;
+  }
+  unsigned K = 0;
+  for (uint32_t I = Start; I < D; ++I, ++K) {
+    Smp.FrameMethod[K] = S.Frames[I].Method.load(std::memory_order_relaxed);
+    Smp.FrameTier[K] = S.Frames[I].Tier.load(std::memory_order_relaxed);
+  }
+  Smp.NumFrames = uint8_t(K);
+  const ProfShadowFrame &Leaf = S.Frames[D - 1];
+  Smp.Method = Leaf.Method.load(std::memory_order_relaxed);
+  Smp.Bci = Leaf.Bci.load(std::memory_order_relaxed);
+  Smp.Tier = Leaf.Tier.load(std::memory_order_relaxed);
+  if (Smp.Tier == ProfTierNative) {
+    Profiler::PcResolverFn Fn = GPcResolver.load(std::memory_order_relaxed);
+    uint32_t M = 0, Iso = 0;
+    if (Fn && Pc && Fn(Pc, M, Iso))
+      Smp.Flags |= ProfSample::FlagPcResolved;
+    else
+      Smp.Flags |= ProfSample::FlagPcMiss;
+  }
+}
+
+/// Appends \p Smp to \p S's ring: never wraps, drop-newest when full,
+/// one release store publishes. Safe against a tick interrupting a
+/// mutator alloc-sample append: both writers fully fill slot N and both
+/// store Count = N+1 — one tick is statistically lost, the ring stays
+/// consistent.
+void appendSample(ProfThreadState &S, const ProfSample &Smp) {
+  uint64_t N = S.Count.load(std::memory_order_relaxed);
+  if (N >= S.Ring.size()) {
+    S.Dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  S.Ring[N] = Smp;
+  S.Count.store(N + 1, std::memory_order_release);
+}
+
+#ifdef JVM_PROF_HAVE_ITIMER
+void profSignalHandler(int /*Sig*/, siginfo_t * /*Info*/, void *Uc) {
+  int SavedErrno = errno;
+  uintptr_t Pc = 0;
+#ifdef JVM_PROF_HAVE_PC
+  if (Uc)
+    Pc = uintptr_t(
+        static_cast<ucontext_t *>(Uc)->uc_mcontext.gregs[REG_RIP]);
+#else
+  (void)Uc;
+#endif
+  ProfThreadState *S = prof_detail::TlsState;
+  if (!S) {
+    // Broker / GC worker / dying thread: counted, runtime pseudo-tier.
+    GOtherThreadSamples.fetch_add(1, std::memory_order_relaxed);
+    errno = SavedErrno;
+    return;
+  }
+  ProfSample Smp;
+  Smp.TimeNanos = nowNanos();
+  Smp.Isolate = S->Isolate.load(std::memory_order_relaxed);
+  Smp.Kind = ProfSample::KindTick;
+  fillFromShadowStack(*S, Smp, Pc);
+  appendSample(*S, Smp);
+  errno = SavedErrno;
+}
+#endif // JVM_PROF_HAVE_ITIMER
+
+/// Folded frame names may not contain the format's separators.
+void appendSanitized(std::string &Out, const std::string &Name) {
+  for (char C : Name)
+    Out += (C == ';' || C == ' ' || C == '\n' || C == '\t') ? '_' : C;
+}
+
+unsigned parseUnsigned(const char *V, unsigned Default, unsigned Lo,
+                       unsigned Hi) {
+  if (!V || !*V)
+    return Default;
+  char *End = nullptr;
+  unsigned long N = std::strtoul(V, &End, 10);
+  if (End == V)
+    return Default;
+  if (N < Lo)
+    N = Lo;
+  if (N > Hi)
+    N = Hi;
+  return unsigned(N);
+}
+
+void profAtExit();
+void profTraceFlushHook();
+
+bool initFromEnvironment(Profiler &P) {
+  const EnvSnapshot &E = EnvSnapshot::process();
+  if (E.ProfHz)
+    P.setRateHz(parseUnsigned(E.ProfHz, 1000, 0, 10000));
+  if (E.ProfAllocBytes)
+    P.setAllocPeriodBytes(
+        parseUnsigned(E.ProfAllocBytes, 64 * 1024, 0, 1u << 30));
+  if (E.ProfSeed)
+    P.setSeed(std::strtoull(E.ProfSeed, nullptr, 10));
+  if (E.ProfRing)
+    P.setRingCapacity(parseUnsigned(E.ProfRing, 1u << 13, 256, 1u << 20));
+  if (EnvSnapshot::isSet(E.Prof)) {
+    std::atexit(profAtExit);
+    Tracer::setAtExitFlushHook(&profTraceFlushHook);
+    P.start();
+  }
+  return true;
+}
+
+struct ProfEagerInit {
+  ProfEagerInit() { Profiler::get(); }
+} EagerInit;
+
+} // namespace
+
+namespace jvm {
+
+/// Returns the calling thread's state to the profiler's free list when
+/// the thread exits, so worker-thread churn (the multi-tenant grid)
+/// re-uses rings instead of growing them without bound.
+struct ProfTlsReleaser {
+  ~ProfTlsReleaser() {
+    ProfThreadState *S = prof_detail::TlsState;
+    if (!S)
+      return;
+    prof_detail::TlsState = nullptr;
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+    if (Profiler *P = GProfiler.load(std::memory_order_acquire))
+      P->releaseThreadState(S);
+  }
+};
+
+const char *profTierName(ProfTier T) {
+  switch (T) {
+  case ProfTierInterp:
+    return "interp";
+  case ProfTierGraph:
+    return "graph";
+  case ProfTierLinear:
+    return "linear";
+  case ProfTierNative:
+    return "native";
+  default:
+    return "runtime";
+  }
+}
+
+const char *profTierSuffix(ProfTier T) {
+  switch (T) {
+  case ProfTierInterp:
+    return "_[i]";
+  case ProfTierGraph:
+    return "_[g]";
+  case ProfTierLinear:
+    return "_[l]";
+  case ProfTierNative:
+    return "_[n]";
+  default:
+    return "";
+  }
+}
+
+ProfThreadState *prof_detail::threadState() {
+  if (ProfThreadState *S = TlsState)
+    return S;
+  ProfThreadState *S = Profiler::get().acquireThreadState();
+  TlsState = S;
+  static thread_local ProfTlsReleaser Releaser;
+  (void)Releaser;
+  return S;
+}
+
+void profSetCurrentIsolate(uint32_t Id) {
+  prof_detail::threadState()->Isolate.store(Id, std::memory_order_relaxed);
+}
+
+void profNoteAllocation(int32_t ClassId, uint32_t SizeBytes) {
+  ProfThreadState *S = prof_detail::threadState();
+  S->AllocBudget -= int64_t(SizeBytes);
+  if (S->AllocBudget > 0)
+    return;
+  uint64_t Period = prof_detail::AllocPeriod.load(std::memory_order_relaxed);
+  if (!Period) {
+    S->AllocBudget = 1 << 30;
+    return;
+  }
+  ProfSample Smp;
+  Smp.TimeNanos = nowNanos();
+  Smp.Isolate = S->Isolate.load(std::memory_order_relaxed);
+  Smp.Kind = ProfSample::KindAlloc;
+  fillFromShadowStack(*S, Smp, 0);
+  Smp.Class = ClassId;
+  Smp.Size = SizeBytes;
+  Smp.Weight = Period;
+  appendSample(*S, Smp);
+  S->AllocBudget = Profiler::nextAllocBudget(S->Rng, Period);
+}
+
+Profiler &Profiler::get() {
+  // Leaked on purpose: the atexit folded writer and the tracer's
+  // pre-export flush hook run after static destruction may have begun.
+  static Profiler *P = new Profiler();
+  static bool Registered =
+      (GProfiler.store(P, std::memory_order_release), true);
+  (void)Registered;
+  static bool EnvInit = initFromEnvironment(*P);
+  (void)EnvInit;
+  return *P;
+}
+
+void Profiler::setPcResolver(PcResolverFn Fn) {
+  GPcResolver.store(Fn, std::memory_order_relaxed);
+}
+
+void Profiler::setRingCapacity(size_t N) {
+  if (N < 256)
+    N = 256;
+  if (N > (size_t(1) << 20))
+    N = size_t(1) << 20;
+  RingCap.store(N, std::memory_order_relaxed);
+}
+
+size_t Profiler::ringCapacity() const {
+  return RingCap.load(std::memory_order_relaxed);
+}
+
+int64_t Profiler::nextAllocBudget(uint64_t &Rng, uint64_t Period) {
+  // Mean = Period, jittered so fixed-stride allocation loops cannot
+  // alias the sampler; deterministic for a fixed seed.
+  return int64_t(Period / 2 + xorshift64(Rng) % (Period | 1));
+}
+
+void Profiler::resetAllocStream(ProfThreadState &S) {
+  S.Rng = (Seed ^ 0x9E3779B97F4A7C15ull) +
+          0x9E3779B97F4A7C15ull * (uint64_t(S.Index) + 1);
+  if (!S.Rng)
+    S.Rng = 1;
+  S.AllocBudget = nextAllocBudget(S.Rng, AllocBytes ? AllocBytes : 1);
+}
+
+ProfThreadState *Profiler::acquireThreadState() {
+  std::lock_guard<std::mutex> L(StateMutex);
+  ProfThreadState *S;
+  if (!FreeStates.empty()) {
+    S = FreeStates.back();
+    FreeStates.pop_back();
+  } else {
+    States.push_back(std::make_unique<ProfThreadState>());
+    S = States.back().get();
+    S->Index = NextIndex++;
+    S->Ring.resize(RingCap.load(std::memory_order_relaxed));
+  }
+  resetAllocStream(*S);
+  return S;
+}
+
+void Profiler::releaseThreadState(ProfThreadState *S) {
+  std::lock_guard<std::mutex> L(StateMutex);
+  // Undrained samples stay in the ring (they carry their isolate); the
+  // next owner simply keeps appending.
+  S->Depth.store(0, std::memory_order_relaxed);
+  FreeStates.push_back(S);
+}
+
+void Profiler::start() {
+  {
+    std::lock_guard<std::mutex> L(StateMutex);
+    for (auto &S : States)
+      resetAllocStream(*S);
+  }
+  prof_detail::AllocPeriod.store(AllocBytes, std::memory_order_relaxed);
+  prof_detail::Active.store(1, std::memory_order_relaxed);
+#ifdef JVM_PROF_HAVE_ITIMER
+  if (RateHz) {
+    std::lock_guard<std::mutex> L(StateMutex);
+    if (!HandlerInstalled) {
+      struct sigaction Sa;
+      std::memset(&Sa, 0, sizeof(Sa));
+      Sa.sa_sigaction = profSignalHandler;
+      Sa.sa_flags = SA_SIGINFO | SA_RESTART;
+      sigemptyset(&Sa.sa_mask);
+      if (sigaction(SIGPROF, &Sa, nullptr) != 0) {
+        std::fprintf(stderr, "warning: profiler sigaction failed: %s\n",
+                     std::strerror(errno));
+        return;
+      }
+      HandlerInstalled = true;
+    }
+    long IntervalUs = long(1000000 / RateHz);
+    if (IntervalUs <= 0)
+      IntervalUs = 1;
+    itimerval Tv;
+    Tv.it_interval.tv_sec = 0;
+    Tv.it_interval.tv_usec = IntervalUs;
+    Tv.it_value = Tv.it_interval;
+    if (setitimer(ITIMER_PROF, &Tv, nullptr) != 0)
+      std::fprintf(stderr, "warning: profiler setitimer failed: %s\n",
+                   std::strerror(errno));
+    else
+      TimerArmed = true;
+  }
+#endif
+}
+
+void Profiler::stop() {
+#ifdef JVM_PROF_HAVE_ITIMER
+  {
+    std::lock_guard<std::mutex> L(StateMutex);
+    if (TimerArmed) {
+      itimerval Tv;
+      std::memset(&Tv, 0, sizeof(Tv));
+      setitimer(ITIMER_PROF, &Tv, nullptr);
+      TimerArmed = false;
+    }
+  }
+#endif
+  prof_detail::Active.store(0, std::memory_order_relaxed);
+  prof_detail::AllocPeriod.store(0, std::memory_order_relaxed);
+}
+
+void Profiler::registerIsolate(uint32_t Id,
+                               std::vector<std::string> MethodNames) {
+  std::lock_guard<std::mutex> L(NameMutex);
+  IsoMethodNames[Id] = std::move(MethodNames);
+}
+
+std::string Profiler::methodName(uint32_t Iso, int32_t Method) const {
+  if (Method >= 0) {
+    std::lock_guard<std::mutex> L(NameMutex);
+    auto It = IsoMethodNames.find(Iso);
+    if (It != IsoMethodNames.end() && size_t(Method) < It->second.size() &&
+        !It->second[size_t(Method)].empty())
+      return It->second[size_t(Method)];
+  }
+  return "m" + std::to_string(Method);
+}
+
+void Profiler::drainLocked() {
+  std::lock_guard<std::mutex> L(StateMutex);
+  for (auto &SP : States) {
+    ProfThreadState &S = *SP;
+    uint64_t N = S.Count.load(std::memory_order_acquire);
+    for (uint64_t I = S.DrainedTo; I < N; ++I) {
+      const ProfSample &Smp = S.Ring[I];
+      Drained.push_back(Smp);
+      if (Smp.Kind == ProfSample::KindAlloc) {
+        ++TotalAllocSamples;
+        SiteAgg &A = Sites[{Smp.Isolate, Smp.Method, Smp.Bci, Smp.Class}];
+        ++A.Count;
+        A.Bytes += Smp.Weight;
+        A.SizeSum += Smp.Size;
+        continue;
+      }
+      ++TotalTicks;
+      ++TierCounts[{Smp.Isolate, Smp.Tier}];
+      if (Smp.Flags & ProfSample::FlagPcResolved)
+        ++PcResolvedCount;
+      if (Smp.Flags & ProfSample::FlagPcMiss)
+        ++PcMissCount;
+      if (Smp.NumFrames == 0) {
+        ++FoldedCounts["runtime"];
+        continue;
+      }
+      if (Smp.Method < 0 && !(Smp.Flags & ProfSample::FlagPcResolved))
+        ++UnattributedCount;
+      ++LeafCounts[{Smp.Isolate, Smp.Method}];
+      std::string Key = "isolate-" + std::to_string(Smp.Isolate);
+      for (unsigned F = 0; F < Smp.NumFrames; ++F) {
+        Key += ';';
+        appendSanitized(Key, methodName(Smp.Isolate, Smp.FrameMethod[F]));
+        Key += profTierSuffix(ProfTier(Smp.FrameTier[F]));
+      }
+      ++FoldedCounts[Key];
+    }
+    S.DrainedTo = N;
+  }
+}
+
+uint64_t Profiler::samplesForIsolate(uint32_t Iso, ProfTier T) {
+  std::lock_guard<std::mutex> L(DrainMutex);
+  drainLocked();
+  auto It = TierCounts.find({Iso, uint8_t(T)});
+  return It == TierCounts.end() ? 0 : It->second;
+}
+
+uint64_t Profiler::totalSamples() {
+  std::lock_guard<std::mutex> L(DrainMutex);
+  drainLocked();
+  return TotalTicks;
+}
+
+uint64_t Profiler::allocSamplesForIsolate(uint32_t Iso) {
+  std::lock_guard<std::mutex> L(DrainMutex);
+  drainLocked();
+  uint64_t N = 0;
+  for (const auto &KV : Sites)
+    if (KV.first.Iso == Iso)
+      N += KV.second.Count;
+  return N;
+}
+
+std::vector<Profiler::MethodSamples> Profiler::topMethods(uint32_t Iso,
+                                                          size_t N) {
+  std::lock_guard<std::mutex> L(DrainMutex);
+  drainLocked();
+  std::vector<MethodSamples> All;
+  for (const auto &KV : LeafCounts)
+    if (KV.first.Iso == Iso)
+      All.push_back({KV.first.Method, KV.second});
+  std::sort(All.begin(), All.end(),
+            [](const MethodSamples &A, const MethodSamples &B) {
+              return A.Count != B.Count ? A.Count > B.Count
+                                        : A.Method < B.Method;
+            });
+  if (All.size() > N)
+    All.resize(N);
+  return All;
+}
+
+std::vector<Profiler::AllocSite> Profiler::allocSites(uint32_t Iso) {
+  std::lock_guard<std::mutex> L(DrainMutex);
+  drainLocked();
+  std::vector<AllocSite> Out;
+  for (const auto &KV : Sites)
+    if (KV.first.Iso == Iso)
+      Out.push_back({KV.first.Method, KV.first.Bci, KV.first.Class,
+                     KV.second.Count, KV.second.Bytes, KV.second.SizeSum});
+  std::sort(Out.begin(), Out.end(), [](const AllocSite &A, const AllocSite &B) {
+    return A.Bytes != B.Bytes ? A.Bytes > B.Bytes
+                              : (A.Method != B.Method ? A.Method < B.Method
+                                                      : A.Bci < B.Bci);
+  });
+  return Out;
+}
+
+uint64_t Profiler::droppedSamples() const {
+  std::lock_guard<std::mutex> L(StateMutex);
+  uint64_t N = 0;
+  for (const auto &S : States)
+    N += S->Dropped.load(std::memory_order_relaxed);
+  return N;
+}
+
+uint64_t Profiler::highWater() const {
+  std::lock_guard<std::mutex> L(StateMutex);
+  uint64_t N = 0;
+  for (const auto &S : States)
+    N = std::max(N, S->Count.load(std::memory_order_relaxed));
+  return N;
+}
+
+uint64_t Profiler::truncatedPushes() const {
+  std::lock_guard<std::mutex> L(StateMutex);
+  uint64_t N = 0;
+  for (const auto &S : States)
+    N += S->Truncated.load(std::memory_order_relaxed);
+  return N;
+}
+
+uint64_t Profiler::otherThreadSamples() const {
+  return GOtherThreadSamples.load(std::memory_order_relaxed);
+}
+
+std::string Profiler::renderFolded() {
+  std::lock_guard<std::mutex> L(DrainMutex);
+  drainLocked();
+  std::string Out;
+  uint64_t Runtime = GOtherThreadSamples.load(std::memory_order_relaxed);
+  for (const auto &KV : FoldedCounts) {
+    if (KV.first == "runtime") {
+      Runtime += KV.second;
+      continue;
+    }
+    Out += KV.first;
+    Out += ' ';
+    Out += std::to_string(KV.second);
+    Out += '\n';
+  }
+  if (Runtime) {
+    Out += "runtime ";
+    Out += std::to_string(Runtime);
+    Out += '\n';
+  }
+  return Out;
+}
+
+bool Profiler::writeFolded(const std::string &Path) {
+  std::string Body = renderFolded();
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "warning: cannot write folded profile to %s: %s\n",
+                 Path.c_str(), std::strerror(errno));
+    return false;
+  }
+  bool Ok = std::fwrite(Body.data(), 1, Body.size(), F) == Body.size();
+  if (std::fclose(F) != 0)
+    Ok = false;
+  return Ok;
+}
+
+void Profiler::flushToTrace() {
+  std::lock_guard<std::mutex> L(DrainMutex);
+  drainLocked();
+  if (TraceFlushed || !traceWants(TraceProf))
+    return;
+  TraceFlushed = true;
+  std::vector<size_t> Order(Drained.size());
+  for (size_t I = 0; I < Order.size(); ++I)
+    Order[I] = I;
+  std::stable_sort(Order.begin(), Order.end(), [this](size_t A, size_t B) {
+    return Drained[A].TimeNanos < Drained[B].TimeNanos;
+  });
+  Tracer &T = Tracer::get();
+  uint64_t Start = T.startNanos();
+  for (size_t I : Order) {
+    const ProfSample &Smp = Drained[I];
+    TraceEvent E;
+    E.Name = Smp.Kind == ProfSample::KindAlloc ? "prof-alloc" : "prof-sample";
+    E.Cat = traceCategoryName(TraceProf);
+    E.Ph = 'I';
+    E.TimeNanos = Smp.TimeNanos > Start ? Smp.TimeNanos - Start : 0;
+    E.Arg0Name = "isolate";
+    E.Arg0 = Smp.Isolate;
+    E.Arg1Name = "method";
+    E.Arg1 = Smp.Method;
+    E.Arg2Name = "tier";
+    E.Arg2 = Smp.Tier;
+    T.recordPrestamped(E);
+  }
+}
+
+void Profiler::clear() {
+  std::lock_guard<std::mutex> L(DrainMutex);
+  {
+    std::lock_guard<std::mutex> L2(StateMutex);
+    for (auto &S : States) {
+      S->DrainedTo = S->Count.load(std::memory_order_acquire);
+      S->Dropped.store(0, std::memory_order_relaxed);
+      S->Truncated.store(0, std::memory_order_relaxed);
+    }
+  }
+  Drained.clear();
+  TierCounts.clear();
+  LeafCounts.clear();
+  Sites.clear();
+  FoldedCounts.clear();
+  TotalTicks = TotalAllocSamples = 0;
+  PcResolvedCount = PcMissCount = UnattributedCount = 0;
+  TraceFlushed = false;
+  GOtherThreadSamples.store(0, std::memory_order_relaxed);
+}
+
+} // namespace jvm
+
+namespace {
+
+void profTraceFlushHook() {
+  if (Profiler *P = GProfiler.load(std::memory_order_acquire))
+    P->flushToTrace();
+}
+
+void profAtExit() {
+  Profiler &P = Profiler::get();
+  P.stop();
+  const EnvSnapshot &E = EnvSnapshot::process();
+  if (EnvSnapshot::isSet(E.ProfFolded))
+    P.writeFolded(E.ProfFolded);
+}
+
+} // namespace

@@ -1,0 +1,422 @@
+//===- Profiler.h - Sampling profiler with four-tier attribution ----*- C++ -*-===//
+///
+/// \file
+/// A SIGPROF/itimer tick-based sampling profiler that attributes CPU
+/// samples to (isolate, tier, method) across all four execution tiers —
+/// interpreter, graph walker, linear register dispatch, and the native
+/// copy-and-patch tier — plus allocation-site sampling hooked into the
+/// TLAB fast path, folded-stack (flamegraph) export, and drained-sample
+/// instants in the Chrome trace.
+///
+/// Signal-safety rules (the whole design falls out of these):
+///
+///  1. **The tick handler computes, it never acquires.** No malloc, no
+///     mutex, no Tracer::record (whose first use takes a lock). The
+///     handler reads the calling thread's *shadow stack* — a fixed array
+///     of (tier, method, bci) frames each tier entry point pushes via
+///     ProfScope — and appends one fixed-size ProfSample to the thread's
+///     pre-allocated ring. Publication is a single release store of the
+///     ring count, exactly the tracer's never-wrap discipline.
+///  2. **Frames are whole before they are visible.** Push writes the
+///     frame fields, issues a signal fence, then increments the depth;
+///     pop decrements the depth first. The handler (which runs on the
+///     same thread it samples) therefore never observes a half-written
+///     frame. All stores are relaxed atomics — plain movs on x86-64.
+///  3. **Native PCs resolve through an injected lookup.** The
+///     observability layer sits below the JIT in the link order, so the
+///     CodeCache installs a PC-resolver function pointer at startup
+///     (setPcResolver); the resolver itself is a per-slot seqlock scan
+///     that *skips* inconsistent slots rather than retrying (a handler
+///     must never spin on a writer it interrupted). A native-tier sample
+///     whose PC does not resolve (the thread was inside a C++ runtime
+///     helper called from native code) still attributes to the shadow
+///     frame's method; it is counted in prof.native_pc_miss.
+///
+/// Allocation sampling: every ~JVM_PROF_ALLOC_BYTES bytes of new-object
+/// allocation (default 64 KB), the allocating thread records one alloc
+/// sample carrying the leaf frame's method+bci and the object's class
+/// and size, weighted by the sampling period (each sample statistically
+/// represents `period` bytes). The inter-sample budget is `period/2 +
+/// uniform(0, period)` from a per-thread xorshift64 stream — mean
+/// `period`, jittered so fixed-stride allocation loops cannot alias the
+/// sampler, deterministic under JVM_PROF_SEED.
+///
+/// Cost when disabled: one relaxed atomic load (profWantsSamples /
+/// profWantsAllocSamples) per gate, verified by bench_phase_overhead.
+/// Frames entered while the profiler is off are not on the shadow stack;
+/// enabling mid-run attributes only frames entered afterwards.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_OBSERVABILITY_PROFILER_H
+#define JVM_OBSERVABILITY_PROFILER_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace jvm {
+
+struct ProfTlsReleaser; // recycles a thread's state at thread exit
+
+/// Execution tier a sample attributes to. Values 0..3 match the VM's
+/// tier numbering (TracedTier); Runtime is the pseudo-tier for samples
+/// taken with no shadow frame on the stack (driver code, compile broker
+/// workers, GC threads).
+enum ProfTier : uint8_t {
+  ProfTierInterp = 0,
+  ProfTierGraph = 1,
+  ProfTierLinear = 2,
+  ProfTierNative = 3,
+  ProfTierRuntime = 4,
+  ProfNumTiers = 5,
+};
+
+/// Short name of \p T ("interp", "graph", ...).
+const char *profTierName(ProfTier T);
+
+/// Frame-name suffix in folded output ("_[i]", "_[g]", "_[l]", "_[n]").
+const char *profTierSuffix(ProfTier T);
+
+/// One shadow-stack frame. Owner-thread written (relaxed stores), read
+/// by the SIGPROF handler on the same thread.
+struct ProfShadowFrame {
+  std::atomic<int32_t> Method{-1};
+  std::atomic<int32_t> Bci{-1};
+  std::atomic<uint8_t> Tier{ProfTierRuntime};
+};
+
+/// One recorded sample, fixed size (the handler cannot allocate).
+/// FrameMethod/FrameTier hold the shadow stack root-first, leaf last; a
+/// stack deeper than StackCap keeps the leaf-most frames and sets
+/// FlagTruncated.
+struct ProfSample {
+  static constexpr unsigned StackCap = 16;
+  static constexpr uint8_t KindTick = 0;
+  static constexpr uint8_t KindAlloc = 1;
+  static constexpr uint8_t FlagPcResolved = 1; ///< native PC hit the index
+  static constexpr uint8_t FlagPcMiss = 2;     ///< native-tier, PC unresolved
+  static constexpr uint8_t FlagTruncated = 4;  ///< stack deeper than StackCap
+
+  uint64_t TimeNanos = 0; ///< absolute CLOCK_MONOTONIC
+  uint32_t Isolate = 0;
+  uint8_t Kind = KindTick;
+  uint8_t Tier = ProfTierRuntime; ///< leaf tier (Runtime = no frames)
+  uint8_t NumFrames = 0;
+  uint8_t Flags = 0;
+  int32_t Method = -1; ///< leaf method (-1 = none)
+  int32_t Bci = -1;    ///< leaf bytecode index (-1 = not interpreter-precise)
+  int32_t Class = -1;  ///< alloc samples: class id (-1 = array/none)
+  uint32_t Size = 0;   ///< alloc samples: object bytes
+  uint64_t Weight = 0; ///< alloc samples: bytes this sample represents
+  int32_t FrameMethod[StackCap] = {};
+  uint8_t FrameTier[StackCap] = {};
+};
+
+/// Per-thread profiler state: the shadow stack the tiers maintain and
+/// the sample ring the handler appends to. Owned by the Profiler (states
+/// of exited threads are recycled for new threads — undrained samples
+/// carry their isolate, so ownership handoff needs no flush).
+struct ProfThreadState {
+  static constexpr unsigned MaxDepth = 64;
+
+  ProfShadowFrame Frames[MaxDepth];
+  /// Frames [0, Depth) are valid. Owner-incremented after the frame is
+  /// whole (signal fence in between); decrement-first on pop.
+  std::atomic<uint32_t> Depth{0};
+  /// Isolate currently executing on this thread (Isolate::call sets it).
+  std::atomic<uint32_t> Isolate{0};
+
+  /// Sample ring: never wraps; when full, new samples are counted in
+  /// Dropped. Slots below Count are immutable until drained.
+  std::vector<ProfSample> Ring;
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> Dropped{0};
+  std::atomic<uint64_t> Truncated{0};
+  /// Consumed by the drain thread only, under the profiler's drain lock.
+  uint64_t DrainedTo = 0;
+
+  // Allocation-sampling state: owner-thread only, never touched by the
+  // handler (a tick interrupting an alloc-sample append sees a fully
+  // written slot N and both writers store Count = N+1 — one tick is
+  // statistically lost, the ring stays consistent).
+  int64_t AllocBudget = 0;
+  uint64_t Rng = 0;
+  /// Registration index (stable across recycling) — seeds the rng stream.
+  uint32_t Index = 0;
+
+  /// Pushes a frame; null when the stack is full (the matching pop then
+  /// does nothing — Depth only moves when a frame was actually pushed).
+  ProfShadowFrame *push(ProfTier T, int32_t Method) {
+    uint32_t D = Depth.load(std::memory_order_relaxed);
+    if (D >= MaxDepth) {
+      Truncated.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    ProfShadowFrame &F = Frames[D];
+    F.Method.store(Method, std::memory_order_relaxed);
+    F.Bci.store(-1, std::memory_order_relaxed);
+    F.Tier.store(uint8_t(T), std::memory_order_relaxed);
+    std::atomic_signal_fence(std::memory_order_release);
+    Depth.store(D + 1, std::memory_order_relaxed);
+    return &F;
+  }
+
+  void pop() {
+    Depth.store(Depth.load(std::memory_order_relaxed) - 1,
+                std::memory_order_relaxed);
+    std::atomic_signal_fence(std::memory_order_release);
+  }
+};
+
+namespace prof_detail {
+/// Nonzero = profiler recording. The only word a disabled tier entry
+/// ever touches.
+extern std::atomic<uint32_t> Active;
+/// Nonzero = allocation sampling armed (the period in bytes). The only
+/// word the disabled allocation fast path ever touches.
+extern std::atomic<uint64_t> AllocPeriod;
+/// The calling thread's state; registered on first use (takes the
+/// profiler mutex — mutator paths only, never the signal handler).
+ProfThreadState *threadState();
+extern thread_local ProfThreadState *TlsState;
+} // namespace prof_detail
+
+/// True if CPU sampling is on: one relaxed atomic load.
+inline bool profWantsSamples() {
+  return prof_detail::Active.load(std::memory_order_relaxed) != 0;
+}
+
+/// True if allocation sampling is armed: one relaxed atomic load.
+inline bool profWantsAllocSamples() {
+  return prof_detail::AllocPeriod.load(std::memory_order_relaxed) != 0;
+}
+
+/// Marks the calling thread as executing isolate \p Id (Isolate::call).
+/// Cheap and idempotent; callers gate on profWantsSamples().
+void profSetCurrentIsolate(uint32_t Id);
+
+/// Charges \p SizeBytes of allocation against the calling thread's
+/// sampling budget and records an alloc sample when it crosses zero.
+/// \p ClassId is -1 for arrays. Callers gate on profWantsAllocSamples().
+void profNoteAllocation(int32_t ClassId, uint32_t SizeBytes);
+
+/// RAII shadow-stack frame for one tier-entry. When the profiler is off
+/// at entry this is a relaxed load + branch and nothing else.
+class ProfScope {
+public:
+  ProfScope(ProfTier T, uint32_t Method) {
+    if (!profWantsSamples())
+      return;
+    S = prof_detail::threadState();
+    F = S->push(T, int32_t(Method));
+  }
+  ~ProfScope() {
+    if (F)
+      S->pop();
+  }
+
+  /// Updates the frame's bytecode index (interpreter loop head). A test
+  /// + store when profiling; compiled away to a test + branch when the
+  /// scope was entered disabled.
+  void setBci(int32_t Bci) {
+    if (F)
+      F->Bci.store(Bci, std::memory_order_relaxed);
+  }
+
+  ProfScope(const ProfScope &) = delete;
+  ProfScope &operator=(const ProfScope &) = delete;
+
+private:
+  ProfThreadState *S = nullptr;
+  ProfShadowFrame *F = nullptr;
+};
+
+class Profiler {
+public:
+  /// Resolves a native-tier PC to (method, isolate). Must be
+  /// async-signal-safe. Installed by the CodeCache (setPcResolver).
+  using PcResolverFn = bool (*)(uintptr_t Pc, uint32_t &MethodOut,
+                                uint32_t &IsolateOut);
+
+  /// Aggregated leaf-method self-time.
+  struct MethodSamples {
+    int32_t Method;
+    uint64_t Count;
+  };
+
+  /// Aggregated allocation site.
+  struct AllocSite {
+    int32_t Method;
+    int32_t Bci;
+    int32_t Class; ///< -1 = array
+    uint64_t Count;
+    uint64_t Bytes;   ///< sum of sample weights (estimated bytes)
+    uint64_t SizeSum; ///< sum of sampled object sizes
+  };
+
+  /// The process-global profiler (leaked; the atexit folded-stack writer
+  /// and trace flush run after static destructors may have started).
+  static Profiler &get();
+
+  // Configuration (set before start(); a running profiler ignores them
+  // until the next start()).
+  void setRateHz(unsigned Hz) { RateHz = Hz; }           ///< 0 = no timer
+  void setAllocPeriodBytes(uint64_t B) { AllocBytes = B; } ///< 0 = off
+  void setSeed(uint64_t S) { Seed = S; }
+  void setRingCapacity(size_t N);
+  unsigned rateHz() const { return RateHz; }
+  size_t ringCapacity() const;
+
+  /// Arms the itimer (unless rate is 0) and opens the sampling gates.
+  /// Also re-seeds every registered thread's allocation-sampling stream
+  /// so fixed-seed runs are deterministic regardless of prior history.
+  void start();
+  /// Disarms the timer and closes the gates; buffered samples stay.
+  void stop();
+  bool enabled() const { return profWantsSamples(); }
+
+  /// Installs the native-PC resolver (CodeCache startup).
+  static void setPcResolver(PcResolverFn Fn);
+
+  /// Snapshots \p MethodNames for isolate \p Id (index = method id) so
+  /// reports can symbolize after the isolate dies. Ids are never reused.
+  void registerIsolate(uint32_t Id, std::vector<std::string> MethodNames);
+
+  /// The registered name of method \p Method in isolate \p Iso, or
+  /// "m<id>" when unknown.
+  std::string methodName(uint32_t Iso, int32_t Method) const;
+
+  // Queries (each drains buffered samples first; dump after
+  // waitForCompilerIdle for consistent values).
+  uint64_t samplesForIsolate(uint32_t Iso, ProfTier T);
+  uint64_t totalSamples();
+  uint64_t allocSamplesForIsolate(uint32_t Iso);
+  std::vector<MethodSamples> topMethods(uint32_t Iso, size_t N);
+  std::vector<AllocSite> allocSites(uint32_t Iso);
+
+  // Introspection counters (process-lifetime, like the tracer's).
+  uint64_t droppedSamples() const;
+  uint64_t highWater() const;
+  uint64_t truncatedPushes() const;
+  uint64_t otherThreadSamples() const;
+  uint64_t pcResolved() {
+    return counterAfterDrain(PcResolvedCount);
+  }
+  uint64_t pcMisses() { return counterAfterDrain(PcMissCount); }
+  /// Samples with neither a shadow frame nor a resolved PC.
+  uint64_t unattributedSamples() {
+    return counterAfterDrain(UnattributedCount);
+  }
+
+  /// Folded-stack (flamegraph.pl collapsed) rendering of everything
+  /// sampled: "isolate-<id>;name_[i];name_[n] 42\n" per distinct stack.
+  std::string renderFolded();
+  bool writeFolded(const std::string &Path);
+
+  /// Synthesizes every drained tick/alloc sample as a TraceProf instant
+  /// (Tracer::recordPrestamped), globally time-sorted. One shot: a
+  /// second call emits nothing (samples drained after the first flush
+  /// could carry timestamps older than instants already emitted, which
+  /// would break the trace buffer's time-ordering invariant).
+  void flushToTrace();
+
+  /// Discards drained aggregates and pending ring contents (tests).
+  void clear();
+
+private:
+  Profiler() = default;
+
+  struct IsoTierKey {
+    uint32_t Iso;
+    uint8_t Tier;
+    bool operator<(const IsoTierKey &O) const {
+      return Iso != O.Iso ? Iso < O.Iso : Tier < O.Tier;
+    }
+  };
+  struct LeafKey {
+    uint32_t Iso;
+    int32_t Method;
+    bool operator<(const LeafKey &O) const {
+      return Iso != O.Iso ? Iso < O.Iso : Method < O.Method;
+    }
+  };
+  struct SiteKey {
+    uint32_t Iso;
+    int32_t Method;
+    int32_t Bci;
+    int32_t Class;
+    bool operator<(const SiteKey &O) const {
+      if (Iso != O.Iso)
+        return Iso < O.Iso;
+      if (Method != O.Method)
+        return Method < O.Method;
+      if (Bci != O.Bci)
+        return Bci < O.Bci;
+      return Class < O.Class;
+    }
+  };
+  struct SiteAgg {
+    uint64_t Count = 0;
+    uint64_t Bytes = 0;
+    uint64_t SizeSum = 0;
+  };
+
+  friend ProfThreadState *prof_detail::threadState();
+  friend void profNoteAllocation(int32_t, uint32_t);
+  friend struct ProfTlsReleaser;
+
+  ProfThreadState *acquireThreadState();
+  void releaseThreadState(ProfThreadState *S);
+  /// Moves new ring contents into the aggregates (DrainMutex held).
+  void drainLocked();
+  uint64_t counterAfterDrain(uint64_t &C) {
+    std::lock_guard<std::mutex> L(DrainMutex);
+    drainLocked();
+    return C;
+  }
+  void resetAllocStream(ProfThreadState &S);
+  static int64_t nextAllocBudget(uint64_t &Rng, uint64_t Period);
+
+  // Configuration.
+  unsigned RateHz = 1000;
+  uint64_t AllocBytes = 64 * 1024;
+  uint64_t Seed = 0x5EED;
+  std::atomic<size_t> RingCap{size_t(1) << 13};
+
+  // Thread states: owned here, recycled through FreeStates when a
+  // thread exits (its TLS destructor), so a grid of short-lived worker
+  // threads does not grow rings without bound.
+  mutable std::mutex StateMutex;
+  std::vector<std::unique_ptr<ProfThreadState>> States;
+  std::vector<ProfThreadState *> FreeStates;
+  uint32_t NextIndex = 0;
+  bool TimerArmed = false;
+  bool HandlerInstalled = false;
+
+  // Drained data (DrainMutex).
+  mutable std::mutex DrainMutex;
+  std::vector<ProfSample> Drained; ///< raw, for the one-shot trace flush
+  bool TraceFlushed = false;
+  std::map<IsoTierKey, uint64_t> TierCounts;
+  std::map<LeafKey, uint64_t> LeafCounts;
+  std::map<SiteKey, SiteAgg> Sites;
+  std::map<std::string, uint64_t> FoldedCounts;
+  uint64_t TotalTicks = 0;
+  uint64_t TotalAllocSamples = 0;
+  uint64_t PcResolvedCount = 0;
+  uint64_t PcMissCount = 0;
+  uint64_t UnattributedCount = 0;
+
+  // Name tables (NameMutex; queried by reports after isolates die).
+  mutable std::mutex NameMutex;
+  std::map<uint32_t, std::vector<std::string>> IsoMethodNames;
+};
+
+} // namespace jvm
+
+#endif // JVM_OBSERVABILITY_PROFILER_H

@@ -35,7 +35,7 @@ uint32_t categoryMaskFromEnv() {
     return TraceDefaultCategories;
   if (std::strcmp(E, "all") == 0)
     return TraceCompile | TraceCode | TraceTier | TraceDeopt | TracePea |
-           TraceMonitor | TraceGc;
+           TraceMonitor | TraceGc | TraceProf;
   uint32_t Mask = 0;
   std::string S(E);
   size_t Pos = 0;
@@ -58,6 +58,8 @@ uint32_t categoryMaskFromEnv() {
       Mask |= TraceMonitor;
     else if (Tok == "gc")
       Mask |= TraceGc;
+    else if (Tok == "prof")
+      Mask |= TraceProf;
     else if (!Tok.empty())
       std::fprintf(stderr,
                    "warning: unknown JVM_TRACE_CATEGORIES token '%s'\n",
@@ -75,7 +77,17 @@ std::string &exitTracePath() {
   return Path;
 }
 
+/// The pre-export flush hook (see Tracer::setAtExitFlushHook). Stored in
+/// a function-local static so install order vs. this TU's statics never
+/// matters.
+std::atomic<void (*)()> &atExitFlushHook() {
+  static std::atomic<void (*)()> H{nullptr};
+  return H;
+}
+
 void writeTraceAtExit() {
+  if (void (*Hook)() = atExitFlushHook().load(std::memory_order_acquire))
+    Hook();
   const std::string &Path = exitTracePath();
   if (!Path.empty())
     Tracer::get().writeJson(Path);
@@ -133,6 +145,8 @@ const char *jvm::traceCategoryName(TraceCategory C) {
     return "monitor";
   case TraceGc:
     return "gc";
+  case TraceProf:
+    return "prof";
   }
   return "unknown";
 }
@@ -192,6 +206,34 @@ void Tracer::record(TraceEvent E) {
   B.Events[N] = E;
   // Publish after the slot is fully written; snapshot() acquires Count
   // and therefore only reads committed slots (the buffer never wraps).
+  B.Count.store(N + 1, std::memory_order_release);
+}
+
+void Tracer::setAtExitFlushHook(void (*Hook)()) {
+  atExitFlushHook().store(Hook, std::memory_order_release);
+}
+
+Tracer::ThreadBuffer &Tracer::prestampedBuffer() {
+  if (ThreadBuffer *B = Prestamped.load(std::memory_order_acquire))
+    return *B;
+  std::lock_guard<std::mutex> L(RegistryMutex);
+  if (ThreadBuffer *B = Prestamped.load(std::memory_order_relaxed))
+    return *B;
+  Buffers.push_back(std::make_unique<ThreadBuffer>(Capacity, NextTid++));
+  Buffers.back()->Name.store("prof-samples", std::memory_order_relaxed);
+  Prestamped.store(Buffers.back().get(), std::memory_order_release);
+  return *Buffers.back();
+}
+
+void Tracer::recordPrestamped(TraceEvent E) {
+  ThreadBuffer &B = prestampedBuffer();
+  uint64_t N = B.Count.load(std::memory_order_relaxed);
+  if (N >= B.Events.size()) {
+    B.Dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  E.Tid = B.Tid;
+  B.Events[N] = E;
   B.Count.store(N + 1, std::memory_order_release);
 }
 

@@ -54,13 +54,16 @@ enum TraceCategory : uint32_t {
   TracePea = 1u << 4,     ///< runtime materialization sites (high freq)
   TraceMonitor = 1u << 5, ///< monitor enter/exit (high freq)
   TraceGc = 1u << 6,      ///< scavenge / full-GC spans with byte payloads
+  TraceProf = 1u << 7,    ///< profiler samples (instants, drained at export)
 };
 
 /// Categories traced when JVM_TRACE is set without JVM_TRACE_CATEGORIES:
 /// everything except the per-operation high-frequency ones. GC spans are
-/// per-collection (rare), so they are on by default.
+/// per-collection (rare), so they are on by default; profiler samples
+/// only exist when JVM_PROF is also set, so the category costs nothing
+/// in an untraced-profiler or unprofiled-trace run.
 constexpr uint32_t TraceDefaultCategories =
-    TraceCompile | TraceCode | TraceTier | TraceDeopt | TraceGc;
+    TraceCompile | TraceCode | TraceTier | TraceDeopt | TraceGc | TraceProf;
 
 /// Short name of \p C ("compile", "code", ...).
 const char *traceCategoryName(TraceCategory C);
@@ -118,8 +121,26 @@ public:
   /// filled in here). Callers gate on traceWants() first.
   void record(TraceEvent E);
 
+  /// Like record(), but keeps \p E's TimeNanos (which must already be
+  /// relative to startNanos()). For events observed at one time and
+  /// drained into the trace later — the profiler's signal-tick samples
+  /// are stamped in the handler (where Tracer::record would not be
+  /// signal-safe) and synthesized into instants at export time.
+  void recordPrestamped(TraceEvent E);
+
+  /// The steady-clock nanosecond the tracer's timeline starts at; callers
+  /// holding absolute steady_clock stamps subtract this before
+  /// recordPrestamped().
+  uint64_t startNanos() const { return StartNanos; }
+
   /// Names the calling thread in exported traces (static string).
   void setCurrentThreadName(const char *Name);
+
+  /// Installs a hook invoked right before the JVM_TRACE atexit export —
+  /// how late drainers (the profiler) get their prestamped instants into
+  /// the file without depending on atexit registration order between
+  /// translation units. One hook; last install wins.
+  static void setAtExitFlushHook(void (*Hook)());
 
   // Convenience recorders (still check nothing — gate with traceWants).
   // The trailing Arg2 pair sits after the string arg so pre-existing
@@ -181,6 +202,11 @@ private:
   };
 
   ThreadBuffer &localBuffer();
+  /// The dedicated buffer prestamped (drained) events land in: they carry
+  /// historic timestamps, and appending them to the draining thread's own
+  /// buffer would break that buffer's time-ordering invariant. One
+  /// drainer at a time (the profiler's flush paths are serialized).
+  ThreadBuffer &prestampedBuffer();
 
   const size_t Capacity;
   const uint64_t StartNanos;
@@ -188,6 +214,7 @@ private:
   std::atomic<uint32_t> Mask{TraceDefaultCategories};
   mutable std::mutex RegistryMutex; ///< guards Buffers growth
   std::vector<std::unique_ptr<ThreadBuffer>> Buffers;
+  std::atomic<ThreadBuffer *> Prestamped{nullptr};
   uint32_t NextTid = 1;
 };
 

@@ -19,6 +19,13 @@ EnvSnapshot EnvSnapshot::capture() {
   S.Trace = std::getenv("JVM_TRACE");
   S.TraceCategories = std::getenv("JVM_TRACE_CATEGORIES");
   S.TraceRing = std::getenv("JVM_TRACE_RING");
+  S.Prof = std::getenv("JVM_PROF");
+  S.ProfHz = std::getenv("JVM_PROF_HZ");
+  S.ProfAllocBytes = std::getenv("JVM_PROF_ALLOC_BYTES");
+  S.ProfFolded = std::getenv("JVM_PROF_FOLDED");
+  S.ProfSeed = std::getenv("JVM_PROF_SEED");
+  S.ProfRing = std::getenv("JVM_PROF_RING");
+  S.PerfMap = std::getenv("JVM_PERF_MAP");
   S.HeapRegion = std::getenv("JVM_HEAP_REGION");
   S.HeapYoung = std::getenv("JVM_HEAP_YOUNG");
   S.GcStress = std::getenv("JVM_GC_STRESS");

@@ -47,6 +47,15 @@ struct EnvSnapshot {
   const char *Trace = nullptr;           ///< JVM_TRACE: export path
   const char *TraceCategories = nullptr; ///< JVM_TRACE_CATEGORIES
   const char *TraceRing = nullptr;       ///< JVM_TRACE_RING: events/thread
+  const char *Prof = nullptr;        ///< JVM_PROF: enable sampling profiler
+                                     ///< ("1", or a report append path)
+  const char *ProfHz = nullptr;      ///< JVM_PROF_HZ: tick rate (default 1000)
+  const char *ProfAllocBytes = nullptr; ///< JVM_PROF_ALLOC_BYTES: allocation
+                                        ///< sample period (0 = off)
+  const char *ProfFolded = nullptr;  ///< JVM_PROF_FOLDED: folded-stack path
+  const char *ProfSeed = nullptr;    ///< JVM_PROF_SEED: alloc-sample jitter
+  const char *ProfRing = nullptr;    ///< JVM_PROF_RING: samples/thread
+  const char *PerfMap = nullptr;     ///< JVM_PERF_MAP: write /tmp/perf-PID.map
 
   // Memory --------------------------------------------------------------
   const char *HeapRegion = nullptr; ///< JVM_HEAP_REGION: region bytes

@@ -3,6 +3,7 @@
 #include "vm/GraphExecutor.h"
 
 #include "ir/Printer.h"
+#include "observability/Profiler.h"
 #include "observability/Trace.h"
 #include "support/Casting.h"
 #include "support/ErrorHandling.h"
@@ -477,6 +478,7 @@ private:
 } // namespace
 
 Value GraphExecutor::execute(const Graph &G, const std::vector<Value> &Args) {
+  ProfScope ProfFrame(ProfTierGraph, G.method());
   if (Depth == FramePool.size())
     FramePool.push_back(std::make_unique<FrameStorage>());
   FrameStorage &S = *FramePool[Depth];

@@ -3,6 +3,7 @@
 #include "vm/Isolate.h"
 
 #include "ir/Graph.h"
+#include "observability/Profiler.h"
 #include "support/Debug.h"
 #include "support/Env.h"
 #include "vm/CompileBroker.h"
@@ -117,6 +118,15 @@ Isolate::Isolate(const Program &P, VMOptions Options)
   });
   RT.heap().setTraceIsolateId(Id);
   registerMetrics();
+  // Snapshot method names for the profiler: it sits below the bytecode
+  // layer in the link order and must symbolize samples (folded stacks,
+  // reports) after this isolate is gone. Ids are never reused.
+  {
+    std::vector<std::string> Names(P.numMethods());
+    for (unsigned M = 0; M != P.numMethods(); ++M)
+      Names[M] = P.methodAt(M).Name;
+    Profiler::get().registerIsolate(Id, std::move(Names));
+  }
   if (Options.EnableJit && Options.CompilerThreads > 0) {
     // Asynchronous mode: become a client of the process-wide broker.
     // The pool (sized once, from JVM_COMPILER_THREADS) is shared by all
@@ -162,9 +172,92 @@ Isolate::~Isolate() {
       std::fclose(F);
     }
   }
+  // JVM_PROF=<path> (any value other than "1") appends the residual-
+  // allocation report: the sampled sites PEA did *not* remove, joined
+  // against this isolate's compile-log PEA decisions. Rendered here —
+  // the profiler has the samples, but only the isolate can reach the
+  // Program (class names) and the CompileLog.
+  if (EnvSnapshot::isSet(Env.Prof) && std::strcmp(Env.Prof, "1") != 0) {
+    if (std::FILE *F = std::fopen(Env.Prof, "a")) {
+      std::string Text = renderResidualAllocationReport();
+      std::fwrite(Text.data(), 1, Text.size(), F);
+      std::fclose(F);
+    }
+  }
 }
 
 const CodeCache &Isolate::codeCache() const { return CodeCache::process(); }
+
+std::string Isolate::renderResidualAllocationReport() {
+  Profiler &Prof = Profiler::get();
+  std::vector<Profiler::AllocSite> Sites = Prof.allocSites(Id);
+  std::string Out;
+  char Buf[512];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "== residual-allocations isolate=%u exec=%s ea=%s sites=%zu ==\n",
+      Id, execModeName(Options.Exec),
+      escapeAnalysisModeName(Options.Compiler.EAMode), Sites.size());
+  Out += Buf;
+  // Sites arrive sorted by estimated bytes, heaviest first — the "top
+  // residual allocation sites PEA did not remove" per Table 1 row.
+  constexpr size_t MaxShown = 10;
+  size_t Shown = 0;
+  for (const Profiler::AllocSite &S : Sites) {
+    if (Shown == MaxShown) {
+      std::snprintf(Buf, sizeof(Buf), "  ... %zu more sites\n",
+                    Sites.size() - Shown);
+      Out += Buf;
+      break;
+    }
+    ++Shown;
+    std::string MName = (S.Method >= 0 && unsigned(S.Method) < P.numMethods())
+                            ? P.methodAt(MethodId(S.Method)).Name
+                            : Prof.methodName(Id, S.Method);
+    std::string CName = (S.Class >= 0 && unsigned(S.Class) < P.numClasses())
+                            ? P.classAt(ClassId(S.Class)).Name
+                            : std::string("array");
+    std::snprintf(Buf, sizeof(Buf),
+                  "  site method=%s bci=%d class=%s samples=%llu "
+                  "est_bytes=%llu avg_object_bytes=%llu\n",
+                  MName.c_str(), S.Bci, CName.c_str(),
+                  static_cast<unsigned long long>(S.Count),
+                  static_cast<unsigned long long>(S.Bytes),
+                  static_cast<unsigned long long>(
+                      S.Count ? S.SizeSum / S.Count : 0));
+    Out += Buf;
+    // The compile-log PEA decision this site survived: prefer the last
+    // installed compile (what actually ran); fall back to the last
+    // attempt; "never compiled" marks interpreter-resident sites.
+    if (S.Method >= 0 && unsigned(S.Method) < P.numMethods()) {
+      std::vector<CompileLog::Record> Recs =
+          CLog.recordsFor(unsigned(S.Method));
+      const CompileLog::Record *Best = nullptr;
+      for (const CompileLog::Record &R : Recs)
+        if (R.Installed)
+          Best = &R;
+      if (!Best && !Recs.empty())
+        Best = &Recs.back();
+      if (Best) {
+        std::snprintf(
+            Buf, sizeof(Buf),
+            "    pea: seq=%llu installed=%d virtualized_allocations=%u "
+            "materialize_sites=%u\n",
+            static_cast<unsigned long long>(Best->CompileSeq),
+            Best->Installed ? 1 : 0, Best->Escape.VirtualizedAllocations,
+            Best->Escape.MaterializeSites);
+        Out += Buf;
+      } else {
+        Out += "    pea: never compiled (interpreter-resident site)\n";
+      }
+    } else {
+      Out += "    pea: no method attribution\n";
+    }
+  }
+  if (Sites.empty())
+    Out += "  (no allocation samples recorded)\n";
+  return Out;
+}
 
 void Isolate::registerMetrics() {
   // Identity first: every dumped record (JVM_METRICS_JSON appends one
@@ -300,6 +393,55 @@ void Isolate::registerMetrics() {
   Registry.gauge("trace.ring_capacity",
                  [] { return uint64_t(Tracer::get().ringCapacity()); });
 
+  // Sampling profiler: per-tier self-time for THIS isolate, plus the
+  // same never-silent ring health counters as the tracer's. All zero
+  // (and one map lookup each at dump time) when JVM_PROF is unset.
+  // Like trace.*, the prof.* sources are process-lifetime: resetMetrics
+  // does not clear them.
+  Registry.gauge("prof.samples", [this] {
+    Profiler &P = Profiler::get();
+    uint64_t N = 0;
+    for (unsigned T = 0; T != ProfNumTiers; ++T)
+      N += P.samplesForIsolate(Id, ProfTier(T));
+    return N;
+  });
+  auto TierGauge = [this](const char *Name, ProfTier T) {
+    Registry.gauge(Name,
+                   [this, T] { return Profiler::get().samplesForIsolate(Id, T); });
+  };
+  TierGauge("prof.samples_interp", ProfTierInterp);
+  TierGauge("prof.samples_graph", ProfTierGraph);
+  TierGauge("prof.samples_linear", ProfTierLinear);
+  TierGauge("prof.samples_native", ProfTierNative);
+  TierGauge("prof.samples_runtime", ProfTierRuntime);
+  Registry.gauge("prof.alloc_samples",
+                 [this] { return Profiler::get().allocSamplesForIsolate(Id); });
+  Registry.gauge("prof.dropped_samples",
+                 [] { return Profiler::get().droppedSamples(); });
+  Registry.gauge("prof.ring_high_water",
+                 [] { return Profiler::get().highWater(); });
+  Registry.gauge("prof.ring_capacity",
+                 [] { return uint64_t(Profiler::get().ringCapacity()); });
+  Registry.gauge("prof.other_thread_samples",
+                 [] { return Profiler::get().otherThreadSamples(); });
+  Registry.gauge("prof.native_pc_resolved",
+                 [] { return Profiler::get().pcResolved(); });
+  Registry.gauge("prof.native_pc_miss",
+                 [] { return Profiler::get().pcMisses(); });
+  Registry.gauge("prof.truncated_frames",
+                 [] { return Profiler::get().truncatedPushes(); });
+  Registry.gauge("prof.unattributed",
+                 [] { return Profiler::get().unattributedSamples(); });
+  // Top-10 self-time methods (leaf attribution), symbolized: the
+  // per-tier summary block of dumpMetricsText/dumpMetricsJson.
+  Registry.provider(
+      [this](const std::function<void(const std::string &, uint64_t)> &Emit) {
+        Profiler &P = Profiler::get();
+        for (const Profiler::MethodSamples &M : P.topMethods(Id, 10))
+          Emit("prof.top." + P.methodName(Id, M.Method) + ".samples",
+               M.Count);
+      });
+
   // Live histograms, recorded on the install/stall paths (lock-free).
   EnqueueToInstallHist = &Registry.histogram("jit.enqueue_to_install_latency_ns");
   MutatorStallHist = &Registry.histogram("jit.mutator_stall_latency_ns");
@@ -318,6 +460,12 @@ void Isolate::resetMetrics() {
 }
 
 Value Isolate::call(MethodId Method, std::vector<Value> Args) {
+  // Tag this thread's profiler state with the executing tenant so ticks
+  // and allocation samples attribute per-isolate. One relaxed load when
+  // the profiler is off; a TLS store when it is on.
+  if (profWantsSamples())
+    profSetCurrentIsolate(Id);
+
   // Safe point: no compiled activation is on the stack, so code retired
   // by earlier invalidations can be freed.
   if (CompiledDepth == 0 && HasRetired.load(std::memory_order_relaxed))
@@ -545,6 +693,13 @@ bool Isolate::installCode(MethodId Method, uint64_t Version, CompileResult &&R,
       if (MS.OwnedNative) {
         ++Jit.NativeMethods;
         Jit.NativeEmitNanos += MS.OwnedNative->emitNanos();
+        // Publish the span into the signal-safe PC index (and the perf
+        // map) now that its method identity is decided. The cache's
+        // slot mutex never takes isolate locks, so ordering under
+        // StateMutex is safe; the matching unregister is automatic in
+        // CodeCache::release when the NativeCode is reclaimed.
+        CodeCache::process().describe(MS.OwnedNative->span(), Method, Id,
+                                      P.methodAt(Method).Name.c_str());
         // Env-gated debug dump, named so scripts/check_native.py can
         // match files 1:1 against compile-log records. Written under
         // the lock on purpose: the NativeCode must not be retired by a

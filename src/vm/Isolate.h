@@ -233,6 +233,13 @@ public:
   /// process never collide.
   std::string dumpMetricsJson() { return Registry.dumpJson(); }
 
+  /// The "top residual allocation sites PEA did not remove" report:
+  /// the profiler's sampled allocation sites for this isolate, joined
+  /// against the compile log's PEA decisions per method. Empty-bodied
+  /// (header only) when allocation sampling never ran. The ~Isolate
+  /// JVM_PROF=<path> hook appends this, one block per isolate.
+  std::string renderResidualAllocationReport();
+
   /// Resets every measurement-window metric: RuntimeMetrics (including
   /// heap allocation counters and the per-call compiled/interpreted op
   /// counts), JitMetrics, and the registry's owned counters/histograms.

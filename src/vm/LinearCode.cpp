@@ -3,6 +3,7 @@
 #include "vm/LinearCode.h"
 
 #include "compiler/Schedule.h"
+#include "observability/Profiler.h"
 #include "observability/Trace.h"
 #include "support/Casting.h"
 
@@ -598,6 +599,7 @@ Value jvm::runDeopt(Runtime &RT, const LinearCode &L,
 
 Value LinearExecutor::execute(const LinearCode &L,
                               const std::vector<Value> &Args) {
+  ProfScope ProfFrame(ProfTierLinear, L.method());
   ++RT.metrics().CompiledCalls;
   assert(Args.size() == L.numParams() && "argument count mismatch");
   if (Depth == FramePool.size())

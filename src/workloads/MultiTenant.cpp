@@ -3,6 +3,7 @@
 #include "workloads/MultiTenant.h"
 
 #include "observability/Metrics.h"
+#include "observability/Profiler.h"
 #include "support/ErrorHandling.h"
 #include "vm/CompileBroker.h"
 #include "vm/VirtualMachine.h"
@@ -178,6 +179,15 @@ jvm::workloads::runMultiTenant(const BenchmarkSet &Set,
         std::min<uint64_t>(Pauses.percentileUpperBound(0.99), Pauses.max());
     S.GcPauseP50Ns =
         std::min<uint64_t>(Pauses.percentileUpperBound(0.5), S.GcPauseP99Ns);
+    // Per-isolate sampled self-time. Zero when the profiler is off;
+    // under JVM_PROF the split proves tick attribution follows the
+    // isolate across shared mutator threads.
+    Profiler &Prof = Profiler::get();
+    S.ProfSamplesInterp = Prof.samplesForIsolate(S.Id, ProfTierInterp);
+    S.ProfSamplesGraph = Prof.samplesForIsolate(S.Id, ProfTierGraph);
+    S.ProfSamplesLinear = Prof.samplesForIsolate(S.Id, ProfTierLinear);
+    S.ProfSamplesNative = Prof.samplesForIsolate(S.Id, ProfTierNative);
+    S.ProfAllocSamples = Prof.allocSamplesForIsolate(S.Id);
     R.QueueDepthHighWater =
         std::max(R.QueueDepthHighWater,
                  Ten->Iso.jitMetrics().QueueDepthHighWater);
@@ -240,13 +250,18 @@ std::string jvm::workloads::multiTenantJson(const MultiTenantResult &R) {
     const MultiTenantResult::IsolateStats &S = R.PerIsolate[I];
     if (I)
       J += ", ";
-    char IsoBuf[384];
+    char IsoBuf[640];
     std::snprintf(IsoBuf, sizeof(IsoBuf),
                   "{\"id\": %u, \"ops\": %llu, \"checksum\": %lld, "
                   "\"compilations\": %llu, \"compiles_discarded\": %llu, "
                   "\"heap_allocations\": %llu, \"gc_runs\": %llu, "
                   "\"deopts\": %llu, \"gc_pause_p50_ns\": %llu, "
-                  "\"gc_pause_p99_ns\": %llu}",
+                  "\"gc_pause_p99_ns\": %llu, "
+                  "\"prof_samples_interp\": %llu, "
+                  "\"prof_samples_graph\": %llu, "
+                  "\"prof_samples_linear\": %llu, "
+                  "\"prof_samples_native\": %llu, "
+                  "\"prof_alloc_samples\": %llu}",
                   S.Id, static_cast<unsigned long long>(S.Ops),
                   static_cast<long long>(S.Checksum),
                   static_cast<unsigned long long>(S.Compilations),
@@ -255,7 +270,12 @@ std::string jvm::workloads::multiTenantJson(const MultiTenantResult &R) {
                   static_cast<unsigned long long>(S.GcRuns),
                   static_cast<unsigned long long>(S.Deopts),
                   static_cast<unsigned long long>(S.GcPauseP50Ns),
-                  static_cast<unsigned long long>(S.GcPauseP99Ns));
+                  static_cast<unsigned long long>(S.GcPauseP99Ns),
+                  static_cast<unsigned long long>(S.ProfSamplesInterp),
+                  static_cast<unsigned long long>(S.ProfSamplesGraph),
+                  static_cast<unsigned long long>(S.ProfSamplesLinear),
+                  static_cast<unsigned long long>(S.ProfSamplesNative),
+                  static_cast<unsigned long long>(S.ProfAllocSamples));
     J += IsoBuf;
   }
   J += "]}";

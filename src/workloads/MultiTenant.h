@@ -104,6 +104,16 @@ struct MultiTenantResult {
     /// histogram (0 when the tenant never scavenged).
     uint64_t GcPauseP50Ns = 0;
     uint64_t GcPauseP99Ns = 0;
+    /// Sampling-profiler self-time by tier for this isolate (tick
+    /// counts; all zero when the profiler is off). Per-isolate
+    /// attribution is the property under test: N isolates × M threads
+    /// share the SIGPROF handler and the per-thread rings, yet every
+    /// sample lands on the isolate whose call was executing.
+    uint64_t ProfSamplesInterp = 0;
+    uint64_t ProfSamplesGraph = 0;
+    uint64_t ProfSamplesLinear = 0;
+    uint64_t ProfSamplesNative = 0;
+    uint64_t ProfAllocSamples = 0;
   };
   std::vector<IsolateStats> PerIsolate;
 };

@@ -1,0 +1,408 @@
+//===- profiler_test.cpp - Sampling profiler across the four tiers -------------===//
+//
+// Covers the sampling profiler end to end: zero cost and zero samples
+// while disabled, tick attribution to the right (isolate, tier, method)
+// under every JVM_EXEC_MODE including the three-way differential,
+// allocation-site sampling determinism under a fixed seed, folded-stack
+// rendering, the prof.* metric gauges, and signal-safety of the SIGPROF
+// handler while GC stress / the parallel scavenger move the heap under
+// it. The profiler is process-global state, so every test starts from a
+// stopped, cleared profiler and leaves it that way.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestPrograms.h"
+#include "jit/NativeCode.h"
+#include "observability/Profiler.h"
+#include "vm/VirtualMachine.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace jvm;
+using namespace jvm::testprogs;
+
+namespace {
+
+#define SKIP_WITHOUT_NATIVE()                                                  \
+  do {                                                                         \
+    if (!nativeBackendSupported())                                             \
+      GTEST_SKIP() << "native backend not built for this host";                \
+  } while (0)
+
+/// Every test runs against the process-global profiler: start stopped
+/// and cleared with the default configuration, leave it that way.
+class ProfilerTest : public ::testing::Test {
+protected:
+  void SetUp() override { reset(); }
+  void TearDown() override { reset(); }
+
+  static void reset() {
+    Profiler &P = Profiler::get();
+    P.stop();
+    P.clear();
+    P.setRateHz(1000);
+    P.setAllocPeriodBytes(0);
+    P.setSeed(0x5EED);
+  }
+};
+
+VMOptions optionsFor(ExecMode Mode) {
+  VMOptions O;
+  O.CompileThreshold = 5;
+  O.Compiler.EAMode = EscapeAnalysisMode::Partial;
+  // Synchronous compilation: the method is on its compiled tier the
+  // moment the threshold crosses, so the sampling loop below spends its
+  // time in the tier under test rather than racing a broker worker.
+  O.CompilerThreads = 0;
+  O.Exec = Mode;
+  return O;
+}
+
+/// Burns CPU in \p VM until the profiler has at least one tick for
+/// \p Iso on \p Tier or the deadline passes. ITIMER_PROF counts CPU
+/// time, so a bounded busy workload is guaranteed to be interrupted.
+bool sampleUntil(VirtualMachine &VM, MethodId M, uint32_t Iso, ProfTier Tier,
+                 std::chrono::seconds Deadline = std::chrono::seconds(20)) {
+  auto Until = std::chrono::steady_clock::now() + Deadline;
+  while (std::chrono::steady_clock::now() < Until) {
+    for (int I = 0; I != 50; ++I)
+      VM.call(M, {Value::makeInt(20000)});
+    if (Profiler::get().samplesForIsolate(Iso, Tier) > 0)
+      return true;
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Disabled path
+//===----------------------------------------------------------------------===//
+
+TEST_F(ProfilerTest, DisabledRecordsNothing) {
+  ASSERT_FALSE(profWantsSamples());
+  ASSERT_FALSE(profWantsAllocSamples());
+  MathProgram MP = makeMathProgram();
+  VirtualMachine VM(MP.P, optionsFor(ExecMode::Linear));
+  for (int I = 0; I != 20; ++I)
+    EXPECT_EQ(VM.call(MP.SumTo, {Value::makeInt(100)}).asInt(), 5050);
+  VM.waitForCompilerIdle();
+  EXPECT_EQ(Profiler::get().totalSamples(), 0u);
+  EXPECT_EQ(Profiler::get().allocSamplesForIsolate(VM.isolate().id()), 0u);
+  EXPECT_TRUE(Profiler::get().renderFolded().empty());
+}
+
+TEST_F(ProfilerTest, ScopeEnteredDisabledIgnoresLateEnable) {
+  // A ProfScope constructed while the profiler is off never touches the
+  // shadow stack, even if the profiler starts before it is destroyed.
+  {
+    ProfScope Outer(ProfTierGraph, 7);
+    Profiler::get().setRateHz(0); // gates only, no timer
+    Profiler::get().start();
+    Outer.setBci(3); // must be a no-op, not a write through null state
+    ProfScope Inner(ProfTierLinear, 8);
+  }
+  Profiler::get().stop();
+  SUCCEED();
+}
+
+//===----------------------------------------------------------------------===//
+// Tick attribution per exec mode
+//===----------------------------------------------------------------------===//
+
+TEST_F(ProfilerTest, AttributesInterpreterTier) {
+  MathProgram MP = makeMathProgram();
+  VMOptions O = optionsFor(ExecMode::Linear);
+  O.EnableJit = false; // interpreter-only: every tick must land on tier 0
+  VirtualMachine VM(MP.P, O);
+  Profiler::get().setRateHz(2000);
+  Profiler::get().start();
+  ASSERT_TRUE(sampleUntil(VM, MP.SumTo, VM.isolate().id(), ProfTierInterp));
+  Profiler::get().stop();
+  uint32_t Iso = VM.isolate().id();
+  EXPECT_GT(Profiler::get().samplesForIsolate(Iso, ProfTierInterp), 0u);
+  EXPECT_EQ(Profiler::get().samplesForIsolate(Iso, ProfTierGraph), 0u);
+  EXPECT_EQ(Profiler::get().samplesForIsolate(Iso, ProfTierLinear), 0u);
+  EXPECT_EQ(Profiler::get().samplesForIsolate(Iso, ProfTierNative), 0u);
+
+  // The hot leaf is sumTo itself.
+  std::vector<Profiler::MethodSamples> Top = Profiler::get().topMethods(Iso, 4);
+  ASSERT_FALSE(Top.empty());
+  EXPECT_EQ(Top[0].Method, int32_t(MP.SumTo));
+  EXPECT_EQ(Profiler::get().methodName(Iso, Top[0].Method), "sumTo");
+}
+
+TEST_F(ProfilerTest, AttributesGraphTier) {
+  MathProgram MP = makeMathProgram();
+  VirtualMachine VM(MP.P, optionsFor(ExecMode::Graph));
+  Profiler::get().setRateHz(2000);
+  Profiler::get().start();
+  ASSERT_TRUE(sampleUntil(VM, MP.SumTo, VM.isolate().id(), ProfTierGraph));
+  Profiler::get().stop();
+  EXPECT_GT(
+      Profiler::get().samplesForIsolate(VM.isolate().id(), ProfTierGraph), 0u);
+}
+
+TEST_F(ProfilerTest, AttributesLinearTier) {
+  MathProgram MP = makeMathProgram();
+  VirtualMachine VM(MP.P, optionsFor(ExecMode::Linear));
+  Profiler::get().setRateHz(2000);
+  Profiler::get().start();
+  ASSERT_TRUE(sampleUntil(VM, MP.SumTo, VM.isolate().id(), ProfTierLinear));
+  Profiler::get().stop();
+  EXPECT_GT(
+      Profiler::get().samplesForIsolate(VM.isolate().id(), ProfTierLinear),
+      0u);
+}
+
+TEST_F(ProfilerTest, AttributesNativeTier) {
+  SKIP_WITHOUT_NATIVE();
+  MathProgram MP = makeMathProgram();
+  VirtualMachine VM(MP.P, optionsFor(ExecMode::Native));
+  Profiler::get().setRateHz(2000);
+  Profiler::get().start();
+  ASSERT_TRUE(sampleUntil(VM, MP.SumTo, VM.isolate().id(), ProfTierNative));
+  Profiler::get().stop();
+  uint32_t Iso = VM.isolate().id();
+  EXPECT_GT(Profiler::get().samplesForIsolate(Iso, ProfTierNative), 0u);
+  // Every native tick either resolved its PC through the CodeCache index
+  // (tick inside machine code) or kept the shadow frame's attribution
+  // (tick inside a C++ helper); none may be fully unattributed.
+  EXPECT_EQ(Profiler::get().unattributedSamples(), 0u);
+}
+
+TEST_F(ProfilerTest, DifferentialModeSamplesCompiledTiers) {
+  MathProgram MP = makeMathProgram();
+  VirtualMachine VM(MP.P, optionsFor(ExecMode::Differential));
+  Profiler::get().setRateHz(2000);
+  Profiler::get().start();
+  // The differential driver re-runs effect-free compiled calls under
+  // every available tier, so ticks land across the compiled tiers; wait
+  // until the total for this isolate is nonzero, then check the split.
+  uint32_t Iso = VM.isolate().id();
+  auto Until = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  uint64_t Compiled = 0;
+  while (std::chrono::steady_clock::now() < Until && !Compiled) {
+    for (int I = 0; I != 50; ++I)
+      VM.call(MP.SumTo, {Value::makeInt(20000)});
+    Compiled = Profiler::get().samplesForIsolate(Iso, ProfTierGraph) +
+               Profiler::get().samplesForIsolate(Iso, ProfTierLinear) +
+               Profiler::get().samplesForIsolate(Iso, ProfTierNative);
+  }
+  Profiler::get().stop();
+  EXPECT_GT(Compiled, 0u)
+      << "no compiled-tier ticks under differential mode";
+}
+
+//===----------------------------------------------------------------------===//
+// Allocation-site sampling
+//===----------------------------------------------------------------------===//
+
+/// Runs the Box-churn workload under allocation sampling with \p Seed
+/// and returns the site table for the isolate. Interpreter-only and
+/// single-threaded, so the allocation sequence is bit-for-bit identical
+/// across runs.
+std::vector<Profiler::AllocSite> churnSites(uint64_t Seed) {
+  ChurnProgram CP = makeChurnProgram();
+  VMOptions O = optionsFor(ExecMode::Linear);
+  O.EnableJit = false;
+  VirtualMachine VM(CP.P, O);
+  Profiler &P = Profiler::get();
+  P.setRateHz(0); // no timer: only the deterministic alloc stream
+  P.setAllocPeriodBytes(512);
+  P.setSeed(Seed);
+  P.start();
+  for (int I = 0; I != 20; ++I)
+    EXPECT_EQ(VM.call(CP.SumBoxes, {Value::makeInt(500)}).asInt(),
+              500 * 499 / 2);
+  P.stop();
+  return P.allocSites(VM.isolate().id());
+}
+
+TEST_F(ProfilerTest, AllocSamplingIsDeterministicUnderFixedSeed) {
+  std::vector<Profiler::AllocSite> A = churnSites(1234);
+  ASSERT_FALSE(A.empty());
+  reset();
+  std::vector<Profiler::AllocSite> B = churnSites(1234);
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I != A.size(); ++I) {
+    EXPECT_EQ(A[I].Method, B[I].Method);
+    EXPECT_EQ(A[I].Bci, B[I].Bci);
+    EXPECT_EQ(A[I].Class, B[I].Class);
+    EXPECT_EQ(A[I].Count, B[I].Count);
+    EXPECT_EQ(A[I].Bytes, B[I].Bytes);
+    EXPECT_EQ(A[I].SizeSum, B[I].SizeSum);
+  }
+
+  reset();
+  // A different seed jitters the budgets differently: same sites, but
+  // (with overwhelming probability over ~200 samples) different counts.
+  std::vector<Profiler::AllocSite> C = churnSites(99991);
+  ASSERT_FALSE(C.empty());
+  bool AnyDifferent = C.size() != A.size();
+  for (size_t I = 0; !AnyDifferent && I != A.size(); ++I)
+    AnyDifferent = A[I].Count != C[I].Count;
+  EXPECT_TRUE(AnyDifferent) << "seed does not influence the sample stream";
+}
+
+TEST_F(ProfilerTest, AllocSamplesCarrySiteAndWeight) {
+  std::vector<Profiler::AllocSite> Sites = churnSites(7);
+  ASSERT_FALSE(Sites.empty());
+  uint64_t TotalWeight = 0;
+  for (const Profiler::AllocSite &S : Sites) {
+    EXPECT_GE(S.Method, 0);
+    EXPECT_GE(S.Bci, 0) << "interpreter alloc sample without a bci";
+    EXPECT_GT(S.Count, 0u);
+    EXPECT_GT(S.SizeSum, 0u);
+    EXPECT_EQ(S.Bytes, S.Count * 512) << "weight must equal count * period";
+    TotalWeight += S.Bytes;
+  }
+  // 20 * 500 Boxes at a 512-byte period: the weighted estimate must be
+  // the right order of magnitude for the ~10k objects actually made.
+  EXPECT_GT(TotalWeight, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Folded output and metrics surface
+//===----------------------------------------------------------------------===//
+
+TEST_F(ProfilerTest, FoldedOutputNamesIsolateAndTier) {
+  MathProgram MP = makeMathProgram();
+  VMOptions O = optionsFor(ExecMode::Linear);
+  O.EnableJit = false;
+  VirtualMachine VM(MP.P, O);
+  Profiler::get().setRateHz(2000);
+  Profiler::get().start();
+  ASSERT_TRUE(sampleUntil(VM, MP.SumTo, VM.isolate().id(), ProfTierInterp));
+  Profiler::get().stop();
+
+  std::string Folded = Profiler::get().renderFolded();
+  std::string Prefix = "isolate-" + std::to_string(VM.isolate().id()) + ";";
+  ASSERT_NE(Folded.find(Prefix), std::string::npos) << Folded;
+  EXPECT_NE(Folded.find("sumTo_[i]"), std::string::npos) << Folded;
+  // Every line is "stack count\n" with a positive trailing integer.
+  size_t Pos = 0;
+  while (Pos < Folded.size()) {
+    size_t Eol = Folded.find('\n', Pos);
+    ASSERT_NE(Eol, std::string::npos);
+    std::string Line = Folded.substr(Pos, Eol - Pos);
+    size_t Space = Line.rfind(' ');
+    ASSERT_NE(Space, std::string::npos) << Line;
+    EXPECT_GT(std::stoull(Line.substr(Space + 1)), 0u) << Line;
+    Pos = Eol + 1;
+  }
+}
+
+TEST_F(ProfilerTest, MetricsGaugesExposeProfilerCounters) {
+  MathProgram MP = makeMathProgram();
+  VMOptions O = optionsFor(ExecMode::Linear);
+  O.EnableJit = false;
+  VirtualMachine VM(MP.P, O);
+  MetricsRegistry &R = VM.metricsRegistry();
+  for (const char *Name :
+       {"prof.samples", "prof.samples_interp", "prof.samples_graph",
+        "prof.samples_linear", "prof.samples_native", "prof.samples_runtime",
+        "prof.alloc_samples", "prof.dropped_samples", "prof.ring_high_water",
+        "prof.ring_capacity", "prof.other_thread_samples",
+        "prof.native_pc_resolved", "prof.native_pc_miss",
+        "prof.truncated_frames", "prof.unattributed"})
+    EXPECT_TRUE(R.has(Name)) << Name;
+
+  Profiler::get().setRateHz(2000);
+  Profiler::get().start();
+  ASSERT_TRUE(sampleUntil(VM, MP.SumTo, VM.isolate().id(), ProfTierInterp));
+  Profiler::get().stop();
+  std::string Text = VM.dumpMetricsText();
+  EXPECT_NE(Text.find("prof.samples_interp"), std::string::npos);
+  // The top-methods provider emits per-method rows once samples exist.
+  EXPECT_NE(Text.find("prof.top.sumTo.samples"), std::string::npos) << Text;
+}
+
+//===----------------------------------------------------------------------===//
+// Signal-safety under GC pressure
+//===----------------------------------------------------------------------===//
+
+/// Churn allocations in \p VM for \p Duration while the SIGPROF handler
+/// fires at a high rate. Any handler/mutator race (half-written shadow
+/// frames, ring corruption, a tick inside TLAB refill or scavenge)
+/// surfaces as a crash or a checksum mismatch here.
+void churnUnderTicks(VirtualMachine &VM, MethodId SumBoxes,
+                     std::chrono::milliseconds Duration) {
+  auto Until = std::chrono::steady_clock::now() + Duration;
+  while (std::chrono::steady_clock::now() < Until)
+    ASSERT_EQ(VM.call(SumBoxes, {Value::makeInt(300)}).asInt(),
+              300 * 299 / 2);
+}
+
+TEST_F(ProfilerTest, SurvivesGcStressWithSampling) {
+  ChurnProgram CP = makeChurnProgram();
+  VMOptions O = optionsFor(ExecMode::Linear);
+  O.Memory.StressGc = true; // scavenge at every allocation
+  VirtualMachine VM(CP.P, O);
+  Profiler &P = Profiler::get();
+  P.setRateHz(4000);
+  P.setAllocPeriodBytes(256);
+  P.start();
+  churnUnderTicks(VM, CP.SumBoxes, std::chrono::milliseconds(1500));
+  P.stop();
+  uint32_t Iso = VM.isolate().id();
+  uint64_t Total = 0;
+  for (uint8_t T = 0; T != ProfNumTiers; ++T)
+    Total += P.samplesForIsolate(Iso, ProfTier(T));
+  EXPECT_GT(Total + P.otherThreadSamples(), 0u);
+  EXPECT_GT(P.allocSamplesForIsolate(Iso), 0u);
+}
+
+TEST_F(ProfilerTest, SurvivesParallelScavengeWithThreadChurn) {
+  ChurnProgram CP = makeChurnProgram();
+  Profiler &P = Profiler::get();
+  P.setRateHz(4000);
+  P.setAllocPeriodBytes(1024);
+  P.start();
+  // Four waves of short-lived mutator threads, each with its own VM:
+  // exercises per-thread state registration, the thread-exit recycling
+  // path, and ticks landing on threads the profiler has never seen.
+  std::mutex IdMutex;
+  std::vector<uint32_t> IsolateIds;
+  for (int Wave = 0; Wave != 4; ++Wave) {
+    std::vector<std::thread> Threads;
+    std::atomic<bool> Failed{false};
+    for (int T = 0; T != 4; ++T)
+      Threads.emplace_back([&CP, &Failed, &IdMutex, &IsolateIds] {
+        VMOptions TO = optionsFor(ExecMode::Linear);
+        TO.Memory.YoungBytes = 1 << 20;
+        TO.Memory.GcWorkers = 4;
+        VirtualMachine VM(CP.P, TO);
+        {
+          std::lock_guard<std::mutex> L(IdMutex);
+          IsolateIds.push_back(VM.isolate().id());
+        }
+        for (int I = 0; I != 200; ++I)
+          if (VM.call(CP.SumBoxes, {Value::makeInt(200)}).asInt() !=
+              200 * 199 / 2)
+            Failed.store(true);
+      });
+    for (std::thread &Th : Threads)
+      Th.join();
+    EXPECT_FALSE(Failed.load());
+  }
+  P.stop();
+  // Accounting stays coherent and something was recorded. Ticks depend
+  // on wall-clock/CPU scheduling, but the alloc stream is volume-driven
+  // (each thread allocates far more than the 1 KB period), so the sum
+  // below is deterministic even on an oversubscribed test machine.
+  uint64_t AllocSamples = 0;
+  for (uint32_t Iso : IsolateIds)
+    AllocSamples += P.allocSamplesForIsolate(Iso);
+  EXPECT_GT(AllocSamples, 0u);
+  EXPECT_GT(P.totalSamples() + P.droppedSamples() + P.otherThreadSamples() +
+                AllocSamples,
+            0u);
+}
+
+} // namespace
