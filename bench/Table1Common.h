@@ -40,7 +40,14 @@ inline int runTable1Suite(const char *Suite, const char *Title) {
       runSuiteTiers(Set, Suite, EscapeAnalysisMode::Partial, Opts);
   std::printf("\n%s", formatTierTable(Tiers).c_str());
 
-  appendTable1Json(Suite, Rows, Opts.VM.Exec, Tiers);
+  // Same rows with PEA on, speculation off vs on: receiver pins and
+  // branch prunes feed PEA (fewer materialize sites), OSR covers the
+  // loop-heavy rows. Checksums are cross-checked inside the harness.
+  std::vector<RowComparison> Spesh =
+      runSuiteSpesh(Set, Suite, EscapeAnalysisMode::Partial, Opts);
+  std::printf("\n%s", formatSpeshTable(Spesh).c_str());
+
+  appendTable1Json(Suite, Rows, Opts.VM.Exec, Tiers, Spesh);
   std::printf("\nper-row records appended to %s\n",
               table1JsonPath().c_str());
   return 0;

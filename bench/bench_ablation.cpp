@@ -12,6 +12,9 @@
 //                   sees the escaping branches instead of Deoptimize
 //                   sinks — the "partial" wins shrink toward the
 //                   all-or-nothing baseline
+//   spesh-plan      the PR 10 speculation planner on top of "full":
+//                   profile-driven receiver pins, argument constants
+//                   and branch prunes as explicit guards before PEA
 //   flow-insensitive / none   reference points
 //
 //===----------------------------------------------------------------------===//
@@ -36,19 +39,24 @@ struct Variant {
   bool LoopPhis;
   bool Liveness;
   bool Speculate;
+  /// Profile-driven speculation planner (PR 10): receiver pins, argument
+  /// constants and branch prunes as explicit guards ahead of PEA.
+  bool Spesh;
 };
 
 } // namespace
 
 int main() {
   const Variant Variants[] = {
-      {"full", EscapeAnalysisMode::Partial, true, true, true},
-      {"no-loop-phis", EscapeAnalysisMode::Partial, false, true, true},
-      {"no-liveness", EscapeAnalysisMode::Partial, true, false, true},
-      {"no-speculation", EscapeAnalysisMode::Partial, true, true, false},
+      {"full", EscapeAnalysisMode::Partial, true, true, true, false},
+      {"no-loop-phis", EscapeAnalysisMode::Partial, false, true, true, false},
+      {"no-liveness", EscapeAnalysisMode::Partial, true, false, true, false},
+      {"no-speculation", EscapeAnalysisMode::Partial, true, true, false,
+       false},
+      {"spesh-plan", EscapeAnalysisMode::Partial, true, true, true, true},
       {"flow-insensitive", EscapeAnalysisMode::FlowInsensitive, true, true,
-       true},
-      {"none", EscapeAnalysisMode::None, true, true, true},
+       true, false},
+      {"none", EscapeAnalysisMode::None, true, true, true, false},
   };
 
   std::printf("Ablation study (see DESIGN.md section 5)\n\n");
@@ -71,6 +79,7 @@ int main() {
       Opts.VM.Compiler.PeaMergeLivenessPruning = V.Liveness;
       Opts.VM.Compiler.PruneColdBranches = V.Speculate;
       Opts.VM.Compiler.Devirtualize = V.Speculate;
+      Opts.VM.Compiler.EnableSpesh = V.Spesh;
       RowMeasurement M = measureRow(Set, *Row, V.Mode, Opts);
       RowTotal += M.Escape;
       std::printf("  %-18s %12.2f %12.1f %14.1f %10u %10u\n", V.Name,

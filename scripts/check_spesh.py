@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Lint for the speculation subsystem's compile-log records and trace.
+
+After a run with JVM_SPESH=1, JVM_COMPILE_LOG=<file> and
+JVM_TRACE=<json>, validates that the planner, the guard machinery and
+the despecialization path agree with each other:
+
+  * guard ids are well-formed: every "deopt ... guard=N" line belongs
+    to a compile record with more than N "spesh guard=" lines (the
+    guard id space IS the record's speculation list),
+  * every "guard-fail" trace instant matches a logged guard: the
+    instant's method has an installed record whose speculation list
+    covers the instant's guard id,
+  * despecialized speculations never come back: once a speculation's
+    guard-failure count crosses the threshold (--threshold, matching
+    JVM_SPESH_THRESHOLD of the run), no later record of that method
+    plans the same (kind, site) again — the blocklist converges, so a
+    blocklisted speculation triggers at most the one recompile that
+    removed it,
+  * "despecialize" trace instants are unique per (method, kind, site):
+    a duplicate would mean the same speculation invalidated the method
+    twice,
+  * at least one record carries speculations at all — an empty
+    intersection would make every check above vacuous (e.g. the planner
+    silently never ran, which is exactly the regression this catches).
+
+Exit status 0 on success, 1 with a diagnostic on the first failure.
+Usage: check_spesh.py <compile-log> <trace.json> [--threshold=N]
+"""
+
+import json
+import re
+import sys
+
+METHOD_RE = re.compile(r"^method m(\d+): ")
+COMPILE_RE = re.compile(r"^  compile #(\d+) hotness=\d+ (installed|DISCARDED) ")
+SPESH_RE = re.compile(r"^    spesh guard=(\d+) kind=(\S+) site=(-?\d+)")
+DEOPT_RE = re.compile(r"^    deopt reason=(\S+) rematerialized=\d+ guard=(\d+)$")
+
+
+def fail(msg):
+    print(f"check_spesh: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def parse_log(path):
+    """Per-method ordered compile records: (seq, installed, specs, deopts)
+    where specs is {guard_id: (kind, site)} and deopts is [guard_id]."""
+    methods = {}
+    method = None
+    record = None
+    with open(path) as f:
+        for line in f:
+            m = METHOD_RE.match(line)
+            if m:
+                method = int(m.group(1))
+                methods.setdefault(method, [])
+                record = None
+                continue
+            m = COMPILE_RE.match(line)
+            if m:
+                if method is None:
+                    fail(f"compile record outside a method block: {line!r}")
+                record = {
+                    "seq": int(m.group(1)),
+                    "installed": m.group(2) == "installed",
+                    "specs": {},
+                    "deopts": [],
+                }
+                methods[method].append(record)
+                continue
+            m = SPESH_RE.match(line)
+            if m:
+                if record is None:
+                    fail(f"spesh line outside a compile record: {line!r}")
+                record["specs"][int(m.group(1))] = (m.group(2), int(m.group(3)))
+                continue
+            m = DEOPT_RE.match(line)
+            if m and record is not None:
+                record["deopts"].append(int(m.group(2)))
+    return methods
+
+
+def load_instants(path, name):
+    """All 'I'-phase trace events with the given name."""
+    with open(path) as f:
+        trace = json.load(f)
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        fail(f"{path}: no traceEvents list")
+    return [e for e in events if e.get("ph") == "I" and e.get("name") == name]
+
+
+def main():
+    if len(sys.argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 1
+    log_path, trace_path = sys.argv[1], sys.argv[2]
+    threshold = 1
+    for arg in sys.argv[3:]:
+        if arg.startswith("--threshold="):
+            threshold = int(arg.split("=", 1)[1])
+        else:
+            fail(f"unknown argument {arg!r}")
+
+    methods = parse_log(log_path)
+
+    # Non-vacuity: the planner must have committed to something.
+    total_specs = sum(
+        len(r["specs"]) for recs in methods.values() for r in recs
+    )
+    if total_specs == 0:
+        fail(f"{log_path}: no speculation records at all "
+             "(was the run missing JVM_SPESH=1?)")
+
+    # Guard ids well-formed within their record, and despecialized
+    # (kind, site) pairs never re-planned by a later compile.
+    for method, recs in sorted(methods.items()):
+        fails_per_site = {}
+        blocked = set()
+        for idx, rec in enumerate(recs):
+            for guard, (kind, site) in sorted(rec["specs"].items()):
+                if (kind, site) in blocked:
+                    fail(f"m{method} compile #{rec['seq']}: speculation "
+                         f"kind={kind} site={site} re-planned after "
+                         f"despecialization")
+            for guard in rec["deopts"]:
+                if guard not in rec["specs"]:
+                    fail(f"m{method} compile #{rec['seq']}: deopt guard={guard} "
+                         f"has no matching spesh record "
+                         f"(plan size {len(rec['specs'])})")
+                key = rec["specs"][guard]
+                fails_per_site[key] = fails_per_site.get(key, 0) + 1
+                if fails_per_site[key] >= threshold:
+                    blocked.add(key)
+
+    # Every guard-fail instant matches a logged guard of its method.
+    for ev in load_instants(trace_path, "guard-fail"):
+        args = ev.get("args", {})
+        method, guard = args.get("method"), args.get("guard")
+        if not isinstance(method, int) or not isinstance(guard, int):
+            fail(f"guard-fail instant without integer method/guard: {ev!r}")
+        recs = methods.get(method, [])
+        if not any(r["installed"] and guard in r["specs"] for r in recs):
+            fail(f"guard-fail instant for m{method} guard={guard} matches no "
+                 f"installed compile record with that guard")
+
+    # Despecialize instants: at most one per (method, kind, site).
+    seen = set()
+    for ev in load_instants(trace_path, "despecialize"):
+        args = ev.get("args", {})
+        method, guard = args.get("method"), args.get("guard")
+        kind = args.get("kind")
+        if not isinstance(method, int) or not isinstance(guard, int):
+            fail(f"despecialize instant without integer method/guard: {ev!r}")
+        site = None
+        for r in methods.get(method, []):
+            if guard in r["specs"] and r["specs"][guard][0] == kind:
+                site = r["specs"][guard][1]
+        if site is None:
+            fail(f"despecialize instant for m{method} guard={guard} "
+                 f"kind={kind} matches no logged speculation")
+        key = (method, kind, site)
+        if key in seen:
+            fail(f"m{method} kind={kind} site={site} despecialized twice")
+        seen.add(key)
+
+    n_methods = sum(1 for recs in methods.values()
+                    if any(r["specs"] for r in recs))
+    print(f"check_spesh: OK: {total_specs} speculations across "
+          f"{n_methods} methods, "
+          f"{len(seen)} despecializations, threshold {threshold}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,46 @@
+# Runs a bench binary with speculation on, the compile log and the
+# tracer armed, then lints the speculation records with check_spesh.py:
+# guard ids match logged speculations, guard-fail instants match logged
+# guards, and despecialized speculations never get re-planned. Invoked
+# by ctest (perf-smoke / spesh labels) via:
+#
+#   cmake -DBENCH=<binary> -DPYTHON=<python3> -DCHECK=<check_spesh.py>
+#         -DOUT=<workdir> -P run_spesh_smoke.cmake
+#
+# JVM_SPESH_THRESHOLD=1 makes the convergence check exact: any guard
+# failure despecializes immediately, so a re-planned speculation in a
+# later record is unambiguously a blocklist bug. The log and trace are
+# removed first so a stale file can never satisfy the check.
+
+foreach(Var BENCH PYTHON CHECK OUT)
+  if(NOT DEFINED ${Var})
+    message(FATAL_ERROR "run_spesh_smoke.cmake: ${Var} not set")
+  endif()
+endforeach()
+
+set(LogFile "${OUT}/spesh_compile.log")
+set(TraceFile "${OUT}/spesh_trace.json")
+file(REMOVE "${LogFile}")
+file(REMOVE "${TraceFile}")
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env
+          "JVM_SPESH=1"
+          "JVM_SPESH_THRESHOLD=1"
+          "JVM_EXEC_MODE=linear"
+          "JVM_COMPILE_LOG=${LogFile}"
+          "JVM_TRACE=${TraceFile}"
+          "JVM_BENCH_WARMUP=4" "JVM_BENCH_MEASURE=3" "JVM_BENCH_REPEATS=1"
+          "JVM_BENCH_JSON=${OUT}/BENCH_table1_spesh_smoke.json"
+          ${BENCH}
+  RESULT_VARIABLE BenchResult)
+if(BenchResult)
+  message(FATAL_ERROR "speculation bench run failed: ${BenchResult}")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${CHECK} ${LogFile} ${TraceFile} --threshold=1
+  RESULT_VARIABLE CheckResult)
+if(CheckResult)
+  message(FATAL_ERROR "speculation record lint failed: ${CheckResult}")
+endif()

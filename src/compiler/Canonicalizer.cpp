@@ -131,6 +131,8 @@ private:
       return visitPhi(cast<PhiNode>(N));
     case NodeKind::If:
       return visitIf(cast<IfNode>(N));
+    case NodeKind::Guard:
+      return visitGuard(cast<GuardNode>(N));
     default:
       return false;
     }
@@ -261,6 +263,23 @@ private:
     if (!Distinct)
       return false; // Degenerate self-only phi; left to the DCE sweep.
     return replace(N, Distinct);
+  }
+
+  /// A guard whose condition proved constant-true always passes: unlink
+  /// it from the fixed chain. (Constant-false guards are left alone —
+  /// LowerGuardsPhase turns them into an If(0) that visitIf folds to the
+  /// unconditional Deoptimize.)
+  bool visitGuard(GuardNode *N) {
+    auto *C = dyn_cast<ConstantIntNode>(N->condition());
+    if (!C || C->value() == 0)
+      return false;
+    FixedNode *Next = N->next();
+    auto *Pred = cast<FixedWithNextNode>(N->predecessor());
+    N->setNext(nullptr);
+    Pred->setNext(nullptr);
+    Pred->setNext(Next);
+    G.deleteNode(N); // Clears the condition and state inputs.
+    return true;
   }
 
   bool visitIf(IfNode *N) {

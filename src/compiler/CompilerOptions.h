@@ -35,6 +35,14 @@ struct CompilerOptions {
   bool Devirtualize = true;
   uint64_t DevirtMinProfile = 20;
 
+  /// Run the speculation planner (spesh/): profile-driven receiver
+  /// pinning, observed-constant arguments and branch pruning expressed
+  /// as explicit GuardNodes in the IR. Off by default; JVM_SPESH=1
+  /// enables it through VMOptions.
+  bool EnableSpesh = false;
+  /// Minimum observation weight before the planner commits a speculation.
+  uint64_t SpeshMinProfile = 20;
+
   /// Inliner limits.
   bool EnableInlining = true;
   unsigned InlineMaxCalleeCodeSize = 80; ///< bytecodes

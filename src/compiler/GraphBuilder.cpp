@@ -32,20 +32,55 @@ struct PendingEdge {
 class GraphBuilderImpl {
 public:
   GraphBuilderImpl(Graph &G, const Program &P, MethodId Method,
-                   const MethodProfile *Prof, const CompilerOptions &Opts)
-      : G(&G), P(P), M(P.methodAt(Method)), Prof(Prof), Opts(Opts) {}
+                   const MethodProfile *Prof, const CompilerOptions &Opts,
+                   const SpeshPlan *Plan = nullptr,
+                   const SpeshSnapshot *Spesh = nullptr)
+      : G(&G), P(P), M(P.methodAt(Method)), Prof(Prof), Opts(Opts),
+        Plan(Plan && !Plan->empty() ? Plan : nullptr), Spesh(Spesh) {}
 
   void run() {
     discoverBlocks();
     findLoops();
     computeRpo();
 
-    // Seed the entry edge: Start flows into the block at bci 0.
-    BuilderState Entry;
-    Entry.Locals.assign(M.NumLocals, nullptr);
-    for (unsigned I = 0, E = M.ParamTypes.size(); I != E; ++I)
-      Entry.Locals[I] = G->param(I);
-    Incoming[0].push_back({G->start(), std::move(Entry)});
+    if (Spesh && Spesh->IsOsr) {
+      // OSR construction: the frame's locals arrive as graph parameters
+      // and execution enters at the loop header, not bci 0. Blocks only
+      // reachable from the skipped preamble never get an incoming edge
+      // and stay unbuilt.
+      BuilderState Entry;
+      Entry.Locals.assign(M.NumLocals, nullptr);
+      for (unsigned I = 0, E = Entry.Locals.size(); I != E; ++I)
+        Entry.Locals[I] = G->param(I);
+      Incoming[blockOf(Spesh->OsrEntryBci)].push_back(
+          {G->start(), std::move(Entry)});
+    } else {
+      // Seed the entry edge: Start flows into the block at bci 0,
+      // through any argument-constant guards the plan requests.
+      BuilderState Entry;
+      Entry.Locals.assign(M.NumLocals, nullptr);
+      for (unsigned I = 0, E = M.ParamTypes.size(); I != E; ++I)
+        Entry.Locals[I] = G->param(I);
+      FixedWithNextNode *EntryTail = G->start();
+      if (Plan)
+        for (unsigned Id = 0, E = Plan->Specs.size(); Id != E; ++Id) {
+          const Speculation &S = Plan->Specs[Id];
+          if (S.Kind != SpeculationKind::ArgConst)
+            continue;
+          Node *Param = Entry.Locals[S.Index];
+          auto *Cmp = G->create<CompareNode>(CmpKind::IntEq, Param,
+                                             G->intConstant(S.IntValue));
+          auto *FS = makeState(Entry, 0, /*Reexecute=*/true);
+          auto *Gd =
+              G->create<GuardNode>(DeoptReason::ValueGuardFailed, Cmp, FS, Id);
+          EntryTail->setNext(Gd);
+          EntryTail = Gd;
+          // Downstream code sees the proven constant, not the parameter
+          // — that is what makes the speculation productive.
+          Entry.Locals[S.Index] = G->intConstant(S.IntValue);
+        }
+      Incoming[0].push_back({EntryTail, std::move(Entry)});
+    }
 
     for (int B : Rpo)
       processBlock(B);
@@ -53,6 +88,26 @@ public:
     // Branch pruning can leave unreachable regions and loops without
     // back edges; normalize before handing the graph to the phases.
     G->sweepUnreachable();
+  }
+
+  /// Structural half of the OSR-entry check (see osrEntrySupported):
+  /// \p Bci leads a loop header that no other loop's body contains.
+  bool osrHeaderAt(int Bci) {
+    discoverBlocks();
+    findLoops();
+    if (Bci < 0 || Bci >= static_cast<int>(BlockIndexOf.size()) ||
+        BlockIndexOf[Bci] < 0)
+      return false;
+    int H = BlockIndexOf[Bci];
+    if (!LoopBody.count(H))
+      return false;
+    // A header nested in an outer loop is out: the outer loop's
+    // LoopBegin never materializes in an OSR graph entered here, so its
+    // back edge would have nothing to attach to.
+    for (const auto &[Header, Body] : LoopBody)
+      if (Header != H && Body.count(H))
+        return false;
+    return true;
   }
 
 private:
@@ -563,6 +618,21 @@ private:
     }
   }
 
+  /// The plan's speculation of kind \p K at bytecode \p Bci, if any;
+  /// \p Id receives its plan index (== the guard id it is planted with).
+  const Speculation *findSpec(SpeculationKind K, int Bci, uint32_t &Id) const {
+    if (!Plan)
+      return nullptr;
+    for (unsigned I = 0, E = Plan->Specs.size(); I != E; ++I) {
+      const Speculation &S = Plan->Specs[I];
+      if (S.Kind == K && S.Bci == Bci) {
+        Id = I;
+        return &S;
+      }
+    }
+    return nullptr;
+  }
+
   void translateBranch(int B, int Bci, const Instr &I) {
     // Snapshot before popping: the deopt re-executes the branch.
     BuilderState Pre = Cur;
@@ -613,6 +683,27 @@ private:
     }
     }
 
+    // Planned branch prune: the hot direction continues as straight-line
+    // code behind a GuardNode (PEA never sees a split), the cold
+    // direction lives only in the guard's deopt state. This subsumes the
+    // legacy If+Deoptimize diamond below for this site.
+    uint32_t SpecId = NoSpeculationId;
+    if (const Speculation *BS =
+            findSpec(SpeculationKind::BranchPrune, Bci, SpecId)) {
+      bool HotOnTrue = BS->TakenIsHot == TakenOnTrue;
+      Node *GuardCond =
+          HotOnTrue ? Cond
+                    : G->create<CompareNode>(CmpKind::IntEq, Cond,
+                                             G->intConstant(0));
+      auto *FS = makeState(Pre, Bci, /*Reexecute=*/true);
+      auto *Gd = G->create<GuardNode>(DeoptReason::BranchNeverTaken, GuardCond,
+                                      FS, SpecId);
+      appendFixed(Gd);
+      int Hot = BS->TakenIsHot ? blockOf(I.A) : blockOf(Bci + 1);
+      emitEdge(B, Hot, Tail, std::move(Cur));
+      return;
+    }
+
     bool PruneTaken = false, PruneFallthrough = false;
     const BranchProfile *BP = Prof ? Prof->branchAt(Bci) : nullptr;
     if (Opts.PruneColdBranches && BP && BP->total() >= Opts.PruneMinProfile) {
@@ -657,7 +748,25 @@ private:
     MethodId Target = I.A;
     CallKind Kind = I.Op == Opcode::InvokeStatic ? CallKind::Static
                                                  : CallKind::Virtual;
-    if (Kind == CallKind::Virtual && Opts.Devirtualize && Prof) {
+    uint32_t SpecId = NoSpeculationId;
+    const Speculation *Pin =
+        Kind == CallKind::Virtual
+            ? findSpec(SpeculationKind::ReceiverPin, Bci, SpecId)
+            : nullptr;
+    if (Pin) {
+      // Planned receiver pin: same exact-type speculation as the legacy
+      // devirtualization diamond below, but expressed as a GuardNode so
+      // escape analysis sees one straight-line block, and attributable
+      // to the plan on failure.
+      auto *Check =
+          G->create<InstanceOfNode>(Pin->Receiver, /*Exact=*/true, Args[0]);
+      auto *FS = makeState(Pre, Bci, /*Reexecute=*/true);
+      auto *Gd = G->create<GuardNode>(DeoptReason::TypeGuardFailed, Check, FS,
+                                      SpecId);
+      appendFixed(Gd);
+      Target = P.resolveVirtual(I.A, Pin->Receiver);
+      Kind = CallKind::Static;
+    } else if (Kind == CallKind::Virtual && Opts.Devirtualize && Prof) {
       const TypeProfile *TP = Prof->receiversAt(Bci);
       ClassId Mono = TP ? TP->monomorphicClass() : NoClass;
       if (Mono != NoClass && TP->total() >= Opts.DevirtMinProfile) {
@@ -693,6 +802,8 @@ private:
   const MethodInfo &M;
   const MethodProfile *Prof;
   const CompilerOptions &Opts;
+  const SpeshPlan *Plan;       ///< non-null and non-empty, or null
+  const SpeshSnapshot *Spesh;  ///< OSR entry spec source (may be null)
 
   std::vector<Block> Blocks;
   std::vector<int> BlockIndexOf; ///< bci -> block index (leaders only)
@@ -712,8 +823,22 @@ private:
 
 void jvm::buildGraphInto(Graph &G, const Program &P, MethodId Method,
                          const MethodProfile *Profile,
-                         const CompilerOptions &Options) {
-  GraphBuilderImpl(G, P, Method, Profile, Options).run();
+                         const CompilerOptions &Options,
+                         const SpeshPlan *Plan, const SpeshSnapshot *Spesh) {
+  GraphBuilderImpl(G, P, Method, Profile, Options, Plan, Spesh).run();
+}
+
+bool jvm::osrEntrySupported(const Program &P, MethodId Method, int Bci) {
+  const MethodInfo &M = P.methodAt(Method);
+  if (Bci < 0 || Bci >= static_cast<int>(M.Code.size()))
+    return false;
+  // A frame holding monitors cannot be rebuilt from locals alone.
+  for (const Instr &I : M.Code)
+    if (I.Op == Opcode::MonEnter)
+      return false;
+  Graph Scratch(Method, M.ParamTypes);
+  CompilerOptions Opts;
+  return GraphBuilderImpl(Scratch, P, Method, nullptr, Opts).osrHeaderAt(Bci);
 }
 
 std::unique_ptr<Graph> jvm::buildGraph(const Program &P, MethodId Method,

@@ -20,6 +20,7 @@
 #include "interp/Profile.h"
 #include "bytecode/Program.h"
 #include "ir/Graph.h"
+#include "spesh/SpeshPlan.h"
 
 #include <memory>
 
@@ -30,9 +31,27 @@ namespace jvm {
 /// \p Profile may be null (no speculation). The method must verify.
 /// This is the phase-plan entry point: GraphBuildPhase runs it on the
 /// empty graph the pipeline driver allocates.
+///
+/// \p Plan, when non-null, is the committed speculation plan: the
+/// builder plants one GuardNode per speculation (guard id = plan index)
+/// instead of the legacy If-diamond pruning/devirtualization at those
+/// sites. \p Spesh, when non-null with IsOsr set, switches to on-stack
+/// replacement construction: \p G must have been created with
+/// OsrLocalTypes as its parameter types, every local is seeded from the
+/// matching parameter, and the entry edge flows into the loop header at
+/// OsrEntryBci rather than bci 0 (preamble blocks stay unbuilt).
 void buildGraphInto(Graph &G, const Program &P, MethodId Method,
                     const MethodProfile *Profile,
-                    const CompilerOptions &Options);
+                    const CompilerOptions &Options,
+                    const SpeshPlan *Plan = nullptr,
+                    const SpeshSnapshot *Spesh = nullptr);
+
+/// True if \p Bci can host an on-stack-replacement entry: it leads a
+/// natural-loop header that is not nested inside another loop, and the
+/// method takes no monitors (a frame with held locks cannot be rebuilt
+/// from locals alone). Structural only — the runtime adds its own
+/// conditions (empty operand stack, fully typed locals) per attempt.
+bool osrEntrySupported(const Program &P, MethodId Method, int Bci);
 
 /// Convenience wrapper: allocates the graph and builds into it.
 std::unique_ptr<Graph> buildGraph(const Program &P, MethodId Method,

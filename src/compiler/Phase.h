@@ -28,6 +28,7 @@
 #include "compiler/CompilerOptions.h"
 #include "interp/Profile.h"
 #include "pea/PartialEscapeAnalysis.h"
+#include "spesh/SpeshPlan.h"
 
 #include <cstdint>
 #include <memory>
@@ -139,6 +140,16 @@ struct PhaseContext {
   /// (non-composite) phase execution — the compilation log's record of
   /// what the pipeline actually did, in order.
   std::vector<PhaseTrailEntry> *Trail = nullptr;
+  /// Per-compilation speculation statistics snapshot (null: speculation
+  /// off, or a legacy caller that never threads one). Input to the
+  /// "spesh" planner phase and, for OSR compiles, the source of the
+  /// graph builder's entry spec (OsrEntryBci / OsrLocalTypes).
+  const SpeshSnapshot *Spesh = nullptr;
+  /// The plan the "spesh" phase committed to: the graph-building phase
+  /// consumes it (guard emission), and the pipeline driver harvests it
+  /// into CompileResult so installation can map guard ids back to
+  /// speculations. Empty when the planner did not run or found nothing.
+  SpeshPlan SpeshOut;
   /// Block structure + floating-node placement of the final graph, set by
   /// the "schedule" phase (see compiler/Schedule.h). The backend's linear
   /// code generator consumes it; plans without the phase leave it null

@@ -9,6 +9,7 @@
 #include "ir/Verifier.h"
 #include "observability/Trace.h"
 #include "pea/EscapePhases.h"
+#include "spesh/SpeshPhases.h"
 
 #include <chrono>
 #include <cstdio>
@@ -144,6 +145,11 @@ bool FixpointPhase::run(Graph &G, PhaseContext &Ctx) const {
 
 PhasePlan jvm::makeDefaultPhasePlan(const CompilerOptions &Options) {
   PhasePlan Plan;
+  // The speculation planner runs before graph construction: the builder
+  // consumes the committed plan (Ctx.SpeshOut) while translating
+  // bytecode, so PEA already sees the guarded, pruned graph.
+  if (Options.EnableSpesh)
+    Plan.append<SpeshPlanPhase>();
   Plan.append<GraphBuildPhase>();
   Plan.append<CanonicalizerPhase>();
   if (Options.EnableInlining) {
@@ -162,6 +168,11 @@ PhasePlan jvm::makeDefaultPhasePlan(const CompilerOptions &Options) {
     Plan.append<PartialEscapePhase>();
     break;
   }
+  // Guards stay first-class through escape analysis (PEA treats them as
+  // straight-line fixed nodes); lower them to If+Deoptimize diamonds only
+  // now, so the cleanup fixpoint and the backend see plain control flow.
+  if (Options.EnableSpesh)
+    Plan.append<LowerGuardsPhase>();
   FixpointPhase &Cleanup =
       Plan.append<FixpointPhase>("cleanup", Options.CleanupFixpointMaxRounds);
   Cleanup.append<CanonicalizerPhase>();

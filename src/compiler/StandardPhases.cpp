@@ -14,7 +14,8 @@ using namespace jvm;
 
 bool GraphBuildPhase::run(Graph &G, PhaseContext &Ctx) const {
   buildGraphInto(G, Ctx.P, Ctx.Method, &Ctx.Profiles.of(Ctx.Method),
-                 Ctx.Options);
+                 Ctx.Options, Ctx.SpeshOut.empty() ? nullptr : &Ctx.SpeshOut,
+                 Ctx.Spesh);
   return true;
 }
 

@@ -198,8 +198,17 @@ Value Interpreter::execute(Frame &F, int EntryBci) {
     }
 
     case Opcode::Goto:
-      if (I.A <= Pc)
+      if (I.A <= Pc) {
         ++Prof.BackedgeCount;
+        // OSR attempt: the frame stays in ActiveFrames while the hook
+        // (and any compiled code it enters) runs, so Locals remain
+        // rooted and GC-updated throughout.
+        if (Osr && Stack.empty()) {
+          Value OsrResult;
+          if (Osr(M.Id, I.A, Locals, OsrResult))
+            return Ret(OsrResult);
+        }
+      }
       Pc = I.A;
       continue;
 
@@ -236,8 +245,14 @@ Value Interpreter::execute(Frame &F, int EntryBci) {
       }
       BranchProfile &BP = Prof.Branches[Pc];
       (Taken ? BP.Taken : BP.NotTaken)++;
-      if (Taken && I.A <= Pc)
+      if (Taken && I.A <= Pc) {
         ++Prof.BackedgeCount;
+        if (Osr && Stack.empty()) {
+          Value OsrResult;
+          if (Osr(M.Id, I.A, Locals, OsrResult))
+            return Ret(OsrResult);
+        }
+      }
       Pc = Taken ? I.A : Pc + 1;
       continue;
     }

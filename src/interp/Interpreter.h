@@ -36,6 +36,16 @@ struct ResumeFrame {
 /// Dispatches a call to \p Target (already devirtualized) with \p Args.
 using CallHandler = std::function<Value(MethodId Target, std::vector<Value> &&Args)>;
 
+/// On-stack replacement hook, consulted at counted loop back edges when
+/// the operand stack is empty. \p Locals is the live frame (rooted and
+/// GC-updated for the duration of the call). Returning true means
+/// compiled code finished the activation: \p Result carries the method's
+/// return value and the interpreter abandons the frame. Returning false
+/// continues interpreting at \p TargetBci.
+using OsrHandler = std::function<bool(MethodId Method, int TargetBci,
+                                      std::vector<Value> &Locals,
+                                      Value &Result)>;
+
 class Interpreter {
 public:
   Interpreter(Runtime &RT, ProfileData &Profiles);
@@ -51,6 +61,10 @@ public:
 
   /// Installs the tiered-dispatch hook. Default: recursive interpretation.
   void setCallHandler(CallHandler Handler) { Callback = std::move(Handler); }
+
+  /// Installs the on-stack-replacement hook. Default: none (loops run to
+  /// completion in the interpreter and only whole-method entries tier up).
+  void setOsrHandler(OsrHandler Handler) { Osr = std::move(Handler); }
 
   Runtime &runtime() { return RT; }
 
@@ -68,6 +82,7 @@ private:
   const Program &P;
   ProfileData &Profiles;
   CallHandler Callback;
+  OsrHandler Osr;
   /// Active frames, registered as GC roots.
   std::vector<Frame *> ActiveFrames;
   /// Resume-frame vectors currently being worked through by resume():

@@ -66,7 +66,13 @@ Node *cloneShell(Graph &Dest, const Node *N) {
                                        : nullptr);
   case NodeKind::Deoptimize: {
     const auto *D = cast<DeoptimizeNode>(N);
-    return Dest.create<DeoptimizeNode>(D->reason(), D->state());
+    return Dest.create<DeoptimizeNode>(D->reason(), D->state(),
+                                       D->speculationId());
+  }
+  case NodeKind::Guard: {
+    const auto *Gd = cast<GuardNode>(N);
+    return Dest.create<GuardNode>(Gd->reason(), Gd->condition(), Gd->state(),
+                                  Gd->speculationId());
   }
   case NodeKind::Unreachable:
     return Dest.create<UnreachableNode>();

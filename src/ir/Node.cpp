@@ -80,6 +80,8 @@ const char *jvm::nodeKindName(NodeKind K) {
     return "Invoke";
   case NodeKind::Materialize:
     return "Materialize";
+  case NodeKind::Guard:
+    return "Guard";
   }
   jvm_unreachable("unknown node kind");
 }

@@ -75,11 +75,12 @@ enum class NodeKind : uint8_t {
   MonitorExit,
   Invoke,
   Materialize,
+  Guard,
 };
 
 constexpr NodeKind FirstFixedKind = NodeKind::End;
 constexpr NodeKind FirstFixedWithNextKind = NodeKind::Start;
-constexpr NodeKind LastNodeKind = NodeKind::Materialize;
+constexpr NodeKind LastNodeKind = NodeKind::Guard;
 
 /// Returns a short printable mnemonic for \p K.
 const char *nodeKindName(NodeKind K);

@@ -55,6 +55,8 @@ const char *jvm::deoptReasonName(DeoptReason R) {
     return "branch-never-taken";
   case DeoptReason::TypeGuardFailed:
     return "type-guard-failed";
+  case DeoptReason::ValueGuardFailed:
+    return "value-guard-failed";
   }
   jvm_unreachable("unknown deopt reason");
 }

@@ -459,20 +459,31 @@ public:
 enum class DeoptReason : uint8_t {
   BranchNeverTaken, ///< Profile-pruned branch was reached after all.
   TypeGuardFailed,  ///< Speculatively devirtualized receiver had another type.
+  ValueGuardFailed, ///< Speculated constant value was different after all.
 };
 
 const char *deoptReasonName(DeoptReason R);
+
+/// Marks a Deoptimize/Guard that was not planted by the speculation
+/// planner (builder-inserted branch pruning and devirtualization guards).
+/// Planner speculations carry their index into the method's SpeshPlan so
+/// guard failures can be attributed and blocklisted.
+constexpr uint32_t NoSpeculationId = ~0u;
 
 /// Control sink transferring execution back to the interpreter using the
 /// attached frame state. Inputs: [FrameState].
 class DeoptimizeNode : public FixedNode {
 public:
-  DeoptimizeNode(DeoptReason Reason, FrameStateNode *State)
-      : FixedNode(NodeKind::Deoptimize, ValueType::Void), Reason(Reason) {
+  DeoptimizeNode(DeoptReason Reason, FrameStateNode *State,
+                 uint32_t SpeculationId = NoSpeculationId)
+      : FixedNode(NodeKind::Deoptimize, ValueType::Void), Reason(Reason),
+        SpecId(SpeculationId) {
     appendInput(State);
   }
 
   DeoptReason reason() const { return Reason; }
+  /// Index into the method's speculation plan, or NoSpeculationId.
+  uint32_t speculationId() const { return SpecId; }
   FrameStateNode *state() const {
     return static_cast<FrameStateNode *>(input(0));
   }
@@ -483,6 +494,7 @@ public:
 
 private:
   DeoptReason Reason;
+  uint32_t SpecId;
 };
 
 /// Control sink for paths that must never execute (verifier-provable dead
@@ -519,6 +531,7 @@ public:
     case NodeKind::MonitorExit:
     case NodeKind::Invoke:
     case NodeKind::Materialize:
+    case NodeKind::Guard:
       return true;
     default:
       return false;
@@ -813,6 +826,35 @@ private:
 
   std::vector<int> LockDepths;
   std::vector<unsigned> EntryCounts;
+};
+
+/// Speculation guard: deoptimizes to the interpreter when Condition
+/// evaluates to zero. Inputs: [Condition, FrameState]; the frame state is
+/// a Reexecute state at the guarded bytecode, so a failing guard re-runs
+/// the instruction unspeculated. Guards are planted by the spesh planner
+/// (and the graph builder, for plan-driven specializations) before escape
+/// analysis; LowerGuardsPhase expands each one to If/Begin/Deoptimize
+/// after PEA, so schedulers, executors and backends never see one.
+class GuardNode : public StatefulNode {
+public:
+  GuardNode(DeoptReason Reason, Node *Condition, FrameStateNode *State,
+            uint32_t SpeculationId = NoSpeculationId)
+      : StatefulNode(NodeKind::Guard, ValueType::Void), Reason(Reason),
+        SpecId(SpeculationId) {
+    appendInput(Condition);
+    appendInput(State);
+  }
+
+  Node *condition() const { return input(0); }
+  DeoptReason reason() const { return Reason; }
+  /// Index into the method's speculation plan, or NoSpeculationId.
+  uint32_t speculationId() const { return SpecId; }
+
+  static bool classof(const Node *N) { return N->kind() == NodeKind::Guard; }
+
+private:
+  DeoptReason Reason;
+  uint32_t SpecId;
 };
 
 /// The runtime object produced for one virtual object by a Materialize

@@ -74,9 +74,22 @@ std::string jvm::nodeLabel(const Node *N) {
        << " m" << Call->callee() << ')';
     break;
   }
-  case NodeKind::Deoptimize:
-    OS << '(' << deoptReasonName(cast<DeoptimizeNode>(N)->reason()) << ')';
+  case NodeKind::Deoptimize: {
+    const auto *D = cast<DeoptimizeNode>(N);
+    OS << '(' << deoptReasonName(D->reason());
+    if (D->speculationId() != NoSpeculationId)
+      OS << ",spec=" << D->speculationId();
+    OS << ')';
     break;
+  }
+  case NodeKind::Guard: {
+    const auto *Gd = cast<GuardNode>(N);
+    OS << '(' << deoptReasonName(Gd->reason());
+    if (Gd->speculationId() != NoSpeculationId)
+      OS << ",spec=" << Gd->speculationId();
+    OS << ')';
+    break;
+  }
   default:
     break;
   }

@@ -164,6 +164,14 @@ private:
       if (Ret->hasValue() && !Ret->value())
         problem(N, "return with null value");
     }
+    if (auto *Gd = dyn_cast<GuardNode>(N)) {
+      if (!Gd->condition() || Gd->condition()->type() != ValueType::Int)
+        problem(N, "guard condition must be an Int value");
+      if (!Gd->state())
+        problem(N, "guard without a frame state");
+      else if (!Gd->state()->isReexecute())
+        problem(N, "guard state must re-execute the guarded instruction");
+    }
   }
 
   const Graph &G;

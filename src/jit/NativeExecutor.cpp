@@ -134,6 +134,8 @@ extern "C" void jvmNativeInvoke(NativeContext *C, Value *R,
     if (!Receiver)
       reportCompiledTrap(L.method(), "null receiver");
     Target = C->RT->program().resolveVirtual(D.Callee, Receiver->objectClass());
+    if (C->Exec->receiverProfile() && D.Bci >= 0)
+      C->Exec->receiverProfile()(L.method(), D.Bci, Receiver->objectClass());
   }
   R[I.Dst] = C->Exec->callHandler()(Target, std::move(CallArgs));
 }

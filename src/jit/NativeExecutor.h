@@ -30,16 +30,24 @@ public:
   /// Executes \p N with \p Args; returns the method result.
   Value execute(const NativeCode &N, const std::vector<Value> &Args);
 
+  /// Installs the virtual-dispatch receiver feed (speculation
+  /// statistics), mirroring LinearExecutor::setReceiverProfile.
+  void setReceiverProfile(ReceiverProfileFn Fn) {
+    ProfileReceiver = std::move(Fn);
+  }
+
   // Accessors for the extern "C" helper symbols (NativeExecutor.cpp);
   // not meant for general use.
   const CallHandler &callHandler() const { return Call; }
   const DeoptHandlerFn &deoptHandler() const { return Deopt; }
+  const ReceiverProfileFn &receiverProfile() const { return ProfileReceiver; }
   std::vector<Value> &matScratch() { return MatScratch; }
 
 private:
   Runtime &RT;
   CallHandler Call;
   DeoptHandlerFn Deopt;
+  ReceiverProfileFn ProfileReceiver;
   NativeContext Ctx;
   /// Register frames by recursion depth; entries stay allocated between
   /// calls (cleared on reuse) so steady-state execution never mallocs.

@@ -12,13 +12,13 @@ void CompileLog::addRecord(unsigned Method, Record R) {
 }
 
 void CompileLog::addDeopt(unsigned Method, const char *Reason,
-                          uint32_t Rematerialized) {
+                          uint32_t Rematerialized, uint32_t GuardId) {
   std::lock_guard<std::mutex> L(Mutex);
   std::vector<Record> &Hist = PerMethod[Method];
   for (auto It = Hist.rbegin(); It != Hist.rend(); ++It) {
     if (!It->Installed)
       continue;
-    It->Deopts.push_back(DeoptRec{Reason, Rematerialized});
+    It->Deopts.push_back(DeoptRec{Reason, Rematerialized, GuardId});
     return;
   }
 }
@@ -84,10 +84,22 @@ std::string CompileLog::renderText() const {
                       static_cast<unsigned long long>(R.NativeBytes));
         Out += Buf;
       }
-      for (const DeoptRec &D : R.Deopts) {
+      for (size_t I = 0; I != R.Speculations.size(); ++I) {
+        const SpeshRec &S = R.Speculations[I];
         std::snprintf(Buf, sizeof(Buf),
-                      "    deopt reason=%s rematerialized=%u\n",
-                      D.Reason.c_str(), D.Rematerialized);
+                      "    spesh guard=%zu kind=%s site=%d %s\n", I,
+                      S.Kind.c_str(), S.Site, S.Detail.c_str());
+        Out += Buf;
+      }
+      for (const DeoptRec &D : R.Deopts) {
+        if (D.GuardId == NoGuard)
+          std::snprintf(Buf, sizeof(Buf),
+                        "    deopt reason=%s rematerialized=%u\n",
+                        D.Reason.c_str(), D.Rematerialized);
+        else
+          std::snprintf(Buf, sizeof(Buf),
+                        "    deopt reason=%s rematerialized=%u guard=%u\n",
+                        D.Reason.c_str(), D.Rematerialized, D.GuardId);
         Out += Buf;
       }
     }

@@ -42,10 +42,26 @@ public:
     bool Changed = false;
   };
 
+  /// GuardId sentinel for deopts not tied to a speculation-plan guard
+  /// (mirrors NoSpeculationId; the log layer has no IR dependency).
+  static constexpr uint32_t NoGuard = ~0u;
+
   /// One deoptimization taken by installed code.
   struct DeoptRec {
     std::string Reason;
     uint32_t Rematerialized = 0; ///< virtual objects rebuilt on the heap
+    /// Speculation-plan index of the failing guard, or NoGuard for
+    /// builder-inserted deopts (legacy branch pruning / devirt).
+    uint32_t GuardId = NoGuard;
+  };
+
+  /// One speculation the planner committed to in one pipeline run.
+  /// Index in the Speculations vector == the guard id failing deopts
+  /// report, so the log alone links a guard-fail back to its decision.
+  struct SpeshRec {
+    std::string Kind; ///< "receiver-pin" / "arg-const" / "branch-prune"
+    int Site = 0;     ///< bci (receiver-pin, branch-prune) or arg index
+    std::string Detail; ///< pinned class / constant value / direction
   };
 
   /// PEA work done by one pipeline run (mirrors PEAStats, flattened so
@@ -71,6 +87,8 @@ public:
     uint64_t NativeBytes = 0;     ///< installed machine-code bytes (0: fell
                                   ///< back to the linear tier)
     std::vector<PhaseRec> Phases;
+    /// The speculation plan this compile was built with (guard id space).
+    std::vector<SpeshRec> Speculations;
     std::vector<DeoptRec> Deopts; ///< appended while this code is live
   };
 
@@ -82,7 +100,8 @@ public:
   /// Attributes a deoptimization to \p Method's latest installed record
   /// (no-op if the method has none — e.g. its code was logged before an
   /// invalidation raced the log, or compilation was synchronous-legacy).
-  void addDeopt(unsigned Method, const char *Reason, uint32_t Rematerialized);
+  void addDeopt(unsigned Method, const char *Reason, uint32_t Rematerialized,
+                uint32_t GuardId = NoGuard);
 
   /// Copy of \p Method's history (copied under the lock; cheap at test
   /// scale, race-free at broker scale).

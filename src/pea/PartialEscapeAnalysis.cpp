@@ -691,6 +691,17 @@ private:
       return;
     }
 
+    case NodeKind::Guard: {
+      // The speculated condition may test a virtual object (e.g. a pinned
+      // receiver type check); fold it like any floating check and
+      // virtualize the attached deopt state so guarded regions do not
+      // force materialization.
+      auto *Gd = cast<GuardNode>(N);
+      foldCheckInput(S, Gd, 0);
+      processStateOn(Gd, Gd->state(), S);
+      return;
+    }
+
     case NodeKind::LoadStatic:
     case NodeKind::Materialize:
       return;

@@ -1,0 +1,52 @@
+//===- SpeshPhases.cpp - Speculation pipeline phases --------------------------===//
+
+#include "spesh/SpeshPhases.h"
+
+#include "ir/Graph.h"
+#include "spesh/SpeshPlanner.h"
+#include "support/Casting.h"
+
+using namespace jvm;
+
+bool SpeshPlanPhase::run(Graph &, PhaseContext &Ctx) const {
+  if (!Ctx.Spesh)
+    return false;
+  Ctx.SpeshOut = planSpeculations(*Ctx.Spesh, Ctx.P, Ctx.Method);
+  return false; // The graph (still Start + parameters) is untouched.
+}
+
+bool LowerGuardsPhase::run(Graph &G, PhaseContext &Ctx) const {
+  (void)Ctx;
+  // Collect first: expansion allocates nodes, which would invalidate a
+  // live iteration over the id space.
+  std::vector<GuardNode *> Guards;
+  for (unsigned Id = 0, E = G.nodeIdBound(); Id != E; ++Id)
+    if (auto *Gd = dyn_cast_or_null<GuardNode>(G.nodeAt(Id)))
+      Guards.push_back(Gd);
+
+  for (GuardNode *Gd : Guards) {
+    Node *Cond = Gd->condition();
+    FrameStateNode *State = Gd->state();
+    DeoptReason Reason = Gd->reason();
+    uint32_t SpecId = Gd->speculationId();
+
+    FixedNode *Next = Gd->next();
+    auto *Pred = cast<FixedWithNextNode>(Gd->predecessor());
+    Gd->setNext(nullptr);
+    Pred->setNext(nullptr);
+
+    auto *If = G.create<IfNode>(Cond);
+    // A guard exists because the profile never saw it fail.
+    If->setTrueProbability(1.0);
+    auto *TrueBegin = G.create<BeginNode>();
+    auto *FalseBegin = G.create<BeginNode>();
+    If->setTrueSuccessor(TrueBegin);
+    If->setFalseSuccessor(FalseBegin);
+    TrueBegin->setNext(Next);
+    FalseBegin->setNext(G.create<DeoptimizeNode>(Reason, State, SpecId));
+    Pred->setNext(If);
+
+    G.deleteNode(Gd); // Clears the condition/state inputs.
+  }
+  return !Guards.empty();
+}

@@ -1,0 +1,49 @@
+//===- SpeshPhases.h - Speculation pipeline phases ------------------*- C++ -*-===//
+///
+/// \file
+/// The speculation subsystem's two pipeline stages:
+///
+///  - SpeshPlanPhase ("spesh"): the broker pre-pass. Runs before graph
+///    building, converts the compilation's SpeshSnapshot into the
+///    SpeshPlan the builder consumes (PhaseContext::SpeshOut). Leaves the
+///    graph untouched.
+///
+///  - LowerGuardsPhase ("lower-guards"): runs after escape analysis and
+///    expands every GuardNode into the explicit If / Begin / Deoptimize
+///    diamond the execution tiers understand. Keeping guards as single
+///    straight-line nodes until this point is what lets PEA see the
+///    speculated method as branch-free: the pruned paths simply do not
+///    exist while allocations are being virtualized.
+///
+/// Like the escape phases (pea/EscapePhases.h), these implement the
+/// compiler's header-only Phase interface from below it in the link
+/// order: jvm_compiler links jvm_spesh, never the reverse.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_SPESH_SPESHPHASES_H
+#define JVM_SPESH_SPESHPHASES_H
+
+#include "compiler/Phase.h"
+
+namespace jvm {
+
+/// Snapshot -> plan. Must run before the graph-building phase.
+class SpeshPlanPhase : public Phase {
+public:
+  const char *name() const override { return "spesh"; }
+  bool run(Graph &G, PhaseContext &Ctx) const override;
+};
+
+/// Guard -> If/Begin/Deoptimize expansion. Must run after the escape
+/// phase (guards are why PEA sees straight-line code) and before
+/// scheduling (the backends have no Guard lowering of their own).
+class LowerGuardsPhase : public Phase {
+public:
+  const char *name() const override { return "lower-guards"; }
+  bool run(Graph &G, PhaseContext &Ctx) const override;
+};
+
+} // namespace jvm
+
+#endif // JVM_SPESH_SPESHPHASES_H

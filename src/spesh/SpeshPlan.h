@@ -1,0 +1,131 @@
+//===- SpeshPlan.h - Speculation plans and profile snapshots --------*- C++ -*-===//
+///
+/// \file
+/// The value types the speculation subsystem exchanges with the
+/// compilation pipeline:
+///
+///  - Speculation / SpeshPlan: the planner's output — an ordered list of
+///    profile-justified assumptions the graph builder turns into explicit
+///    GuardNodes. A speculation's index in the plan IS its guard id: the
+///    GuardNode carries it, the lowered Deoptimize carries it, and a
+///    failing guard reports it back so the isolate can attribute the
+///    failure to exactly one planner decision.
+///
+///  - SpeshSnapshot: the immutable per-compilation view of the durable
+///    speculation statistics (SpeshStats), taken on the mutator thread at
+///    enqueue time — the same snapshot-at-enqueue discipline as
+///    ProfileSnapshot, so broker workers never race the mutator's profile
+///    updates. It also carries the on-stack-replacement request for OSR
+///    compiles (entry bci + the runtime types of the live locals, which
+///    become the OSR graph's parameters).
+///
+/// Header-only and dependency-light (ir/Ids.h) so both the compiler layer
+/// (PhaseContext) and the VM layer (broker tasks, install records) can
+/// hold these by value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_SPESH_SPESHPLAN_H
+#define JVM_SPESH_SPESHPLAN_H
+
+#include "ir/Ids.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace jvm {
+
+/// What a single speculation asserts about the method's behavior.
+enum class SpeculationKind : uint8_t {
+  /// "The virtual call at Bci always sees receiver class Receiver."
+  /// Pins the callsite to the resolved target behind an exact type
+  /// guard — straight-line code where the builder's profile-driven
+  /// devirtualization would emit an If diamond with a slow path.
+  ReceiverPin,
+  /// "Parameter Index is always the integer IntValue." Guarded at
+  /// entry; the parameter becomes a constant for the whole compile,
+  /// feeding constant folding and branch pruning downstream.
+  ArgConst,
+  /// "The branch at Bci always goes one way (TakenIsHot)." Replaces the
+  /// two-way If with a straight-line guard on the hot direction — the
+  /// pruned path is dead before partial escape analysis runs, so
+  /// allocations that only escaped there scalar-replace.
+  BranchPrune,
+};
+
+const char *speculationKindName(SpeculationKind K);
+
+/// One planner decision. Which fields are meaningful depends on Kind.
+struct Speculation {
+  SpeculationKind Kind = SpeculationKind::BranchPrune;
+  int Bci = 0;                ///< callsite / branch bci (not ArgConst)
+  int Index = 0;              ///< parameter index (ArgConst)
+  ClassId Receiver = NoClass; ///< pinned receiver class (ReceiverPin)
+  int64_t IntValue = 0;       ///< asserted constant (ArgConst)
+  bool TakenIsHot = false;    ///< observed direction (BranchPrune)
+};
+
+/// Stable identity of the *site* a speculation covers, independent of the
+/// speculated value: a failed receiver pin at bci 7 blocklists every
+/// future receiver pin at bci 7, whatever class the next plan would pick.
+inline uint64_t speculationSiteKey(const Speculation &S) {
+  uint64_t Site = S.Kind == SpeculationKind::ArgConst
+                      ? static_cast<uint32_t>(S.Index)
+                      : static_cast<uint32_t>(S.Bci);
+  return (static_cast<uint64_t>(S.Kind) << 32) | Site;
+}
+
+/// The specializations one compilation commits to. Index == guard id.
+struct SpeshPlan {
+  std::vector<Speculation> Specs;
+
+  bool empty() const { return Specs.empty(); }
+  unsigned size() const { return static_cast<unsigned>(Specs.size()); }
+};
+
+/// Immutable per-compilation view of the durable speculation statistics,
+/// plus the OSR request (if this is an OSR compile). Built on the mutator
+/// thread; consumed by the planner phase on a broker worker.
+struct SpeshSnapshot {
+  /// False: the planner phase is a no-op and the builder receives an
+  /// empty plan (speculation disabled, or stats still immature).
+  bool Enabled = false;
+  /// Minimum observation weight before a statistic justifies a guard
+  /// (CompilerOptions::SpeshMinProfile at snapshot time).
+  uint64_t MinProfile = 20;
+
+  /// Virtual-callsite receiver histograms: bci -> class -> count.
+  std::map<int, std::map<ClassId, uint64_t>> Receivers;
+  /// Branch outcomes: bci -> (taken, not-taken).
+  std::map<int, std::pair<uint64_t, uint64_t>> Branches;
+
+  /// Integer-argument stability: observed value and whether every
+  /// observation agreed.
+  struct ArgObs {
+    uint64_t Count = 0;
+    bool Stable = true;
+    int64_t Value = 0;
+  };
+  std::map<int, ArgObs> Args; ///< parameter index -> observations
+
+  /// Site keys (speculationSiteKey) of speculations that failed past the
+  /// despecialization threshold; the planner never re-plans them.
+  std::set<uint64_t> Blocklist;
+
+  // On-stack replacement -------------------------------------------------
+  /// True: compile an OSR entry version — the graph's parameters are the
+  /// loop frame's locals and control enters at OsrEntryBci. The planner
+  /// phase no-ops for OSR compiles (guards assume method-entry profiles;
+  /// an OSR activation is already mid-flight).
+  bool IsOsr = false;
+  int OsrEntryBci = 0;
+  /// Runtime types of the locals at the OSR point, in local-slot order;
+  /// these become the OSR graph's parameter types.
+  std::vector<ValueType> OsrLocalTypes;
+};
+
+} // namespace jvm
+
+#endif // JVM_SPESH_SPESHPLAN_H

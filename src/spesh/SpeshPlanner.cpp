@@ -1,0 +1,72 @@
+//===- SpeshPlanner.cpp - Profile-driven specialization planning --------------===//
+
+#include "spesh/SpeshPlanner.h"
+
+#include "bytecode/Program.h"
+
+using namespace jvm;
+
+SpeshPlan jvm::planSpeculations(const SpeshSnapshot &S, const Program &P,
+                                MethodId Method) {
+  SpeshPlan Plan;
+  if (!S.Enabled || S.IsOsr)
+    return Plan;
+  const MethodInfo &M = P.methodAt(Method);
+
+  auto Admit = [&](Speculation Spec) {
+    if (S.Blocklist.count(speculationSiteKey(Spec)))
+      return;
+    Plan.Specs.push_back(Spec);
+  };
+
+  // Observed-constant integer arguments. Entry guards come first in the
+  // plan so their ids are stable across recompiles of the same shape.
+  for (const auto &[Index, Obs] : S.Args) {
+    if (!Obs.Stable || Obs.Count < S.MinProfile)
+      continue;
+    if (Index < 0 || Index >= static_cast<int>(M.ParamTypes.size()) ||
+        M.ParamTypes[Index] != ValueType::Int)
+      continue;
+    Speculation Spec;
+    Spec.Kind = SpeculationKind::ArgConst;
+    Spec.Index = Index;
+    Spec.IntValue = Obs.Value;
+    Admit(Spec);
+  }
+
+  // Monomorphic receiver pinning at virtual callsites.
+  for (const auto &[Bci, Classes] : S.Receivers) {
+    if (Bci < 0 || Bci >= static_cast<int>(M.Code.size()) ||
+        M.Code[Bci].Op != Opcode::InvokeVirtual)
+      continue;
+    if (Classes.size() != 1)
+      continue;
+    const auto &[Cls, Count] = *Classes.begin();
+    if (Count < S.MinProfile)
+      continue;
+    Speculation Spec;
+    Spec.Kind = SpeculationKind::ReceiverPin;
+    Spec.Bci = Bci;
+    Spec.Receiver = Cls;
+    Admit(Spec);
+  }
+
+  // Never-observed branch directions.
+  for (const auto &[Bci, Outcomes] : S.Branches) {
+    if (Bci < 0 || Bci >= static_cast<int>(M.Code.size()) ||
+        !isConditionalBranch(M.Code[Bci].Op))
+      continue;
+    auto [Taken, NotTaken] = Outcomes;
+    if (Taken + NotTaken < S.MinProfile)
+      continue;
+    if (Taken != 0 && NotTaken != 0)
+      continue;
+    Speculation Spec;
+    Spec.Kind = SpeculationKind::BranchPrune;
+    Spec.Bci = Bci;
+    Spec.TakenIsHot = NotTaken == 0;
+    Admit(Spec);
+  }
+
+  return Plan;
+}

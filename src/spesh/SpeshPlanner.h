@@ -1,0 +1,35 @@
+//===- SpeshPlanner.h - Profile-driven specialization planning ------*- C++ -*-===//
+///
+/// \file
+/// Turns a SpeshSnapshot into a SpeshPlan: the pure decision procedure
+/// that selects which profile-justified assumptions a compilation commits
+/// to. Runs inside the pipeline (SpeshPlanPhase) on broker workers, so it
+/// consults only the immutable snapshot — no VM state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_SPESH_SPESHPLANNER_H
+#define JVM_SPESH_SPESHPLANNER_H
+
+#include "spesh/SpeshPlan.h"
+
+namespace jvm {
+
+class Program;
+
+/// Selects speculations for \p Method from \p S:
+///  - ReceiverPin for every virtual callsite whose observed receivers are
+///    monomorphic with at least MinProfile weight,
+///  - ArgConst for every integer parameter that held one value across at
+///    least MinProfile observed calls,
+///  - BranchPrune for every branch with at least MinProfile outcomes that
+///    all went the same way.
+/// Sites on the snapshot's blocklist are skipped, so despecialized
+/// assumptions never come back. Returns an empty plan when speculation
+/// is disabled or this is an OSR compile.
+SpeshPlan planSpeculations(const SpeshSnapshot &S, const Program &P,
+                           MethodId Method);
+
+} // namespace jvm
+
+#endif // JVM_SPESH_SPESHPLANNER_H

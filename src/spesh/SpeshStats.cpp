@@ -1,0 +1,56 @@
+//===- SpeshStats.cpp - Durable per-callsite speculation statistics ----------===//
+
+#include "spesh/SpeshStats.h"
+
+#include "interp/Profile.h"
+#include "support/ErrorHandling.h"
+
+using namespace jvm;
+
+const char *jvm::speculationKindName(SpeculationKind K) {
+  switch (K) {
+  case SpeculationKind::ReceiverPin:
+    return "receiver-pin";
+  case SpeculationKind::ArgConst:
+    return "arg-const";
+  case SpeculationKind::BranchPrune:
+    return "branch-prune";
+  }
+  jvm_unreachable("unknown speculation kind");
+}
+
+void SpeshStats::foldProfile(MethodId Method, const MethodProfile &Prof) {
+  MethodEntry &E = PerMethod[Method];
+  // Interpreter counters are cumulative over the method's lifetime, so a
+  // later fold supersedes an earlier one: max-merge, never add (adding
+  // would double-count every observation made before the previous fold).
+  for (const auto &[Bci, BP] : Prof.Branches) {
+    auto &Slot = E.Branches[Bci];
+    if (BP.Taken > Slot.first)
+      Slot.first = BP.Taken;
+    if (BP.NotTaken > Slot.second)
+      Slot.second = BP.NotTaken;
+  }
+  for (const auto &[Bci, TP] : Prof.Receivers)
+    for (const auto &[Cls, Count] : TP.Counts) {
+      uint64_t &Slot = E.InterpReceivers[Bci][Cls];
+      if (Count > Slot)
+        Slot = Count;
+    }
+}
+
+SpeshSnapshot SpeshStats::snapshot(MethodId Method) const {
+  const MethodEntry &E = PerMethod[Method];
+  SpeshSnapshot S;
+  S.Receivers = E.InterpReceivers;
+  // Compiled-tier observations stack on top of the interpreter's: a
+  // callsite that went polymorphic only after compilation still shows
+  // both classes here.
+  for (const auto &[Bci, Classes] : E.CompiledReceivers)
+    for (const auto &[Cls, Count] : Classes)
+      S.Receivers[Bci][Cls] += Count;
+  S.Branches = E.Branches;
+  S.Args = E.Args;
+  S.Blocklist = E.Blocklist;
+  return S;
+}

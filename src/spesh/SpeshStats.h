@@ -1,0 +1,106 @@
+//===- SpeshStats.h - Durable per-callsite speculation statistics ---*- C++ -*-===//
+///
+/// \file
+/// The speculation subsystem's memory: per-method receiver, branch and
+/// argument-value statistics that *outlive* individual compilations. The
+/// interpreter's MethodProfile is folded in at every compile enqueue, the
+/// linear/native tiers feed virtual-call receivers through a callback
+/// (compiled code keeps profiling, so a phase change after compilation is
+/// still observed), and guard failures accumulate here until a
+/// speculation crosses the despecialization threshold and lands on the
+/// method's blocklist — at which point the planner never proposes it
+/// again, so repeated recompilation converges.
+///
+/// Threading: owned by one isolate and touched only by its single
+/// mutator thread (fold-at-enqueue, argument recording, guard-failure
+/// accounting all happen on call/deopt paths). Broker workers see this
+/// data only through the immutable SpeshSnapshot taken at enqueue.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JVM_SPESH_SPESHSTATS_H
+#define JVM_SPESH_SPESHSTATS_H
+
+#include "spesh/SpeshPlan.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace jvm {
+
+struct MethodProfile;
+
+class SpeshStats {
+public:
+  explicit SpeshStats(unsigned NumMethods) : PerMethod(NumMethods) {}
+
+  /// Folds \p Prof's branch and receiver histograms into \p Method's
+  /// durable statistics. Interpreter profiles are cumulative, so folding
+  /// replaces (max-merges) rather than adds; the compiled-tier receiver
+  /// feed below adds on top.
+  void foldProfile(MethodId Method, const MethodProfile &Prof);
+
+  /// One virtual-call receiver observed by a compiled tier (the linear
+  /// executor's Invoke dispatch). \p Bci is the callsite's bytecode index.
+  void recordReceiver(MethodId Method, int Bci, ClassId Receiver) {
+    ++PerMethod[Method].CompiledReceivers[Bci][Receiver];
+  }
+
+  /// One integer argument vector observed at a (still interpreted) call.
+  /// Collapses each parameter to "always this value" or "divergent".
+  void recordIntArg(MethodId Method, int Index, int64_t V) {
+    auto &Obs = PerMethod[Method].Args[Index];
+    if (Obs.Count == 0)
+      Obs.Value = V;
+    else if (Obs.Value != V)
+      Obs.Stable = false;
+    ++Obs.Count;
+  }
+
+  /// One guard failure for \p Site (speculationSiteKey of the failed
+  /// speculation). Returns the new failure count.
+  uint64_t recordGuardFailure(MethodId Method, uint64_t Site) {
+    return ++PerMethod[Method].GuardFailures[Site];
+  }
+
+  /// Blocklists \p Site for \p Method. Returns true if the site was not
+  /// already blocklisted (i.e. this call despecialized it) — the caller
+  /// invalidates the method's code exactly when this returns true, so a
+  /// blocklisted speculation triggers at most one recompile.
+  bool blocklist(MethodId Method, uint64_t Site) {
+    return PerMethod[Method].Blocklist.insert(Site).second;
+  }
+
+  bool isBlocklisted(MethodId Method, uint64_t Site) const {
+    return PerMethod[Method].Blocklist.count(Site) != 0;
+  }
+
+  /// True if any speculation of \p Method was ever despecialized.
+  bool wasDespecialized(MethodId Method) const {
+    return !PerMethod[Method].Blocklist.empty();
+  }
+
+  /// Builds the immutable per-compilation view for \p Method (everything
+  /// except the Enabled/MinProfile/OSR fields, which the isolate fills).
+  SpeshSnapshot snapshot(MethodId Method) const;
+
+private:
+  struct MethodEntry {
+    /// From the interpreter profile (cumulative; max-merged on fold).
+    std::map<int, std::map<ClassId, uint64_t>> InterpReceivers;
+    std::map<int, std::pair<uint64_t, uint64_t>> Branches;
+    /// From compiled-tier dispatch (additive).
+    std::map<int, std::map<ClassId, uint64_t>> CompiledReceivers;
+    std::map<int, SpeshSnapshot::ArgObs> Args;
+    std::map<uint64_t, uint64_t> GuardFailures; ///< site key -> failures
+    std::set<uint64_t> Blocklist;               ///< site keys
+  };
+
+  std::vector<MethodEntry> PerMethod;
+};
+
+} // namespace jvm
+
+#endif // JVM_SPESH_SPESHSTATS_H

@@ -14,6 +14,9 @@ EnvSnapshot EnvSnapshot::capture() {
   S.DumpNative = std::getenv("JVM_DUMP_NATIVE");
   S.ExecMode = std::getenv("JVM_EXEC_MODE");
   S.CompilerThreads = std::getenv("JVM_COMPILER_THREADS");
+  S.Spesh = std::getenv("JVM_SPESH");
+  S.SpeshThreshold = std::getenv("JVM_SPESH_THRESHOLD");
+  S.OsrThreshold = std::getenv("JVM_OSR_THRESHOLD");
   S.MetricsJson = std::getenv("JVM_METRICS_JSON");
   S.CompileLog = std::getenv("JVM_COMPILE_LOG");
   S.Trace = std::getenv("JVM_TRACE");

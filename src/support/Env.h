@@ -40,6 +40,11 @@ struct EnvSnapshot {
   const char *ExecMode = nullptr;        ///< JVM_EXEC_MODE: tier selection
   const char *CompilerThreads = nullptr; ///< JVM_COMPILER_THREADS: shared
                                          ///< broker pool size (process-wide)
+  const char *Spesh = nullptr;          ///< JVM_SPESH: 1 = speculation on
+  const char *SpeshThreshold = nullptr; ///< JVM_SPESH_THRESHOLD: guard
+                                        ///< failures before despecialize
+  const char *OsrThreshold = nullptr;   ///< JVM_OSR_THRESHOLD: loop
+                                        ///< back edges before OSR (0 = off)
 
   // Observability -------------------------------------------------------
   const char *MetricsJson = nullptr;     ///< JVM_METRICS_JSON: append path

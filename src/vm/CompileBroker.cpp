@@ -50,9 +50,11 @@ CompileResult jvm::runCompilePipeline(const PhasePlan &Plan, const Program &P,
                                       MethodId Method,
                                       const ProfileSnapshot &Profiles,
                                       const CompilerOptions &CO,
-                                      uint32_t IsolateId) {
+                                      uint32_t IsolateId,
+                                      const SpeshSnapshot *Spesh) {
   CompileResult R;
   PhaseContext Ctx(P, Profiles, CO, Method);
+  Ctx.Spesh = Spesh;
   Ctx.CompileSeq = NextCompileSeq.fetch_add(1, std::memory_order_relaxed);
   R.CompileSeq = Ctx.CompileSeq;
   // The trail is always collected: one vector of plain structs per
@@ -75,7 +77,12 @@ CompileResult jvm::runCompilePipeline(const PhasePlan &Plan, const Program &P,
                 std::to_string(Ctx.CompileSeq) + ") ===\n";
   }
 
-  auto G = std::make_unique<Graph>(Method, P.methodAt(Method).ParamTypes);
+  // An OSR compile's graph takes the loop frame's live locals as its
+  // parameters (one per local, typed from the runtime values captured at
+  // the triggering back edge) instead of the method's signature.
+  auto G = std::make_unique<Graph>(Method, Spesh && Spesh->IsOsr
+                                               ? Spesh->OsrLocalTypes
+                                               : P.methodAt(Method).ParamTypes);
   {
     ScopedNanoTimer Total(R.TotalNanos);
     Plan.run(*G, Ctx);
@@ -101,6 +108,7 @@ CompileResult jvm::runCompilePipeline(const PhasePlan &Plan, const Program &P,
   R.Stats = Ctx.Stats;
   R.Phases = std::move(Ctx.Times);
   R.FixpointCapHits = Ctx.FixpointCapHits;
+  R.Spesh = std::move(Ctx.SpeshOut);
   R.G = std::move(G);
   return R;
 }
@@ -108,9 +116,10 @@ CompileResult jvm::runCompilePipeline(const PhasePlan &Plan, const Program &P,
 CompileResult jvm::runCompilePipeline(const Program &P, MethodId Method,
                                       const ProfileSnapshot &Profiles,
                                       const CompilerOptions &CO,
-                                      uint32_t IsolateId) {
+                                      uint32_t IsolateId,
+                                      const SpeshSnapshot *Spesh) {
   return runCompilePipeline(makeDefaultPhasePlan(CO), P, Method, Profiles, CO,
-                            IsolateId);
+                            IsolateId, Spesh);
 }
 
 CompileBroker::CompileBroker(unsigned Threads)
@@ -198,7 +207,8 @@ void CompileBroker::unregisterClient(ClientId Id) {
 }
 
 bool CompileBroker::enqueue(ClientId Id, MethodId M, uint64_t Hotness,
-                            uint64_t Version, ProfileSnapshot Snapshot) {
+                            uint64_t Version, ProfileSnapshot Snapshot,
+                            SpeshSnapshot Spesh) {
   {
     std::lock_guard<std::mutex> L(Mutex);
     Client *C = findLocked(Id);
@@ -209,7 +219,8 @@ bool CompileBroker::enqueue(ClientId Id, MethodId M, uint64_t Hotness,
     Queue.push(QueueEntry{Hotness, NextSeq++,
                           std::make_shared<Task>(Id, M, Hotness, Version,
                                                  nowNanos(),
-                                                 std::move(Snapshot))});
+                                                 std::move(Snapshot),
+                                                 std::move(Spesh))});
     uint64_t Depth = Queue.size() + InFlightTotal;
     if (Depth > HighWater)
       HighWater = Depth;
@@ -247,8 +258,9 @@ void CompileBroker::workerLoop() {
                                     << ")");
     // C stays valid without the lock: unregisterClient blocks on
     // InFlight == 0 before erasing, and we bumped InFlight above.
-    CompileResult R = runCompilePipeline(C->Plan, *C->P, T->Method,
-                                         T->Snapshot, C->Options, T->Client);
+    CompileResult R =
+        runCompilePipeline(C->Plan, *C->P, T->Method, T->Snapshot, C->Options,
+                           T->Client, T->Spesh.Enabled ? &T->Spesh : nullptr);
     MethodId M = T->Method;
     C->Install(std::move(*T), std::move(R));
 

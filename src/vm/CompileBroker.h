@@ -49,6 +49,7 @@
 #include "compiler/PhasePlan.h"
 #include "interp/Profile.h"
 #include "pea/PartialEscapeAnalysis.h"
+#include "spesh/SpeshPlan.h"
 
 #include <condition_variable>
 #include <cstdint>
@@ -89,6 +90,10 @@ struct CompileResult {
   uint64_t CompileSeq = 0;
   /// Fixpoint phases that hit their round cap without converging.
   uint64_t FixpointCapHits = 0;
+  /// Speculations the "spesh" planner committed to in this compile (the
+  /// guard id space of the installed code: guard i ↔ Spesh.Specs[i]).
+  /// Empty when speculation is off or the planner found nothing.
+  SpeshPlan Spesh;
 };
 
 /// Runs \p Plan for \p Method against \p Profiles: allocates the empty
@@ -99,18 +104,23 @@ struct CompileResult {
 /// snapshot, so any number of pipelines may run concurrently on
 /// different threads. \p IsolateId tags the compile span in exported
 /// traces (0 = unattributed, e.g. direct pipeline tests).
+/// \p Spesh, when non-null, is the speculation-statistics snapshot the
+/// "spesh" planner phase reads (and, for OSR compiles, the entry spec
+/// the graph builder honors); null compiles without speculation.
 CompileResult runCompilePipeline(const PhasePlan &Plan, const Program &P,
                                  MethodId Method,
                                  const ProfileSnapshot &Profiles,
                                  const CompilerOptions &Options,
-                                 uint32_t IsolateId = 0);
+                                 uint32_t IsolateId = 0,
+                                 const SpeshSnapshot *Spesh = nullptr);
 
 /// Convenience overload for one-shot (synchronous) compiles: builds the
 /// default plan from \p Options and runs it.
 CompileResult runCompilePipeline(const Program &P, MethodId Method,
                                  const ProfileSnapshot &Profiles,
                                  const CompilerOptions &Options,
-                                 uint32_t IsolateId = 0);
+                                 uint32_t IsolateId = 0,
+                                 const SpeshSnapshot *Spesh = nullptr);
 
 class CompileBroker {
 public:
@@ -128,11 +138,15 @@ public:
     uint64_t Version = 0;      ///< method code version at enqueue time
     uint64_t EnqueueNanos = 0; ///< for enqueue-to-install latency
     ProfileSnapshot Snapshot;
+    /// Speculation statistics frozen at enqueue time, same snapshot
+    /// discipline as the profile: workers never read live spesh state.
+    SpeshSnapshot Spesh;
 
     Task(ClientId C, MethodId M, uint64_t Hotness, uint64_t Version,
-         uint64_t EnqueueNanos, ProfileSnapshot Snap)
+         uint64_t EnqueueNanos, ProfileSnapshot Snap, SpeshSnapshot Spesh)
         : Client(C), Method(M), Hotness(Hotness), Version(Version),
-          EnqueueNanos(EnqueueNanos), Snapshot(std::move(Snap)) {}
+          EnqueueNanos(EnqueueNanos), Snapshot(std::move(Snap)),
+          Spesh(std::move(Spesh)) {}
   };
 
   /// Called on a worker thread with a finished compilation. The owning
@@ -182,7 +196,7 @@ public:
   /// saturated machine the woken worker may preempt the caller
   /// immediately, and that compile time is not mutator stall.
   bool enqueue(ClientId Id, MethodId M, uint64_t Hotness, uint64_t Version,
-               ProfileSnapshot Snapshot);
+               ProfileSnapshot Snapshot, SpeshSnapshot Spesh = {});
 
   /// Wakes a worker to pick up queued work.
   void kick();

@@ -385,6 +385,7 @@ private:
     DeoptRequest Req;
     Req.Root = G.method();
     Req.Reason = N->reason();
+    Req.GuardId = N->speculationId();
 
     // Materialize every virtual object mapped anywhere in the state
     // chain. Local vectors, not executor scratch: the deopt handler runs

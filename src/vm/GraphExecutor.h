@@ -35,6 +35,10 @@ struct DeoptRequest {
   /// (Section 5.5 rematerialization) — surfaced in traces and the
   /// compilation log.
   unsigned Rematerialized = 0;
+  /// Index into the installed code's speculation plan when a planner
+  /// guard failed; NoSpeculationId (the default) for builder-inserted
+  /// pruning/devirtualization deopts. Drives despecialization.
+  uint32_t GuardId = NoSpeculationId;
   std::vector<ResumeFrame> Frames; ///< Innermost first.
 };
 

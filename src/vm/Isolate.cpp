@@ -2,6 +2,7 @@
 
 #include "vm/Isolate.h"
 
+#include "compiler/GraphBuilder.h"
 #include "ir/Graph.h"
 #include "observability/Profiler.h"
 #include "support/Debug.h"
@@ -11,6 +12,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 
@@ -34,6 +36,64 @@ std::atomic<uint32_t> NextIsolateId{1};
 unsigned jvm::defaultCompilerThreads() {
   unsigned N = std::thread::hardware_concurrency();
   return N ? N : 1;
+}
+
+/// JVM_SPESH accepts exactly "0" or "1" (unset/empty = off). Anything
+/// else is a hard configuration error, same contract as JVM_EXEC_MODE —
+/// a bench run silently comparing "speculation on" against a typo would
+/// produce numbers for the wrong configuration.
+bool jvm::speshFromEnvironment(const char *Text) {
+  if (!Text || !*Text)
+    return false;
+  if (std::strcmp(Text, "0") == 0)
+    return false;
+  if (std::strcmp(Text, "1") == 0)
+    return true;
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf), "unknown JVM_SPESH '%s' (valid: 0, 1)",
+                Text);
+  reportFatalError(Buf, __FILE__, __LINE__);
+}
+
+/// Shared parser for the integer speculation knobs: unset/empty =
+/// \p Default; anything that is not a whole base-10 integer in the
+/// allowed range is fatal, listing the valid settings.
+uint64_t jvm::speshCountFromEnvironment(const char *Var, const char *Text,
+                                        uint64_t Default, bool ZeroAllowed) {
+  if (!Text || !*Text)
+    return Default;
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(Text, &End, 10);
+  if (End != Text && *End == '\0' && (ZeroAllowed || V > 0))
+    return V;
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf), "invalid %s '%s' (valid: %s)", Var, Text,
+                ZeroAllowed ? "a non-negative integer; 0 = off"
+                            : "a positive integer");
+  reportFatalError(Buf, __FILE__, __LINE__);
+}
+
+CompilerOptions jvm::defaultCompilerOptions() {
+  static const CompilerOptions Opts = [] {
+    CompilerOptions O;
+    O.EnableSpesh = speshFromEnvironment(EnvSnapshot::process().Spesh);
+    return O;
+  }();
+  return Opts;
+}
+
+uint64_t jvm::defaultSpeshFailThreshold() {
+  static const uint64_t T = speshCountFromEnvironment(
+      "JVM_SPESH_THRESHOLD", EnvSnapshot::process().SpeshThreshold,
+      /*Default=*/2, /*ZeroAllowed=*/false);
+  return T;
+}
+
+uint64_t jvm::defaultOsrThreshold() {
+  static const uint64_t T = speshCountFromEnvironment(
+      "JVM_OSR_THRESHOLD", EnvSnapshot::process().OsrThreshold,
+      /*Default=*/2000, /*ZeroAllowed=*/true);
+  return T;
 }
 
 bool jvm::execModeFromName(const char *Name, ExecMode &M) {
@@ -112,10 +172,25 @@ Isolate::Isolate(const Program &P, VMOptions Options)
             return call(Target, std::move(Args));
           },
           [this](DeoptRequest &&Req) { return handleDeopt(std::move(Req)); }),
-      States(P.numMethods()), CLog(P.numMethods()) {
+      States(P.numMethods()), CLog(P.numMethods()), Spesh(P.numMethods()) {
   Interp.setCallHandler([this](MethodId Target, std::vector<Value> &&Args) {
     return call(Target, std::move(Args));
   });
+  if (Options.Compiler.EnableSpesh) {
+    // Compiled code keeps feeding receiver statistics: a callsite that
+    // turns megamorphic after compilation is still observed, so a failed
+    // receiver pin despecializes from real post-compile data.
+    ReceiverProfileFn Feed = [this](MethodId Root, int Bci, ClassId Receiver) {
+      Spesh.recordReceiver(Root, Bci, Receiver);
+    };
+    LinExecutor.setReceiverProfile(Feed);
+    NatExecutor.setReceiverProfile(std::move(Feed));
+    if (Options.EnableJit && Options.OsrThreshold > 0)
+      Interp.setOsrHandler(
+          [this](MethodId M, int Bci, std::vector<Value> &Locals, Value &Out) {
+            return handleOsr(M, Bci, Locals, Out);
+          });
+  }
   RT.heap().setTraceIsolateId(Id);
   registerMetrics();
   // Snapshot method names for the profiler: it sits below the bytecode
@@ -203,10 +278,19 @@ std::string Isolate::renderResidualAllocationReport() {
   // residual allocation sites PEA did not remove" per Table 1 row.
   constexpr size_t MaxShown = 10;
   size_t Shown = 0;
+  size_t SkippedDespecialized = 0;
   for (const Profiler::AllocSite &S : Sites) {
+    // A despecialization after sampling retired the code these samples
+    // came from; the site's profile describes a speculation mix that no
+    // longer runs, so reporting it would mislead the PEA join.
+    if (S.Method >= 0 && unsigned(S.Method) < P.numMethods() &&
+        Spesh.wasDespecialized(MethodId(S.Method))) {
+      ++SkippedDespecialized;
+      continue;
+    }
     if (Shown == MaxShown) {
       std::snprintf(Buf, sizeof(Buf), "  ... %zu more sites\n",
-                    Sites.size() - Shown);
+                    Sites.size() - Shown - SkippedDespecialized);
       Out += Buf;
       break;
     }
@@ -239,13 +323,21 @@ std::string Isolate::renderResidualAllocationReport() {
       if (!Best && !Recs.empty())
         Best = &Recs.back();
       if (Best) {
+        // The speculation verdict for a residual site: the planner
+        // either speculated in this method and PEA still could not
+        // remove the allocation, or it never found anything to assert
+        // here (so the site survives on profile grounds, not guards).
+        const char *Spec = !Options.Compiler.EnableSpesh ? "off"
+                           : Best->Speculations.empty()
+                               ? "planner never speculated here"
+                               : "PEA failed despite speculation";
         std::snprintf(
             Buf, sizeof(Buf),
             "    pea: seq=%llu installed=%d virtualized_allocations=%u "
-            "materialize_sites=%u\n",
+            "materialize_sites=%u speculation=\"%s\"\n",
             static_cast<unsigned long long>(Best->CompileSeq),
             Best->Installed ? 1 : 0, Best->Escape.VirtualizedAllocations,
-            Best->Escape.MaterializeSites);
+            Best->Escape.MaterializeSites, Spec);
         Out += Buf;
       } else {
         Out += "    pea: never compiled (interpreter-resident site)\n";
@@ -253,6 +345,13 @@ std::string Isolate::renderResidualAllocationReport() {
     } else {
       Out += "    pea: no method attribution\n";
     }
+  }
+  if (SkippedDespecialized) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "  (%zu sites skipped: method despecialized after "
+                  "sampling)\n",
+                  SkippedDespecialized);
+    Out += Buf;
   }
   if (Sites.empty())
     Out += "  (no allocation samples recorded)\n";
@@ -372,6 +471,21 @@ void Isolate::registerMetrics() {
   PeaGauge("pea.loop_iterations", &PEAStats::LoopIterations);
   PeaGauge("pea.virtualized_states", &PEAStats::VirtualizedStates);
 
+  // Speculation subsystem: planner output, guard economics and OSR
+  // activity. All zero when JVM_SPESH is off.
+  auto SpeshGauge = [this](const char *Name, uint64_t SpeshMetrics::*Field) {
+    Registry.gauge(Name, [this, Field] {
+      std::lock_guard<std::mutex> L(StateMutex);
+      return SpeshM.*Field;
+    });
+  };
+  SpeshGauge("spesh.plans", &SpeshMetrics::Plans);
+  SpeshGauge("spesh.guards_planted", &SpeshMetrics::GuardsPlanted);
+  SpeshGauge("spesh.guard_failures", &SpeshMetrics::GuardFailures);
+  SpeshGauge("spesh.despecializations", &SpeshMetrics::Despecializations);
+  SpeshGauge("spesh.osr_compiles", &SpeshMetrics::OsrCompiles);
+  SpeshGauge("spesh.osr_entries", &SpeshMetrics::OsrEntries);
+
   // Per-phase pipeline time: names are dynamic (whatever the plans ran),
   // so a provider emits them at dump time.
   Registry.provider(
@@ -455,6 +569,7 @@ void Isolate::resetMetrics() {
   {
     std::lock_guard<std::mutex> L(StateMutex);
     Jit = JitMetrics();
+    SpeshM = SpeshMetrics();
   }
   Registry.reset();
 }
@@ -488,7 +603,24 @@ Value Isolate::call(MethodId Method, std::vector<Value> Args) {
     if (const Graph *G = MS.Code.load(std::memory_order_acquire))
       return executeCompiled(Method, *G, Args);
   }
+  // Interpreted entry: feed the argument-value statistics so the planner
+  // can assert observed-constant parameters (guarded at entry).
+  if (Options.Compiler.EnableSpesh)
+    for (unsigned I = 0, E = Args.size(); I != E; ++I)
+      if (Args[I].isInt())
+        Spesh.recordIntArg(Method, static_cast<int>(I), Args[I].asInt());
   return Interp.call(Method, std::move(Args));
+}
+
+SpeshSnapshot Isolate::makeSpeshSnapshot(MethodId Method) {
+  // Fold the cumulative interpreter histograms in now (max-merge), then
+  // freeze: the worker sees exactly what a synchronous compile at this
+  // trigger point would have seen.
+  Spesh.foldProfile(Method, Profiles.of(Method));
+  SpeshSnapshot S = Spesh.snapshot(Method);
+  S.Enabled = Options.Compiler.EnableSpesh;
+  S.MinProfile = Options.Compiler.SpeshMinProfile;
+  return S;
 }
 
 Value Isolate::executeCompiled(MethodId Method, const Graph &G,
@@ -568,8 +700,12 @@ void Isolate::requestCompile(MethodId Method) {
   MethodState &MS = States[Method];
   MS.CompilePending.store(true, std::memory_order_relaxed);
   uint64_t Hotness = Profiles.of(Method).hotness();
+  SpeshSnapshot Snap;
+  if (Options.Compiler.EnableSpesh)
+    Snap = makeSpeshSnapshot(Method);
   if (!Broker->enqueue(Id, Method, Hotness, Version,
-                       ProfileSnapshot(Profiles, P, Method))) {
+                       ProfileSnapshot(Profiles, P, Method),
+                       std::move(Snap))) {
     MS.CompilePending.store(false, std::memory_order_relaxed);
     return;
   }
@@ -605,8 +741,12 @@ void Isolate::compileSync(MethodId Method) {
     Version = ++States[Method].Version;
   }
   uint64_t Hotness = Profiles.of(Method).hotness();
+  SpeshSnapshot Snap;
+  if (Options.Compiler.EnableSpesh)
+    Snap = makeSpeshSnapshot(Method);
   CompileResult R = runCompilePipeline(
-      P, Method, ProfileSnapshot(Profiles, P, Method), Options.Compiler, Id);
+      P, Method, ProfileSnapshot(Profiles, P, Method), Options.Compiler, Id,
+      Snap.Enabled ? &Snap : nullptr);
   installCode(Method, Version, std::move(R), Start, Hotness);
   uint64_t Stall = nowNanos() - Start;
   MutatorStallHist->record(Stall);
@@ -648,6 +788,31 @@ bool Isolate::installCode(MethodId Method, uint64_t Version, CompileResult &&R,
   Rec.Escape.MaterializeSites = R.Stats.MaterializeSites;
   Rec.Escape.ElidedMonitorOps = R.Stats.ElidedMonitorOps;
   Rec.Escape.VirtualizedStates = R.Stats.VirtualizedStates;
+  Rec.Speculations.reserve(R.Spesh.size());
+  for (const Speculation &S : R.Spesh.Specs) {
+    CompileLog::SpeshRec SR;
+    SR.Kind = speculationKindName(S.Kind);
+    char Detail[128];
+    switch (S.Kind) {
+    case SpeculationKind::ReceiverPin:
+      SR.Site = S.Bci;
+      std::snprintf(Detail, sizeof(Detail), "class=%s",
+                    P.classAt(S.Receiver).Name.c_str());
+      break;
+    case SpeculationKind::ArgConst:
+      SR.Site = S.Index;
+      std::snprintf(Detail, sizeof(Detail), "value=%lld",
+                    static_cast<long long>(S.IntValue));
+      break;
+    case SpeculationKind::BranchPrune:
+      SR.Site = S.Bci;
+      std::snprintf(Detail, sizeof(Detail), "direction=%s",
+                    S.TakenIsHot ? "taken" : "not-taken");
+      break;
+    }
+    SR.Detail = Detail;
+    Rec.Speculations.push_back(std::move(SR));
+  }
   Rec.Phases.reserve(R.Trail.size());
   for (const PhaseTrailEntry &T : R.Trail)
     Rec.Phases.push_back(CompileLog::PhaseRec{T.Name, T.Nanos, T.NodesBefore,
@@ -682,6 +847,13 @@ bool Isolate::installCode(MethodId Method, uint64_t Version, CompileResult &&R,
       MS.Owned = std::move(R.G);
       MS.OwnedLinear = std::move(R.Code);
       MS.OwnedNative = std::move(Native);
+      // The guard id space of the code going live: a failing guard's id
+      // indexes this plan on the deopt path.
+      MS.Spesh = std::move(R.Spesh);
+      if (!MS.Spesh.empty()) {
+        ++SpeshM.Plans;
+        SpeshM.GuardsPlanted += MS.Spesh.size();
+      }
       // Most-derived first: a mutator that sees the new graph must also
       // see its linear translation, and one that sees the linear code
       // must see its machine code (the inverse interleavings are benign,
@@ -739,11 +911,30 @@ bool Isolate::installCode(MethodId Method, uint64_t Version, CompileResult &&R,
                           "method", static_cast<int64_t>(Method), "version",
                           static_cast<int64_t>(Rec.Version), nullptr, nullptr,
                           "isolate", static_cast<int64_t>(Id));
+  if (Installed && !Rec.Speculations.empty() && traceWants(TraceCompile))
+    Tracer::get().instant(TraceCompile, "spesh-plan", "method",
+                          static_cast<int64_t>(Method), "guards",
+                          static_cast<int64_t>(Rec.Speculations.size()),
+                          nullptr, nullptr, "isolate",
+                          static_cast<int64_t>(Id));
   CLog.addRecord(Method, std::move(Rec));
   return Installed;
 }
 
 void Isolate::invalidate(MethodId Method) {
+  // Retire the method's OSR loop versions first (mutator-only state; no
+  // lock needed): they were compiled against the same statistics the
+  // invalidation just retracted, and the invalidating deopt may have
+  // come from inside one — so retire, don't destroy.
+  for (auto It = OsrTable.begin(); It != OsrTable.end();) {
+    if (It->first.first == Method) {
+      RetiredOsr.push_back(std::move(It->second));
+      It = OsrTable.erase(It);
+      HasRetired.store(true, std::memory_order_relaxed);
+    } else {
+      ++It;
+    }
+  }
   std::lock_guard<std::mutex> L(StateMutex);
   MethodState &MS = States[Method];
   if (!MS.Owned)
@@ -780,6 +971,10 @@ void Isolate::reclaimRetired() {
   std::vector<std::unique_ptr<Graph>> Doomed;
   std::vector<std::unique_ptr<LinearCode>> DoomedLinear;
   std::vector<std::unique_ptr<NativeCode>> DoomedNative;
+  // Retired OSR loop versions (mutator-only state): each OsrCode
+  // destroys its NativeCode before its LinearCode by member order.
+  std::vector<OsrCode> DoomedOsr;
+  DoomedOsr.swap(RetiredOsr);
   {
     std::lock_guard<std::mutex> L(StateMutex);
     for (MethodState &MS : States) {
@@ -811,6 +1006,98 @@ void Isolate::waitForCompilerIdle() {
   Jit.QueueDepthHighWater = std::max(Jit.QueueDepthHighWater, HighWater);
 }
 
+bool Isolate::handleOsr(MethodId Method, int TargetBci,
+                        std::vector<Value> &Locals, Value &Out) {
+  auto Key = std::make_pair(Method, TargetBci);
+  auto It = OsrTable.find(Key);
+  if (It == OsrTable.end()) {
+    if (++OsrBackedges[Key] < Options.OsrThreshold)
+      return false;
+    // Structural admission (loop header, not nested, no monitors) is a
+    // bytecode walk; compute it once per site.
+    auto SIt = OsrSupport.find(Key);
+    if (SIt == OsrSupport.end())
+      SIt = OsrSupport.emplace(Key, osrEntrySupported(P, Method, TargetBci))
+                .first;
+    if (!SIt->second)
+      return false;
+    // Per-attempt runtime condition: every local must carry a typed
+    // value (a Void local has no parameter type to compile against).
+    // Retry at a later back edge — the interpreter keeps running.
+    for (const Value &V : Locals)
+      if (V.isVoid())
+        return false;
+
+    // Compile the loop version synchronously on the mutator: the frame
+    // waiting to transfer IS the request, so queueing it behind the
+    // broker would let the loop finish interpreted first.
+    uint64_t Version;
+    {
+      std::lock_guard<std::mutex> L(StateMutex);
+      Version = States[Method].Version;
+    }
+    SpeshSnapshot Snap = makeSpeshSnapshot(Method);
+    Snap.IsOsr = true;
+    Snap.OsrEntryBci = TargetBci;
+    Snap.OsrLocalTypes.reserve(Locals.size());
+    for (const Value &V : Locals)
+      Snap.OsrLocalTypes.push_back(V.type());
+    CompileResult R = runCompilePipeline(P, Method,
+                                         ProfileSnapshot(Profiles, P, Method),
+                                         Options.Compiler, Id, &Snap);
+    OsrCode OC;
+    OC.G = std::move(R.G);
+    OC.Linear = std::move(R.Code);
+    OC.Version = Version;
+    // Mirror executeCompiled's tier gating: machine code only dispatches
+    // in Native and Differential modes, so only those emit it.
+    if (OC.Linear && Options.EnableNativeTier &&
+        (Options.Exec == ExecMode::Native ||
+         Options.Exec == ExecMode::Differential))
+      OC.Native = emitNativeCode(*OC.Linear, CodeCache::process());
+    {
+      std::lock_guard<std::mutex> L(StateMutex);
+      ++SpeshM.OsrCompiles;
+      SpeshM.OsrEscapeStats += R.Stats;
+      Jit.CompileNanos += R.TotalNanos;
+      Jit.PhaseNanos += R.Phases;
+      Jit.FixpointCapHits += R.FixpointCapHits;
+      Jit.EscapeStats += R.Stats;
+    }
+    if (traceWants(TraceCompile))
+      Tracer::get().instant(TraceCompile, "osr-compile", "method",
+                            static_cast<int64_t>(Method), "bci",
+                            static_cast<int64_t>(TargetBci), nullptr, nullptr,
+                            "isolate", static_cast<int64_t>(Id));
+    It = OsrTable.emplace(Key, std::move(OC)).first;
+    OsrBackedges.erase(Key);
+    JVM_DEBUG("osr-compiled m" << Method << " @bci " << TargetBci);
+  }
+
+  // Transfer: the loop frame's locals are the OSR graph's parameters.
+  // The interpreter frame stays registered in ActiveFrames for the
+  // duration (rooting Locals); the executors root their own copies.
+  OsrCode &OC = It->second;
+  ++CompiledDepth;
+  if (OC.Native)
+    Out = NatExecutor.execute(*OC.Native, Locals);
+  else if (OC.Linear && Options.Exec != ExecMode::Graph)
+    Out = LinExecutor.execute(*OC.Linear, Locals);
+  else
+    Out = Executor.execute(*OC.G, Locals);
+  --CompiledDepth;
+  {
+    std::lock_guard<std::mutex> L(StateMutex);
+    ++SpeshM.OsrEntries;
+  }
+  if (traceWants(TraceCompile))
+    Tracer::get().instant(TraceCompile, "osr-entry", "method",
+                          static_cast<int64_t>(Method), "bci",
+                          static_cast<int64_t>(TargetBci), nullptr, nullptr,
+                          "isolate", static_cast<int64_t>(Id));
+  return true;
+}
+
 Value Isolate::handleDeopt(DeoptRequest &&Req) {
   const char *Reason = deoptReasonName(Req.Reason);
   if (traceWants(TraceDeopt))
@@ -821,10 +1108,55 @@ Value Isolate::handleDeopt(DeoptRequest &&Req) {
   // Attribute the deopt to the installed code's log record (with the
   // Section 5.5 rematerialization payload) before a possible
   // invalidation retires that record's code.
-  CLog.addDeopt(Req.Root, Reason, Req.Rematerialized);
+  CLog.addDeopt(Req.Root, Reason, Req.Rematerialized, Req.GuardId);
+  // Guard-attributed failures feed the despecialization loop: the guard
+  // id indexes the installed plan, the failing speculation's SITE is
+  // charged in the durable statistics, and past the threshold the site
+  // is blocklisted — blocklist() returns true exactly once, so each
+  // despecialized speculation triggers at most one recompile and the
+  // planner converges.
+  bool Despecialized = false;
+  if (Req.GuardId != NoSpeculationId) {
+    Speculation Failed;
+    bool Attributed = false;
+    {
+      std::lock_guard<std::mutex> L(StateMutex);
+      ++SpeshM.GuardFailures;
+      const SpeshPlan &Plan = States[Req.Root].Spesh;
+      if (Req.GuardId < Plan.size()) {
+        Failed = Plan.Specs[Req.GuardId];
+        Attributed = true;
+      }
+    }
+    if (Attributed) {
+      uint64_t Site = speculationSiteKey(Failed);
+      uint64_t Fails = Spesh.recordGuardFailure(Req.Root, Site);
+      if (traceWants(TraceDeopt))
+        Tracer::get().instant(TraceDeopt, "guard-fail", "method",
+                              static_cast<int64_t>(Req.Root), "guard",
+                              static_cast<int64_t>(Req.GuardId), "kind",
+                              speculationKindName(Failed.Kind), "isolate",
+                              static_cast<int64_t>(Id));
+      if (Fails >= Options.SpeshFailThreshold &&
+          Spesh.blocklist(Req.Root, Site)) {
+        {
+          std::lock_guard<std::mutex> L(StateMutex);
+          ++SpeshM.Despecializations;
+        }
+        if (traceWants(TraceDeopt))
+          Tracer::get().instant(TraceDeopt, "despecialize", "method",
+                                static_cast<int64_t>(Req.Root), "guard",
+                                static_cast<int64_t>(Req.GuardId), "kind",
+                                speculationKindName(Failed.Kind), "isolate",
+                                static_cast<int64_t>(Id));
+        invalidate(Req.Root);
+        Despecialized = true;
+      }
+    }
+  }
   MethodState &MS = States[Req.Root];
   ++MS.DeoptCount;
-  if (MS.DeoptCount > Options.MaxDeoptsPerMethod) {
+  if (!Despecialized && MS.DeoptCount > Options.MaxDeoptsPerMethod) {
     // The speculation keeps failing: throw the code away. Interpreted
     // re-runs update the branch/receiver profiles, so the next
     // compilation no longer contains the failing guard.

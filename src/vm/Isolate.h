@@ -60,13 +60,16 @@
 #include "observability/Trace.h"
 #include "pea/PartialEscapeAnalysis.h"
 #include "runtime/Runtime.h"
+#include "spesh/SpeshStats.h"
 #include "vm/GraphExecutor.h"
 #include "vm/LinearCode.h"
 
 #include <atomic>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 
 namespace jvm {
 
@@ -76,6 +79,23 @@ struct CompileResult;
 /// Number of compiler threads the process-wide broker starts by default:
 /// the hardware concurrency (at least 1). JVM_COMPILER_THREADS overrides.
 unsigned defaultCompilerThreads();
+
+/// The default CompilerOptions with the environment applied: JVM_SPESH=1
+/// turns the speculation planner on (anything other than 0/1 is a fatal
+/// configuration error, matching JVM_EXEC_MODE).
+CompilerOptions defaultCompilerOptions();
+
+/// Guard failures of one speculation before it is despecialized
+/// (blocklisted + recompiled without it). JVM_SPESH_THRESHOLD overrides;
+/// must parse as a positive integer or startup is a fatal error.
+uint64_t defaultSpeshFailThreshold();
+
+/// Loop back edges (per method x loop-header bci, counted while
+/// interpreted) before an on-stack-replacement compile triggers.
+/// JVM_OSR_THRESHOLD overrides; 0 disables OSR. Must parse as a
+/// non-negative integer or startup is a fatal error. OSR is only active
+/// when speculation is enabled (JVM_SPESH=1).
+uint64_t defaultOsrThreshold();
 
 /// Which tier executes compiled methods.
 enum class ExecMode : uint8_t {
@@ -115,9 +135,28 @@ ExecMode defaultExecMode();
 /// "differential").
 const char *execModeName(ExecMode M);
 
+/// The setting a JVM_SPESH value selects: empty/unset means off,
+/// anything other than "0"/"1" is a hard configuration error (fatal)
+/// naming the valid settings — same contract as JVM_EXEC_MODE.
+bool speshFromEnvironment(const char *Text);
+
+/// Shared parser for the integer speculation knobs (JVM_SPESH_THRESHOLD,
+/// JVM_OSR_THRESHOLD): unset/empty selects \p Default; anything that is
+/// not a whole base-10 integer in the allowed range is fatal, listing
+/// the valid settings. \p Var names the variable in the error.
+uint64_t speshCountFromEnvironment(const char *Var, const char *Text,
+                                   uint64_t Default, bool ZeroAllowed);
+
 struct VMOptions {
-  CompilerOptions Compiler;
+  CompilerOptions Compiler = defaultCompilerOptions();
   bool EnableJit = true;
+  /// Guard failures of one speculation site before despecialization:
+  /// the site is blocklisted in the durable SpeshStats and the method
+  /// recompiles without it (at most once per blocklisted site).
+  uint64_t SpeshFailThreshold = defaultSpeshFailThreshold();
+  /// Loop back edges before an OSR compile of that loop triggers
+  /// (0 = OSR off). Only consulted when Compiler.EnableSpesh is on.
+  uint64_t OsrThreshold = defaultOsrThreshold();
   /// Hotness (invocations + back edges / 8) before a method compiles.
   /// High enough that branch and receiver profiles mature first — a
   /// method compiled with immature profiles misses devirtualization and,
@@ -179,6 +218,23 @@ struct JitMetrics {
   PEAStats EscapeStats; ///< aggregated over all compilations
 };
 
+/// Counters describing one isolate's speculation activity. Same locking
+/// discipline as JitMetrics: written under the state lock, read from the
+/// mutator after waitForCompilerIdle().
+struct SpeshMetrics {
+  uint64_t Plans = 0;             ///< installed compiles w/ non-empty plan
+  uint64_t GuardsPlanted = 0;     ///< speculations across installed plans
+  uint64_t GuardFailures = 0;     ///< guard-attributed deopts taken
+  uint64_t Despecializations = 0; ///< sites blocklisted past the threshold
+  uint64_t OsrCompiles = 0;       ///< loop entry versions compiled
+  uint64_t OsrEntries = 0;        ///< interpreter frames transferred mid-loop
+  /// Escape-analysis work of the OSR loop versions alone. OSR compiles
+  /// are *extra* compilations a speculation-off run never performs, so
+  /// comparisons of PEA work across spesh on/off subtract this share
+  /// from JitMetrics::EscapeStats (which keeps aggregating everything).
+  PEAStats OsrEscapeStats;
+};
+
 class Isolate {
 public:
   Isolate(const Program &P, VMOptions Options);
@@ -212,6 +268,11 @@ public:
   ProfileData &profiles() { return Profiles; }
   const VMOptions &options() const { return Options; }
   JitMetrics &jitMetrics() { return Jit; }
+  SpeshMetrics &speshMetrics() { return SpeshM; }
+
+  /// The durable speculation statistics (receiver/branch/argument
+  /// histograms, guard-failure counts, blocklists). Mutator-thread only.
+  SpeshStats &speshStats() { return Spesh; }
 
   /// The per-isolate metrics registry: every RuntimeMetrics/JitMetrics/
   /// PEAStats field is registered here (as a dump-time gauge), plus the
@@ -305,6 +366,17 @@ private:
   /// has no compiled activation on its stack.
   void reclaimRetired();
   Value handleDeopt(DeoptRequest &&Req);
+  /// Folds the live interpreter profile into the durable speculation
+  /// statistics and snapshots them for one compile of \p Method.
+  /// Mutator thread only (same discipline as ProfileSnapshot).
+  SpeshSnapshot makeSpeshSnapshot(MethodId Method);
+  /// The interpreter's back-edge hook: counts (method, loop-header bci)
+  /// hotness, triggers a synchronous OSR compile at the threshold, and
+  /// transfers the frame into the compiled loop version. Returns true
+  /// with \p Out holding the method result if compiled code finished the
+  /// activation.
+  bool handleOsr(MethodId Method, int TargetBci, std::vector<Value> &Locals,
+                 Value &Out);
 
   struct MethodState {
     /// The published code pointer — the only thing the mutator's fast
@@ -344,6 +416,11 @@ private:
     uint64_t Version = 0;
     uint64_t DeoptCount = 0;
     uint64_t Recompiles = 0;
+    /// The speculation plan the installed code was built with: guard id
+    /// i of the running code is Spesh.Specs[i]. Failing guards report
+    /// their id through the deopt path and are attributed here. Guarded
+    /// by StateMutex (installed by workers, read on the deopt path).
+    SpeshPlan Spesh;
     /// Last tier this method was observed executing in, for tier-
     /// transition trace instants (0 = interpreter, 1 = graph walker,
     /// 2 = linear, 3 = native). Mutator-only; maintained only while
@@ -362,8 +439,33 @@ private:
   NativeExecutor NatExecutor;
   std::vector<MethodState> States;
   JitMetrics Jit;
+  SpeshMetrics SpeshM; ///< guarded by StateMutex, like Jit
   MetricsRegistry Registry;
   CompileLog CLog;
+  /// Durable speculation statistics (outlive individual compilations).
+  /// Mutator-thread only; workers see them via SpeshSnapshot at enqueue.
+  SpeshStats Spesh;
+
+  // On-stack replacement state. All mutator-only: OSR compiles run
+  // synchronously on the mutator thread and entries happen from the
+  // interpreter loop, so none of this needs the state lock. ------------
+  /// One compiled loop-entry version, keyed by (method, entry bci).
+  struct OsrCode {
+    std::unique_ptr<Graph> G;
+    std::unique_ptr<LinearCode> Linear;
+    std::unique_ptr<NativeCode> Native; ///< declared last: unmapped first
+    uint64_t Version = 0; ///< method code version when compiled
+  };
+  std::map<std::pair<MethodId, int>, OsrCode> OsrTable;
+  /// Invalidation retires OSR code here (an activation may be live on
+  /// the stack — the invalidating deopt came from inside it); freed with
+  /// the regular retired lists at the next safe point.
+  std::vector<OsrCode> RetiredOsr;
+  /// Back edges taken at each (method, target bci) while interpreted.
+  std::map<std::pair<MethodId, int>, uint64_t> OsrBackedges;
+  /// Cache of osrEntrySupported(): the structural test walks the
+  /// bytecode, so its verdict is computed once per site.
+  std::map<std::pair<MethodId, int>, bool> OsrSupport;
   /// Cached registry histograms (stable addresses; recording is
   /// lock-free, so hot paths never touch the registry mutex).
   MetricHistogram *EnqueueToInstallHist = nullptr;

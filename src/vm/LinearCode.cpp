@@ -216,6 +216,7 @@ private:
     L.HasEffects = true;
     LinearCode::DeoptDesc D;
     D.Reason = N->reason();
+    D.GuardId = N->speculationId();
     D.FirstObj = L.Objects.size();
     D.FirstFrame = L.Frames.size();
     // Pass 1: discover the virtual objects in exactly the graph walker's
@@ -424,6 +425,11 @@ private:
       D.Kind = Inv->callKind();
       D.FirstArg = static_cast<uint32_t>(L.CallArgRegs.size());
       D.NumArgs = Inv->numArgs();
+      // Root-method callsites feed the speculation receiver statistics;
+      // inlined invokes carry a callee-relative bci and stay unprofiled.
+      if (const FrameStateNode *FS = Inv->state())
+        if (FS->method() == G.method() && !FS->outer())
+          D.Bci = FS->bci();
       for (unsigned K = 0; K != D.NumArgs; ++K)
         L.CallArgRegs.push_back(useVal(Inv->argAt(K)));
       uint32_t Idx = static_cast<uint32_t>(L.Calls.size());
@@ -548,6 +554,7 @@ Value jvm::runDeopt(Runtime &RT, const LinearCode &L,
   DeoptRequest Req;
   Req.Root = L.method();
   Req.Reason = D.Reason;
+  Req.GuardId = D.GuardId;
   Req.Rematerialized = D.NumObjs;
   // Materialize the scalar-replaced objects in recorded (= walker
   // discovery) order; the scope keeps them rooted through the handler.
@@ -797,6 +804,8 @@ Value LinearExecutor::run(const LinearCode &L, std::vector<Value> &R) {
       if (!Receiver)
         reportCompiledTrap(L.method(), "null receiver");
       Target = P.resolveVirtual(D.Callee, Receiver->objectClass());
+      if (ProfileReceiver && D.Bci >= 0)
+        ProfileReceiver(L.method(), D.Bci, Receiver->objectClass());
     }
     R[I->Dst] = Call(Target, std::move(CallArgs));
     JVM_NEXT();

@@ -108,6 +108,10 @@ public:
     CallKind Kind;
     uint32_t FirstArg; ///< index into CallArgRegs
     uint32_t NumArgs;
+    /// Bytecode index of the callsite in the ROOT method, or -1 for
+    /// invokes inlined from callees — the compiled-tier receiver feed
+    /// (speculation statistics) only profiles root-attributable sites.
+    int32_t Bci = -1;
   };
 
   /// One virtual object to (re)allocate, shared by materialize and deopt
@@ -149,6 +153,9 @@ public:
 
   struct DeoptDesc {
     DeoptReason Reason;
+    /// Speculation-plan index of the failing guard (NoSpeculationId for
+    /// builder-inserted deopts) — carried into the DeoptRequest.
+    uint32_t GuardId = NoSpeculationId;
     /// Virtual objects mapped anywhere in the state chain, in the graph
     /// walker's discovery order (innermost state outwards, first mapping
     /// wins) — allocation order and lock replay are bit-for-bit the same.
@@ -223,6 +230,14 @@ std::unique_ptr<LinearCode> translateGraph(const Graph &G,
 /// plans that did not run the "schedule" phase).
 std::unique_ptr<LinearCode> translateGraph(const Graph &G);
 
+/// One virtual-dispatch receiver observed by a compiled tier, attributed
+/// to callsite \p Bci of root method \p Root. The speculation subsystem
+/// installs this on both the linear and native executors so receiver
+/// statistics keep maturing after compilation (a phase change is still
+/// observed and can trigger despecialization-quality replans).
+using ReceiverProfileFn =
+    std::function<void(MethodId Root, int Bci, ClassId Receiver)>;
+
 /// Executes LinearCode against the runtime. One instance per VM; frames
 /// are pooled per recursion depth (Invokes re-enter the executor through
 /// the VM) and registered as GC roots for the lifetime of the executor.
@@ -234,12 +249,18 @@ public:
   /// Executes \p L with \p Args; returns the method result.
   Value execute(const LinearCode &L, const std::vector<Value> &Args);
 
+  /// Installs the virtual-dispatch receiver feed. Default: none.
+  void setReceiverProfile(ReceiverProfileFn Fn) {
+    ProfileReceiver = std::move(Fn);
+  }
+
 private:
   Value run(const LinearCode &L, std::vector<Value> &R);
 
   Runtime &RT;
   CallHandler Call;
   DeoptHandlerFn Deopt;
+  ReceiverProfileFn ProfileReceiver;
   /// Register frames by recursion depth; entries stay allocated between
   /// calls (cleared on reuse) so steady-state execution never mallocs.
   std::vector<std::unique_ptr<std::vector<Value>>> FramePool;

@@ -52,6 +52,13 @@ RowMeasurement jvm::workloads::measureRow(const BenchmarkSet &Set,
   // registry's histograms, per-call compiled/interpreted op counts)
   // resets so the measured window carries no warmup noise.
   M.Escape += VM.jitMetrics().EscapeStats;
+  // Speculation activity is compile-time work too: harvest the warmup
+  // window before the reset, the measured window after it (below).
+  M.SpeshOn = VO.Compiler.EnableSpesh;
+  M.SpeshPlans += VM.isolate().speshMetrics().Plans;
+  M.SpeshGuardFailures += VM.isolate().speshMetrics().GuardFailures;
+  M.OsrEntries += VM.isolate().speshMetrics().OsrEntries;
+  M.OsrEscape += VM.isolate().speshMetrics().OsrEscapeStats;
   VM.resetMetrics();
   double BestSeconds = 0;
   unsigned Repeats = Opts.Repeats ? Opts.Repeats : 1;
@@ -88,6 +95,10 @@ RowMeasurement jvm::workloads::measureRow(const BenchmarkSet &Set,
   M.Compilations = VM.jitMetrics().Compilations;
   M.Invalidations = VM.jitMetrics().Invalidations;
   M.Escape += VM.jitMetrics().EscapeStats;
+  M.SpeshPlans += VM.isolate().speshMetrics().Plans;
+  M.SpeshGuardFailures += VM.isolate().speshMetrics().GuardFailures;
+  M.OsrEntries += VM.isolate().speshMetrics().OsrEntries;
+  M.OsrEscape += VM.isolate().speshMetrics().OsrEscapeStats;
   if (EnvSnapshot::process().BenchDiag) {
     // The unified registry is the diagnostic surface: one coherent table
     // instead of a hand-picked fprintf subset.
@@ -114,6 +125,34 @@ jvm::workloads::runSuite(const BenchmarkSet &Set, const std::string &Suite,
       jvm_unreachable("benchmark checksum differs between EA modes");
     Result.push_back(C);
     std::fprintf(stderr, "  [measured] %-12s done\n", Row.Name.c_str());
+  }
+  return Result;
+}
+
+std::vector<RowComparison>
+jvm::workloads::runSuiteSpesh(const BenchmarkSet &Set,
+                              const std::string &Suite,
+                              EscapeAnalysisMode Mode,
+                              const HarnessOptions &Opts) {
+  std::vector<RowComparison> Result;
+  HarnessOptions Off = Opts;
+  Off.VM.Compiler.EnableSpesh = false;
+  HarnessOptions On = Opts;
+  On.VM.Compiler.EnableSpesh = true;
+  for (const BenchmarkRow &Row : Set.Rows) {
+    if (Row.Suite != Suite)
+      continue;
+    RowComparison C;
+    C.Row = &Row;
+    C.Without = measureRow(Set, Row, Mode, Off);
+    C.With = measureRow(Set, Row, Mode, On);
+    // Speculation is an optimization, never a semantic: any checksum
+    // divergence means a guard resumed into the wrong state.
+    if (C.Without.Checksum != C.With.Checksum)
+      jvm_unreachable("benchmark checksum differs with speculation on");
+    Result.push_back(C);
+    std::fprintf(stderr, "  [measured] %-12s spesh on/off done\n",
+                 Row.Name.c_str());
   }
   return Result;
 }
@@ -213,6 +252,42 @@ jvm::workloads::formatTierTable(const std::vector<TierComparison> &Rows) {
   return OS.str();
 }
 
+std::string
+jvm::workloads::formatSpeshTable(const std::vector<RowComparison> &Rows) {
+  std::ostringstream OS;
+  char Buf[224];
+  std::snprintf(Buf, sizeof(Buf), "%-14s | %28s | %21s | %24s\n",
+                "speculation", "Iterations / Minute",
+                "Materialize Sites", "Speculation Activity");
+  OS << Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "%-14s | %9s %9s %8s | %10s %10s | %7s %7s %8s\n", "", "off",
+                "on", "delta", "off", "on", "plans", "fails", "osr");
+  OS << Buf;
+  OS << std::string(96, '-') << '\n';
+  for (const RowComparison &C : Rows) {
+    // Method-entry compiles only (Escape minus the OSR loop versions'
+    // share): the off column has no OSR compiles, so including them
+    // would charge speculation for compiles the baseline never ran.
+    std::snprintf(Buf, sizeof(Buf),
+                  "%-14s | %9.1f %9.1f %+7.1f%% | %10llu %10llu | "
+                  "%7llu %7llu %8llu\n",
+                  C.Row->Name.c_str(), C.Without.ItersPerMinute,
+                  C.With.ItersPerMinute,
+                  percentDelta(C.Without.ItersPerMinute,
+                               C.With.ItersPerMinute),
+                  (unsigned long long)(C.Without.Escape.MaterializeSites -
+                                       C.Without.OsrEscape.MaterializeSites),
+                  (unsigned long long)(C.With.Escape.MaterializeSites -
+                                       C.With.OsrEscape.MaterializeSites),
+                  (unsigned long long)C.With.SpeshPlans,
+                  (unsigned long long)C.With.SpeshGuardFailures,
+                  (unsigned long long)C.With.OsrEntries);
+    OS << Buf;
+  }
+  return OS.str();
+}
+
 std::string jvm::workloads::table1JsonPath() {
   if (const char *E = EnvSnapshot::process().BenchJson)
     return E;
@@ -226,7 +301,7 @@ namespace {
 std::string jsonRecord(const std::string &Suite, const std::string &Name,
                        const char *Ea, const char *Exec,
                        const RowMeasurement &M) {
-  char Buf[512];
+  char Buf[768];
   std::snprintf(Buf, sizeof(Buf),
                 "{\"suite\": \"%s\", \"benchmark\": \"%s\", "
                 "\"ea\": \"%s\", \"exec_mode\": \"%s\", "
@@ -235,7 +310,11 @@ std::string jsonRecord(const std::string &Suite, const std::string &Name,
                 "\"deopts\": %llu, "
                 "\"scavenges\": %llu, \"full_gcs\": %llu, "
                 "\"bytes_promoted\": %llu, "
-                "\"gc_pause_p50_ns\": %llu, \"gc_pause_p99_ns\": %llu}",
+                "\"gc_pause_p50_ns\": %llu, \"gc_pause_p99_ns\": %llu, "
+                "\"spesh\": %s, \"materialize_sites\": %llu, "
+                "\"osr_materialize_sites\": %llu, "
+                "\"spesh_plans\": %llu, \"guard_failures\": %llu, "
+                "\"osr_entries\": %llu}",
                 Suite.c_str(), Name.c_str(), Ea, Exec,
                 M.KBPerIter / 1024.0, M.KAllocsPerIter * 1000.0,
                 M.ItersPerMinute, M.MonitorOpsPerIter,
@@ -244,7 +323,14 @@ std::string jsonRecord(const std::string &Suite, const std::string &Name,
                 (unsigned long long)M.FullGcs,
                 (unsigned long long)M.BytesPromoted,
                 (unsigned long long)M.GcPauseP50Ns,
-                (unsigned long long)M.GcPauseP99Ns);
+                (unsigned long long)M.GcPauseP99Ns,
+                M.SpeshOn ? "true" : "false",
+                (unsigned long long)(M.Escape.MaterializeSites -
+                                     M.OsrEscape.MaterializeSites),
+                (unsigned long long)M.OsrEscape.MaterializeSites,
+                (unsigned long long)M.SpeshPlans,
+                (unsigned long long)M.SpeshGuardFailures,
+                (unsigned long long)M.OsrEntries);
   return Buf;
 }
 
@@ -253,7 +339,8 @@ std::string jsonRecord(const std::string &Suite, const std::string &Name,
 void jvm::workloads::appendTable1Json(const std::string &Suite,
                                       const std::vector<RowComparison> &PeaRows,
                                       ExecMode PeaExec,
-                                      const std::vector<TierComparison> &TierRows) {
+                                      const std::vector<TierComparison> &TierRows,
+                                      const std::vector<RowComparison> &SpeshRows) {
   std::vector<std::string> Records;
   const char *Exec = execModeName(PeaExec);
   for (const RowComparison &C : PeaRows) {
@@ -268,6 +355,13 @@ void jvm::workloads::appendTable1Json(const std::string &Suite,
     if (C.HasNative)
       Records.push_back(
           jsonRecord(Suite, C.Row->Name, "partial", "native", C.Native));
+  }
+  // Speculation off/on pairs (both PEA partial): the "spesh" field
+  // inside each record distinguishes the two columns.
+  for (const RowComparison &C : SpeshRows) {
+    Records.push_back(
+        jsonRecord(Suite, C.Row->Name, "partial", Exec, C.Without));
+    Records.push_back(jsonRecord(Suite, C.Row->Name, "partial", Exec, C.With));
   }
 
   // Keep the file one valid JSON array across binaries: splice new

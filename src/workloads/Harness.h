@@ -62,7 +62,18 @@ struct RowMeasurement {
   uint64_t GcPauseP50Ns = 0;
   uint64_t GcPauseP99Ns = 0;
   PEAStats Escape; ///< escape-analysis work over all row compilations
+  /// The share of Escape contributed by OSR loop versions — extra
+  /// compiles a speculation-off run never performs. The spesh on/off
+  /// table and JSON report Escape minus this, so "materialize sites"
+  /// compares the same set of method-entry compilations on both sides.
+  PEAStats OsrEscape;
   int64_t Checksum = 0; ///< sum of driver results (cross-mode validation)
+  // Speculation subsystem activity (PR 10), summed over warmup and the
+  // measured window (plans are made at compile time, like Escape).
+  bool SpeshOn = false; ///< was Compiler.EnableSpesh set for this run
+  uint64_t SpeshPlans = 0;
+  uint64_t SpeshGuardFailures = 0;
+  uint64_t OsrEntries = 0;
 };
 
 struct RowComparison {
@@ -107,6 +118,20 @@ std::vector<TierComparison> runSuiteTiers(const BenchmarkSet &Set,
 /// the footer compare native against linear).
 std::string formatTierTable(const std::vector<TierComparison> &Rows);
 
+/// Measures every row of \p Suite under \p Mode with speculation off
+/// (Without) vs on (With) — the planner's guards, despecialization and
+/// OSR against the identical configuration without them. Checksums must
+/// agree exactly (speculation is an optimization, never a semantic).
+std::vector<RowComparison> runSuiteSpesh(const BenchmarkSet &Set,
+                                         const std::string &Suite,
+                                         EscapeAnalysisMode Mode,
+                                         const HarnessOptions &Opts);
+
+/// Renders the speculation on/off comparison: throughput, materialize
+/// sites (the PEA win speculation unlocks), and the plan/guard/OSR
+/// activity of the speculated column.
+std::string formatSpeshTable(const std::vector<RowComparison> &Rows);
+
 /// Where appendTable1Json writes: $JVM_BENCH_JSON, default
 /// "BENCH_table1.json" in the working directory.
 std::string table1JsonPath();
@@ -116,11 +141,14 @@ std::string table1JsonPath();
 /// binaries: MB/iteration, allocations/iteration, iterations/minute,
 /// with the escape-analysis mode and execution tier that produced them.
 /// \p PeaRows compare EA off/on under \p PeaExec; \p TierRows compare
-/// the graph, linear and (when measured) native tiers (all PEA).
+/// the graph, linear and (when measured) native tiers (all PEA);
+/// \p SpeshRows compare speculation off/on (both PEA, both \p PeaExec —
+/// each record's "spesh" field says which column it is).
 void appendTable1Json(const std::string &Suite,
                       const std::vector<RowComparison> &PeaRows,
                       ExecMode PeaExec,
-                      const std::vector<TierComparison> &TierRows);
+                      const std::vector<TierComparison> &TierRows,
+                      const std::vector<RowComparison> &SpeshRows = {});
 
 /// Renders one Table 1 block. Rows the paper omits are excluded from the
 /// listing but included in the averages, exactly like the original.

@@ -501,7 +501,7 @@ TEST(NativeOpTest, DeoptRequestsAreBitForBitEquivalent) {
                {H.Base, false, ValueType::Void, 1, 2, 2}};
   L.Frames = {{/*Method=*/1, /*Bci=*/2, /*Reexecute=*/true, 4, 2, 0, 0},
               {/*Method=*/0, /*Bci=*/4, /*Reexecute=*/false, 6, 1, 7, 1}};
-  L.Deopts = {{DeoptReason::TypeGuardFailed, 0, 2, 0, 2}};
+  L.Deopts = {{DeoptReason::TypeGuardFailed, NoSpeculationId, 0, 2, 0, 2}};
   L.HasEffects = true;
 
   for (int Tier = 0; Tier != 2; ++Tier) {

@@ -1,0 +1,533 @@
+//===- spesh_test.cpp - Speculation subsystem: guards, deopt, OSR --------------===//
+//
+// Covers the speculation subsystem end to end: the planner's decision
+// procedure over hand-built and interpreter-fed snapshots, and the
+// guard/deopt contract — hand-built guarded methods where every guard
+// fails on a chosen iteration must rebuild DeoptRequests that are
+// bit-for-bit identical across the graph and linear tiers and resume
+// the interpreter into exactly the state the unspeculated tier
+// computes. Isolate-level tests drive despecialization to convergence
+// (blocklist => at most one recompile per failed speculation) and
+// on-stack replacement of a hot loop. These tests carry the "spesh"
+// ctest label and are part of the README TSan sweep.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Bytecode.h"
+#include "interp/Interpreter.h"
+#include "spesh/SpeshPlanner.h"
+#include "spesh/SpeshStats.h"
+#include "vm/CompileBroker.h"
+#include "vm/Isolate.h"
+
+#include "TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+using namespace jvm;
+using namespace jvm::testprogs;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Shared scaffolding
+//===----------------------------------------------------------------------===//
+
+/// Bytecode index of the \p N-th conditional branch in \p Method (0-based).
+int conditionalBranchBci(const Program &P, MethodId Method, int N) {
+  const MethodInfo &M = P.methodAt(Method);
+  for (int Bci = 0, E = static_cast<int>(M.Code.size()); Bci != E; ++Bci)
+    if (isConditionalBranch(M.Code[Bci].Op) && N-- == 0)
+      return Bci;
+  return -1;
+}
+
+/// Bytecode index of the first InvokeVirtual in \p Method.
+int invokeVirtualBci(const Program &P, MethodId Method) {
+  const MethodInfo &M = P.methodAt(Method);
+  for (int Bci = 0, E = static_cast<int>(M.Code.size()); Bci != E; ++Bci)
+    if (M.Code[Bci].Op == Opcode::InvokeVirtual)
+      return Bci;
+  return -1;
+}
+
+/// A speculation snapshot that justifies guards (Enabled, ample weight).
+SpeshSnapshot enabledSnapshot() {
+  SpeshSnapshot S;
+  S.Enabled = true;
+  S.MinProfile = 20;
+  return S;
+}
+
+/// Compile-and-run harness for direct pipeline tests: compiles with or
+/// without a speculation snapshot, executes the result under the graph
+/// walker or the linear tier, and records every DeoptRequest (copied
+/// before the interpreter consumes the frames, so tests can compare the
+/// rebuilt state across tiers bit for bit).
+struct SpeshJit {
+  const Program &P;
+  Runtime RT;
+  ProfileData Prof;
+  Interpreter Interp;
+  CompilerOptions Opts;
+  std::vector<DeoptRequest> Requests;
+
+  explicit SpeshJit(const Program &P)
+      : P(P), RT(P), Prof(P.numMethods()), Interp(RT, Prof) {
+    Opts.EnableSpesh = true;
+  }
+
+  CompileResult compile(MethodId M, const SpeshSnapshot *Snap) {
+    return runCompilePipeline(P, M, ProfileSnapshot(Prof, P, M), Opts,
+                              /*IsolateId=*/0, Snap);
+  }
+
+  CallHandler callHandler() {
+    return [this](MethodId Target, std::vector<Value> &&Args) {
+      return Interp.call(Target, std::move(Args));
+    };
+  }
+
+  DeoptHandlerFn deoptHandler() {
+    return [this](DeoptRequest &&Req) {
+      Requests.push_back(Req); // copy first: the resume moves the frames
+      return Interp.resume(std::move(Req.Frames));
+    };
+  }
+
+  Value runGraph(const Graph &G, std::vector<Value> Args) {
+    GraphExecutor Ex(RT, callHandler(), deoptHandler());
+    Runtime::RootScope Roots(RT, &Args);
+    return Ex.execute(G, Args);
+  }
+
+  Value runLinear(const LinearCode &L, std::vector<Value> Args) {
+    LinearExecutor Ex(RT, callHandler(), deoptHandler());
+    Runtime::RootScope Roots(RT, &Args);
+    return Ex.execute(L, Args);
+  }
+};
+
+/// The bit-for-bit DeoptRequest comparison: same attribution, same
+/// rebuilt frames, same values in every local and stack slot.
+void expectSameRequest(const DeoptRequest &A, const DeoptRequest &B,
+                       const char *What) {
+  EXPECT_EQ(A.Root, B.Root) << What;
+  EXPECT_EQ(A.Reason, B.Reason) << What;
+  EXPECT_EQ(A.GuardId, B.GuardId) << What;
+  EXPECT_EQ(A.Rematerialized, B.Rematerialized) << What;
+  ASSERT_EQ(A.Frames.size(), B.Frames.size()) << What;
+  for (size_t F = 0; F != A.Frames.size(); ++F) {
+    const ResumeFrame &FA = A.Frames[F];
+    const ResumeFrame &FB = B.Frames[F];
+    EXPECT_EQ(FA.Method, FB.Method) << What << " frame " << F;
+    EXPECT_EQ(FA.Bci, FB.Bci) << What << " frame " << F;
+    EXPECT_EQ(FA.Reexecute, FB.Reexecute) << What << " frame " << F;
+    ASSERT_EQ(FA.Locals.size(), FB.Locals.size()) << What << " frame " << F;
+    for (size_t I = 0; I != FA.Locals.size(); ++I)
+      EXPECT_EQ(FA.Locals[I], FB.Locals[I])
+          << What << " frame " << F << " local " << I;
+    ASSERT_EQ(FA.Stack.size(), FB.Stack.size()) << What << " frame " << F;
+    for (size_t I = 0; I != FA.Stack.size(); ++I)
+      EXPECT_EQ(FA.Stack[I], FB.Stack[I])
+          << What << " frame " << F << " stack " << I;
+  }
+}
+
+/// f(n, k): acc = 0; for (i = 0; i < n; ++i) acc += (i == k ? 100 : 1).
+/// The inner branch is the speculation target: trained "i != k always",
+/// it fails on exactly iteration k — the guard must rebuild the mid-loop
+/// frame (acc and i at iteration k) for the interpreter to finish.
+struct LoopBranchProgram {
+  Program P;
+  MethodId F = NoMethod;
+  int InnerBranchBci = -1;
+};
+
+LoopBranchProgram makeLoopBranchProgram() {
+  LoopBranchProgram R;
+  Program &P = R.P;
+  R.F = P.addMethod("loopBranch", NoClass, {ValueType::Int, ValueType::Int},
+                    ValueType::Int);
+  CodeBuilder C(P, R.F);
+  unsigned Acc = C.newLocal();
+  unsigned I = C.newLocal();
+  Label Head = C.newLabel();
+  Label Plain = C.newLabel();
+  Label Next = C.newLabel();
+  Label Exit = C.newLabel();
+  C.constI(0).store(Acc);
+  C.constI(0).store(I);
+  C.bind(Head);
+  C.load(I).load(0).ifGe(Exit);
+  C.load(I).load(1).ifNe(Plain);
+  C.load(Acc).constI(100).add().store(Acc);
+  C.gotoL(Next);
+  C.bind(Plain);
+  C.load(Acc).constI(1).add().store(Acc);
+  C.bind(Next);
+  C.load(I).constI(1).add().store(I);
+  C.gotoL(Head);
+  C.bind(Exit);
+  C.load(Acc).retInt();
+  C.finish();
+  verifyProgramOrDie(P);
+  // First conditional branch is the loop exit, second is i == k.
+  R.InnerBranchBci = conditionalBranchBci(P, R.F, 1);
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Planner decision procedure
+//===----------------------------------------------------------------------===//
+
+TEST(SpeshPlannerTest, MonomorphicReceiverIsPinnedPolymorphicIsNot) {
+  ShapesProgram SP = makeShapesProgram();
+  int Bci = invokeVirtualBci(SP.P, SP.AreaOf);
+  ASSERT_GE(Bci, 0);
+
+  SpeshSnapshot S = enabledSnapshot();
+  S.Receivers[Bci][SP.Circle] = 50;
+  SpeshPlan Plan = planSpeculations(S, SP.P, SP.AreaOf);
+  ASSERT_EQ(Plan.size(), 1u);
+  EXPECT_EQ(Plan.Specs[0].Kind, SpeculationKind::ReceiverPin);
+  EXPECT_EQ(Plan.Specs[0].Bci, Bci);
+  EXPECT_EQ(Plan.Specs[0].Receiver, SP.Circle);
+
+  S.Receivers[Bci][SP.Square] = 1; // one stray observation kills the pin
+  EXPECT_TRUE(planSpeculations(S, SP.P, SP.AreaOf).empty());
+}
+
+TEST(SpeshPlannerTest, ThinProfilesAndBlocklistedSitesAreSkipped) {
+  ShapesProgram SP = makeShapesProgram();
+  int Bci = invokeVirtualBci(SP.P, SP.AreaOf);
+
+  SpeshSnapshot S = enabledSnapshot();
+  S.Receivers[Bci][SP.Circle] = S.MinProfile - 1; // immature
+  EXPECT_TRUE(planSpeculations(S, SP.P, SP.AreaOf).empty());
+
+  S.Receivers[Bci][SP.Circle] = 50;
+  ASSERT_EQ(planSpeculations(S, SP.P, SP.AreaOf).size(), 1u);
+
+  // A blocklisted site never comes back, whatever the histogram says.
+  Speculation Pin;
+  Pin.Kind = SpeculationKind::ReceiverPin;
+  Pin.Bci = Bci;
+  S.Blocklist.insert(speculationSiteKey(Pin));
+  EXPECT_TRUE(planSpeculations(S, SP.P, SP.AreaOf).empty());
+
+  // Disabled or OSR snapshots always produce the empty plan.
+  S.Blocklist.clear();
+  S.Enabled = false;
+  EXPECT_TRUE(planSpeculations(S, SP.P, SP.AreaOf).empty());
+  S.Enabled = true;
+  S.IsOsr = true;
+  EXPECT_TRUE(planSpeculations(S, SP.P, SP.AreaOf).empty());
+}
+
+TEST(SpeshPlannerTest, StableIntArgumentsAndOneSidedBranches) {
+  MathProgram MP = makeMathProgram();
+  SpeshSnapshot S = enabledSnapshot();
+  S.Args[0] = {/*Count=*/40, /*Stable=*/true, /*Value=*/7};
+  int BranchBci = conditionalBranchBci(MP.P, MP.SumTo, 0);
+  ASSERT_GE(BranchBci, 0);
+  S.Branches[BranchBci] = {0, 64}; // exit branch never taken in profile
+
+  SpeshPlan Plan = planSpeculations(S, MP.P, MP.SumTo);
+  ASSERT_EQ(Plan.size(), 2u);
+  // Entry guards precede branch guards, so guard ids are stable.
+  EXPECT_EQ(Plan.Specs[0].Kind, SpeculationKind::ArgConst);
+  EXPECT_EQ(Plan.Specs[0].Index, 0);
+  EXPECT_EQ(Plan.Specs[0].IntValue, 7);
+  EXPECT_EQ(Plan.Specs[1].Kind, SpeculationKind::BranchPrune);
+  EXPECT_EQ(Plan.Specs[1].Bci, BranchBci);
+  EXPECT_FALSE(Plan.Specs[1].TakenIsHot);
+
+  // Divergent observations disqualify the argument.
+  S.Args[0].Stable = false;
+  EXPECT_EQ(planSpeculations(S, MP.P, MP.SumTo).size(), 1u);
+  // Branches seen going both ways are not one-sided.
+  S.Branches[BranchBci] = {3, 61};
+  EXPECT_TRUE(planSpeculations(S, MP.P, MP.SumTo).empty());
+}
+
+TEST(SpeshStatsTest, InterpreterProfilesFoldIntoPlannableSnapshots) {
+  // The real data flow: interpret areaOf on circles only, fold the
+  // method profile into the durable stats, snapshot, plan.
+  ShapesProgram SP = makeShapesProgram();
+  Runtime RT(SP.P);
+  ProfileData Prof(SP.P.numMethods());
+  Interpreter Interp(RT, Prof);
+  for (int I = 0; I != 30; ++I) {
+    Value Circle = Interp.call(SP.MakeCircle, {Value::makeInt(I + 1)});
+    EXPECT_EQ(Interp.call(SP.AreaOf, {Circle}).asInt(),
+              3 * (I + 1) * (I + 1));
+  }
+
+  SpeshStats Stats(SP.P.numMethods());
+  Stats.foldProfile(SP.AreaOf, Prof.of(SP.AreaOf));
+  SpeshSnapshot S = Stats.snapshot(SP.AreaOf);
+  S.Enabled = true;
+  S.MinProfile = 20;
+  SpeshPlan Plan = planSpeculations(S, SP.P, SP.AreaOf);
+  ASSERT_EQ(Plan.size(), 1u);
+  EXPECT_EQ(Plan.Specs[0].Kind, SpeculationKind::ReceiverPin);
+  EXPECT_EQ(Plan.Specs[0].Receiver, SP.Circle);
+}
+
+//===----------------------------------------------------------------------===//
+// Guard failure => DeoptRequests identical to the unspeculated tier
+//===----------------------------------------------------------------------===//
+
+TEST(SpeshGuardTest, ArgConstEntryGuardFailureResumesExactly) {
+  MathProgram MP = makeMathProgram();
+  SpeshJit J(MP.P);
+
+  SpeshSnapshot S = enabledSnapshot();
+  S.Args[0] = {/*Count=*/50, /*Stable=*/true, /*Value=*/10};
+  CompileResult Spec = J.compile(MP.SumTo, &S);
+  ASSERT_NE(Spec.G, nullptr);
+  ASSERT_NE(Spec.Code, nullptr);
+  ASSERT_EQ(Spec.Spesh.size(), 1u);
+  CompileResult Plain = J.compile(MP.SumTo, nullptr);
+  ASSERT_TRUE(Plain.Spesh.empty());
+
+  // On the speculated value both versions agree without deopting.
+  EXPECT_EQ(J.runGraph(*Spec.G, {Value::makeInt(10)}).asInt(), 55);
+  EXPECT_EQ(J.runLinear(*Spec.Code, {Value::makeInt(10)}).asInt(), 55);
+  EXPECT_TRUE(J.Requests.empty());
+
+  // Off the speculated value, the entry guard fails in both tiers; the
+  // rebuilt entry frame re-executes from bci 0 with the REAL argument
+  // (not the speculated constant) and must reach the unspeculated
+  // tier's result bit for bit.
+  Value Expected = J.runLinear(*Plain.Code, {Value::makeInt(11)});
+  EXPECT_TRUE(J.Requests.empty()) << "unspeculated code must not deopt";
+  EXPECT_EQ(Expected.asInt(), 66);
+
+  EXPECT_EQ(J.runGraph(*Spec.G, {Value::makeInt(11)}), Expected);
+  EXPECT_EQ(J.runLinear(*Spec.Code, {Value::makeInt(11)}), Expected);
+  ASSERT_EQ(J.Requests.size(), 2u);
+  for (const DeoptRequest &Req : J.Requests) {
+    EXPECT_EQ(Req.Root, MP.SumTo);
+    EXPECT_EQ(Req.Reason, DeoptReason::ValueGuardFailed);
+    EXPECT_EQ(Req.GuardId, 0u);
+    ASSERT_EQ(Req.Frames.size(), 1u);
+    EXPECT_EQ(Req.Frames[0].Bci, 0);
+    EXPECT_TRUE(Req.Frames[0].Reexecute);
+    EXPECT_EQ(Req.Frames[0].Locals[0], Value::makeInt(11));
+  }
+  expectSameRequest(J.Requests[0], J.Requests[1], "graph vs linear");
+}
+
+TEST(SpeshGuardTest, BranchPruneGuardFailsOnChosenIterationOnly) {
+  LoopBranchProgram LP = makeLoopBranchProgram();
+  ASSERT_GE(LP.InnerBranchBci, 0);
+  SpeshJit J(LP.P);
+
+  // Train "i != k" as always taken, so the acc += 100 path is pruned.
+  SpeshSnapshot S = enabledSnapshot();
+  S.Branches[LP.InnerBranchBci] = {/*Taken=*/500, /*NotTaken=*/0};
+  CompileResult Spec = J.compile(LP.F, &S);
+  ASSERT_EQ(Spec.Spesh.size(), 1u);
+  EXPECT_EQ(Spec.Spesh.Specs[0].Kind, SpeculationKind::BranchPrune);
+  CompileResult Plain = J.compile(LP.F, nullptr);
+
+  // k outside the loop: the speculation holds, no deopt, f(8, 99) = 8.
+  EXPECT_EQ(J.runLinear(*Spec.Code, {Value::makeInt(8), Value::makeInt(99)})
+                .asInt(),
+            8);
+  EXPECT_TRUE(J.Requests.empty());
+
+  // k = 5 inside the loop: the guard fails on exactly iteration 5, with
+  // acc mid-accumulation. The rebuilt frame must carry acc = 5, i = 5 at
+  // the branch bci so the interpreter finishes to the unspeculated
+  // result f(8, 5) = 7 * 1 + 100 = 107.
+  Value Expected =
+      J.runLinear(*Plain.Code, {Value::makeInt(8), Value::makeInt(5)});
+  EXPECT_TRUE(J.Requests.empty());
+  EXPECT_EQ(Expected.asInt(), 107);
+
+  EXPECT_EQ(J.runGraph(*Spec.G, {Value::makeInt(8), Value::makeInt(5)}),
+            Expected);
+  EXPECT_EQ(J.runLinear(*Spec.Code, {Value::makeInt(8), Value::makeInt(5)}),
+            Expected);
+  ASSERT_EQ(J.Requests.size(), 2u);
+  for (const DeoptRequest &Req : J.Requests) {
+    EXPECT_EQ(Req.Root, LP.F);
+    EXPECT_EQ(Req.Reason, DeoptReason::BranchNeverTaken);
+    EXPECT_EQ(Req.GuardId, 0u);
+    ASSERT_EQ(Req.Frames.size(), 1u);
+    EXPECT_EQ(Req.Frames[0].Bci, LP.InnerBranchBci);
+    EXPECT_TRUE(Req.Frames[0].Reexecute);
+    ASSERT_EQ(Req.Frames[0].Locals.size(), 4u);
+    EXPECT_EQ(Req.Frames[0].Locals[2], Value::makeInt(5)); // acc
+    EXPECT_EQ(Req.Frames[0].Locals[3], Value::makeInt(5)); // i
+  }
+  expectSameRequest(J.Requests[0], J.Requests[1], "graph vs linear");
+}
+
+TEST(SpeshGuardTest, ReceiverPinGuardFailureDispatchesCorrectly) {
+  ShapesProgram SP = makeShapesProgram();
+  int Bci = invokeVirtualBci(SP.P, SP.AreaOf);
+  SpeshJit J(SP.P);
+
+  SpeshSnapshot S = enabledSnapshot();
+  S.Receivers[Bci][SP.Circle] = 50;
+  CompileResult Spec = J.compile(SP.AreaOf, &S);
+  ASSERT_EQ(Spec.Spesh.size(), 1u);
+  EXPECT_EQ(Spec.Spesh.Specs[0].Kind, SpeculationKind::ReceiverPin);
+  CompileResult Plain = J.compile(SP.AreaOf, nullptr);
+
+  // Pinned class: straight to Circle.area, no deopt.
+  Value Circle = J.Interp.call(SP.MakeCircle, {Value::makeInt(4)});
+  EXPECT_EQ(J.runLinear(*Spec.Code, {Circle}).asInt(), 48);
+  EXPECT_TRUE(J.Requests.empty());
+
+  // A Square fails the exact-type guard in both tiers; the re-executed
+  // invoke dispatches to Square.area and matches the unspeculated tier.
+  Value Square = J.Interp.call(SP.MakeSquare, {Value::makeInt(6)});
+  Value Expected = J.runLinear(*Plain.Code, {Square});
+  EXPECT_TRUE(J.Requests.empty());
+  EXPECT_EQ(Expected.asInt(), 36);
+
+  EXPECT_EQ(J.runGraph(*Spec.G, {Square}), Expected);
+  EXPECT_EQ(J.runLinear(*Spec.Code, {Square}), Expected);
+  ASSERT_EQ(J.Requests.size(), 2u);
+  for (const DeoptRequest &Req : J.Requests) {
+    EXPECT_EQ(Req.Root, SP.AreaOf);
+    EXPECT_EQ(Req.Reason, DeoptReason::TypeGuardFailed);
+    EXPECT_EQ(Req.GuardId, 0u);
+    ASSERT_EQ(Req.Frames.size(), 1u);
+    EXPECT_EQ(Req.Frames[0].Bci, Bci);
+    EXPECT_TRUE(Req.Frames[0].Reexecute);
+  }
+  expectSameRequest(J.Requests[0], J.Requests[1], "graph vs linear");
+}
+
+//===----------------------------------------------------------------------===//
+// Isolate level: despecialization convergence and OSR
+//===----------------------------------------------------------------------===//
+
+VMOptions speshOptions() {
+  VMOptions O;
+  O.CompileThreshold = 10;
+  O.CompilerThreads = 0; // synchronous compiles
+  O.Compiler.EnableSpesh = true;
+  O.Compiler.SpeshMinProfile = 5;
+  O.SpeshFailThreshold = 2;
+  O.OsrThreshold = 0; // loop replacement off unless the test wants it
+  return O;
+}
+
+TEST(SpeshIsolateTest, DespecializationConvergesAfterOneRecompile) {
+  ShapesProgram SP = makeShapesProgram();
+  Isolate I(SP.P, speshOptions());
+
+  // Warm with circles until areaOf compiles with a receiver pin. The
+  // radius varies so the only stable speculation anywhere is the pin —
+  // constant helper arguments would earn their own ArgConst plans and
+  // muddy the counters this test asserts on.
+  for (int R = 0; R != 15; ++R) {
+    int Radius = R % 5 + 1;
+    Value Circle = I.call(SP.MakeCircle, {Value::makeInt(Radius)});
+    EXPECT_EQ(I.call(SP.AreaOf, {Circle}).asInt(), 3 * Radius * Radius);
+  }
+  EXPECT_GE(I.speshMetrics().Plans, 1u);
+  EXPECT_GE(I.speshMetrics().GuardsPlanted, 1u);
+  EXPECT_EQ(I.speshMetrics().GuardFailures, 0u);
+
+  // Squares violate the pin: every failure must still produce the right
+  // answer, and crossing SpeshFailThreshold blocklists the site and
+  // invalidates the code — exactly once.
+  for (int R = 0; R != 40; ++R) {
+    int Side = R % 6 + 1;
+    Value Square = I.call(SP.MakeSquare, {Value::makeInt(Side)});
+    EXPECT_EQ(I.call(SP.AreaOf, {Square}).asInt(), Side * Side)
+        << "round " << R;
+  }
+  EXPECT_EQ(I.speshMetrics().GuardFailures, 2u);
+  EXPECT_EQ(I.speshMetrics().Despecializations, 1u);
+  EXPECT_TRUE(I.speshStats().wasDespecialized(SP.AreaOf));
+
+  // The durable blocklist keeps the planner from re-proposing the pin:
+  // the recompiled method runs both classes guard-free.
+  for (int R = 0; R != 40; ++R) {
+    int N = R % 7 + 1;
+    Value Circle = I.call(SP.MakeCircle, {Value::makeInt(N)});
+    EXPECT_EQ(I.call(SP.AreaOf, {Circle}).asInt(), 3 * N * N);
+    Value Square = I.call(SP.MakeSquare, {Value::makeInt(N)});
+    EXPECT_EQ(I.call(SP.AreaOf, {Square}).asInt(), N * N);
+  }
+  EXPECT_EQ(I.speshMetrics().GuardFailures, 2u);
+  EXPECT_EQ(I.speshMetrics().Despecializations, 1u);
+}
+
+TEST(SpeshIsolateTest, OsrEntersHotLoopMidFlight) {
+  MathProgram MP = makeMathProgram();
+  VMOptions O = speshOptions();
+  O.OsrThreshold = 50;
+  O.CompileThreshold = 1000000; // whole-method compilation never fires
+  Isolate I(MP.P, O);
+
+  // A single long-running call: only on-stack replacement can move this
+  // activation to compiled code, and the result must be exact.
+  EXPECT_EQ(I.call(MP.SumTo, {Value::makeInt(5000)}).asInt(), 12502500);
+  EXPECT_GE(I.speshMetrics().OsrCompiles, 1u);
+  EXPECT_GE(I.speshMetrics().OsrEntries, 1u);
+
+  // OSR code is reused: the next long call enters without recompiling.
+  uint64_t Compiles = I.speshMetrics().OsrCompiles;
+  EXPECT_EQ(I.call(MP.SumTo, {Value::makeInt(6000)}).asInt(), 18003000);
+  EXPECT_EQ(I.speshMetrics().OsrCompiles, Compiles);
+  EXPECT_GE(I.speshMetrics().OsrEntries, 2u);
+}
+
+TEST(SpeshIsolateTest, OsrThresholdZeroDisablesReplacement) {
+  MathProgram MP = makeMathProgram();
+  VMOptions O = speshOptions();
+  O.CompileThreshold = 1000000;
+  Isolate I(MP.P, O); // OsrThreshold = 0 from speshOptions()
+  EXPECT_EQ(I.call(MP.SumTo, {Value::makeInt(5000)}).asInt(), 12502500);
+  EXPECT_EQ(I.speshMetrics().OsrCompiles, 0u);
+  EXPECT_EQ(I.speshMetrics().OsrEntries, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Environment knob parsing
+//===----------------------------------------------------------------------===//
+
+TEST(SpeshEnvTest, ValidSettingsParse) {
+  EXPECT_FALSE(speshFromEnvironment(nullptr));
+  EXPECT_FALSE(speshFromEnvironment(""));
+  EXPECT_FALSE(speshFromEnvironment("0"));
+  EXPECT_TRUE(speshFromEnvironment("1"));
+
+  EXPECT_EQ(speshCountFromEnvironment("JVM_SPESH_THRESHOLD", nullptr, 2,
+                                      /*ZeroAllowed=*/false),
+            2u);
+  EXPECT_EQ(speshCountFromEnvironment("JVM_SPESH_THRESHOLD", "7", 2, false),
+            7u);
+  EXPECT_EQ(speshCountFromEnvironment("JVM_OSR_THRESHOLD", "0", 2000,
+                                      /*ZeroAllowed=*/true),
+            0u);
+}
+
+TEST(SpeshEnvDeathTest, UnknownSettingsAreFatal) {
+  // A bench run silently comparing "speculation on" against a typo
+  // would produce numbers for the wrong configuration, so anything
+  // unrecognized must die naming the valid settings.
+  EXPECT_DEATH(speshFromEnvironment("yes"),
+               "unknown JVM_SPESH 'yes'.*0, 1");
+  EXPECT_DEATH(speshCountFromEnvironment("JVM_SPESH_THRESHOLD", "fast", 2,
+                                         /*ZeroAllowed=*/false),
+               "invalid JVM_SPESH_THRESHOLD 'fast'.*positive integer");
+  EXPECT_DEATH(speshCountFromEnvironment("JVM_SPESH_THRESHOLD", "0", 2,
+                                         /*ZeroAllowed=*/false),
+               "invalid JVM_SPESH_THRESHOLD '0'.*positive integer");
+  EXPECT_DEATH(speshCountFromEnvironment("JVM_OSR_THRESHOLD", "12x", 2000,
+                                         /*ZeroAllowed=*/true),
+               "invalid JVM_OSR_THRESHOLD '12x'.*non-negative integer");
+}
+
+} // namespace
